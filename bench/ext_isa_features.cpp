@@ -1,0 +1,120 @@
+// Extension — ISA-feature ablation (quantifying the §3.3 mechanisms in
+// isolation). Three probe kernels isolate the effects the paper discusses:
+//
+//   copy1   c[i] = a[i]            — addressing modes + loop control
+//   triad3  a[i] = b[i] + s*c[i]   — three live arrays (the paper: "AArch64
+//                                    wins on add and triad ... the need to
+//                                    only increment one register instead of
+//                                    three")
+//   stencil o[i] = in[i-1]+in[i+1] — offset reuse within one pointer group
+//
+// For each probe the per-iteration instruction budget is derived from two
+// run lengths, separating loop-body cost from prologue cost.
+#include <iostream>
+
+#include "core/machine.hpp"
+#include "harness.hpp"
+#include "kgen/compile.hpp"
+#include "support/table.hpp"
+
+using namespace riscmp;
+using namespace riscmp::bench;
+using namespace riscmp::kgen;
+
+namespace {
+
+Module copyProbe(std::int64_t n) {
+  Module module;
+  module.name = "copy1";
+  module.array("a", n).init.assign(static_cast<std::size_t>(n), 1.0);
+  module.array("c", n);
+  module.kernel("k").body.push_back(
+      loop("i", n, {storeArr("c", idx("i"), load("a", idx("i")))}));
+  return module;
+}
+
+Module triadProbe(std::int64_t n) {
+  Module module;
+  module.name = "triad3";
+  module.array("a", n);
+  module.array("b", n).init.assign(static_cast<std::size_t>(n), 1.0);
+  module.array("c", n).init.assign(static_cast<std::size_t>(n), 2.0);
+  module.scalarInit("s", 3.0);
+  module.kernel("k").body.push_back(loop(
+      "i", n, {storeArr("a", idx("i"),
+                        add(load("b", idx("i")),
+                            mul(scalar("s"), load("c", idx("i")))))}));
+  return module;
+}
+
+Module stencilProbe(std::int64_t n) {
+  Module module;
+  module.name = "stencil";
+  module.array("in", n + 2).init.assign(static_cast<std::size_t>(n + 2), 1.0);
+  module.array("o", n + 2);
+  module.kernel("k").body.push_back(
+      loop("i", n, {storeArr("o", idx("i") + 1,
+                             add(load("in", idx("i")),
+                                 load("in", idx("i") + 2)))}));
+  return module;
+}
+
+double perIteration(Module (*probe)(std::int64_t), const Config& config) {
+  const std::int64_t n1 = 256;
+  const std::int64_t n2 = 512;
+  const auto count = [&](std::int64_t n) {
+    const Compiled compiled = compile(probe(n), config.arch, config.era);
+    Machine machine(compiled.program);
+    return machine.run().instructions;
+  };
+  return static_cast<double>(count(n2) - count(n1)) /
+         static_cast<double>(n2 - n1);
+}
+
+}  // namespace
+
+int main() {
+  const auto configs = paperConfigs();
+
+  struct Probe {
+    const char* name;
+    Module (*make)(std::int64_t);
+    const char* note;
+  };
+  const Probe probes[] = {
+      {"copy1", copyProbe, "1 shared index (A64) vs 2 pointer bumps (RV)"},
+      {"triad3", triadProbe, "1 shared index (A64) vs 3 pointer bumps (RV)"},
+      {"stencil", stencilProbe,
+       "offsets share a pointer group on both ISAs"},
+  };
+
+  std::cout << "Extension: per-iteration instruction budgets for probe "
+               "kernels (the §3.3 mechanisms in isolation)\n\n";
+
+  Table table({"probe", "GCC9 A64", "GCC9 RV", "GCC12 A64", "GCC12 RV",
+               "era delta (A64)", "note"});
+  for (const Probe& probe : probes) {
+    std::array<double, 4> budget{};
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      budget[c] = perIteration(probe.make, configs[c]);
+    }
+    table.addRow({probe.name, sigFigs(budget[0], 3), sigFigs(budget[1], 3),
+                  sigFigs(budget[2], 3), sigFigs(budget[3], 3),
+                  sigFigs(budget[0] - budget[2], 2), probe.note});
+  }
+  std::cout << table << "\n";
+
+  std::cout
+      << "Readings:\n"
+      << "  * copy1: 5 vs 5 per element under GCC 12.2 (paper Listings "
+         "1/2); the GCC 9.2 era costs AArch64 exactly +1.\n"
+      << "  * triad3: RISC-V pays one add per live array, AArch64 one "
+         "shared index + compare — the addressing-mode trade the paper "
+         "analyses.\n"
+      << "  * stencil: constant offsets fold into displacements on both "
+         "ISAs, so neither pays per-offset instructions.\n"
+      << "  * The paper's upper bound: conditional-branch compare overhead "
+         "can cost AArch64 up to 15% extra instructions; register-offset "
+         "addressing can save it one instruction per extra array.\n";
+  return 0;
+}

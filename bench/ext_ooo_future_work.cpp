@@ -1,0 +1,58 @@
+// Experiment E6 (extension) — the paper's §8 future work: run the suite
+// through a finite-resource out-of-order core model ("using real-world
+// sizes for OoO resources") and compare ISA CPIs on matched hardware.
+//
+// Both ISAs run on the TX2-like model (AArch64: tx2, RISC-V: riscv-tx2),
+// plus the hypothetical wider M1-Firestorm-like configuration the paper
+// gestures at ("extrapolating to hypothetical microarchitectural designs
+// of the future").
+#include <iostream>
+
+#include "harness.hpp"
+#include "support/table.hpp"
+#include "uarch/ooo_core.hpp"
+
+using namespace riscmp;
+using namespace riscmp::bench;
+
+int main(int argc, char** argv) {
+  const double scale = parseScale(argc, argv);
+  const auto suite = workloads::paperSuite(scale);
+  const auto configs = paperConfigs();
+
+  struct ModelPair {
+    const char* label;
+    uarch::CoreModel aarch64;
+    uarch::CoreModel riscv;
+  };
+  const std::vector<ModelPair> models = {
+      {"TX2-like (4-wide, ROB 180)", uarch::CoreModel::named("tx2"),
+       uarch::CoreModel::named("riscv-tx2")},
+      {"Firestorm-like (8-wide, ROB 630)",
+       uarch::CoreModel::named("m1-firestorm"),
+       uarch::CoreModel::named("m1-firestorm")},
+  };
+
+  std::cout << "E6 (extension): finite-resource OoO core model (paper §8)\n\n";
+
+  for (const ModelPair& model : models) {
+    std::cout << "-- " << model.label << " --\n";
+    for (const auto& spec : suite) {
+      std::cout << "== " << spec.name << " ==\n";
+      Table table({"config", "instructions", "cycles", "CPI", "IPC",
+                   "runtime (ms)"});
+      for (const auto& config : configs) {
+        const Experiment experiment(spec.module, config);
+        uarch::OoOCoreModel core(config.arch == Arch::Rv64 ? model.riscv
+                                                           : model.aarch64);
+        const std::uint64_t total = experiment.run({&core});
+        table.addRow({configName(config), withCommas(total),
+                      withCommas(core.cycles()), sigFigs(core.cpi(), 3),
+                      sigFigs(core.ipc(), 3),
+                      sigFigs(core.runtimeSeconds() * 1e3, 3)});
+      }
+      std::cout << table << "\n";
+    }
+  }
+  return 0;
+}

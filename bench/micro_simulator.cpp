@@ -1,0 +1,111 @@
+// Experiment E7 — engineering microbenchmarks (google-benchmark): simulator
+// front-end throughput and per-analysis overhead, per ISA. These guard the
+// simulation engine's performance, which bounds feasible workload sizes.
+#include <benchmark/benchmark.h>
+
+#include "aarch64/decode.hpp"
+#include "analysis/critical_path.hpp"
+#include "analysis/windowed_cp.hpp"
+#include "core/machine.hpp"
+#include "kgen/compile.hpp"
+#include "riscv/decode.hpp"
+#include "uarch/ooo_core.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace riscmp;
+
+const kgen::Module& streamModule() {
+  static const kgen::Module module =
+      workloads::makeStream({.n = 2000, .reps = 2});
+  return module;
+}
+
+kgen::Compiled compiledStream(Arch arch) {
+  return kgen::compile(streamModule(), arch, kgen::CompilerEra::Gcc12);
+}
+
+void BM_DecodeRv64(benchmark::State& state) {
+  const auto compiled = compiledStream(Arch::Rv64);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    const auto inst = rv64::decode(
+        compiled.program.code[index++ % compiled.program.code.size()]);
+    benchmark::DoNotOptimize(inst);
+  }
+}
+BENCHMARK(BM_DecodeRv64);
+
+void BM_DecodeA64(benchmark::State& state) {
+  const auto compiled = compiledStream(Arch::AArch64);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    const auto inst = a64::decode(
+        compiled.program.code[index++ % compiled.program.code.size()]);
+    benchmark::DoNotOptimize(inst);
+  }
+}
+BENCHMARK(BM_DecodeA64);
+
+void runEmulation(benchmark::State& state, Arch arch,
+                  std::vector<TraceObserver*> observers) {
+  const auto compiled = compiledStream(arch);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    Machine machine(compiled.program);
+    for (TraceObserver* observer : observers) machine.addObserver(*observer);
+    instructions += machine.run().instructions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+
+void BM_EmulateRv64(benchmark::State& state) {
+  runEmulation(state, Arch::Rv64, {});
+}
+BENCHMARK(BM_EmulateRv64);
+
+void BM_EmulateA64(benchmark::State& state) {
+  runEmulation(state, Arch::AArch64, {});
+}
+BENCHMARK(BM_EmulateA64);
+
+void BM_EmulateWithCriticalPath(benchmark::State& state) {
+  CriticalPathAnalyzer analyzer;
+  runEmulation(state, Arch::Rv64, {&analyzer});
+}
+BENCHMARK(BM_EmulateWithCriticalPath);
+
+void BM_EmulateWithWindowedCp(benchmark::State& state) {
+  WindowedCPAnalyzer analyzer(WindowedCPAnalyzer::paperWindowSizes());
+  runEmulation(state, Arch::Rv64, {&analyzer});
+}
+BENCHMARK(BM_EmulateWithWindowedCp);
+
+void BM_EmulateWithOoOCore(benchmark::State& state) {
+  uarch::OoOCoreModel core(uarch::CoreModel::named("riscv-tx2"));
+  runEmulation(state, Arch::Rv64, {&core});
+}
+BENCHMARK(BM_EmulateWithOoOCore);
+
+void BM_CompileStreamRv64(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto compiled =
+        kgen::compile(streamModule(), Arch::Rv64, kgen::CompilerEra::Gcc12);
+    benchmark::DoNotOptimize(compiled.program.code.data());
+  }
+}
+BENCHMARK(BM_CompileStreamRv64);
+
+void BM_CompileStreamA64(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto compiled = kgen::compile(streamModule(), Arch::AArch64,
+                                        kgen::CompilerEra::Gcc12);
+    benchmark::DoNotOptimize(compiled.program.code.data());
+  }
+}
+BENCHMARK(BM_CompileStreamA64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

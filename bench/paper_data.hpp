@@ -1,0 +1,72 @@
+// Reference values transcribed from the paper's Tables 1 and 2, printed
+// alongside measured values by the bench harnesses. Order of the per-config
+// arrays: {GCC 9.2/AArch64, GCC 9.2/RISC-V, GCC 12.2/AArch64,
+// GCC 12.2/RISC-V} — the column order of the paper's tables.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace riscmp::bench {
+
+struct PaperRow {
+  std::string_view workload;
+  std::array<std::uint64_t, 4> pathLength;
+  std::array<std::uint64_t, 4> cp;        ///< Table 1 critical path
+  std::array<double, 4> ilp;              ///< Table 1 ILP
+  std::array<double, 4> runtimeMs;        ///< Table 1 2 GHz runtime
+  std::array<std::uint64_t, 4> scaledCp;  ///< Table 2 scaled critical path
+  std::array<double, 4> scaledIlp;
+  std::array<double, 4> scaledRuntimeMs;
+};
+
+inline constexpr std::array<PaperRow, 5> kPaperRows = {{
+    {"STREAM",
+     {3'350'107'615ull, 3'110'150'358ull, 2'930'114'073ull, 3'110'139'144ull},
+     {10'000'234, 10'005'341, 10'000'234, 10'004'815},
+     {335, 311, 293, 311},
+     {5.00, 5.00, 5.00, 5.00},
+     {60'000'545, 60'005'845, 60'000'545, 60'005'845},
+     {56, 52, 49, 52},
+     {30.0, 30.0, 30.0, 30.0}},
+    {"CloverLeaf",
+     {12'832'452, 14'553'390, 12'647'061, 13'481'498},
+     {46'933, 191'538, 46'658, 228'036},
+     {273, 76, 271, 59},
+     {0.0235, 0.0958, 0.0233, 0.114},
+     {94'983, 191'538, 81'925, 244'103},
+     {135, 76, 154, 55},
+     {0.0475, 0.0958, 0.0410, 0.122}},
+    {"LBM",
+     {380'391'346, 463'305'683, 376'329'390, 412'979'829},
+     {10'910'427, 5'196'321, 4'660'144, 4'873'467},
+     {35, 89, 81, 85},
+     {5.46, 2.60, 2.33, 2.44},
+     {42'344'992, 5'888'686, 4'660'233, 5'565'925},
+     {9.0, 79, 81, 74},
+     {21.2, 2.94, 2.33, 2.78}},
+    {"miniBUDE",
+     {137'280'541, 115'064'988, 137'183'536, 114'897'049},
+     {196'357, 197'285, 196'331, 196'722},
+     {699, 583, 699, 584},
+     {0.0982, 0.0986, 0.0982, 0.0984},
+     {685'839, 685'842, 685'680, 685'291},
+     {168, 168, 168, 168},
+     {0.343, 0.343, 0.343, 0.343}},
+    {"minisweep",
+     {2'162'866'809ull, 2'332'356'452ull, 1'934'709'957ull, 1'894'737'614ull},
+     {263'120, 263'327, 280'567, 272'444},
+     {8'220, 8'857, 6'896, 6'955},
+     {0.132, 0.132, 0.140, 0.136},
+     {1'577'198, 1'586'189, 1'592'550, 1'577'099},
+     {1'371, 1'470, 1'215, 1'201},
+     {0.790, 0.793, 0.796, 0.789}},
+}};
+
+/// Column index into the paper arrays for a (era, arch) pair.
+constexpr std::size_t paperColumn(bool isGcc12, bool isRiscv) {
+  return (isGcc12 ? 2u : 0u) + (isRiscv ? 1u : 0u);
+}
+
+}  // namespace riscmp::bench

@@ -1,0 +1,44 @@
+// Experiment E2 — Table 1: critical paths, ILP, and ideal 2 GHz runtimes.
+//
+// The critical path is the longest chain of RAW dependencies through
+// registers and memory (paper §4.1); ILP = path length / CP; the runtime
+// assumes an ideal processor retiring the whole chain at 2 GHz.
+#include <iostream>
+
+#include "analysis/critical_path.hpp"
+#include "harness.hpp"
+#include "paper_data.hpp"
+#include "support/table.hpp"
+
+using namespace riscmp;
+using namespace riscmp::bench;
+
+int main(int argc, char** argv) {
+  const double scale = parseScale(argc, argv);
+  const auto suite = workloads::paperSuite(scale);
+  const auto configs = paperConfigs();
+
+  std::cout << "E2: critical paths and ILP (paper Table 1)\n"
+            << "Absolute CPs differ from the paper (reduced problem sizes);\n"
+            << "compare ILP magnitudes and the AArch64-vs-RISC-V shape.\n\n";
+
+  for (std::size_t w = 0; w < suite.size(); ++w) {
+    const auto& spec = suite[w];
+    std::cout << "== " << spec.name << " ==\n";
+    Table table({"config", "path length", "CP", "ILP", "2GHz runtime (ms)",
+                 "paper ILP", "paper runtime (ms)"});
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const Experiment experiment(spec.module, configs[c]);
+      CriticalPathAnalyzer analyzer;
+      const std::uint64_t total = experiment.run({&analyzer});
+      table.addRow({configName(configs[c]), withCommas(total),
+                    withCommas(analyzer.criticalPath()),
+                    sigFigs(analyzer.ilp(), 3),
+                    sigFigs(analyzer.runtimeSeconds() * 1e3, 3),
+                    sigFigs(kPaperRows[w].ilp[c], 3),
+                    sigFigs(kPaperRows[w].runtimeMs[c], 3)});
+    }
+    std::cout << table << "\n";
+  }
+  return 0;
+}

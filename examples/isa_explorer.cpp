@@ -1,0 +1,129 @@
+// Assemble-and-run explorer: feed an assembly file to either ISA's
+// assembler, execute it, and print the disassembly plus a dependency
+// analysis — handy for studying small instruction sequences the way the
+// paper's §3.3 studies the STREAM kernels.
+//
+//   $ ./build/examples/isa_explorer rv64 my_kernel.s
+//   $ ./build/examples/isa_explorer a64 my_kernel.s
+//
+// Without arguments it runs a built-in demo pair (the paper's copy
+// kernels). The program must end with an exit syscall
+// (rv64: a7=93, ecall; a64: x8=93, svc #0) or it will run forever.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "aarch64/asm.hpp"
+#include "aarch64/disasm.hpp"
+#include "analysis/critical_path.hpp"
+#include "core/machine.hpp"
+#include "riscv/asm.hpp"
+#include "riscv/disasm.hpp"
+
+using namespace riscmp;
+
+namespace {
+
+constexpr const char* kDemoRv64 = R"(
+  # rv64g STREAM copy (paper Listing 2 shape), 32 elements
+  li a5, 0x100000        # src
+  li a4, 0x100200        # dst
+  li s0, 0x100100        # src end
+loop:
+  fld fa5, 0(a5)
+  fsd fa5, 0(a4)
+  addi a5, a5, 8
+  addi a4, a4, 8
+  bne a5, s0, loop
+  li a7, 93
+  li a0, 0
+  ecall
+)";
+
+constexpr const char* kDemoA64 = R"(
+  // Armv8-a STREAM copy (paper Listing 1 shape), 32 elements
+  movz x22, #0x10, lsl #16   // src = 0x100000
+  movz x19, #0x10, lsl #16
+  add x19, x19, #0x200       // dst = 0x100200
+  mov x0, #0
+  mov x20, #32
+loop:
+  ldr d1, [x22, x0, lsl #3]
+  str d1, [x19, x0, lsl #3]
+  add x0, x0, #1
+  cmp x0, x20
+  b.ne loop
+  mov x8, #93
+  mov x0, #0
+  svc #0
+)";
+
+int runListing(Arch arch, const std::string& source) {
+  Program program;
+  program.arch = arch;
+  program.codeBase = Program::kCodeBase;
+  program.entry = program.codeBase;
+  try {
+    program.code = arch == Arch::Rv64
+                       ? rv64::assemble(source, program.codeBase)
+                       : a64::assemble(source, program.codeBase);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+
+  std::cout << "-- listing (" << archName(arch) << ") --\n";
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    const std::uint64_t pc = program.codeBase + i * 4;
+    const std::string text = arch == Arch::Rv64
+                                 ? rv64::disassemble(program.code[i], pc)
+                                 : a64::disassemble(program.code[i], pc);
+    std::cout << "  " << std::hex << pc << std::dec << ":  " << text << "\n";
+  }
+
+  MachineOptions options;
+  options.maxInstructions = 100'000'000;
+  options.stdoutStream = &std::cout;
+  Machine machine(program, options);
+  CriticalPathAnalyzer cp;
+  machine.addObserver(cp);
+  try {
+    const RunResult result = machine.run();
+    std::cout << "-- execution --\n"
+              << "  instructions : " << result.instructions << "\n"
+              << "  exit code    : " << result.exitCode << "\n"
+              << "  critical path: " << cp.criticalPath() << "\n"
+              << "  ILP          : " << cp.ilp() << "\n\n";
+  } catch (const std::exception& e) {
+    std::cerr << "execution failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) {
+    return runListing(Arch::Rv64, kDemoRv64) +
+           runListing(Arch::AArch64, kDemoA64);
+  }
+  if (argc != 3) {
+    std::cerr << "usage: " << argv[0] << " rv64|a64 <file.s>\n";
+    return 2;
+  }
+  const std::string archName = argv[1];
+  if (archName != "rv64" && archName != "a64") {
+    std::cerr << "unknown architecture '" << archName << "'\n";
+    return 2;
+  }
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::cerr << "cannot open '" << argv[2] << "'\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return runListing(archName == "rv64" ? Arch::Rv64 : Arch::AArch64,
+                    buffer.str());
+}

@@ -1,0 +1,892 @@
+#include "aarch64/asm.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <optional>
+
+#include "aarch64/encode.hpp"
+#include "support/bits.hpp"
+
+namespace riscmp::a64 {
+namespace {
+
+std::string toLower(std::string_view s) {
+  std::string out(s);
+  for (char& ch : out) ch = static_cast<char>(std::tolower(ch));
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Split operands at top-level commas ([] groups stay intact). Note that the
+/// post-index form "[x0], #8" intentionally splits into "[x0]" and "#8".
+std::vector<std::string> splitOperands(std::string_view rest) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  for (const char ch : rest) {
+    if (ch == '[') ++depth;
+    if (ch == ']') --depth;
+    if (ch == ',' && depth == 0) {
+      out.push_back(trim(current));
+      current.clear();
+      continue;
+    }
+    current += ch;
+  }
+  const std::string tail = trim(current);
+  if (!tail.empty()) out.push_back(tail);
+  return out;
+}
+
+struct SourceLine {
+  int number;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+};
+
+struct Listing {
+  std::vector<SourceLine> lines;
+  std::map<std::string, std::uint64_t, std::less<>> labels;
+};
+
+Listing firstPass(std::string_view source) {
+  Listing listing;
+  std::uint64_t offset = 0;
+  int number = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t nl = source.find('\n', pos);
+    std::string_view raw = source.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    ++number;
+    pos = (nl == std::string_view::npos) ? source.size() + 1 : nl + 1;
+
+    if (const std::size_t slashes = raw.find("//");
+        slashes != std::string_view::npos) {
+      raw = raw.substr(0, slashes);
+    }
+    std::string text = trim(raw);
+    if (!text.empty() && text[0] == ';') continue;
+    for (;;) {
+      const std::size_t colon = text.find(':');
+      if (colon == std::string::npos) break;
+      const std::string label = trim(text.substr(0, colon));
+      if (label.empty() ||
+          label.find_first_of(" \t,[]#") != std::string::npos) {
+        break;
+      }
+      listing.labels.emplace(label, offset);
+      text = trim(text.substr(colon + 1));
+    }
+    if (text.empty()) continue;
+
+    std::size_t space = 0;
+    while (space < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[space]))) {
+      ++space;
+    }
+    SourceLine line;
+    line.number = number;
+    line.mnemonic = toLower(text.substr(0, space));
+    line.operands = splitOperands(std::string_view(text).substr(space));
+    listing.lines.push_back(std::move(line));
+    offset += 4;
+  }
+  return listing;
+}
+
+struct RegOperand {
+  unsigned index;
+  bool is64;
+  bool isSp;
+  bool isFp;
+  bool single;
+};
+
+class SecondPass {
+ public:
+  SecondPass(const Listing& listing, std::uint64_t base)
+      : listing_(listing), base_(base) {}
+
+  std::vector<std::uint32_t> run() {
+    for (const SourceLine& line : listing_.lines) assembleLine(line);
+    return std::move(words_);
+  }
+
+ private:
+  [[noreturn]] void fail(const SourceLine& line, const std::string& what) {
+    throw AsmError(what, line.number);
+  }
+
+  RegOperand reg(const SourceLine& line, const std::string& text) {
+    const std::string lower = toLower(text);
+    RegOperand out{};
+    bool single = false;
+    if (const int r = fprFromName(lower, single); r >= 0) {
+      out.index = static_cast<unsigned>(r);
+      out.isFp = true;
+      out.single = single;
+      out.is64 = true;
+      return out;
+    }
+    bool is64 = true;
+    bool isSp = false;
+    const int r = gprFromName(lower, is64, isSp);
+    if (r < 0) fail(line, "bad register '" + text + "'");
+    out.index = static_cast<unsigned>(r);
+    out.is64 = is64;
+    out.isSp = isSp;
+    return out;
+  }
+
+  std::int64_t imm(const SourceLine& line, std::string text) {
+    if (!text.empty() && text[0] == '#') text = text.substr(1);
+    if (text.empty()) fail(line, "empty immediate");
+    bool negative = false;
+    std::string_view body = text;
+    if (body[0] == '-' || body[0] == '+') {
+      negative = body[0] == '-';
+      body.remove_prefix(1);
+    }
+    int radix = 10;
+    if (body.size() > 2 && body[0] == '0' && (body[1] == 'x' || body[1] == 'X')) {
+      body.remove_prefix(2);
+      radix = 16;
+    }
+    std::int64_t value = 0;
+    auto [ptr, ec] =
+        std::from_chars(body.data(), body.data() + body.size(), value, radix);
+    if (ec == std::errc::result_out_of_range && radix == 16 && !negative) {
+      // Large hex masks (e.g. #0xf0f0...f0) carry bit patterns, not signed
+      // quantities; reparse as unsigned.
+      std::uint64_t pattern = 0;
+      auto [uptr, uec] = std::from_chars(body.data(),
+                                         body.data() + body.size(), pattern,
+                                         radix);
+      if (uec == std::errc{} && uptr == body.data() + body.size()) {
+        return static_cast<std::int64_t>(pattern);
+      }
+    }
+    if (ec != std::errc{} || ptr != body.data() + body.size()) {
+      fail(line, "bad immediate '" + text + "'");
+    }
+    return negative ? -value : value;
+  }
+
+  bool isImmediate(const std::string& text) {
+    if (text.empty()) return false;
+    const char c = text[0];
+    return c == '#' || c == '-' || std::isdigit(static_cast<unsigned char>(c));
+  }
+
+  std::int64_t labelOffset(const SourceLine& line, const std::string& text) {
+    if (isImmediate(text)) return imm(line, text);
+    const auto it = listing_.labels.find(text);
+    if (it == listing_.labels.end()) fail(line, "unknown label '" + text + "'");
+    return static_cast<std::int64_t>(base_ + it->second) -
+           static_cast<std::int64_t>(base_ + words_.size() * 4);
+  }
+
+  void emit(const Inst& inst) { words_.push_back(encode(inst)); }
+
+  void expect(const SourceLine& line, bool condition, const char* what) {
+    if (!condition) fail(line, what);
+  }
+
+  // Parse "[xN...]" style memory operands; returns the pieces.
+  struct MemOperand {
+    unsigned baseReg = 0;
+    std::int64_t offset = 0;
+    bool hasRegOffset = false;
+    unsigned offsetReg = 0;
+    Extend extend = Extend::UXTX;
+    unsigned extAmount = 0;
+    AddrMode mode = AddrMode::Offset;
+  };
+
+  MemOperand memOperand(const SourceLine& line, const std::string& text,
+                        const std::string* postOperand) {
+    MemOperand out;
+    std::string body = text;
+    expect(line, body.size() >= 2 && body.front() == '[', "expected '['");
+    if (body.back() == '!') {
+      out.mode = AddrMode::PreIndex;
+      body.pop_back();
+    }
+    expect(line, body.back() == ']', "expected ']'");
+    body = body.substr(1, body.size() - 2);
+    const auto parts = splitOperands(body);
+    expect(line, !parts.empty() && parts.size() <= 3, "bad memory operand");
+    const RegOperand baseReg = reg(line, parts[0]);
+    expect(line, !baseReg.isFp && baseReg.is64, "base must be an X register");
+    out.baseReg = baseReg.index;
+
+    if (parts.size() == 1) {
+      if (postOperand != nullptr) {
+        expect(line, out.mode != AddrMode::PreIndex, "mixed pre/post index");
+        out.mode = AddrMode::PostIndex;
+        out.offset = imm(line, *postOperand);
+      }
+      return out;
+    }
+    if (isImmediate(parts[1])) {
+      expect(line, parts.size() == 2, "bad memory operand");
+      out.offset = imm(line, parts[1]);
+      return out;
+    }
+    // Register offset.
+    const RegOperand offsetReg = reg(line, parts[1]);
+    expect(line, !offsetReg.isFp, "offset must be an integer register");
+    out.hasRegOffset = true;
+    out.mode = AddrMode::RegOffset;
+    out.offsetReg = offsetReg.index;
+    out.extend = offsetReg.is64 ? Extend::UXTX : Extend::UXTW;
+    if (parts.size() == 3) {
+      // "lsl #3" / "sxtw #3" / "uxtw"
+      std::string ext = toLower(parts[2]);
+      std::string amountText;
+      if (const std::size_t hash = ext.find('#'); hash != std::string::npos) {
+        amountText = trim(ext.substr(hash + 1));
+        ext = trim(ext.substr(0, hash));
+      }
+      if (ext == "lsl") {
+        out.extend = Extend::UXTX;
+      } else if (ext == "uxtw") {
+        out.extend = Extend::UXTW;
+      } else if (ext == "sxtw") {
+        out.extend = Extend::SXTW;
+      } else if (ext == "sxtx") {
+        out.extend = Extend::SXTX;
+      } else {
+        fail(line, "unsupported extend '" + ext + "'");
+      }
+      if (!amountText.empty()) {
+        out.extAmount = static_cast<unsigned>(imm(line, amountText));
+      }
+    }
+    return out;
+  }
+
+  std::optional<Cond> condFromName(const std::string& name) {
+    for (unsigned i = 0; i < 16; ++i) {
+      if (condName(static_cast<Cond>(i)) == name) return static_cast<Cond>(i);
+    }
+    return std::nullopt;
+  }
+
+  void assembleLoadStore(const SourceLine& line, Op op) {
+    const auto& ops = line.operands;
+    expect(line, ops.size() >= 2, "load/store needs operands");
+    const RegOperand rt = reg(line, ops[0]);
+    const OpInfo& info = opInfo(op);
+
+    // Pair forms: rt, rt2, [mem]
+    if (info.cls == Cls::LoadStorePair) {
+      expect(line, ops.size() >= 3, "pair needs two registers");
+      const RegOperand rt2 = reg(line, ops[1]);
+      const std::string* post = ops.size() > 3 ? &ops[3] : nullptr;
+      const MemOperand mem = memOperand(line, ops[2], post);
+      emit(makeLoadStorePair(op, rt.index, rt2.index, mem.baseReg, mem.offset,
+                             mem.mode));
+      return;
+    }
+
+    // Literal form: rt, label
+    if (ops.size() == 2 && ops[1].front() != '[') {
+      Op litOp;
+      if (rt.isFp) {
+        litOp = rt.single ? Op::LDR_LIT_S : Op::LDR_LIT_D;
+      } else {
+        litOp = rt.is64 ? Op::LDR_LIT_X : Op::LDR_LIT_W;
+      }
+      Inst inst;
+      inst.op = litOp;
+      inst.rd = static_cast<std::uint8_t>(rt.index);
+      inst.mode = AddrMode::Literal;
+      inst.imm = labelOffset(line, ops[1]);
+      emit(inst);
+      return;
+    }
+
+    const std::string* post = ops.size() > 2 ? &ops[2] : nullptr;
+    const MemOperand mem = memOperand(line, ops[1], post);
+    Inst inst;
+    inst.op = op;
+    inst.rd = static_cast<std::uint8_t>(rt.index);
+    inst.rn = static_cast<std::uint8_t>(mem.baseReg);
+    inst.mode = mem.mode;
+    if (mem.hasRegOffset) {
+      inst.rm = static_cast<std::uint8_t>(mem.offsetReg);
+      inst.extend = mem.extend;
+      inst.extAmount = static_cast<std::uint8_t>(mem.extAmount);
+    } else {
+      inst.imm = mem.offset;
+      // Choose unscaled form when the offset cannot be scaled.
+      if (inst.mode == AddrMode::Offset &&
+          (mem.offset < 0 || mem.offset % info.memSize != 0)) {
+        inst.mode = AddrMode::Unscaled;
+      }
+    }
+    emit(inst);
+  }
+
+  /// Resolve a size-ambiguous load/store mnemonic using the register form.
+  Op loadStoreOpFor(const SourceLine& line, const std::string& mnemonic,
+                    const RegOperand& rt) {
+    if (mnemonic == "ldr") {
+      if (rt.isFp) return rt.single ? Op::LDRS : Op::LDRD;
+      return rt.is64 ? Op::LDRX : Op::LDRW;
+    }
+    if (mnemonic == "str") {
+      if (rt.isFp) return rt.single ? Op::STRS : Op::STRD;
+      return rt.is64 ? Op::STRX : Op::STRW;
+    }
+    if (mnemonic == "ldrb") return Op::LDRB;
+    if (mnemonic == "strb") return Op::STRB;
+    if (mnemonic == "ldrh") return Op::LDRH;
+    if (mnemonic == "strh") return Op::STRH;
+    if (mnemonic == "ldrsb") return Op::LDRSB;
+    if (mnemonic == "ldrsh") return Op::LDRSH;
+    if (mnemonic == "ldrsw") return Op::LDRSW;
+    if (mnemonic == "ldp") {
+      if (rt.isFp) return Op::LDP_D;
+      return Op::LDP_X;
+    }
+    if (mnemonic == "stp") {
+      if (rt.isFp) return Op::STP_D;
+      return Op::STP_X;
+    }
+    fail(line, "unknown load/store '" + mnemonic + "'");
+  }
+
+  void assembleLine(const SourceLine& line) {
+    const std::string& m = line.mnemonic;
+    const auto& ops = line.operands;
+
+    // Conditional branch family: "b.eq label".
+    if (m.size() > 2 && m.rfind("b.", 0) == 0) {
+      const auto cond = condFromName(m.substr(2));
+      if (!cond) fail(line, "bad condition '" + m + "'");
+      expect(line, ops.size() == 1, "b.<cond> takes one operand");
+      emit(makeCondBranch(*cond, labelOffset(line, ops[0])));
+      return;
+    }
+
+    static const std::map<std::string, int, std::less<>> kLoadStoreNames = {
+        {"ldr", 0},  {"str", 0},   {"ldrb", 0},  {"strb", 0}, {"ldrh", 0},
+        {"strh", 0}, {"ldrsb", 0}, {"ldrsh", 0}, {"ldrsw", 0}, {"ldp", 0},
+        {"stp", 0}};
+    if (kLoadStoreNames.count(m) != 0) {
+      expect(line, !ops.empty(), "missing operands");
+      const RegOperand rt = reg(line, ops[0]);
+      assembleLoadStore(line, loadStoreOpFor(line, m, rt));
+      return;
+    }
+
+    if (assembleMain(line)) return;
+    fail(line, "unknown mnemonic '" + m + "'");
+  }
+
+  /// Shift suffix operand like "lsl #3" on register-register forms.
+  void applyShiftOperand(const SourceLine& line, Inst& inst,
+                         const std::string& text) {
+    const std::string lower = toLower(text);
+    const std::size_t hash = lower.find('#');
+    expect(line, hash != std::string::npos, "bad shift operand");
+    const std::string kind = trim(lower.substr(0, hash));
+    const auto amount = imm(line, trim(lower.substr(hash)));
+    if (kind == "lsl") inst.shift = Shift::LSL;
+    else if (kind == "lsr") inst.shift = Shift::LSR;
+    else if (kind == "asr") inst.shift = Shift::ASR;
+    else if (kind == "ror") inst.shift = Shift::ROR;
+    else if (kind == "sxtw" || kind == "uxtw" || kind == "sxtx" || kind == "uxtb" ||
+             kind == "uxth" || kind == "sxtb" || kind == "sxth" || kind == "uxtx") {
+      // extended-register form
+      static const std::map<std::string, Extend, std::less<>> kExt = {
+          {"uxtb", Extend::UXTB}, {"uxth", Extend::UXTH},
+          {"uxtw", Extend::UXTW}, {"uxtx", Extend::UXTX},
+          {"sxtb", Extend::SXTB}, {"sxth", Extend::SXTH},
+          {"sxtw", Extend::SXTW}, {"sxtx", Extend::SXTX}};
+      inst.extend = kExt.at(kind);
+      inst.extAmount = static_cast<std::uint8_t>(amount);
+      return;
+    } else {
+      fail(line, "bad shift kind '" + kind + "'");
+    }
+    inst.shiftAmount = static_cast<std::uint8_t>(amount);
+  }
+
+  bool assembleMain(const SourceLine& line);
+
+  const Listing& listing_;
+  std::uint64_t base_;
+  std::vector<std::uint32_t> words_;
+};
+
+bool SecondPass::assembleMain(const SourceLine& line) {
+  const std::string& m = line.mnemonic;
+  const auto& ops = line.operands;
+
+  auto r = [&](std::size_t i) { return reg(line, ops[i]); };
+  auto needOps = [&](std::size_t n) {
+    expect(line, ops.size() == n, "operand count mismatch");
+  };
+
+  // ---- three-register / two-register-immediate integer ALU ----------------
+  struct AluSpec {
+    Op immOp;
+    Op regOp;
+  };
+  static const std::map<std::string, AluSpec, std::less<>> kAlu = {
+      {"add", {Op::ADDi, Op::ADDr}},   {"adds", {Op::ADDSi, Op::ADDSr}},
+      {"sub", {Op::SUBi, Op::SUBr}},   {"subs", {Op::SUBSi, Op::SUBSr}},
+      {"and", {Op::ANDi, Op::ANDr}},   {"ands", {Op::ANDSi, Op::ANDSr}},
+      {"orr", {Op::ORRi, Op::ORRr}},   {"eor", {Op::EORi, Op::EORr}}};
+  if (const auto it = kAlu.find(m); it != kAlu.end()) {
+    expect(line, ops.size() >= 3, "needs rd, rn, op2");
+    const RegOperand rd = r(0);
+    const RegOperand rn = r(1);
+    Inst inst;
+    if (isImmediate(ops[2])) {
+      const std::int64_t value = imm(line, ops[2]);
+      const bool isLogic = m == "and" || m == "ands" || m == "orr" || m == "eor";
+      if (isLogic) {
+        inst = makeLogicImm(it->second.immOp, rd.index, rn.index,
+                            static_cast<std::uint64_t>(value), rd.is64);
+      } else {
+        bool shift12 = false;
+        std::int64_t v = value;
+        if (ops.size() == 4) {
+          expect(line, toLower(ops[3]) == "lsl #12", "only lsl #12 allowed");
+          shift12 = true;
+        } else if (v >= 4096 && (v & 0xfff) == 0 && (v >> 12) < 4096) {
+          shift12 = true;
+          v >>= 12;
+        }
+        inst = makeAddSubImm(it->second.immOp, rd.index, rn.index,
+                             static_cast<std::uint32_t>(v), shift12, rd.is64);
+      }
+      emit(inst);
+      return true;
+    }
+    const RegOperand rm = r(2);
+    // Mixed W offset register => extended form (e.g. add x0, x1, w2, sxtw #3)
+    if (rd.is64 && !rm.is64) {
+      Inst ext;
+      ext.op = m == "add" ? Op::ADDx : m == "adds" ? Op::ADDSx
+               : m == "sub" ? Op::SUBx : Op::SUBSx;
+      ext.is64 = true;
+      ext.rd = static_cast<std::uint8_t>(rd.index);
+      ext.rn = static_cast<std::uint8_t>(rn.index);
+      ext.rm = static_cast<std::uint8_t>(rm.index);
+      ext.extend = Extend::UXTW;
+      if (ops.size() == 4) applyShiftOperand(line, ext, ops[3]);
+      emit(ext);
+      return true;
+    }
+    inst = makeAddSubReg(it->second.regOp, rd.index, rn.index, rm.index,
+                         Shift::LSL, 0, rd.is64);
+    if (ops.size() == 4) applyShiftOperand(line, inst, ops[3]);
+    emit(inst);
+    return true;
+  }
+
+  // ---- aliases -------------------------------------------------------------
+  if (m == "cmp" || m == "cmn") {
+    expect(line, ops.size() >= 2, "cmp needs rn, op2");
+    const RegOperand rn = r(0);
+    if (isImmediate(ops[1])) {
+      emit(makeAddSubImm(m == "cmp" ? Op::SUBSi : Op::ADDSi, 31, rn.index,
+                         static_cast<std::uint32_t>(imm(line, ops[1])), false,
+                         rn.is64));
+    } else {
+      const RegOperand rm = r(1);
+      Inst inst = makeAddSubReg(m == "cmp" ? Op::SUBSr : Op::ADDSr, 31,
+                                rn.index, rm.index, Shift::LSL, 0, rn.is64);
+      if (ops.size() == 3) applyShiftOperand(line, inst, ops[2]);
+      emit(inst);
+    }
+    return true;
+  }
+  if (m == "tst") {
+    needOps(2);
+    const RegOperand rn = r(0);
+    if (isImmediate(ops[1])) {
+      emit(makeLogicImm(Op::ANDSi, 31, rn.index,
+                        static_cast<std::uint64_t>(imm(line, ops[1])),
+                        rn.is64));
+    } else {
+      emit(makeLogicReg(Op::ANDSr, 31, rn.index, r(1).index, Shift::LSL, 0,
+                        rn.is64));
+    }
+    return true;
+  }
+  if (m == "mov") {
+    needOps(2);
+    const RegOperand rd = r(0);
+    if (rd.isFp || (!isImmediate(ops[1]) && reg(line, ops[1]).isFp)) {
+      // FP move falls through to the FP section below via "fmov".
+      fail(line, "use fmov for FP moves");
+    }
+    if (isImmediate(ops[1])) {
+      const std::int64_t value = imm(line, ops[1]);
+      if (value >= 0 && value <= 0xffff) {
+        emit(makeMoveWide(Op::MOVZ, rd.index, static_cast<std::uint16_t>(value),
+                          0, rd.is64));
+      } else if (value < 0 && ~value <= 0xffff) {
+        emit(makeMoveWide(Op::MOVN, rd.index,
+                          static_cast<std::uint16_t>(~value), 0, rd.is64));
+      } else {
+        // Try a logical immediate (mov rd, #bitmask == orr rd, zr, #imm).
+        emit(makeLogicImm(Op::ORRi, rd.index, 31,
+                          static_cast<std::uint64_t>(value), rd.is64));
+      }
+      return true;
+    }
+    const RegOperand rm = r(1);
+    if (rd.isSp || rm.isSp) {
+      emit(makeAddSubImm(Op::ADDi, rd.index, rm.index, 0, false, true));
+    } else {
+      emit(makeMovReg(rd.index, rm.index, rd.is64));
+    }
+    return true;
+  }
+  if (m == "movz" || m == "movn" || m == "movk") {
+    expect(line, ops.size() >= 2, "needs rd, #imm");
+    const RegOperand rd = r(0);
+    unsigned shift = 0;
+    if (ops.size() == 3) {
+      const std::string lower = toLower(ops[2]);
+      expect(line, lower.rfind("lsl", 0) == 0, "expected lsl shift");
+      shift = static_cast<unsigned>(imm(line, trim(lower.substr(3))));
+    }
+    const Op op = m == "movz" ? Op::MOVZ : m == "movn" ? Op::MOVN : Op::MOVK;
+    emit(makeMoveWide(op, rd.index, static_cast<std::uint16_t>(imm(line, ops[1])),
+                      shift, rd.is64));
+    return true;
+  }
+  if (m == "neg") {
+    needOps(2);
+    const RegOperand rd = r(0);
+    emit(makeAddSubReg(Op::SUBr, rd.index, 31, r(1).index, Shift::LSL, 0,
+                       rd.is64));
+    return true;
+  }
+  if (m == "mul" || m == "mneg") {
+    needOps(3);
+    const RegOperand rd = r(0);
+    emit(makeDp3(m == "mul" ? Op::MADD : Op::MSUB, rd.index, r(1).index,
+                 r(2).index, 31, rd.is64));
+    return true;
+  }
+  if (m == "madd" || m == "msub") {
+    needOps(4);
+    const RegOperand rd = r(0);
+    emit(makeDp3(m == "madd" ? Op::MADD : Op::MSUB, rd.index, r(1).index,
+                 r(2).index, r(3).index, rd.is64));
+    return true;
+  }
+  if (m == "smull") {
+    needOps(3);
+    emit(makeDp3(Op::SMADDL, r(0).index, r(1).index, r(2).index, 31, true));
+    return true;
+  }
+  if (m == "smulh" || m == "umulh") {
+    needOps(3);
+    emit(makeDp3(m == "smulh" ? Op::SMULH : Op::UMULH, r(0).index, r(1).index,
+                 r(2).index, 31, true));
+    return true;
+  }
+  if (m == "sdiv" || m == "udiv") {
+    needOps(3);
+    const RegOperand rd = r(0);
+    emit(makeDp2(m == "sdiv" ? Op::SDIV : Op::UDIV, rd.index, r(1).index,
+                 r(2).index, rd.is64));
+    return true;
+  }
+  if (m == "lsl" || m == "lsr" || m == "asr" || m == "ror") {
+    needOps(3);
+    const RegOperand rd = r(0);
+    const RegOperand rn = r(1);
+    const unsigned ds = rd.is64 ? 64 : 32;
+    if (isImmediate(ops[2])) {
+      const auto amount = static_cast<unsigned>(imm(line, ops[2])) % ds;
+      if (m == "lsl") {
+        emit(makeBitfield(Op::UBFM, rd.index, rn.index,
+                          (ds - amount) % ds, ds - 1 - amount, rd.is64));
+      } else if (m == "lsr") {
+        emit(makeBitfield(Op::UBFM, rd.index, rn.index, amount, ds - 1,
+                          rd.is64));
+      } else if (m == "asr") {
+        emit(makeBitfield(Op::SBFM, rd.index, rn.index, amount, ds - 1,
+                          rd.is64));
+      } else {
+        Inst inst;
+        inst.op = Op::EXTR;
+        inst.is64 = rd.is64;
+        inst.rd = static_cast<std::uint8_t>(rd.index);
+        inst.rn = static_cast<std::uint8_t>(rn.index);
+        inst.rm = static_cast<std::uint8_t>(rn.index);
+        inst.imms = static_cast<std::uint8_t>(amount);
+        emit(inst);
+      }
+    } else {
+      const Op op = m == "lsl" ? Op::LSLV : m == "lsr" ? Op::LSRV
+                    : m == "asr" ? Op::ASRV : Op::RORV;
+      emit(makeDp2(op, rd.index, rn.index, r(2).index, rd.is64));
+    }
+    return true;
+  }
+  if (m == "ubfx" || m == "sbfx") {
+    needOps(4);
+    const RegOperand rd = r(0);
+    const auto lsb = static_cast<unsigned>(imm(line, ops[2]));
+    const auto width = static_cast<unsigned>(imm(line, ops[3]));
+    emit(makeBitfield(m == "ubfx" ? Op::UBFM : Op::SBFM, rd.index, r(1).index,
+                      lsb, lsb + width - 1, rd.is64));
+    return true;
+  }
+  if (m == "sxtw") {
+    needOps(2);
+    emit(makeBitfield(Op::SBFM, r(0).index, r(1).index, 0, 31, true));
+    return true;
+  }
+  if (m == "uxtw") {
+    needOps(2);
+    emit(makeBitfield(Op::UBFM, r(0).index, r(1).index, 0, 31, true));
+    return true;
+  }
+  if (m == "cset") {
+    needOps(2);
+    const RegOperand rd = r(0);
+    const auto cond = condFromName(toLower(ops[1]));
+    expect(line, cond.has_value(), "bad condition");
+    emit(makeCondSel(Op::CSINC, rd.index, 31, 31, invertCond(*cond), rd.is64));
+    return true;
+  }
+  if (m == "csel" || m == "csinc" || m == "csinv" || m == "csneg") {
+    needOps(4);
+    const RegOperand rd = r(0);
+    const auto cond = condFromName(toLower(ops[3]));
+    expect(line, cond.has_value(), "bad condition");
+    const Op op = m == "csel" ? Op::CSEL : m == "csinc" ? Op::CSINC
+                  : m == "csinv" ? Op::CSINV : Op::CSNEG;
+    emit(makeCondSel(op, rd.index, r(1).index, r(2).index, *cond, rd.is64));
+    return true;
+  }
+  if (m == "clz" || m == "rbit" || m == "rev") {
+    needOps(2);
+    const RegOperand rd = r(0);
+    const Op op = m == "clz" ? Op::CLZ : m == "rbit" ? Op::RBIT : Op::REV;
+    Inst inst;
+    inst.op = op;
+    inst.is64 = rd.is64;
+    inst.rd = static_cast<std::uint8_t>(rd.index);
+    inst.rn = static_cast<std::uint8_t>(r(1).index);
+    emit(inst);
+    return true;
+  }
+  if (m == "bic" || m == "orn" || m == "eon") {
+    needOps(3);
+    const RegOperand rd = r(0);
+    const Op op = m == "bic" ? Op::BICr : m == "orn" ? Op::ORNr : Op::EONr;
+    emit(makeLogicReg(op, rd.index, r(1).index, r(2).index, Shift::LSL, 0,
+                      rd.is64));
+    return true;
+  }
+  if (m == "adr" || m == "adrp") {
+    needOps(2);
+    Inst inst;
+    inst.op = m == "adr" ? Op::ADR : Op::ADRP;
+    inst.rd = static_cast<std::uint8_t>(r(0).index);
+    inst.imm = labelOffset(line, ops[1]);
+    if (inst.op == Op::ADRP) inst.imm &= ~0xfffll;
+    emit(inst);
+    return true;
+  }
+
+  // ---- branches --------------------------------------------------------------
+  if (m == "b" || m == "bl") {
+    needOps(1);
+    emit(makeBranch(m == "b" ? Op::B : Op::BL, labelOffset(line, ops[0])));
+    return true;
+  }
+  if (m == "cbz" || m == "cbnz") {
+    needOps(2);
+    const RegOperand rt = r(0);
+    emit(makeCmpBranch(m == "cbz" ? Op::CBZ : Op::CBNZ, rt.index,
+                       labelOffset(line, ops[1]), rt.is64));
+    return true;
+  }
+  if (m == "tbz" || m == "tbnz") {
+    needOps(3);
+    emit(makeTestBranch(m == "tbz" ? Op::TBZ : Op::TBNZ, r(0).index,
+                        static_cast<unsigned>(imm(line, ops[1])),
+                        labelOffset(line, ops[2])));
+    return true;
+  }
+  if (m == "br" || m == "blr") {
+    needOps(1);
+    emit(makeBranchReg(m == "br" ? Op::BR : Op::BLR, r(0).index));
+    return true;
+  }
+  if (m == "ret") {
+    emit(makeBranchReg(Op::RET, ops.empty() ? 30 : r(0).index));
+    return true;
+  }
+  if (m == "nop") {
+    emit(Inst{.op = Op::NOP});
+    return true;
+  }
+  if (m == "svc") {
+    needOps(1);
+    emit(makeSvc(static_cast<std::uint16_t>(imm(line, ops[0]))));
+    return true;
+  }
+
+  // ---- FP -----------------------------------------------------------------------
+  static const std::map<std::string, std::pair<Op, Op>, std::less<>> kFp2 = {
+      {"fadd", {Op::FADD_S, Op::FADD_D}},
+      {"fsub", {Op::FSUB_S, Op::FSUB_D}},
+      {"fmul", {Op::FMUL_S, Op::FMUL_D}},
+      {"fdiv", {Op::FDIV_S, Op::FDIV_D}},
+      {"fnmul", {Op::FNMUL_S, Op::FNMUL_D}},
+      {"fmax", {Op::FMAX_S, Op::FMAX_D}},
+      {"fmin", {Op::FMIN_S, Op::FMIN_D}},
+      {"fmaxnm", {Op::FMAXNM_S, Op::FMAXNM_D}},
+      {"fminnm", {Op::FMINNM_S, Op::FMINNM_D}}};
+  if (const auto it = kFp2.find(m); it != kFp2.end()) {
+    needOps(3);
+    const RegOperand rd = r(0);
+    expect(line, rd.isFp, "FP op needs FP registers");
+    emit(makeFp2(rd.single ? it->second.first : it->second.second, rd.index,
+                 r(1).index, r(2).index));
+    return true;
+  }
+  static const std::map<std::string, std::pair<Op, Op>, std::less<>> kFp1 = {
+      {"fabs", {Op::FABS_S, Op::FABS_D}},
+      {"fneg", {Op::FNEG_S, Op::FNEG_D}},
+      {"fsqrt", {Op::FSQRT_S, Op::FSQRT_D}}};
+  if (const auto it = kFp1.find(m); it != kFp1.end()) {
+    needOps(2);
+    const RegOperand rd = r(0);
+    emit(makeFp1(rd.single ? it->second.first : it->second.second, rd.index,
+                 r(1).index));
+    return true;
+  }
+  static const std::map<std::string, std::pair<Op, Op>, std::less<>> kFp3 = {
+      {"fmadd", {Op::FMADD_S, Op::FMADD_D}},
+      {"fmsub", {Op::FMSUB_S, Op::FMSUB_D}},
+      {"fnmadd", {Op::FNMADD_S, Op::FNMADD_D}},
+      {"fnmsub", {Op::FNMSUB_S, Op::FNMSUB_D}}};
+  if (const auto it = kFp3.find(m); it != kFp3.end()) {
+    needOps(4);
+    const RegOperand rd = r(0);
+    emit(makeFp3(rd.single ? it->second.first : it->second.second, rd.index,
+                 r(1).index, r(2).index, r(3).index));
+    return true;
+  }
+  if (m == "fcmp" || m == "fcmpe") {
+    needOps(2);
+    const RegOperand rn = r(0);
+    if (isImmediate(ops[1]) || ops[1] == "#0.0") {
+      Inst inst;
+      inst.op = m == "fcmp" ? (rn.single ? Op::FCMPZ_S : Op::FCMPZ_D)
+                            : (rn.single ? Op::FCMPEZ_S : Op::FCMPEZ_D);
+      inst.rn = static_cast<std::uint8_t>(rn.index);
+      emit(inst);
+    } else {
+      const Op op = m == "fcmp" ? (rn.single ? Op::FCMP_S : Op::FCMP_D)
+                                : (rn.single ? Op::FCMPE_S : Op::FCMPE_D);
+      emit(makeFpCmp(op, rn.index, r(1).index));
+    }
+    return true;
+  }
+  if (m == "fcsel") {
+    needOps(4);
+    const RegOperand rd = r(0);
+    const auto cond = condFromName(toLower(ops[3]));
+    expect(line, cond.has_value(), "bad condition");
+    emit(makeFpCsel(rd.single ? Op::FCSEL_S : Op::FCSEL_D, rd.index,
+                    r(1).index, r(2).index, *cond));
+    return true;
+  }
+  if (m == "fcvt") {
+    needOps(2);
+    const RegOperand rd = r(0);
+    const RegOperand rn = r(1);
+    expect(line, rd.isFp && rn.isFp && rd.single != rn.single,
+           "fcvt needs one s and one d register");
+    emit(makeFp1(rd.single ? Op::FCVT_DS : Op::FCVT_SD, rd.index, rn.index));
+    return true;
+  }
+  if (m == "scvtf" || m == "ucvtf") {
+    needOps(2);
+    const RegOperand rd = r(0);
+    const RegOperand rn = r(1);
+    expect(line, rd.isFp && !rn.isFp, "scvtf needs FP dest, int source");
+    const Op op = m == "scvtf" ? (rd.single ? Op::SCVTF_S : Op::SCVTF_D)
+                               : (rd.single ? Op::UCVTF_S : Op::UCVTF_D);
+    emit(makeFpIntCvt(op, rd.index, rn.index, rn.is64));
+    return true;
+  }
+  if (m == "fcvtzs" || m == "fcvtzu") {
+    needOps(2);
+    const RegOperand rd = r(0);
+    const RegOperand rn = r(1);
+    expect(line, !rd.isFp && rn.isFp, "fcvtz needs int dest, FP source");
+    const Op op = m == "fcvtzs" ? (rn.single ? Op::FCVTZS_S : Op::FCVTZS_D)
+                                : (rn.single ? Op::FCVTZU_S : Op::FCVTZU_D);
+    emit(makeFpIntCvt(op, rd.index, rn.index, rd.is64));
+    return true;
+  }
+  if (m == "fmov") {
+    needOps(2);
+    const RegOperand rd = r(0);
+    if (isImmediate(ops[1]) || ops[1].find('.') != std::string::npos) {
+      std::string text = ops[1];
+      if (!text.empty() && text[0] == '#') text = text.substr(1);
+      const double value = std::stod(text);
+      const auto imm8 = doubleToFpImm8(value);
+      expect(line, imm8.has_value(), "fmov immediate not encodable");
+      Inst inst;
+      inst.op = rd.single ? Op::FMOV_Simm : Op::FMOV_Dimm;
+      inst.rd = static_cast<std::uint8_t>(rd.index);
+      inst.imm = *imm8;
+      emit(inst);
+      return true;
+    }
+    const RegOperand rn = r(1);
+    if (rd.isFp && rn.isFp) {
+      emit(makeFp1(rd.single ? Op::FMOV_S : Op::FMOV_D, rd.index, rn.index));
+    } else if (rd.isFp) {
+      emit(makeFpIntCvt(rd.single ? Op::FMOV_SW : Op::FMOV_DX, rd.index,
+                        rn.index, rn.is64));
+    } else {
+      emit(makeFpIntCvt(rn.single ? Op::FMOV_WS : Op::FMOV_XD, rd.index,
+                        rn.index, rd.is64));
+    }
+    return true;
+  }
+
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> assemble(std::string_view source,
+                                    std::uint64_t base) {
+  const Listing listing = firstPass(source);
+  SecondPass pass(listing, base);
+  return pass.run();
+}
+
+}  // namespace riscmp::a64

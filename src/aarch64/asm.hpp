@@ -1,0 +1,35 @@
+// Two-pass AArch64 text assembler.
+//
+// Accepts GNU-style A64 assembly: one instruction or label per line, `//`
+// and `#`-at-start comments, X/W/D/S register names, `#imm` immediates,
+// bracketed memory operands in all five addressing modes
+// ([Xn], [Xn, #imm], [Xn, #imm]!, [Xn], #imm, [Xn, Xm{, lsl|sxtw #s}]),
+// label operands on branches, and the common aliases
+// (cmp, cmn, tst, mov, neg, mul, mneg, smull, cset, lsl/lsr/asr immediate,
+// sxtw, b.<cond>, cbz/cbnz, ret).
+//
+// Primarily a test and example facility; the kernel compiler emits encoded
+// instructions directly.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace riscmp::a64 {
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(const std::string& message, int line)
+      : std::runtime_error("a64 asm: line " + std::to_string(line) + ": " +
+                           message) {}
+};
+
+/// Assemble a listing into machine words. `base` is the address of the
+/// first instruction.
+std::vector<std::uint32_t> assemble(std::string_view source,
+                                    std::uint64_t base = 0);
+
+}  // namespace riscmp::a64

@@ -1,0 +1,95 @@
+#include "aarch64/bitmask.hpp"
+
+#include "support/bits.hpp"
+
+namespace riscmp::a64 {
+namespace {
+
+/// Number of leading zeros in a 6-bit-or-wider field viewed as 7 bits,
+/// mirroring the ARM ARM's HighestSetBit usage in DecodeBitMasks.
+int highestSetBit(std::uint32_t v) {
+  for (int i = 31; i >= 0; --i) {
+    if (v & (1u << i)) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> decodeBitmask(unsigned n, unsigned immr,
+                                           unsigned imms, unsigned regSize) {
+  // len = HighestSetBit(N:NOT(imms))
+  const std::uint32_t combined = (n << 6) | (~imms & 0x3f);
+  const int len = highestSetBit(combined);
+  if (len < 1) return std::nullopt;
+  const unsigned size = 1u << len;  // element size: 2,4,8,16,32,64
+  if (size > regSize) return std::nullopt;
+
+  const unsigned levels = size - 1;
+  const unsigned s = imms & levels;
+  const unsigned r = immr & levels;
+  if (s == levels) return std::nullopt;  // all-ones element is reserved
+
+  // Element: (s+1) ones, rotated right by r, replicated to regSize.
+  const std::uint64_t ones =
+      (s + 1 >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << (s + 1)) - 1);
+  const std::uint64_t element = rotateRight(ones, r, size);
+  std::uint64_t result = 0;
+  for (unsigned pos = 0; pos < regSize; pos += size) result |= element << pos;
+  return result;
+}
+
+std::optional<BitmaskFields> encodeBitmask(std::uint64_t value,
+                                           unsigned regSize) {
+  if (regSize == 32) {
+    if (value >> 32) return std::nullopt;
+    // A 32-bit immediate must replicate into 64 bits for the search below.
+    value |= value << 32;
+  }
+  // Zero and all-ones are not encodable at any element size.
+  if (value == 0 || value == ~std::uint64_t{0}) return std::nullopt;
+
+  // Try element sizes from smallest to largest so the canonical (smallest
+  // repeating element) encoding is produced, matching GNU as.
+  for (unsigned size = 2; size <= 64; size <<= 1) {
+    if (regSize == 32 && size > 32) break;
+    const std::uint64_t mask =
+        size >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << size) - 1);
+    const std::uint64_t element = value & mask;
+    if (replicate(element, size) != value) continue;
+
+    // Find a rotation r such that rotating left by r yields a contiguous
+    // run of ones starting at bit 0.
+    for (unsigned r = 0; r < size; ++r) {
+      const std::uint64_t rotated =
+          rotateRight(element, (size - r) % size, size);  // rotate left by r
+      // rotated must be of the form (1 << (s+1)) - 1.
+      if ((rotated & (rotated + 1)) != 0) continue;
+      unsigned s = 0;
+      std::uint64_t probe = rotated;
+      while (probe >>= 1) ++s;
+      if (rotated != ((s + 1 >= 64) ? ~std::uint64_t{0}
+                                    : ((std::uint64_t{1} << (s + 1)) - 1))) {
+        continue;
+      }
+      BitmaskFields fields;
+      fields.n = size == 64 ? 1 : 0;
+      // decode computes element = ROR(ones, immr); since ROL(element, r)
+      // == ones, the rotate amount is exactly r.
+      fields.immr = static_cast<std::uint8_t>(r);
+      // imms: high bits encode the element size, low bits the run length.
+      const unsigned sizeField = 0x3f & ~(2 * size - 1);  // e.g. size 8 -> 0x30
+      fields.imms = static_cast<std::uint8_t>(sizeField | s);
+      // Verify by decoding (guards against edge cases in the search).
+      const auto check = decodeBitmask(fields.n, fields.immr, fields.imms,
+                                       regSize == 32 ? 32 : 64);
+      if (check &&
+          *check == (regSize == 32 ? (value & 0xffffffffull) : value)) {
+        return fields;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace riscmp::a64

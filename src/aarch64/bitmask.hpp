@@ -1,0 +1,29 @@
+// AArch64 logical ("bitmask") immediate encoding.
+//
+// Logical immediates are the values expressible as a rotated replication of
+// a run of ones (ARM ARM, DecodeBitMasks). Encoding searches the candidate
+// space; decoding follows the architectural pseudocode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace riscmp::a64 {
+
+struct BitmaskFields {
+  std::uint8_t n = 0;     ///< 1 selects the 64-bit element size
+  std::uint8_t immr = 0;  ///< rotate amount
+  std::uint8_t imms = 0;  ///< element size + run length
+};
+
+/// Decode (N, immr, imms) to the immediate value for a `regSize`-bit
+/// operation (32 or 64). Returns std::nullopt for reserved encodings.
+std::optional<std::uint64_t> decodeBitmask(unsigned n, unsigned immr,
+                                           unsigned imms, unsigned regSize);
+
+/// Find the field encoding for `value`, or std::nullopt when `value` is not
+/// a valid logical immediate (e.g. 0 and all-ones are never encodable).
+std::optional<BitmaskFields> encodeBitmask(std::uint64_t value,
+                                           unsigned regSize);
+
+}  // namespace riscmp::a64

@@ -1,0 +1,388 @@
+#include "aarch64/decode.hpp"
+
+#include "aarch64/bitmask.hpp"
+#include "support/bits.hpp"
+
+namespace riscmp::a64 {
+namespace {
+
+std::uint8_t rdField(std::uint32_t word) {
+  return static_cast<std::uint8_t>(bits(word, 4u, 0u));
+}
+std::uint8_t rnField(std::uint32_t word) {
+  return static_cast<std::uint8_t>(bits(word, 9u, 5u));
+}
+std::uint8_t rmField(std::uint32_t word) {
+  return static_cast<std::uint8_t>(bits(word, 20u, 16u));
+}
+std::uint8_t raField(std::uint32_t word) {
+  return static_cast<std::uint8_t>(bits(word, 14u, 10u));
+}
+
+std::int64_t branchOffset(std::uint32_t word, unsigned hi, unsigned lo) {
+  return signExtend(bits(word, hi, lo), hi - lo + 1) * 4;
+}
+
+/// Map (size, V, opc) of the load/store register family to an opcode.
+std::optional<Op> loadStoreOp(unsigned size, unsigned v, unsigned opc) {
+  if (v == 0) {
+    switch (size) {
+      case 0:
+        if (opc == 0) return Op::STRB;
+        if (opc == 1) return Op::LDRB;
+        if (opc == 2) return Op::LDRSB;
+        return std::nullopt;  // LDRSB to W unsupported
+      case 1:
+        if (opc == 0) return Op::STRH;
+        if (opc == 1) return Op::LDRH;
+        if (opc == 2) return Op::LDRSH;
+        return std::nullopt;
+      case 2:
+        if (opc == 0) return Op::STRW;
+        if (opc == 1) return Op::LDRW;
+        if (opc == 2) return Op::LDRSW;
+        return std::nullopt;
+      default:
+        if (opc == 0) return Op::STRX;
+        if (opc == 1) return Op::LDRX;
+        return std::nullopt;  // PRFM
+    }
+  }
+  if (size == 2) {
+    if (opc == 0) return Op::STRS;
+    if (opc == 1) return Op::LDRS;
+    return std::nullopt;
+  }
+  if (size == 3) {
+    if (opc == 0) return Op::STRD;
+    if (opc == 1) return Op::LDRD;
+    return std::nullopt;
+  }
+  return std::nullopt;  // B/H/Q FP accesses unsupported
+}
+
+std::optional<Inst> decodeLoadStoreFamily(std::uint32_t word) {
+  Inst inst;
+  inst.rd = rdField(word);
+
+  // Load literal: opc(31:30) 011 V 00 imm19 Rt — note the Rn field bits
+  // belong to imm19 here, so Rn must stay clear.
+  if ((word & 0x3b000000u) == 0x18000000u) {
+    const unsigned opc = bits(word, 31u, 30u);
+    const unsigned v = bit(word, 26u);
+    if (v == 0) {
+      if (opc == 0) inst.op = Op::LDR_LIT_W;
+      else if (opc == 1) inst.op = Op::LDR_LIT_X;
+      else if (opc == 2) inst.op = Op::LDR_LIT_SW;
+      else return std::nullopt;
+    } else {
+      if (opc == 0) inst.op = Op::LDR_LIT_S;
+      else if (opc == 1) inst.op = Op::LDR_LIT_D;
+      else return std::nullopt;
+    }
+    inst.mode = AddrMode::Literal;
+    inst.imm = branchOffset(word, 23u, 5u);
+    return inst;
+  }
+
+  inst.rn = rnField(word);
+
+  // Load/store pair: opc(31:30) 101 V 0 mode(24:23) L imm7 Rt2 Rn Rt
+  if ((word & 0x3a000000u) == 0x28000000u) {
+    const unsigned opc = bits(word, 31u, 30u);
+    const unsigned v = bit(word, 26u);
+    const unsigned modeBits = bits(word, 24u, 23u);
+    const unsigned l = bit(word, 22u);
+    if (v == 0 && opc == 2) {
+      inst.op = l ? Op::LDP_X : Op::STP_X;
+    } else if (v == 1 && opc == 1) {
+      inst.op = l ? Op::LDP_D : Op::STP_D;
+    } else {
+      return std::nullopt;  // W pairs / Q pairs unsupported
+    }
+    switch (modeBits) {
+      case 1:
+        inst.mode = AddrMode::PostIndex;
+        break;
+      case 2:
+        inst.mode = AddrMode::Offset;
+        break;
+      case 3:
+        inst.mode = AddrMode::PreIndex;
+        break;
+      default:
+        return std::nullopt;  // no-allocate variants
+    }
+    inst.rt2 = static_cast<std::uint8_t>(bits(word, 14u, 10u));
+    inst.imm = signExtend(bits(word, 21u, 15u), 7) * 8;
+    return inst;
+  }
+
+  const unsigned size = bits(word, 31u, 30u);
+  const unsigned v = bit(word, 26u);
+  const unsigned opc = bits(word, 23u, 22u);
+
+  // Unsigned scaled offset: size 111 V 01 opc imm12 Rn Rt
+  if ((word & 0x3b000000u) == 0x39000000u) {
+    const auto op = loadStoreOp(size, v, opc);
+    if (!op) return std::nullopt;
+    inst.op = *op;
+    inst.mode = AddrMode::Offset;
+    inst.imm = static_cast<std::int64_t>(bits(word, 21u, 10u)) *
+               opInfo(*op).memSize;
+    return inst;
+  }
+
+  // imm9 family: size 111 V 00 opc 0 imm9 mode2 Rn Rt
+  if ((word & 0x3b200000u) == 0x38000000u) {
+    const auto op = loadStoreOp(size, v, opc);
+    if (!op) return std::nullopt;
+    inst.op = *op;
+    switch (bits(word, 11u, 10u)) {
+      case 0:
+        inst.mode = AddrMode::Unscaled;
+        break;
+      case 1:
+        inst.mode = AddrMode::PostIndex;
+        break;
+      case 3:
+        inst.mode = AddrMode::PreIndex;
+        break;
+      default:
+        return std::nullopt;  // unprivileged variants
+    }
+    inst.imm = signExtend(bits(word, 20u, 12u), 9);
+    return inst;
+  }
+
+  // Register offset: size 111 V 00 opc 1 Rm option S 10 Rn Rt
+  if ((word & 0x3b200c00u) == 0x38200800u) {
+    const auto op = loadStoreOp(size, v, opc);
+    if (!op) return std::nullopt;
+    inst.op = *op;
+    inst.mode = AddrMode::RegOffset;
+    inst.rm = rmField(word);
+    inst.extend = static_cast<Extend>(bits(word, 15u, 13u));
+    inst.extAmount =
+        bit(word, 12u)
+            ? static_cast<std::uint8_t>(
+                  opInfo(*op).memSize == 8   ? 3
+                  : opInfo(*op).memSize == 4 ? 2
+                  : opInfo(*op).memSize == 2 ? 1
+                                             : 0)
+            : 0;
+    return inst;
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Inst> decode(std::uint32_t word) {
+  // Loads/stores occupy the op0 = x1x0 encoding space (bit 27 set, bit 25
+  // clear) and are decoded structurally.
+  if ((word & 0x0a000000u) == 0x08000000u) {
+    return decodeLoadStoreFamily(word);
+  }
+
+  for (const OpInfo& info : detail::opTable()) {
+    if (info.mask == 0) continue;  // structurally decoded class
+    if ((word & info.mask) != info.match) continue;
+
+    Inst inst;
+    inst.op = info.op;
+    inst.is64 = info.sfFixed() ? true : bit(word, 31u) != 0;
+    if (info.op == Op::FMOV_WS || info.op == Op::FMOV_SW) inst.is64 = false;
+
+    switch (info.cls) {
+      case Cls::AddSubImm:
+        inst.rd = rdField(word);
+        inst.rn = rnField(word);
+        inst.imm = static_cast<std::int64_t>(bits(word, 21u, 10u));
+        inst.shiftAmount = bit(word, 22u) ? 12 : 0;
+        return inst;
+
+      case Cls::LogicImm: {
+        inst.rd = rdField(word);
+        inst.rn = rnField(word);
+        const auto value =
+            decodeBitmask(bit(word, 22u), bits(word, 21u, 16u),
+                          bits(word, 15u, 10u), inst.is64 ? 64 : 32);
+        if (!value) return std::nullopt;
+        inst.bitmask = *value;
+        return inst;
+      }
+
+      case Cls::MoveWide:
+        inst.rd = rdField(word);
+        inst.imm = static_cast<std::int64_t>(bits(word, 20u, 5u));
+        inst.shiftAmount = static_cast<std::uint8_t>(bits(word, 22u, 21u) * 16);
+        if (!inst.is64 && inst.shiftAmount > 16) return std::nullopt;
+        return inst;
+
+      case Cls::PcRel: {
+        inst.rd = rdField(word);
+        const std::int64_t value = signExtend(
+            (bits(word, 23u, 5u) << 2) | bits(word, 30u, 29u), 21);
+        inst.imm = info.op == Op::ADRP ? (value << 12) : value;
+        inst.is64 = true;
+        return inst;
+      }
+
+      case Cls::Bitfield:
+        if (bit(word, 22u) != (inst.is64 ? 1u : 0u)) return std::nullopt;
+        inst.rd = rdField(word);
+        inst.rn = rnField(word);
+        inst.immr = static_cast<std::uint8_t>(bits(word, 21u, 16u));
+        inst.imms = static_cast<std::uint8_t>(bits(word, 15u, 10u));
+        return inst;
+
+      case Cls::Extract:
+        if (bit(word, 22u) != (inst.is64 ? 1u : 0u)) return std::nullopt;
+        inst.rd = rdField(word);
+        inst.rn = rnField(word);
+        inst.rm = rmField(word);
+        inst.imms = static_cast<std::uint8_t>(bits(word, 15u, 10u));
+        return inst;
+
+      case Cls::AddSubShifted:
+      case Cls::LogicShifted:
+        inst.rd = rdField(word);
+        inst.rn = rnField(word);
+        inst.rm = rmField(word);
+        inst.shift = static_cast<Shift>(bits(word, 23u, 22u));
+        inst.shiftAmount = static_cast<std::uint8_t>(bits(word, 15u, 10u));
+        if (info.cls == Cls::AddSubShifted && inst.shift == Shift::ROR) {
+          return std::nullopt;
+        }
+        return inst;
+
+      case Cls::AddSubExt:
+        inst.rd = rdField(word);
+        inst.rn = rnField(word);
+        inst.rm = rmField(word);
+        inst.extend = static_cast<Extend>(bits(word, 15u, 13u));
+        inst.extAmount = static_cast<std::uint8_t>(bits(word, 12u, 10u));
+        if (inst.extAmount > 4) return std::nullopt;
+        return inst;
+
+      case Cls::DP2:
+      case Cls::FpDp2:
+        if (info.cls == Cls::FpDp2) inst.is64 = true;
+        inst.rd = rdField(word);
+        inst.rn = rnField(word);
+        inst.rm = rmField(word);
+        return inst;
+
+      case Cls::DP1:
+      case Cls::FpDp1:
+        if (info.cls == Cls::FpDp1) inst.is64 = true;
+        inst.rd = rdField(word);
+        inst.rn = rnField(word);
+        return inst;
+
+      case Cls::DP3:
+      case Cls::FpDp3:
+        if (info.cls == Cls::FpDp3) inst.is64 = true;
+        inst.rd = rdField(word);
+        inst.rn = rnField(word);
+        inst.rm = rmField(word);
+        if (info.op != Op::SMULH && info.op != Op::UMULH) {
+          inst.ra = raField(word);
+        } else {
+          inst.ra = 31;  // Ra is hard-wired to 11111 in the encoding
+        }
+        return inst;
+
+      case Cls::CondSel:
+      case Cls::FpCsel:
+        if (info.cls == Cls::FpCsel) inst.is64 = true;
+        inst.rd = rdField(word);
+        inst.rn = rnField(word);
+        inst.rm = rmField(word);
+        inst.cond = static_cast<Cond>(bits(word, 15u, 12u));
+        return inst;
+
+      case Cls::CondCmpImm:
+        inst.rn = rnField(word);
+        inst.imm = static_cast<std::int64_t>(bits(word, 20u, 16u));
+        inst.cond = static_cast<Cond>(bits(word, 15u, 12u));
+        inst.imms = static_cast<std::uint8_t>(bits(word, 3u, 0u));
+        return inst;
+
+      case Cls::CondCmpReg:
+        inst.rn = rnField(word);
+        inst.rm = rmField(word);
+        inst.cond = static_cast<Cond>(bits(word, 15u, 12u));
+        inst.imms = static_cast<std::uint8_t>(bits(word, 3u, 0u));
+        return inst;
+
+      case Cls::Branch26:
+        inst.imm = branchOffset(word, 25u, 0u);
+        inst.is64 = true;
+        return inst;
+
+      case Cls::CondBranch:
+        inst.imm = branchOffset(word, 23u, 5u);
+        inst.cond = static_cast<Cond>(bits(word, 3u, 0u));
+        inst.is64 = true;
+        return inst;
+
+      case Cls::CmpBranch:
+        inst.rd = rdField(word);
+        inst.imm = branchOffset(word, 23u, 5u);
+        return inst;
+
+      case Cls::TestBranch:
+        inst.rd = rdField(word);
+        inst.immr = static_cast<std::uint8_t>((bit(word, 31u) << 5) |
+                                              bits(word, 23u, 19u));
+        inst.imm = branchOffset(word, 18u, 5u);
+        inst.is64 = true;
+        return inst;
+
+      case Cls::BranchReg:
+        inst.rn = rnField(word);
+        inst.is64 = true;
+        return inst;
+
+      case Cls::Sys:
+        if (info.op == Op::SVC) {
+          inst.imm = static_cast<std::int64_t>(bits(word, 20u, 5u));
+        }
+        inst.is64 = true;
+        return inst;
+
+      case Cls::FpCmp:
+        inst.rn = rnField(word);
+        inst.rm = rmField(word);
+        inst.is64 = true;
+        return inst;
+
+      case Cls::FpCmpZero:
+        inst.rn = rnField(word);
+        inst.is64 = true;
+        return inst;
+
+      case Cls::FpImm:
+        inst.rd = rdField(word);
+        inst.imm = static_cast<std::int64_t>(bits(word, 20u, 13u));
+        inst.is64 = true;
+        return inst;
+
+      case Cls::FpIntCvt:
+        inst.rd = rdField(word);
+        inst.rn = rnField(word);
+        return inst;
+
+      case Cls::LoadStore:
+      case Cls::LoadStorePair:
+      case Cls::LoadLiteral:
+        return std::nullopt;  // handled structurally above
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace riscmp::a64

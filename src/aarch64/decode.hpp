@@ -1,0 +1,15 @@
+// AArch64 instruction decoder.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "aarch64/inst.hpp"
+
+namespace riscmp::a64 {
+
+/// Decode a 32-bit machine word. Returns std::nullopt for encodings outside
+/// the supported Armv8-a scalar subset.
+std::optional<Inst> decode(std::uint32_t word);
+
+}  // namespace riscmp::a64

@@ -1,0 +1,466 @@
+#include "aarch64/disasm.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "aarch64/decode.hpp"
+#include "aarch64/encode.hpp"
+
+namespace riscmp::a64 {
+namespace {
+
+std::string hex(std::uint64_t v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buffer;
+}
+
+std::string immStr(std::int64_t v) { return "#" + std::to_string(v); }
+
+constexpr std::array<std::string_view, 4> kShiftNames = {"lsl", "lsr", "asr",
+                                                         "ror"};
+constexpr std::array<std::string_view, 8> kExtendNames = {
+    "uxtb", "uxth", "uxtw", "uxtx", "sxtb", "sxth", "sxtw", "sxtx"};
+
+class Printer {
+ public:
+  Printer(const Inst& inst, std::uint64_t pc) : inst_(inst), pc_(pc) {}
+
+  std::string render() {
+    const OpInfo& info = inst_.info();
+    if (renderAlias()) return out_;
+    if (info.cls == Cls::LoadStore || info.cls == Cls::LoadStorePair ||
+        info.cls == Cls::LoadLiteral) {
+      renderLoadStore();
+      return out_;
+    }
+    renderGeneric();
+    return out_;
+  }
+
+ private:
+  void mnemonic(std::string_view m) { out_ += m; }
+  void sep() { out_ += out_.find(' ') == std::string::npos ? " " : ", "; }
+  void add(std::string_view text) {
+    sep();
+    out_ += text;
+  }
+  void gpr(unsigned r, bool spForm = false) {
+    add(gprName(r, inst_.is64, spForm));
+  }
+  void fpr(unsigned r) { add(fprName(r, inst_.info().fpSingle())); }
+  void dataReg(unsigned r, bool spForm = false) {
+    if (inst_.info().fpData()) fpr(r);
+    else gpr(r, spForm);
+  }
+  void imm(std::int64_t v) { add(immStr(v)); }
+  void target() {
+    if (pc_) add(hex(pc_ + static_cast<std::uint64_t>(inst_.imm)));
+    else add(immStr(inst_.imm));
+  }
+  void shiftSuffix() {
+    if (inst_.shiftAmount == 0 && inst_.shift == Shift::LSL) return;
+    add(kShiftNames[static_cast<unsigned>(inst_.shift)]);
+    out_ += " #" + std::to_string(inst_.shiftAmount);
+  }
+
+  bool renderAlias() {
+    const unsigned ds = inst_.is64 ? 64 : 32;
+    switch (inst_.op) {
+      case Op::SUBSi:
+        if (inst_.rd != 31) return false;
+        mnemonic("cmp");
+        gpr(inst_.rn, true);
+        imm(inst_.imm);
+        if (inst_.shiftAmount == 12) add("lsl #12");
+        return true;
+      case Op::SUBSr:
+        if (inst_.rd != 31) return false;
+        mnemonic("cmp");
+        gpr(inst_.rn);
+        gpr(inst_.rm);
+        shiftSuffix();
+        return true;
+      case Op::ADDSi:
+        if (inst_.rd != 31) return false;
+        mnemonic("cmn");
+        gpr(inst_.rn, true);
+        imm(inst_.imm);
+        return true;
+      case Op::ANDSr:
+        if (inst_.rd != 31) return false;
+        mnemonic("tst");
+        gpr(inst_.rn);
+        gpr(inst_.rm);
+        shiftSuffix();
+        return true;
+      case Op::ORRr:
+        if (inst_.rn != 31 || inst_.shiftAmount != 0) return false;
+        mnemonic("mov");
+        gpr(inst_.rd);
+        gpr(inst_.rm);
+        return true;
+      case Op::MOVZ:
+        if (inst_.shiftAmount != 0) return false;
+        mnemonic("mov");
+        gpr(inst_.rd);
+        imm(inst_.imm);
+        return true;
+      case Op::ADDi:
+        if (inst_.imm != 0 || (inst_.rd != 31 && inst_.rn != 31)) return false;
+        mnemonic("mov");
+        gpr(inst_.rd, true);
+        gpr(inst_.rn, true);
+        return true;
+      case Op::SUBr:
+        if (inst_.rn != 31) return false;
+        mnemonic("neg");
+        gpr(inst_.rd);
+        gpr(inst_.rm);
+        shiftSuffix();
+        return true;
+      case Op::MADD:
+        if (inst_.ra != 31) return false;
+        mnemonic("mul");
+        gpr(inst_.rd);
+        gpr(inst_.rn);
+        gpr(inst_.rm);
+        return true;
+      case Op::MSUB:
+        if (inst_.ra != 31) return false;
+        mnemonic("mneg");
+        gpr(inst_.rd);
+        gpr(inst_.rn);
+        gpr(inst_.rm);
+        return true;
+      case Op::SMADDL:
+        if (inst_.ra != 31) return false;
+        mnemonic("smull");
+        gpr(inst_.rd);
+        out_ += ", ";
+        out_ += gprName(inst_.rn, false);
+        out_ += ", ";
+        out_ += gprName(inst_.rm, false);
+        return true;
+      case Op::CSINC:
+        if (inst_.rn == 31 && inst_.rm == 31) {
+          mnemonic("cset");
+          gpr(inst_.rd);
+          add(condName(invertCond(inst_.cond)));
+          return true;
+        }
+        return false;
+      case Op::UBFM: {
+        // lsl / lsr / ubfx aliases.
+        if (inst_.imms + 1 == inst_.immr && inst_.imms != ds - 1) {
+          mnemonic("lsl");
+          gpr(inst_.rd);
+          gpr(inst_.rn);
+          imm(static_cast<std::int64_t>(ds - 1 - inst_.imms));
+          return true;
+        }
+        if (inst_.imms == ds - 1) {
+          mnemonic("lsr");
+          gpr(inst_.rd);
+          gpr(inst_.rn);
+          imm(inst_.immr);
+          return true;
+        }
+        mnemonic("ubfx");
+        gpr(inst_.rd);
+        gpr(inst_.rn);
+        imm(inst_.immr);
+        imm(inst_.imms - inst_.immr + 1);
+        return true;
+      }
+      case Op::SBFM:
+        if (inst_.imms == ds - 1) {
+          mnemonic("asr");
+          gpr(inst_.rd);
+          gpr(inst_.rn);
+          imm(inst_.immr);
+          return true;
+        }
+        if (inst_.immr == 0 && inst_.imms == 31 && inst_.is64) {
+          mnemonic("sxtw");
+          gpr(inst_.rd);
+          out_ += ", ";
+          out_ += gprName(inst_.rn, false);
+          return true;
+        }
+        mnemonic("sbfx");
+        gpr(inst_.rd);
+        gpr(inst_.rn);
+        imm(inst_.immr);
+        imm(inst_.imms - inst_.immr + 1);
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  void renderLoadStore() {
+    const OpInfo& info = inst_.info();
+    mnemonic(info.mnemonic);
+    // Transfer register: W form for 32-bit integer accesses.
+    if (info.fpData()) {
+      fpr(inst_.rd);
+    } else {
+      const bool wide = info.memSize == 8 || inst_.op == Op::LDRSB ||
+                        inst_.op == Op::LDRSH || inst_.op == Op::LDRSW ||
+                        inst_.op == Op::LDR_LIT_X || inst_.op == Op::LDR_LIT_SW;
+      add(gprName(inst_.rd, wide));
+    }
+    if (info.cls == Cls::LoadStorePair) {
+      if (info.fpData()) fpr(inst_.rt2);
+      else add(gprName(inst_.rt2, true));
+    }
+    if (info.cls == Cls::LoadLiteral) {
+      target();
+      return;
+    }
+    sep();
+    out_ += "[";
+    out_ += gprName(inst_.rn, true, true);
+    switch (inst_.mode) {
+      case AddrMode::Offset:
+      case AddrMode::Unscaled:
+        if (inst_.imm != 0) out_ += ", " + immStr(inst_.imm);
+        out_ += "]";
+        break;
+      case AddrMode::PreIndex:
+        out_ += ", " + immStr(inst_.imm) + "]!";
+        break;
+      case AddrMode::PostIndex:
+        out_ += "], " + immStr(inst_.imm);
+        break;
+      case AddrMode::RegOffset: {
+        const bool wOffset = inst_.extend == Extend::UXTW ||
+                             inst_.extend == Extend::SXTW;
+        out_ += ", ";
+        out_ += gprName(inst_.rm, !wOffset);
+        if (inst_.extend == Extend::UXTX) {
+          if (inst_.extAmount != 0) {
+            out_ += ", lsl #" + std::to_string(inst_.extAmount);
+          }
+        } else {
+          out_ += ", ";
+          out_ += kExtendNames[static_cast<unsigned>(inst_.extend)];
+          if (inst_.extAmount != 0) {
+            out_ += " #" + std::to_string(inst_.extAmount);
+          }
+        }
+        out_ += "]";
+        break;
+      }
+      case AddrMode::Literal:
+        break;
+    }
+  }
+
+  void renderGeneric() {
+    const OpInfo& info = inst_.info();
+    if (inst_.op == Op::BCOND) {
+      out_ += "b.";
+      out_ += condName(inst_.cond);
+      target();
+      return;
+    }
+    mnemonic(info.mnemonic);
+    switch (info.cls) {
+      case Cls::AddSubImm:
+        gpr(inst_.rd, !info.setsFlags());
+        gpr(inst_.rn, true);
+        imm(inst_.imm);
+        if (inst_.shiftAmount == 12) add("lsl #12");
+        break;
+      case Cls::LogicImm:
+        gpr(inst_.rd, !info.setsFlags());
+        gpr(inst_.rn);
+        imm(static_cast<std::int64_t>(inst_.bitmask));
+        break;
+      case Cls::MoveWide:
+        gpr(inst_.rd);
+        imm(inst_.imm);
+        if (inst_.shiftAmount != 0) {
+          add("lsl #" + std::to_string(inst_.shiftAmount));
+        }
+        break;
+      case Cls::PcRel:
+        gpr(inst_.rd);
+        if (pc_) {
+          const std::uint64_t base = inst_.op == Op::ADRP ? (pc_ & ~0xfffull) : pc_;
+          add(hex(base + static_cast<std::uint64_t>(inst_.imm)));
+        } else {
+          imm(inst_.imm);
+        }
+        break;
+      case Cls::Bitfield:
+        gpr(inst_.rd);
+        gpr(inst_.rn);
+        imm(inst_.immr);
+        imm(inst_.imms);
+        break;
+      case Cls::Extract:
+        gpr(inst_.rd);
+        gpr(inst_.rn);
+        gpr(inst_.rm);
+        imm(inst_.imms);
+        break;
+      case Cls::AddSubShifted:
+      case Cls::LogicShifted:
+        gpr(inst_.rd);
+        gpr(inst_.rn);
+        gpr(inst_.rm);
+        shiftSuffix();
+        break;
+      case Cls::AddSubExt: {
+        gpr(inst_.rd, !info.setsFlags());
+        gpr(inst_.rn, true);
+        const bool wOffset = inst_.extend == Extend::UXTW ||
+                             inst_.extend == Extend::SXTW ||
+                             inst_.extend == Extend::UXTB ||
+                             inst_.extend == Extend::UXTH ||
+                             inst_.extend == Extend::SXTB ||
+                             inst_.extend == Extend::SXTH;
+        add(gprName(inst_.rm, !wOffset));
+        add(kExtendNames[static_cast<unsigned>(inst_.extend)]);
+        if (inst_.extAmount != 0) {
+          out_ += " #" + std::to_string(inst_.extAmount);
+        }
+        break;
+      }
+      case Cls::DP2:
+      case Cls::FpDp2:
+        dataReg(inst_.rd);
+        dataReg(inst_.rn);
+        dataReg(inst_.rm);
+        break;
+      case Cls::DP1:
+        gpr(inst_.rd);
+        gpr(inst_.rn);
+        break;
+      case Cls::FpDp1:
+        if (inst_.op == Op::FCVT_SD) {
+          add(fprName(inst_.rd, false));
+          add(fprName(inst_.rn, true));
+        } else if (inst_.op == Op::FCVT_DS) {
+          add(fprName(inst_.rd, true));
+          add(fprName(inst_.rn, false));
+        } else {
+          fpr(inst_.rd);
+          fpr(inst_.rn);
+        }
+        break;
+      case Cls::DP3:
+        gpr(inst_.rd);
+        gpr(inst_.rn);
+        gpr(inst_.rm);
+        if (inst_.op == Op::MADD || inst_.op == Op::MSUB) gpr(inst_.ra);
+        break;
+      case Cls::FpDp3:
+        fpr(inst_.rd);
+        fpr(inst_.rn);
+        fpr(inst_.rm);
+        fpr(inst_.ra);
+        break;
+      case Cls::CondSel:
+        gpr(inst_.rd);
+        gpr(inst_.rn);
+        gpr(inst_.rm);
+        add(condName(inst_.cond));
+        break;
+      case Cls::FpCsel:
+        fpr(inst_.rd);
+        fpr(inst_.rn);
+        fpr(inst_.rm);
+        add(condName(inst_.cond));
+        break;
+      case Cls::CondCmpImm:
+        gpr(inst_.rn);
+        imm(inst_.imm);
+        imm(inst_.imms);
+        add(condName(inst_.cond));
+        break;
+      case Cls::CondCmpReg:
+        gpr(inst_.rn);
+        gpr(inst_.rm);
+        imm(inst_.imms);
+        add(condName(inst_.cond));
+        break;
+      case Cls::Branch26:
+      case Cls::CondBranch:
+        target();
+        break;
+      case Cls::CmpBranch:
+        gpr(inst_.rd);
+        target();
+        break;
+      case Cls::TestBranch:
+        gpr(inst_.rd);
+        imm(inst_.immr);
+        target();
+        break;
+      case Cls::BranchReg:
+        if (inst_.op != Op::RET || inst_.rn != 30) {
+          add(gprName(inst_.rn, true));
+        }
+        break;
+      case Cls::Sys:
+        if (inst_.op == Op::SVC) imm(inst_.imm);
+        break;
+      case Cls::FpCmp:
+        fpr(inst_.rn);
+        fpr(inst_.rm);
+        break;
+      case Cls::FpCmpZero:
+        fpr(inst_.rn);
+        add("#0.0");
+        break;
+      case Cls::FpImm: {
+        fpr(inst_.rd);
+        char buffer[32];
+        std::snprintf(buffer, sizeof buffer, "#%g",
+                      fpImm8ToDouble(static_cast<std::uint8_t>(inst_.imm)));
+        add(buffer);
+        break;
+      }
+      case Cls::FpIntCvt: {
+        const bool toInt = inst_.op == Op::FCVTZS_S || inst_.op == Op::FCVTZS_D ||
+                           inst_.op == Op::FCVTZU_S || inst_.op == Op::FCVTZU_D ||
+                           inst_.op == Op::FMOV_XD || inst_.op == Op::FMOV_WS;
+        if (toInt) {
+          gpr(inst_.rd);
+          fpr(inst_.rn);
+        } else {
+          fpr(inst_.rd);
+          gpr(inst_.rn);
+        }
+        break;
+      }
+      case Cls::LoadStore:
+      case Cls::LoadStorePair:
+      case Cls::LoadLiteral:
+        break;  // handled in renderLoadStore
+    }
+  }
+
+  const Inst& inst_;
+  std::uint64_t pc_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string disassemble(const Inst& inst, std::uint64_t pc) {
+  Printer printer(inst, pc);
+  return printer.render();
+}
+
+std::string disassemble(std::uint32_t word, std::uint64_t pc) {
+  if (const auto inst = decode(word)) return disassemble(*inst, pc);
+  return ".word " + hex(word);
+}
+
+}  // namespace riscmp::a64

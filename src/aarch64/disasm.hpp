@@ -1,0 +1,20 @@
+// AArch64 disassembler (GNU-objdump flavoured, including the common aliases
+// cmp/cmn/tst/mov/lsl/lsr/asr/cset/mul that appear in the paper's listings).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "aarch64/inst.hpp"
+
+namespace riscmp::a64 {
+
+/// Render a decoded instruction, e.g. "ldr d1, [x22, x0, lsl #3]" or
+/// "b.ne 0x400abc". `pc` resolves branch targets to absolute addresses;
+/// pass 0 to print relative offsets.
+std::string disassemble(const Inst& inst, std::uint64_t pc = 0);
+
+/// Decode and render a raw word; undecodable words render as ".word 0x...".
+std::string disassemble(std::uint32_t word, std::uint64_t pc);
+
+}  // namespace riscmp::a64

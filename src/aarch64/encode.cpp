@@ -1,0 +1,654 @@
+#include "aarch64/encode.hpp"
+
+#include <bit>
+#include <cstring>
+#include <string>
+
+#include "aarch64/bitmask.hpp"
+#include "support/bits.hpp"
+
+namespace riscmp::a64 {
+namespace {
+
+[[noreturn]] void fail(const Inst& inst, const char* what) {
+  throw EncodeError(std::string(inst.info().mnemonic) + ": " + what);
+}
+
+std::uint32_t reg(std::uint8_t r) { return r & 31u; }
+
+std::uint32_t sfBit(const Inst& inst) {
+  return inst.is64 ? 0x80000000u : 0u;
+}
+
+/// Signed, scaled PC-relative offset field.
+std::uint32_t branchField(const Inst& inst, std::int64_t offset,
+                          unsigned width) {
+  if (offset & 3) fail(inst, "branch offset must be a multiple of 4");
+  const std::int64_t scaled = offset >> 2;
+  if (!fitsSigned(scaled, width)) fail(inst, "branch offset out of range");
+  return static_cast<std::uint32_t>(scaled &
+                                    ((std::uint64_t{1} << width) - 1));
+}
+
+/// Size field (bits 31:30) for a load/store op.
+std::uint32_t lsSize(const OpInfo& info) {
+  switch (info.memSize) {
+    case 1:
+      return 0;
+    case 2:
+      return 1;
+    case 4:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+/// opc field (bits 23:22) for a load/store op.
+std::uint32_t lsOpc(const Inst& inst) {
+  const OpInfo& info = inst.info();
+  switch (inst.op) {
+    case Op::LDRSB:
+    case Op::LDRSH:
+    case Op::LDRSW:
+      return 2;  // signed load to 64-bit register
+    default:
+      return info.isLoad() ? 1 : 0;
+  }
+}
+
+std::uint32_t encodeLoadStore(const Inst& inst) {
+  const OpInfo& info = inst.info();
+  const std::uint32_t size = lsSize(info);
+  const std::uint32_t v = info.fpData() ? 1u : 0u;
+  const std::uint32_t opc = lsOpc(inst);
+  std::uint32_t word = (size << 30) | (0x7u << 27) | (v << 26) | (opc << 22);
+  word |= reg(inst.rn) << 5;
+  word |= reg(inst.rd);  // Rt
+
+  switch (inst.mode) {
+    case AddrMode::Offset: {
+      if (inst.imm < 0 || inst.imm % info.memSize != 0) {
+        fail(inst, "unsigned offset must be a non-negative multiple of size");
+      }
+      const std::int64_t scaled = inst.imm / info.memSize;
+      if (!fitsUnsigned(static_cast<std::uint64_t>(scaled), 12)) {
+        fail(inst, "scaled offset exceeds 12 bits");
+      }
+      word |= 1u << 24;
+      word |= static_cast<std::uint32_t>(scaled) << 10;
+      return word;
+    }
+    case AddrMode::PreIndex:
+    case AddrMode::PostIndex:
+    case AddrMode::Unscaled: {
+      if (!fitsSigned(inst.imm, 9)) fail(inst, "imm9 offset out of range");
+      word |= (static_cast<std::uint32_t>(inst.imm) & 0x1ff) << 12;
+      if (inst.mode == AddrMode::PreIndex) word |= 3u << 10;
+      if (inst.mode == AddrMode::PostIndex) word |= 1u << 10;
+      return word;
+    }
+    case AddrMode::RegOffset: {
+      word |= 1u << 21;
+      word |= 2u << 10;
+      word |= reg(inst.rm) << 16;
+      word |= (static_cast<std::uint32_t>(inst.extend) & 7u) << 13;
+      if (inst.extAmount != 0) {
+        // The S bit selects a shift equal to the access size's log2.
+        const unsigned scale = std::countr_zero(unsigned{info.memSize});
+        if (inst.extAmount != scale) {
+          fail(inst, "register-offset shift must equal the access scale");
+        }
+        word |= 1u << 12;
+      }
+      return word;
+    }
+    case AddrMode::Literal:
+      fail(inst, "literal loads use the LDR_LIT_* opcodes");
+  }
+  fail(inst, "bad addressing mode");
+}
+
+std::uint32_t encodeLoadLiteral(const Inst& inst) {
+  std::uint32_t opc = 0;
+  std::uint32_t v = 0;
+  switch (inst.op) {
+    case Op::LDR_LIT_W:
+      opc = 0;
+      break;
+    case Op::LDR_LIT_X:
+      opc = 1;
+      break;
+    case Op::LDR_LIT_SW:
+      opc = 2;
+      break;
+    case Op::LDR_LIT_S:
+      opc = 0;
+      v = 1;
+      break;
+    case Op::LDR_LIT_D:
+      opc = 1;
+      v = 1;
+      break;
+    default:
+      fail(inst, "not a literal load");
+  }
+  std::uint32_t word = (opc << 30) | (0x3u << 27) | (v << 26);
+  word |= branchField(inst, inst.imm, 19) << 5;
+  word |= reg(inst.rd);
+  return word;
+}
+
+std::uint32_t encodeLoadStorePair(const Inst& inst) {
+  const OpInfo& info = inst.info();
+  // opc: 10 for X registers, 01 for D registers.
+  const std::uint32_t opc = info.fpData() ? 1u : 2u;
+  const std::uint32_t v = info.fpData() ? 1u : 0u;
+  const std::uint32_t l = info.isLoad() ? 1u : 0u;
+  std::uint32_t modeBits = 0;
+  switch (inst.mode) {
+    case AddrMode::Offset:
+      modeBits = 2;
+      break;
+    case AddrMode::PostIndex:
+      modeBits = 1;
+      break;
+    case AddrMode::PreIndex:
+      modeBits = 3;
+      break;
+    default:
+      fail(inst, "pair loads support offset/pre/post modes only");
+  }
+  if (inst.imm % 8 != 0) fail(inst, "pair offset must be a multiple of 8");
+  const std::int64_t scaled = inst.imm / 8;
+  if (!fitsSigned(scaled, 7)) fail(inst, "pair offset out of range");
+
+  std::uint32_t word = (opc << 30) | (0x5u << 27) | (v << 26) |
+                       (modeBits << 23) | (l << 22);
+  word |= (static_cast<std::uint32_t>(scaled) & 0x7f) << 15;
+  word |= reg(inst.rt2) << 10;
+  word |= reg(inst.rn) << 5;
+  word |= reg(inst.rd);
+  return word;
+}
+
+}  // namespace
+
+std::uint32_t encode(const Inst& inst) {
+  const OpInfo& info = inst.info();
+  std::uint32_t word = info.match;
+
+  switch (info.cls) {
+    case Cls::AddSubImm:
+      if (!fitsUnsigned(static_cast<std::uint64_t>(inst.imm), 12)) {
+        fail(inst, "imm12 out of range");
+      }
+      if (inst.shiftAmount != 0 && inst.shiftAmount != 12) {
+        fail(inst, "add/sub immediate shift must be 0 or 12");
+      }
+      word |= sfBit(inst);
+      if (inst.shiftAmount == 12) word |= 1u << 22;
+      word |= static_cast<std::uint32_t>(inst.imm & 0xfff) << 10;
+      word |= reg(inst.rn) << 5;
+      word |= reg(inst.rd);
+      return word;
+
+    case Cls::LogicImm: {
+      const auto fields = encodeBitmask(inst.bitmask, inst.is64 ? 64 : 32);
+      if (!fields) fail(inst, "value is not a valid logical immediate");
+      word |= sfBit(inst);
+      word |= static_cast<std::uint32_t>(fields->n) << 22;
+      word |= static_cast<std::uint32_t>(fields->immr) << 16;
+      word |= static_cast<std::uint32_t>(fields->imms) << 10;
+      word |= reg(inst.rn) << 5;
+      word |= reg(inst.rd);
+      return word;
+    }
+
+    case Cls::MoveWide: {
+      if (!fitsUnsigned(static_cast<std::uint64_t>(inst.imm), 16)) {
+        fail(inst, "imm16 out of range");
+      }
+      const unsigned hw = inst.shiftAmount / 16;
+      if (inst.shiftAmount % 16 != 0 || hw > (inst.is64 ? 3u : 1u)) {
+        fail(inst, "move-wide shift must be 0/16/32/48 within register size");
+      }
+      word |= sfBit(inst);
+      word |= hw << 21;
+      word |= static_cast<std::uint32_t>(inst.imm & 0xffff) << 5;
+      word |= reg(inst.rd);
+      return word;
+    }
+
+    case Cls::PcRel: {
+      const std::int64_t value =
+          inst.op == Op::ADRP ? (inst.imm >> 12) : inst.imm;
+      if (inst.op == Op::ADRP && (inst.imm & 0xfff)) {
+        fail(inst, "adrp offset must be page aligned");
+      }
+      if (!fitsSigned(value, 21)) fail(inst, "pc-relative offset out of range");
+      word |= (static_cast<std::uint32_t>(value) & 3u) << 29;
+      word |= ((static_cast<std::uint32_t>(value >> 2)) & 0x7ffffu) << 5;
+      word |= reg(inst.rd);
+      return word;
+    }
+
+    case Cls::Bitfield:
+    case Cls::Extract: {
+      const unsigned limit = inst.is64 ? 63 : 31;
+      if (inst.immr > limit || inst.imms > limit) {
+        fail(inst, "bitfield positions out of range");
+      }
+      word |= sfBit(inst);
+      if (inst.is64) word |= 1u << 22;  // N == sf
+      if (info.cls == Cls::Extract) word |= reg(inst.rm) << 16;
+      else word |= static_cast<std::uint32_t>(inst.immr) << 16;
+      word |= static_cast<std::uint32_t>(inst.imms) << 10;
+      word |= reg(inst.rn) << 5;
+      word |= reg(inst.rd);
+      return word;
+    }
+
+    case Cls::AddSubShifted:
+    case Cls::LogicShifted: {
+      const unsigned limit = inst.is64 ? 63 : 31;
+      if (inst.shiftAmount > limit) fail(inst, "shift amount out of range");
+      if (info.cls == Cls::AddSubShifted && inst.shift == Shift::ROR) {
+        fail(inst, "add/sub does not support ROR shifts");
+      }
+      word |= sfBit(inst);
+      word |= static_cast<std::uint32_t>(inst.shift) << 22;
+      word |= reg(inst.rm) << 16;
+      word |= static_cast<std::uint32_t>(inst.shiftAmount) << 10;
+      word |= reg(inst.rn) << 5;
+      word |= reg(inst.rd);
+      return word;
+    }
+
+    case Cls::AddSubExt:
+      if (inst.extAmount > 4) fail(inst, "extended-register shift above 4");
+      word |= sfBit(inst);
+      word |= reg(inst.rm) << 16;
+      word |= (static_cast<std::uint32_t>(inst.extend) & 7u) << 13;
+      word |= static_cast<std::uint32_t>(inst.extAmount) << 10;
+      word |= reg(inst.rn) << 5;
+      word |= reg(inst.rd);
+      return word;
+
+    case Cls::DP2:
+      word |= sfBit(inst);
+      word |= reg(inst.rm) << 16;
+      word |= reg(inst.rn) << 5;
+      word |= reg(inst.rd);
+      return word;
+
+    case Cls::DP1:
+      if (!info.sfFixed()) word |= sfBit(inst);
+      word |= reg(inst.rn) << 5;
+      word |= reg(inst.rd);
+      return word;
+
+    case Cls::DP3:
+      if (!info.sfFixed()) word |= sfBit(inst);
+      word |= reg(inst.rm) << 16;
+      if (inst.op == Op::MADD || inst.op == Op::MSUB ||
+          inst.op == Op::SMADDL || inst.op == Op::UMADDL) {
+        word |= reg(inst.ra) << 10;
+      }
+      word |= reg(inst.rn) << 5;
+      word |= reg(inst.rd);
+      return word;
+
+    case Cls::CondSel:
+      word |= sfBit(inst);
+      word |= reg(inst.rm) << 16;
+      word |= (static_cast<std::uint32_t>(inst.cond) & 15u) << 12;
+      word |= reg(inst.rn) << 5;
+      word |= reg(inst.rd);
+      return word;
+
+    case Cls::CondCmpImm:
+    case Cls::CondCmpReg:
+      word |= sfBit(inst);
+      if (info.cls == Cls::CondCmpImm) {
+        if (!fitsUnsigned(static_cast<std::uint64_t>(inst.imm), 5)) {
+          fail(inst, "ccmp immediate out of range");
+        }
+        word |= static_cast<std::uint32_t>(inst.imm & 0x1f) << 16;
+      } else {
+        word |= reg(inst.rm) << 16;
+      }
+      word |= (static_cast<std::uint32_t>(inst.cond) & 15u) << 12;
+      word |= reg(inst.rn) << 5;
+      word |= inst.imms & 15u;  // nzcv
+      return word;
+
+    case Cls::Branch26:
+      word |= branchField(inst, inst.imm, 26);
+      return word;
+
+    case Cls::CondBranch:
+      word |= branchField(inst, inst.imm, 19) << 5;
+      word |= static_cast<std::uint32_t>(inst.cond) & 15u;
+      return word;
+
+    case Cls::CmpBranch:
+      word |= sfBit(inst);
+      word |= branchField(inst, inst.imm, 19) << 5;
+      word |= reg(inst.rd);  // Rt (source)
+      return word;
+
+    case Cls::TestBranch: {
+      if (inst.immr > 63) fail(inst, "test bit position out of range");
+      word |= (inst.immr & 0x20u) ? 0x80000000u : 0u;  // b5
+      word |= static_cast<std::uint32_t>(inst.immr & 0x1fu) << 19;
+      word |= branchField(inst, inst.imm, 14) << 5;
+      word |= reg(inst.rd);
+      return word;
+    }
+
+    case Cls::BranchReg:
+      word |= reg(inst.rn) << 5;
+      return word;
+
+    case Cls::Sys:
+      if (inst.op == Op::SVC) {
+        if (!fitsUnsigned(static_cast<std::uint64_t>(inst.imm), 16)) {
+          fail(inst, "svc imm16 out of range");
+        }
+        word |= static_cast<std::uint32_t>(inst.imm & 0xffff) << 5;
+      }
+      return word;
+
+    case Cls::FpDp2:
+      word |= reg(inst.rm) << 16;
+      word |= reg(inst.rn) << 5;
+      word |= reg(inst.rd);
+      return word;
+
+    case Cls::FpDp1:
+      word |= reg(inst.rn) << 5;
+      word |= reg(inst.rd);
+      return word;
+
+    case Cls::FpDp3:
+      word |= reg(inst.rm) << 16;
+      word |= reg(inst.ra) << 10;
+      word |= reg(inst.rn) << 5;
+      word |= reg(inst.rd);
+      return word;
+
+    case Cls::FpCmp:
+      word |= reg(inst.rm) << 16;
+      word |= reg(inst.rn) << 5;
+      return word;
+
+    case Cls::FpCmpZero:
+      word |= reg(inst.rn) << 5;
+      return word;
+
+    case Cls::FpCsel:
+      word |= reg(inst.rm) << 16;
+      word |= (static_cast<std::uint32_t>(inst.cond) & 15u) << 12;
+      word |= reg(inst.rn) << 5;
+      word |= reg(inst.rd);
+      return word;
+
+    case Cls::FpImm:
+      if (!fitsUnsigned(static_cast<std::uint64_t>(inst.imm), 8)) {
+        fail(inst, "fp imm8 out of range");
+      }
+      word |= static_cast<std::uint32_t>(inst.imm & 0xff) << 13;
+      word |= reg(inst.rd);
+      return word;
+
+    case Cls::FpIntCvt:
+      if (!info.sfFixed()) word |= sfBit(inst);
+      word |= reg(inst.rn) << 5;
+      word |= reg(inst.rd);
+      return word;
+
+    case Cls::LoadStore:
+      return encodeLoadStore(inst);
+    case Cls::LoadStorePair:
+      return encodeLoadStorePair(inst);
+    case Cls::LoadLiteral:
+      return encodeLoadLiteral(inst);
+  }
+  fail(inst, "unhandled encoding class");
+}
+
+double fpImm8ToDouble(std::uint8_t imm8) {
+  // VFPExpandImm for 64-bit: sign | NOT(b) | b*8 | cd | efgh | zeros(48)
+  const std::uint64_t sign = (imm8 >> 7) & 1;
+  const std::uint64_t b = (imm8 >> 6) & 1;
+  const std::uint64_t cd = (imm8 >> 4) & 3;
+  const std::uint64_t efgh = imm8 & 15;
+  const std::uint64_t exp = ((b ^ 1) << 10) | (b ? 0x3fcu : 0u) | cd;
+  const std::uint64_t bits = (sign << 63) | (exp << 52) | (efgh << 48);
+  double value;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+std::optional<std::uint8_t> doubleToFpImm8(double value) {
+  for (unsigned candidate = 0; candidate < 256; ++candidate) {
+    if (fpImm8ToDouble(static_cast<std::uint8_t>(candidate)) == value) {
+      return static_cast<std::uint8_t>(candidate);
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------------
+
+namespace {
+Inst base(Op op, bool is64) {
+  Inst inst;
+  inst.op = op;
+  inst.is64 = is64;
+  return inst;
+}
+}  // namespace
+
+Inst makeAddSubImm(Op op, unsigned rd, unsigned rn, std::uint32_t imm12,
+                   bool shift12, bool is64) {
+  Inst inst = base(op, is64);
+  inst.rd = static_cast<std::uint8_t>(rd);
+  inst.rn = static_cast<std::uint8_t>(rn);
+  inst.imm = imm12;
+  inst.shiftAmount = shift12 ? 12 : 0;
+  return inst;
+}
+
+Inst makeLogicImm(Op op, unsigned rd, unsigned rn, std::uint64_t value,
+                  bool is64) {
+  Inst inst = base(op, is64);
+  inst.rd = static_cast<std::uint8_t>(rd);
+  inst.rn = static_cast<std::uint8_t>(rn);
+  inst.bitmask = value;
+  return inst;
+}
+
+Inst makeMoveWide(Op op, unsigned rd, std::uint16_t imm16, unsigned shift,
+                  bool is64) {
+  Inst inst = base(op, is64);
+  inst.rd = static_cast<std::uint8_t>(rd);
+  inst.imm = imm16;
+  inst.shiftAmount = static_cast<std::uint8_t>(shift);
+  return inst;
+}
+
+Inst makeAddSubReg(Op op, unsigned rd, unsigned rn, unsigned rm, Shift shift,
+                   unsigned amount, bool is64) {
+  Inst inst = base(op, is64);
+  inst.rd = static_cast<std::uint8_t>(rd);
+  inst.rn = static_cast<std::uint8_t>(rn);
+  inst.rm = static_cast<std::uint8_t>(rm);
+  inst.shift = shift;
+  inst.shiftAmount = static_cast<std::uint8_t>(amount);
+  return inst;
+}
+
+Inst makeLogicReg(Op op, unsigned rd, unsigned rn, unsigned rm, Shift shift,
+                  unsigned amount, bool is64) {
+  return makeAddSubReg(op, rd, rn, rm, shift, amount, is64);
+}
+
+Inst makeDp2(Op op, unsigned rd, unsigned rn, unsigned rm, bool is64) {
+  Inst inst = base(op, is64);
+  inst.rd = static_cast<std::uint8_t>(rd);
+  inst.rn = static_cast<std::uint8_t>(rn);
+  inst.rm = static_cast<std::uint8_t>(rm);
+  return inst;
+}
+
+Inst makeDp3(Op op, unsigned rd, unsigned rn, unsigned rm, unsigned ra,
+             bool is64) {
+  Inst inst = makeDp2(op, rd, rn, rm, is64);
+  inst.ra = static_cast<std::uint8_t>(ra);
+  return inst;
+}
+
+Inst makeBitfield(Op op, unsigned rd, unsigned rn, unsigned immr,
+                  unsigned imms, bool is64) {
+  Inst inst = base(op, is64);
+  inst.rd = static_cast<std::uint8_t>(rd);
+  inst.rn = static_cast<std::uint8_t>(rn);
+  inst.immr = static_cast<std::uint8_t>(immr);
+  inst.imms = static_cast<std::uint8_t>(imms);
+  return inst;
+}
+
+Inst makeCondSel(Op op, unsigned rd, unsigned rn, unsigned rm, Cond cond,
+                 bool is64) {
+  Inst inst = makeDp2(op, rd, rn, rm, is64);
+  inst.cond = cond;
+  return inst;
+}
+
+Inst makeBranch(Op op, std::int64_t offset) {
+  Inst inst = base(op, true);
+  inst.imm = offset;
+  return inst;
+}
+
+Inst makeCondBranch(Cond cond, std::int64_t offset) {
+  Inst inst = base(Op::BCOND, true);
+  inst.cond = cond;
+  inst.imm = offset;
+  return inst;
+}
+
+Inst makeCmpBranch(Op op, unsigned rt, std::int64_t offset, bool is64) {
+  Inst inst = base(op, is64);
+  inst.rd = static_cast<std::uint8_t>(rt);
+  inst.imm = offset;
+  return inst;
+}
+
+Inst makeTestBranch(Op op, unsigned rt, unsigned bitPos, std::int64_t offset) {
+  Inst inst = base(op, true);
+  inst.rd = static_cast<std::uint8_t>(rt);
+  inst.immr = static_cast<std::uint8_t>(bitPos);
+  inst.imm = offset;
+  return inst;
+}
+
+Inst makeBranchReg(Op op, unsigned rn) {
+  Inst inst = base(op, true);
+  inst.rn = static_cast<std::uint8_t>(rn);
+  return inst;
+}
+
+Inst makeFp2(Op op, unsigned rd, unsigned rn, unsigned rm) {
+  return makeDp2(op, rd, rn, rm, true);
+}
+
+Inst makeFp1(Op op, unsigned rd, unsigned rn) {
+  Inst inst = base(op, true);
+  inst.rd = static_cast<std::uint8_t>(rd);
+  inst.rn = static_cast<std::uint8_t>(rn);
+  return inst;
+}
+
+Inst makeFp3(Op op, unsigned rd, unsigned rn, unsigned rm, unsigned ra) {
+  return makeDp3(op, rd, rn, rm, ra, true);
+}
+
+Inst makeFpCmp(Op op, unsigned rn, unsigned rm) {
+  Inst inst = base(op, true);
+  inst.rn = static_cast<std::uint8_t>(rn);
+  inst.rm = static_cast<std::uint8_t>(rm);
+  return inst;
+}
+
+Inst makeFpCsel(Op op, unsigned rd, unsigned rn, unsigned rm, Cond cond) {
+  Inst inst = makeFp2(op, rd, rn, rm);
+  inst.cond = cond;
+  return inst;
+}
+
+Inst makeFpIntCvt(Op op, unsigned rd, unsigned rn, bool is64) {
+  Inst inst = base(op, is64);
+  inst.rd = static_cast<std::uint8_t>(rd);
+  inst.rn = static_cast<std::uint8_t>(rn);
+  return inst;
+}
+
+Inst makeLoadStore(Op op, unsigned rt, unsigned rn, std::int64_t offset,
+                   AddrMode mode) {
+  Inst inst = base(op, true);
+  inst.rd = static_cast<std::uint8_t>(rt);
+  inst.rn = static_cast<std::uint8_t>(rn);
+  inst.imm = offset;
+  inst.mode = mode;
+  return inst;
+}
+
+Inst makeLoadStoreReg(Op op, unsigned rt, unsigned rn, unsigned rm,
+                      Extend extend, bool scaled) {
+  Inst inst = base(op, true);
+  inst.rd = static_cast<std::uint8_t>(rt);
+  inst.rn = static_cast<std::uint8_t>(rn);
+  inst.rm = static_cast<std::uint8_t>(rm);
+  inst.mode = AddrMode::RegOffset;
+  inst.extend = extend;
+  inst.extAmount = scaled
+      ? static_cast<std::uint8_t>(std::countr_zero(unsigned{opInfo(op).memSize}))
+      : 0;
+  return inst;
+}
+
+Inst makeLoadStorePair(Op op, unsigned rt, unsigned rt2, unsigned rn,
+                       std::int64_t offset, AddrMode mode) {
+  Inst inst = makeLoadStore(op, rt, rn, offset, mode);
+  inst.rt2 = static_cast<std::uint8_t>(rt2);
+  return inst;
+}
+
+Inst makeSvc(std::uint16_t imm16) {
+  Inst inst = base(Op::SVC, true);
+  inst.imm = imm16;
+  return inst;
+}
+
+Inst makeCmpImm(unsigned rn, std::uint32_t imm12, bool is64) {
+  return makeAddSubImm(Op::SUBSi, 31, rn, imm12, false, is64);
+}
+
+Inst makeCmpReg(unsigned rn, unsigned rm, bool is64) {
+  return makeAddSubReg(Op::SUBSr, 31, rn, rm, Shift::LSL, 0, is64);
+}
+
+Inst makeMovReg(unsigned rd, unsigned rm, bool is64) {
+  return makeLogicReg(Op::ORRr, rd, 31, rm, Shift::LSL, 0, is64);
+}
+
+Inst makeMovImm(unsigned rd, std::uint16_t imm16, bool is64) {
+  return makeMoveWide(Op::MOVZ, rd, imm16, 0, is64);
+}
+
+}  // namespace riscmp::a64

@@ -1,0 +1,70 @@
+// AArch64 instruction encoder and instruction builders.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+#include "aarch64/inst.hpp"
+
+namespace riscmp::a64 {
+
+class EncodeError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Encode a decoded instruction into its 32-bit machine word. Throws
+/// EncodeError for out-of-range immediates, misaligned offsets, or
+/// unencodable logical immediates.
+std::uint32_t encode(const Inst& inst);
+
+/// VFPExpandImm: the 8-bit FP immediate of FMOV (scalar, immediate).
+double fpImm8ToDouble(std::uint8_t imm8);
+std::optional<std::uint8_t> doubleToFpImm8(double value);
+
+// -- Builders used by the kernel compiler's AArch64 backend and tests. -----
+Inst makeAddSubImm(Op op, unsigned rd, unsigned rn, std::uint32_t imm12,
+                   bool shift12 = false, bool is64 = true);
+Inst makeLogicImm(Op op, unsigned rd, unsigned rn, std::uint64_t value,
+                  bool is64 = true);
+Inst makeMoveWide(Op op, unsigned rd, std::uint16_t imm16, unsigned shift,
+                  bool is64 = true);
+Inst makeAddSubReg(Op op, unsigned rd, unsigned rn, unsigned rm,
+                   Shift shift = Shift::LSL, unsigned amount = 0,
+                   bool is64 = true);
+Inst makeLogicReg(Op op, unsigned rd, unsigned rn, unsigned rm,
+                  Shift shift = Shift::LSL, unsigned amount = 0,
+                  bool is64 = true);
+Inst makeDp2(Op op, unsigned rd, unsigned rn, unsigned rm, bool is64 = true);
+Inst makeDp3(Op op, unsigned rd, unsigned rn, unsigned rm, unsigned ra,
+             bool is64 = true);
+Inst makeBitfield(Op op, unsigned rd, unsigned rn, unsigned immr,
+                  unsigned imms, bool is64 = true);
+Inst makeCondSel(Op op, unsigned rd, unsigned rn, unsigned rm, Cond cond,
+                 bool is64 = true);
+Inst makeBranch(Op op, std::int64_t offset);
+Inst makeCondBranch(Cond cond, std::int64_t offset);
+Inst makeCmpBranch(Op op, unsigned rt, std::int64_t offset, bool is64 = true);
+Inst makeTestBranch(Op op, unsigned rt, unsigned bitPos, std::int64_t offset);
+Inst makeBranchReg(Op op, unsigned rn);
+Inst makeFp2(Op op, unsigned rd, unsigned rn, unsigned rm);
+Inst makeFp1(Op op, unsigned rd, unsigned rn);
+Inst makeFp3(Op op, unsigned rd, unsigned rn, unsigned rm, unsigned ra);
+Inst makeFpCmp(Op op, unsigned rn, unsigned rm);
+Inst makeFpCsel(Op op, unsigned rd, unsigned rn, unsigned rm, Cond cond);
+Inst makeFpIntCvt(Op op, unsigned rd, unsigned rn, bool is64 = true);
+Inst makeLoadStore(Op op, unsigned rt, unsigned rn, std::int64_t offset,
+                   AddrMode mode = AddrMode::Offset);
+Inst makeLoadStoreReg(Op op, unsigned rt, unsigned rn, unsigned rm,
+                      Extend extend = Extend::UXTX, bool scaled = false);
+Inst makeLoadStorePair(Op op, unsigned rt, unsigned rt2, unsigned rn,
+                       std::int64_t offset, AddrMode mode = AddrMode::Offset);
+Inst makeSvc(std::uint16_t imm16);
+
+// -- Common aliases (assembler/compiler convenience). ----------------------
+Inst makeCmpImm(unsigned rn, std::uint32_t imm12, bool is64 = true);
+Inst makeCmpReg(unsigned rn, unsigned rm, bool is64 = true);
+Inst makeMovReg(unsigned rd, unsigned rm, bool is64 = true);
+Inst makeMovImm(unsigned rd, std::uint16_t imm16, bool is64 = true);
+
+}  // namespace riscmp::a64

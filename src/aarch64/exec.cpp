@@ -1,0 +1,1050 @@
+#include "aarch64/exec.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "aarch64/encode.hpp"
+#include "support/bits.hpp"
+
+namespace riscmp::a64 {
+namespace {
+
+std::uint64_t truncToSize(std::uint64_t value, bool is64) {
+  return is64 ? value : (value & 0xffffffffull);
+}
+
+/// AddWithCarry from the ARM ARM, producing the result and NZCV.
+struct AddResult {
+  std::uint64_t value;
+  std::uint8_t nzcv;
+};
+
+AddResult addWithCarry(std::uint64_t a, std::uint64_t b, bool carryIn,
+                       bool is64) {
+  if (!is64) {
+    const std::uint64_t sum = (a & 0xffffffffull) + (b & 0xffffffffull) +
+                              (carryIn ? 1 : 0);
+    const auto result32 = static_cast<std::uint32_t>(sum);
+    std::uint8_t nzcv = 0;
+    if (result32 & 0x80000000u) nzcv |= kFlagN;
+    if (result32 == 0) nzcv |= kFlagZ;
+    if (sum >> 32) nzcv |= kFlagC;
+    const bool sa = (a >> 31) & 1;
+    const bool sb = (b >> 31) & 1;
+    const bool sr = (result32 >> 31) & 1;
+    if (sa == sb && sr != sa) nzcv |= kFlagV;
+    return {result32, nzcv};
+  }
+  const std::uint64_t partial = a + b;
+  const bool carry1 = partial < a;
+  const std::uint64_t result = partial + (carryIn ? 1 : 0);
+  const bool carry2 = result < partial;
+  std::uint8_t nzcv = 0;
+  if (result >> 63) nzcv |= kFlagN;
+  if (result == 0) nzcv |= kFlagZ;
+  if (carry1 || carry2) nzcv |= kFlagC;
+  const bool sa = a >> 63;
+  const bool sb = b >> 63;
+  const bool sr = result >> 63;
+  if (sa == sb && sr != sa) nzcv |= kFlagV;
+  return {result, nzcv};
+}
+
+std::uint8_t logicFlags(std::uint64_t result, bool is64) {
+  std::uint8_t nzcv = 0;
+  const std::uint64_t masked = truncToSize(result, is64);
+  if (masked == 0) nzcv |= kFlagZ;
+  if (masked >> (is64 ? 63 : 31)) nzcv |= kFlagN;
+  return nzcv;  // C and V cleared
+}
+
+std::uint64_t shiftValue(std::uint64_t value, Shift shift, unsigned amount,
+                         bool is64) {
+  const unsigned ds = is64 ? 64 : 32;
+  amount %= ds;
+  value = truncToSize(value, is64);
+  if (amount == 0) return value;
+  switch (shift) {
+    case Shift::LSL:
+      return truncToSize(value << amount, is64);
+    case Shift::LSR:
+      return value >> amount;
+    case Shift::ASR: {
+      const std::int64_t sv =
+          is64 ? static_cast<std::int64_t>(value)
+               : static_cast<std::int64_t>(static_cast<std::int32_t>(value));
+      return truncToSize(static_cast<std::uint64_t>(sv >> amount), is64);
+    }
+    case Shift::ROR:
+      return rotateRight(value, amount, ds);
+  }
+  return value;
+}
+
+std::uint64_t extendValue(std::uint64_t value, Extend extend) {
+  switch (extend) {
+    case Extend::UXTB:
+      return value & 0xffull;
+    case Extend::UXTH:
+      return value & 0xffffull;
+    case Extend::UXTW:
+      return value & 0xffffffffull;
+    case Extend::UXTX:
+      return value;
+    case Extend::SXTB:
+      return static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(static_cast<std::int8_t>(value)));
+    case Extend::SXTH:
+      return static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(static_cast<std::int16_t>(value)));
+    case Extend::SXTW:
+      return static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(static_cast<std::int32_t>(value)));
+    case Extend::SXTX:
+      return value;
+  }
+  return value;
+}
+
+std::uint64_t maskBits(unsigned width) {
+  return width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+
+std::uint8_t fcmpFlags(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return kFlagC | kFlagV;  // 0011
+  if (a == b) return kFlagZ | kFlagC;                          // 0110
+  if (a < b) return kFlagN;                                    // 1000
+  return kFlagC;                                               // 0010
+}
+
+/// A64 float->int conversion: saturating, NaN converts to zero.
+template <typename Int, typename Fp>
+Int fcvtz(Fp value) {
+  if (std::isnan(value)) return Int{0};
+  const Fp truncated = std::trunc(value);
+  if (truncated <= static_cast<Fp>(std::numeric_limits<Int>::min())) {
+    if constexpr (std::numeric_limits<Int>::is_signed) {
+      if (truncated == static_cast<Fp>(std::numeric_limits<Int>::min())) {
+        return std::numeric_limits<Int>::min();
+      }
+    }
+    if (truncated < static_cast<Fp>(std::numeric_limits<Int>::min())) {
+      return std::numeric_limits<Int>::min();
+    }
+  }
+  if (truncated >= static_cast<Fp>(std::numeric_limits<Int>::max())) {
+    return std::numeric_limits<Int>::max();
+  }
+  return static_cast<Int>(truncated);
+}
+
+/// FMIN/FMAX propagate NaNs; FMINNM/FMAXNM prefer the number.
+template <typename T>
+T fpMinMax(T a, T b, bool isMax, bool nmVariant) {
+  if (std::isnan(a) || std::isnan(b)) {
+    if (!nmVariant) return std::numeric_limits<T>::quiet_NaN();
+    if (std::isnan(a) && std::isnan(b)) {
+      return std::numeric_limits<T>::quiet_NaN();
+    }
+    return std::isnan(a) ? b : a;
+  }
+  if (a == T{0} && b == T{0}) {
+    const bool pickA = isMax ? !std::signbit(a) : std::signbit(a);
+    return pickA ? a : b;
+  }
+  if (isMax) return a > b ? a : b;
+  return a < b ? a : b;
+}
+
+}  // namespace
+
+bool condHolds(Cond cond, std::uint8_t nzcv) {
+  const bool n = nzcv & kFlagN;
+  const bool z = nzcv & kFlagZ;
+  const bool c = nzcv & kFlagC;
+  const bool v = nzcv & kFlagV;
+  switch (cond) {
+    case Cond::EQ:
+      return z;
+    case Cond::NE:
+      return !z;
+    case Cond::CS:
+      return c;
+    case Cond::CC:
+      return !c;
+    case Cond::MI:
+      return n;
+    case Cond::PL:
+      return !n;
+    case Cond::VS:
+      return v;
+    case Cond::VC:
+      return !v;
+    case Cond::HI:
+      return c && !z;
+    case Cond::LS:
+      return !(c && !z);
+    case Cond::GE:
+      return n == v;
+    case Cond::LT:
+      return n != v;
+    case Cond::GT:
+      return !z && n == v;
+    case Cond::LE:
+      return !(!z && n == v);
+    case Cond::AL:
+    case Cond::NV:
+      return true;
+  }
+  return true;
+}
+
+Trap execute(const Inst& inst, State& state, Memory& memory,
+             RetiredInst& retired) {
+  const OpInfo& info = inst.info();
+  const std::uint64_t pc = state.pc;
+  std::uint64_t nextPc = pc + 4;
+
+  auto srcGprZr = [&](std::uint8_t r) {
+    if (r != 31) retired.srcs.push_back(Reg::gp(r));
+    return state.gprZr(r);
+  };
+  auto srcGprSp = [&](std::uint8_t r) {
+    retired.srcs.push_back(Reg::gp(r));
+    return state.gprSp(r);
+  };
+  auto dstGprZr = [&](std::uint8_t r, std::uint64_t value) {
+    if (r != 31) {
+      retired.dsts.push_back(Reg::gp(r));
+      state.x[r] = truncToSize(value, inst.is64);
+    }
+  };
+  auto dstGprSp = [&](std::uint8_t r, std::uint64_t value) {
+    retired.dsts.push_back(Reg::gp(r));
+    state.setGprSp(r, truncToSize(value, inst.is64));
+  };
+  auto srcFpr = [&](std::uint8_t r) {
+    retired.srcs.push_back(Reg::fp(r));
+    return r;
+  };
+  auto dstFpr = [&](std::uint8_t r) {
+    retired.dsts.push_back(Reg::fp(r));
+    return r;
+  };
+  auto readFlags = [&] {
+    retired.srcs.push_back(Reg::flags());
+    return state.nzcv;
+  };
+  auto writeFlags = [&](std::uint8_t nzcv) {
+    retired.dsts.push_back(Reg::flags());
+    state.nzcv = nzcv;
+  };
+  auto branchTo = [&](bool taken, std::uint64_t target) {
+    retired.isBranch = true;
+    retired.branchTaken = taken;
+    retired.branchTarget = target;
+    if (taken) nextPc = target;
+  };
+
+  // FP helpers honouring the single/double distinction of the opcode.
+  const bool single = info.fpSingle();
+  auto fpRead = [&](std::uint8_t r) -> double {
+    return single ? static_cast<double>(state.fprS(r)) : state.fprD(r);
+  };
+  auto fpWrite = [&](std::uint8_t r, double value) {
+    if (single) state.setFprS(r, static_cast<float>(value));
+    else state.setFprD(r, value);
+  };
+
+  Trap trap = Trap::None;
+
+  switch (info.cls) {
+    case Cls::AddSubImm: {
+      const std::uint64_t operand1 = srcGprSp(inst.rn);
+      const std::uint64_t operand2 = static_cast<std::uint64_t>(inst.imm)
+                                     << inst.shiftAmount;
+      const bool isSub = inst.op == Op::SUBi || inst.op == Op::SUBSi;
+      const AddResult r = addWithCarry(
+          truncToSize(operand1, inst.is64),
+          truncToSize(isSub ? ~operand2 : operand2, inst.is64), isSub,
+          inst.is64);
+      if (info.setsFlags()) {
+        writeFlags(r.nzcv);
+        dstGprZr(inst.rd, r.value);
+      } else {
+        dstGprSp(inst.rd, r.value);
+      }
+      break;
+    }
+
+    case Cls::AddSubShifted:
+    case Cls::AddSubExt: {
+      const bool isSub = inst.op == Op::SUBr || inst.op == Op::SUBSr ||
+                         inst.op == Op::SUBx || inst.op == Op::SUBSx;
+      std::uint64_t operand1;
+      std::uint64_t operand2;
+      if (info.cls == Cls::AddSubExt) {
+        operand1 = srcGprSp(inst.rn);
+        operand2 = extendValue(srcGprZr(inst.rm), inst.extend)
+                   << inst.extAmount;
+      } else {
+        operand1 = srcGprZr(inst.rn);
+        operand2 = shiftValue(srcGprZr(inst.rm), inst.shift, inst.shiftAmount,
+                              inst.is64);
+      }
+      const AddResult r = addWithCarry(
+          truncToSize(operand1, inst.is64),
+          truncToSize(isSub ? ~operand2 : operand2, inst.is64), isSub,
+          inst.is64);
+      if (info.setsFlags()) {
+        writeFlags(r.nzcv);
+        dstGprZr(inst.rd, r.value);
+      } else if (info.cls == Cls::AddSubExt) {
+        dstGprSp(inst.rd, r.value);
+      } else {
+        dstGprZr(inst.rd, r.value);
+      }
+      break;
+    }
+
+    case Cls::LogicImm:
+    case Cls::LogicShifted: {
+      std::uint64_t operand1 = srcGprZr(inst.rn);
+      std::uint64_t operand2;
+      bool negate = false;
+      if (info.cls == Cls::LogicImm) {
+        operand2 = inst.bitmask;
+      } else {
+        operand2 = shiftValue(srcGprZr(inst.rm), inst.shift, inst.shiftAmount,
+                              inst.is64);
+        negate = inst.op == Op::BICr || inst.op == Op::ORNr ||
+                 inst.op == Op::EONr || inst.op == Op::BICSr;
+      }
+      if (negate) operand2 = ~operand2;
+      std::uint64_t result = 0;
+      switch (inst.op) {
+        case Op::ANDi:
+        case Op::ANDSi:
+        case Op::ANDr:
+        case Op::ANDSr:
+        case Op::BICr:
+        case Op::BICSr:
+          result = operand1 & operand2;
+          break;
+        case Op::ORRi:
+        case Op::ORRr:
+        case Op::ORNr:
+          result = operand1 | operand2;
+          break;
+        default:  // EOR family
+          result = operand1 ^ operand2;
+          break;
+      }
+      result = truncToSize(result, inst.is64);
+      if (info.setsFlags()) {
+        writeFlags(logicFlags(result, inst.is64));
+        dstGprZr(inst.rd, result);
+      } else if (info.cls == Cls::LogicImm) {
+        dstGprSp(inst.rd, result);  // AND/ORR/EOR immediate may target SP
+      } else {
+        dstGprZr(inst.rd, result);
+      }
+      break;
+    }
+
+    case Cls::MoveWide: {
+      const std::uint64_t shifted = static_cast<std::uint64_t>(inst.imm)
+                                    << inst.shiftAmount;
+      switch (inst.op) {
+        case Op::MOVZ:
+          dstGprZr(inst.rd, shifted);
+          break;
+        case Op::MOVN:
+          dstGprZr(inst.rd, truncToSize(~shifted, inst.is64));
+          break;
+        default: {  // MOVK keeps the other bits: rd is also a source
+          const std::uint64_t old = srcGprZr(inst.rd);
+          const std::uint64_t keepMask =
+              ~(std::uint64_t{0xffff} << inst.shiftAmount);
+          dstGprZr(inst.rd, (old & keepMask) | shifted);
+          break;
+        }
+      }
+      break;
+    }
+
+    case Cls::PcRel:
+      if (inst.op == Op::ADRP) {
+        dstGprZr(inst.rd, (pc & ~0xfffull) + static_cast<std::uint64_t>(inst.imm));
+      } else {
+        dstGprZr(inst.rd, pc + static_cast<std::uint64_t>(inst.imm));
+      }
+      break;
+
+    case Cls::Bitfield: {
+      const unsigned ds = inst.is64 ? 64 : 32;
+      const std::uint64_t src = srcGprZr(inst.rn);
+      const unsigned r = inst.immr;
+      const unsigned s = inst.imms;
+      std::uint64_t result;
+      if (inst.op == Op::BFM) retired.srcs.push_back(Reg::gp(inst.rd));
+      const std::uint64_t old = inst.op == Op::BFM ? state.gprZr(inst.rd) : 0;
+      if (s >= r) {
+        const unsigned width = s - r + 1;
+        const std::uint64_t field = (truncToSize(src, inst.is64) >> r) &
+                                    maskBits(width);
+        if (inst.op == Op::UBFM) {
+          result = field;
+        } else if (inst.op == Op::SBFM) {
+          result = static_cast<std::uint64_t>(
+              signExtend(field, width));
+        } else {
+          result = (old & ~maskBits(width)) | field;
+        }
+      } else {
+        const unsigned width = s + 1;
+        const unsigned posn = ds - r;
+        const std::uint64_t field = src & maskBits(width);
+        if (inst.op == Op::UBFM) {
+          result = field << posn;
+        } else if (inst.op == Op::SBFM) {
+          result = static_cast<std::uint64_t>(signExtend(field, width))
+                   << posn;
+        } else {
+          result = (old & ~(maskBits(width) << posn)) | (field << posn);
+        }
+      }
+      dstGprZr(inst.rd, truncToSize(result, inst.is64));
+      break;
+    }
+
+    case Cls::Extract: {
+      const unsigned ds = inst.is64 ? 64 : 32;
+      const std::uint64_t hi = truncToSize(srcGprZr(inst.rn), inst.is64);
+      const std::uint64_t lo = truncToSize(srcGprZr(inst.rm), inst.is64);
+      const unsigned lsb = inst.imms % ds;
+      const std::uint64_t result =
+          lsb == 0 ? lo : ((lo >> lsb) | (hi << (ds - lsb)));
+      dstGprZr(inst.rd, truncToSize(result, inst.is64));
+      break;
+    }
+
+    case Cls::DP2: {
+      const std::uint64_t a = truncToSize(srcGprZr(inst.rn), inst.is64);
+      const std::uint64_t b = truncToSize(srcGprZr(inst.rm), inst.is64);
+      const unsigned ds = inst.is64 ? 64 : 32;
+      std::uint64_t result = 0;
+      switch (inst.op) {
+        case Op::UDIV:
+          result = b == 0 ? 0 : a / b;
+          break;
+        case Op::SDIV: {
+          if (b == 0) {
+            result = 0;
+          } else if (inst.is64) {
+            const auto sa = static_cast<std::int64_t>(a);
+            const auto sb = static_cast<std::int64_t>(b);
+            result = (sa == std::numeric_limits<std::int64_t>::min() &&
+                      sb == -1)
+                         ? a
+                         : static_cast<std::uint64_t>(sa / sb);
+          } else {
+            const auto sa = static_cast<std::int32_t>(a);
+            const auto sb = static_cast<std::int32_t>(b);
+            result = (sa == std::numeric_limits<std::int32_t>::min() &&
+                      sb == -1)
+                         ? a
+                         : static_cast<std::uint32_t>(sa / sb);
+          }
+          break;
+        }
+        case Op::LSLV:
+          result = shiftValue(a, Shift::LSL, b % ds, inst.is64);
+          break;
+        case Op::LSRV:
+          result = shiftValue(a, Shift::LSR, b % ds, inst.is64);
+          break;
+        case Op::ASRV:
+          result = shiftValue(a, Shift::ASR, b % ds, inst.is64);
+          break;
+        default:  // RORV
+          result = shiftValue(a, Shift::ROR, b % ds, inst.is64);
+          break;
+      }
+      dstGprZr(inst.rd, result);
+      break;
+    }
+
+    case Cls::DP1: {
+      const std::uint64_t a = truncToSize(srcGprZr(inst.rn), inst.is64);
+      const unsigned ds = inst.is64 ? 64 : 32;
+      std::uint64_t result = 0;
+      switch (inst.op) {
+        case Op::RBIT: {
+          for (unsigned i = 0; i < ds; ++i) {
+            result |= ((a >> i) & 1) << (ds - 1 - i);
+          }
+          break;
+        }
+        case Op::REV16: {
+          for (unsigned i = 0; i < ds; i += 16) {
+            const std::uint64_t half = (a >> i) & 0xffff;
+            result |= (((half & 0xff) << 8) | (half >> 8)) << i;
+          }
+          break;
+        }
+        case Op::REV32: {
+          for (unsigned i = 0; i < 64; i += 32) {
+            const std::uint64_t w = (a >> i) & 0xffffffff;
+            result |= static_cast<std::uint64_t>(
+                          __builtin_bswap32(static_cast<std::uint32_t>(w)))
+                      << i;
+          }
+          break;
+        }
+        case Op::REV:
+          result = __builtin_bswap64(a);
+          break;
+        case Op::CLZ:
+          result = a == 0 ? ds
+                          : static_cast<unsigned>(std::countl_zero(a)) -
+                                (64 - ds);
+          break;
+        default: {  // CLS: leading sign bits (excluding the sign itself)
+          const std::uint64_t sign = (a >> (ds - 1)) & 1;
+          unsigned count = 0;
+          for (int i = static_cast<int>(ds) - 2; i >= 0; --i) {
+            if (((a >> i) & 1) != sign) break;
+            ++count;
+          }
+          result = count;
+          break;
+        }
+      }
+      dstGprZr(inst.rd, result);
+      break;
+    }
+
+    case Cls::DP3: {
+      const std::uint64_t n = srcGprZr(inst.rn);
+      const std::uint64_t m = srcGprZr(inst.rm);
+      std::uint64_t result = 0;
+      switch (inst.op) {
+        case Op::MADD:
+          result = srcGprZr(inst.ra) + truncToSize(n, inst.is64) *
+                                           truncToSize(m, inst.is64);
+          break;
+        case Op::MSUB:
+          result = srcGprZr(inst.ra) - truncToSize(n, inst.is64) *
+                                           truncToSize(m, inst.is64);
+          break;
+        case Op::SMADDL:
+          result = srcGprZr(inst.ra) +
+                   static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(
+                           static_cast<std::int32_t>(n)) *
+                       static_cast<std::int64_t>(static_cast<std::int32_t>(m)));
+          break;
+        case Op::UMADDL:
+          result = srcGprZr(inst.ra) +
+                   static_cast<std::uint64_t>(static_cast<std::uint32_t>(n)) *
+                       static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(m));
+          break;
+        case Op::SMULH:
+          result = static_cast<std::uint64_t>(
+              (static_cast<__int128>(static_cast<std::int64_t>(n)) *
+               static_cast<__int128>(static_cast<std::int64_t>(m))) >>
+              64);
+          break;
+        default:  // UMULH
+          result = static_cast<std::uint64_t>(
+              (static_cast<unsigned __int128>(n) *
+               static_cast<unsigned __int128>(m)) >>
+              64);
+          break;
+      }
+      dstGprZr(inst.rd, result);
+      break;
+    }
+
+    case Cls::CondSel: {
+      const bool holds = condHolds(inst.cond, readFlags());
+      const std::uint64_t n = srcGprZr(inst.rn);
+      const std::uint64_t m = srcGprZr(inst.rm);
+      std::uint64_t result;
+      if (holds) {
+        result = n;
+      } else {
+        switch (inst.op) {
+          case Op::CSEL:
+            result = m;
+            break;
+          case Op::CSINC:
+            result = m + 1;
+            break;
+          case Op::CSINV:
+            result = ~m;
+            break;
+          default:  // CSNEG
+            result = ~m + 1;
+            break;
+        }
+      }
+      dstGprZr(inst.rd, result);
+      break;
+    }
+
+    case Cls::CondCmpImm:
+    case Cls::CondCmpReg: {
+      const std::uint8_t flags = readFlags();
+      const std::uint64_t operand1 = srcGprZr(inst.rn);
+      const std::uint64_t operand2 =
+          info.cls == Cls::CondCmpImm
+              ? static_cast<std::uint64_t>(inst.imm)
+              : srcGprZr(inst.rm);
+      std::uint8_t result = inst.imms & 15u;
+      if (condHolds(inst.cond, flags)) {
+        const bool isCmn = inst.op == Op::CCMNi || inst.op == Op::CCMNr;
+        result = addWithCarry(truncToSize(operand1, inst.is64),
+                              truncToSize(isCmn ? operand2 : ~operand2,
+                                          inst.is64),
+                              !isCmn, inst.is64)
+                     .nzcv;
+      }
+      writeFlags(result);
+      break;
+    }
+
+    case Cls::Branch26: {
+      const std::uint64_t target = pc + static_cast<std::uint64_t>(inst.imm);
+      if (inst.op == Op::BL) dstGprZr(30, pc + 4);
+      branchTo(true, target);
+      break;
+    }
+
+    case Cls::CondBranch:
+      branchTo(condHolds(inst.cond, readFlags()),
+               pc + static_cast<std::uint64_t>(inst.imm));
+      break;
+
+    case Cls::CmpBranch: {
+      const std::uint64_t value = truncToSize(srcGprZr(inst.rd), inst.is64);
+      const bool taken = inst.op == Op::CBZ ? value == 0 : value != 0;
+      branchTo(taken, pc + static_cast<std::uint64_t>(inst.imm));
+      break;
+    }
+
+    case Cls::TestBranch: {
+      const std::uint64_t value = srcGprZr(inst.rd);
+      const bool bitSet = (value >> (inst.immr & 63)) & 1;
+      const bool taken = inst.op == Op::TBZ ? !bitSet : bitSet;
+      branchTo(taken, pc + static_cast<std::uint64_t>(inst.imm));
+      break;
+    }
+
+    case Cls::BranchReg: {
+      const std::uint64_t target = srcGprZr(inst.rn);
+      if (inst.op == Op::BLR) dstGprZr(30, pc + 4);
+      branchTo(true, target);
+      break;
+    }
+
+    case Cls::Sys:
+      if (inst.op == Op::SVC) trap = Trap::Svc;
+      break;
+
+    case Cls::FpDp2: {
+      const double a = fpRead(srcFpr(inst.rn));
+      const double b = fpRead(srcFpr(inst.rm));
+      double result = 0.0;
+      switch (inst.op) {
+        case Op::FADD_S:
+        case Op::FADD_D:
+          result = a + b;
+          break;
+        case Op::FSUB_S:
+        case Op::FSUB_D:
+          result = a - b;
+          break;
+        case Op::FMUL_S:
+        case Op::FMUL_D:
+          result = a * b;
+          break;
+        case Op::FNMUL_S:
+        case Op::FNMUL_D:
+          result = -(a * b);
+          break;
+        case Op::FDIV_S:
+        case Op::FDIV_D:
+          result = a / b;
+          break;
+        case Op::FMAX_S:
+        case Op::FMAX_D:
+          result = fpMinMax(a, b, true, false);
+          break;
+        case Op::FMIN_S:
+        case Op::FMIN_D:
+          result = fpMinMax(a, b, false, false);
+          break;
+        case Op::FMAXNM_S:
+        case Op::FMAXNM_D:
+          result = fpMinMax(a, b, true, true);
+          break;
+        default:  // FMINNM
+          result = fpMinMax(a, b, false, true);
+          break;
+      }
+      // Single-precision ops must round intermediate results to float.
+      if (single) result = static_cast<float>(result);
+      fpWrite(dstFpr(inst.rd), result);
+      break;
+    }
+
+    case Cls::FpDp1: {
+      switch (inst.op) {
+        case Op::FMOV_S:
+        case Op::FMOV_D:
+          fpWrite(dstFpr(inst.rd), fpRead(srcFpr(inst.rn)));
+          break;
+        case Op::FABS_S:
+        case Op::FABS_D:
+          fpWrite(dstFpr(inst.rd), std::fabs(fpRead(srcFpr(inst.rn))));
+          break;
+        case Op::FNEG_S:
+        case Op::FNEG_D:
+          fpWrite(dstFpr(inst.rd), -fpRead(srcFpr(inst.rn)));
+          break;
+        case Op::FSQRT_S:
+        case Op::FSQRT_D: {
+          double r = std::sqrt(fpRead(srcFpr(inst.rn)));
+          if (single) r = static_cast<float>(r);
+          fpWrite(dstFpr(inst.rd), r);
+          break;
+        }
+        case Op::FCVT_SD:  // single source -> double destination
+          state.setFprD(dstFpr(inst.rd),
+                        static_cast<double>(state.fprS(srcFpr(inst.rn))));
+          break;
+        default:  // FCVT_DS: double source -> single destination
+          state.setFprS(dstFpr(inst.rd),
+                        static_cast<float>(state.fprD(srcFpr(inst.rn))));
+          break;
+      }
+      break;
+    }
+
+    case Cls::FpDp3: {
+      const double n = fpRead(srcFpr(inst.rn));
+      const double m = fpRead(srcFpr(inst.rm));
+      const double a = fpRead(srcFpr(inst.ra));
+      double result = 0.0;
+      if (single) {
+        const auto fn = static_cast<float>(n);
+        const auto fm = static_cast<float>(m);
+        const auto fa = static_cast<float>(a);
+        switch (inst.op) {
+          case Op::FMADD_S:
+            result = std::fma(fn, fm, fa);
+            break;
+          case Op::FMSUB_S:
+            result = std::fma(-fn, fm, fa);
+            break;
+          case Op::FNMADD_S:
+            result = std::fma(-fn, fm, -fa);
+            break;
+          default:
+            result = std::fma(fn, fm, -fa);
+            break;
+        }
+        result = static_cast<float>(result);
+      } else {
+        switch (inst.op) {
+          case Op::FMADD_D:
+            result = std::fma(n, m, a);
+            break;
+          case Op::FMSUB_D:
+            result = std::fma(-n, m, a);
+            break;
+          case Op::FNMADD_D:
+            result = std::fma(-n, m, -a);
+            break;
+          default:  // FNMSUB_D
+            result = std::fma(n, m, -a);
+            break;
+        }
+      }
+      fpWrite(dstFpr(inst.rd), result);
+      break;
+    }
+
+    case Cls::FpCmp:
+      writeFlags(fcmpFlags(fpRead(srcFpr(inst.rn)), fpRead(srcFpr(inst.rm))));
+      break;
+
+    case Cls::FpCmpZero:
+      writeFlags(fcmpFlags(fpRead(srcFpr(inst.rn)), 0.0));
+      break;
+
+    case Cls::FpCsel: {
+      const bool holds = condHolds(inst.cond, readFlags());
+      const double n = fpRead(srcFpr(inst.rn));
+      const double m = fpRead(srcFpr(inst.rm));
+      fpWrite(dstFpr(inst.rd), holds ? n : m);
+      break;
+    }
+
+    case Cls::FpImm:
+      fpWrite(dstFpr(inst.rd),
+              fpImm8ToDouble(static_cast<std::uint8_t>(inst.imm)));
+      break;
+
+    case Cls::FpIntCvt: {
+      switch (inst.op) {
+        case Op::SCVTF_S:
+        case Op::SCVTF_D: {
+          const std::uint64_t raw = srcGprZr(inst.rn);
+          const double value =
+              inst.is64 ? static_cast<double>(static_cast<std::int64_t>(raw))
+                        : static_cast<double>(static_cast<std::int32_t>(raw));
+          fpWrite(dstFpr(inst.rd), value);
+          break;
+        }
+        case Op::UCVTF_S:
+        case Op::UCVTF_D: {
+          const std::uint64_t raw = srcGprZr(inst.rn);
+          const double value =
+              inst.is64 ? static_cast<double>(raw)
+                        : static_cast<double>(static_cast<std::uint32_t>(raw));
+          fpWrite(dstFpr(inst.rd), value);
+          break;
+        }
+        case Op::FCVTZS_S:
+        case Op::FCVTZS_D: {
+          const double value = fpRead(srcFpr(inst.rn));
+          const std::uint64_t result =
+              inst.is64
+                  ? static_cast<std::uint64_t>(fcvtz<std::int64_t>(value))
+                  : static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                        fcvtz<std::int32_t>(value)));
+          dstGprZr(inst.rd, result);
+          break;
+        }
+        case Op::FCVTZU_S:
+        case Op::FCVTZU_D: {
+          const double value = fpRead(srcFpr(inst.rn));
+          const std::uint64_t result =
+              inst.is64 ? fcvtz<std::uint64_t>(value)
+                        : fcvtz<std::uint32_t>(value);
+          dstGprZr(inst.rd, result);
+          break;
+        }
+        case Op::FMOV_XD:
+          dstGprZr(inst.rd, state.v[srcFpr(inst.rn)]);
+          break;
+        case Op::FMOV_DX:
+          state.v[dstFpr(inst.rd)] = srcGprZr(inst.rn);
+          break;
+        case Op::FMOV_WS:
+          dstGprZr(inst.rd, static_cast<std::uint32_t>(state.v[srcFpr(inst.rn)]));
+          break;
+        default:  // FMOV_SW
+          state.v[dstFpr(inst.rd)] =
+              static_cast<std::uint32_t>(srcGprZr(inst.rn));
+          break;
+      }
+      break;
+    }
+
+    case Cls::LoadStore: {
+      const std::uint64_t base = srcGprSp(inst.rn);
+      std::uint64_t addr = base;
+      std::uint64_t writeback = base;
+      switch (inst.mode) {
+        case AddrMode::Offset:
+        case AddrMode::Unscaled:
+          addr = base + static_cast<std::uint64_t>(inst.imm);
+          break;
+        case AddrMode::PreIndex:
+          addr = base + static_cast<std::uint64_t>(inst.imm);
+          writeback = addr;
+          break;
+        case AddrMode::PostIndex:
+          writeback = base + static_cast<std::uint64_t>(inst.imm);
+          break;
+        case AddrMode::RegOffset:
+          addr = base + (extendValue(srcGprZr(inst.rm), inst.extend)
+                         << inst.extAmount);
+          break;
+        case AddrMode::Literal:
+          return Trap::IllegalInstruction;
+      }
+
+      const std::uint8_t size = info.memSize;
+      if (info.isLoad()) {
+        retired.loads.push_back(MemAccess{addr, size});
+        if (info.fpData()) {
+          if (size == 4) state.v[inst.rd] = memory.read<std::uint32_t>(addr);
+          else state.v[inst.rd] = memory.read<std::uint64_t>(addr);
+          retired.dsts.push_back(Reg::fp(inst.rd));
+        } else {
+          std::uint64_t value = 0;
+          switch (inst.op) {
+            case Op::LDRB:
+              value = memory.read<std::uint8_t>(addr);
+              break;
+            case Op::LDRH:
+              value = memory.read<std::uint16_t>(addr);
+              break;
+            case Op::LDRW:
+              value = memory.read<std::uint32_t>(addr);
+              break;
+            case Op::LDRX:
+              value = memory.read<std::uint64_t>(addr);
+              break;
+            case Op::LDRSB:
+              value = static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(memory.read<std::int8_t>(addr)));
+              break;
+            case Op::LDRSH:
+              value = static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(memory.read<std::int16_t>(addr)));
+              break;
+            default:  // LDRSW
+              value = static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(memory.read<std::int32_t>(addr)));
+              break;
+          }
+          if (inst.rd != 31) {
+            retired.dsts.push_back(Reg::gp(inst.rd));
+            state.x[inst.rd] = value;
+          }
+        }
+      } else {
+        retired.stores.push_back(MemAccess{addr, size});
+        if (info.fpData()) {
+          retired.srcs.push_back(Reg::fp(inst.rd));
+          if (size == 4) {
+            memory.write<std::uint32_t>(
+                addr, static_cast<std::uint32_t>(state.v[inst.rd]));
+          } else {
+            memory.write<std::uint64_t>(addr, state.v[inst.rd]);
+          }
+        } else {
+          const std::uint64_t value = srcGprZr(inst.rd);
+          switch (size) {
+            case 1:
+              memory.write<std::uint8_t>(addr, static_cast<std::uint8_t>(value));
+              break;
+            case 2:
+              memory.write<std::uint16_t>(addr,
+                                          static_cast<std::uint16_t>(value));
+              break;
+            case 4:
+              memory.write<std::uint32_t>(addr,
+                                          static_cast<std::uint32_t>(value));
+              break;
+            default:
+              memory.write<std::uint64_t>(addr, value);
+              break;
+          }
+        }
+      }
+      if (inst.mode == AddrMode::PreIndex || inst.mode == AddrMode::PostIndex) {
+        retired.dsts.push_back(Reg::gp(inst.rn));
+        state.setGprSp(inst.rn, writeback);
+      }
+      break;
+    }
+
+    case Cls::LoadStorePair: {
+      const std::uint64_t base = srcGprSp(inst.rn);
+      std::uint64_t addr = base;
+      std::uint64_t writeback = base;
+      switch (inst.mode) {
+        case AddrMode::Offset:
+          addr = base + static_cast<std::uint64_t>(inst.imm);
+          break;
+        case AddrMode::PreIndex:
+          addr = base + static_cast<std::uint64_t>(inst.imm);
+          writeback = addr;
+          break;
+        case AddrMode::PostIndex:
+          writeback = base + static_cast<std::uint64_t>(inst.imm);
+          break;
+        default:
+          return Trap::IllegalInstruction;
+      }
+      if (info.isLoad()) {
+        retired.loads.push_back(MemAccess{addr, 8});
+        retired.loads.push_back(MemAccess{addr + 8, 8});
+        if (info.fpData()) {
+          state.v[inst.rd] = memory.read<std::uint64_t>(addr);
+          state.v[inst.rt2] = memory.read<std::uint64_t>(addr + 8);
+          retired.dsts.push_back(Reg::fp(inst.rd));
+          retired.dsts.push_back(Reg::fp(inst.rt2));
+        } else {
+          const std::uint64_t v0 = memory.read<std::uint64_t>(addr);
+          const std::uint64_t v1 = memory.read<std::uint64_t>(addr + 8);
+          if (inst.rd != 31) {
+            state.x[inst.rd] = v0;
+            retired.dsts.push_back(Reg::gp(inst.rd));
+          }
+          if (inst.rt2 != 31) {
+            state.x[inst.rt2] = v1;
+            retired.dsts.push_back(Reg::gp(inst.rt2));
+          }
+        }
+      } else {
+        retired.stores.push_back(MemAccess{addr, 8});
+        retired.stores.push_back(MemAccess{addr + 8, 8});
+        if (info.fpData()) {
+          retired.srcs.push_back(Reg::fp(inst.rd));
+          retired.srcs.push_back(Reg::fp(inst.rt2));
+          memory.write<std::uint64_t>(addr, state.v[inst.rd]);
+          memory.write<std::uint64_t>(addr + 8, state.v[inst.rt2]);
+        } else {
+          memory.write<std::uint64_t>(addr, srcGprZr(inst.rd));
+          memory.write<std::uint64_t>(addr + 8, srcGprZr(inst.rt2));
+        }
+      }
+      if (inst.mode == AddrMode::PreIndex || inst.mode == AddrMode::PostIndex) {
+        retired.dsts.push_back(Reg::gp(inst.rn));
+        state.setGprSp(inst.rn, writeback);
+      }
+      break;
+    }
+
+    case Cls::LoadLiteral: {
+      const std::uint64_t addr = pc + static_cast<std::uint64_t>(inst.imm);
+      const std::uint8_t size = info.memSize;
+      retired.loads.push_back(MemAccess{addr, size});
+      switch (inst.op) {
+        case Op::LDR_LIT_W:
+          dstGprZr(inst.rd, memory.read<std::uint32_t>(addr));
+          break;
+        case Op::LDR_LIT_X:
+          dstGprZr(inst.rd, memory.read<std::uint64_t>(addr));
+          break;
+        case Op::LDR_LIT_SW:
+          dstGprZr(inst.rd,
+                   static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                       memory.read<std::int32_t>(addr))));
+          break;
+        case Op::LDR_LIT_S:
+          state.v[dstFpr(inst.rd)] = memory.read<std::uint32_t>(addr);
+          break;
+        default:  // LDR_LIT_D
+          state.v[dstFpr(inst.rd)] = memory.read<std::uint64_t>(addr);
+          break;
+      }
+      break;
+    }
+  }
+
+  state.pc = nextPc;
+  return trap;
+}
+
+}  // namespace riscmp::a64

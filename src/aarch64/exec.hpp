@@ -1,0 +1,86 @@
+// AArch64 architectural state and single-instruction executor.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "aarch64/inst.hpp"
+#include "core/memory.hpp"
+#include "isa/trace.hpp"
+
+namespace riscmp::a64 {
+
+/// NZCV flag bit positions within State::nzcv.
+inline constexpr std::uint8_t kFlagN = 8;
+inline constexpr std::uint8_t kFlagZ = 4;
+inline constexpr std::uint8_t kFlagC = 2;
+inline constexpr std::uint8_t kFlagV = 1;
+
+struct State {
+  std::array<std::uint64_t, 31> x{};  ///< x0..x30
+  std::uint64_t sp = 0;
+  std::uint64_t pc = 0;
+  std::array<std::uint64_t, 32> v{};  ///< scalar FP registers (low 64 bits)
+  std::uint8_t nzcv = 0;
+
+  /// Read a general-purpose register; index 31 is the zero register.
+  [[nodiscard]] std::uint64_t gprZr(unsigned i) const {
+    return i == 31 ? 0 : x[i];
+  }
+  /// Read a general-purpose register; index 31 is the stack pointer.
+  [[nodiscard]] std::uint64_t gprSp(unsigned i) const {
+    return i == 31 ? sp : x[i];
+  }
+  void setGprZr(unsigned i, std::uint64_t value) {
+    if (i != 31) x[i] = value;
+  }
+  void setGprSp(unsigned i, std::uint64_t value) {
+    if (i == 31) sp = value;
+    else x[i] = value;
+  }
+
+  [[nodiscard]] double fprD(unsigned i) const {
+    double value;
+    std::memcpy(&value, &v[i], sizeof value);
+    return value;
+  }
+  void setFprD(unsigned i, double value) {
+    std::memcpy(&v[i], &value, sizeof value);
+  }
+  [[nodiscard]] float fprS(unsigned i) const {
+    const auto low = static_cast<std::uint32_t>(v[i]);
+    float value;
+    std::memcpy(&value, &low, sizeof value);
+    return value;
+  }
+  /// Scalar writes zero the upper bits of the vector register (A64 rule).
+  void setFprS(unsigned i, float value) {
+    std::uint32_t low;
+    std::memcpy(&low, &value, sizeof low);
+    v[i] = low;
+  }
+
+  [[nodiscard]] bool flagN() const { return nzcv & kFlagN; }
+  [[nodiscard]] bool flagZ() const { return nzcv & kFlagZ; }
+  [[nodiscard]] bool flagC() const { return nzcv & kFlagC; }
+  [[nodiscard]] bool flagV() const { return nzcv & kFlagV; }
+};
+
+enum class Trap : std::uint8_t {
+  None,
+  Svc,
+  IllegalInstruction,
+};
+
+/// Evaluate an A64 condition against the NZCV flags.
+bool condHolds(Cond cond, std::uint8_t nzcv);
+
+/// Execute one decoded instruction: updates `state` (including pc) and
+/// `memory`, and appends operand/memory/branch details to `retired`.
+/// XZR reads are not recorded as dependencies; SP (register 31 in
+/// SP-position operands) is. NZCV participates as a Flags register.
+Trap execute(const Inst& inst, State& state, Memory& memory,
+             RetiredInst& retired);
+
+}  // namespace riscmp::a64

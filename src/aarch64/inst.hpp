@@ -1,0 +1,80 @@
+// Decoded AArch64 instruction representation.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "aarch64/opcodes.hpp"
+
+namespace riscmp::a64 {
+
+/// Addressing modes of the load/store family (paper §3.3 discusses the
+/// path-length impact of each of these).
+enum class AddrMode : std::uint8_t {
+  Offset,     ///< [Xn, #imm] — scaled unsigned 12-bit immediate
+  PreIndex,   ///< [Xn, #imm]! — signed 9-bit, writes back before access
+  PostIndex,  ///< [Xn], #imm — signed 9-bit, writes back after access
+  Unscaled,   ///< LDUR/STUR — signed 9-bit, no write-back
+  RegOffset,  ///< [Xn, Xm{, ext #s}] — register offset with extend/shift
+  Literal,    ///< PC-relative literal pool load
+};
+
+enum class Shift : std::uint8_t { LSL = 0, LSR = 1, ASR = 2, ROR = 3 };
+
+enum class Extend : std::uint8_t {
+  UXTB = 0,
+  UXTH = 1,
+  UXTW = 2,
+  UXTX = 3,  ///< also plain LSL in register-offset addressing
+  SXTB = 4,
+  SXTH = 5,
+  SXTW = 6,
+  SXTX = 7,
+};
+
+/// A64 condition codes.
+enum class Cond : std::uint8_t {
+  EQ = 0, NE = 1, CS = 2, CC = 3, MI = 4, PL = 5, VS = 6, VC = 7,
+  HI = 8, LS = 9, GE = 10, LT = 11, GT = 12, LE = 13, AL = 14, NV = 15,
+};
+
+std::string_view condName(Cond cond);
+Cond invertCond(Cond cond);
+
+struct Inst {
+  Op op = Op::NOP;
+  bool is64 = true;  ///< sf bit: X/D registers vs W/S registers
+
+  std::uint8_t rd = 0;   ///< destination (also Rt for loads/stores)
+  std::uint8_t rn = 0;   ///< first source / base register
+  std::uint8_t rm = 0;   ///< second source / offset register
+  std::uint8_t ra = 0;   ///< third source (madd/msub/fmadd)
+  std::uint8_t rt2 = 0;  ///< second transfer register (LDP/STP)
+
+  std::int64_t imm = 0;  ///< primary immediate: imm12/imm16/branch offset/
+                         ///< load-store offset/imm5 (ccmp)/imm8 (fmov)
+  std::uint64_t bitmask = 0;  ///< decoded logical-immediate value
+
+  Shift shift = Shift::LSL;
+  std::uint8_t shiftAmount = 0;  ///< imm6 shift / hw*16 for movewide /
+                                 ///< sh ? 12 : 0 for add-sub imm
+  Extend extend = Extend::UXTX;
+  std::uint8_t extAmount = 0;    ///< imm3 / S-bit scale for reg-offset
+  Cond cond = Cond::AL;
+  std::uint8_t immr = 0;  ///< bitfield immr / EXTR lsb
+  std::uint8_t imms = 0;  ///< bitfield imms / ccmp nzcv
+  AddrMode mode = AddrMode::Offset;
+
+  [[nodiscard]] const OpInfo& info() const { return opInfo(op); }
+
+  bool operator==(const Inst&) const = default;
+};
+
+/// Register naming. Index 31 renders as sp/wsp in SP-position contexts and
+/// xzr/wzr otherwise; callers pick via `spForm`.
+std::string_view gprName(unsigned index, bool is64, bool spForm = false);
+std::string_view fprName(unsigned index, bool single);
+int gprFromName(std::string_view name, bool& is64, bool& isSp);
+int fprFromName(std::string_view name, bool& single);
+
+}  // namespace riscmp::a64

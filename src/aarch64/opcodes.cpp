@@ -1,0 +1,22 @@
+#include "aarch64/opcodes.hpp"
+
+namespace riscmp::a64 {
+namespace {
+
+constexpr std::array<OpInfo, kOpCount> kOpTable = {{
+#define X(NAME, mnemonic, cls, match, mask, group, flags, memSize)      \
+  OpInfo{Op::NAME, mnemonic,          Cls::cls, match,                  \
+         mask,     InstGroup::group,  flags,    memSize},
+#include "aarch64/opcodes.def"
+#undef X
+}};
+
+}  // namespace
+
+const OpInfo& opInfo(Op op) { return kOpTable[static_cast<std::size_t>(op)]; }
+
+namespace detail {
+const std::array<OpInfo, kOpCount>& opTable() { return kOpTable; }
+}  // namespace detail
+
+}  // namespace riscmp::a64

@@ -1,0 +1,93 @@
+// AArch64 opcode enumeration and static metadata.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "isa/groups.hpp"
+
+namespace riscmp::a64 {
+
+// Flags used by the opcode catalogue (see opcodes.def).
+inline constexpr std::uint8_t kSetsFlags = 1;   ///< writes NZCV
+inline constexpr std::uint8_t kReadsFlags = 2;  ///< reads NZCV (cond ops)
+inline constexpr std::uint8_t kLoad = 4;
+inline constexpr std::uint8_t kStore = 8;
+inline constexpr std::uint8_t kFpData = 16;   ///< data registers are FP regs
+inline constexpr std::uint8_t kFpSingle = 32; ///< single precision
+inline constexpr std::uint8_t kSfFixed = 64;  ///< is64 fixed by the encoding
+
+enum class Cls : std::uint8_t {
+  AddSubImm,
+  LogicImm,
+  MoveWide,
+  PcRel,
+  Bitfield,
+  Extract,
+  AddSubShifted,
+  AddSubExt,
+  LogicShifted,
+  DP2,
+  DP1,
+  DP3,
+  CondSel,
+  CondCmpImm,
+  CondCmpReg,
+  Branch26,
+  CondBranch,
+  CmpBranch,
+  TestBranch,
+  BranchReg,
+  Sys,
+  FpDp2,
+  FpDp1,
+  FpDp3,
+  FpCmp,
+  FpCmpZero,
+  FpCsel,
+  FpImm,
+  FpIntCvt,
+  LoadStore,
+  LoadStorePair,
+  LoadLiteral,
+};
+
+enum class Op : std::uint8_t {
+#define X(NAME, mnemonic, cls, match, mask, group, flags, memSize) NAME,
+#include "aarch64/opcodes.def"
+#undef X
+};
+
+constexpr std::size_t kOpCount = 0
+#define X(...) +1
+#include "aarch64/opcodes.def"
+#undef X
+    ;
+
+struct OpInfo {
+  Op op;
+  std::string_view mnemonic;
+  Cls cls;
+  std::uint32_t match;
+  std::uint32_t mask;
+  InstGroup group;
+  std::uint8_t flags;
+  std::uint8_t memSize;
+
+  [[nodiscard]] bool setsFlags() const { return flags & kSetsFlags; }
+  [[nodiscard]] bool readsFlags() const { return flags & kReadsFlags; }
+  [[nodiscard]] bool isLoad() const { return flags & kLoad; }
+  [[nodiscard]] bool isStore() const { return flags & kStore; }
+  [[nodiscard]] bool fpData() const { return flags & kFpData; }
+  [[nodiscard]] bool fpSingle() const { return flags & kFpSingle; }
+  [[nodiscard]] bool sfFixed() const { return flags & kSfFixed; }
+};
+
+const OpInfo& opInfo(Op op);
+
+namespace detail {
+const std::array<OpInfo, kOpCount>& opTable();
+}  // namespace detail
+
+}  // namespace riscmp::a64

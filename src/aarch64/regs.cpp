@@ -1,0 +1,109 @@
+// AArch64 register and condition-code naming.
+#include <array>
+#include <charconv>
+#include <string>
+
+#include "aarch64/inst.hpp"
+
+namespace riscmp::a64 {
+namespace {
+
+// Rendered names are cached in static tables so string_views stay valid.
+const std::array<std::string, 32>& names(char prefix) {
+  static const auto make = [](char p) {
+    std::array<std::string, 32> out;
+    for (unsigned i = 0; i < 32; ++i) out[i] = p + std::to_string(i);
+    return out;
+  };
+  static const std::array<std::string, 32> x = make('x');
+  static const std::array<std::string, 32> w = make('w');
+  static const std::array<std::string, 32> d = make('d');
+  static const std::array<std::string, 32> s = make('s');
+  switch (prefix) {
+    case 'x':
+      return x;
+    case 'w':
+      return w;
+    case 'd':
+      return d;
+    default:
+      return s;
+  }
+}
+
+int parseIndex(std::string_view digits) {
+  int value = -1;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc{} || ptr != digits.data() + digits.size() || value < 0 ||
+      value > 31) {
+    return -1;
+  }
+  return value;
+}
+
+constexpr std::array<std::string_view, 16> kCondNames = {
+    "eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+    "hi", "ls", "ge", "lt", "gt", "le", "al", "nv"};
+
+}  // namespace
+
+std::string_view condName(Cond cond) {
+  return kCondNames[static_cast<unsigned>(cond) & 15];
+}
+
+Cond invertCond(Cond cond) {
+  // AL/NV do not invert; all others toggle the low bit.
+  if (cond == Cond::AL || cond == Cond::NV) return cond;
+  return static_cast<Cond>(static_cast<unsigned>(cond) ^ 1);
+}
+
+std::string_view gprName(unsigned index, bool is64, bool spForm) {
+  index &= 31;
+  if (index == 31) {
+    if (spForm) return is64 ? "sp" : "wsp";
+    return is64 ? "xzr" : "wzr";
+  }
+  return names(is64 ? 'x' : 'w')[index];
+}
+
+std::string_view fprName(unsigned index, bool single) {
+  return names(single ? 's' : 'd')[index & 31];
+}
+
+int gprFromName(std::string_view name, bool& is64, bool& isSp) {
+  isSp = false;
+  if (name == "sp" || name == "xzr") {
+    is64 = true;
+    isSp = name == "sp";
+    return 31;
+  }
+  if (name == "wsp" || name == "wzr") {
+    is64 = false;
+    isSp = name == "wsp";
+    return 31;
+  }
+  if (name.size() < 2) return -1;
+  if (name[0] == 'x') {
+    is64 = true;
+  } else if (name[0] == 'w') {
+    is64 = false;
+  } else {
+    return -1;
+  }
+  return parseIndex(name.substr(1));
+}
+
+int fprFromName(std::string_view name, bool& single) {
+  if (name.size() < 2) return -1;
+  if (name[0] == 'd') {
+    single = false;
+  } else if (name[0] == 's') {
+    single = true;
+  } else {
+    return -1;
+  }
+  return parseIndex(name.substr(1));
+}
+
+}  // namespace riscmp::a64

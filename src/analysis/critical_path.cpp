@@ -1,0 +1,53 @@
+#include "analysis/critical_path.hpp"
+
+#include <algorithm>
+
+namespace riscmp {
+namespace {
+
+/// 8-byte chunk range covered by an access.
+inline std::pair<std::uint64_t, std::uint64_t> chunkRange(
+    const MemAccess& access) {
+  const std::uint64_t first = access.addr >> 3;
+  const std::uint64_t last = (access.addr + access.size - 1) >> 3;
+  return {first, last};
+}
+
+}  // namespace
+
+void CriticalPathAnalyzer::onRetire(const RetiredInst& inst) {
+  ++instructions_;
+
+  std::uint64_t depth = 0;
+  for (const Reg& reg : inst.srcs) {
+    depth = std::max(depth, regDepth_[reg.dense()]);
+  }
+  for (const MemAccess& access : inst.loads) {
+    const auto [first, last] = chunkRange(access);
+    for (std::uint64_t chunk = first; chunk <= last; ++chunk) {
+      const auto it = memDepth_.find(chunk);
+      if (it != memDepth_.end()) depth = std::max(depth, it->second);
+    }
+  }
+
+  // Loads and stores are never scaled (§5.1: store forwarding assumed).
+  const bool isMem = !inst.loads.empty() || !inst.stores.empty();
+  const std::uint64_t cost =
+      (scaled_ && !isMem)
+          ? latencies_[static_cast<std::size_t>(inst.group)]
+          : 1;
+  depth += cost;
+
+  for (const Reg& reg : inst.dsts) {
+    regDepth_[reg.dense()] = depth;
+  }
+  for (const MemAccess& access : inst.stores) {
+    const auto [first, last] = chunkRange(access);
+    for (std::uint64_t chunk = first; chunk <= last; ++chunk) {
+      memDepth_[chunk] = depth;
+    }
+  }
+  maxDepth_ = std::max(maxDepth_, depth);
+}
+
+}  // namespace riscmp

@@ -1,0 +1,65 @@
+// Critical-path analysis (paper §4.1, §5.1).
+//
+// An array holds the longest RAW chain ending at each register; a hash map
+// holds the chain ending at each memory location (8-byte chunks, covering
+// the access extent). Each retired instruction's depth is
+//   max(depth of sources) + cost
+// where cost is 1 for the ideal-processor analysis (§4) and the
+// instruction's execution latency for the scaled analysis (§5) — loads and
+// stores are not scaled (store-forwarding assumption, §5.1). The critical
+// path is the maximum depth observed; ILP = instructions / CP.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "isa/trace.hpp"
+
+namespace riscmp {
+
+/// Execution latency per instruction group (cycles).
+using LatencyTable = std::array<std::uint32_t, kInstGroupCount>;
+
+/// The unit latency table: every group costs one cycle (ideal processor).
+constexpr LatencyTable unitLatencies() {
+  LatencyTable table{};
+  table.fill(1);
+  return table;
+}
+
+class CriticalPathAnalyzer final : public TraceObserver {
+ public:
+  /// Without a table the analyzer computes the paper's §4 (unscaled) CP;
+  /// with one, the §5 scaled CP.
+  CriticalPathAnalyzer() : latencies_(unitLatencies()), scaled_(false) {}
+  explicit CriticalPathAnalyzer(const LatencyTable& latencies)
+      : latencies_(latencies), scaled_(true) {}
+
+  void onRetire(const RetiredInst& inst) override;
+
+  /// Length of the longest RAW dependency chain seen so far.
+  [[nodiscard]] std::uint64_t criticalPath() const { return maxDepth_; }
+  [[nodiscard]] std::uint64_t instructions() const { return instructions_; }
+  [[nodiscard]] double ilp() const {
+    return maxDepth_ == 0
+               ? 0.0
+               : static_cast<double>(instructions_) /
+                     static_cast<double>(maxDepth_);
+  }
+  /// Ideal runtime in seconds at `clockHz` (paper uses 2 GHz).
+  [[nodiscard]] double runtimeSeconds(double clockHz = 2e9) const {
+    return static_cast<double>(maxDepth_) / clockHz;
+  }
+
+ private:
+  std::array<std::uint64_t, Reg::kDenseCount> regDepth_{};
+  std::unordered_map<std::uint64_t, std::uint64_t> memDepth_;
+  LatencyTable latencies_;
+  bool scaled_;
+  std::uint64_t maxDepth_ = 0;
+  std::uint64_t instructions_ = 0;
+};
+
+}  // namespace riscmp

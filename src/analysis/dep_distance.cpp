@@ -1,0 +1,63 @@
+#include "analysis/dep_distance.hpp"
+
+#include <bit>
+
+namespace riscmp {
+
+DependencyDistanceAnalyzer::DependencyDistanceAnalyzer() = default;
+
+void DependencyDistanceAnalyzer::record(std::uint64_t producerIndex) {
+  const std::uint64_t distance = retired_ - producerIndex;
+  if (distance == 0) return;
+  stats_.add(static_cast<double>(distance));
+  const auto bucket = static_cast<std::size_t>(
+      std::bit_width(distance) - 1);
+  ++histogram_[bucket < kBuckets ? bucket : kBuckets - 1];
+}
+
+void DependencyDistanceAnalyzer::onRetire(const RetiredInst& inst) {
+  for (const Reg& reg : inst.srcs) {
+    const unsigned dense = reg.dense();
+    if (regWritten_[dense]) record(regWriter_[dense]);
+  }
+  for (const MemAccess& access : inst.loads) {
+    const std::uint64_t first = access.addr >> 3;
+    const std::uint64_t last = (access.addr + access.size - 1) >> 3;
+    for (std::uint64_t chunk = first; chunk <= last; ++chunk) {
+      const auto it = memWriter_.find(chunk);
+      if (it != memWriter_.end()) record(it->second);
+    }
+  }
+
+  for (const Reg& reg : inst.dsts) {
+    const unsigned dense = reg.dense();
+    regWriter_[dense] = retired_;
+    regWritten_[dense] = true;
+  }
+  for (const MemAccess& access : inst.stores) {
+    const std::uint64_t first = access.addr >> 3;
+    const std::uint64_t last = (access.addr + access.size - 1) >> 3;
+    for (std::uint64_t chunk = first; chunk <= last; ++chunk) {
+      memWriter_[chunk] = retired_;
+    }
+  }
+  ++retired_;
+}
+
+double DependencyDistanceAnalyzer::fractionWithin(std::uint64_t window) const {
+  if (stats_.count() == 0) return 0.0;
+  std::uint64_t within = 0;
+  std::uint64_t total = 0;
+  for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+    total += histogram_[bucket];
+    // Bucket covers [2^bucket, 2^(bucket+1)); count it as within when the
+    // whole bucket fits.
+    if ((std::uint64_t{1} << (bucket + 1)) - 1 <= window) {
+      within += histogram_[bucket];
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(within) / static_cast<double>(total);
+}
+
+}  // namespace riscmp

@@ -1,0 +1,64 @@
+#include "analysis/path_length.hpp"
+
+#include <algorithm>
+
+namespace riscmp {
+
+PathLengthCounter::PathLengthCounter(const Program& program) {
+  for (const Symbol& symbol : program.kernels) {
+    // Multiple regions may share a kernel name (time-step-unrolled
+    // workloads); their counts aggregate.
+    std::size_t kernelIndex = kernels_.size();
+    for (std::size_t i = 0; i < kernels_.size(); ++i) {
+      if (kernels_[i].name == symbol.name) {
+        kernelIndex = i;
+        break;
+      }
+    }
+    if (kernelIndex == kernels_.size()) {
+      kernels_.push_back({symbol.name, 0});
+    }
+    regions_.push_back({symbol.addr, symbol.addr + symbol.size, kernelIndex});
+  }
+  std::sort(regions_.begin(), regions_.end(),
+            [](const Region& a, const Region& b) { return a.begin < b.begin; });
+}
+
+void PathLengthCounter::onRetire(const RetiredInst& inst) {
+  ++total_;
+  ++groups_[static_cast<std::size_t>(inst.group)];
+
+  // Loops stay inside one region for a long time; check the last hit first.
+  if (lastRegion_ != SIZE_MAX) {
+    const Region& region = regions_[lastRegion_];
+    if (inst.pc >= region.begin && inst.pc < region.end) {
+      ++kernels_[region.kernelIndex].count;
+      return;
+    }
+  }
+  const auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), inst.pc,
+      [](std::uint64_t pc, const Region& region) { return pc < region.begin; });
+  if (it != regions_.begin()) {
+    const Region& region = *(it - 1);
+    if (inst.pc < region.end) {
+      lastRegion_ = static_cast<std::size_t>(&region - regions_.data());
+      ++kernels_[region.kernelIndex].count;
+      return;
+    }
+  }
+  ++unattributed_;
+}
+
+std::uint64_t PathLengthCounter::kernelCount(std::string_view name) const {
+  for (const KernelCount& kernel : kernels_) {
+    if (kernel.name == name) return kernel.count;
+  }
+  return 0;
+}
+
+std::uint64_t PathLengthCounter::branchCount() const {
+  return groupCount(InstGroup::Branch);
+}
+
+}  // namespace riscmp

@@ -1,0 +1,143 @@
+#include "analysis/windowed_cp.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+namespace riscmp {
+
+std::vector<std::uint32_t> WindowedCPAnalyzer::paperWindowSizes() {
+  return {4, 16, 64, 200, 500, 1000, 2000};
+}
+
+WindowedCPAnalyzer::WindowedCPAnalyzer(std::vector<std::uint32_t> windowSizes,
+                                       unsigned slideNumerator,
+                                       unsigned slideDenominator,
+                                       const LatencyTable* latencies)
+    : slideNumerator_(std::max(1u, slideNumerator)),
+      slideDenominator_(std::max(1u, slideDenominator)) {
+  for (const std::uint32_t size : windowSizes) {
+    sizes_.push_back(PerSize{size});
+  }
+  if (latencies != nullptr) {
+    scaled_ = true;
+    latencies_ = *latencies;
+  }
+}
+
+void WindowedCPAnalyzer::onRetire(const RetiredInst& inst) {
+  Footprint footprint;
+  if (scaled_) {
+    const bool isMem = !inst.loads.empty() || !inst.stores.empty();
+    footprint.cost =
+        isMem ? 1 : latencies_[static_cast<std::size_t>(inst.group)];
+  }
+  for (const Reg& reg : inst.srcs) {
+    footprint.srcRegs.push_back(static_cast<std::uint8_t>(reg.dense()));
+  }
+  for (const Reg& reg : inst.dsts) {
+    footprint.dstRegs.push_back(static_cast<std::uint8_t>(reg.dense()));
+  }
+  for (const MemAccess& access : inst.loads) {
+    const std::uint64_t first = access.addr >> 3;
+    const std::uint64_t last = (access.addr + access.size - 1) >> 3;
+    for (std::uint64_t chunk = first;
+         chunk <= last && footprint.loadChunks.size() <
+                              footprint.loadChunks.capacity();
+         ++chunk) {
+      footprint.loadChunks.push_back(chunk);
+    }
+  }
+  for (const MemAccess& access : inst.stores) {
+    const std::uint64_t first = access.addr >> 3;
+    const std::uint64_t last = (access.addr + access.size - 1) >> 3;
+    for (std::uint64_t chunk = first;
+         chunk <= last &&
+         footprint.stChunks.size() < footprint.stChunks.capacity();
+         ++chunk) {
+      footprint.stChunks.push_back(chunk);
+    }
+  }
+  buffer_.push_back(std::move(footprint));
+  ++retired_;
+  evaluateReadyWindows();
+}
+
+void WindowedCPAnalyzer::evaluateReadyWindows() {
+  for (PerSize& perSize : sizes_) {
+    while (perSize.nextStart + perSize.size <= retired_) {
+      const std::uint64_t cp = windowCp(perSize.nextStart, perSize.size);
+      perSize.cpStats.add(static_cast<double>(cp));
+      perSize.nextStart += std::max<std::uint32_t>(
+          1, perSize.size * slideNumerator_ / slideDenominator_);
+    }
+  }
+  trim();
+}
+
+std::uint64_t WindowedCPAnalyzer::windowCp(std::uint64_t start,
+                                           std::uint32_t size) {
+  // Scratch state is reused across calls; small windows are evaluated every
+  // W/2 retirements so per-call allocation would dominate.
+  auto& regDepth = scratchRegDepth_;
+  regDepth.fill(0);
+  auto& memDepth = scratchMemDepth_;
+  memDepth.clear();
+  std::uint64_t maxDepth = 0;
+  const std::size_t offset = static_cast<std::size_t>(start - bufferBase_);
+  for (std::size_t i = 0; i < size; ++i) {
+    const Footprint& footprint = buffer_[offset + i];
+    std::uint64_t depth = 0;
+    for (const std::uint8_t reg : footprint.srcRegs) {
+      depth = std::max(depth, regDepth[reg]);
+    }
+    for (const std::uint64_t chunk : footprint.loadChunks) {
+      const auto it = memDepth.find(chunk);
+      if (it != memDepth.end()) depth = std::max(depth, it->second);
+    }
+    depth += footprint.cost;
+    for (const std::uint8_t reg : footprint.dstRegs) regDepth[reg] = depth;
+    for (const std::uint64_t chunk : footprint.stChunks) {
+      memDepth[chunk] = depth;
+    }
+    maxDepth = std::max(maxDepth, depth);
+  }
+  return maxDepth;
+}
+
+void WindowedCPAnalyzer::trim() {
+  // Records below every size's next window start are no longer needed.
+  std::uint64_t minStart = retired_;
+  for (const PerSize& perSize : sizes_) {
+    minStart = std::min(minStart, perSize.nextStart);
+  }
+  while (bufferBase_ < minStart && !buffer_.empty()) {
+    buffer_.pop_front();
+    ++bufferBase_;
+  }
+}
+
+void WindowedCPAnalyzer::onProgramEnd() {
+  // Partial trailing windows are discarded, matching the paper's method of
+  // only evaluating full windows.
+}
+
+std::vector<WindowedCPAnalyzer::WindowResult> WindowedCPAnalyzer::results()
+    const {
+  std::vector<WindowResult> out;
+  for (const PerSize& perSize : sizes_) {
+    WindowResult result;
+    result.windowSize = perSize.size;
+    result.windows = perSize.cpStats.count();
+    result.meanCp = perSize.cpStats.mean();
+    result.meanIlp = result.meanCp == 0.0
+                         ? 0.0
+                         : static_cast<double>(perSize.size) / result.meanCp;
+    result.minCp = perSize.cpStats.min();
+    result.maxCp = perSize.cpStats.max();
+    out.push_back(result);
+  }
+  return out;
+}
+
+}  // namespace riscmp

@@ -1,0 +1,257 @@
+#include "core/machine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "aarch64/decode.hpp"
+#include "aarch64/exec.hpp"
+#include "riscv/decode.hpp"
+#include "riscv/exec.hpp"
+#include "support/bits.hpp"
+
+namespace riscmp {
+namespace {
+
+constexpr std::uint64_t kSyscallExit = 93;
+constexpr std::uint64_t kSyscallWrite = 64;
+
+std::string hexString(std::uint64_t v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buffer;
+}
+
+struct SyscallOutcome {
+  bool exited = false;
+  int exitCode = 0;
+};
+
+/// Shared syscall semantics: number in reg `num`, args in a0..a2 / x0..x2.
+SyscallOutcome handleSyscall(std::uint64_t number, std::uint64_t arg0,
+                             std::uint64_t arg1, std::uint64_t arg2,
+                             std::uint64_t& returnValue, Memory& memory,
+                             std::ostream* out) {
+  switch (number) {
+    case kSyscallExit:
+      return {true, static_cast<int>(arg0)};
+    case kSyscallWrite: {
+      if (out != nullptr && arg0 == 1 && arg2 != 0) {
+        std::string text(arg2, '\0');
+        memory.readBlock(arg1, {reinterpret_cast<std::uint8_t*>(text.data()),
+                                text.size()});
+        *out << text;
+      }
+      returnValue = arg2;
+      return {};
+    }
+    default:
+      throw SimError("unsupported syscall " + std::to_string(number));
+  }
+}
+
+/// ISA trait bundles: static dispatch keeps the fetch-decode-execute loop
+/// free of virtual calls on the hot path.
+struct Rv64Traits {
+  using Inst = rv64::Inst;
+  using State = rv64::State;
+  using Trap = rv64::Trap;
+  static constexpr Trap kNoTrap = rv64::Trap::None;
+  static constexpr Trap kSyscallTrap = rv64::Trap::Ecall;
+
+  static std::optional<Inst> decode(std::uint32_t word) {
+    return rv64::decode(word);
+  }
+  static Trap execute(const Inst& inst, State& state, Memory& memory,
+                      RetiredInst& retired) {
+    return rv64::execute(inst, state, memory, retired);
+  }
+  static InstGroup group(const Inst& inst) { return inst.info().group; }
+  static void setup(State& state, const Program& program, std::uint64_t sp) {
+    state.pc = program.entry;
+    state.x[2] = sp;  // ABI stack pointer
+  }
+  static SyscallOutcome syscall(State& state, Memory& memory,
+                                std::ostream* out) {
+    std::uint64_t ret = state.x[10];
+    const SyscallOutcome outcome = handleSyscall(
+        state.x[17], state.x[10], state.x[11], state.x[12], ret, memory, out);
+    state.x[10] = ret;
+    return outcome;
+  }
+};
+
+struct A64Traits {
+  using Inst = a64::Inst;
+  using State = a64::State;
+  using Trap = a64::Trap;
+  static constexpr Trap kNoTrap = a64::Trap::None;
+  static constexpr Trap kSyscallTrap = a64::Trap::Svc;
+
+  static std::optional<Inst> decode(std::uint32_t word) {
+    return a64::decode(word);
+  }
+  static Trap execute(const Inst& inst, State& state, Memory& memory,
+                      RetiredInst& retired) {
+    return a64::execute(inst, state, memory, retired);
+  }
+  static InstGroup group(const Inst& inst) { return inst.info().group; }
+  static void setup(State& state, const Program& program, std::uint64_t sp) {
+    state.pc = program.entry;
+    state.sp = sp;
+  }
+  static SyscallOutcome syscall(State& state, Memory& memory,
+                                std::ostream* out) {
+    std::uint64_t ret = state.x[0];
+    const SyscallOutcome outcome = handleSyscall(
+        state.x[8], state.x[0], state.x[1], state.x[2], ret, memory, out);
+    state.x[0] = ret;
+    return outcome;
+  }
+};
+
+}  // namespace
+
+struct Machine::Impl {
+  virtual ~Impl() = default;
+  virtual RunResult run() = 0;
+  virtual void addObserver(TraceObserver& observer) = 0;
+  virtual Memory& memory() = 0;
+  virtual const Program& program() const = 0;
+};
+
+namespace {
+
+template <typename Traits>
+class CoreImpl final : public Machine::Impl {
+ public:
+  CoreImpl(const Program& program, const MachineOptions& options)
+      : program_(program),
+        options_(options),
+        memory_(std::max(options.memorySize,
+                         alignUp(program.highWaterMark(), 4096) +
+                             kStackReserve)) {
+    program_.loadInto(memory_);
+    decodeCache_.resize(program_.code.size());
+    decoded_.resize(program_.code.size());
+  }
+
+  void addObserver(TraceObserver& observer) override {
+    observers_.push_back(&observer);
+  }
+
+  RunResult run() override {
+    typename Traits::State state{};
+    const std::uint64_t stackTop = memory_.end() & ~15ull;
+    Traits::setup(state, program_, stackTop);
+
+    RunResult result;
+    const std::uint64_t codeBase = program_.codeBase;
+    const std::uint64_t codeEnd = program_.codeEnd();
+
+    for (;;) {
+      if (options_.maxInstructions != 0 &&
+          result.instructions >= options_.maxInstructions) {
+        throw SimError("instruction budget exceeded (" +
+                       std::to_string(options_.maxInstructions) + ")");
+      }
+      const std::uint64_t pc = state.pc;
+      const typename Traits::Inst* inst = fetch(pc, codeBase, codeEnd);
+
+      RetiredInst retired;
+      retired.pc = pc;
+      retired.encoding = lastEncoding_;
+      const auto trap = Traits::execute(*inst, state, memory_, retired);
+      retired.group = Traits::group(*inst);
+      ++result.instructions;
+      for (TraceObserver* observer : observers_) observer->onRetire(retired);
+
+      if (trap != Traits::kNoTrap) {
+        if (trap == Traits::kSyscallTrap) {
+          const SyscallOutcome outcome =
+              Traits::syscall(state, memory_, options_.stdoutStream);
+          if (outcome.exited) {
+            result.exitedCleanly = true;
+            result.exitCode = outcome.exitCode;
+            break;
+          }
+        } else {
+          throw SimError("trap at pc " + hexString(pc));
+        }
+      }
+    }
+    for (TraceObserver* observer : observers_) observer->onProgramEnd();
+    return result;
+  }
+
+  Memory& memory() override { return memory_; }
+  const Program& program() const override { return program_; }
+
+ private:
+  static constexpr std::uint64_t kStackReserve = 1 << 20;
+
+  const typename Traits::Inst* fetch(std::uint64_t pc, std::uint64_t codeBase,
+                                     std::uint64_t codeEnd) {
+    if (pc >= codeBase && pc < codeEnd && (pc & 3) == 0) {
+      const std::size_t index = (pc - codeBase) / 4;
+      if (!decoded_[index]) {
+        const std::uint32_t word = program_.code[index];
+        const auto inst = Traits::decode(word);
+        if (!inst) {
+          throw SimError("undecodable instruction " + hexString(word) +
+                         " at pc " + hexString(pc));
+        }
+        decodeCache_[index] = *inst;
+        decoded_[index] = true;
+      }
+      lastEncoding_ = program_.code[(pc - codeBase) / 4];
+      return &decodeCache_[index];
+    }
+    // Execution outside the static code image (e.g. hand-placed code in
+    // tests): decode from memory without caching.
+    const std::uint32_t word = memory_.read<std::uint32_t>(pc);
+    const auto inst = Traits::decode(word);
+    if (!inst) {
+      throw SimError("undecodable instruction " + hexString(word) +
+                     " at pc " + hexString(pc));
+    }
+    scratch_ = *inst;
+    lastEncoding_ = word;
+    return &scratch_;
+  }
+
+  Program program_;
+  MachineOptions options_;
+  Memory memory_;
+  std::vector<typename Traits::Inst> decodeCache_;
+  std::vector<bool> decoded_;
+  typename Traits::Inst scratch_{};
+  std::uint32_t lastEncoding_ = 0;
+  std::vector<TraceObserver*> observers_;
+};
+
+}  // namespace
+
+Machine::Machine(const Program& program, MachineOptions options) {
+  if (program.arch == Arch::Rv64) {
+    impl_ = std::make_unique<CoreImpl<Rv64Traits>>(program, options);
+  } else {
+    impl_ = std::make_unique<CoreImpl<A64Traits>>(program, options);
+  }
+}
+
+Machine::~Machine() = default;
+
+void Machine::addObserver(TraceObserver& observer) {
+  impl_->addObserver(observer);
+}
+
+RunResult Machine::run() { return impl_->run(); }
+
+Memory& Machine::memory() { return impl_->memory(); }
+
+const Program& Machine::program() const { return impl_->program(); }
+
+}  // namespace riscmp

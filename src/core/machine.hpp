@@ -1,0 +1,70 @@
+// The emulation core (paper §3.1): executes each instruction atomically to
+// completion in a single "cycle", retiring an architecture-neutral trace
+// record to any number of observers. This mirrors the SimEng emulation core
+// model the paper uses for all four experiments.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/memory.hpp"
+#include "core/program.hpp"
+#include "isa/trace.hpp"
+
+namespace riscmp {
+
+class SimError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct MachineOptions {
+  /// Simulated memory size. Grown automatically to cover the program image
+  /// plus stack if too small, so the default only matters for programs that
+  /// address memory beyond their static image.
+  std::uint64_t memorySize = 4ull << 20;
+  /// Abort after this many instructions (0 = unlimited).
+  std::uint64_t maxInstructions = 0;
+  /// Destination for the simulated program's write(1, ...) syscalls.
+  std::ostream* stdoutStream = nullptr;
+};
+
+struct RunResult {
+  std::uint64_t instructions = 0;  ///< dynamic path length
+  int exitCode = 0;
+  bool exitedCleanly = false;  ///< reached the exit syscall
+};
+
+/// One simulated machine: program + memory + the architectural core for the
+/// program's ISA. Both ISAs use the Linux generic syscall numbers
+/// (exit=93, write=64) via ECALL / SVC #0.
+class Machine {
+ public:
+  explicit Machine(const Program& program, MachineOptions options = {});
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Register an observer; it receives every retired instruction. Observers
+  /// must outlive the Machine's run() calls.
+  void addObserver(TraceObserver& observer);
+
+  /// Run from the program entry point until exit. Throws SimError on
+  /// undecodable instructions, and MemoryFault on wild accesses.
+  RunResult run();
+
+  [[nodiscard]] Memory& memory();
+  [[nodiscard]] const Program& program() const;
+
+  /// Implementation interface (public so the per-ISA cores can derive from
+  /// it inside the translation unit).
+  struct Impl;
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace riscmp

@@ -1,0 +1,90 @@
+// Flat little-endian memory model shared by both ISA executors.
+//
+// The simulated address space is a single contiguous arena starting at
+// `base`. Both ISAs under study are little-endian, and every access the
+// kernel compiler generates is naturally aligned; unaligned accesses are
+// nevertheless supported (memcpy-based) because hand-written test programs
+// may use them. Out-of-range accesses throw MemoryFault.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace riscmp {
+
+class MemoryFault : public std::runtime_error {
+ public:
+  MemoryFault(std::uint64_t addr, std::size_t size)
+      : std::runtime_error("memory fault: access of " + std::to_string(size) +
+                           " bytes at 0x" + toHex(addr)),
+        addr_(addr) {}
+  [[nodiscard]] std::uint64_t addr() const { return addr_; }
+
+ private:
+  static std::string toHex(std::uint64_t v) {
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string out;
+    do {
+      out.insert(out.begin(), digits[v & 0xf]);
+      v >>= 4;
+    } while (v != 0);
+    return out;
+  }
+  std::uint64_t addr_;
+};
+
+class Memory {
+ public:
+  explicit Memory(std::uint64_t size, std::uint64_t base = 0)
+      : base_(base), bytes_(size, 0) {}
+
+  [[nodiscard]] std::uint64_t base() const { return base_; }
+  [[nodiscard]] std::uint64_t size() const { return bytes_.size(); }
+  [[nodiscard]] std::uint64_t end() const { return base_ + bytes_.size(); }
+
+  template <typename T>
+  [[nodiscard]] T read(std::uint64_t addr) const {
+    checkRange(addr, sizeof(T));
+    T value;
+    std::memcpy(&value, bytes_.data() + (addr - base_), sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  void write(std::uint64_t addr, T value) {
+    checkRange(addr, sizeof(T));
+    std::memcpy(bytes_.data() + (addr - base_), &value, sizeof(T));
+  }
+
+  void writeBlock(std::uint64_t addr, std::span<const std::uint8_t> data) {
+    checkRange(addr, data.size());
+    std::memcpy(bytes_.data() + (addr - base_), data.data(), data.size());
+  }
+
+  void readBlock(std::uint64_t addr, std::span<std::uint8_t> out) const {
+    checkRange(addr, out.size());
+    std::memcpy(out.data(), bytes_.data() + (addr - base_), out.size());
+  }
+
+  void fill(std::uint64_t addr, std::size_t count, std::uint8_t value) {
+    checkRange(addr, count);
+    std::memset(bytes_.data() + (addr - base_), value, count);
+  }
+
+ private:
+  void checkRange(std::uint64_t addr, std::size_t size) const {
+    if (addr < base_ || size > bytes_.size() ||
+        addr - base_ > bytes_.size() - size) {
+      throw MemoryFault(addr, size);
+    }
+  }
+
+  std::uint64_t base_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace riscmp

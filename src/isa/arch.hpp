@@ -1,0 +1,23 @@
+// Architecture identifiers for the two instruction sets under comparison.
+#pragma once
+
+#include <string_view>
+
+namespace riscmp {
+
+enum class Arch {
+  AArch64,  ///< Armv8-a, scalar subset (the paper's -march=armv8-a+nosimd)
+  Rv64,     ///< RISC-V rv64g (IMAFD, no compressed instructions)
+};
+
+constexpr std::string_view archName(Arch arch) {
+  switch (arch) {
+    case Arch::AArch64:
+      return "AArch64";
+    case Arch::Rv64:
+      return "RISC-V";
+  }
+  return "?";
+}
+
+}  // namespace riscmp

@@ -1,0 +1,13 @@
+#include "isa/groups.hpp"
+
+namespace riscmp {
+
+std::optional<InstGroup> instGroupFromName(std::string_view name) {
+  for (std::size_t i = 0; i < kInstGroupCount; ++i) {
+    const auto group = static_cast<InstGroup>(i);
+    if (instGroupName(group) == name) return group;
+  }
+  return std::nullopt;
+}
+
+}  // namespace riscmp

@@ -1,0 +1,45 @@
+// Instruction groups: the unit of classification for latency models and the
+// out-of-order core's port assignments, mirroring SimEng's instruction-group
+// mechanism (paper §5.1: "upon instruction decode each instruction is
+// categorised and given the execution latency defined within the yaml file").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace riscmp {
+
+enum class InstGroup : std::uint8_t {
+  IntSimple,  ///< add/sub/logic/shift/compare/move
+  IntMul,     ///< integer multiply (and multiply-add)
+  IntDiv,     ///< integer divide/remainder
+  Branch,     ///< all control flow (conditional, unconditional, indirect)
+  Load,       ///< memory reads, integer or FP destination
+  Store,      ///< memory writes
+  FpSimple,   ///< FP moves, abs/neg, sign injection, min/max
+  FpAdd,      ///< FP add/sub
+  FpMul,      ///< FP multiply
+  FpFma,      ///< fused multiply-add family
+  FpDiv,      ///< FP divide
+  FpSqrt,     ///< FP square root
+  FpCmp,      ///< FP compare
+  FpCvt,      ///< FP<->int and FP<->FP conversions
+  System,     ///< syscalls, fences, CSR accesses, hints
+};
+
+constexpr std::size_t kInstGroupCount = 15;
+
+constexpr std::string_view instGroupName(InstGroup group) {
+  constexpr std::array<std::string_view, kInstGroupCount> names = {
+      "INT_SIMPLE", "INT_MUL", "INT_DIV", "BRANCH",  "LOAD",
+      "STORE",      "FP_SIMPLE", "FP_ADD", "FP_MUL", "FP_FMA",
+      "FP_DIV",     "FP_SQRT",  "FP_CMP",  "FP_CVT", "SYSTEM"};
+  return names[static_cast<std::size_t>(group)];
+}
+
+/// Parse a group name as spelled in the microarchitecture YAML files.
+std::optional<InstGroup> instGroupFromName(std::string_view name);
+
+}  // namespace riscmp

@@ -1,0 +1,52 @@
+// The architecture-neutral dynamic-trace record retired by the emulation
+// core, and the observer interface all analyses implement.
+//
+// The paper's four experiments (path length, critical path, scaled critical
+// path, windowed critical path) are all pure functions of this record stream;
+// implementing them as observers lets one simulation pass feed any number of
+// analyses.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/groups.hpp"
+#include "isa/reg.hpp"
+#include "support/small_vector.hpp"
+
+namespace riscmp {
+
+struct MemAccess {
+  std::uint64_t addr = 0;
+  std::uint8_t size = 0;  ///< bytes (1, 2, 4, or 8)
+
+  bool operator==(const MemAccess&) const = default;
+};
+
+/// One retired instruction. Reads of the architectural zero register
+/// (RISC-V x0, AArch64 XZR) are omitted from `srcs` by the executors: they
+/// carry no dependency, matching the paper's critical-path method (§4.1).
+/// Writes to the zero register are likewise omitted from `dsts`.
+struct RetiredInst {
+  std::uint64_t pc = 0;
+  std::uint32_t encoding = 0;
+  InstGroup group = InstGroup::IntSimple;
+
+  SmallVector<Reg, 5> srcs;
+  SmallVector<Reg, 3> dsts;
+  SmallVector<MemAccess, 2> loads;
+  SmallVector<MemAccess, 2> stores;
+
+  bool isBranch = false;
+  bool branchTaken = false;
+  std::uint64_t branchTarget = 0;
+};
+
+class TraceObserver {
+ public:
+  virtual ~TraceObserver() = default;
+  virtual void onRetire(const RetiredInst& inst) = 0;
+  /// Called once when the simulated program exits.
+  virtual void onProgramEnd() {}
+};
+
+}  // namespace riscmp

@@ -1,0 +1,618 @@
+// AArch64 (Armv8-a scalar) backend.
+//
+// Lowering follows the idioms the paper observed in GCC's AArch64 output
+// (§3.3 and Listing 1):
+//   * one shared index register per loop, with register-offset scaled
+//     addressing `ldr d, [base, idx, lsl #3]` ("only a single register (X0)
+//     is needed to store an offset into the array");
+//   * per-(array, offset) base registers materialised in loop preheaders
+//     (scoped, so wide kernels such as LBM's halo exchange stay within the
+//     register file), so stencil offsets cost no per-iteration work;
+//   * loop exit via an explicit NZCV-setting compare followed by b.ne:
+//       - Gcc12 era: `cmp idx, limit` (limit register hoisted) — 1 insn;
+//       - Gcc9 era:  `sub tmp, idx, #hi, lsl #12; subs tmp, tmp, #lo`
+//         — the 2-insn sequence the paper found, +1 per iteration;
+//   * countdown `subs/b.ne` for loops whose variable indexes nothing;
+//   * strided accesses that register-offset addressing cannot express fall
+//     back to pointer bumping, as GCC's ivopts does.
+#include <bit>
+#include <map>
+#include <optional>
+
+#include "aarch64/encode.hpp"
+#include "kgen/backend_common.hpp"
+#include "kgen/layout.hpp"
+#include "support/bits.hpp"
+
+namespace riscmp::kgen {
+
+using a64::AddrMode;
+using a64::Cond;
+using a64::Extend;
+using a64::Inst;
+using a64::Op;
+using a64::Shift;
+
+namespace {
+
+class A64Backend {
+ public:
+  A64Backend(const Module& module, CompilerEra era)
+      : module_(module), era_(era), layout_(module) {}
+
+  Compiled run() {
+    module_.validate();
+    for (const Kernel& kernel : module_.kernels) compileKernel(kernel);
+    emitExit();
+    resolveFixups();
+
+    Compiled out;
+    out.program.arch = Arch::AArch64;
+    out.program.codeBase = ModuleLayout::kCodeBase;
+    out.program.entry = layout_.entry();
+    out.program.code = layout_.constPoolWords();
+    out.program.code.insert(out.program.code.end(), code_.begin(),
+                            code_.end());
+    out.program.dataBase = ModuleLayout::kDataBase;
+    out.program.data = layout_.dataSegment();
+    out.program.kernels = std::move(kernels_);
+    out.arrayAddr = layout_.arrayAddrs();
+    out.scalarAddr = layout_.scalarAddrs();
+    return out;
+  }
+
+ private:
+  // ---- emitter --------------------------------------------------------------
+  [[nodiscard]] std::uint64_t pcHere() const {
+    return layout_.entry() + code_.size() * 4;
+  }
+  void emit(const Inst& inst) { code_.push_back(a64::encode(inst)); }
+
+  int newLabel() {
+    labels_.push_back(-1);
+    return static_cast<int>(labels_.size() - 1);
+  }
+  void bind(int label) {
+    labels_[static_cast<std::size_t>(label)] =
+        static_cast<std::int64_t>(code_.size());
+  }
+  void emitCondBranch(Cond cond, int label) {
+    fixups_.push_back({code_.size(), label});
+    pending_.push_back(a64::makeCondBranch(cond, 0));
+    code_.push_back(0);
+  }
+  void resolveFixups() {
+    for (std::size_t i = 0; i < fixups_.size(); ++i) {
+      const auto& [index, label] = fixups_[i];
+      const std::int64_t target = labels_[static_cast<std::size_t>(label)];
+      if (target < 0) throw CompileError("a64 backend: unbound label");
+      Inst inst = pending_[i];
+      inst.imm = (target - static_cast<std::int64_t>(index)) * 4;
+      code_[index] = a64::encode(inst);
+    }
+  }
+
+  // ---- helpers ---------------------------------------------------------------
+  void emitMovImm(unsigned rd, std::uint64_t value) {
+    emit(a64::makeMoveWide(Op::MOVZ, rd,
+                           static_cast<std::uint16_t>(value & 0xffff), 0));
+    for (unsigned shift = 16; shift < 64; shift += 16) {
+      const auto piece =
+          static_cast<std::uint16_t>((value >> shift) & 0xffff);
+      if (piece != 0) emit(a64::makeMoveWide(Op::MOVK, rd, piece, shift));
+    }
+  }
+
+  /// Load a pool constant with a pc-relative literal load (GCC's literal
+  /// pool idiom); the pool precedes the code so the offset is known.
+  void emitLoadConst(unsigned dreg, double value) {
+    const std::uint64_t addr = layout_.constAddr(value);
+    const std::int64_t offset =
+        static_cast<std::int64_t>(addr) - static_cast<std::int64_t>(pcHere());
+    Inst inst;
+    inst.op = Op::LDR_LIT_D;
+    inst.rd = static_cast<std::uint8_t>(dreg);
+    inst.mode = AddrMode::Literal;
+    inst.imm = offset;
+    emit(inst);
+  }
+
+  // ---- register pools -----------------------------------------------------------
+  // x0..x2 scratch; x29/x30 untouched by convention.
+  static constexpr std::array<unsigned, 26> kIntPool = {
+      3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14, 15,
+      16, 17, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 18};
+  static constexpr unsigned kScratch0 = 0;
+  static constexpr unsigned kScratch1 = 1;
+  static constexpr std::array<unsigned, 8> kFpTempPool = {0, 1, 2, 3,
+                                                          4, 5, 6, 7};
+  static constexpr std::array<unsigned, 24> kFpPersistPool = {
+      8,  9,  10, 11, 12, 13, 14, 15, 16, 17, 18, 19,
+      20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31};
+
+  // ---- kernel compilation -----------------------------------------------------------
+  void compileKernel(const Kernel& kernel) {
+    intPool_ = RegPool("int", {kIntPool.begin(), kIntPool.end()});
+    fpTemp_ = RegPool("fp-temp", {kFpTempPool.begin(), kFpTempPool.end()});
+    fpPersist_ =
+        RegPool("fp-persist", {kFpPersistPool.begin(), kFpPersistPool.end()});
+    scalarRegs_.clear();
+    constRegs_.clear();
+    writtenScalars_.clear();
+    limitRegs_.clear();
+    scalarBaseReg_.reset();
+
+    const std::uint64_t startPc = pcHere();
+    const KernelInfo info = analyzeKernel(module_, kernel);
+
+    // Prologue: scalars via a base register, constants via literal loads.
+    if (!info.scalars.empty()) {
+      scalarBaseReg_ = intPool_.alloc();
+      emitMovImm(*scalarBaseReg_, layout_.scalarBase());
+      for (const std::string& name : info.scalars) {
+        const unsigned reg = fpPersist_.alloc();
+        scalarRegs_[name] = reg;
+        emit(a64::makeLoadStore(
+            Op::LDRD, reg, *scalarBaseReg_,
+            static_cast<std::int64_t>(layout_.scalarAddr(name) -
+                                      layout_.scalarBase())));
+      }
+    }
+    for (const double value : info.constants) {
+      const unsigned reg = fpPersist_.alloc();
+      constRegs_[constKey(value)] = reg;
+      emitLoadConst(reg, value);
+    }
+
+    // Hoisted limit registers for the Gcc12 `cmp idx, limit` idiom.
+    if (era_ == CompilerEra::Gcc12) prepareLimits(kernel);
+
+    LoopCtx root;
+    root.parent = nullptr;
+    for (const Stmt& stmt : kernel.body) compileStmt(stmt, root);
+
+    for (const std::string& name : writtenScalars_) {
+      if (!scalarBaseReg_) {
+        scalarBaseReg_ = intPool_.alloc();
+        emitMovImm(*scalarBaseReg_, layout_.scalarBase());
+      }
+      emit(a64::makeLoadStore(
+          Op::STRD, scalarRegs_.at(name), *scalarBaseReg_,
+          static_cast<std::int64_t>(layout_.scalarAddr(name) -
+                                    layout_.scalarBase())));
+    }
+
+    kernels_.push_back(Symbol{kernel.name, startPc, pcHere() - startPc});
+  }
+
+  void emitExit() {
+    emit(a64::makeMoveWide(Op::MOVZ, 0, 0, 0));   // x0 = 0
+    emit(a64::makeMoveWide(Op::MOVZ, 8, 93, 0));  // x8 = exit
+    emit(a64::makeSvc(0));
+  }
+
+  /// rowBase map key: term structure + constant offset. Base registers are
+  /// loop-scoped (materialised in the preheader), keeping register pressure
+  /// bounded for kernels with many distinct (array, offset) pairs such as
+  /// LBM's halo exchanges.
+  using BaseKey = std::pair<std::string, std::int64_t>;
+  static std::string serializeKey(const GroupKey& key) {
+    std::string out = key.array;
+    for (const auto& [var, stride] : key.terms) {
+      out += '#' + var + ':' + std::to_string(stride);
+    }
+    return out;
+  }
+
+  void prepareLimits(const Kernel& kernel) {
+    auto scan = [&](const Stmt& stmt, auto&& self) -> void {
+      if (stmt.kind == Stmt::Kind::Loop) {
+        if (loopVarUsed(stmt, stmt.loopVar) &&
+            limitRegs_.count(stmt.extent) == 0) {
+          const unsigned reg = intPool_.alloc();
+          emitMovImm(reg, static_cast<std::uint64_t>(stmt.extent));
+          limitRegs_[stmt.extent] = reg;
+        }
+        for (const Stmt& inner : stmt.body) self(inner, self);
+      }
+    };
+    for (const Stmt& stmt : kernel.body) scan(stmt, scan);
+  }
+
+  // ---- loop lowering -----------------------------------------------------------------
+  /// Pointer-style group (strided or loop-invariant accesses that
+  /// register-offset addressing cannot express).
+  struct PtrGroup {
+    GroupKey key;
+    unsigned reg = 0;
+    std::int64_t innerStride = 0;
+  };
+
+  struct LoopCtx {
+    const LoopCtx* parent = nullptr;
+    std::string var;
+    std::optional<unsigned> indexReg;  ///< element counter for `var`
+    std::vector<PtrGroup> ptrGroups;
+    /// rowBase registers for reg-offset accesses, keyed by
+    /// (serialised term structure, offset).
+    std::map<BaseKey, unsigned> rowBases;
+  };
+
+  [[nodiscard]] static const LoopCtx* findLoop(const LoopCtx& ctx,
+                                               const std::string& var) {
+    for (const LoopCtx* scope = &ctx; scope != nullptr;
+         scope = scope->parent) {
+      if (scope->var == var) return scope;
+    }
+    return nullptr;
+  }
+
+  void compileStmt(const Stmt& stmt, LoopCtx& ctx) {
+    switch (stmt.kind) {
+      case Stmt::Kind::Loop:
+        compileLoop(stmt, ctx);
+        return;
+      case Stmt::Kind::StoreArr: {
+        const Val value = genExpr(*stmt.value, ctx);
+        emitAccess(Op::STRD, value.reg, stmt.target, stmt.index, ctx);
+        release(value);
+        return;
+      }
+      case Stmt::Kind::SetScalar: {
+        const unsigned acc = scalarRegs_.at(stmt.target);
+        if (stmt.value->kind == Expr::Kind::LoadArr) {
+          emitAccess(Op::LDRD, acc, stmt.value->name, stmt.value->index, ctx);
+        } else {
+          const Val value = genExpr(*stmt.value, ctx);
+          emit(a64::makeFp1(Op::FMOV_D, acc, value.reg));
+          release(value);
+        }
+        markScalarWritten(stmt.target);
+        return;
+      }
+      case Stmt::Kind::AccumScalar: {
+        const unsigned acc = scalarRegs_.at(stmt.target);
+        if (stmt.value->kind == Expr::Kind::Bin &&
+            stmt.value->bin == BinOp::Mul) {
+          const Val x = genExpr(*stmt.value->lhs, ctx);
+          const Val y = genExpr(*stmt.value->rhs, ctx);
+          emit(a64::makeFp3(Op::FMADD_D, acc, x.reg, y.reg, acc));
+          release(x);
+          release(y);
+        } else {
+          const Val value = genExpr(*stmt.value, ctx);
+          emit(a64::makeFp2(Op::FADD_D, acc, acc, value.reg));
+          release(value);
+        }
+        markScalarWritten(stmt.target);
+        return;
+      }
+    }
+  }
+
+  /// True when the access can use register-offset addressing in the loop
+  /// over `var`: its term over `var` has stride 1.
+  static bool regOffsetEligible(const GroupKey& key, const std::string& var) {
+    return strideOf(key, var) == 1;
+  }
+
+  void compileLoop(const Stmt& loopStmt, LoopCtx& parent) {
+    LoopCtx ctx;
+    ctx.parent = &parent;
+    ctx.var = loopStmt.loopVar;
+
+    // loopVarUsed is recursive, so it also covers uses in nested loops —
+    // the same condition prepareLimits used when hoisting limit registers.
+    const bool varUsed = loopVarUsed(loopStmt, loopStmt.loopVar);
+    if (varUsed) ctx.indexReg = intPool_.alloc();
+
+    // Partition this loop's immediate accesses.
+    const std::vector<GroupKey> keys = collectGroups(loopStmt.body, module_);
+    std::vector<GroupKey> regOffsetKeys;
+    for (const GroupKey& key : keys) {
+      if (regOffsetEligible(key, ctx.var)) {
+        regOffsetKeys.push_back(key);
+      } else {
+        PtrGroup group;
+        group.key = key;
+        group.reg = intPool_.alloc();
+        group.innerStride = strideOf(key, ctx.var);
+        ctx.ptrGroups.push_back(group);
+      }
+    }
+
+    // ---- preheader.
+    if (ctx.indexReg) emit(a64::makeMoveWide(Op::MOVZ, *ctx.indexReg, 0, 0));
+    // rowBase registers: array base + constant offset + outer-term
+    // contributions, one per (term structure, offset) pair. Register-offset
+    // addressing has no displacement field, so each offset needs its own.
+    for (const GroupKey& key : regOffsetKeys) {
+      for (const auto& [array, offset] : distinctOffsets(loopStmt, key)) {
+        const unsigned reg = intPool_.alloc();
+        initRowBase(reg, key, offset, ctx);
+        ctx.rowBases[{serializeKey(key), offset}] = reg;
+      }
+    }
+    for (PtrGroup& group : ctx.ptrGroups) initPointer(group, ctx);
+
+    std::optional<unsigned> counterReg;
+    if (!ctx.indexReg) {
+      counterReg = intPool_.alloc();
+      emitMovImm(*counterReg, static_cast<std::uint64_t>(loopStmt.extent));
+    }
+
+    // ---- body.
+    const int head = newLabel();
+    bind(head);
+    for (const Stmt& stmt : loopStmt.body) compileStmt(stmt, ctx);
+
+    // ---- latch.
+    for (const PtrGroup& group : ctx.ptrGroups) {
+      if (group.innerStride != 0) {
+        emit(a64::makeAddSubImm(Op::ADDi, group.reg, group.reg,
+                                static_cast<std::uint32_t>(
+                                    group.innerStride * 8)));
+      }
+    }
+    if (ctx.indexReg) {
+      emit(a64::makeAddSubImm(Op::ADDi, *ctx.indexReg, *ctx.indexReg, 1));
+      emitLoopExitCompare(*ctx.indexReg, loopStmt.extent);
+      emitCondBranch(Cond::NE, head);
+    } else {
+      emit(a64::makeAddSubImm(Op::SUBSi, *counterReg, *counterReg, 1));
+      emitCondBranch(Cond::NE, head);
+    }
+
+    // Release loop-scoped registers.
+    if (counterReg) intPool_.release(*counterReg);
+    if (ctx.indexReg) intPool_.release(*ctx.indexReg);
+    for (const auto& [key, reg] : ctx.rowBases) intPool_.release(reg);
+    for (const PtrGroup& group : ctx.ptrGroups) intPool_.release(group.reg);
+  }
+
+  /// The era-dependent loop-exit compare (paper §3.3).
+  void emitLoopExitCompare(unsigned indexReg, std::int64_t extent) {
+    if (era_ == CompilerEra::Gcc12) {
+      emit(a64::makeCmpReg(indexReg, limitRegs_.at(extent)));
+      return;
+    }
+    // Gcc9 era: sub tmp, idx, #hi, lsl #12 ; subs tmp, tmp, #lo.
+    const auto hi = static_cast<std::uint32_t>((extent >> 12) & 0xfff);
+    const auto lo = static_cast<std::uint32_t>(extent & 0xfff);
+    emit(a64::makeAddSubImm(Op::SUBi, kScratch0, indexReg, hi, true));
+    emit(a64::makeAddSubImm(Op::SUBSi, kScratch0, kScratch0, lo));
+  }
+
+  /// Offsets used with this term structure among the loop's immediate
+  /// accesses (each needs its own rowBase, since register-offset addressing
+  /// has no displacement field).
+  static std::vector<BaseKey> distinctOffsets(const Stmt& loopStmt,
+                                              const GroupKey& key) {
+    std::vector<BaseKey> out;
+    detail::forEachImmediateAccess(
+        loopStmt.body, [&](const std::string& array, const AffineIdx& index) {
+          if (groupKeyFor(array, index) == key) {
+            const BaseKey entry{array, index.offset};
+            if (std::find(out.begin(), out.end(), entry) == out.end()) {
+              out.push_back(entry);
+            }
+          }
+        });
+    return out;
+  }
+
+  /// Add the outer-loop contributions of `terms` to `reg` in place.
+  void addOuterContributions(
+      unsigned reg,
+      const std::vector<std::pair<std::string, std::int64_t>>& terms,
+      const LoopCtx& ctx) {
+    for (const auto& [var, stride] : terms) {
+      if (var == ctx.var) continue;
+      const LoopCtx* outer =
+          ctx.parent ? findLoop(*ctx.parent, var) : nullptr;
+      if (outer == nullptr || !outer->indexReg) {
+        throw CompileError("a64 backend: no index register for '" + var +
+                           "'");
+      }
+      const std::uint64_t byteStride =
+          static_cast<std::uint64_t>(stride) * 8;
+      if (isPow2(byteStride)) {
+        emit(a64::makeAddSubReg(
+            Op::ADDr, reg, reg, *outer->indexReg, Shift::LSL,
+            static_cast<unsigned>(std::countr_zero(byteStride))));
+      } else {
+        emitMovImm(kScratch0, byteStride);
+        emit(a64::makeDp3(Op::MADD, reg, *outer->indexReg, kScratch0, reg));
+      }
+    }
+  }
+
+  /// rowBase = array base + offset*8 + Σ outer-term contributions.
+  void initRowBase(unsigned reg, const GroupKey& key, std::int64_t offset,
+                   const LoopCtx& ctx) {
+    emitMovImm(reg, layout_.arrayAddr(key.array) +
+                        static_cast<std::uint64_t>(offset * 8));
+    addOuterContributions(reg, key.terms, ctx);
+  }
+
+  /// Pointer-group initialisation mirrors the RISC-V backend.
+  void initPointer(const PtrGroup& group, const LoopCtx& ctx) {
+    emitMovImm(group.reg,
+               layout_.arrayAddr(group.key.array) +
+                   static_cast<std::uint64_t>(group.key.baseOffset * 8));
+    addOuterContributions(group.reg, group.key.terms, ctx);
+  }
+
+  /// Emit one load or store (op is LDRD or STRD) for `array[index]`.
+  void emitAccess(Op op, unsigned dreg, const std::string& array,
+                  const AffineIdx& index, const LoopCtx& ctx) {
+    const GroupKey key = groupKeyFor(array, index);
+
+    // Pointer-style group anywhere up the loop stack?
+    for (const LoopCtx* scope = &ctx; scope != nullptr;
+         scope = scope->parent) {
+      for (const PtrGroup& group : scope->ptrGroups) {
+        if (group.key == key) {
+          const std::int64_t disp = (index.offset - group.key.baseOffset) * 8;
+          const AddrMode mode =
+              (disp >= 0) ? AddrMode::Offset : AddrMode::Unscaled;
+          emit(a64::makeLoadStore(op, dreg, group.reg, disp, mode));
+          return;
+        }
+      }
+    }
+
+    // Register-offset form: [rowBase, idx, lsl #3]. The group (and its
+    // rowBase) lives in the loop whose immediate body contains the access.
+    const BaseKey rowKey{serializeKey(key), index.offset};
+    for (const LoopCtx* scope = &ctx; scope != nullptr;
+         scope = scope->parent) {
+      const auto it = scope->rowBases.find(rowKey);
+      if (it == scope->rowBases.end()) continue;
+      if (!scope->indexReg) break;
+      emit(a64::makeLoadStoreReg(op, dreg, it->second, *scope->indexReg,
+                                 Extend::UXTX, /*scaled=*/true));
+      return;
+    }
+    throw CompileError("a64 backend: no addressing path for '" + array +
+                       "'");
+  }
+
+  // ---- expressions ---------------------------------------------------------------------
+  struct Val {
+    unsigned reg;
+    bool temp;
+  };
+  void release(const Val& value) {
+    if (value.temp) fpTemp_.release(value.reg);
+  }
+  void markScalarWritten(const std::string& name) {
+    if (std::find(writtenScalars_.begin(), writtenScalars_.end(), name) ==
+        writtenScalars_.end()) {
+      writtenScalars_.push_back(name);
+    }
+  }
+
+  Val genExpr(const Expr& expr, const LoopCtx& ctx) {
+    switch (expr.kind) {
+      case Expr::Kind::ConstF:
+        return {constRegs_.at(constKey(expr.constant)), false};
+      case Expr::Kind::LoadScalar:
+        return {scalarRegs_.at(expr.name), false};
+      case Expr::Kind::LoadArr: {
+        const unsigned reg = fpTemp_.alloc();
+        emitAccess(Op::LDRD, reg, expr.name, expr.index, ctx);
+        return {reg, true};
+      }
+      case Expr::Kind::Bin:
+        return genBin(expr, ctx);
+      case Expr::Kind::Unary: {
+        const Val a = genExpr(*expr.lhs, ctx);
+        const unsigned reg = a.temp ? a.reg : fpTemp_.alloc();
+        switch (expr.un) {
+          case UnOp::Neg:
+            emit(a64::makeFp1(Op::FNEG_D, reg, a.reg));
+            break;
+          case UnOp::Abs:
+            emit(a64::makeFp1(Op::FABS_D, reg, a.reg));
+            break;
+          case UnOp::Sqrt:
+            emit(a64::makeFp1(Op::FSQRT_D, reg, a.reg));
+            break;
+        }
+        return {reg, true};
+      }
+    }
+    throw CompileError("a64 backend: bad expression");
+  }
+
+  Val genBin(const Expr& expr, const LoopCtx& ctx) {
+    const bool lhsMul =
+        expr.lhs->kind == Expr::Kind::Bin && expr.lhs->bin == BinOp::Mul;
+    const bool rhsMul =
+        expr.rhs->kind == Expr::Kind::Bin && expr.rhs->bin == BinOp::Mul;
+    if (expr.bin == BinOp::Add && (lhsMul || rhsMul)) {
+      const Expr& mulNode = lhsMul ? *expr.lhs : *expr.rhs;
+      const Expr& addend = lhsMul ? *expr.rhs : *expr.lhs;
+      const Val x = genExpr(*mulNode.lhs, ctx);
+      const Val y = genExpr(*mulNode.rhs, ctx);
+      const Val z = genExpr(addend, ctx);
+      const unsigned reg = fpTemp_.alloc();
+      emit(a64::makeFp3(Op::FMADD_D, reg, x.reg, y.reg, z.reg));
+      release(x);
+      release(y);
+      release(z);
+      return {reg, true};
+    }
+    if (expr.bin == BinOp::Sub && lhsMul) {
+      // x*y - z: A64 FNMSUB computes Rn*Rm - Ra.
+      const Val x = genExpr(*expr.lhs->lhs, ctx);
+      const Val y = genExpr(*expr.lhs->rhs, ctx);
+      const Val z = genExpr(*expr.rhs, ctx);
+      const unsigned reg = fpTemp_.alloc();
+      emit(a64::makeFp3(Op::FNMSUB_D, reg, x.reg, y.reg, z.reg));
+      release(x);
+      release(y);
+      release(z);
+      return {reg, true};
+    }
+
+    const Val a = genExpr(*expr.lhs, ctx);
+    const Val b = genExpr(*expr.rhs, ctx);
+    const unsigned reg = a.temp ? a.reg : (b.temp ? b.reg : fpTemp_.alloc());
+    Op op = Op::FADD_D;
+    switch (expr.bin) {
+      case BinOp::Add:
+        op = Op::FADD_D;
+        break;
+      case BinOp::Sub:
+        op = Op::FSUB_D;
+        break;
+      case BinOp::Mul:
+        op = Op::FMUL_D;
+        break;
+      case BinOp::Div:
+        op = Op::FDIV_D;
+        break;
+      case BinOp::Min:
+        op = Op::FMINNM_D;  // number-preferring min, like GCC's fmin()
+        break;
+      case BinOp::Max:
+        op = Op::FMAXNM_D;
+        break;
+    }
+    emit(a64::makeFp2(op, reg, a.reg, b.reg));
+    if (a.temp && reg != a.reg) fpTemp_.release(a.reg);
+    if (b.temp && reg != b.reg) fpTemp_.release(b.reg);
+    return {reg, true};
+  }
+
+  // ---- state ----------------------------------------------------------------
+  const Module& module_;
+  CompilerEra era_;
+  ModuleLayout layout_;
+
+  std::vector<std::uint32_t> code_;
+  std::vector<std::int64_t> labels_;
+  std::vector<std::pair<std::size_t, int>> fixups_;
+  std::vector<Inst> pending_;
+  std::vector<Symbol> kernels_;
+
+  RegPool intPool_{"int", {}};
+  RegPool fpTemp_{"fp-temp", {}};
+  RegPool fpPersist_{"fp-persist", {}};
+  std::map<std::string, unsigned> scalarRegs_;
+  std::map<std::uint64_t, unsigned> constRegs_;
+  std::vector<std::string> writtenScalars_;
+  std::map<std::int64_t, unsigned> limitRegs_;
+  std::optional<unsigned> scalarBaseReg_;
+};
+
+}  // namespace
+
+Compiled compileA64(const Module& module, CompilerEra era) {
+  A64Backend backend(module, era);
+  return backend.run();
+}
+
+}  // namespace riscmp::kgen

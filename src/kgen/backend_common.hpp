@@ -1,0 +1,229 @@
+// Helpers shared by the two ISA backends: register pools, access-group
+// analysis, and kernel scans for register-resident values.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kgen/compile.hpp"
+#include "kgen/ir.hpp"
+
+namespace riscmp::kgen {
+
+/// A scoped register pool. Backends allocate loop-scoped registers
+/// (pointers, counters) and release them on loop exit; exhaustion is a
+/// compile error naming the pool.
+class RegPool {
+ public:
+  RegPool(std::string name, std::vector<unsigned> regs)
+      : name_(std::move(name)), free_(std::move(regs)) {}
+
+  unsigned alloc() {
+    if (free_.empty()) {
+      throw CompileError("register pool '" + name_ + "' exhausted");
+    }
+    const unsigned reg = free_.front();
+    free_.erase(free_.begin());
+    return reg;
+  }
+
+  void release(unsigned reg) { free_.push_back(reg); }
+
+  [[nodiscard]] std::size_t available() const { return free_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<unsigned> free_;
+};
+
+/// Identity of an induction-pointer group: one array accessed with one
+/// affine term structure. Accesses differing only in the constant offset
+/// share a group (the offset difference becomes the load/store immediate)
+/// as long as they fall in the same 256-element offset bucket — the bucket
+/// keeps every displacement within both ISAs' immediate ranges (rv64
+/// signed 12-bit, A64 scaled unsigned 12-bit).
+struct GroupKey {
+  std::string array;
+  std::vector<std::pair<std::string, std::int64_t>> terms;  ///< sorted
+  std::int64_t bucket = 0;      ///< floor(offset / 256)
+  std::int64_t baseOffset = 0;  ///< smallest constant offset in the group
+
+  bool operator==(const GroupKey& other) const {
+    return array == other.array && terms == other.terms &&
+           bucket == other.bucket;
+  }
+};
+
+inline GroupKey groupKeyFor(const std::string& array, const AffineIdx& index) {
+  GroupKey key;
+  key.array = array;
+  for (const AffineIdx::Term& term : index.terms) {
+    key.terms.emplace_back(term.var, term.stride);
+  }
+  std::sort(key.terms.begin(), key.terms.end());
+  key.baseOffset = index.offset;
+  key.bucket = index.offset >= 0 ? index.offset / 256
+                                 : -((-index.offset + 255) / 256);
+  return key;
+}
+
+/// The group's element stride with respect to loop variable `var`.
+inline std::int64_t strideOf(const GroupKey& key, const std::string& var) {
+  for (const auto& [name, stride] : key.terms) {
+    if (name == var) return stride;
+  }
+  return 0;
+}
+
+namespace detail {
+
+template <typename Fn>
+void forEachAccessInExpr(const Expr& expr, Fn&& fn) {
+  switch (expr.kind) {
+    case Expr::Kind::LoadArr:
+      fn(expr.name, expr.index);
+      return;
+    case Expr::Kind::Bin:
+      forEachAccessInExpr(*expr.lhs, fn);
+      forEachAccessInExpr(*expr.rhs, fn);
+      return;
+    case Expr::Kind::Unary:
+      forEachAccessInExpr(*expr.lhs, fn);
+      return;
+    default:
+      return;
+  }
+}
+
+/// Visit accesses in the statement list without descending into nested
+/// loops (those own their accesses).
+template <typename Fn>
+void forEachImmediateAccess(const std::vector<Stmt>& body, Fn&& fn) {
+  for (const Stmt& stmt : body) {
+    if (stmt.kind == Stmt::Kind::Loop) continue;
+    if (stmt.value) forEachAccessInExpr(*stmt.value, fn);
+    if (stmt.kind == Stmt::Kind::StoreArr) fn(stmt.target, stmt.index);
+  }
+}
+
+template <typename Fn>
+void forEachAccessRecursive(const std::vector<Stmt>& body, Fn&& fn) {
+  for (const Stmt& stmt : body) {
+    if (stmt.value) forEachAccessInExpr(*stmt.value, fn);
+    if (stmt.kind == Stmt::Kind::StoreArr) fn(stmt.target, stmt.index);
+    if (stmt.kind == Stmt::Kind::Loop) forEachAccessRecursive(stmt.body, fn);
+  }
+}
+
+}  // namespace detail
+
+/// Distinct access groups among the statements directly in `body`
+/// (deduplicated; baseOffset = the minimum offset seen).
+inline std::vector<GroupKey> collectGroups(const std::vector<Stmt>& body,
+                                           const Module& /*module*/) {
+  std::vector<GroupKey> groups;
+  detail::forEachImmediateAccess(
+      body, [&](const std::string& array, const AffineIdx& index) {
+        GroupKey key = groupKeyFor(array, index);
+        for (GroupKey& existing : groups) {
+          if (existing == key) {
+            existing.baseOffset = std::min(existing.baseOffset, key.baseOffset);
+            return;
+          }
+        }
+        groups.push_back(std::move(key));
+      });
+  return groups;
+}
+
+/// True when any loop nested inside `loopStmt` contains an access indexed
+/// by `var` (the enclosing loop then needs a scaled counter / index
+/// register live across the nest).
+inline bool nestedLoopsUseVar(const Stmt& loopStmt, const std::string& var) {
+  bool used = false;
+  for (const Stmt& stmt : loopStmt.body) {
+    if (stmt.kind != Stmt::Kind::Loop) continue;
+    detail::forEachAccessRecursive(
+        stmt.body, [&](const std::string&, const AffineIdx& index) {
+          for (const AffineIdx::Term& term : index.terms) {
+            if (term.var == var) used = true;
+          }
+        });
+  }
+  return used;
+}
+
+/// True when any access anywhere in the loop nest indexes with `var`
+/// (decides index-register vs countdown loop control on AArch64).
+inline bool loopVarUsed(const Stmt& loopStmt, const std::string& var) {
+  bool used = false;
+  detail::forEachAccessRecursive(
+      loopStmt.body, [&](const std::string&, const AffineIdx& index) {
+        for (const AffineIdx::Term& term : index.terms) {
+          if (term.var == var) used = true;
+        }
+      });
+  return used;
+}
+
+/// Bit pattern key for FP constants (distinguishes -0.0 from 0.0 etc.).
+inline std::uint64_t constKey(double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  return bits;
+}
+
+/// Values a kernel keeps register-resident: referenced scalars (reads and
+/// writes) and distinct FP constants, in first-use order.
+struct KernelInfo {
+  std::vector<std::string> scalars;
+  std::vector<double> constants;
+};
+
+inline KernelInfo analyzeKernel(const Module& /*module*/,
+                                const Kernel& kernel) {
+  KernelInfo info;
+  std::set<std::string> seenScalars;
+  std::set<std::uint64_t> seenConsts;
+
+  auto scanExpr = [&](const Expr& expr, auto&& self) -> void {
+    switch (expr.kind) {
+      case Expr::Kind::ConstF:
+        if (seenConsts.insert(constKey(expr.constant)).second) {
+          info.constants.push_back(expr.constant);
+        }
+        return;
+      case Expr::Kind::LoadScalar:
+        if (seenScalars.insert(expr.name).second) {
+          info.scalars.push_back(expr.name);
+        }
+        return;
+      case Expr::Kind::Bin:
+        self(*expr.lhs, self);
+        self(*expr.rhs, self);
+        return;
+      case Expr::Kind::Unary:
+        self(*expr.lhs, self);
+        return;
+      default:
+        return;
+    }
+  };
+  auto scanStmt = [&](const Stmt& stmt, auto&& self) -> void {
+    if (stmt.value) scanExpr(*stmt.value, scanExpr);
+    if (stmt.kind == Stmt::Kind::SetScalar ||
+        stmt.kind == Stmt::Kind::AccumScalar) {
+      if (seenScalars.insert(stmt.target).second) {
+        info.scalars.push_back(stmt.target);
+      }
+    }
+    for (const Stmt& inner : stmt.body) self(inner, self);
+  };
+  for (const Stmt& stmt : kernel.body) scanStmt(stmt, scanStmt);
+  return info;
+}
+
+}  // namespace riscmp::kgen

@@ -1,0 +1,13 @@
+#include "kgen/compile.hpp"
+
+namespace riscmp::kgen {
+
+Compiled compileRv64(const Module& module, CompilerEra era);
+Compiled compileA64(const Module& module, CompilerEra era);
+
+Compiled compile(const Module& module, Arch arch, CompilerEra era) {
+  return arch == Arch::Rv64 ? compileRv64(module, era)
+                            : compileA64(module, era);
+}
+
+}  // namespace riscmp::kgen

@@ -1,0 +1,47 @@
+// Compilation interface: Module -> Program for either ISA under either
+// compiler-era model.
+//
+// The era model reproduces the codegen idioms the paper attributes to
+// GCC 9.2 and GCC 12.2 (§3.3):
+//   * AArch64/Gcc12 — counted loops exit via `cmp index, limit` with the
+//     limit held in a register (one instruction of compare overhead).
+//   * AArch64/Gcc9 — loops exit via the two-instruction
+//     `sub tmp, index, #hi, lsl #12; subs tmp, tmp, #lo` sequence the paper
+//     observed, costing one extra instruction per iteration.
+//   * RISC-V — identical code under both eras ("the main kernels remain the
+//     same for both RISC-V binaries"): per-array pointer bumping with the
+//     fused compare-and-branch `bne ptr, end` as loop exit.
+// Both backends contract a*b±c to fused multiply-add, use fmin/fmax
+// (AArch64: fminnm/fmaxnm) for the Min/Max ops, and keep scalars and FP
+// constants register-resident across loop nests.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/program.hpp"
+#include "kgen/ir.hpp"
+
+namespace riscmp::kgen {
+
+enum class CompilerEra { Gcc9, Gcc12 };
+
+constexpr std::string_view eraName(CompilerEra era) {
+  return era == CompilerEra::Gcc9 ? "GCC 9.2" : "GCC 12.2";
+}
+
+struct Compiled {
+  Program program;
+  std::map<std::string, std::uint64_t> arrayAddr;
+  std::map<std::string, std::uint64_t> scalarAddr;
+};
+
+class CompileError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Compile a validated module. Throws CompileError on resource exhaustion
+/// (register pools) or unsupported constructs.
+Compiled compile(const Module& module, Arch arch, CompilerEra era);
+
+}  // namespace riscmp::kgen

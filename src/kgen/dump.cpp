@@ -1,0 +1,140 @@
+#include "kgen/dump.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "aarch64/disasm.hpp"
+#include "riscv/disasm.hpp"
+
+namespace riscmp::kgen {
+namespace {
+
+std::string dumpIndex(const AffineIdx& index) {
+  std::string out;
+  for (const AffineIdx::Term& term : index.terms) {
+    if (!out.empty()) out += " + ";
+    if (term.stride == 1) {
+      out += term.var;
+    } else {
+      out += std::to_string(term.stride) + "*" + term.var;
+    }
+  }
+  if (index.offset != 0 || out.empty()) {
+    if (!out.empty()) out += index.offset >= 0 ? " + " : " - ";
+    out += std::to_string(index.offset >= 0 ? index.offset : -index.offset);
+  }
+  return out;
+}
+
+std::string formatDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%g", value);
+  return buffer;
+}
+
+void dumpStmt(const Stmt& stmt, int depth, std::string& out) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  switch (stmt.kind) {
+    case Stmt::Kind::StoreArr:
+      out += pad + stmt.target + "[" + dumpIndex(stmt.index) +
+             "] = " + dumpExpr(*stmt.value) + "\n";
+      return;
+    case Stmt::Kind::SetScalar:
+      out += pad + stmt.target + " = " + dumpExpr(*stmt.value) + "\n";
+      return;
+    case Stmt::Kind::AccumScalar:
+      out += pad + stmt.target + " += " + dumpExpr(*stmt.value) + "\n";
+      return;
+    case Stmt::Kind::Loop:
+      out += pad + "for " + stmt.loopVar + " in 0.." +
+             std::to_string(stmt.extent) + ":\n";
+      for (const Stmt& inner : stmt.body) dumpStmt(inner, depth + 1, out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::string dumpExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::ConstF:
+      return formatDouble(expr.constant);
+    case Expr::Kind::LoadArr:
+      return expr.name + "[" + dumpIndex(expr.index) + "]";
+    case Expr::Kind::LoadScalar:
+      return expr.name;
+    case Expr::Kind::Bin: {
+      const char* op = "+";
+      switch (expr.bin) {
+        case BinOp::Add:
+          op = "+";
+          break;
+        case BinOp::Sub:
+          op = "-";
+          break;
+        case BinOp::Mul:
+          op = "*";
+          break;
+        case BinOp::Div:
+          op = "/";
+          break;
+        case BinOp::Min:
+          return "min(" + dumpExpr(*expr.lhs) + ", " + dumpExpr(*expr.rhs) +
+                 ")";
+        case BinOp::Max:
+          return "max(" + dumpExpr(*expr.lhs) + ", " + dumpExpr(*expr.rhs) +
+                 ")";
+      }
+      return "(" + dumpExpr(*expr.lhs) + " " + op + " " +
+             dumpExpr(*expr.rhs) + ")";
+    }
+    case Expr::Kind::Unary:
+      switch (expr.un) {
+        case UnOp::Neg:
+          return "-(" + dumpExpr(*expr.lhs) + ")";
+        case UnOp::Abs:
+          return "abs(" + dumpExpr(*expr.lhs) + ")";
+        case UnOp::Sqrt:
+          return "sqrt(" + dumpExpr(*expr.lhs) + ")";
+      }
+      break;
+  }
+  return "?";
+}
+
+std::string dumpModule(const Module& module) {
+  std::string out = "module " + module.name + "\n";
+  for (const ArrayDecl& array : module.arrays) {
+    out += "  array " + array.name + "[" + std::to_string(array.elems) + "]" +
+           (array.init.empty() ? " (zero)" : " (initialised)") + "\n";
+  }
+  for (const ScalarDecl& decl : module.scalars) {
+    out += "  scalar " + decl.name + " = " + formatDouble(decl.init) + "\n";
+  }
+  for (const Kernel& kernel : module.kernels) {
+    out += "  kernel " + kernel.name + ":\n";
+    for (const Stmt& stmt : kernel.body) dumpStmt(stmt, 2, out);
+  }
+  return out;
+}
+
+std::string dumpProgram(const Program& program) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    const std::uint64_t pc = program.codeBase + i * 4;
+    for (const Symbol& kernel : program.kernels) {
+      if (kernel.addr == pc) out << kernel.name << ":\n";
+    }
+    if (pc < program.entry) continue;  // constant pool words
+    const std::string text = program.arch == Arch::Rv64
+                                 ? rv64::disassemble(program.code[i], pc)
+                                 : a64::disassemble(program.code[i], pc);
+    char addr[24];
+    std::snprintf(addr, sizeof addr, "  %6llx:  ",
+                  static_cast<unsigned long long>(pc));
+    out << addr << text << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace riscmp::kgen

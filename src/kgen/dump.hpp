@@ -1,0 +1,24 @@
+// Human-readable dumps of kernel IR and compiled programs — the tooling
+// layer behind the examples and the debugging workflow (the equivalent of
+// the paper artifact's raw-output inspection).
+#pragma once
+
+#include <string>
+
+#include "core/program.hpp"
+#include "kgen/ir.hpp"
+
+namespace riscmp::kgen {
+
+/// Render an expression as a C-like string, e.g.
+/// "b[j] + scalar * c[j]".
+std::string dumpExpr(const Expr& expr);
+
+/// Render a whole module: arrays, scalars, and each kernel's loop nest.
+std::string dumpModule(const Module& module);
+
+/// Disassemble a compiled program with kernel labels, one instruction per
+/// line ("<pc>: <text>"). Works for either ISA.
+std::string dumpProgram(const Program& program);
+
+}  // namespace riscmp::kgen

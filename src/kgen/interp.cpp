@@ -1,0 +1,192 @@
+#include "kgen/interp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace riscmp::kgen {
+namespace {
+
+/// IEEE minimumNumber/maximumNumber with the -0/+0 ordering both ISAs'
+/// fmin/fmax instructions implement.
+double refMin(double a, double b) {
+  if (std::isnan(a)) return b;
+  if (std::isnan(b)) return a;
+  if (a == 0.0 && b == 0.0) return std::signbit(a) ? a : b;
+  return a < b ? a : b;
+}
+
+double refMax(double a, double b) {
+  if (std::isnan(a)) return b;
+  if (std::isnan(b)) return a;
+  if (a == 0.0 && b == 0.0) return std::signbit(a) ? b : a;
+  return a > b ? a : b;
+}
+
+/// True when the backends contract this Bin node into an FMA.
+bool contractsToFma(const Expr& expr) {
+  if (expr.kind != Expr::Kind::Bin) return false;
+  if (expr.bin != BinOp::Add && expr.bin != BinOp::Sub) return false;
+  return (expr.lhs->kind == Expr::Kind::Bin && expr.lhs->bin == BinOp::Mul) ||
+         (expr.bin == BinOp::Add && expr.rhs->kind == Expr::Kind::Bin &&
+          expr.rhs->bin == BinOp::Mul);
+}
+
+}  // namespace
+
+Interpreter::Interpreter(const Module& module) : module_(module) {
+  module.validate();
+  for (const ArrayDecl& array : module.arrays) {
+    if (array.init.empty()) {
+      arrays_[array.name].assign(static_cast<std::size_t>(array.elems), 0.0);
+    } else {
+      arrays_[array.name] = array.init;
+    }
+  }
+  for (const ScalarDecl& decl : module.scalars) {
+    scalars_[decl.name] = decl.init;
+  }
+}
+
+void Interpreter::run() {
+  for (const Kernel& kernel : module_.kernels) {
+    for (const Stmt& stmt : kernel.body) execute(stmt);
+  }
+}
+
+void Interpreter::runKernel(const std::string& name) {
+  for (const Kernel& kernel : module_.kernels) {
+    if (kernel.name == name) {
+      for (const Stmt& stmt : kernel.body) execute(stmt);
+      return;
+    }
+  }
+  throw std::runtime_error("kgen: unknown kernel '" + name + "'");
+}
+
+const std::vector<double>& Interpreter::array(const std::string& name) const {
+  const auto it = arrays_.find(name);
+  if (it == arrays_.end()) {
+    throw std::runtime_error("kgen: unknown array '" + name + "'");
+  }
+  return it->second;
+}
+
+double Interpreter::scalarValue(const std::string& name) const {
+  const auto it = scalars_.find(name);
+  if (it == scalars_.end()) {
+    throw std::runtime_error("kgen: unknown scalar '" + name + "'");
+  }
+  return it->second;
+}
+
+std::int64_t Interpreter::indexValue(const AffineIdx& index) const {
+  std::int64_t value = index.offset;
+  for (const AffineIdx::Term& term : index.terms) {
+    value += loopVars_.at(term.var) * term.stride;
+  }
+  return value;
+}
+
+double Interpreter::eval(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::ConstF:
+      return expr.constant;
+    case Expr::Kind::LoadArr: {
+      const std::vector<double>& data = arrays_.at(expr.name);
+      const std::int64_t i = indexValue(expr.index);
+      if (i < 0 || static_cast<std::size_t>(i) >= data.size()) {
+        throw std::runtime_error("kgen: out-of-bounds access to '" +
+                                 expr.name + "' at " + std::to_string(i));
+      }
+      return data[static_cast<std::size_t>(i)];
+    }
+    case Expr::Kind::LoadScalar:
+      return scalars_.at(expr.name);
+    case Expr::Kind::Bin: {
+      // Mirror the backends' FMA contraction so results match bit-for-bit.
+      if (contractsToFma(expr)) {
+        if (expr.lhs->kind == Expr::Kind::Bin && expr.lhs->bin == BinOp::Mul) {
+          const double x = eval(*expr.lhs->lhs);
+          const double y = eval(*expr.lhs->rhs);
+          const double z = eval(*expr.rhs);
+          return expr.bin == BinOp::Add ? std::fma(x, y, z)
+                                        : std::fma(x, y, -z);
+        }
+        // Add with the multiply on the right: z + x*y.
+        const double z = eval(*expr.lhs);
+        const double x = eval(*expr.rhs->lhs);
+        const double y = eval(*expr.rhs->rhs);
+        return std::fma(x, y, z);
+      }
+      const double a = eval(*expr.lhs);
+      const double b = eval(*expr.rhs);
+      switch (expr.bin) {
+        case BinOp::Add:
+          return a + b;
+        case BinOp::Sub:
+          return a - b;
+        case BinOp::Mul:
+          return a * b;
+        case BinOp::Div:
+          return a / b;
+        case BinOp::Min:
+          return refMin(a, b);
+        case BinOp::Max:
+          return refMax(a, b);
+      }
+      return 0.0;
+    }
+    case Expr::Kind::Unary: {
+      const double a = eval(*expr.lhs);
+      switch (expr.un) {
+        case UnOp::Neg:
+          return -a;
+        case UnOp::Abs:
+          return std::fabs(a);
+        case UnOp::Sqrt:
+          return std::sqrt(a);
+      }
+      return 0.0;
+    }
+  }
+  return 0.0;
+}
+
+void Interpreter::execute(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case Stmt::Kind::StoreArr: {
+      const double value = eval(*stmt.value);
+      std::vector<double>& data = arrays_.at(stmt.target);
+      const std::int64_t i = indexValue(stmt.index);
+      if (i < 0 || static_cast<std::size_t>(i) >= data.size()) {
+        throw std::runtime_error("kgen: out-of-bounds store to '" +
+                                 stmt.target + "' at " + std::to_string(i));
+      }
+      data[static_cast<std::size_t>(i)] = value;
+      return;
+    }
+    case Stmt::Kind::SetScalar:
+      scalars_.at(stmt.target) = eval(*stmt.value);
+      return;
+    case Stmt::Kind::AccumScalar: {
+      double& acc = scalars_.at(stmt.target);
+      // acc += x*y contracts to a fused multiply-add in both backends.
+      if (stmt.value->kind == Expr::Kind::Bin &&
+          stmt.value->bin == BinOp::Mul) {
+        acc = std::fma(eval(*stmt.value->lhs), eval(*stmt.value->rhs), acc);
+      } else {
+        acc += eval(*stmt.value);
+      }
+      return;
+    }
+    case Stmt::Kind::Loop:
+      for (std::int64_t i = 0; i < stmt.extent; ++i) {
+        loopVars_[stmt.loopVar] = i;
+        for (const Stmt& inner : stmt.body) execute(inner);
+      }
+      loopVars_.erase(stmt.loopVar);
+      return;
+  }
+}
+
+}  // namespace riscmp::kgen

@@ -1,0 +1,42 @@
+// Reference interpreter for the kernel IR.
+//
+// The interpreter defines the IR's semantics: workload validation compares
+// simulated memory after running compiled code on either ISA against the
+// interpreter's arrays. FP arithmetic uses host doubles with FMA
+// contraction applied exactly where the backends contract, so compiled and
+// interpreted results agree bit-for-bit.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kgen/ir.hpp"
+
+namespace riscmp::kgen {
+
+class Interpreter {
+ public:
+  explicit Interpreter(const Module& module);
+
+  /// Run every kernel in order (the compiled program's behaviour).
+  void run();
+  /// Run a single kernel by name. Throws if unknown.
+  void runKernel(const std::string& name);
+
+  [[nodiscard]] const std::vector<double>& array(
+      const std::string& name) const;
+  [[nodiscard]] double scalarValue(const std::string& name) const;
+
+ private:
+  double eval(const Expr& expr);
+  void execute(const Stmt& stmt);
+  [[nodiscard]] std::int64_t indexValue(const AffineIdx& index) const;
+
+  const Module& module_;
+  std::map<std::string, std::vector<double>> arrays_;
+  std::map<std::string, double> scalars_;
+  std::map<std::string, std::int64_t> loopVars_;
+};
+
+}  // namespace riscmp::kgen

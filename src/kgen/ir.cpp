@@ -1,0 +1,248 @@
+#include "kgen/ir.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace riscmp::kgen {
+
+AffineIdx idx(std::string var, std::int64_t stride) {
+  AffineIdx index;
+  index.terms.push_back({std::move(var), stride});
+  return index;
+}
+
+AffineIdx idx2(std::string rowVar, std::int64_t rowStride,
+               std::string colVar) {
+  AffineIdx index;
+  index.terms.push_back({std::move(rowVar), rowStride});
+  index.terms.push_back({std::move(colVar), 1});
+  return index;
+}
+
+AffineIdx operator+(AffineIdx index, std::int64_t offset) {
+  index.offset += offset;
+  return index;
+}
+
+ExprPtr cnst(double value) {
+  auto expr = std::make_shared<Expr>();
+  expr->kind = Expr::Kind::ConstF;
+  expr->constant = value;
+  return expr;
+}
+
+ExprPtr load(std::string array, AffineIdx index) {
+  auto expr = std::make_shared<Expr>();
+  expr->kind = Expr::Kind::LoadArr;
+  expr->name = std::move(array);
+  expr->index = std::move(index);
+  return expr;
+}
+
+ExprPtr scalar(std::string name) {
+  auto expr = std::make_shared<Expr>();
+  expr->kind = Expr::Kind::LoadScalar;
+  expr->name = std::move(name);
+  return expr;
+}
+
+ExprPtr binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto expr = std::make_shared<Expr>();
+  expr->kind = Expr::Kind::Bin;
+  expr->bin = op;
+  expr->lhs = std::move(lhs);
+  expr->rhs = std::move(rhs);
+  return expr;
+}
+
+ExprPtr unary(UnOp op, ExprPtr operand) {
+  auto expr = std::make_shared<Expr>();
+  expr->kind = Expr::Kind::Unary;
+  expr->un = op;
+  expr->lhs = std::move(operand);
+  return expr;
+}
+
+ExprPtr add(ExprPtr lhs, ExprPtr rhs) {
+  return binary(BinOp::Add, std::move(lhs), std::move(rhs));
+}
+ExprPtr sub(ExprPtr lhs, ExprPtr rhs) {
+  return binary(BinOp::Sub, std::move(lhs), std::move(rhs));
+}
+ExprPtr mul(ExprPtr lhs, ExprPtr rhs) {
+  return binary(BinOp::Mul, std::move(lhs), std::move(rhs));
+}
+ExprPtr divide(ExprPtr lhs, ExprPtr rhs) {
+  return binary(BinOp::Div, std::move(lhs), std::move(rhs));
+}
+ExprPtr fmin(ExprPtr lhs, ExprPtr rhs) {
+  return binary(BinOp::Min, std::move(lhs), std::move(rhs));
+}
+ExprPtr fmax(ExprPtr lhs, ExprPtr rhs) {
+  return binary(BinOp::Max, std::move(lhs), std::move(rhs));
+}
+ExprPtr neg(ExprPtr operand) { return unary(UnOp::Neg, std::move(operand)); }
+ExprPtr fabs(ExprPtr operand) { return unary(UnOp::Abs, std::move(operand)); }
+ExprPtr fsqrt(ExprPtr operand) {
+  return unary(UnOp::Sqrt, std::move(operand));
+}
+
+Stmt storeArr(std::string array, AffineIdx index, ExprPtr value) {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::StoreArr;
+  stmt.target = std::move(array);
+  stmt.index = std::move(index);
+  stmt.value = std::move(value);
+  return stmt;
+}
+
+Stmt setScalar(std::string name, ExprPtr value) {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::SetScalar;
+  stmt.target = std::move(name);
+  stmt.value = std::move(value);
+  return stmt;
+}
+
+Stmt accumScalar(std::string name, ExprPtr value) {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::AccumScalar;
+  stmt.target = std::move(name);
+  stmt.value = std::move(value);
+  return stmt;
+}
+
+Stmt loop(std::string var, std::int64_t extent, std::vector<Stmt> body) {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::Loop;
+  stmt.loopVar = std::move(var);
+  stmt.extent = extent;
+  stmt.body = std::move(body);
+  return stmt;
+}
+
+ArrayDecl& Module::array(std::string name, std::int64_t elems) {
+  arrays.push_back(ArrayDecl{std::move(name), elems, {}});
+  return arrays.back();
+}
+
+void Module::scalarInit(std::string name, double value) {
+  scalars.push_back(ScalarDecl{std::move(name), value});
+}
+
+Kernel& Module::kernel(std::string name) {
+  kernels.push_back(Kernel{std::move(name), {}});
+  return kernels.back();
+}
+
+const ArrayDecl* Module::findArray(std::string_view name) const {
+  for (const ArrayDecl& array : arrays) {
+    if (array.name == name) return &array;
+  }
+  return nullptr;
+}
+
+const ScalarDecl* Module::findScalar(std::string_view name) const {
+  for (const ScalarDecl& decl : scalars) {
+    if (decl.name == name) return &decl;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Validator {
+ public:
+  explicit Validator(const Module& module) : module_(module) {}
+
+  void run() {
+    for (const ArrayDecl& array : module_.arrays) {
+      if (array.elems <= 0) {
+        fail("array '" + array.name + "' has non-positive size");
+      }
+      if (!array.init.empty() &&
+          static_cast<std::int64_t>(array.init.size()) != array.elems) {
+        fail("array '" + array.name + "' init size mismatch");
+      }
+    }
+    for (const Kernel& kernel : module_.kernels) {
+      for (const Stmt& stmt : kernel.body) checkStmt(stmt, kernel.name);
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("kgen: " + what);
+  }
+
+  void checkIndex(const AffineIdx& index, const std::string& where) {
+    for (const AffineIdx::Term& term : index.terms) {
+      if (loopVars_.count(term.var) == 0) {
+        fail(where + ": index variable '" + term.var +
+             "' not bound by an enclosing loop");
+      }
+    }
+  }
+
+  void checkExpr(const Expr& expr, const std::string& where) {
+    switch (expr.kind) {
+      case Expr::Kind::ConstF:
+        return;
+      case Expr::Kind::LoadArr:
+        if (module_.findArray(expr.name) == nullptr) {
+          fail(where + ": unknown array '" + expr.name + "'");
+        }
+        checkIndex(expr.index, where);
+        return;
+      case Expr::Kind::LoadScalar:
+        if (module_.findScalar(expr.name) == nullptr) {
+          fail(where + ": unknown scalar '" + expr.name + "'");
+        }
+        return;
+      case Expr::Kind::Bin:
+        checkExpr(*expr.lhs, where);
+        checkExpr(*expr.rhs, where);
+        return;
+      case Expr::Kind::Unary:
+        checkExpr(*expr.lhs, where);
+        return;
+    }
+  }
+
+  void checkStmt(const Stmt& stmt, const std::string& where) {
+    switch (stmt.kind) {
+      case Stmt::Kind::StoreArr:
+        if (module_.findArray(stmt.target) == nullptr) {
+          fail(where + ": unknown array '" + stmt.target + "'");
+        }
+        checkIndex(stmt.index, where);
+        checkExpr(*stmt.value, where);
+        return;
+      case Stmt::Kind::SetScalar:
+      case Stmt::Kind::AccumScalar:
+        if (module_.findScalar(stmt.target) == nullptr) {
+          fail(where + ": unknown scalar '" + stmt.target + "'");
+        }
+        checkExpr(*stmt.value, where);
+        return;
+      case Stmt::Kind::Loop: {
+        if (stmt.extent <= 0) fail(where + ": loop extent must be positive");
+        if (!loopVars_.insert(stmt.loopVar).second) {
+          fail(where + ": loop variable '" + stmt.loopVar + "' shadows");
+        }
+        for (const Stmt& inner : stmt.body) checkStmt(inner, where);
+        loopVars_.erase(stmt.loopVar);
+        return;
+      }
+    }
+  }
+
+  const Module& module_;
+  std::set<std::string> loopVars_;
+};
+
+}  // namespace
+
+void Module::validate() const { Validator(*this).run(); }
+
+}  // namespace riscmp::kgen

@@ -1,0 +1,141 @@
+// Kernel IR: the input language of the built-in compiler that substitutes
+// for the paper's GCC 9.2 / 12.2 toolchains.
+//
+// The IR deliberately matches the shape of the paper's five workloads:
+// perfectly nested counted loops over double-precision arrays with affine
+// indexing, FP expression trees (with FMA-contractible patterns), scalar
+// reductions, and min/max/sqrt/abs intrinsics. Loop extents are
+// compile-time constants — like the benchmarks, whose sizes are fixed at
+// build time by -D flags or input decks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace riscmp::kgen {
+
+/// An affine index expression: sum of (loop-var * stride) terms plus a
+/// constant element offset.
+struct AffineIdx {
+  struct Term {
+    std::string var;
+    std::int64_t stride = 1;
+  };
+  std::vector<Term> terms;
+  std::int64_t offset = 0;
+
+  bool operator==(const AffineIdx&) const = default;
+};
+
+/// idx("i") or idx("i", stride) — single-variable index.
+AffineIdx idx(std::string var, std::int64_t stride = 1);
+/// idx2("y", rowStride, "x") — row-major 2-D index y*rowStride + x.
+AffineIdx idx2(std::string rowVar, std::int64_t rowStride, std::string colVar);
+AffineIdx operator+(AffineIdx index, std::int64_t offset);
+
+enum class BinOp { Add, Sub, Mul, Div, Min, Max };
+enum class UnOp { Neg, Abs, Sqrt };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind {
+    ConstF,      ///< double literal
+    LoadArr,     ///< array[affine index]
+    LoadScalar,  ///< named scalar (register-resident within a kernel)
+    Bin,
+    Unary,
+  };
+  Kind kind = Kind::ConstF;
+  double constant = 0.0;
+  std::string name;  ///< array or scalar name
+  AffineIdx index;
+  BinOp bin = BinOp::Add;
+  UnOp un = UnOp::Neg;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+// -- Expression builders ----------------------------------------------------
+ExprPtr cnst(double value);
+ExprPtr load(std::string array, AffineIdx index);
+ExprPtr scalar(std::string name);
+ExprPtr binary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr unary(UnOp op, ExprPtr operand);
+ExprPtr add(ExprPtr lhs, ExprPtr rhs);
+ExprPtr sub(ExprPtr lhs, ExprPtr rhs);
+ExprPtr mul(ExprPtr lhs, ExprPtr rhs);
+ExprPtr divide(ExprPtr lhs, ExprPtr rhs);
+ExprPtr fmin(ExprPtr lhs, ExprPtr rhs);
+ExprPtr fmax(ExprPtr lhs, ExprPtr rhs);
+ExprPtr neg(ExprPtr operand);
+ExprPtr fabs(ExprPtr operand);
+ExprPtr fsqrt(ExprPtr operand);
+
+struct Stmt {
+  enum class Kind {
+    StoreArr,     ///< array[index] = value
+    SetScalar,    ///< name = value
+    AccumScalar,  ///< name += value (serial reduction chain)
+    Loop,         ///< for (var = 0; var < extent; ++var) body
+  };
+  Kind kind = Kind::Loop;
+
+  std::string target;  ///< array or scalar name
+  AffineIdx index;
+  ExprPtr value;
+
+  std::string loopVar;
+  std::int64_t extent = 0;
+  std::vector<Stmt> body;
+};
+
+Stmt storeArr(std::string array, AffineIdx index, ExprPtr value);
+Stmt setScalar(std::string name, ExprPtr value);
+Stmt accumScalar(std::string name, ExprPtr value);
+Stmt loop(std::string var, std::int64_t extent, std::vector<Stmt> body);
+
+/// A named kernel: one entry in the program's symbol table, and the unit of
+/// path-length attribution (Figure 1).
+struct Kernel {
+  std::string name;
+  std::vector<Stmt> body;
+};
+
+struct ArrayDecl {
+  std::string name;
+  std::int64_t elems = 0;
+  /// Initial contents; empty means zero-initialised. When non-empty its
+  /// size must equal `elems`.
+  std::vector<double> init;
+};
+
+struct ScalarDecl {
+  std::string name;
+  double init = 0.0;
+};
+
+struct Module {
+  std::string name;
+  std::vector<ArrayDecl> arrays;
+  std::vector<ScalarDecl> scalars;
+  std::vector<Kernel> kernels;
+
+  ArrayDecl& array(std::string name, std::int64_t elems);
+  void scalarInit(std::string name, double value);
+  Kernel& kernel(std::string name);
+
+  [[nodiscard]] const ArrayDecl* findArray(std::string_view name) const;
+  [[nodiscard]] const ScalarDecl* findScalar(std::string_view name) const;
+
+  /// Structural checks: names resolve, extents positive, loop vars unique
+  /// on each path, every index var bound by an enclosing loop. Throws
+  /// std::runtime_error on violation.
+  void validate() const;
+};
+
+}  // namespace riscmp::kgen

@@ -1,0 +1,93 @@
+#include "kgen/layout.hpp"
+
+#include <cstring>
+
+#include "support/bits.hpp"
+
+namespace riscmp::kgen {
+
+ModuleLayout::ModuleLayout(const Module& module) : module_(module) {
+  // Gather distinct FP constants (by bit pattern) into the pool.
+  for (const Kernel& kernel : module.kernels) {
+    for (const Stmt& stmt : kernel.body) collectConstants(stmt);
+  }
+  std::uint64_t poolAddr = kCodeBase;
+  for (auto& [bits, addr] : constants_) {
+    addr = poolAddr;
+    poolWords_.push_back(static_cast<std::uint32_t>(bits));
+    poolWords_.push_back(static_cast<std::uint32_t>(bits >> 32));
+    poolAddr += 8;
+  }
+  entry_ = poolAddr;
+
+  // Scalar block, then arrays.
+  std::uint64_t cursor = kDataBase;
+  for (const ScalarDecl& decl : module.scalars) {
+    scalars_[decl.name] = cursor;
+    cursor += 8;
+  }
+  for (const ArrayDecl& array : module.arrays) {
+    cursor = alignUp(cursor, 64);
+    arrays_[array.name] = cursor;
+    cursor += static_cast<std::uint64_t>(array.elems) * 8;
+  }
+  dataEnd_ = cursor;
+}
+
+void ModuleLayout::collectConstants(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::ConstF: {
+      std::uint64_t bits;
+      std::memcpy(&bits, &expr.constant, sizeof bits);
+      constants_.emplace(bits, 0);
+      return;
+    }
+    case Expr::Kind::Bin:
+      collectConstants(*expr.lhs);
+      collectConstants(*expr.rhs);
+      return;
+    case Expr::Kind::Unary:
+      collectConstants(*expr.lhs);
+      return;
+    default:
+      return;
+  }
+}
+
+void ModuleLayout::collectConstants(const Stmt& stmt) {
+  if (stmt.value) collectConstants(*stmt.value);
+  for (const Stmt& inner : stmt.body) collectConstants(inner);
+}
+
+std::uint64_t ModuleLayout::constAddr(double value) const {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  return constants_.at(bits);
+}
+
+std::uint64_t ModuleLayout::scalarAddr(const std::string& name) const {
+  return scalars_.at(name);
+}
+
+std::uint64_t ModuleLayout::arrayAddr(const std::string& name) const {
+  return arrays_.at(name);
+}
+
+std::vector<std::uint8_t> ModuleLayout::dataSegment() const {
+  std::vector<std::uint8_t> data(dataEnd_ - kDataBase, 0);
+  auto put = [&](std::uint64_t addr, double value) {
+    std::memcpy(data.data() + (addr - kDataBase), &value, sizeof value);
+  };
+  for (const ScalarDecl& decl : module_.scalars) {
+    put(scalars_.at(decl.name), decl.init);
+  }
+  for (const ArrayDecl& array : module_.arrays) {
+    const std::uint64_t base = arrays_.at(array.name);
+    for (std::size_t i = 0; i < array.init.size(); ++i) {
+      put(base + i * 8, array.init[i]);
+    }
+  }
+  return data;
+}
+
+}  // namespace riscmp::kgen

@@ -1,0 +1,65 @@
+// Memory layout shared by both backends.
+//
+//   code segment @ 0x10000: [FP constant pool][kernel code...]
+//   data segment @ 0x100000: [scalar block][arrays, 64-byte aligned]
+//
+// The constant pool lives at the front of the code segment so both backends
+// know every pool address before emitting code (AArch64 reaches it with
+// pc-relative literal loads, RISC-V with a lui/addi base).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "kgen/compile.hpp"
+#include "kgen/ir.hpp"
+
+namespace riscmp::kgen {
+
+class ModuleLayout {
+ public:
+  static constexpr std::uint64_t kCodeBase = Program::kCodeBase;
+  static constexpr std::uint64_t kDataBase = 0x100000;
+
+  explicit ModuleLayout(const Module& module);
+
+  /// Address of the first instruction after the constant pool.
+  [[nodiscard]] std::uint64_t entry() const { return entry_; }
+  [[nodiscard]] std::uint64_t constPoolBase() const { return kCodeBase; }
+  /// The pool as instruction-stream words to prepend to the code.
+  [[nodiscard]] const std::vector<std::uint32_t>& constPoolWords() const {
+    return poolWords_;
+  }
+
+  [[nodiscard]] std::uint64_t constAddr(double value) const;
+  [[nodiscard]] std::uint64_t scalarBase() const { return kDataBase; }
+  [[nodiscard]] std::uint64_t scalarAddr(const std::string& name) const;
+  [[nodiscard]] std::uint64_t arrayAddr(const std::string& name) const;
+
+  /// Initialised data segment (scalar block + arrays).
+  [[nodiscard]] std::vector<std::uint8_t> dataSegment() const;
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& arrayAddrs()
+      const {
+    return arrays_;
+  }
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& scalarAddrs()
+      const {
+    return scalars_;
+  }
+
+ private:
+  void collectConstants(const Expr& expr);
+  void collectConstants(const Stmt& stmt);
+
+  const Module& module_;
+  std::map<std::uint64_t, std::uint64_t> constants_;  ///< bits -> address
+  std::vector<std::uint32_t> poolWords_;
+  std::map<std::string, std::uint64_t> scalars_;
+  std::map<std::string, std::uint64_t> arrays_;
+  std::uint64_t entry_ = 0;
+  std::uint64_t dataEnd_ = 0;
+};
+
+}  // namespace riscmp::kgen

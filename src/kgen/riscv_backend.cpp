@@ -1,0 +1,551 @@
+// RISC-V (rv64g) backend.
+//
+// Lowering follows the idioms the paper observed in GCC's rv64g output
+// (§3.3 and Listing 2):
+//   * one induction pointer per (array, index-term) group, bumped by
+//     stride*8 each iteration ("RISC-V requires two add instructions: one
+//     for the array being loaded from, and one for the array being stored
+//     to");
+//   * loop exit through the fused compare-and-branch `bne ptr, end` with no
+//     separate compare instruction;
+//   * immediate-offset loads/stores only ("Immediate offsetting is the only
+//     form of load or store in RISC-V");
+//   * identical code under both compiler eras ("the main kernels remain the
+//     same for both RISC-V binaries").
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "kgen/backend_common.hpp"
+#include "kgen/layout.hpp"
+#include "riscv/encode.hpp"
+#include "support/bits.hpp"
+
+namespace riscmp::kgen {
+
+using rv64::Inst;
+using rv64::Op;
+
+namespace {
+
+class RvBackend {
+ public:
+  RvBackend(const Module& module, CompilerEra era)
+      : module_(module), era_(era), layout_(module) {
+    (void)era_;  // both eras lower identically on RISC-V (§3.2)
+  }
+
+  Compiled run() {
+    module_.validate();
+    for (const Kernel& kernel : module_.kernels) compileKernel(kernel);
+    emitExit();
+    resolveFixups();
+
+    Compiled out;
+    out.program.arch = Arch::Rv64;
+    out.program.codeBase = ModuleLayout::kCodeBase;
+    out.program.entry = layout_.entry();
+    out.program.code = layout_.constPoolWords();
+    out.program.code.insert(out.program.code.end(), code_.begin(),
+                            code_.end());
+    out.program.dataBase = ModuleLayout::kDataBase;
+    out.program.data = layout_.dataSegment();
+    out.program.kernels = std::move(kernels_);
+    out.arrayAddr = layout_.arrayAddrs();
+    out.scalarAddr = layout_.scalarAddrs();
+    return out;
+  }
+
+ private:
+  // ---- emitter ------------------------------------------------------------
+  [[nodiscard]] std::uint64_t pcHere() const {
+    return layout_.entry() + code_.size() * 4;
+  }
+  void emit(const Inst& inst) { code_.push_back(rv64::encode(inst)); }
+
+  int newLabel() {
+    labels_.push_back(-1);
+    return static_cast<int>(labels_.size() - 1);
+  }
+  void bind(int label) {
+    labels_[static_cast<std::size_t>(label)] =
+        static_cast<std::int64_t>(code_.size());
+  }
+  void emitBranch(Op op, unsigned rs1, unsigned rs2, int label) {
+    fixups_.push_back({code_.size(), label});
+    Inst inst = rv64::makeB(op, rs1, rs2, 0);
+    code_.push_back(0);
+    pending_.push_back(inst);
+  }
+  void resolveFixups() {
+    for (std::size_t i = 0; i < fixups_.size(); ++i) {
+      const auto& [index, label] = fixups_[i];
+      const std::int64_t target = labels_[static_cast<std::size_t>(label)];
+      if (target < 0) throw CompileError("riscv backend: unbound label");
+      Inst inst = pending_[i];
+      inst.imm = (target - static_cast<std::int64_t>(index)) * 4;
+      code_[index] = rv64::encode(inst);
+    }
+  }
+
+  // ---- small code helpers ---------------------------------------------------
+  void emitLi(unsigned rd, std::int64_t value) {
+    if (fitsSigned(value, 12)) {
+      emit(rv64::makeI(Op::ADDI, rd, 0, value));
+      return;
+    }
+    if (!fitsSigned(value, 32)) {
+      throw CompileError("riscv backend: immediate exceeds 32 bits");
+    }
+    const std::int64_t hi = (value + 0x800) >> 12;
+    const std::int64_t lo = value - (hi << 12);
+    emit(rv64::makeU(Op::LUI, rd, hi << 12));
+    if (lo != 0) emit(rv64::makeI(Op::ADDIW, rd, rd, lo));
+  }
+  void emitLa(unsigned rd, std::uint64_t addr) {
+    emitLi(rd, static_cast<std::int64_t>(addr));
+  }
+
+  // ---- register pools --------------------------------------------------------
+  // Persistent integer registers (pointers, counters, limits, bases).
+  // x10..x12 stay reserved as scratch; x1 (ra), x2 (sp), x4 (tp) untouched.
+  static constexpr std::array<unsigned, 24> kIntPool = {
+      5,  6,  7,  9,  13, 14, 15, 16, 17, 18, 19, 20,
+      21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 3};
+  static constexpr unsigned kScratch0 = 10;
+  static constexpr unsigned kScratch1 = 11;
+  // FP temporaries for expression trees (trees are shallow; 8 suffice).
+  static constexpr std::array<unsigned, 8> kFpTempPool = {0, 1, 2, 3,
+                                                          4, 5, 6, 7};
+  // FP persistent registers (scalars, constants, accumulators).
+  static constexpr std::array<unsigned, 24> kFpPersistPool = {
+      8,  9,  10, 11, 12, 13, 14, 15, 16, 17, 18, 19,
+      20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31};
+
+  // ---- kernel compilation ------------------------------------------------------
+  void compileKernel(const Kernel& kernel) {
+    intPool_ = RegPool("int", {kIntPool.begin(), kIntPool.end()});
+    fpTemp_ = RegPool("fp-temp", {kFpTempPool.begin(), kFpTempPool.end()});
+    fpPersist_ =
+        RegPool("fp-persist", {kFpPersistPool.begin(), kFpPersistPool.end()});
+    scalarRegs_.clear();
+    constRegs_.clear();
+    writtenScalars_.clear();
+    scalarBaseReg_.reset();
+    constBaseReg_.reset();
+
+    const std::uint64_t startPc = pcHere();
+
+    const KernelInfo info = analyzeKernel(module_, kernel);
+    // Prologue: register-resident scalars and constants (§"compilers keep
+    // loop-invariant values in callee-saved registers").
+    if (!info.scalars.empty()) {
+      scalarBaseReg_ = intPool_.alloc();
+      emitLa(*scalarBaseReg_, layout_.scalarBase());
+      for (const std::string& name : info.scalars) {
+        const unsigned reg = fpPersist_.alloc();
+        scalarRegs_[name] = reg;
+        emit(rv64::makeI(Op::FLD, reg, *scalarBaseReg_,
+                         static_cast<std::int64_t>(layout_.scalarAddr(name) -
+                                                   layout_.scalarBase())));
+      }
+    }
+    if (!info.constants.empty()) {
+      constBaseReg_ = intPool_.alloc();
+      emitLa(*constBaseReg_, layout_.constPoolBase());
+      for (const double value : info.constants) {
+        const unsigned reg = fpPersist_.alloc();
+        constRegs_[constKey(value)] = reg;
+        emit(rv64::makeI(Op::FLD, reg, *constBaseReg_,
+                         static_cast<std::int64_t>(layout_.constAddr(value) -
+                                                   layout_.constPoolBase())));
+      }
+    }
+
+    LoopCtx root;
+    root.parent = nullptr;
+    for (const Stmt& stmt : kernel.body) compileStmt(stmt, root);
+
+    // Epilogue: spill written scalars back to their slots.
+    for (const std::string& name : writtenScalars_) {
+      if (!scalarBaseReg_) {
+        scalarBaseReg_ = intPool_.alloc();
+        emitLa(*scalarBaseReg_, layout_.scalarBase());
+      }
+      emit(rv64::makeS(Op::FSD, scalarRegs_.at(name), *scalarBaseReg_,
+                       static_cast<std::int64_t>(layout_.scalarAddr(name) -
+                                                 layout_.scalarBase())));
+    }
+
+    kernels_.push_back(Symbol{kernel.name, startPc, pcHere() - startPc});
+  }
+
+  void emitExit() {
+    emit(rv64::makeI(Op::ADDI, 10, 0, 0));   // a0 = 0
+    emit(rv64::makeI(Op::ADDI, 17, 0, 93));  // a7 = exit
+    emit(Inst{.op = Op::ECALL});
+  }
+
+  // ---- loop lowering ---------------------------------------------------------------
+  struct PtrGroup {
+    GroupKey key;
+    unsigned reg = 0;
+    std::int64_t innerStride = 0;  ///< elements per iteration of this loop
+  };
+
+  struct LoopCtx {
+    const LoopCtx* parent = nullptr;
+    std::string var;
+    std::optional<unsigned> scaledCounterReg;  ///< holds var * 8
+    std::vector<PtrGroup> groups;
+  };
+
+  [[nodiscard]] static const PtrGroup* findGroup(const LoopCtx& ctx,
+                                                 const GroupKey& key) {
+    for (const LoopCtx* scope = &ctx; scope != nullptr;
+         scope = scope->parent) {
+      for (const PtrGroup& group : scope->groups) {
+        if (group.key == key) return &group;
+      }
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] static std::optional<unsigned> findScaledCounter(
+      const LoopCtx& ctx, const std::string& var) {
+    for (const LoopCtx* scope = &ctx; scope != nullptr;
+         scope = scope->parent) {
+      if (scope->var == var) return scope->scaledCounterReg;
+    }
+    return std::nullopt;
+  }
+
+  void compileStmt(const Stmt& stmt, LoopCtx& ctx) {
+    switch (stmt.kind) {
+      case Stmt::Kind::Loop:
+        compileLoop(stmt, ctx);
+        return;
+      case Stmt::Kind::StoreArr: {
+        const Val value = genExpr(*stmt.value, ctx);
+        const auto [base, disp] = addressOf(stmt.target, stmt.index, ctx);
+        emit(rv64::makeS(Op::FSD, value.reg, base, disp));
+        release(value);
+        return;
+      }
+      case Stmt::Kind::SetScalar: {
+        const unsigned acc = scalarReg(stmt.target);
+        if (stmt.value->kind == Expr::Kind::LoadArr) {
+          // Load straight into the scalar's register.
+          const auto [base, disp] =
+              addressOf(stmt.value->name, stmt.value->index, ctx);
+          emit(rv64::makeI(Op::FLD, acc, base, disp));
+        } else {
+          const Val value = genExpr(*stmt.value, ctx);
+          // fsgnj.d rd, v, v  ==  fmv.d rd, v
+          emit(rv64::makeR(Op::FSGNJ_D, acc, value.reg, value.reg));
+          release(value);
+        }
+        markScalarWritten(stmt.target);
+        return;
+      }
+      case Stmt::Kind::AccumScalar: {
+        const unsigned acc = scalarReg(stmt.target);
+        // acc += x*y contracts to fmadd, like real codegen.
+        if (stmt.value->kind == Expr::Kind::Bin &&
+            stmt.value->bin == BinOp::Mul) {
+          const Val x = genExpr(*stmt.value->lhs, ctx);
+          const Val y = genExpr(*stmt.value->rhs, ctx);
+          emit(rv64::makeR4(Op::FMADD_D, acc, x.reg, y.reg, acc));
+          release(x);
+          release(y);
+        } else {
+          const Val value = genExpr(*stmt.value, ctx);
+          emit(rv64::makeR(Op::FADD_D, acc, acc, value.reg));
+          release(value);
+        }
+        markScalarWritten(stmt.target);
+        return;
+      }
+    }
+  }
+
+  void compileLoop(const Stmt& loopStmt, LoopCtx& parent) {
+    LoopCtx ctx;
+    ctx.parent = &parent;
+    ctx.var = loopStmt.loopVar;
+
+    // Pointer groups for accesses directly in this loop's body.
+    const std::vector<GroupKey> keys =
+        collectGroups(loopStmt.body, module_);
+    for (const GroupKey& key : keys) {
+      PtrGroup group;
+      group.key = key;
+      group.reg = intPool_.alloc();
+      group.innerStride = strideOf(key, ctx.var);
+      ctx.groups.push_back(group);
+    }
+
+    // A scaled counter (var*8) is needed when nested loops index with this
+    // variable.
+    const bool nestedUse = nestedLoopsUseVar(loopStmt, loopStmt.loopVar);
+    if (nestedUse) ctx.scaledCounterReg = intPool_.alloc();
+
+    // ---- preheader.
+    for (PtrGroup& group : ctx.groups) initPointer(group, ctx);
+    if (ctx.scaledCounterReg) {
+      emit(rv64::makeI(Op::ADDI, *ctx.scaledCounterReg, 0, 0));
+    }
+
+    // Loop-exit strategy (paper Listing 2: compare a bumped pointer against
+    // a precomputed end pointer with the fused bne).
+    const PtrGroup* exitGroup = nullptr;
+    for (const PtrGroup& group : ctx.groups) {
+      if (group.innerStride != 0) {
+        exitGroup = &group;
+        break;
+      }
+    }
+    std::optional<unsigned> endReg;
+    std::optional<unsigned> counterReg;
+    std::optional<unsigned> scaledLimitReg;
+    if (exitGroup != nullptr) {
+      endReg = intPool_.alloc();
+      const std::int64_t span =
+          loopStmt.extent * exitGroup->innerStride * 8;
+      if (fitsSigned(span, 12)) {
+        emit(rv64::makeI(Op::ADDI, *endReg, exitGroup->reg, span));
+      } else {
+        emitLi(kScratch0, span);
+        emit(rv64::makeR(Op::ADD, *endReg, exitGroup->reg, kScratch0));
+      }
+    } else if (ctx.scaledCounterReg) {
+      scaledLimitReg = intPool_.alloc();
+      emitLi(*scaledLimitReg, loopStmt.extent * 8);
+    } else {
+      counterReg = intPool_.alloc();
+      emitLi(*counterReg, loopStmt.extent);
+    }
+
+    // ---- body.
+    const int head = newLabel();
+    bind(head);
+    for (const Stmt& stmt : loopStmt.body) compileStmt(stmt, ctx);
+
+    // ---- latch: bump pointers, bump scaled counter, fused compare-branch.
+    for (const PtrGroup& group : ctx.groups) {
+      if (group.innerStride != 0) {
+        emit(rv64::makeI(Op::ADDI, group.reg, group.reg,
+                         group.innerStride * 8));
+      }
+    }
+    if (ctx.scaledCounterReg) {
+      emit(rv64::makeI(Op::ADDI, *ctx.scaledCounterReg, *ctx.scaledCounterReg,
+                       8));
+    }
+    if (exitGroup != nullptr) {
+      emitBranch(Op::BNE, exitGroup->reg, *endReg, head);
+    } else if (scaledLimitReg) {
+      emitBranch(Op::BNE, *ctx.scaledCounterReg, *scaledLimitReg, head);
+    } else {
+      emit(rv64::makeI(Op::ADDI, *counterReg, *counterReg, -1));
+      emitBranch(Op::BNE, *counterReg, 0, head);
+    }
+
+    // Release loop-scoped registers.
+    if (endReg) intPool_.release(*endReg);
+    if (counterReg) intPool_.release(*counterReg);
+    if (scaledLimitReg) intPool_.release(*scaledLimitReg);
+    if (ctx.scaledCounterReg) intPool_.release(*ctx.scaledCounterReg);
+    for (const PtrGroup& group : ctx.groups) intPool_.release(group.reg);
+  }
+
+  /// Preheader pointer initialisation: array base + group offset + outer
+  /// loop-variable contributions (via their scaled counters).
+  void initPointer(const PtrGroup& group, const LoopCtx& ctx) {
+    const std::uint64_t base =
+        layout_.arrayAddr(group.key.array) +
+        static_cast<std::uint64_t>(group.key.baseOffset * 8);
+    emitLa(group.reg, base);
+    for (const auto& [var, stride] : group.key.terms) {
+      if (var == ctx.var) continue;  // starts at zero
+      const auto counter = findScaledCounter(*ctx.parent, var);
+      if (!counter) {
+        throw CompileError("riscv backend: no scaled counter for '" + var +
+                           "'");
+      }
+      if (stride == 1) {
+        emit(rv64::makeR(Op::ADD, group.reg, group.reg, *counter));
+      } else if (isPow2(static_cast<std::uint64_t>(stride))) {
+        const unsigned shift =
+            static_cast<unsigned>(std::countr_zero(
+                static_cast<std::uint64_t>(stride)));
+        emit(rv64::makeI(Op::SLLI, kScratch0, *counter, shift));
+        emit(rv64::makeR(Op::ADD, group.reg, group.reg, kScratch0));
+      } else {
+        emitLi(kScratch0, stride);
+        emit(rv64::makeR(Op::MUL, kScratch0, *counter, kScratch0));
+        emit(rv64::makeR(Op::ADD, group.reg, group.reg, kScratch0));
+      }
+    }
+  }
+
+  /// Addressing path for one access: the owning group's pointer plus an
+  /// immediate displacement (the only load/store form rv64g has).
+  std::pair<unsigned, std::int64_t> addressOf(const std::string& array,
+                                              const AffineIdx& index,
+                                              const LoopCtx& ctx) {
+    const GroupKey key = groupKeyFor(array, index);
+    const PtrGroup* group = findGroup(ctx, key);
+    if (group == nullptr) {
+      throw CompileError("riscv backend: no pointer group for '" + array +
+                         "'");
+    }
+    const std::int64_t disp = (index.offset - group->key.baseOffset) * 8;
+    if (!fitsSigned(disp, 12)) {
+      throw CompileError("riscv backend: displacement out of range");
+    }
+    return {group->reg, disp};
+  }
+
+  // ---- expressions -------------------------------------------------------------------
+  struct Val {
+    unsigned reg;
+    bool temp;
+  };
+  void release(const Val& value) {
+    if (value.temp) fpTemp_.release(value.reg);
+  }
+
+  unsigned scalarReg(const std::string& name) { return scalarRegs_.at(name); }
+  void markScalarWritten(const std::string& name) {
+    if (std::find(writtenScalars_.begin(), writtenScalars_.end(), name) ==
+        writtenScalars_.end()) {
+      writtenScalars_.push_back(name);
+    }
+  }
+
+  Val genExpr(const Expr& expr, const LoopCtx& ctx) {
+    switch (expr.kind) {
+      case Expr::Kind::ConstF:
+        return {constRegs_.at(constKey(expr.constant)), false};
+      case Expr::Kind::LoadScalar:
+        return {scalarRegs_.at(expr.name), false};
+      case Expr::Kind::LoadArr: {
+        const auto [base, disp] = addressOf(expr.name, expr.index, ctx);
+        const unsigned reg = fpTemp_.alloc();
+        emit(rv64::makeI(Op::FLD, reg, base, disp));
+        return {reg, true};
+      }
+      case Expr::Kind::Bin:
+        return genBin(expr, ctx);
+      case Expr::Kind::Unary: {
+        const Val a = genExpr(*expr.lhs, ctx);
+        const unsigned reg = a.temp ? a.reg : fpTemp_.alloc();
+        switch (expr.un) {
+          case UnOp::Neg:
+            emit(rv64::makeR(Op::FSGNJN_D, reg, a.reg, a.reg));
+            break;
+          case UnOp::Abs:
+            emit(rv64::makeR(Op::FSGNJX_D, reg, a.reg, a.reg));
+            break;
+          case UnOp::Sqrt:
+            emit(rv64::makeR(Op::FSQRT_D, reg, a.reg, 0));
+            break;
+        }
+        return {reg, true};
+      }
+    }
+    throw CompileError("riscv backend: bad expression");
+  }
+
+  Val genBin(const Expr& expr, const LoopCtx& ctx) {
+    // FMA contraction (mirrored exactly by the interpreter).
+    const bool lhsMul =
+        expr.lhs->kind == Expr::Kind::Bin && expr.lhs->bin == BinOp::Mul;
+    const bool rhsMul =
+        expr.rhs->kind == Expr::Kind::Bin && expr.rhs->bin == BinOp::Mul;
+    if (expr.bin == BinOp::Add && (lhsMul || rhsMul)) {
+      const Expr& mulNode = lhsMul ? *expr.lhs : *expr.rhs;
+      const Expr& addend = lhsMul ? *expr.rhs : *expr.lhs;
+      const Val x = genExpr(*mulNode.lhs, ctx);
+      const Val y = genExpr(*mulNode.rhs, ctx);
+      const Val z = genExpr(addend, ctx);
+      const unsigned reg = fpTemp_.alloc();
+      emit(rv64::makeR4(Op::FMADD_D, reg, x.reg, y.reg, z.reg));
+      release(x);
+      release(y);
+      release(z);
+      return {reg, true};
+    }
+    if (expr.bin == BinOp::Sub && lhsMul) {
+      const Val x = genExpr(*expr.lhs->lhs, ctx);
+      const Val y = genExpr(*expr.lhs->rhs, ctx);
+      const Val z = genExpr(*expr.rhs, ctx);
+      const unsigned reg = fpTemp_.alloc();
+      emit(rv64::makeR4(Op::FMSUB_D, reg, x.reg, y.reg, z.reg));
+      release(x);
+      release(y);
+      release(z);
+      return {reg, true};
+    }
+
+    const Val a = genExpr(*expr.lhs, ctx);
+    const Val b = genExpr(*expr.rhs, ctx);
+    const unsigned reg =
+        a.temp ? a.reg : (b.temp ? b.reg : fpTemp_.alloc());
+    Op op = Op::FADD_D;
+    switch (expr.bin) {
+      case BinOp::Add:
+        op = Op::FADD_D;
+        break;
+      case BinOp::Sub:
+        op = Op::FSUB_D;
+        break;
+      case BinOp::Mul:
+        op = Op::FMUL_D;
+        break;
+      case BinOp::Div:
+        op = Op::FDIV_D;
+        break;
+      case BinOp::Min:
+        op = Op::FMIN_D;
+        break;
+      case BinOp::Max:
+        op = Op::FMAX_D;
+        break;
+    }
+    emit(rv64::makeR(op, reg, a.reg, b.reg));
+    if (a.temp && reg != a.reg) fpTemp_.release(a.reg);
+    if (b.temp && reg != b.reg) fpTemp_.release(b.reg);
+    return {reg, true};
+  }
+
+  // ---- state ----------------------------------------------------------------
+  const Module& module_;
+  CompilerEra era_;
+  ModuleLayout layout_;
+
+  std::vector<std::uint32_t> code_;
+  std::vector<std::int64_t> labels_;
+  std::vector<std::pair<std::size_t, int>> fixups_;
+  std::vector<Inst> pending_;
+  std::vector<Symbol> kernels_;
+
+  RegPool intPool_{"int", {}};
+  RegPool fpTemp_{"fp-temp", {}};
+  RegPool fpPersist_{"fp-persist", {}};
+  std::map<std::string, unsigned> scalarRegs_;
+  std::map<std::uint64_t, unsigned> constRegs_;
+  std::vector<std::string> writtenScalars_;
+  std::optional<unsigned> scalarBaseReg_;
+  std::optional<unsigned> constBaseReg_;
+};
+
+}  // namespace
+
+Compiled compileRv64(const Module& module, CompilerEra era) {
+  RvBackend backend(module, era);
+  return backend.run();
+}
+
+}  // namespace riscmp::kgen

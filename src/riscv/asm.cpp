@@ -1,0 +1,495 @@
+#include "riscv/asm.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <optional>
+
+#include "riscv/encode.hpp"
+#include "support/bits.hpp"
+
+namespace riscmp::rv64 {
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::string toLower(std::string_view s) {
+  std::string out(s);
+  for (char& ch : out) ch = static_cast<char>(std::tolower(ch));
+  return out;
+}
+
+std::vector<std::string> tokenizeOperands(std::string_view rest, int line) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  for (const char ch : rest) {
+    if (ch == '(') ++depth;
+    if (ch == ')') --depth;
+    if (ch == ',' && depth == 0) {
+      out.push_back(current);
+      current.clear();
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(ch))) current += ch;
+  }
+  if (!current.empty()) out.push_back(current);
+  if (depth != 0) throw AsmError("unbalanced parentheses", line);
+  return out;
+}
+
+struct SourceLine {
+  int number;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+};
+
+/// First pass: strip comments/labels, record label addresses.
+struct Listing {
+  std::vector<SourceLine> lines;
+  std::map<std::string, std::uint64_t, std::less<>> labels;
+};
+
+bool pseudoExpandsToTwo(const std::string& mnemonic,
+                        const std::vector<std::string>& operands);
+
+std::int64_t parseImmediate(std::string_view text, int line) {
+  std::int64_t value = 0;
+  bool negative = false;
+  std::string_view body = text;
+  if (!body.empty() && (body[0] == '-' || body[0] == '+')) {
+    negative = body[0] == '-';
+    body.remove_prefix(1);
+  }
+  int base = 10;
+  if (body.size() > 2 && body[0] == '0' && (body[1] == 'x' || body[1] == 'X')) {
+    body.remove_prefix(2);
+    base = 16;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), value, base);
+  if (ec != std::errc{} || ptr != body.data() + body.size()) {
+    throw AsmError("bad immediate '" + std::string(text) + "'", line);
+  }
+  return negative ? -value : value;
+}
+
+bool looksLikeImmediate(std::string_view text) {
+  if (text.empty()) return false;
+  const char c = text[0];
+  return c == '-' || c == '+' || std::isdigit(static_cast<unsigned char>(c));
+}
+
+Listing firstPass(std::string_view source) {
+  Listing listing;
+  std::uint64_t offset = 0;
+  int number = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t nl = source.find('\n', pos);
+    std::string_view raw = source.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    ++number;
+    pos = (nl == std::string_view::npos) ? source.size() + 1 : nl + 1;
+
+    if (const std::size_t hash = raw.find('#'); hash != std::string_view::npos) {
+      raw = raw.substr(0, hash);
+    }
+    // Leading labels (may share a line with an instruction).
+    for (;;) {
+      std::size_t b = 0;
+      while (b < raw.size() && std::isspace(static_cast<unsigned char>(raw[b]))) ++b;
+      raw = raw.substr(b);
+      const std::size_t colon = raw.find(':');
+      if (colon == std::string_view::npos) break;
+      const std::string_view label = raw.substr(0, colon);
+      if (label.empty() ||
+          label.find_first_of(" \t,()") != std::string_view::npos) {
+        break;
+      }
+      listing.labels.emplace(std::string(label), offset);
+      raw = raw.substr(colon + 1);
+    }
+    std::size_t b = 0;
+    while (b < raw.size() && std::isspace(static_cast<unsigned char>(raw[b]))) ++b;
+    std::size_t e = raw.size();
+    while (e > b && std::isspace(static_cast<unsigned char>(raw[e - 1]))) --e;
+    raw = raw.substr(b, e - b);
+    if (raw.empty()) continue;
+
+    std::size_t space = 0;
+    while (space < raw.size() &&
+           !std::isspace(static_cast<unsigned char>(raw[space]))) {
+      ++space;
+    }
+    SourceLine line;
+    line.number = number;
+    line.mnemonic = toLower(raw.substr(0, space));
+    line.operands = tokenizeOperands(raw.substr(space), number);
+    offset += pseudoExpandsToTwo(line.mnemonic, line.operands) ? 8 : 4;
+    listing.lines.push_back(std::move(line));
+  }
+  return listing;
+}
+
+// "li" with a value outside the addi range expands to lui+addi(w).
+bool pseudoExpandsToTwo(const std::string& mnemonic,
+                        const std::vector<std::string>& operands) {
+  if (mnemonic != "li" || operands.size() != 2) return false;
+  if (!looksLikeImmediate(operands[1])) return true;  // conservative
+  try {
+    const std::int64_t v = parseImmediate(operands[1], 0);
+    return !fitsSigned(v, 12);
+  } catch (const AsmError&) {
+    return true;
+  }
+}
+
+class SecondPass {
+ public:
+  SecondPass(const Listing& listing, std::uint64_t base)
+      : listing_(listing), base_(base) {}
+
+  std::vector<std::uint32_t> run() {
+    for (const SourceLine& line : listing_.lines) assembleLine(line);
+    return std::move(words_);
+  }
+
+ private:
+  [[noreturn]] void fail(const SourceLine& line, const std::string& what) {
+    throw AsmError(what, line.number);
+  }
+
+  unsigned gpr(const SourceLine& line, const std::string& text) {
+    const int r = gprFromName(text);
+    if (r < 0) fail(line, "bad integer register '" + text + "'");
+    return static_cast<unsigned>(r);
+  }
+
+  unsigned fpr(const SourceLine& line, const std::string& text) {
+    const int r = fprFromName(text);
+    if (r < 0) fail(line, "bad FP register '" + text + "'");
+    return static_cast<unsigned>(r);
+  }
+
+  std::int64_t immOrLabelOffset(const SourceLine& line, const std::string& text) {
+    if (looksLikeImmediate(text)) return parseImmediate(text, line.number);
+    const auto it = listing_.labels.find(text);
+    if (it == listing_.labels.end()) fail(line, "unknown label '" + text + "'");
+    const std::uint64_t target = base_ + it->second;
+    const std::uint64_t here = base_ + words_.size() * 4;
+    return static_cast<std::int64_t>(target) - static_cast<std::int64_t>(here);
+  }
+
+  std::int64_t imm(const SourceLine& line, const std::string& text) {
+    if (!looksLikeImmediate(text)) fail(line, "expected immediate, got '" + text + "'");
+    return parseImmediate(text, line.number);
+  }
+
+  /// Split "offset(base)"; offset may be empty (meaning 0).
+  std::pair<std::int64_t, unsigned> memOperand(const SourceLine& line,
+                                               const std::string& text) {
+    const std::size_t open = text.find('(');
+    const std::size_t close = text.rfind(')');
+    if (open == std::string::npos || close != text.size() - 1) {
+      fail(line, "expected offset(base), got '" + text + "'");
+    }
+    const std::string offsetText = text.substr(0, open);
+    const std::string baseText = text.substr(open + 1, close - open - 1);
+    const std::int64_t offset =
+        offsetText.empty() ? 0 : parseImmediate(offsetText, line.number);
+    return {offset, gpr(line, baseText)};
+  }
+
+  void emit(const Inst& inst) { words_.push_back(encode(inst)); }
+
+  void expectOperands(const SourceLine& line, std::size_t count) {
+    if (line.operands.size() != count) {
+      fail(line, line.mnemonic + ": expected " + std::to_string(count) +
+                     " operands, got " + std::to_string(line.operands.size()));
+    }
+  }
+
+  void assembleLine(const SourceLine& line) {
+    if (assemblePseudo(line)) return;
+
+    const auto op = opFromMnemonic(line.mnemonic);
+    if (!op) fail(line, "unknown mnemonic '" + line.mnemonic + "'");
+    const OpInfo& info = opInfo(*op);
+
+    Inst inst;
+    inst.op = *op;
+    const auto& ops = line.operands;
+
+    switch (info.imm) {
+      case ImmKind::U:
+        expectOperands(line, 2);
+        inst.rd = static_cast<std::uint8_t>(gpr(line, ops[0]));
+        inst.imm = imm(line, ops[1]) << 12;
+        break;
+      case ImmKind::J:
+        expectOperands(line, 2);
+        inst.rd = static_cast<std::uint8_t>(gpr(line, ops[0]));
+        inst.imm = immOrLabelOffset(line, ops[1]);
+        break;
+      case ImmKind::B:
+        expectOperands(line, 3);
+        inst.rs1 = static_cast<std::uint8_t>(gpr(line, ops[0]));
+        inst.rs2 = static_cast<std::uint8_t>(gpr(line, ops[1]));
+        inst.imm = immOrLabelOffset(line, ops[2]);
+        break;
+      case ImmKind::S: {
+        expectOperands(line, 2);
+        inst.rs2 = static_cast<std::uint8_t>(
+            info.rs2IsFp() ? fpr(line, ops[0]) : gpr(line, ops[0]));
+        const auto [offset, baseReg] = memOperand(line, ops[1]);
+        inst.imm = offset;
+        inst.rs1 = static_cast<std::uint8_t>(baseReg);
+        break;
+      }
+      case ImmKind::I:
+        if (info.memKind == MemKind::Load || inst.op == Op::JALR) {
+          expectOperands(line, 2);
+          inst.rd = static_cast<std::uint8_t>(
+              info.rdIsFp() ? fpr(line, ops[0]) : gpr(line, ops[0]));
+          const auto [offset, baseReg] = memOperand(line, ops[1]);
+          inst.imm = offset;
+          inst.rs1 = static_cast<std::uint8_t>(baseReg);
+        } else {
+          expectOperands(line, 3);
+          inst.rd = static_cast<std::uint8_t>(gpr(line, ops[0]));
+          inst.rs1 = static_cast<std::uint8_t>(gpr(line, ops[1]));
+          inst.imm = imm(line, ops[2]);
+        }
+        break;
+      case ImmKind::Shamt6:
+      case ImmKind::Shamt5:
+        expectOperands(line, 3);
+        inst.rd = static_cast<std::uint8_t>(gpr(line, ops[0]));
+        inst.rs1 = static_cast<std::uint8_t>(gpr(line, ops[1]));
+        inst.imm = imm(line, ops[2]);
+        break;
+      case ImmKind::Csr:
+        expectOperands(line, 3);
+        inst.rd = static_cast<std::uint8_t>(gpr(line, ops[0]));
+        inst.imm = imm(line, ops[1]);
+        inst.rs1 = static_cast<std::uint8_t>(gpr(line, ops[2]));
+        break;
+      case ImmKind::CsrImm:
+        expectOperands(line, 3);
+        inst.rd = static_cast<std::uint8_t>(gpr(line, ops[0]));
+        inst.imm = imm(line, ops[1]);
+        inst.rs1 = static_cast<std::uint8_t>(imm(line, ops[2]) & 31);
+        break;
+      case ImmKind::None: {
+        std::size_t expected = 0;
+        if (info.hasRd) ++expected;
+        expected += static_cast<std::size_t>(info.readsRs1()) +
+                    static_cast<std::size_t>(info.readsRs2()) +
+                    static_cast<std::size_t>(info.readsRs3());
+        if (info.memKind != MemKind::None) {
+          assembleAmoLike(line, inst, info);
+          return;
+        }
+        if (expected == 0) {  // ecall / ebreak / fence
+          emit(inst);
+          return;
+        }
+        expectOperands(line, expected);
+        std::size_t cursor = 0;
+        if (info.hasRd) {
+          inst.rd = static_cast<std::uint8_t>(
+              info.rdIsFp() ? fpr(line, ops[cursor]) : gpr(line, ops[cursor]));
+          ++cursor;
+        }
+        if (info.readsRs1()) {
+          inst.rs1 = static_cast<std::uint8_t>(
+              info.rs1IsFp() ? fpr(line, ops[cursor]) : gpr(line, ops[cursor]));
+          ++cursor;
+        }
+        if (info.readsRs2()) {
+          inst.rs2 = static_cast<std::uint8_t>(
+              info.rs2IsFp() ? fpr(line, ops[cursor]) : gpr(line, ops[cursor]));
+          ++cursor;
+        }
+        if (info.readsRs3()) {
+          inst.rs3 = static_cast<std::uint8_t>(
+              info.rs3IsFp() ? fpr(line, ops[cursor]) : gpr(line, ops[cursor]));
+        }
+        break;
+      }
+    }
+    emit(inst);
+  }
+
+  void assembleAmoLike(const SourceLine& line, Inst inst, const OpInfo& info) {
+    // lr.w rd, (rs1) / sc.w rd, rs2, (rs1) / amoadd.w rd, rs2, (rs1)
+    const auto& ops = line.operands;
+    const bool hasRs2 = info.readsRs2();
+    expectOperands(line, hasRs2 ? 3 : 2);
+    inst.rd = static_cast<std::uint8_t>(gpr(line, ops[0]));
+    std::string addr = ops[hasRs2 ? 2 : 1];
+    if (hasRs2) inst.rs2 = static_cast<std::uint8_t>(gpr(line, ops[1]));
+    if (addr.size() >= 2 && addr.front() == '(' && addr.back() == ')') {
+      addr = addr.substr(1, addr.size() - 2);
+    }
+    inst.rs1 = static_cast<std::uint8_t>(gpr(line, addr));
+    emit(inst);
+  }
+
+  bool assemblePseudo(const SourceLine& line) {
+    const std::string& m = line.mnemonic;
+    const auto& ops = line.operands;
+
+    auto emitI = [&](Op op, unsigned rd, unsigned rs1, std::int64_t value) {
+      emit(makeI(op, rd, rs1, value));
+    };
+    auto emitR = [&](Op op, unsigned rd, unsigned rs1, unsigned rs2v) {
+      emit(makeR(op, rd, rs1, rs2v));
+    };
+    auto branchZero = [&](Op op, bool zeroFirst) {
+      expectOperands(line, 2);
+      const unsigned r = gpr(line, ops[0]);
+      Inst inst;
+      inst.op = op;
+      inst.rs1 = static_cast<std::uint8_t>(zeroFirst ? 0 : r);
+      inst.rs2 = static_cast<std::uint8_t>(zeroFirst ? r : 0);
+      inst.imm = immOrLabelOffset(line, ops[1]);
+      emit(inst);
+      return true;
+    };
+    auto branchSwapped = [&](Op op) {
+      expectOperands(line, 3);
+      Inst inst;
+      inst.op = op;
+      inst.rs1 = static_cast<std::uint8_t>(gpr(line, ops[1]));
+      inst.rs2 = static_cast<std::uint8_t>(gpr(line, ops[0]));
+      inst.imm = immOrLabelOffset(line, ops[2]);
+      emit(inst);
+      return true;
+    };
+
+    if (m == "nop") {
+      emitI(Op::ADDI, 0, 0, 0);
+      return true;
+    }
+    if (m == "li") {
+      expectOperands(line, 2);
+      const unsigned rd = gpr(line, ops[0]);
+      const std::int64_t value = imm(line, ops[1]);
+      if (fitsSigned(value, 12)) {
+        emitI(Op::ADDI, rd, 0, value);
+      } else if (fitsSigned(value, 32)) {
+        // lui + addiw, compensating for addiw sign extension.
+        const std::int64_t hi = (value + 0x800) >> 12;
+        const std::int64_t lo = value - (hi << 12);
+        emit(makeU(Op::LUI, rd, hi << 12));
+        emitI(Op::ADDIW, rd, rd, lo);
+      } else {
+        fail(line, "li: value out of 32-bit range (use lui/slli sequences)");
+      }
+      return true;
+    }
+    if (m == "mv") {
+      expectOperands(line, 2);
+      emitI(Op::ADDI, gpr(line, ops[0]), gpr(line, ops[1]), 0);
+      return true;
+    }
+    if (m == "not") {
+      expectOperands(line, 2);
+      emitI(Op::XORI, gpr(line, ops[0]), gpr(line, ops[1]), -1);
+      return true;
+    }
+    if (m == "neg") {
+      expectOperands(line, 2);
+      emitR(Op::SUB, gpr(line, ops[0]), 0, gpr(line, ops[1]));
+      return true;
+    }
+    if (m == "negw") {
+      expectOperands(line, 2);
+      emitR(Op::SUBW, gpr(line, ops[0]), 0, gpr(line, ops[1]));
+      return true;
+    }
+    if (m == "sext.w") {
+      expectOperands(line, 2);
+      emitI(Op::ADDIW, gpr(line, ops[0]), gpr(line, ops[1]), 0);
+      return true;
+    }
+    if (m == "j") {
+      expectOperands(line, 1);
+      Inst inst;
+      inst.op = Op::JAL;
+      inst.rd = 0;
+      inst.imm = immOrLabelOffset(line, ops[0]);
+      emit(inst);
+      return true;
+    }
+    if (m == "jr") {
+      expectOperands(line, 1);
+      emitI(Op::JALR, 0, gpr(line, ops[0]), 0);
+      return true;
+    }
+    if (m == "ret") {
+      emitI(Op::JALR, 0, 1, 0);
+      return true;
+    }
+    if (m == "beqz") return branchZero(Op::BEQ, false);
+    if (m == "bnez") return branchZero(Op::BNE, false);
+    if (m == "bltz") return branchZero(Op::BLT, false);
+    if (m == "bgez") return branchZero(Op::BGE, false);
+    if (m == "blez") return branchZero(Op::BGE, true);
+    if (m == "bgtz") return branchZero(Op::BLT, true);
+    if (m == "bgt") return branchSwapped(Op::BLT);
+    if (m == "ble") return branchSwapped(Op::BGE);
+    if (m == "bgtu") return branchSwapped(Op::BLTU);
+    if (m == "bleu") return branchSwapped(Op::BGEU);
+    if (m == "fmv.d" || m == "fmv.s") {
+      expectOperands(line, 2);
+      const unsigned rd = fpr(line, ops[0]);
+      const unsigned rs = fpr(line, ops[1]);
+      emit(makeR(m == "fmv.d" ? Op::FSGNJ_D : Op::FSGNJ_S, rd, rs, rs));
+      return true;
+    }
+    if (m == "fneg.d" || m == "fneg.s") {
+      expectOperands(line, 2);
+      const unsigned rd = fpr(line, ops[0]);
+      const unsigned rs = fpr(line, ops[1]);
+      emit(makeR(m == "fneg.d" ? Op::FSGNJN_D : Op::FSGNJN_S, rd, rs, rs));
+      return true;
+    }
+    if (m == "fabs.d" || m == "fabs.s") {
+      expectOperands(line, 2);
+      const unsigned rd = fpr(line, ops[0]);
+      const unsigned rs = fpr(line, ops[1]);
+      emit(makeR(m == "fabs.d" ? Op::FSGNJX_D : Op::FSGNJX_S, rd, rs, rs));
+      return true;
+    }
+    if (m == "seqz") {
+      expectOperands(line, 2);
+      emitI(Op::SLTIU, gpr(line, ops[0]), gpr(line, ops[1]), 1);
+      return true;
+    }
+    if (m == "snez") {
+      expectOperands(line, 2);
+      emitR(Op::SLTU, gpr(line, ops[0]), 0, gpr(line, ops[1]));
+      return true;
+    }
+    return false;
+  }
+
+  const Listing& listing_;
+  std::uint64_t base_;
+  std::vector<std::uint32_t> words_;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> assemble(std::string_view source, std::uint64_t base) {
+  const Listing listing = firstPass(source);
+  SecondPass pass(listing, base);
+  return pass.run();
+}
+
+}  // namespace riscmp::rv64

@@ -1,0 +1,34 @@
+// Two-pass RV64G text assembler.
+//
+// Accepts GNU-style assembly: one instruction or label per line, `#`
+// comments, ABI or numeric register names, decimal/hex immediates,
+// `offset(base)` memory operands, and label operands on branches/jumps.
+// A practical set of pseudo-instructions is expanded (li, mv, not, neg,
+// nop, j, jr, ret, beqz, bnez, blez, bgez, bltz, bgtz, bgt, ble, bgtu,
+// bleu, fmv.d, fmv.s, fneg.d, fabs.d, call-less subset).
+//
+// This is primarily a test and example facility; the kernel compiler emits
+// encoded instructions directly.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace riscmp::rv64 {
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(const std::string& message, int line)
+      : std::runtime_error("riscv asm: line " + std::to_string(line) + ": " +
+                           message) {}
+};
+
+/// Assemble a listing into machine words. `base` is the address of the
+/// first instruction (labels resolve against it).
+std::vector<std::uint32_t> assemble(std::string_view source,
+                                    std::uint64_t base = 0);
+
+}  // namespace riscmp::rv64

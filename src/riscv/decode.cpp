@@ -1,0 +1,63 @@
+#include "riscv/decode.hpp"
+
+#include "support/bits.hpp"
+
+namespace riscmp::rv64 {
+namespace {
+
+std::int64_t decodeImm(std::uint32_t word, ImmKind kind) {
+  switch (kind) {
+    case ImmKind::None:
+      return 0;
+    case ImmKind::I:
+      return signExtend(bits(word, 31u, 20u), 12);
+    case ImmKind::S:
+      return signExtend((bits(word, 31u, 25u) << 5) | bits(word, 11u, 7u), 12);
+    case ImmKind::B: {
+      const std::uint64_t imm = (static_cast<std::uint64_t>(bit(word, 31u)) << 12) |
+                                (static_cast<std::uint64_t>(bit(word, 7u)) << 11) |
+                                (bits(word, 30u, 25u) << 5) |
+                                (bits(word, 11u, 8u) << 1);
+      return signExtend(imm, 13);
+    }
+    case ImmKind::U:
+      return signExtend(static_cast<std::uint64_t>(word & 0xfffff000u), 32);
+    case ImmKind::J: {
+      const std::uint64_t imm = (static_cast<std::uint64_t>(bit(word, 31u)) << 20) |
+                                (bits(word, 19u, 12u) << 12) |
+                                (static_cast<std::uint64_t>(bit(word, 20u)) << 11) |
+                                (bits(word, 30u, 21u) << 1);
+      return signExtend(imm, 21);
+    }
+    case ImmKind::Shamt6:
+      return static_cast<std::int64_t>(bits(word, 25u, 20u));
+    case ImmKind::Shamt5:
+      return static_cast<std::int64_t>(bits(word, 24u, 20u));
+    case ImmKind::Csr:
+    case ImmKind::CsrImm:
+      return static_cast<std::int64_t>(bits(word, 31u, 20u));
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::optional<Inst> decode(std::uint32_t word) {
+  for (const OpInfo& info : detail::opTable()) {
+    if ((word & info.mask) != info.match) continue;
+
+    Inst inst;
+    inst.op = info.op;
+    if (info.hasRd) inst.rd = static_cast<std::uint8_t>(bits(word, 11u, 7u));
+    if (info.readsRs1() || info.imm == ImmKind::CsrImm) {
+      inst.rs1 = static_cast<std::uint8_t>(bits(word, 19u, 15u));
+    }
+    if (info.readsRs2()) inst.rs2 = static_cast<std::uint8_t>(bits(word, 24u, 20u));
+    if (info.readsRs3()) inst.rs3 = static_cast<std::uint8_t>(bits(word, 31u, 27u));
+    inst.imm = decodeImm(word, info.imm);
+    return inst;
+  }
+  return std::nullopt;
+}
+
+}  // namespace riscmp::rv64

@@ -1,0 +1,15 @@
+// RV64G instruction decoder.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "riscv/inst.hpp"
+
+namespace riscmp::rv64 {
+
+/// Decode a 32-bit machine word. Returns std::nullopt for encodings outside
+/// the supported RV64G subset.
+std::optional<Inst> decode(std::uint32_t word);
+
+}  // namespace riscmp::rv64

@@ -1,0 +1,125 @@
+#include "riscv/disasm.hpp"
+
+#include <cstdio>
+
+#include "riscv/decode.hpp"
+
+namespace riscmp::rv64 {
+namespace {
+
+std::string hex(std::uint64_t v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buffer;
+}
+
+const char* regName(unsigned index, bool isFp) {
+  return isFp ? fprName(index) : gprName(index);
+}
+
+}  // namespace
+
+std::string disassemble(const Inst& inst, std::uint64_t pc) {
+  const OpInfo& info = inst.info();
+  std::string out(info.mnemonic);
+
+  auto sep = [&out] { out += out.find(' ') == std::string::npos ? " " : ", "; };
+  auto addReg = [&](unsigned index, bool isFp) {
+    sep();
+    out += regName(index, isFp);
+  };
+  auto addImm = [&](std::int64_t v) {
+    sep();
+    out += std::to_string(v);
+  };
+
+  switch (info.imm) {
+    case ImmKind::B:
+      addReg(inst.rs1, info.rs1IsFp());
+      addReg(inst.rs2, info.rs2IsFp());
+      sep();
+      out += pc ? hex(pc + static_cast<std::uint64_t>(inst.imm))
+                : std::to_string(inst.imm);
+      return out;
+    case ImmKind::J:
+      if (inst.rd != 0) addReg(inst.rd, false);
+      sep();
+      out += pc ? hex(pc + static_cast<std::uint64_t>(inst.imm))
+                : std::to_string(inst.imm);
+      return out;
+    case ImmKind::U:
+      addReg(inst.rd, false);
+      sep();
+      out += hex(static_cast<std::uint64_t>(inst.imm) >> 12 & 0xfffff);
+      return out;
+    case ImmKind::Csr:
+    case ImmKind::CsrImm:
+      addReg(inst.rd, false);
+      sep();
+      out += hex(static_cast<std::uint64_t>(inst.imm));
+      if (info.imm == ImmKind::Csr) {
+        addReg(inst.rs1, false);
+      } else {
+        addImm(inst.rs1);
+      }
+      return out;
+    default:
+      break;
+  }
+
+  // Memory operands use the offset(base) form.
+  if (info.memKind == MemKind::Load && info.imm == ImmKind::I) {
+    addReg(inst.rd, info.rdIsFp());
+    sep();
+    out += std::to_string(inst.imm) + "(" + gprName(inst.rs1) + ")";
+    return out;
+  }
+  if (info.memKind == MemKind::Store) {
+    if (info.imm == ImmKind::S) {
+      addReg(inst.rs2, info.rs2IsFp());
+      sep();
+      out += std::to_string(inst.imm) + "(" + gprName(inst.rs1) + ")";
+      return out;
+    }
+    // SC / AMO: rd, rs2, (rs1)
+    addReg(inst.rd, false);
+    addReg(inst.rs2, false);
+    sep();
+    out += "(" + std::string(gprName(inst.rs1)) + ")";
+    return out;
+  }
+  if (info.memKind == MemKind::Amo) {
+    addReg(inst.rd, false);
+    addReg(inst.rs2, false);
+    sep();
+    out += "(" + std::string(gprName(inst.rs1)) + ")";
+    return out;
+  }
+  if (info.op == Op::LR_W || info.op == Op::LR_D) {
+    addReg(inst.rd, false);
+    sep();
+    out += "(" + std::string(gprName(inst.rs1)) + ")";
+    return out;
+  }
+  if (info.op == Op::JALR) {
+    addReg(inst.rd, false);
+    sep();
+    out += std::to_string(inst.imm) + "(" + gprName(inst.rs1) + ")";
+    return out;
+  }
+
+  if (info.hasRd) addReg(inst.rd, info.rdIsFp());
+  if (info.readsRs1()) addReg(inst.rs1, info.rs1IsFp());
+  if (info.readsRs2()) addReg(inst.rs2, info.rs2IsFp());
+  if (info.readsRs3()) addReg(inst.rs3, info.rs3IsFp());
+  if (info.imm != ImmKind::None) addImm(inst.imm);
+  return out;
+}
+
+std::string disassemble(std::uint32_t word, std::uint64_t pc) {
+  if (const auto inst = decode(word)) return disassemble(*inst, pc);
+  return ".word " + hex(word);
+}
+
+}  // namespace riscmp::rv64

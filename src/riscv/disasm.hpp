@@ -1,0 +1,19 @@
+// RV64G disassembler (GNU-objdump flavoured operand syntax, ABI names).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "riscv/inst.hpp"
+
+namespace riscmp::rv64 {
+
+/// Render a decoded instruction, e.g. "fld fa5, 0(a5)" or
+/// "bne a5, s0, 0x10dec". `pc` resolves branch/jump targets to absolute
+/// addresses; pass 0 to print relative offsets.
+std::string disassemble(const Inst& inst, std::uint64_t pc = 0);
+
+/// Decode and render a raw word; undecodable words render as ".word 0x...".
+std::string disassemble(std::uint32_t word, std::uint64_t pc);
+
+}  // namespace riscmp::rv64

@@ -1,0 +1,162 @@
+#include "riscv/encode.hpp"
+
+#include <string>
+
+#include "support/bits.hpp"
+
+namespace riscmp::rv64 {
+namespace {
+
+[[noreturn]] void fail(const Inst& inst, const char* what) {
+  throw EncodeError(std::string(inst.info().mnemonic) + ": " + what);
+}
+
+void requireSigned(const Inst& inst, std::int64_t value, unsigned width) {
+  if (!fitsSigned(value, width)) fail(inst, "immediate out of range");
+}
+
+}  // namespace
+
+std::uint32_t encode(const Inst& inst) {
+  const OpInfo& info = inst.info();
+  std::uint32_t word = info.match;
+
+  if (inst.rd > 31 || inst.rs1 > 31 || inst.rs2 > 31 || inst.rs3 > 31) {
+    fail(inst, "register index out of range");
+  }
+  if (info.hasRd) word = insertBits(word, 11, 7, inst.rd);
+  if (info.readsRs1() || info.imm == ImmKind::CsrImm) {
+    word = insertBits(word, 19, 15, inst.rs1);
+  }
+  if (info.readsRs2()) word = insertBits(word, 24, 20, inst.rs2);
+  if (info.readsRs3()) word = insertBits(word, 31, 27, inst.rs3);
+
+  // FP instructions with a rounding-mode field (OP-FP and the four fused
+  // multiply-add major opcodes, when funct3 is not fixed by the mask):
+  // encode dynamic rounding (rm = 0b111), matching what GCC emits.
+  const std::uint32_t major = info.match & 0x7fu;
+  const bool hasRmField =
+      (major == 0x53u || major == 0x43u || major == 0x47u || major == 0x4bu ||
+       major == 0x4fu) &&
+      (info.mask & 0x7000u) == 0;
+  if (hasRmField) word = insertBits(word, 14, 12, 0b111);
+
+  const std::int64_t imm = inst.imm;
+  switch (info.imm) {
+    case ImmKind::None:
+      break;
+    case ImmKind::I:
+      requireSigned(inst, imm, 12);
+      word = insertBits(word, 31, 20, static_cast<std::uint32_t>(imm & 0xfff));
+      break;
+    case ImmKind::S:
+      requireSigned(inst, imm, 12);
+      word = insertBits(word, 31, 25,
+                        static_cast<std::uint32_t>((imm >> 5) & 0x7f));
+      word = insertBits(word, 11, 7, static_cast<std::uint32_t>(imm & 0x1f));
+      break;
+    case ImmKind::B:
+      requireSigned(inst, imm, 13);
+      if (imm & 1) fail(inst, "branch offset must be even");
+      word = insertBits(word, 31, 31,
+                        static_cast<std::uint32_t>((imm >> 12) & 1));
+      word = insertBits(word, 30, 25,
+                        static_cast<std::uint32_t>((imm >> 5) & 0x3f));
+      word = insertBits(word, 11, 8, static_cast<std::uint32_t>((imm >> 1) & 0xf));
+      word = insertBits(word, 7, 7, static_cast<std::uint32_t>((imm >> 11) & 1));
+      break;
+    case ImmKind::U: {
+      if ((imm & 0xfff) != 0) fail(inst, "U-immediate has low bits set");
+      const std::int64_t hi = imm >> 12;
+      requireSigned(inst, hi, 20);
+      word = insertBits(word, 31, 12, static_cast<std::uint32_t>(hi & 0xfffff));
+      break;
+    }
+    case ImmKind::J:
+      requireSigned(inst, imm, 21);
+      if (imm & 1) fail(inst, "jump offset must be even");
+      word = insertBits(word, 31, 31,
+                        static_cast<std::uint32_t>((imm >> 20) & 1));
+      word = insertBits(word, 30, 21,
+                        static_cast<std::uint32_t>((imm >> 1) & 0x3ff));
+      word = insertBits(word, 20, 20,
+                        static_cast<std::uint32_t>((imm >> 11) & 1));
+      word = insertBits(word, 19, 12,
+                        static_cast<std::uint32_t>((imm >> 12) & 0xff));
+      break;
+    case ImmKind::Shamt6:
+      if (imm < 0 || imm > 63) fail(inst, "shift amount out of range");
+      word = insertBits(word, 25, 20, static_cast<std::uint32_t>(imm));
+      break;
+    case ImmKind::Shamt5:
+      if (imm < 0 || imm > 31) fail(inst, "shift amount out of range");
+      word = insertBits(word, 24, 20, static_cast<std::uint32_t>(imm));
+      break;
+    case ImmKind::Csr:
+    case ImmKind::CsrImm:
+      if (imm < 0 || imm > 0xfff) fail(inst, "CSR number out of range");
+      word = insertBits(word, 31, 20, static_cast<std::uint32_t>(imm));
+      break;
+  }
+  return word;
+}
+
+Inst makeR(Op op, unsigned rd, unsigned rs1, unsigned rs2) {
+  Inst inst;
+  inst.op = op;
+  inst.rd = static_cast<std::uint8_t>(rd);
+  inst.rs1 = static_cast<std::uint8_t>(rs1);
+  inst.rs2 = static_cast<std::uint8_t>(rs2);
+  return inst;
+}
+
+Inst makeR4(Op op, unsigned rd, unsigned rs1, unsigned rs2, unsigned rs3) {
+  Inst inst = makeR(op, rd, rs1, rs2);
+  inst.rs3 = static_cast<std::uint8_t>(rs3);
+  return inst;
+}
+
+Inst makeI(Op op, unsigned rd, unsigned rs1, std::int64_t imm) {
+  Inst inst;
+  inst.op = op;
+  inst.rd = static_cast<std::uint8_t>(rd);
+  inst.rs1 = static_cast<std::uint8_t>(rs1);
+  inst.imm = imm;
+  return inst;
+}
+
+Inst makeS(Op op, unsigned rs2, unsigned rs1, std::int64_t imm) {
+  Inst inst;
+  inst.op = op;
+  inst.rs1 = static_cast<std::uint8_t>(rs1);
+  inst.rs2 = static_cast<std::uint8_t>(rs2);
+  inst.imm = imm;
+  return inst;
+}
+
+Inst makeB(Op op, unsigned rs1, unsigned rs2, std::int64_t offset) {
+  Inst inst;
+  inst.op = op;
+  inst.rs1 = static_cast<std::uint8_t>(rs1);
+  inst.rs2 = static_cast<std::uint8_t>(rs2);
+  inst.imm = offset;
+  return inst;
+}
+
+Inst makeU(Op op, unsigned rd, std::int64_t immShifted) {
+  Inst inst;
+  inst.op = op;
+  inst.rd = static_cast<std::uint8_t>(rd);
+  inst.imm = immShifted;
+  return inst;
+}
+
+Inst makeJ(Op op, unsigned rd, std::int64_t offset) {
+  Inst inst;
+  inst.op = op;
+  inst.rd = static_cast<std::uint8_t>(rd);
+  inst.imm = offset;
+  return inst;
+}
+
+}  // namespace riscmp::rv64

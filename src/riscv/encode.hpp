@@ -1,0 +1,28 @@
+// RV64G instruction encoder.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "riscv/inst.hpp"
+
+namespace riscmp::rv64 {
+
+class EncodeError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Encode a decoded instruction into its 32-bit machine word. Throws
+/// EncodeError when an immediate does not fit its field or is misaligned.
+std::uint32_t encode(const Inst& inst);
+
+// -- Convenience builders used by the kernel compiler's RISC-V backend. ----
+Inst makeR(Op op, unsigned rd, unsigned rs1, unsigned rs2);
+Inst makeR4(Op op, unsigned rd, unsigned rs1, unsigned rs2, unsigned rs3);
+Inst makeI(Op op, unsigned rd, unsigned rs1, std::int64_t imm);
+Inst makeS(Op op, unsigned rs2, unsigned rs1, std::int64_t imm);
+Inst makeB(Op op, unsigned rs1, unsigned rs2, std::int64_t offset);
+Inst makeU(Op op, unsigned rd, std::int64_t immShifted);
+Inst makeJ(Op op, unsigned rd, std::int64_t offset);
+
+}  // namespace riscmp::rv64

@@ -1,0 +1,789 @@
+#include "riscv/exec.hpp"
+
+#include <cfenv>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace riscmp::rv64 {
+namespace {
+
+constexpr std::uint64_t kNanBoxMask = 0xffffffff00000000ull;
+constexpr std::uint32_t kCanonicalNanS = 0x7fc00000u;
+
+std::uint64_t mulhu(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) >> 64);
+}
+
+std::int64_t mulh(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(
+      (static_cast<__int128>(a) * b) >> 64);
+}
+
+std::int64_t mulhsu(std::int64_t a, std::uint64_t b) {
+  return static_cast<std::int64_t>(
+      (static_cast<__int128>(a) * static_cast<unsigned __int128>(b)) >> 64);
+}
+
+std::int64_t divSigned(std::int64_t a, std::int64_t b) {
+  if (b == 0) return -1;
+  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return a;
+  return a / b;
+}
+
+std::int64_t remSigned(std::int64_t a, std::int64_t b) {
+  if (b == 0) return a;
+  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return 0;
+  return a % b;
+}
+
+std::int32_t divSigned32(std::int32_t a, std::int32_t b) {
+  if (b == 0) return -1;
+  if (a == std::numeric_limits<std::int32_t>::min() && b == -1) return a;
+  return a / b;
+}
+
+std::int32_t remSigned32(std::int32_t a, std::int32_t b) {
+  if (b == 0) return a;
+  if (a == std::numeric_limits<std::int32_t>::min() && b == -1) return 0;
+  return a % b;
+}
+
+/// IEEE-754 minimumNumber / maximumNumber as required by FMIN/FMAX:
+/// a number beats a NaN; -0.0 orders below +0.0.
+template <typename T>
+T fpMin(T a, T b) {
+  if (std::isnan(a) && std::isnan(b)) return std::numeric_limits<T>::quiet_NaN();
+  if (std::isnan(a)) return b;
+  if (std::isnan(b)) return a;
+  if (a == T{0} && b == T{0}) return std::signbit(a) ? a : b;
+  return a < b ? a : b;
+}
+
+template <typename T>
+T fpMax(T a, T b) {
+  if (std::isnan(a) && std::isnan(b)) return std::numeric_limits<T>::quiet_NaN();
+  if (std::isnan(a)) return b;
+  if (std::isnan(b)) return a;
+  if (a == T{0} && b == T{0}) return std::signbit(a) ? b : a;
+  return a > b ? a : b;
+}
+
+/// Saturating float->int conversions (RISC-V semantics: NaN and +inf give
+/// the maximum value, -inf the minimum, out-of-range saturates).
+template <typename Int, typename Fp>
+Int fcvtToInt(Fp v) {
+  if (std::isnan(v)) return std::numeric_limits<Int>::max();
+  const Fp truncated = std::trunc(v);
+  if (truncated <= static_cast<Fp>(std::numeric_limits<Int>::min())) {
+    // Exact minimum is representable for signed types.
+    if constexpr (std::numeric_limits<Int>::is_signed) {
+      if (truncated == static_cast<Fp>(std::numeric_limits<Int>::min())) {
+        return std::numeric_limits<Int>::min();
+      }
+    }
+    if (truncated < static_cast<Fp>(std::numeric_limits<Int>::min())) {
+      return std::numeric_limits<Int>::min();
+    }
+  }
+  if (truncated >= static_cast<Fp>(std::numeric_limits<Int>::max())) {
+    return std::numeric_limits<Int>::max();
+  }
+  return static_cast<Int>(truncated);
+}
+
+std::uint32_t fclass(double v) {
+  if (std::isnan(v)) return 1u << 9;  // report all NaNs as quiet
+  switch (std::fpclassify(v)) {
+    case FP_INFINITE:
+      return std::signbit(v) ? 1u << 0 : 1u << 7;
+    case FP_NORMAL:
+      return std::signbit(v) ? 1u << 1 : 1u << 6;
+    case FP_SUBNORMAL:
+      return std::signbit(v) ? 1u << 2 : 1u << 5;
+    case FP_ZERO:
+      return std::signbit(v) ? 1u << 3 : 1u << 4;
+  }
+  return 0;
+}
+
+}  // namespace
+
+float State::fprS(unsigned i) const {
+  const std::uint64_t raw = f[i];
+  std::uint32_t low;
+  if ((raw & kNanBoxMask) != kNanBoxMask) {
+    low = kCanonicalNanS;
+  } else {
+    low = static_cast<std::uint32_t>(raw);
+  }
+  float v;
+  std::memcpy(&v, &low, sizeof v);
+  return v;
+}
+
+void State::setFprS(unsigned i, float v) {
+  std::uint32_t low;
+  std::memcpy(&low, &v, sizeof low);
+  f[i] = kNanBoxMask | low;
+}
+
+Trap execute(const Inst& inst, State& state, Memory& memory,
+             RetiredInst& retired) {
+  const OpInfo& info = inst.info();
+
+  // Record register dependencies. x0 never participates in chains.
+  if (info.readsRs1()) {
+    if (info.rs1IsFp()) {
+      retired.srcs.push_back(Reg::fp(inst.rs1));
+    } else if (inst.rs1 != 0) {
+      retired.srcs.push_back(Reg::gp(inst.rs1));
+    }
+  }
+  if (info.readsRs2()) {
+    if (info.rs2IsFp()) {
+      retired.srcs.push_back(Reg::fp(inst.rs2));
+    } else if (inst.rs2 != 0) {
+      retired.srcs.push_back(Reg::gp(inst.rs2));
+    }
+  }
+  if (info.readsRs3()) {
+    // rs3 only exists on the FP fused multiply-add family.
+    retired.srcs.push_back(Reg::fp(inst.rs3));
+  }
+  if (info.hasRd) {
+    if (info.rdIsFp()) {
+      retired.dsts.push_back(Reg::fp(inst.rd));
+    } else if (inst.rd != 0) {
+      retired.dsts.push_back(Reg::gp(inst.rd));
+    }
+  }
+
+  const std::uint64_t pc = state.pc;
+  std::uint64_t nextPc = pc + 4;
+  const std::uint64_t rs1 = state.gpr(inst.rs1);
+  const std::uint64_t rs2 = state.gpr(inst.rs2);
+  const std::int64_t imm = inst.imm;
+
+  auto writeRd = [&](std::uint64_t v) { state.setGpr(inst.rd, v); };
+  auto writeRd32 = [&](std::uint32_t v) {
+    state.setGpr(inst.rd, static_cast<std::uint64_t>(
+                              static_cast<std::int64_t>(static_cast<std::int32_t>(v))));
+  };
+  auto branch = [&](bool taken) {
+    retired.isBranch = true;
+    retired.branchTaken = taken;
+    retired.branchTarget = pc + static_cast<std::uint64_t>(imm);
+    if (taken) nextPc = retired.branchTarget;
+  };
+  auto memAddr = [&] { return rs1 + static_cast<std::uint64_t>(imm); };
+  auto recordLoad = [&](std::uint64_t addr, unsigned size) {
+    retired.loads.push_back(
+        MemAccess{addr, static_cast<std::uint8_t>(size)});
+  };
+  auto recordStore = [&](std::uint64_t addr, unsigned size) {
+    retired.stores.push_back(
+        MemAccess{addr, static_cast<std::uint8_t>(size)});
+  };
+
+  Trap trap = Trap::None;
+
+  switch (inst.op) {
+    // ---- RV64I --------------------------------------------------------
+    case Op::LUI:
+      writeRd(static_cast<std::uint64_t>(imm));
+      break;
+    case Op::AUIPC:
+      writeRd(pc + static_cast<std::uint64_t>(imm));
+      break;
+    case Op::JAL:
+      writeRd(pc + 4);
+      retired.isBranch = true;
+      retired.branchTaken = true;
+      retired.branchTarget = pc + static_cast<std::uint64_t>(imm);
+      nextPc = retired.branchTarget;
+      break;
+    case Op::JALR: {
+      const std::uint64_t target = (rs1 + static_cast<std::uint64_t>(imm)) & ~1ull;
+      writeRd(pc + 4);
+      retired.isBranch = true;
+      retired.branchTaken = true;
+      retired.branchTarget = target;
+      nextPc = target;
+      break;
+    }
+    case Op::BEQ:
+      branch(rs1 == rs2);
+      break;
+    case Op::BNE:
+      branch(rs1 != rs2);
+      break;
+    case Op::BLT:
+      branch(static_cast<std::int64_t>(rs1) < static_cast<std::int64_t>(rs2));
+      break;
+    case Op::BGE:
+      branch(static_cast<std::int64_t>(rs1) >= static_cast<std::int64_t>(rs2));
+      break;
+    case Op::BLTU:
+      branch(rs1 < rs2);
+      break;
+    case Op::BGEU:
+      branch(rs1 >= rs2);
+      break;
+
+    case Op::LB: {
+      const std::uint64_t addr = memAddr();
+      recordLoad(addr, 1);
+      writeRd(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(memory.read<std::int8_t>(addr))));
+      break;
+    }
+    case Op::LH: {
+      const std::uint64_t addr = memAddr();
+      recordLoad(addr, 2);
+      writeRd(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(memory.read<std::int16_t>(addr))));
+      break;
+    }
+    case Op::LW: {
+      const std::uint64_t addr = memAddr();
+      recordLoad(addr, 4);
+      writeRd(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(memory.read<std::int32_t>(addr))));
+      break;
+    }
+    case Op::LD: {
+      const std::uint64_t addr = memAddr();
+      recordLoad(addr, 8);
+      writeRd(memory.read<std::uint64_t>(addr));
+      break;
+    }
+    case Op::LBU: {
+      const std::uint64_t addr = memAddr();
+      recordLoad(addr, 1);
+      writeRd(memory.read<std::uint8_t>(addr));
+      break;
+    }
+    case Op::LHU: {
+      const std::uint64_t addr = memAddr();
+      recordLoad(addr, 2);
+      writeRd(memory.read<std::uint16_t>(addr));
+      break;
+    }
+    case Op::LWU: {
+      const std::uint64_t addr = memAddr();
+      recordLoad(addr, 4);
+      writeRd(memory.read<std::uint32_t>(addr));
+      break;
+    }
+    case Op::SB: {
+      const std::uint64_t addr = memAddr();
+      recordStore(addr, 1);
+      memory.write<std::uint8_t>(addr, static_cast<std::uint8_t>(rs2));
+      break;
+    }
+    case Op::SH: {
+      const std::uint64_t addr = memAddr();
+      recordStore(addr, 2);
+      memory.write<std::uint16_t>(addr, static_cast<std::uint16_t>(rs2));
+      break;
+    }
+    case Op::SW: {
+      const std::uint64_t addr = memAddr();
+      recordStore(addr, 4);
+      memory.write<std::uint32_t>(addr, static_cast<std::uint32_t>(rs2));
+      break;
+    }
+    case Op::SD: {
+      const std::uint64_t addr = memAddr();
+      recordStore(addr, 8);
+      memory.write<std::uint64_t>(addr, rs2);
+      break;
+    }
+
+    case Op::ADDI:
+      writeRd(rs1 + static_cast<std::uint64_t>(imm));
+      break;
+    case Op::SLTI:
+      writeRd(static_cast<std::int64_t>(rs1) < imm ? 1 : 0);
+      break;
+    case Op::SLTIU:
+      writeRd(rs1 < static_cast<std::uint64_t>(imm) ? 1 : 0);
+      break;
+    case Op::XORI:
+      writeRd(rs1 ^ static_cast<std::uint64_t>(imm));
+      break;
+    case Op::ORI:
+      writeRd(rs1 | static_cast<std::uint64_t>(imm));
+      break;
+    case Op::ANDI:
+      writeRd(rs1 & static_cast<std::uint64_t>(imm));
+      break;
+    case Op::SLLI:
+      writeRd(rs1 << (imm & 63));
+      break;
+    case Op::SRLI:
+      writeRd(rs1 >> (imm & 63));
+      break;
+    case Op::SRAI:
+      writeRd(static_cast<std::uint64_t>(static_cast<std::int64_t>(rs1) >>
+                                         (imm & 63)));
+      break;
+    case Op::ADD:
+      writeRd(rs1 + rs2);
+      break;
+    case Op::SUB:
+      writeRd(rs1 - rs2);
+      break;
+    case Op::SLL:
+      writeRd(rs1 << (rs2 & 63));
+      break;
+    case Op::SLT:
+      writeRd(static_cast<std::int64_t>(rs1) < static_cast<std::int64_t>(rs2)
+                  ? 1
+                  : 0);
+      break;
+    case Op::SLTU:
+      writeRd(rs1 < rs2 ? 1 : 0);
+      break;
+    case Op::XOR:
+      writeRd(rs1 ^ rs2);
+      break;
+    case Op::SRL:
+      writeRd(rs1 >> (rs2 & 63));
+      break;
+    case Op::SRA:
+      writeRd(static_cast<std::uint64_t>(static_cast<std::int64_t>(rs1) >>
+                                         (rs2 & 63)));
+      break;
+    case Op::OR:
+      writeRd(rs1 | rs2);
+      break;
+    case Op::AND:
+      writeRd(rs1 & rs2);
+      break;
+
+    case Op::ADDIW:
+      writeRd32(static_cast<std::uint32_t>(rs1) +
+                static_cast<std::uint32_t>(imm));
+      break;
+    case Op::SLLIW:
+      writeRd32(static_cast<std::uint32_t>(rs1) << (imm & 31));
+      break;
+    case Op::SRLIW:
+      writeRd32(static_cast<std::uint32_t>(rs1) >> (imm & 31));
+      break;
+    case Op::SRAIW:
+      writeRd32(static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(rs1) >> (imm & 31)));
+      break;
+    case Op::ADDW:
+      writeRd32(static_cast<std::uint32_t>(rs1) +
+                static_cast<std::uint32_t>(rs2));
+      break;
+    case Op::SUBW:
+      writeRd32(static_cast<std::uint32_t>(rs1) -
+                static_cast<std::uint32_t>(rs2));
+      break;
+    case Op::SLLW:
+      writeRd32(static_cast<std::uint32_t>(rs1) << (rs2 & 31));
+      break;
+    case Op::SRLW:
+      writeRd32(static_cast<std::uint32_t>(rs1) >> (rs2 & 31));
+      break;
+    case Op::SRAW:
+      writeRd32(static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(rs1) >> (rs2 & 31)));
+      break;
+
+    case Op::FENCE:
+      break;
+    case Op::ECALL:
+      trap = Trap::Ecall;
+      break;
+    case Op::EBREAK:
+      trap = Trap::Ebreak;
+      break;
+
+    // ---- M ------------------------------------------------------------
+    case Op::MUL:
+      writeRd(rs1 * rs2);
+      break;
+    case Op::MULH:
+      writeRd(static_cast<std::uint64_t>(
+          mulh(static_cast<std::int64_t>(rs1), static_cast<std::int64_t>(rs2))));
+      break;
+    case Op::MULHSU:
+      writeRd(static_cast<std::uint64_t>(
+          mulhsu(static_cast<std::int64_t>(rs1), rs2)));
+      break;
+    case Op::MULHU:
+      writeRd(mulhu(rs1, rs2));
+      break;
+    case Op::DIV:
+      writeRd(static_cast<std::uint64_t>(divSigned(
+          static_cast<std::int64_t>(rs1), static_cast<std::int64_t>(rs2))));
+      break;
+    case Op::DIVU:
+      writeRd(rs2 == 0 ? ~std::uint64_t{0} : rs1 / rs2);
+      break;
+    case Op::REM:
+      writeRd(static_cast<std::uint64_t>(remSigned(
+          static_cast<std::int64_t>(rs1), static_cast<std::int64_t>(rs2))));
+      break;
+    case Op::REMU:
+      writeRd(rs2 == 0 ? rs1 : rs1 % rs2);
+      break;
+    case Op::MULW:
+      writeRd32(static_cast<std::uint32_t>(rs1) *
+                static_cast<std::uint32_t>(rs2));
+      break;
+    case Op::DIVW:
+      writeRd32(static_cast<std::uint32_t>(divSigned32(
+          static_cast<std::int32_t>(rs1), static_cast<std::int32_t>(rs2))));
+      break;
+    case Op::DIVUW: {
+      const auto a = static_cast<std::uint32_t>(rs1);
+      const auto b = static_cast<std::uint32_t>(rs2);
+      writeRd32(b == 0 ? ~std::uint32_t{0} : a / b);
+      break;
+    }
+    case Op::REMW:
+      writeRd32(static_cast<std::uint32_t>(remSigned32(
+          static_cast<std::int32_t>(rs1), static_cast<std::int32_t>(rs2))));
+      break;
+    case Op::REMUW: {
+      const auto a = static_cast<std::uint32_t>(rs1);
+      const auto b = static_cast<std::uint32_t>(rs2);
+      writeRd32(b == 0 ? a : a % b);
+      break;
+    }
+
+    // ---- A (subset); this simulator is single-hart so LR/SC always
+    // succeed and AMOs are plain read-modify-writes. -------------------
+    case Op::LR_W:
+      recordLoad(rs1, 4);
+      writeRd(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(memory.read<std::int32_t>(rs1))));
+      break;
+    case Op::LR_D:
+      recordLoad(rs1, 8);
+      writeRd(memory.read<std::uint64_t>(rs1));
+      break;
+    case Op::SC_W:
+      recordStore(rs1, 4);
+      memory.write<std::uint32_t>(rs1, static_cast<std::uint32_t>(rs2));
+      writeRd(0);  // success
+      break;
+    case Op::SC_D:
+      recordStore(rs1, 8);
+      memory.write<std::uint64_t>(rs1, rs2);
+      writeRd(0);
+      break;
+    case Op::AMOADD_W: {
+      recordLoad(rs1, 4);
+      recordStore(rs1, 4);
+      const auto old = memory.read<std::int32_t>(rs1);
+      memory.write<std::uint32_t>(
+          rs1, static_cast<std::uint32_t>(old) + static_cast<std::uint32_t>(rs2));
+      writeRd32(static_cast<std::uint32_t>(old));
+      break;
+    }
+    case Op::AMOADD_D: {
+      recordLoad(rs1, 8);
+      recordStore(rs1, 8);
+      const auto old = memory.read<std::uint64_t>(rs1);
+      memory.write<std::uint64_t>(rs1, old + rs2);
+      writeRd(old);
+      break;
+    }
+    case Op::AMOSWAP_W: {
+      recordLoad(rs1, 4);
+      recordStore(rs1, 4);
+      const auto old = memory.read<std::int32_t>(rs1);
+      memory.write<std::uint32_t>(rs1, static_cast<std::uint32_t>(rs2));
+      writeRd32(static_cast<std::uint32_t>(old));
+      break;
+    }
+    case Op::AMOSWAP_D: {
+      recordLoad(rs1, 8);
+      recordStore(rs1, 8);
+      const auto old = memory.read<std::uint64_t>(rs1);
+      memory.write<std::uint64_t>(rs1, rs2);
+      writeRd(old);
+      break;
+    }
+
+    // ---- Zicsr: only the FP CSRs exist in this machine model. ---------
+    case Op::CSRRW:
+    case Op::CSRRS:
+    case Op::CSRRC:
+    case Op::CSRRWI:
+    case Op::CSRRSI:
+    case Op::CSRRCI: {
+      const std::uint32_t old = state.fcsr;
+      const bool immediate =
+          inst.op == Op::CSRRWI || inst.op == Op::CSRRSI || inst.op == Op::CSRRCI;
+      const std::uint64_t operand = immediate ? inst.rs1 : rs1;
+      std::uint32_t next = old;
+      if (inst.op == Op::CSRRW || inst.op == Op::CSRRWI) {
+        next = static_cast<std::uint32_t>(operand);
+      } else if (inst.op == Op::CSRRS || inst.op == Op::CSRRSI) {
+        next = old | static_cast<std::uint32_t>(operand);
+      } else {
+        next = old & ~static_cast<std::uint32_t>(operand);
+      }
+      state.fcsr = next;
+      writeRd(old);
+      break;
+    }
+
+    // ---- F/D loads and stores -----------------------------------------
+    case Op::FLW: {
+      const std::uint64_t addr = memAddr();
+      recordLoad(addr, 4);
+      state.f[inst.rd] = kNanBoxMask | memory.read<std::uint32_t>(addr);
+      break;
+    }
+    case Op::FLD: {
+      const std::uint64_t addr = memAddr();
+      recordLoad(addr, 8);
+      state.f[inst.rd] = memory.read<std::uint64_t>(addr);
+      break;
+    }
+    case Op::FSW: {
+      const std::uint64_t addr = memAddr();
+      recordStore(addr, 4);
+      memory.write<std::uint32_t>(addr,
+                                  static_cast<std::uint32_t>(state.f[inst.rs2]));
+      break;
+    }
+    case Op::FSD: {
+      const std::uint64_t addr = memAddr();
+      recordStore(addr, 8);
+      memory.write<std::uint64_t>(addr, state.f[inst.rs2]);
+      break;
+    }
+
+    // ---- F (single precision) ------------------------------------------
+    case Op::FMADD_S:
+      state.setFprS(inst.rd, std::fma(state.fprS(inst.rs1), state.fprS(inst.rs2),
+                                      state.fprS(inst.rs3)));
+      break;
+    case Op::FMSUB_S:
+      state.setFprS(inst.rd, std::fma(state.fprS(inst.rs1), state.fprS(inst.rs2),
+                                      -state.fprS(inst.rs3)));
+      break;
+    case Op::FNMSUB_S:
+      state.setFprS(inst.rd, std::fma(-state.fprS(inst.rs1),
+                                      state.fprS(inst.rs2),
+                                      state.fprS(inst.rs3)));
+      break;
+    case Op::FNMADD_S:
+      state.setFprS(inst.rd, std::fma(-state.fprS(inst.rs1),
+                                      state.fprS(inst.rs2),
+                                      -state.fprS(inst.rs3)));
+      break;
+    case Op::FADD_S:
+      state.setFprS(inst.rd, state.fprS(inst.rs1) + state.fprS(inst.rs2));
+      break;
+    case Op::FSUB_S:
+      state.setFprS(inst.rd, state.fprS(inst.rs1) - state.fprS(inst.rs2));
+      break;
+    case Op::FMUL_S:
+      state.setFprS(inst.rd, state.fprS(inst.rs1) * state.fprS(inst.rs2));
+      break;
+    case Op::FDIV_S:
+      state.setFprS(inst.rd, state.fprS(inst.rs1) / state.fprS(inst.rs2));
+      break;
+    case Op::FSQRT_S:
+      state.setFprS(inst.rd, std::sqrt(state.fprS(inst.rs1)));
+      break;
+    case Op::FSGNJ_S: {
+      const std::uint32_t a = kNanBoxMask | static_cast<std::uint32_t>(state.f[inst.rs1]);
+      const std::uint32_t b = static_cast<std::uint32_t>(state.f[inst.rs2]);
+      state.f[inst.rd] =
+          kNanBoxMask | ((a & 0x7fffffffu) | (b & 0x80000000u));
+      break;
+    }
+    case Op::FSGNJN_S: {
+      const std::uint32_t a = static_cast<std::uint32_t>(state.f[inst.rs1]);
+      const std::uint32_t b = static_cast<std::uint32_t>(state.f[inst.rs2]);
+      state.f[inst.rd] =
+          kNanBoxMask | ((a & 0x7fffffffu) | (~b & 0x80000000u));
+      break;
+    }
+    case Op::FSGNJX_S: {
+      const std::uint32_t a = static_cast<std::uint32_t>(state.f[inst.rs1]);
+      const std::uint32_t b = static_cast<std::uint32_t>(state.f[inst.rs2]);
+      state.f[inst.rd] = kNanBoxMask | (a ^ (b & 0x80000000u));
+      break;
+    }
+    case Op::FMIN_S:
+      state.setFprS(inst.rd, fpMin(state.fprS(inst.rs1), state.fprS(inst.rs2)));
+      break;
+    case Op::FMAX_S:
+      state.setFprS(inst.rd, fpMax(state.fprS(inst.rs1), state.fprS(inst.rs2)));
+      break;
+    case Op::FCVT_W_S:
+      writeRd32(static_cast<std::uint32_t>(
+          fcvtToInt<std::int32_t>(state.fprS(inst.rs1))));
+      break;
+    case Op::FCVT_WU_S:
+      writeRd32(fcvtToInt<std::uint32_t>(state.fprS(inst.rs1)));
+      break;
+    case Op::FCVT_L_S:
+      writeRd(static_cast<std::uint64_t>(
+          fcvtToInt<std::int64_t>(state.fprS(inst.rs1))));
+      break;
+    case Op::FCVT_LU_S:
+      writeRd(fcvtToInt<std::uint64_t>(state.fprS(inst.rs1)));
+      break;
+    case Op::FMV_X_W:
+      writeRd(static_cast<std::uint64_t>(static_cast<std::int64_t>(
+          static_cast<std::int32_t>(static_cast<std::uint32_t>(state.f[inst.rs1])))));
+      break;
+    case Op::FEQ_S:
+      writeRd(state.fprS(inst.rs1) == state.fprS(inst.rs2) ? 1 : 0);
+      break;
+    case Op::FLT_S:
+      writeRd(state.fprS(inst.rs1) < state.fprS(inst.rs2) ? 1 : 0);
+      break;
+    case Op::FLE_S:
+      writeRd(state.fprS(inst.rs1) <= state.fprS(inst.rs2) ? 1 : 0);
+      break;
+    case Op::FCLASS_S:
+      writeRd(fclass(static_cast<double>(state.fprS(inst.rs1))));
+      break;
+    case Op::FCVT_S_W:
+      state.setFprS(inst.rd,
+                    static_cast<float>(static_cast<std::int32_t>(rs1)));
+      break;
+    case Op::FCVT_S_WU:
+      state.setFprS(inst.rd,
+                    static_cast<float>(static_cast<std::uint32_t>(rs1)));
+      break;
+    case Op::FCVT_S_L:
+      state.setFprS(inst.rd,
+                    static_cast<float>(static_cast<std::int64_t>(rs1)));
+      break;
+    case Op::FCVT_S_LU:
+      state.setFprS(inst.rd, static_cast<float>(rs1));
+      break;
+    case Op::FMV_W_X:
+      state.f[inst.rd] = kNanBoxMask | static_cast<std::uint32_t>(rs1);
+      break;
+
+    // ---- D (double precision) -------------------------------------------
+    case Op::FMADD_D:
+      state.setFprD(inst.rd, std::fma(state.fprD(inst.rs1), state.fprD(inst.rs2),
+                                      state.fprD(inst.rs3)));
+      break;
+    case Op::FMSUB_D:
+      state.setFprD(inst.rd, std::fma(state.fprD(inst.rs1), state.fprD(inst.rs2),
+                                      -state.fprD(inst.rs3)));
+      break;
+    case Op::FNMSUB_D:
+      state.setFprD(inst.rd, std::fma(-state.fprD(inst.rs1),
+                                      state.fprD(inst.rs2),
+                                      state.fprD(inst.rs3)));
+      break;
+    case Op::FNMADD_D:
+      state.setFprD(inst.rd, std::fma(-state.fprD(inst.rs1),
+                                      state.fprD(inst.rs2),
+                                      -state.fprD(inst.rs3)));
+      break;
+    case Op::FADD_D:
+      state.setFprD(inst.rd, state.fprD(inst.rs1) + state.fprD(inst.rs2));
+      break;
+    case Op::FSUB_D:
+      state.setFprD(inst.rd, state.fprD(inst.rs1) - state.fprD(inst.rs2));
+      break;
+    case Op::FMUL_D:
+      state.setFprD(inst.rd, state.fprD(inst.rs1) * state.fprD(inst.rs2));
+      break;
+    case Op::FDIV_D:
+      state.setFprD(inst.rd, state.fprD(inst.rs1) / state.fprD(inst.rs2));
+      break;
+    case Op::FSQRT_D:
+      state.setFprD(inst.rd, std::sqrt(state.fprD(inst.rs1)));
+      break;
+    case Op::FSGNJ_D:
+      state.f[inst.rd] = (state.f[inst.rs1] & 0x7fffffffffffffffull) |
+                         (state.f[inst.rs2] & 0x8000000000000000ull);
+      break;
+    case Op::FSGNJN_D:
+      state.f[inst.rd] = (state.f[inst.rs1] & 0x7fffffffffffffffull) |
+                         (~state.f[inst.rs2] & 0x8000000000000000ull);
+      break;
+    case Op::FSGNJX_D:
+      state.f[inst.rd] =
+          state.f[inst.rs1] ^ (state.f[inst.rs2] & 0x8000000000000000ull);
+      break;
+    case Op::FMIN_D:
+      state.setFprD(inst.rd, fpMin(state.fprD(inst.rs1), state.fprD(inst.rs2)));
+      break;
+    case Op::FMAX_D:
+      state.setFprD(inst.rd, fpMax(state.fprD(inst.rs1), state.fprD(inst.rs2)));
+      break;
+    case Op::FCVT_S_D:
+      state.setFprS(inst.rd, static_cast<float>(state.fprD(inst.rs1)));
+      break;
+    case Op::FCVT_D_S:
+      state.setFprD(inst.rd, static_cast<double>(state.fprS(inst.rs1)));
+      break;
+    case Op::FEQ_D:
+      writeRd(state.fprD(inst.rs1) == state.fprD(inst.rs2) ? 1 : 0);
+      break;
+    case Op::FLT_D:
+      writeRd(state.fprD(inst.rs1) < state.fprD(inst.rs2) ? 1 : 0);
+      break;
+    case Op::FLE_D:
+      writeRd(state.fprD(inst.rs1) <= state.fprD(inst.rs2) ? 1 : 0);
+      break;
+    case Op::FCLASS_D:
+      writeRd(fclass(state.fprD(inst.rs1)));
+      break;
+    case Op::FCVT_W_D:
+      writeRd32(static_cast<std::uint32_t>(
+          fcvtToInt<std::int32_t>(state.fprD(inst.rs1))));
+      break;
+    case Op::FCVT_WU_D:
+      writeRd32(fcvtToInt<std::uint32_t>(state.fprD(inst.rs1)));
+      break;
+    case Op::FCVT_L_D:
+      writeRd(static_cast<std::uint64_t>(
+          fcvtToInt<std::int64_t>(state.fprD(inst.rs1))));
+      break;
+    case Op::FCVT_LU_D:
+      writeRd(fcvtToInt<std::uint64_t>(state.fprD(inst.rs1)));
+      break;
+    case Op::FCVT_D_W:
+      state.setFprD(inst.rd,
+                    static_cast<double>(static_cast<std::int32_t>(rs1)));
+      break;
+    case Op::FCVT_D_WU:
+      state.setFprD(inst.rd,
+                    static_cast<double>(static_cast<std::uint32_t>(rs1)));
+      break;
+    case Op::FCVT_D_L:
+      state.setFprD(inst.rd,
+                    static_cast<double>(static_cast<std::int64_t>(rs1)));
+      break;
+    case Op::FCVT_D_LU:
+      state.setFprD(inst.rd, static_cast<double>(rs1));
+      break;
+    case Op::FMV_X_D:
+      writeRd(state.f[inst.rs1]);
+      break;
+    case Op::FMV_D_X:
+      state.f[inst.rd] = rs1;
+      break;
+  }
+
+  state.pc = nextPc;
+  return trap;
+}
+
+}  // namespace riscmp::rv64

@@ -1,0 +1,53 @@
+// RV64G architectural state and single-instruction executor.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "core/memory.hpp"
+#include "isa/trace.hpp"
+#include "riscv/inst.hpp"
+
+namespace riscmp::rv64 {
+
+struct State {
+  std::array<std::uint64_t, 32> x{};  ///< x0 is forced to zero on read
+  std::array<std::uint64_t, 32> f{};  ///< raw bit patterns, NaN-boxed floats
+  std::uint64_t pc = 0;
+  std::uint32_t fcsr = 0;
+
+  [[nodiscard]] std::uint64_t gpr(unsigned i) const { return i == 0 ? 0 : x[i]; }
+  void setGpr(unsigned i, std::uint64_t v) {
+    if (i != 0) x[i] = v;
+  }
+
+  [[nodiscard]] double fprD(unsigned i) const {
+    double v;
+    std::memcpy(&v, &f[i], sizeof v);
+    return v;
+  }
+  void setFprD(unsigned i, double v) { std::memcpy(&f[i], &v, sizeof v); }
+
+  /// Single-precision values are NaN-boxed in the upper 32 bits (RISC-V
+  /// D-extension requirement); reads of an improperly boxed value yield the
+  /// canonical NaN.
+  [[nodiscard]] float fprS(unsigned i) const;
+  void setFprS(unsigned i, float v);
+};
+
+enum class Trap : std::uint8_t {
+  None,
+  Ecall,
+  Ebreak,
+  IllegalInstruction,
+};
+
+/// Execute one decoded instruction: updates `state` (including pc) and
+/// `memory`, and appends operand/memory/branch details to `retired`
+/// (`retired.pc/encoding/group` are filled by the caller). Reads of x0 are
+/// not recorded as dependencies; writes to x0 are discarded.
+Trap execute(const Inst& inst, State& state, Memory& memory,
+             RetiredInst& retired);
+
+}  // namespace riscmp::rv64

@@ -1,0 +1,35 @@
+// Decoded RV64G instruction representation.
+#pragma once
+
+#include <cstdint>
+
+#include "riscv/opcodes.hpp"
+
+namespace riscmp::rv64 {
+
+struct Inst {
+  Op op = Op::ADDI;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::uint8_t rs3 = 0;
+  /// Sign-extended immediate. For U-format the full shifted value
+  /// (imm << 12); for branches/jumps the byte offset; for shifts the shamt;
+  /// for CSR instructions the CSR number (and rs1 carries the zimm for the
+  /// immediate forms).
+  std::int64_t imm = 0;
+
+  [[nodiscard]] const OpInfo& info() const { return opInfo(op); }
+
+  bool operator==(const Inst&) const = default;
+};
+
+/// ABI register names (x-registers and f-registers).
+const char* gprName(unsigned index);
+const char* fprName(unsigned index);
+
+/// Parse "x7"/"a0"/"sp"... or "f5"/"fa0"... Returns -1 on failure.
+int gprFromName(std::string_view name);
+int fprFromName(std::string_view name);
+
+}  // namespace riscmp::rv64

@@ -1,0 +1,37 @@
+#include "riscv/opcodes.hpp"
+
+#include <array>
+
+namespace riscmp::rv64 {
+namespace {
+
+constexpr std::array<OpInfo, kOpCount> kOpTable = {{
+#define X(NAME, mnemonic, immKind, match, mask, group, srcMask, fpMask, hasRd, \
+          memSize, memKind)                                                    \
+  OpInfo{Op::NAME,          mnemonic,                                          \
+         ImmKind::immKind,  match,                                             \
+         mask,              InstGroup::group,                                  \
+         srcMask,           fpMask,                                            \
+         static_cast<bool>(hasRd), memSize, MemKind::memKind},
+#include "riscv/opcodes.def"
+#undef X
+}};
+
+}  // namespace
+
+const OpInfo& opInfo(Op op) {
+  return kOpTable[static_cast<std::size_t>(op)];
+}
+
+std::optional<Op> opFromMnemonic(std::string_view mnemonic) {
+  for (const OpInfo& info : kOpTable) {
+    if (info.mnemonic == mnemonic) return info.op;
+  }
+  return std::nullopt;
+}
+
+namespace detail {
+const std::array<OpInfo, kOpCount>& opTable() { return kOpTable; }
+}  // namespace detail
+
+}  // namespace riscmp::rv64

@@ -1,0 +1,77 @@
+// RV64G opcode enumeration and static metadata.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "isa/groups.hpp"
+
+namespace riscmp::rv64 {
+
+enum class Op : std::uint8_t {
+#define X(NAME, mnemonic, immKind, match, mask, group, srcMask, fpMask, hasRd, \
+          memSize, memKind)                                                    \
+  NAME,
+#include "riscv/opcodes.def"
+#undef X
+};
+
+constexpr std::size_t kOpCount = 0
+#define X(...) +1
+#include "riscv/opcodes.def"
+#undef X
+    ;
+
+/// Immediate encoding formats of RV64G (spec §2.3 plus shift/CSR forms).
+enum class ImmKind : std::uint8_t {
+  None,
+  I,       ///< imm[11:0] at 31:20, sign-extended
+  S,       ///< imm[11:5] at 31:25, imm[4:0] at 11:7
+  B,       ///< branch offset, multiples of 2
+  U,       ///< imm[31:12] at 31:12 (value stored shifted, sign-extended)
+  J,       ///< jump offset, multiples of 2
+  Shamt6,  ///< 6-bit shift amount at 25:20
+  Shamt5,  ///< 5-bit shift amount at 24:20
+  Csr,     ///< CSR number at 31:20 (zero-extended), rs1 as register
+  CsrImm,  ///< CSR number at 31:20, 5-bit zimm in the rs1 field
+};
+
+enum class MemKind : std::uint8_t { None, Load, Store, Amo };
+
+struct OpInfo {
+  Op op;
+  std::string_view mnemonic;
+  ImmKind imm;
+  std::uint32_t match;
+  std::uint32_t mask;
+  InstGroup group;
+  std::uint8_t srcMask;  ///< bit0 rs1, bit1 rs2, bit2 rs3
+  std::uint8_t fpMask;   ///< bit0 rs1 FP, bit1 rs2 FP, bit2 rs3 FP, bit3 rd FP
+  bool hasRd;
+  std::uint8_t memSize;
+  MemKind memKind;
+
+  [[nodiscard]] bool readsRs1() const { return srcMask & 1; }
+  [[nodiscard]] bool readsRs2() const { return srcMask & 2; }
+  [[nodiscard]] bool readsRs3() const { return srcMask & 4; }
+  [[nodiscard]] bool rs1IsFp() const { return fpMask & 1; }
+  [[nodiscard]] bool rs2IsFp() const { return fpMask & 2; }
+  [[nodiscard]] bool rs3IsFp() const { return fpMask & 4; }
+  [[nodiscard]] bool rdIsFp() const { return fpMask & 8; }
+};
+
+/// Metadata for an opcode. O(1).
+const OpInfo& opInfo(Op op);
+
+/// Look up an opcode by mnemonic (used by the text assembler).
+std::optional<Op> opFromMnemonic(std::string_view mnemonic);
+
+namespace detail {
+/// Full opcode table, in catalogue order (used by the decoder's match loop
+/// and by the round-trip property tests).
+const std::array<OpInfo, kOpCount>& opTable();
+}  // namespace detail
+
+}  // namespace riscmp::rv64

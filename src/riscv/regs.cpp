@@ -1,0 +1,53 @@
+// ABI register naming for RV64 (integer and floating-point files).
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <string_view>
+
+#include "riscv/inst.hpp"
+
+namespace riscmp::rv64 {
+namespace {
+
+constexpr std::array<const char*, 32> kGprNames = {
+    "zero", "ra", "sp",  "gp",  "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3",  "a4",  "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8",  "s9",  "s10", "s11", "t3", "t4", "t5", "t6"};
+
+constexpr std::array<const char*, 32> kFprNames = {
+    "ft0", "ft1", "ft2",  "ft3",  "ft4", "ft5", "ft6",  "ft7",
+    "fs0", "fs1", "fa0",  "fa1",  "fa2", "fa3", "fa4",  "fa5",
+    "fa6", "fa7", "fs2",  "fs3",  "fs4", "fs5", "fs6",  "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11"};
+
+int parseIndexed(std::string_view name, char prefix) {
+  if (name.size() < 2 || name[0] != prefix) return -1;
+  int value = -1;
+  const auto* begin = name.data() + 1;
+  const auto* end = name.data() + name.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || value < 0 || value > 31) return -1;
+  return value;
+}
+
+}  // namespace
+
+const char* gprName(unsigned index) { return kGprNames[index & 31]; }
+const char* fprName(unsigned index) { return kFprNames[index & 31]; }
+
+int gprFromName(std::string_view name) {
+  for (unsigned i = 0; i < 32; ++i) {
+    if (name == kGprNames[i]) return static_cast<int>(i);
+  }
+  if (name == "fp") return 8;  // alias for s0
+  return parseIndexed(name, 'x');
+}
+
+int fprFromName(std::string_view name) {
+  for (unsigned i = 0; i < 32; ++i) {
+    if (name == kFprNames[i]) return static_cast<int>(i);
+  }
+  return parseIndexed(name, 'f');
+}
+
+}  // namespace riscmp::rv64

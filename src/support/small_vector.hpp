@@ -1,0 +1,64 @@
+// A fixed-capacity inline vector used on the hot retire path.
+//
+// Instruction operand lists are tiny (<= 5 registers, <= 2 memory accesses),
+// so the simulator stores them inline to avoid per-instruction heap traffic.
+// Exceeding the inline capacity is a programming error and asserts.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+
+namespace riscmp {
+
+template <typename T, std::size_t N>
+class SmallVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+  SmallVector(std::initializer_list<T> init) {
+    assert(init.size() <= N);
+    for (const T& v : init) push_back(v);
+  }
+
+  void push_back(const T& v) {
+    assert(size_ < N && "SmallVector inline capacity exceeded");
+    data_[size_++] = v;
+  }
+
+  void clear() { size_ = 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  static constexpr std::size_t capacity() { return N; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  iterator begin() { return data_.data(); }
+  iterator end() { return data_.data() + size_; }
+  const_iterator begin() const { return data_.data(); }
+  const_iterator end() const { return data_.data() + size_; }
+
+  bool operator==(const SmallVector& other) const {
+    if (size_ != other.size_) return false;
+    for (std::size_t i = 0; i < size_; ++i)
+      if (!(data_[i] == other.data_[i])) return false;
+    return true;
+  }
+
+ private:
+  std::array<T, N> data_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace riscmp

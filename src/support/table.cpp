@@ -1,0 +1,129 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace riscmp {
+
+std::string withCommas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string withCommas(std::int64_t value) {
+  if (value < 0) return "-" + withCommas(static_cast<std::uint64_t>(-value));
+  return withCommas(static_cast<std::uint64_t>(value));
+}
+
+std::string sigFigs(double value, int digits) {
+  if (value == 0.0) return "0";
+  if (!std::isfinite(value)) return value > 0 ? "inf" : "-inf";
+  const int magnitude = static_cast<int>(std::floor(std::log10(std::fabs(value))));
+  const int decimals = std::max(0, digits - 1 - magnitude);
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string percentDelta(double measured, double baseline) {
+  if (baseline == 0.0) return "n/a";
+  const double pct = (measured / baseline - 1.0) * 100.0;
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%+.1f%%", pct);
+  return buffer;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::addRow(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::addSeparator() { separators_.push_back(rows_.size()); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto renderRule = [&] {
+    std::string line = "+";
+    for (const std::size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  };
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line += std::string(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = renderRule() + renderRow(header_) + renderRule();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), r) !=
+        separators_.end()) {
+      out += renderRule();
+    }
+    out += renderRow(rows_[r]);
+  }
+  out += renderRule();
+  return out;
+}
+
+std::string Table::renderCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (const char ch : cell) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << (c ? "," : "") << escape(header_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "," : "") << escape(row[c]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.render();
+}
+
+}  // namespace riscmp

@@ -1,0 +1,50 @@
+// ASCII table and CSV rendering for the benchmark harnesses.
+//
+// The bench binaries print the paper's tables side by side with measured
+// values; this renderer keeps columns aligned and offers the thousands
+// separators used throughout the paper.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace riscmp {
+
+/// Format an integer with thousands separators, e.g. 3350107615 ->
+/// "3,350,107,615" (the style used in the paper's tables).
+std::string withCommas(std::uint64_t value);
+std::string withCommas(std::int64_t value);
+
+/// Format a double with `digits` significant digits (paper style, e.g.
+/// "0.0235", "5.00", "335").
+std::string sigFigs(double value, int digits);
+
+/// Format a ratio as a signed percentage, e.g. +2.3% / -16.2%.
+std::string percentDelta(double measured, double baseline);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+  /// Insert a horizontal separator before the next row.
+  void addSeparator();
+
+  /// Render with box-drawing rules and padded columns.
+  [[nodiscard]] std::string render() const;
+  /// Render as CSV (no padding, comma-escaped).
+  [[nodiscard]] std::string renderCsv() const;
+
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // row indices preceded by a rule
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+}  // namespace riscmp

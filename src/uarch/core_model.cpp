@@ -1,0 +1,75 @@
+#include "uarch/core_model.hpp"
+
+#include <stdexcept>
+
+namespace riscmp::uarch {
+
+std::string configDir() { return RISCMP_CONFIG_DIR; }
+
+CoreModel CoreModel::fromYaml(const yaml::Node& root) {
+  CoreModel model;
+  model.name = root.getString("name", "unnamed");
+  model.description = root.getString("description", "");
+
+  if (root.has("core")) {
+    const yaml::Node& core = root.at("core");
+    model.fetchWidth = static_cast<unsigned>(core.getInt("fetch_width", 4));
+    model.dispatchWidth =
+        static_cast<unsigned>(core.getInt("dispatch_width", 4));
+    model.commitWidth = static_cast<unsigned>(core.getInt("commit_width", 4));
+    model.robSize = static_cast<unsigned>(core.getInt("rob_size", 180));
+    model.clockGhz = core.getDouble("clock_ghz", 2.0);
+    model.mispredictPenalty =
+        static_cast<unsigned>(core.getInt("mispredict_penalty", 0));
+    const std::string predictor = core.getString("predictor", "perfect");
+    if (predictor == "static") {
+      model.predictor = BranchPredictor::Static;
+    } else if (predictor == "gshare") {
+      model.predictor = BranchPredictor::Gshare;
+    } else if (predictor != "perfect") {
+      throw std::runtime_error("core model: unknown predictor '" + predictor +
+                               "'");
+    }
+    model.gshareBits =
+        static_cast<unsigned>(core.getInt("gshare_bits", 12));
+  }
+
+  if (root.has("ports")) {
+    for (const yaml::Node& portNode : root.at("ports").elements()) {
+      Port port;
+      port.name = portNode.getString("name", "port");
+      for (const yaml::Node& groupNode : portNode.at("groups").elements()) {
+        const auto group = instGroupFromName(groupNode.asString());
+        if (!group) {
+          throw std::runtime_error("core model: unknown instruction group '" +
+                                   groupNode.asString() + "'");
+        }
+        port.groupMask |= 1u << static_cast<unsigned>(*group);
+      }
+      model.ports.push_back(std::move(port));
+    }
+  }
+
+  if (root.has("latencies")) {
+    for (const auto& [key, value] : root.at("latencies").items()) {
+      const auto group = instGroupFromName(key);
+      if (!group) {
+        throw std::runtime_error("core model: unknown instruction group '" +
+                                 key + "'");
+      }
+      model.latencies[static_cast<std::size_t>(*group)] =
+          static_cast<std::uint32_t>(value.asUint());
+    }
+  }
+  return model;
+}
+
+CoreModel CoreModel::fromFile(const std::string& path) {
+  return fromYaml(yaml::parseFile(path));
+}
+
+CoreModel CoreModel::named(const std::string& name) {
+  return fromFile(configDir() + "/" + name + ".yaml");
+}
+
+}  // namespace riscmp::uarch

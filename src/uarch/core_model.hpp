@@ -1,0 +1,59 @@
+// Core model descriptions (latencies, port layout, structure sizes), loaded
+// from YAML files in the configs/ directory — mirroring SimEng's per-core
+// yaml models the paper relies on (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/critical_path.hpp"  // LatencyTable
+#include "isa/groups.hpp"
+#include "support/yaml_lite.hpp"
+
+namespace riscmp::uarch {
+
+/// One execution port and the instruction groups it accepts.
+struct Port {
+  std::string name;
+  std::uint32_t groupMask = 0;  ///< bit i set => accepts InstGroup(i)
+
+  [[nodiscard]] bool accepts(InstGroup group) const {
+    return groupMask & (1u << static_cast<unsigned>(group));
+  }
+};
+
+enum class BranchPredictor : std::uint8_t {
+  Perfect,  ///< the paper's assumption throughout
+  Static,   ///< backward-taken / forward-not-taken
+  Gshare,   ///< global-history XOR pc, 2-bit counters
+};
+
+struct CoreModel {
+  std::string name;
+  std::string description;
+
+  unsigned fetchWidth = 4;
+  unsigned dispatchWidth = 4;
+  unsigned commitWidth = 4;
+  unsigned robSize = 180;
+  double clockGhz = 2.0;
+  unsigned mispredictPenalty = 0;
+  BranchPredictor predictor = BranchPredictor::Perfect;
+  unsigned gshareBits = 12;  ///< log2 of the gshare counter table size
+
+  std::vector<Port> ports;
+  LatencyTable latencies = unitLatencies();
+
+  /// Parse from a YAML document. Throws std::runtime_error on unknown
+  /// instruction-group names or missing sections.
+  static CoreModel fromYaml(const yaml::Node& root);
+  static CoreModel fromFile(const std::string& path);
+  /// Load `<name>.yaml` from the repository's configs/ directory.
+  static CoreModel named(const std::string& name);
+};
+
+/// Absolute path of the repository configs/ directory (compile-time).
+std::string configDir();
+
+}  // namespace riscmp::uarch

@@ -1,0 +1,144 @@
+#include "uarch/ooo_core.hpp"
+
+#include <algorithm>
+
+namespace riscmp::uarch {
+
+OoOCoreModel::OoOCoreModel(CoreModel model) : model_(std::move(model)) {
+  robCommitCycles_.resize(std::max(1u, model_.robSize), 0);
+  portFree_.resize(model_.ports.size(), 0);
+  if (model_.predictor == BranchPredictor::Gshare) {
+    // 2-bit counters initialised weakly taken.
+    gshareTable_.assign(std::size_t{1} << model_.gshareBits, 2);
+  }
+}
+
+bool OoOCoreModel::predictTaken(const RetiredInst& inst) {
+  switch (model_.predictor) {
+    case BranchPredictor::Perfect:
+      return inst.branchTaken;
+    case BranchPredictor::Static:
+      return inst.branchTarget <= inst.pc;  // backward-taken heuristic
+    case BranchPredictor::Gshare: {
+      const std::uint64_t mask = gshareTable_.size() - 1;
+      const std::uint64_t index = ((inst.pc >> 2) ^ globalHistory_) & mask;
+      return gshareTable_[index] >= 2;
+    }
+  }
+  return true;
+}
+
+void OoOCoreModel::trainPredictor(const RetiredInst& inst) {
+  if (model_.predictor != BranchPredictor::Gshare) return;
+  const std::uint64_t mask = gshareTable_.size() - 1;
+  const std::uint64_t index = ((inst.pc >> 2) ^ globalHistory_) & mask;
+  std::uint8_t& counter = gshareTable_[index];
+  if (inst.branchTaken) {
+    if (counter < 3) ++counter;
+  } else if (counter > 0) {
+    --counter;
+  }
+  globalHistory_ = ((globalHistory_ << 1) | (inst.branchTaken ? 1 : 0)) & mask;
+}
+
+void OoOCoreModel::onRetire(const RetiredInst& inst) {
+  ++instructions_;
+
+  // ---- dispatch: in order, `dispatchWidth` per cycle, ROB space needed.
+  std::uint64_t dispatch = dispatchCycle_;
+  if (dispatchedThisCycle_ >= model_.dispatchWidth) {
+    dispatch = dispatchCycle_ + 1;
+  }
+  dispatch = std::max(dispatch, frontEndStallUntil_);
+  if (robCount_ >= robCommitCycles_.size()) {
+    // The oldest in-flight instruction must commit before this one enters.
+    const std::uint64_t oldestCommit = robCommitCycles_[robHead_];
+    dispatch = std::max(dispatch, oldestCommit + 1);
+    robHead_ = (robHead_ + 1) % robCommitCycles_.size();
+    --robCount_;
+  }
+  if (dispatch != dispatchCycle_) {
+    dispatchCycle_ = dispatch;
+    dispatchedThisCycle_ = 0;
+  }
+  ++dispatchedThisCycle_;
+
+  // ---- operand readiness.
+  std::uint64_t ready = dispatch;
+  for (const Reg& reg : inst.srcs) {
+    ready = std::max(ready, regReady_[reg.dense()]);
+  }
+  for (const MemAccess& access : inst.loads) {
+    const std::uint64_t first = access.addr >> 3;
+    const std::uint64_t last = (access.addr + access.size - 1) >> 3;
+    for (std::uint64_t chunk = first; chunk <= last; ++chunk) {
+      const auto it = memReady_.find(chunk);
+      if (it != memReady_.end()) ready = std::max(ready, it->second);
+    }
+  }
+
+  // ---- issue: earliest eligible port (fully pipelined, one per cycle).
+  std::uint64_t issue = ready;
+  if (!portFree_.empty()) {
+    std::size_t best = portFree_.size();
+    std::uint64_t bestCycle = ~std::uint64_t{0};
+    for (std::size_t p = 0; p < portFree_.size(); ++p) {
+      if (!model_.ports[p].accepts(inst.group)) continue;
+      const std::uint64_t cycle = std::max(ready, portFree_[p]);
+      if (cycle < bestCycle) {
+        bestCycle = cycle;
+        best = p;
+      }
+    }
+    if (best != portFree_.size()) {
+      issue = bestCycle;
+      portFree_[best] = issue + 1;
+    }
+  }
+
+  // ---- execute.
+  const std::uint32_t latency =
+      model_.latencies[static_cast<std::size_t>(inst.group)];
+  const std::uint64_t complete = issue + latency;
+
+  for (const Reg& reg : inst.dsts) {
+    regReady_[reg.dense()] = complete;
+  }
+  for (const MemAccess& access : inst.stores) {
+    const std::uint64_t first = access.addr >> 3;
+    const std::uint64_t last = (access.addr + access.size - 1) >> 3;
+    for (std::uint64_t chunk = first; chunk <= last; ++chunk) {
+      memReady_[chunk] = complete;
+    }
+  }
+
+  // ---- branch resolution under the configured predictor.
+  if (inst.isBranch && model_.predictor != BranchPredictor::Perfect) {
+    const bool predicted = predictTaken(inst);
+    trainPredictor(inst);
+    if (predicted != inst.branchTaken && model_.mispredictPenalty != 0) {
+      ++mispredicts_;
+      frontEndStallUntil_ =
+          std::max(frontEndStallUntil_, complete + model_.mispredictPenalty);
+    }
+  }
+
+  // ---- commit: in order, `commitWidth` per cycle.
+  std::uint64_t commit = std::max(complete + 1, lastCommitCycle_);
+  if (commit == lastCommitCycle_ && committedThisCycle_ >= model_.commitWidth) {
+    ++commit;
+  }
+  if (commit != lastCommitCycle_) {
+    lastCommitCycle_ = commit;
+    committedThisCycle_ = 0;
+  }
+  ++committedThisCycle_;
+
+  // ---- ROB bookkeeping.
+  const std::size_t tail =
+      (robHead_ + robCount_) % robCommitCycles_.size();
+  robCommitCycles_[tail] = commit;
+  ++robCount_;
+}
+
+}  // namespace riscmp::uarch

@@ -1,0 +1,168 @@
+// CloverLeaf-serial mini (§2.1): "a high energy physics simulation solving
+// the compressible Euler equations on a 2D Cartesian grid ... broken down
+// into a series of kernels each of which loops over the entire grid."
+//
+// Four representative kernels per step, mirroring the originals' structure:
+//   ideal_gas   — p = (γ-1)·ρ·e; ss = sqrt(γ·p/ρ)   (divide + sqrt chains)
+//   accelerate  — velocity update from pressure gradients, divided by a
+//                 face-averaged density
+//   flux_calc   — face volume fluxes from velocities
+//   advec_cell  — energy/density update from flux divergence
+//   calc_dt     — CFL timestep: a serial min-reduction over every cell,
+//                 the chain that dominates CloverLeaf's critical path
+// Grids are padded by one halo cell on each side; kernels sweep interior
+// cells only, so all indexing stays affine.
+#include "workloads/workloads.hpp"
+
+using namespace riscmp::kgen;
+
+namespace riscmp::workloads {
+namespace {
+
+std::vector<double> smoothField(std::int64_t count, double base,
+                                double amplitude) {
+  std::vector<double> out(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    // A bounded, strictly positive pseudo-profile (no transcendentals so
+    // the reference is exactly reproducible).
+    const double phase = static_cast<double>(i % 17) / 17.0;
+    out[static_cast<std::size_t>(i)] =
+        base + amplitude * (phase - 0.5) * (phase - 0.5);
+  }
+  return out;
+}
+
+}  // namespace
+
+Module makeCloverLeaf(const CloverLeafParams& params) {
+  Module module;
+  module.name = "CloverLeaf";
+
+  const std::int64_t w = params.nx + 2;  // padded width
+  const std::int64_t h = params.ny + 2;
+  const std::int64_t cells = w * h;
+
+  module.array("density", cells).init = smoothField(cells, 1.0, 0.4);
+  module.array("energy", cells).init = smoothField(cells, 2.5, 0.8);
+  module.array("pressure", cells);
+  module.array("soundspeed", cells);
+  module.array("xvel", cells);
+  module.array("yvel", cells);
+  module.array("vol_flux_x", cells);
+  module.array("vol_flux_y", cells);
+
+  module.scalarInit("gm1", 0.4);    // gamma - 1
+  module.scalarInit("gamma", 1.4);
+  module.scalarInit("dtdx", 0.002);
+  module.scalarInit("dt", 0.004);
+  module.scalarInit("rvol", 0.25);
+  module.scalarInit("dt_min", 1.0e10);
+
+  const AffineIdx cell = idx2("y", w, "x") + (w + 1);  // interior shift
+
+  for (std::int64_t step = 0; step < params.steps; ++step) {
+    // ---- ideal_gas --------------------------------------------------------
+    {
+      std::vector<Stmt> body;
+      body.push_back(storeArr(
+          "pressure", cell,
+          mul(scalar("gm1"),
+              mul(load("density", cell), load("energy", cell)))));
+      body.push_back(storeArr(
+          "soundspeed", cell,
+          fsqrt(divide(mul(scalar("gamma"), load("pressure", cell)),
+                       load("density", cell)))));
+      module.kernel("ideal_gas")
+          .body.push_back(
+              loop("y", params.ny, {loop("x", params.nx, std::move(body))}));
+    }
+
+    // ---- accelerate ---------------------------------------------------------
+    {
+      std::vector<Stmt> body;
+      // xvel -= dtdx * (p[x+1]-p[x-1]) / (0.5*(rho[x]+rho[x-1]))
+      body.push_back(storeArr(
+          "xvel", cell,
+          sub(load("xvel", cell),
+              divide(mul(scalar("dtdx"),
+                         sub(load("pressure", cell + 1),
+                             load("pressure", cell + (-1)))),
+                     mul(cnst(0.5), add(load("density", cell),
+                                        load("density", cell + (-1))))))));
+      body.push_back(storeArr(
+          "yvel", cell,
+          sub(load("yvel", cell),
+              divide(mul(scalar("dtdx"),
+                         sub(load("pressure", cell + w),
+                             load("pressure", cell + (-w)))),
+                     mul(cnst(0.5), add(load("density", cell),
+                                        load("density", cell + (-w))))))));
+      module.kernel("accelerate")
+          .body.push_back(
+              loop("y", params.ny, {loop("x", params.nx, std::move(body))}));
+    }
+
+    // ---- flux_calc ------------------------------------------------------------
+    {
+      std::vector<Stmt> body;
+      body.push_back(storeArr(
+          "vol_flux_x", cell,
+          mul(mul(cnst(0.25), scalar("dt")),
+              mul(add(load("xvel", cell), load("xvel", cell + 1)),
+                  add(load("soundspeed", cell),
+                      load("soundspeed", cell + 1))))));
+      body.push_back(storeArr(
+          "vol_flux_y", cell,
+          mul(mul(cnst(0.25), scalar("dt")),
+              mul(add(load("yvel", cell), load("yvel", cell + w)),
+                  add(load("soundspeed", cell),
+                      load("soundspeed", cell + w))))));
+      module.kernel("flux_calc")
+          .body.push_back(
+              loop("y", params.ny, {loop("x", params.nx, std::move(body))}));
+    }
+
+    // ---- advec_cell ---------------------------------------------------------------
+    {
+      std::vector<Stmt> body;
+      body.push_back(storeArr(
+          "energy", cell,
+          add(load("energy", cell),
+              mul(scalar("rvol"),
+                  add(sub(load("vol_flux_x", cell),
+                          load("vol_flux_x", cell + 1)),
+                      sub(load("vol_flux_y", cell),
+                          load("vol_flux_y", cell + w)))))));
+      body.push_back(storeArr(
+          "density", cell,
+          fmax(cnst(0.1),
+               add(load("density", cell),
+                   mul(mul(cnst(0.5), scalar("rvol")),
+                       add(sub(load("vol_flux_x", cell),
+                               load("vol_flux_x", cell + 1)),
+                           sub(load("vol_flux_y", cell),
+                               load("vol_flux_y", cell + w))))))));
+      module.kernel("advec_cell")
+          .body.push_back(
+              loop("y", params.ny, {loop("x", params.nx, std::move(body))}));
+    }
+
+    // ---- calc_dt: global CFL min-reduction ---------------------------------
+    {
+      std::vector<Stmt> body;
+      body.push_back(setScalar(
+          "dt_min",
+          fmin(scalar("dt_min"),
+               divide(cnst(0.04),
+                      add(load("soundspeed", cell),
+                          add(fabs(load("xvel", cell)),
+                              fabs(load("yvel", cell))))))));
+      module.kernel("calc_dt")
+          .body.push_back(
+              loop("y", params.ny, {loop("x", params.nx, std::move(body))}));
+    }
+  }
+  return module;
+}
+
+}  // namespace riscmp::workloads

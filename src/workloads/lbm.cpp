@@ -1,0 +1,200 @@
+// Lattice-Boltzmann d2q9-bgk mini (§2.1): "developed within the HPC
+// Research Group at the University of Bristol, optimised for serial
+// execution."
+//
+// Full d2q9-bgk structure on a fully periodic torus, one halo cell per
+// side, no obstacles:
+//   accelerate_flow — bias the x-momentum distributions on one interior row
+//   halo_exchange   — periodic copies of edge rows/columns/corners
+//   propagate       — stream each distribution from its upwind neighbour
+//   collision       — density/velocity moments, BGK relaxation towards the
+//                     usual second-order equilibrium (two divides per cell)
+//   av_velocity     — the per-step average-speed reduction of d2q9-bgk: a
+//                     serial sum over every cell (the CP-dominating chain)
+// Per-iteration kernels are unrolled at module level so Figure-1 style
+// per-kernel attribution aggregates across time steps.
+#include "workloads/workloads.hpp"
+
+using namespace riscmp::kgen;
+
+namespace riscmp::workloads {
+namespace {
+
+// d2q9 lattice vectors and weights.
+constexpr int kEx[9] = {0, 1, 0, -1, 0, 1, -1, -1, 1};
+constexpr int kEy[9] = {0, 0, 1, 0, -1, 1, 1, -1, -1};
+constexpr double kW[9] = {4.0 / 9,  1.0 / 9,  1.0 / 9, 1.0 / 9, 1.0 / 9,
+                          1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36};
+
+std::string fName(int d) { return "f" + std::to_string(d); }
+std::string tName(int d) { return "t" + std::to_string(d); }
+
+}  // namespace
+
+Module makeLbm(const LbmParams& params) {
+  Module module;
+  module.name = "LBM";
+
+  const std::int64_t nx = params.nx;
+  const std::int64_t ny = params.ny;
+  const std::int64_t w = nx + 2;  // padded width
+  const std::int64_t cells = w * (ny + 2);
+  const double rho0 = 1.0;
+
+  for (int d = 0; d < 9; ++d) {
+    module.array(fName(d), cells)
+        .init.assign(static_cast<std::size_t>(cells), kW[d] * rho0);
+    module.array(tName(d), cells);
+  }
+
+  module.scalarInit("w1a", rho0 * 0.005 / 9.0);   // accel * w1
+  module.scalarInit("w2a", rho0 * 0.005 / 36.0);  // accel * w2
+  module.scalarInit("omega", 1.2);
+  for (const char* name : {"rho", "ux", "uy", "usq", "tot_u"}) {
+    module.scalarInit(name, 0.0);
+  }
+  for (int d = 0; d < 9; ++d) module.scalarInit("td" + std::to_string(d), 0.0);
+
+  const AffineIdx cell = idx2("y", w, "x") + (w + 1);
+
+  for (std::int64_t iter = 0; iter < params.iters; ++iter) {
+    // ---- accelerate_flow: row y = 1 (fixed interior row) ------------------
+    {
+      const AffineIdx row = idx("x") + (w + 1);
+      std::vector<Stmt> body;
+      body.push_back(
+          storeArr("f1", row, add(load("f1", row), scalar("w1a"))));
+      body.push_back(
+          storeArr("f5", row, add(load("f5", row), scalar("w2a"))));
+      body.push_back(
+          storeArr("f8", row, add(load("f8", row), scalar("w2a"))));
+      body.push_back(
+          storeArr("f3", row, sub(load("f3", row), scalar("w1a"))));
+      body.push_back(
+          storeArr("f6", row, sub(load("f6", row), scalar("w2a"))));
+      body.push_back(
+          storeArr("f7", row, sub(load("f7", row), scalar("w2a"))));
+      module.kernel("accelerate").body.push_back(loop("x", nx, std::move(body)));
+    }
+
+    // ---- halo_exchange: periodic edges for every distribution -------------
+    {
+      Kernel& kernel = module.kernel("halo_exchange");
+      for (int d = 0; d < 9; ++d) {
+        const std::string f = fName(d);
+        // Rows: halo row 0 <- interior row ny; halo row ny+1 <- row 1.
+        kernel.body.push_back(
+            loop("x", nx, {storeArr(f, idx("x") + 1,
+                                    load(f, idx("x") + (ny * w + 1)))}));
+        kernel.body.push_back(loop(
+            "x", nx, {storeArr(f, idx("x") + ((ny + 1) * w + 1),
+                               load(f, idx("x") + (w + 1)))}));
+        // Columns: halo col 0 <- interior col nx; halo col nx+1 <- col 1.
+        kernel.body.push_back(
+            loop("y", ny, {storeArr(f, idx("y", w) + w,
+                                    load(f, idx("y", w) + (w + nx)))}));
+        kernel.body.push_back(loop(
+            "y", ny, {storeArr(f, idx("y", w) + (w + nx + 1),
+                               load(f, idx("y", w) + (w + 1)))}));
+        // Corners (single-trip loops keep indexing affine).
+        kernel.body.push_back(loop(
+            "c", 1, {storeArr(f, idx("c"), load(f, idx("c") + (ny * w + nx)))}));
+        kernel.body.push_back(
+            loop("c", 1, {storeArr(f, idx("c") + (w - 1),
+                                   load(f, idx("c") + (ny * w + 1)))}));
+        kernel.body.push_back(
+            loop("c", 1, {storeArr(f, idx("c") + ((ny + 1) * w),
+                                   load(f, idx("c") + (w + nx)))}));
+        kernel.body.push_back(
+            loop("c", 1, {storeArr(f, idx("c") + ((ny + 1) * w + nx + 1),
+                                   load(f, idx("c") + (w + 1)))}));
+      }
+    }
+
+    // ---- propagate: t_d(x, y) = f_d(x - ex, y - ey) ------------------------
+    {
+      std::vector<Stmt> body;
+      for (int d = 0; d < 9; ++d) {
+        const std::int64_t shift = -kEx[d] - static_cast<std::int64_t>(kEy[d]) * w;
+        body.push_back(storeArr(tName(d), cell, load(fName(d), cell + shift)));
+      }
+      module.kernel("propagate")
+          .body.push_back(loop("y", ny, {loop("x", nx, std::move(body))}));
+    }
+
+    // ---- collision: BGK relaxation ------------------------------------------
+    {
+      std::vector<Stmt> body;
+      for (int d = 0; d < 9; ++d) {
+        body.push_back(
+            setScalar("td" + std::to_string(d), load(tName(d), cell)));
+      }
+      auto td = [](int d) { return scalar("td" + std::to_string(d)); };
+      // rho = sum of distributions.
+      ExprPtr rho = td(0);
+      for (int d = 1; d < 9; ++d) rho = add(rho, td(d));
+      body.push_back(setScalar("rho", rho));
+      // ux = (t1 + t5 + t8 - t3 - t6 - t7) / rho
+      body.push_back(setScalar(
+          "ux", divide(sub(add(td(1), add(td(5), td(8))),
+                           add(td(3), add(td(6), td(7)))),
+                       scalar("rho"))));
+      body.push_back(setScalar(
+          "uy", divide(sub(add(td(2), add(td(5), td(6))),
+                           add(td(4), add(td(7), td(8)))),
+                       scalar("rho"))));
+      body.push_back(setScalar(
+          "usq", add(mul(scalar("ux"), scalar("ux")),
+                     mul(scalar("uy"), scalar("uy")))));
+      for (int d = 0; d < 9; ++d) {
+        // eu = ex*ux + ey*uy (folded at build time per direction).
+        ExprPtr eu = nullptr;
+        if (kEx[d] == 1) eu = scalar("ux");
+        if (kEx[d] == -1) eu = neg(scalar("ux"));
+        if (kEy[d] != 0) {
+          const ExprPtr uyTerm =
+              kEy[d] == 1 ? scalar("uy") : neg(scalar("uy"));
+          eu = eu ? add(eu, uyTerm) : uyTerm;
+        }
+        // equilibrium = w_d rho (1 + 3 eu + 4.5 eu^2 - 1.5 usq)
+        ExprPtr inner = sub(cnst(1.0), mul(cnst(1.5), scalar("usq")));
+        if (eu) {
+          inner = add(inner, mul(cnst(3.0), eu));
+          inner = add(inner, mul(cnst(4.5), mul(eu, eu)));
+        }
+        const ExprPtr equilibrium = mul(mul(cnst(kW[d]), scalar("rho")), inner);
+        // f_d = t_d + omega (eq - t_d)
+        body.push_back(storeArr(
+            fName(d), cell,
+            add(td(d), mul(scalar("omega"), sub(equilibrium, td(d))))));
+      }
+      module.kernel("collision")
+          .body.push_back(loop("y", ny, {loop("x", nx, std::move(body))}));
+    }
+
+    // ---- av_velocity: the benchmark's per-step reduction -------------------
+    {
+      std::vector<Stmt> body;
+      auto f = [&](int d) { return load(fName(d), cell); };
+      ExprPtr rho = f(0);
+      for (int d = 1; d < 9; ++d) rho = add(rho, f(d));
+      body.push_back(setScalar("rho", rho));
+      body.push_back(setScalar(
+          "ux", divide(sub(add(f(1), add(f(5), f(8))),
+                           add(f(3), add(f(6), f(7)))),
+                       scalar("rho"))));
+      body.push_back(setScalar(
+          "uy", divide(sub(add(f(2), add(f(5), f(6))),
+                           add(f(4), add(f(7), f(8)))),
+                       scalar("rho"))));
+      body.push_back(accumScalar(
+          "tot_u", fsqrt(add(mul(scalar("ux"), scalar("ux")),
+                             mul(scalar("uy"), scalar("uy"))))));
+      module.kernel("av_velocity")
+          .body.push_back(loop("y", ny, {loop("x", nx, std::move(body))}));
+    }
+  }
+  return module;
+}
+
+}  // namespace riscmp::workloads

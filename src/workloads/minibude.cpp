@@ -1,0 +1,94 @@
+// miniBUDE mini (§2.1): "a mini app approximating the behaviour of a
+// molecular docking simulation used for drug discovery."
+//
+// Like the original's fasten_main kernel: for every pose, translate the
+// ligand, then accumulate an interaction energy over all ligand-protein
+// atom pairs (squared distance via FMA, reciprocal-distance electrostatics
+// via divide + sqrt, a repulsive r^-2-style term). The per-pose energy is a
+// serial floating-point reduction chain — the structure behind miniBUDE's
+// distinctive critical-path behaviour in the paper (ILP ~600-700).
+#include "workloads/workloads.hpp"
+
+using namespace riscmp::kgen;
+
+namespace riscmp::workloads {
+namespace {
+
+std::vector<double> pseudoCoords(std::int64_t count, double spread,
+                                 std::uint64_t seed) {
+  std::vector<double> out(static_cast<std::size_t>(count));
+  std::uint64_t state = seed;
+  for (std::int64_t i = 0; i < count; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double unit =
+        static_cast<double>((state >> 33) & 0xffffff) / 16777216.0;
+    out[static_cast<std::size_t>(i)] = spread * (unit - 0.5);
+  }
+  return out;
+}
+
+}  // namespace
+
+Module makeMiniBude(const MiniBudeParams& params) {
+  Module module;
+  module.name = "miniBUDE";
+
+  const std::int64_t nl = params.ligandAtoms;
+  const std::int64_t np = params.proteinAtoms;
+  const std::int64_t poses = params.poses;
+
+  module.array("lx", nl).init = pseudoCoords(nl, 4.0, 11);
+  module.array("ly", nl).init = pseudoCoords(nl, 4.0, 22);
+  module.array("lz", nl).init = pseudoCoords(nl, 4.0, 33);
+  module.array("lq", nl).init = pseudoCoords(nl, 2.0, 44);
+  module.array("px", np).init = pseudoCoords(np, 12.0, 55);
+  module.array("py", np).init = pseudoCoords(np, 12.0, 66);
+  module.array("pz", np).init = pseudoCoords(np, 12.0, 77);
+  module.array("pq", np).init = pseudoCoords(np, 2.0, 88);
+  module.array("posex", poses).init = pseudoCoords(poses, 6.0, 99);
+  module.array("posey", poses).init = pseudoCoords(poses, 6.0, 111);
+  module.array("posez", poses).init = pseudoCoords(poses, 6.0, 222);
+  module.array("energies", poses);
+
+  module.scalarInit("etot", 0.0);
+  module.scalarInit("softening", 1.0);  // keeps r^2 strictly positive
+
+  // dx = lx[i] + posex[p] - px[j]  (and likewise for y, z)
+  auto delta = [&](const char* ligand, const char* pose, const char* protein) {
+    return sub(add(load(ligand, idx("i")), load(pose, idx("p"))),
+               load(protein, idx("j")));
+  };
+
+  // dx/dy/dz live in register-resident scalar temporaries so each delta is
+  // computed once (the CSE a real compiler would perform).
+  std::vector<Stmt> pairBody;
+  pairBody.push_back(setScalar("dx", delta("lx", "posex", "px")));
+  pairBody.push_back(setScalar("dy", delta("ly", "posey", "py")));
+  pairBody.push_back(setScalar("dz", delta("lz", "posez", "pz")));
+  // r2 = softening + dx^2 + dy^2 + dz^2 (FMA chain)
+  pairBody.push_back(setScalar(
+      "r2", add(mul(scalar("dx"), scalar("dx")),
+                add(mul(scalar("dy"), scalar("dy")),
+                    add(mul(scalar("dz"), scalar("dz")),
+                        scalar("softening"))))));
+  // etot += q_i q_j / sqrt(r2) + 0.01 / r2   (electrostatics + repulsion)
+  pairBody.push_back(accumScalar(
+      "etot", divide(mul(load("lq", idx("i")), load("pq", idx("j"))),
+                     fsqrt(scalar("r2")))));
+  pairBody.push_back(accumScalar("etot", divide(cnst(0.01), scalar("r2"))));
+  module.scalarInit("r2", 0.0);
+  module.scalarInit("dx", 0.0);
+  module.scalarInit("dy", 0.0);
+  module.scalarInit("dz", 0.0);
+
+  Kernel& kernel = module.kernel("fasten_main");
+  kernel.body.push_back(loop(
+      "p", poses,
+      {setScalar("etot", cnst(0.0)),
+       loop("i", nl, {loop("j", np, std::move(pairBody))}),
+       storeArr("energies", idx("p"), scalar("etot"))}));
+
+  return module;
+}
+
+}  // namespace riscmp::workloads

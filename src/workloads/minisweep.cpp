@@ -1,0 +1,106 @@
+// Minisweep mini (§2.1): "a radiation transportation mini app reproducing
+// the Denovo Sn radiation transport behaviour used for nuclear reactor
+// neutronics modeling."
+//
+// One-octant structured sweep: cells are visited in (z, y, x) order and for
+// every (energy, angle) pair the outgoing flux is computed from the three
+// upwind face fluxes, written back to the face arrays (loop-carried
+// dependencies through memory — the wavefront that shapes minisweep's
+// critical path), and accumulated into the cell output.
+#include "workloads/workloads.hpp"
+
+using namespace riscmp::kgen;
+
+namespace riscmp::workloads {
+namespace {
+
+std::vector<double> positiveField(std::int64_t count, double base,
+                                  double amplitude, std::uint64_t seed) {
+  std::vector<double> out(static_cast<std::size_t>(count));
+  std::uint64_t state = seed;
+  for (std::int64_t i = 0; i < count; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double unit =
+        static_cast<double>((state >> 33) & 0xffffff) / 16777216.0;
+    out[static_cast<std::size_t>(i)] = base + amplitude * unit;
+  }
+  return out;
+}
+
+}  // namespace
+
+Module makeMinisweep(const MinisweepParams& params) {
+  Module module;
+  module.name = "minisweep";
+
+  const std::int64_t nx = params.ncellX;
+  const std::int64_t ny = params.ncellY;
+  const std::int64_t nz = params.ncellZ;
+  const std::int64_t ne = params.ne;
+  const std::int64_t na = params.na;
+  const std::int64_t cells = nz * ny * nx;
+
+  module.array("vs", cells).init = positiveField(cells, 0.5, 0.5, 7);
+  module.array("sigt", cells).init = positiveField(cells, 1.5, 0.5, 13);
+  module.array("vo", cells);
+  // Face fluxes: x-faces persist per (z, y, e, a), etc.
+  module.array("facex", nz * ny * ne * na)
+      .init.assign(static_cast<std::size_t>(nz * ny * ne * na), 0.25);
+  module.array("facey", nz * nx * ne * na)
+      .init.assign(static_cast<std::size_t>(nz * nx * ne * na), 0.25);
+  module.array("facez", ny * nx * ne * na)
+      .init.assign(static_cast<std::size_t>(ny * nx * ne * na), 0.25);
+
+  module.scalarInit("psi", 0.0);
+  module.scalarInit("wt", 1.0 / static_cast<double>(na));
+
+  // Index helpers (row-major nests).
+  const AffineIdx cell = [&] {
+    AffineIdx index;
+    index.terms = {{"z", ny * nx}, {"y", nx}, {"x", 1}};
+    return index;
+  }();
+  const AffineIdx faceXIdx = [&] {
+    AffineIdx index;
+    index.terms = {{"z", ny * ne * na}, {"y", ne * na}, {"e", na}, {"a", 1}};
+    return index;
+  }();
+  const AffineIdx faceYIdx = [&] {
+    AffineIdx index;
+    index.terms = {{"z", nx * ne * na}, {"x", ne * na}, {"e", na}, {"a", 1}};
+    return index;
+  }();
+  const AffineIdx faceZIdx = [&] {
+    AffineIdx index;
+    index.terms = {{"y", nx * ne * na}, {"x", ne * na}, {"e", na}, {"a", 1}};
+    return index;
+  }();
+
+  std::vector<Stmt> angleBody;
+  // psi = (vs + 0.3 fx + 0.3 fy + 0.3 fz) / sigt
+  angleBody.push_back(setScalar(
+      "psi",
+      divide(add(load("vs", cell),
+                 add(mul(cnst(0.3), load("facex", faceXIdx)),
+                     add(mul(cnst(0.3), load("facey", faceYIdx)),
+                         mul(cnst(0.3), load("facez", faceZIdx))))),
+             load("sigt", cell))));
+  // Outgoing fluxes replace the incoming faces (the wavefront carry).
+  angleBody.push_back(storeArr("facex", faceXIdx, scalar("psi")));
+  angleBody.push_back(storeArr("facey", faceYIdx, scalar("psi")));
+  angleBody.push_back(storeArr("facez", faceZIdx, scalar("psi")));
+  // vo[cell] += wt * psi
+  angleBody.push_back(storeArr(
+      "vo", cell,
+      add(load("vo", cell), mul(scalar("wt"), scalar("psi")))));
+
+  module.kernel("sweep").body.push_back(loop(
+      "z", nz,
+      {loop("y", ny,
+            {loop("x", nx,
+                  {loop("e", ne, {loop("a", na, std::move(angleBody))})})})}));
+
+  return module;
+}
+
+}  // namespace riscmp::workloads

@@ -1,0 +1,38 @@
+// STREAM (§2.1): "4 simple kernels applied to elements of arrays". The
+// repetition loop is unrolled at module level so copy/scale/add/triad
+// interleave per repetition as in the original benchmark, while per-kernel
+// path-length attribution (Figure 1) still aggregates across repetitions.
+#include "workloads/workloads.hpp"
+
+using namespace riscmp::kgen;
+
+namespace riscmp::workloads {
+
+Module makeStream(const StreamParams& params) {
+  Module module;
+  module.name = "STREAM";
+
+  const std::int64_t n = params.n;
+  module.array("a", n).init.assign(static_cast<std::size_t>(n), 1.0);
+  module.array("b", n).init.assign(static_cast<std::size_t>(n), 2.0);
+  module.array("c", n).init.assign(static_cast<std::size_t>(n), 0.0);
+  module.scalarInit("scalar", 3.0);
+
+  for (std::int64_t rep = 0; rep < params.reps; ++rep) {
+    module.kernel("copy").body.push_back(
+        loop("j", n, {storeArr("c", idx("j"), load("a", idx("j")))}));
+    module.kernel("scale").body.push_back(loop(
+        "j", n,
+        {storeArr("b", idx("j"), mul(scalar("scalar"), load("c", idx("j"))))}));
+    module.kernel("add").body.push_back(loop(
+        "j", n, {storeArr("c", idx("j"),
+                          add(load("a", idx("j")), load("b", idx("j"))))}));
+    module.kernel("triad").body.push_back(loop(
+        "j", n, {storeArr("a", idx("j"),
+                          add(load("b", idx("j")),
+                              mul(scalar("scalar"), load("c", idx("j")))))}));
+  }
+  return module;
+}
+
+}  // namespace riscmp::workloads

@@ -1,0 +1,39 @@
+#include "workloads/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace riscmp::workloads {
+
+std::vector<WorkloadSpec> paperSuite(double scale) {
+  const auto scaled = [scale](std::int64_t value) {
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(
+               static_cast<double>(value) * scale)));
+  };
+
+  StreamParams stream;
+  stream.n = scaled(stream.n);
+
+  CloverLeafParams clover;
+  clover.steps = scaled(clover.steps);
+
+  MiniBudeParams bude;
+  bude.poses = scaled(bude.poses);
+
+  LbmParams lbm;
+  lbm.iters = scaled(lbm.iters);
+
+  MinisweepParams sweep;
+  sweep.na = scaled(sweep.na);
+
+  std::vector<WorkloadSpec> suite;
+  suite.push_back({"STREAM", makeStream(stream)});
+  suite.push_back({"CloverLeaf", makeCloverLeaf(clover)});
+  suite.push_back({"LBM", makeLbm(lbm)});
+  suite.push_back({"miniBUDE", makeMiniBude(bude)});
+  suite.push_back({"minisweep", makeMinisweep(sweep)});
+  return suite;
+}
+
+}  // namespace riscmp::workloads

@@ -1,0 +1,79 @@
+// The paper's five workloads (§2.1), expressed in the kernel IR at
+// laptop-scale problem sizes.
+//
+// Each builder returns a kgen::Module whose kernels mirror the structure of
+// the original benchmark's hot kernels; EXPERIMENTS.md records the size
+// substitutions. Every module is validated end-to-end by comparing
+// simulated memory against the reference interpreter (tests/workloads).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kgen/ir.hpp"
+
+namespace riscmp::workloads {
+
+/// STREAM (McCalpin): four kernels (copy/scale/add/triad) over arrays of
+/// doubles, repeated `reps` times. Paper size: n = 10,000,000.
+struct StreamParams {
+  std::int64_t n = 25'000;
+  std::int64_t reps = 10;  ///< STREAM's classic NTIMES
+};
+kgen::Module makeStream(const StreamParams& params = {});
+
+/// CloverLeaf (serial) mini: compressible-Euler style kernels on a padded
+/// 2-D staggered grid (ideal_gas / accelerate / flux_calc / advec_cell).
+/// Paper size: default deck (960x960-class grids).
+struct CloverLeafParams {
+  std::int64_t nx = 48;
+  std::int64_t ny = 48;
+  std::int64_t steps = 2;
+};
+kgen::Module makeCloverLeaf(const CloverLeafParams& params = {});
+
+/// miniBUDE mini: per-pose molecular-docking energy (distance, 1/r
+/// electrostatics, Lennard-Jones-style terms), serial accumulation chain
+/// per pose. Paper run: bm1 deck, 64 poses, 1 iteration.
+struct MiniBudeParams {
+  std::int64_t poses = 24;
+  std::int64_t ligandAtoms = 8;
+  std::int64_t proteinAtoms = 32;
+};
+kgen::Module makeMiniBude(const MiniBudeParams& params = {});
+
+/// Lattice-Boltzmann d2q9-bgk mini: fully periodic torus (halo-exchange,
+/// propagate, accelerate, collide), no obstacles. Paper size: 128x128,
+/// 100 iterations.
+struct LbmParams {
+  std::int64_t nx = 32;
+  std::int64_t ny = 32;
+  std::int64_t iters = 6;
+};
+kgen::Module makeLbm(const LbmParams& params = {});
+
+/// Minisweep mini: Denovo Sn-style wavefront transport sweep; per-cell
+/// face fluxes carry loop-ordered dependencies through memory. Paper run:
+/// -ncell_x 8 -ncell_y 16 -ncell_z 32 -ne 1 -na 32.
+struct MinisweepParams {
+  std::int64_t ncellX = 4;
+  std::int64_t ncellY = 6;
+  std::int64_t ncellZ = 8;
+  std::int64_t ne = 2;
+  std::int64_t na = 12;
+};
+kgen::Module makeMinisweep(const MinisweepParams& params = {});
+
+/// One entry of the benchmark suite.
+struct WorkloadSpec {
+  std::string name;
+  kgen::Module module;
+};
+
+/// The paper's five-workload suite at bench sizes. `scale` stretches the
+/// dominant dimension (array length / grid side / pose count) for longer
+/// runs; 1.0 is the default laptop-scale configuration.
+std::vector<WorkloadSpec> paperSuite(double scale = 1.0);
+
+}  // namespace riscmp::workloads

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "aarch64/asm.hpp"
+#include "aarch64/disasm.hpp"
+#include "aarch64/encode.hpp"
+
+namespace riscmp::a64 {
+namespace {
+
+TEST(A64Asm, BasicInstructions) {
+  const auto words = assemble(
+      "add x0, x1, x2\n"
+      "sub w3, w4, #5\n"
+      "cmp x0, x20\n"
+      "mov x1, #7\n"
+      "mul x2, x3, x4\n"
+      "sdiv x5, x6, x7\n");
+  ASSERT_EQ(words.size(), 6u);
+  EXPECT_EQ(words[0], encode(makeAddSubReg(Op::ADDr, 0, 1, 2)));
+  EXPECT_EQ(words[1],
+            encode(makeAddSubImm(Op::SUBi, 3, 4, 5, false, false)));
+  EXPECT_EQ(words[2], encode(makeCmpReg(0, 20)));
+  EXPECT_EQ(words[3], encode(makeMoveWide(Op::MOVZ, 1, 7, 0)));
+  EXPECT_EQ(words[4], encode(makeDp3(Op::MADD, 2, 3, 4, 31)));
+  EXPECT_EQ(words[5], encode(makeDp2(Op::SDIV, 5, 6, 7)));
+}
+
+TEST(A64Asm, PaperListing1) {
+  // Armv8-a STREAM copy kernel exactly as in the paper.
+  const auto words = assemble(
+      "ldr d1, [x22, x0, lsl #3]\n"
+      "str d1, [x19, x0, lsl #3]\n"
+      "add x0, x0, #1\n"
+      "cmp x0, x20\n"
+      "b.ne -16\n");
+  ASSERT_EQ(words.size(), 5u);
+  EXPECT_EQ(words[0],
+            encode(makeLoadStoreReg(Op::LDRD, 1, 22, 0, Extend::UXTX, true)));
+  EXPECT_EQ(words[1],
+            encode(makeLoadStoreReg(Op::STRD, 1, 19, 0, Extend::UXTX, true)));
+  EXPECT_EQ(words[2], encode(makeAddSubImm(Op::ADDi, 0, 0, 1)));
+  EXPECT_EQ(words[3], encode(makeCmpReg(0, 20)));
+  EXPECT_EQ(words[4], encode(makeCondBranch(Cond::NE, -16)));
+}
+
+TEST(A64Asm, AddressingModes) {
+  const auto words = assemble(
+      "ldr x0, [x1]\n"
+      "ldr x0, [x1, #16]\n"
+      "ldr x0, [x1, #16]!\n"
+      "ldr x0, [x1], #16\n"
+      "ldr x0, [x1, x2]\n"
+      "ldr x0, [x1, w2, sxtw #3]\n"
+      "ldp x0, x1, [sp, #32]\n"
+      "stp d8, d9, [sp, #-16]!\n");
+  ASSERT_EQ(words.size(), 8u);
+  EXPECT_EQ(words[0], encode(makeLoadStore(Op::LDRX, 0, 1, 0)));
+  EXPECT_EQ(words[1], encode(makeLoadStore(Op::LDRX, 0, 1, 16)));
+  EXPECT_EQ(words[2],
+            encode(makeLoadStore(Op::LDRX, 0, 1, 16, AddrMode::PreIndex)));
+  EXPECT_EQ(words[3],
+            encode(makeLoadStore(Op::LDRX, 0, 1, 16, AddrMode::PostIndex)));
+  EXPECT_EQ(words[4],
+            encode(makeLoadStoreReg(Op::LDRX, 0, 1, 2, Extend::UXTX, false)));
+  EXPECT_EQ(words[5],
+            encode(makeLoadStoreReg(Op::LDRX, 0, 1, 2, Extend::SXTW, true)));
+  EXPECT_EQ(words[6], encode(makeLoadStorePair(Op::LDP_X, 0, 1, 31, 32)));
+  EXPECT_EQ(words[7], encode(makeLoadStorePair(Op::STP_D, 8, 9, 31, -16,
+                                               AddrMode::PreIndex)));
+}
+
+TEST(A64Asm, LabelsAndBranches) {
+  const auto words = assemble(
+      "top:\n"
+      "  add x0, x0, #1\n"
+      "  cmp x0, x1\n"
+      "  b.ne top\n"
+      "  cbz x0, done\n"
+      "  b top\n"
+      "done:\n"
+      "  ret\n");
+  ASSERT_EQ(words.size(), 6u);
+  EXPECT_EQ(words[2], encode(makeCondBranch(Cond::NE, -8)));
+  EXPECT_EQ(words[3], encode(makeCmpBranch(Op::CBZ, 0, 8)));
+  EXPECT_EQ(words[4], encode(makeBranch(Op::B, -16)));
+  EXPECT_EQ(words[5], encode(makeBranchReg(Op::RET, 30)));
+}
+
+TEST(A64Asm, FpInstructions) {
+  const auto words = assemble(
+      "fadd d0, d1, d2\n"
+      "fmul s3, s4, s5\n"
+      "fmadd d0, d1, d2, d3\n"
+      "fcmp d1, d2\n"
+      "fcmp d1, #0.0\n"
+      "fsqrt d0, d1\n"
+      "scvtf d0, x1\n"
+      "fcvtzs w0, s1\n"
+      "fmov d0, #1.0\n"
+      "fmov x0, d1\n"
+      "fcvt s0, d1\n");
+  ASSERT_EQ(words.size(), 11u);
+  EXPECT_EQ(words[0], encode(makeFp2(Op::FADD_D, 0, 1, 2)));
+  EXPECT_EQ(words[1], encode(makeFp2(Op::FMUL_S, 3, 4, 5)));
+  EXPECT_EQ(words[2], encode(makeFp3(Op::FMADD_D, 0, 1, 2, 3)));
+  EXPECT_EQ(words[3], encode(makeFpCmp(Op::FCMP_D, 1, 2)));
+  EXPECT_EQ(words[4], encode(makeFpCmp(Op::FCMPZ_D, 1, 0)));
+  EXPECT_EQ(words[5], encode(makeFp1(Op::FSQRT_D, 0, 1)));
+  EXPECT_EQ(words[6], encode(makeFpIntCvt(Op::SCVTF_D, 0, 1, true)));
+  EXPECT_EQ(words[7], encode(makeFpIntCvt(Op::FCVTZS_S, 0, 1, false)));
+  EXPECT_EQ(words[9], encode(makeFpIntCvt(Op::FMOV_XD, 0, 1, true)));
+  EXPECT_EQ(words[10], encode(makeFp1(Op::FCVT_DS, 0, 1)));
+}
+
+TEST(A64Asm, ShiftAliases) {
+  const auto words = assemble(
+      "lsl x0, x1, #3\n"
+      "lsr x0, x1, #3\n"
+      "asr w0, w1, #3\n"
+      "lsl x0, x1, x2\n"
+      "cset x0, eq\n"
+      "sxtw x0, w1\n");
+  ASSERT_EQ(words.size(), 6u);
+  EXPECT_EQ(words[0], encode(makeBitfield(Op::UBFM, 0, 1, 61, 60)));
+  EXPECT_EQ(words[1], encode(makeBitfield(Op::UBFM, 0, 1, 3, 63)));
+  EXPECT_EQ(words[2], encode(makeBitfield(Op::SBFM, 0, 1, 3, 31, false)));
+  EXPECT_EQ(words[3], encode(makeDp2(Op::LSLV, 0, 1, 2)));
+  EXPECT_EQ(words[4],
+            encode(makeCondSel(Op::CSINC, 0, 31, 31, Cond::NE)));
+  EXPECT_EQ(words[5], encode(makeBitfield(Op::SBFM, 0, 1, 0, 31)));
+}
+
+TEST(A64Asm, Errors) {
+  EXPECT_THROW(assemble("frobnicate x0\n"), AsmError);
+  EXPECT_THROW(assemble("add x0, x1\n"), AsmError);
+  EXPECT_THROW(assemble("add x0, x1, q2\n"), AsmError);
+  EXPECT_THROW(assemble("b nowhere\n"), AsmError);
+  EXPECT_THROW(assemble("ldr x0, [x1, #16\n"), AsmError);
+}
+
+// ---------------------------------------------------------------------------
+// Disassembler
+// ---------------------------------------------------------------------------
+
+TEST(A64Disasm, PaperListing1Style) {
+  EXPECT_EQ(disassemble(makeLoadStoreReg(Op::LDRD, 1, 22, 0, Extend::UXTX,
+                                         true)),
+            "ldr d1, [x22, x0, lsl #3]");
+  EXPECT_EQ(disassemble(makeLoadStoreReg(Op::STRD, 1, 19, 0, Extend::UXTX,
+                                         true)),
+            "str d1, [x19, x0, lsl #3]");
+  EXPECT_EQ(disassemble(makeAddSubImm(Op::ADDi, 0, 0, 1)), "add x0, x0, #1");
+  EXPECT_EQ(disassemble(makeCmpReg(0, 20)), "cmp x0, x20");
+  EXPECT_EQ(disassemble(makeCondBranch(Cond::NE, -16), 0x400acc),
+            "b.ne 0x400abc");
+}
+
+TEST(A64Disasm, Aliases) {
+  EXPECT_EQ(disassemble(makeMovReg(0, 1)), "mov x0, x1");
+  EXPECT_EQ(disassemble(makeMoveWide(Op::MOVZ, 2, 42, 0)), "mov x2, #42");
+  EXPECT_EQ(disassemble(makeDp3(Op::MADD, 0, 1, 2, 31)), "mul x0, x1, x2");
+  EXPECT_EQ(disassemble(makeCondSel(Op::CSINC, 0, 31, 31, Cond::NE)),
+            "cset x0, eq");
+  EXPECT_EQ(disassemble(makeBitfield(Op::UBFM, 0, 1, 61, 60)),
+            "lsl x0, x1, #3");
+  EXPECT_EQ(disassemble(makeBitfield(Op::UBFM, 0, 1, 3, 63)),
+            "lsr x0, x1, #3");
+  EXPECT_EQ(disassemble(makeBitfield(Op::SBFM, 0, 1, 0, 31)), "sxtw x0, w1");
+  EXPECT_EQ(disassemble(makeAddSubImm(Op::SUBSi, 31, 3, 7)), "cmp x3, #7");
+}
+
+TEST(A64Disasm, LoadsAndStores) {
+  EXPECT_EQ(disassemble(makeLoadStore(Op::LDRX, 0, 1, 16)),
+            "ldr x0, [x1, #16]");
+  EXPECT_EQ(disassemble(makeLoadStore(Op::LDRX, 0, 31, 0)), "ldr x0, [sp]");
+  EXPECT_EQ(disassemble(makeLoadStore(Op::STRW, 2, 3, 4, AddrMode::PreIndex)),
+            "str w2, [x3, #4]!");
+  EXPECT_EQ(disassemble(makeLoadStore(Op::LDRD, 1, 2, 8, AddrMode::PostIndex)),
+            "ldr d1, [x2], #8");
+  EXPECT_EQ(disassemble(makeLoadStorePair(Op::STP_X, 29, 30, 31, -16,
+                                          AddrMode::PreIndex)),
+            "stp x29, x30, [sp, #-16]!");
+}
+
+TEST(A64Disasm, Branches) {
+  EXPECT_EQ(disassemble(makeBranch(Op::B, 0x40), 0x1000), "b 0x1040");
+  EXPECT_EQ(disassemble(makeCmpBranch(Op::CBNZ, 3, -8), 0x2000),
+            "cbnz x3, 0x1ff8");
+  EXPECT_EQ(disassemble(makeBranchReg(Op::RET, 30)), "ret");
+  EXPECT_EQ(disassemble(Inst{.op = Op::NOP}), "nop");
+}
+
+TEST(A64Disasm, UndecodableWord) {
+  EXPECT_EQ(disassemble(std::uint32_t{0}, 0), ".word 0x0");
+}
+
+TEST(A64Disasm, FpOperands) {
+  EXPECT_EQ(disassemble(makeFp2(Op::FADD_D, 0, 1, 2)), "fadd d0, d1, d2");
+  EXPECT_EQ(disassemble(makeFp2(Op::FMUL_S, 3, 4, 5)), "fmul s3, s4, s5");
+  EXPECT_EQ(disassemble(makeFp3(Op::FMADD_D, 0, 1, 2, 3)),
+            "fmadd d0, d1, d2, d3");
+  EXPECT_EQ(disassemble(makeFpCmp(Op::FCMPZ_D, 1, 0)), "fcmp d1, #0.0");
+}
+
+// Round-trip: assemble -> decode -> disassemble -> assemble yields the same
+// words for a representative kernel.
+TEST(A64AsmDisasm, RoundTripThroughText) {
+  const char* source =
+      "ldr d1, [x22, x0, lsl #3]\n"
+      "fadd d1, d1, d2\n"
+      "str d1, [x19, x0, lsl #3]\n"
+      "add x0, x0, #1\n"
+      "cmp x0, x20\n";
+  const auto words = assemble(source);
+  std::string rebuilt;
+  for (const auto word : words) rebuilt += disassemble(word, 0) + "\n";
+  const auto words2 = assemble(rebuilt);
+  EXPECT_EQ(words, words2);
+}
+
+}  // namespace
+}  // namespace riscmp::a64

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "aarch64/decode.hpp"
+#include "aarch64/encode.hpp"
+
+namespace riscmp::a64 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Golden encodings, cross-checked against GNU binutils objdump output.
+// ---------------------------------------------------------------------------
+
+TEST(A64Encode, GoldenWords) {
+  EXPECT_EQ(encode(Inst{.op = Op::NOP}), 0xd503201fu);
+  EXPECT_EQ(encode(makeBranchReg(Op::RET, 30)), 0xd65f03c0u);
+  EXPECT_EQ(encode(makeAddSubReg(Op::ADDr, 0, 1, 2)), 0x8b020020u);
+  EXPECT_EQ(encode(makeAddSubReg(Op::ADDr, 0, 1, 2, Shift::LSL, 0, false)),
+            0x0b020020u);
+  // sub sp, sp, #16 — the classic prologue word.
+  EXPECT_EQ(encode(makeAddSubImm(Op::SUBi, 31, 31, 16)), 0xd10043ffu);
+  // stp x29, x30, [sp, #-16]! / ldp x29, x30, [sp], #16
+  EXPECT_EQ(encode(makeLoadStorePair(Op::STP_X, 29, 30, 31, -16,
+                                     AddrMode::PreIndex)),
+            0xa9bf7bfdu);
+  EXPECT_EQ(encode(makeLoadStorePair(Op::LDP_X, 29, 30, 31, 16,
+                                     AddrMode::PostIndex)),
+            0xa8c17bfdu);
+  // cmp x0, x20 (the GCC 12.2 STREAM loop-exit test from the paper §3.3)
+  EXPECT_EQ(encode(makeCmpReg(0, 20)), 0xeb14001fu);
+  EXPECT_EQ(encode(makeMoveWide(Op::MOVZ, 0, 1, 0)), 0xd2800020u);
+  EXPECT_EQ(encode(makeLoadStore(Op::LDRX, 0, 1, 8)), 0xf9400420u);
+  EXPECT_EQ(encode(makeSvc(0)), 0xd4000001u);
+  EXPECT_EQ(encode(makeCmpBranch(Op::CBZ, 0, 8)), 0xb4000040u);
+  EXPECT_EQ(encode(makeFp2(Op::FADD_D, 0, 1, 2)), 0x1e622820u);
+  EXPECT_EQ(encode(makeFp3(Op::FMADD_D, 0, 1, 2, 3)), 0x1f420c20u);
+  EXPECT_EQ(encode(makeLogicImm(Op::ANDi, 0, 1, 0xff)), 0x92401c20u);
+  // ldr d1, [x22, x0, lsl #3] — the paper's Listing 1 load.
+  EXPECT_EQ(encode(makeLoadStoreReg(Op::LDRD, 1, 22, 0, Extend::UXTX, true)),
+            0xfc607ac1u);
+}
+
+TEST(A64Encode, RangeErrors) {
+  EXPECT_THROW(encode(makeAddSubImm(Op::ADDi, 0, 1, 4096)), EncodeError);
+  EXPECT_THROW(encode(makeMoveWide(Op::MOVZ, 0, 1, 17)), EncodeError);
+  EXPECT_THROW(encode(makeMoveWide(Op::MOVZ, 0, 1, 32, false)), EncodeError);
+  EXPECT_THROW(encode(makeLogicImm(Op::ANDi, 0, 1, 0)), EncodeError);
+  EXPECT_THROW(encode(makeBranch(Op::B, 2)), EncodeError);  // misaligned
+  EXPECT_THROW(encode(makeCondBranch(Cond::EQ, 1 << 22)), EncodeError);
+  EXPECT_THROW(encode(makeLoadStore(Op::LDRX, 0, 1, 4)), EncodeError);
+  EXPECT_THROW(encode(makeLoadStore(Op::LDRX, 0, 1, -300,
+                                    AddrMode::PostIndex)),
+               EncodeError);
+  EXPECT_THROW(encode(makeLoadStorePair(Op::LDP_X, 0, 1, 2, 4)), EncodeError);
+}
+
+TEST(A64Decode, UnknownWordsRejected) {
+  EXPECT_FALSE(decode(0x00000000u).has_value());
+  EXPECT_FALSE(decode(0xffffffffu).has_value());
+}
+
+TEST(A64Decode, KnownWords) {
+  const auto cmp = decode(0xeb14001fu);
+  ASSERT_TRUE(cmp.has_value());
+  EXPECT_EQ(cmp->op, Op::SUBSr);
+  EXPECT_EQ(cmp->rd, 31);
+  EXPECT_EQ(cmp->rn, 0);
+  EXPECT_EQ(cmp->rm, 20);
+
+  const auto stp = decode(0xa9bf7bfdu);
+  ASSERT_TRUE(stp.has_value());
+  EXPECT_EQ(stp->op, Op::STP_X);
+  EXPECT_EQ(stp->mode, AddrMode::PreIndex);
+  EXPECT_EQ(stp->imm, -16);
+  EXPECT_EQ(stp->rd, 29);
+  EXPECT_EQ(stp->rt2, 30);
+  EXPECT_EQ(stp->rn, 31);
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip properties over representative instructions of every class.
+// ---------------------------------------------------------------------------
+
+void roundTrip(const Inst& inst) {
+  const std::uint32_t word = encode(inst);
+  const auto decoded = decode(word);
+  ASSERT_TRUE(decoded.has_value())
+      << inst.info().mnemonic << " word 0x" << std::hex << word;
+  EXPECT_EQ(*decoded, inst) << inst.info().mnemonic;
+  EXPECT_EQ(encode(*decoded), word) << inst.info().mnemonic;
+}
+
+TEST(A64RoundTrip, DataProcessingImmediate) {
+  for (const bool is64 : {true, false}) {
+    roundTrip(makeAddSubImm(Op::ADDi, 3, 4, 123, false, is64));
+    roundTrip(makeAddSubImm(Op::SUBSi, 5, 6, 4095, true, is64));
+    roundTrip(makeLogicImm(Op::ORRi, 1, 2, 0xff00, is64));
+    roundTrip(makeLogicImm(Op::EORi, 1, 2,
+                           is64 ? 0x5555555555555555ull : 0x55555555ull,
+                           is64));
+    roundTrip(makeMoveWide(Op::MOVZ, 7, 0xbeef, 16, is64));
+    roundTrip(makeMoveWide(Op::MOVK, 7, 0xdead, 0, is64));
+    roundTrip(makeBitfield(Op::UBFM, 1, 2, 8, 15, is64));
+    roundTrip(makeBitfield(Op::SBFM, 1, 2, 0, is64 ? 63 : 31, is64));
+  }
+  roundTrip(makeMoveWide(Op::MOVN, 7, 0x1234, 48, true));
+  Inst adr;
+  adr.op = Op::ADR;
+  adr.rd = 5;
+  adr.imm = -1024;
+  roundTrip(adr);
+  Inst adrp;
+  adrp.op = Op::ADRP;
+  adrp.rd = 5;
+  adrp.imm = 0x7000;  // page-aligned
+  roundTrip(adrp);
+}
+
+TEST(A64RoundTrip, DataProcessingRegister) {
+  for (const bool is64 : {true, false}) {
+    roundTrip(makeAddSubReg(Op::ADDr, 1, 2, 3, Shift::LSL, 4, is64));
+    roundTrip(makeAddSubReg(Op::SUBSr, 1, 2, 3, Shift::ASR, 7, is64));
+    roundTrip(makeLogicReg(Op::BICr, 1, 2, 3, Shift::ROR, 9, is64));
+    roundTrip(makeDp2(Op::SDIV, 4, 5, 6, is64));
+    roundTrip(makeDp2(Op::LSLV, 4, 5, 6, is64));
+    roundTrip(makeDp3(Op::MADD, 1, 2, 3, 4, is64));
+    roundTrip(makeDp3(Op::MSUB, 1, 2, 3, 31, is64));
+    roundTrip(makeCondSel(Op::CSEL, 1, 2, 3, Cond::GT, is64));
+    roundTrip(makeCondSel(Op::CSINC, 1, 31, 31, Cond::NE, is64));
+  }
+  roundTrip(makeDp3(Op::SMULH, 1, 2, 3, 31, true));
+  roundTrip(makeDp3(Op::UMULH, 1, 2, 3, 31, true));
+  // Extended-register add (array indexing idiom: add x0, x1, w2, sxtw #3)
+  Inst ext;
+  ext.op = Op::ADDx;
+  ext.rd = 0;
+  ext.rn = 1;
+  ext.rm = 2;
+  ext.extend = Extend::SXTW;
+  ext.extAmount = 3;
+  roundTrip(ext);
+}
+
+TEST(A64RoundTrip, ConditionalCompare) {
+  Inst ccmp;
+  ccmp.op = Op::CCMPi;
+  ccmp.rn = 4;
+  ccmp.imm = 17;
+  ccmp.cond = Cond::NE;
+  ccmp.imms = 0b0100;  // nzcv
+  roundTrip(ccmp);
+
+  Inst ccmn;
+  ccmn.op = Op::CCMNr;
+  ccmn.rn = 4;
+  ccmn.rm = 9;
+  ccmn.cond = Cond::LT;
+  ccmn.imms = 0b1010;
+  roundTrip(ccmn);
+}
+
+TEST(A64RoundTrip, Branches) {
+  roundTrip(makeBranch(Op::B, -4096));
+  roundTrip(makeBranch(Op::BL, 0x100000));
+  roundTrip(makeCondBranch(Cond::NE, -20));
+  roundTrip(makeCmpBranch(Op::CBZ, 7, 64, true));
+  roundTrip(makeCmpBranch(Op::CBNZ, 7, -64, false));
+  roundTrip(makeTestBranch(Op::TBZ, 3, 63, 32));
+  roundTrip(makeTestBranch(Op::TBNZ, 3, 5, -32));
+  roundTrip(makeBranchReg(Op::BR, 17));
+  roundTrip(makeBranchReg(Op::BLR, 17));
+  roundTrip(makeBranchReg(Op::RET, 30));
+}
+
+TEST(A64RoundTrip, FloatingPoint) {
+  const Op fp2Ops[] = {Op::FADD_D, Op::FSUB_S, Op::FMUL_D, Op::FDIV_S,
+                       Op::FMIN_D, Op::FMAXNM_S, Op::FNMUL_D};
+  for (const Op op : fp2Ops) roundTrip(makeFp2(op, 1, 2, 3));
+  const Op fp1Ops[] = {Op::FMOV_D, Op::FABS_S, Op::FNEG_D, Op::FSQRT_S,
+                       Op::FCVT_SD, Op::FCVT_DS};
+  for (const Op op : fp1Ops) roundTrip(makeFp1(op, 4, 5));
+  const Op fp3Ops[] = {Op::FMADD_D, Op::FMSUB_S, Op::FNMADD_D, Op::FNMSUB_S};
+  for (const Op op : fp3Ops) roundTrip(makeFp3(op, 1, 2, 3, 4));
+  roundTrip(makeFpCmp(Op::FCMP_D, 1, 2));
+  roundTrip(makeFpCmp(Op::FCMPZ_S, 1, 0));
+  roundTrip(makeFpCsel(Op::FCSEL_D, 1, 2, 3, Cond::MI));
+  for (const bool is64 : {true, false}) {
+    roundTrip(makeFpIntCvt(Op::SCVTF_D, 1, 2, is64));
+    roundTrip(makeFpIntCvt(Op::FCVTZS_D, 1, 2, is64));
+    roundTrip(makeFpIntCvt(Op::UCVTF_S, 1, 2, is64));
+  }
+  roundTrip(makeFpIntCvt(Op::FMOV_XD, 1, 2, true));
+  roundTrip(makeFpIntCvt(Op::FMOV_DX, 1, 2, true));
+
+  Inst fmovImm;
+  fmovImm.op = Op::FMOV_Dimm;
+  fmovImm.rd = 3;
+  fmovImm.imm = *doubleToFpImm8(1.0);
+  roundTrip(fmovImm);
+}
+
+class A64LoadStoreRoundTrip : public ::testing::TestWithParam<Op> {};
+
+TEST_P(A64LoadStoreRoundTrip, AllModes) {
+  const Op op = GetParam();
+  const unsigned size = opInfo(op).memSize;
+  roundTrip(makeLoadStore(op, 1, 2, 0, AddrMode::Offset));
+  roundTrip(makeLoadStore(op, 1, 2, static_cast<std::int64_t>(size) * 100,
+                          AddrMode::Offset));
+  roundTrip(makeLoadStore(op, 1, 2, -7, AddrMode::Unscaled));
+  roundTrip(makeLoadStore(op, 1, 2, 8, AddrMode::PreIndex));
+  roundTrip(makeLoadStore(op, 1, 2, -8, AddrMode::PostIndex));
+  roundTrip(makeLoadStoreReg(op, 1, 2, 3, Extend::UXTX, false));
+  roundTrip(makeLoadStoreReg(op, 1, 2, 3, Extend::UXTX, true));
+  roundTrip(makeLoadStoreReg(op, 1, 2, 3, Extend::SXTW, true));
+  roundTrip(makeLoadStoreReg(op, 1, 2, 3, Extend::UXTW, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLoadStores, A64LoadStoreRoundTrip,
+    ::testing::Values(Op::LDRB, Op::LDRH, Op::LDRW, Op::LDRX, Op::LDRSB,
+                      Op::LDRSH, Op::LDRSW, Op::STRB, Op::STRH, Op::STRW,
+                      Op::STRX, Op::LDRS, Op::LDRD, Op::STRS, Op::STRD),
+    [](const auto& info) {
+      std::string name(opInfo(info.param).mnemonic);
+      name += "_" + std::to_string(static_cast<int>(info.param));
+      return name;
+    });
+
+TEST(A64RoundTrip, PairsAndLiterals) {
+  for (const Op op : {Op::LDP_X, Op::STP_X, Op::LDP_D, Op::STP_D}) {
+    roundTrip(makeLoadStorePair(op, 1, 2, 3, 0));
+    roundTrip(makeLoadStorePair(op, 1, 2, 3, 496));
+    roundTrip(makeLoadStorePair(op, 1, 2, 3, -512, AddrMode::PreIndex));
+    roundTrip(makeLoadStorePair(op, 1, 2, 3, 16, AddrMode::PostIndex));
+  }
+  for (const Op op : {Op::LDR_LIT_W, Op::LDR_LIT_X, Op::LDR_LIT_SW,
+                      Op::LDR_LIT_S, Op::LDR_LIT_D}) {
+    Inst inst;
+    inst.op = op;
+    inst.rd = 9;
+    inst.mode = AddrMode::Literal;
+    inst.imm = 0x1000;
+    roundTrip(inst);
+    inst.imm = -4;
+    roundTrip(inst);
+  }
+}
+
+TEST(A64FpImm8, ExpandsCommonConstants) {
+  EXPECT_DOUBLE_EQ(fpImm8ToDouble(*doubleToFpImm8(1.0)), 1.0);
+  EXPECT_DOUBLE_EQ(fpImm8ToDouble(*doubleToFpImm8(2.0)), 2.0);
+  EXPECT_DOUBLE_EQ(fpImm8ToDouble(*doubleToFpImm8(0.5)), 0.5);
+  EXPECT_DOUBLE_EQ(fpImm8ToDouble(*doubleToFpImm8(-1.0)), -1.0);
+  EXPECT_DOUBLE_EQ(fpImm8ToDouble(*doubleToFpImm8(31.0)), 31.0);
+  EXPECT_FALSE(doubleToFpImm8(0.0).has_value());   // zero is not encodable
+  EXPECT_FALSE(doubleToFpImm8(100.0).has_value());
+}
+
+}  // namespace
+}  // namespace riscmp::a64

@@ -1,0 +1,233 @@
+// Property suites for the A64 executor: the full condition-code matrix
+// against a reference predicate, and operand-sweep comparisons against
+// host-computed expected values for shifts, extends, and flag-setting
+// arithmetic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "aarch64/encode.hpp"
+#include "aarch64/exec.hpp"
+
+namespace riscmp::a64 {
+namespace {
+
+class A64Property : public ::testing::Test {
+ protected:
+  A64Property() : memory(1 << 16) { state.pc = 0x1000; }
+
+  void step(const Inst& inst) {
+    RetiredInst retired;
+    execute(inst, state, memory, retired);
+  }
+
+  State state;
+  Memory memory;
+};
+
+/// Reference predicate: evaluate `cond` the way the ARM ARM defines it in
+/// terms of a signed/unsigned comparison a ? b (for flags produced by
+/// `cmp a, b`).
+bool referenceHolds(Cond cond, std::uint64_t a, std::uint64_t b) {
+  const auto sa = static_cast<std::int64_t>(a);
+  const auto sb = static_cast<std::int64_t>(b);
+  switch (cond) {
+    case Cond::EQ:
+      return a == b;
+    case Cond::NE:
+      return a != b;
+    case Cond::CS:
+      return a >= b;  // unsigned >=
+    case Cond::CC:
+      return a < b;  // unsigned <
+    case Cond::MI:
+      return sa - sb < 0;  // negative result (no overflow cases used)
+    case Cond::PL:
+      return sa - sb >= 0;
+    case Cond::HI:
+      return a > b;
+    case Cond::LS:
+      return a <= b;
+    case Cond::GE:
+      return sa >= sb;
+    case Cond::LT:
+      return sa < sb;
+    case Cond::GT:
+      return sa > sb;
+    case Cond::LE:
+      return sa <= sb;
+    default:
+      return true;  // AL/NV; VS/VC excluded from this sweep
+  }
+}
+
+TEST_F(A64Property, ConditionMatrixAgainstReference) {
+  // Operand pairs chosen to avoid signed-overflow in the reference MI/PL
+  // shortcut while covering equal/greater/less and unsigned wraparound.
+  const std::uint64_t values[] = {0,          1,          2,
+                                  100,        0x7fffffff, 0x80000000,
+                                  ~0ull - 1,  ~0ull,      0x123456789abull};
+  const Cond conds[] = {Cond::EQ, Cond::NE, Cond::CS, Cond::CC,
+                        Cond::HI, Cond::LS, Cond::GE, Cond::LT,
+                        Cond::GT, Cond::LE};
+  for (const std::uint64_t a : values) {
+    for (const std::uint64_t b : values) {
+      state.x[0] = a;
+      state.x[1] = b;
+      step(makeCmpReg(0, 1));
+      for (const Cond cond : conds) {
+        EXPECT_EQ(condHolds(cond, state.nzcv), referenceHolds(cond, a, b))
+            << "cmp " << a << ", " << b << " cond "
+            << condName(cond);
+      }
+    }
+  }
+}
+
+TEST_F(A64Property, MiPlMatchSignOfResult) {
+  // MI/PL reflect the N flag of the subtraction result itself.
+  const std::int64_t values[] = {-5, -1, 0, 1, 5};
+  for (const std::int64_t a : values) {
+    for (const std::int64_t b : values) {
+      state.x[0] = static_cast<std::uint64_t>(a);
+      state.x[1] = static_cast<std::uint64_t>(b);
+      step(makeCmpReg(0, 1));
+      EXPECT_EQ(condHolds(Cond::MI, state.nzcv), (a - b) < 0);
+      EXPECT_EQ(condHolds(Cond::PL, state.nzcv), (a - b) >= 0);
+    }
+  }
+}
+
+TEST_F(A64Property, ShiftedOperandSweep) {
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t value = rng();
+    const unsigned amount = static_cast<unsigned>(rng() % 64);
+    state.x[1] = value;
+
+    step(makeAddSubReg(Op::ADDr, 2, 31, 1, Shift::LSL, amount));
+    EXPECT_EQ(state.x[2], amount ? value << amount : value);
+
+    step(makeAddSubReg(Op::ADDr, 2, 31, 1, Shift::LSR, amount));
+    EXPECT_EQ(state.x[2], amount ? value >> amount : value);
+
+    step(makeAddSubReg(Op::ADDr, 2, 31, 1, Shift::ASR, amount));
+    EXPECT_EQ(state.x[2],
+              static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(value) >> amount));
+
+    step(makeLogicReg(Op::ORRr, 2, 31, 1, Shift::ROR, amount));
+    EXPECT_EQ(state.x[2],
+              amount ? (value >> amount) | (value << (64 - amount)) : value);
+  }
+}
+
+TEST_F(A64Property, ThirtyTwoBitShiftsSweep) {
+  std::mt19937_64 rng(43);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto value = static_cast<std::uint32_t>(rng());
+    const unsigned amount = static_cast<unsigned>(rng() % 32);
+    state.x[1] = value;
+    step(makeAddSubReg(Op::ADDr, 2, 31, 1, Shift::LSL, amount, false));
+    EXPECT_EQ(state.x[2], static_cast<std::uint32_t>(value << amount));
+    step(makeAddSubReg(Op::ADDr, 2, 31, 1, Shift::ASR, amount, false));
+    EXPECT_EQ(state.x[2],
+              static_cast<std::uint32_t>(
+                  static_cast<std::int32_t>(value) >> amount));
+  }
+}
+
+TEST_F(A64Property, ExtendedOperandSweep) {
+  std::mt19937_64 rng(44);
+  struct Case {
+    Extend extend;
+    std::uint64_t (*reference)(std::uint64_t);
+  };
+  const Case cases[] = {
+      {Extend::UXTB, [](std::uint64_t v) { return v & std::uint64_t{0xff}; }},
+      {Extend::UXTH, [](std::uint64_t v) { return v & std::uint64_t{0xffff}; }},
+      {Extend::UXTW, [](std::uint64_t v) { return v & std::uint64_t{0xffffffff}; }},
+      {Extend::UXTX, [](std::uint64_t v) { return v; }},
+      {Extend::SXTB,
+       [](std::uint64_t v) {
+         return static_cast<std::uint64_t>(
+             static_cast<std::int64_t>(static_cast<std::int8_t>(v)));
+       }},
+      {Extend::SXTH,
+       [](std::uint64_t v) {
+         return static_cast<std::uint64_t>(
+             static_cast<std::int64_t>(static_cast<std::int16_t>(v)));
+       }},
+      {Extend::SXTW,
+       [](std::uint64_t v) {
+         return static_cast<std::uint64_t>(
+             static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
+       }},
+      {Extend::SXTX, [](std::uint64_t v) { return v; }},
+  };
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t value = rng();
+    const unsigned shift = static_cast<unsigned>(rng() % 5);
+    state.x[1] = value;
+    for (const Case& c : cases) {
+      Inst inst;
+      inst.op = Op::ADDx;
+      inst.rd = 2;
+      inst.rn = 31;  // SP reads 0 in the extended form
+      inst.rm = 1;
+      inst.extend = c.extend;
+      inst.extAmount = static_cast<std::uint8_t>(shift);
+      step(inst);
+      EXPECT_EQ(state.x[2], c.reference(value) << shift)
+          << "extend " << static_cast<int>(c.extend) << " shift " << shift;
+    }
+  }
+}
+
+TEST_F(A64Property, CarryFlagMatchesUnsignedBorrow) {
+  std::mt19937_64 rng(45);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t a = rng();
+    const std::uint64_t b = rng();
+    state.x[0] = a;
+    state.x[1] = b;
+    step(makeCmpReg(0, 1));
+    // For subtraction, C == no borrow == (a >= b).
+    EXPECT_EQ(state.flagC(), a >= b);
+    EXPECT_EQ(state.flagZ(), a == b);
+  }
+}
+
+TEST_F(A64Property, OverflowFlagMatchesSignedOverflow) {
+  std::mt19937_64 rng(46);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t a = rng();
+    const std::uint64_t b = rng();
+    state.x[0] = a;
+    state.x[1] = b;
+    step(makeAddSubReg(Op::ADDSr, 2, 0, 1));
+    std::int64_t expected = 0;
+    const bool overflow = __builtin_add_overflow(
+        static_cast<std::int64_t>(a), static_cast<std::int64_t>(b),
+        &expected);
+    EXPECT_EQ(state.flagV(), overflow);
+    EXPECT_EQ(state.x[2], static_cast<std::uint64_t>(expected));
+  }
+}
+
+TEST_F(A64Property, CselMatrixOverAllConditions) {
+  state.x[1] = 111;
+  state.x[2] = 222;
+  for (unsigned n = 0; n < 16; ++n) {
+    state.nzcv = static_cast<std::uint8_t>(n);
+    for (unsigned c = 0; c < 14; ++c) {  // skip AL/NV duplicates
+      const Cond cond = static_cast<Cond>(c);
+      step(makeCondSel(Op::CSEL, 3, 1, 2, cond));
+      EXPECT_EQ(state.x[3], condHolds(cond, state.nzcv) ? 111u : 222u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace riscmp::a64

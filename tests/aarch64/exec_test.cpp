@@ -1,0 +1,493 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "aarch64/asm.hpp"
+#include "aarch64/decode.hpp"
+#include "aarch64/encode.hpp"
+#include "aarch64/exec.hpp"
+
+namespace riscmp::a64 {
+namespace {
+
+class A64ExecTest : public ::testing::Test {
+ protected:
+  A64ExecTest() : memory(1 << 20) { state.pc = 0x1000; }
+
+  RetiredInst step(const Inst& inst, Trap expected = Trap::None) {
+    RetiredInst retired;
+    retired.pc = state.pc;
+    const Trap trap = execute(inst, state, memory, retired);
+    EXPECT_EQ(trap, expected);
+    return retired;
+  }
+
+  State state;
+  Memory memory;
+};
+
+TEST_F(A64ExecTest, AddSubImmediate) {
+  step(makeAddSubImm(Op::ADDi, 0, 31, 42));  // add x0, sp(=0), #42
+  EXPECT_EQ(state.x[0], 42u);
+  step(makeAddSubImm(Op::SUBi, 1, 0, 2));
+  EXPECT_EQ(state.x[1], 40u);
+  step(makeAddSubImm(Op::ADDi, 2, 0, 1, /*shift12=*/true));
+  EXPECT_EQ(state.x[2], 42u + 4096u);
+}
+
+TEST_F(A64ExecTest, SpIsOperandOfAddSubImmediate) {
+  state.sp = 0x8000;
+  step(makeAddSubImm(Op::SUBi, 31, 31, 16));  // sub sp, sp, #16
+  EXPECT_EQ(state.sp, 0x8000u - 16u);
+}
+
+TEST_F(A64ExecTest, ZeroRegisterReadsZeroInRegisterForms) {
+  state.x[1] = 77;
+  const RetiredInst r = step(makeAddSubReg(Op::ADDr, 0, 1, 31));
+  EXPECT_EQ(state.x[0], 77u);
+  // xzr must not appear as a dependency.
+  ASSERT_EQ(r.srcs.size(), 1u);
+  EXPECT_EQ(r.srcs[0], Reg::gp(1));
+}
+
+TEST_F(A64ExecTest, FlagsFromSubs) {
+  state.x[0] = 5;
+  state.x[1] = 5;
+  const RetiredInst r = step(makeCmpReg(0, 1));  // subs xzr, x0, x1
+  EXPECT_TRUE(state.flagZ());
+  EXPECT_TRUE(state.flagC());  // no borrow
+  EXPECT_FALSE(state.flagN());
+  ASSERT_EQ(r.dsts.size(), 1u);
+  EXPECT_EQ(r.dsts[0], Reg::flags());
+
+  state.x[1] = 6;
+  step(makeCmpReg(0, 1));  // 5 - 6
+  EXPECT_TRUE(state.flagN());
+  EXPECT_FALSE(state.flagC());  // borrow
+  EXPECT_FALSE(state.flagZ());
+}
+
+TEST_F(A64ExecTest, SignedOverflowSetsV) {
+  state.x[0] = 0x7fffffffffffffffull;
+  state.x[1] = 1;
+  step(makeAddSubReg(Op::ADDSr, 2, 0, 1));
+  EXPECT_TRUE(state.flagV());
+  EXPECT_TRUE(state.flagN());
+}
+
+TEST_F(A64ExecTest, ThirtyTwoBitFlagSemantics) {
+  state.x[0] = 0xffffffffull;  // w0 = -1
+  state.x[1] = 1;
+  step(makeAddSubReg(Op::ADDSr, 2, 0, 1, Shift::LSL, 0, false));
+  EXPECT_EQ(state.x[2], 0u);  // wraps in 32 bits, zero-extended
+  EXPECT_TRUE(state.flagZ());
+  EXPECT_TRUE(state.flagC());
+}
+
+TEST_F(A64ExecTest, ConditionalBranchReadsFlags) {
+  state.x[0] = 1;
+  state.x[1] = 2;
+  step(makeCmpReg(0, 1));
+  const RetiredInst r = step(makeCondBranch(Cond::NE, 0x20));
+  EXPECT_TRUE(r.isBranch);
+  EXPECT_TRUE(r.branchTaken);
+  ASSERT_EQ(r.srcs.size(), 1u);
+  EXPECT_EQ(r.srcs[0], Reg::flags());
+  EXPECT_EQ(state.pc, 0x1024u);
+
+  step(makeCondBranch(Cond::EQ, 0x20));
+  EXPECT_EQ(state.pc, 0x1028u);  // not taken
+}
+
+TEST_F(A64ExecTest, ConditionCodesMatrix) {
+  // cmp 3, 5 (signed): N set (3-5 < 0), C clear.
+  state.x[0] = 3;
+  state.x[1] = 5;
+  step(makeCmpReg(0, 1));
+  EXPECT_TRUE(condHolds(Cond::LT, state.nzcv));
+  EXPECT_TRUE(condHolds(Cond::LE, state.nzcv));
+  EXPECT_TRUE(condHolds(Cond::NE, state.nzcv));
+  EXPECT_TRUE(condHolds(Cond::CC, state.nzcv));  // unsigned lower
+  EXPECT_FALSE(condHolds(Cond::GE, state.nzcv));
+  EXPECT_FALSE(condHolds(Cond::HI, state.nzcv));
+
+  // cmp -1, 1 (unsigned: huge vs 1)
+  state.x[0] = ~0ull;
+  state.x[1] = 1;
+  step(makeCmpReg(0, 1));
+  EXPECT_TRUE(condHolds(Cond::HI, state.nzcv));
+  EXPECT_TRUE(condHolds(Cond::LT, state.nzcv));  // signed -1 < 1
+}
+
+TEST_F(A64ExecTest, MovFamily) {
+  step(makeMoveWide(Op::MOVZ, 0, 0xdead, 16));
+  EXPECT_EQ(state.x[0], 0xdead0000u);
+  step(makeMoveWide(Op::MOVK, 0, 0xbeef, 0));
+  EXPECT_EQ(state.x[0], 0xdeadbeefu);
+  step(makeMoveWide(Op::MOVN, 1, 0, 0));
+  EXPECT_EQ(state.x[1], ~0ull);
+  const RetiredInst r = step(makeMoveWide(Op::MOVK, 0, 1, 48));
+  EXPECT_EQ(state.x[0], 0x00010000deadbeefull);
+  // movk reads its destination.
+  ASSERT_EQ(r.srcs.size(), 1u);
+  EXPECT_EQ(r.srcs[0], Reg::gp(0));
+}
+
+TEST_F(A64ExecTest, LogicalOps) {
+  state.x[1] = 0xf0f0;
+  state.x[2] = 0x0ff0;
+  step(makeLogicReg(Op::ANDr, 0, 1, 2));
+  EXPECT_EQ(state.x[0], 0x00f0u);
+  step(makeLogicReg(Op::ORRr, 0, 1, 2));
+  EXPECT_EQ(state.x[0], 0xfff0u);
+  step(makeLogicReg(Op::EORr, 0, 1, 2));
+  EXPECT_EQ(state.x[0], 0xff00u);
+  step(makeLogicReg(Op::BICr, 0, 1, 2));
+  EXPECT_EQ(state.x[0], 0xf000u);
+  step(makeLogicImm(Op::ANDi, 0, 1, 0xff));
+  EXPECT_EQ(state.x[0], 0xf0u);
+  // ANDS sets N/Z and clears C/V.
+  state.nzcv = kFlagC | kFlagV;
+  step(makeLogicReg(Op::ANDSr, 0, 1, 31));
+  EXPECT_TRUE(state.flagZ());
+  EXPECT_FALSE(state.flagC());
+}
+
+TEST_F(A64ExecTest, ShiftedOperands) {
+  state.x[1] = 1;
+  state.x[2] = 0x10;
+  step(makeAddSubReg(Op::ADDr, 0, 31, 2, Shift::LSL, 3));
+  EXPECT_EQ(state.x[0], 0x80u);
+  step(makeAddSubReg(Op::ADDr, 0, 31, 2, Shift::LSR, 4));
+  EXPECT_EQ(state.x[0], 1u);
+  state.x[3] = static_cast<std::uint64_t>(-64);
+  step(makeAddSubReg(Op::ADDr, 0, 31, 3, Shift::ASR, 3));
+  EXPECT_EQ(static_cast<std::int64_t>(state.x[0]), -8);
+}
+
+TEST_F(A64ExecTest, BitfieldAliases) {
+  state.x[1] = 0xabcd;
+  // lsl x0, x1, #4 == ubfm x0, x1, #60, #59
+  step(makeBitfield(Op::UBFM, 0, 1, 60, 59));
+  EXPECT_EQ(state.x[0], 0xabcd0ull);
+  // lsr x0, x1, #4 == ubfm x0, x1, #4, #63
+  step(makeBitfield(Op::UBFM, 0, 1, 4, 63));
+  EXPECT_EQ(state.x[0], 0xabcull);
+  // asr x0, x2, #2 == sbfm x0, x2, #2, #63
+  state.x[2] = 0x8000000000000000ull;
+  step(makeBitfield(Op::SBFM, 0, 2, 2, 63));
+  EXPECT_EQ(state.x[0], 0xe000000000000000ull);
+  // ubfx x0, x1, #4, #8
+  step(makeBitfield(Op::UBFM, 0, 1, 4, 11));
+  EXPECT_EQ(state.x[0], 0xbcull);
+  // sxtw
+  state.x[3] = 0x80000000ull;
+  step(makeBitfield(Op::SBFM, 0, 3, 0, 31));
+  EXPECT_EQ(state.x[0], 0xffffffff80000000ull);
+  // uxtw-like: 32-bit mov via ubfm keeps zero extension
+  step(makeBitfield(Op::UBFM, 0, 3, 0, 31));
+  EXPECT_EQ(state.x[0], 0x80000000ull);
+}
+
+TEST_F(A64ExecTest, BfmInsertsKeepingBits) {
+  state.x[0] = 0xffffffffffffffffull;
+  state.x[1] = 0xab;
+  // bfi x0, x1, #8, #8 == bfm x0, x1, #56, #7
+  step(makeBitfield(Op::BFM, 0, 1, 56, 7));
+  EXPECT_EQ(state.x[0], 0xffffffffffffabffull);
+}
+
+TEST_F(A64ExecTest, MultiplyDivide) {
+  state.x[1] = 7;
+  state.x[2] = 6;
+  state.x[3] = 100;
+  step(makeDp3(Op::MADD, 0, 1, 2, 3));
+  EXPECT_EQ(state.x[0], 142u);
+  step(makeDp3(Op::MSUB, 0, 1, 2, 3));
+  EXPECT_EQ(state.x[0], 58u);
+  state.x[4] = ~0ull;
+  step(makeDp3(Op::UMULH, 0, 4, 4, 31));
+  EXPECT_EQ(state.x[0], 0xfffffffffffffffeull);
+  step(makeDp3(Op::SMULH, 0, 4, 4, 31));
+  EXPECT_EQ(state.x[0], 0u);  // (-1)*(-1) high
+
+  step(makeDp2(Op::UDIV, 0, 3, 1));
+  EXPECT_EQ(state.x[0], 14u);
+  state.x[5] = 0;
+  step(makeDp2(Op::UDIV, 0, 3, 5));
+  EXPECT_EQ(state.x[0], 0u);  // divide by zero -> 0 on A64
+  state.x[6] = static_cast<std::uint64_t>(-100);
+  step(makeDp2(Op::SDIV, 0, 6, 1));
+  EXPECT_EQ(static_cast<std::int64_t>(state.x[0]), -14);
+}
+
+TEST_F(A64ExecTest, ConditionalSelectFamily) {
+  state.x[1] = 10;
+  state.x[2] = 20;
+  state.nzcv = kFlagZ;  // EQ holds
+  step(makeCondSel(Op::CSEL, 0, 1, 2, Cond::EQ));
+  EXPECT_EQ(state.x[0], 10u);
+  step(makeCondSel(Op::CSEL, 0, 1, 2, Cond::NE));
+  EXPECT_EQ(state.x[0], 20u);
+  step(makeCondSel(Op::CSINC, 0, 1, 2, Cond::NE));
+  EXPECT_EQ(state.x[0], 21u);
+  step(makeCondSel(Op::CSINV, 0, 1, 2, Cond::NE));
+  EXPECT_EQ(state.x[0], ~20ull);
+  step(makeCondSel(Op::CSNEG, 0, 1, 2, Cond::NE));
+  EXPECT_EQ(static_cast<std::int64_t>(state.x[0]), -20);
+  // cset x0, eq == csinc x0, xzr, xzr, ne
+  step(makeCondSel(Op::CSINC, 0, 31, 31, Cond::NE));
+  EXPECT_EQ(state.x[0], 1u);
+}
+
+TEST_F(A64ExecTest, LoadStoreAddressingModes) {
+  state.x[1] = 0x2000;
+  state.x[2] = 0x1122334455667788ull;
+
+  step(makeLoadStore(Op::STRX, 2, 1, 16));
+  EXPECT_EQ(memory.read<std::uint64_t>(0x2010), state.x[2]);
+
+  // Pre-index: address = base + imm, base updated.
+  const RetiredInst pre = step(makeLoadStore(Op::STRX, 2, 1, 8,
+                                             AddrMode::PreIndex));
+  EXPECT_EQ(memory.read<std::uint64_t>(0x2008), state.x[2]);
+  EXPECT_EQ(state.x[1], 0x2008u);
+  bool wroteBase = false;
+  for (const Reg& reg : pre.dsts) wroteBase |= reg == Reg::gp(1);
+  EXPECT_TRUE(wroteBase);
+
+  // Post-index: address = base, then base updated (paper §3.3's optimal
+  // copy-kernel form).
+  step(makeLoadStore(Op::LDRX, 3, 1, 8, AddrMode::PostIndex));
+  EXPECT_EQ(state.x[3], state.x[2]);
+  EXPECT_EQ(state.x[1], 0x2010u);
+
+  // Unscaled negative offset.
+  step(makeLoadStore(Op::LDRX, 4, 1, -8, AddrMode::Unscaled));
+  EXPECT_EQ(state.x[4], state.x[2]);
+}
+
+TEST_F(A64ExecTest, RegisterOffsetLoadMatchesPaperListing) {
+  // ldr d1, [x22, x0, lsl #3]
+  state.x[22] = 0x3000;
+  state.x[0] = 5;
+  memory.write<double>(0x3000 + 5 * 8, 2.25);
+  const RetiredInst r =
+      step(makeLoadStoreReg(Op::LDRD, 1, 22, 0, Extend::UXTX, true));
+  EXPECT_DOUBLE_EQ(state.fprD(1), 2.25);
+  ASSERT_EQ(r.loads.size(), 1u);
+  EXPECT_EQ(r.loads[0], (MemAccess{0x3028, 8}));
+  // Dependencies: base + offset register.
+  ASSERT_EQ(r.srcs.size(), 2u);
+}
+
+TEST_F(A64ExecTest, SxtwRegisterOffset) {
+  state.x[1] = 0x4000;
+  state.x[2] = 0xffffffffull;  // w2 = -1
+  memory.write<std::uint32_t>(0x4000 - 4, 0xabcd);
+  step(makeLoadStoreReg(Op::LDRW, 0, 1, 2, Extend::SXTW, true));
+  // -1 << 2 = -4
+  EXPECT_EQ(state.x[0], 0xabcdu);
+}
+
+TEST_F(A64ExecTest, BytesHalvesSignExtension) {
+  state.x[1] = 0x5000;
+  memory.write<std::uint8_t>(0x5000, 0x80);
+  memory.write<std::uint16_t>(0x5002, 0x8000);
+  memory.write<std::uint32_t>(0x5004, 0x80000000u);
+  step(makeLoadStore(Op::LDRB, 0, 1, 0));
+  EXPECT_EQ(state.x[0], 0x80u);
+  step(makeLoadStore(Op::LDRSB, 0, 1, 0));
+  EXPECT_EQ(state.x[0], 0xffffffffffffff80ull);
+  step(makeLoadStore(Op::LDRSH, 0, 1, 2));
+  EXPECT_EQ(state.x[0], 0xffffffffffff8000ull);
+  step(makeLoadStore(Op::LDRSW, 0, 1, 4));
+  EXPECT_EQ(state.x[0], 0xffffffff80000000ull);
+}
+
+TEST_F(A64ExecTest, LoadStorePair) {
+  state.x[1] = 0x6000;
+  state.x[2] = 111;
+  state.x[3] = 222;
+  const RetiredInst stp = step(makeLoadStorePair(Op::STP_X, 2, 3, 1, 16));
+  EXPECT_EQ(memory.read<std::uint64_t>(0x6010), 111u);
+  EXPECT_EQ(memory.read<std::uint64_t>(0x6018), 222u);
+  EXPECT_EQ(stp.stores.size(), 2u);
+
+  step(makeLoadStorePair(Op::LDP_X, 4, 5, 1, 16));
+  EXPECT_EQ(state.x[4], 111u);
+  EXPECT_EQ(state.x[5], 222u);
+}
+
+TEST_F(A64ExecTest, LoadLiteral) {
+  memory.write<double>(0x1100, 3.5);
+  Inst inst;
+  inst.op = Op::LDR_LIT_D;
+  inst.rd = 2;
+  inst.mode = AddrMode::Literal;
+  inst.imm = 0x100;
+  step(inst);
+  EXPECT_DOUBLE_EQ(state.fprD(2), 3.5);
+}
+
+TEST_F(A64ExecTest, BranchAndLink) {
+  step(makeBranch(Op::BL, 0x100));
+  EXPECT_EQ(state.x[30], 0x1004u);
+  EXPECT_EQ(state.pc, 0x1100u);
+  step(makeBranchReg(Op::RET, 30));
+  EXPECT_EQ(state.pc, 0x1004u);
+}
+
+TEST_F(A64ExecTest, CompareBranches) {
+  state.x[0] = 0;
+  step(makeCmpBranch(Op::CBZ, 0, 0x10));
+  EXPECT_EQ(state.pc, 0x1010u);
+  state.x[1] = 0x100000000ull;  // nonzero in X, zero in W
+  step(makeCmpBranch(Op::CBZ, 1, 0x10, false));
+  EXPECT_EQ(state.pc, 0x1020u);  // taken: w1 == 0
+  step(makeTestBranch(Op::TBNZ, 1, 32, 0x10));
+  EXPECT_EQ(state.pc, 0x1030u);  // bit 32 set
+}
+
+TEST_F(A64ExecTest, FpArithmetic) {
+  state.setFprD(1, 3.0);
+  state.setFprD(2, 4.0);
+  step(makeFp2(Op::FMUL_D, 0, 1, 2));
+  EXPECT_DOUBLE_EQ(state.fprD(0), 12.0);
+  step(makeFp2(Op::FNMUL_D, 0, 1, 2));
+  EXPECT_DOUBLE_EQ(state.fprD(0), -12.0);
+  state.setFprD(3, 2.0);
+  step(makeFp3(Op::FMADD_D, 0, 1, 2, 3));
+  EXPECT_DOUBLE_EQ(state.fprD(0), 14.0);
+  step(makeFp3(Op::FNMSUB_D, 0, 1, 2, 3));
+  EXPECT_DOUBLE_EQ(state.fprD(0), 10.0);
+  step(makeFp1(Op::FSQRT_D, 0, 2));
+  EXPECT_DOUBLE_EQ(state.fprD(0), 2.0);
+  step(makeFp1(Op::FNEG_D, 0, 1));
+  EXPECT_DOUBLE_EQ(state.fprD(0), -3.0);
+}
+
+TEST_F(A64ExecTest, FpCompareSetsNzcv) {
+  state.setFprD(1, 1.0);
+  state.setFprD(2, 2.0);
+  step(makeFpCmp(Op::FCMP_D, 1, 2));
+  EXPECT_TRUE(condHolds(Cond::MI, state.nzcv));  // less
+  EXPECT_TRUE(condHolds(Cond::LT, state.nzcv));
+  step(makeFpCmp(Op::FCMP_D, 2, 1));
+  EXPECT_TRUE(condHolds(Cond::GT, state.nzcv));
+  step(makeFpCmp(Op::FCMP_D, 1, 1));
+  EXPECT_TRUE(condHolds(Cond::EQ, state.nzcv));
+  state.setFprD(3, std::numeric_limits<double>::quiet_NaN());
+  step(makeFpCmp(Op::FCMP_D, 1, 3));
+  EXPECT_TRUE(condHolds(Cond::VS, state.nzcv));  // unordered
+  EXPECT_FALSE(condHolds(Cond::EQ, state.nzcv));
+}
+
+TEST_F(A64ExecTest, FpMinMaxVariants) {
+  state.setFprD(1, std::numeric_limits<double>::quiet_NaN());
+  state.setFprD(2, 7.0);
+  step(makeFp2(Op::FMIN_D, 0, 1, 2));
+  EXPECT_TRUE(std::isnan(state.fprD(0)));  // FMIN propagates NaN
+  step(makeFp2(Op::FMINNM_D, 0, 1, 2));
+  EXPECT_DOUBLE_EQ(state.fprD(0), 7.0);  // FMINNM prefers the number
+}
+
+TEST_F(A64ExecTest, FpIntConversions) {
+  state.x[1] = static_cast<std::uint64_t>(-9);
+  step(makeFpIntCvt(Op::SCVTF_D, 0, 1));
+  EXPECT_DOUBLE_EQ(state.fprD(0), -9.0);
+  state.setFprD(2, -3.7);
+  step(makeFpIntCvt(Op::FCVTZS_D, 0, 2));
+  EXPECT_EQ(static_cast<std::int64_t>(state.x[0]), -3);
+  state.setFprD(2, std::numeric_limits<double>::quiet_NaN());
+  step(makeFpIntCvt(Op::FCVTZS_D, 0, 2));
+  EXPECT_EQ(state.x[0], 0u);  // A64: NaN converts to zero
+  state.setFprD(2, 1e30);
+  step(makeFpIntCvt(Op::FCVTZS_D, 0, 2));
+  EXPECT_EQ(static_cast<std::int64_t>(state.x[0]),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST_F(A64ExecTest, FmovBitPatterns) {
+  state.x[1] = 0x3ff0000000000000ull;
+  step(makeFpIntCvt(Op::FMOV_DX, 2, 1));
+  EXPECT_DOUBLE_EQ(state.fprD(2), 1.0);
+  step(makeFpIntCvt(Op::FMOV_XD, 3, 2));
+  EXPECT_EQ(state.x[3], 0x3ff0000000000000ull);
+}
+
+TEST_F(A64ExecTest, SinglePrecisionWritesZeroUpperBits) {
+  state.setFprD(1, 1.0);
+  state.setFprS(1, 2.0f);
+  EXPECT_EQ(state.v[1] >> 32, 0u);
+  EXPECT_FLOAT_EQ(state.fprS(1), 2.0f);
+}
+
+TEST_F(A64ExecTest, CcmpChains) {
+  // (x0 == 1) && (x1 == 2)
+  state.x[0] = 1;
+  state.x[1] = 2;
+  step(makeCmpImm(0, 1));
+  Inst ccmp;
+  ccmp.op = Op::CCMPi;
+  ccmp.rn = 1;
+  ccmp.imm = 2;
+  ccmp.cond = Cond::EQ;
+  ccmp.imms = 0;  // nzcv if condition fails
+  step(ccmp);
+  EXPECT_TRUE(condHolds(Cond::EQ, state.nzcv));
+
+  // First compare fails: flags come from the immediate nzcv.
+  state.x[0] = 9;
+  step(makeCmpImm(0, 1));
+  step(ccmp);
+  EXPECT_FALSE(condHolds(Cond::EQ, state.nzcv));
+}
+
+TEST_F(A64ExecTest, SvcTraps) { step(makeSvc(0), Trap::Svc); }
+
+// Integration: the paper's Listing 1 copy-kernel body, assembled and run.
+TEST_F(A64ExecTest, PaperListing1CopyKernel) {
+  constexpr std::uint64_t kA = 0x10000;  // source array
+  constexpr std::uint64_t kC = 0x20000;  // destination array
+  constexpr unsigned kN = 64;
+  for (unsigned i = 0; i < kN; ++i) {
+    memory.write<double>(kA + i * 8, 1.5 * i);
+  }
+  const auto words = assemble(
+      "  movz x22, #0x1\n"       // a base = 0x10000
+      "  lsl x22, x22, #16\n"
+      "  movz x19, #0x2\n"       // c base = 0x20000
+      "  lsl x19, x19, #16\n"
+      "  movz x0, #0\n"
+      "  movz x20, #64\n"
+      "loop:\n"
+      "  ldr d1, [x22, x0, lsl #3]\n"
+      "  str d1, [x19, x0, lsl #3]\n"
+      "  add x0, x0, #1\n"
+      "  cmp x0, x20\n"
+      "  b.ne loop\n"
+      "  svc #0\n",
+      0x1000);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    memory.write<std::uint32_t>(0x1000 + i * 4, words[i]);
+  }
+  state.pc = 0x1000;
+  int executed = 0;
+  for (;;) {
+    ASSERT_LT(++executed, 10000) << "program did not terminate";
+    const auto inst = decode(memory.read<std::uint32_t>(state.pc));
+    ASSERT_TRUE(inst.has_value()) << "pc=0x" << std::hex << state.pc;
+    RetiredInst retired;
+    if (execute(*inst, state, memory, retired) == Trap::Svc) break;
+  }
+  for (unsigned i = 0; i < kN; ++i) {
+    EXPECT_DOUBLE_EQ(memory.read<double>(kC + i * 8), 1.5 * i) << i;
+  }
+  // 6 setup + 64 iterations x 5 + svc
+  EXPECT_EQ(executed, 6 + 64 * 5 + 1);
+}
+
+}  // namespace
+}  // namespace riscmp::a64

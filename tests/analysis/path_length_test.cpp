@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "analysis/path_length.hpp"
+#include "core/machine.hpp"
+#include "riscv/asm.hpp"
+
+namespace riscmp {
+namespace {
+
+TEST(PathLength, AttributesPerKernelRegion) {
+  Program program;
+  program.kernels = {{"copy", 0x1000, 0x10}, {"scale", 0x1010, 0x10}};
+  PathLengthCounter counter(program);
+
+  RetiredInst inst;
+  inst.pc = 0x1000;
+  counter.onRetire(inst);
+  inst.pc = 0x1008;
+  counter.onRetire(inst);
+  inst.pc = 0x1010;
+  counter.onRetire(inst);
+  inst.pc = 0x2000;  // outside all regions
+  counter.onRetire(inst);
+
+  EXPECT_EQ(counter.total(), 4u);
+  EXPECT_EQ(counter.kernelCount("copy"), 2u);
+  EXPECT_EQ(counter.kernelCount("scale"), 1u);
+  EXPECT_EQ(counter.kernelCount("bogus"), 0u);
+  EXPECT_EQ(counter.unattributed(), 1u);
+}
+
+TEST(PathLength, GroupMixCounted) {
+  Program program;
+  PathLengthCounter counter(program);
+  RetiredInst branch;
+  branch.group = InstGroup::Branch;
+  RetiredInst mul;
+  mul.group = InstGroup::FpMul;
+  counter.onRetire(branch);
+  counter.onRetire(branch);
+  counter.onRetire(mul);
+  EXPECT_EQ(counter.branchCount(), 2u);
+  EXPECT_EQ(counter.groupCount(InstGroup::FpMul), 1u);
+  EXPECT_EQ(counter.groupCount(InstGroup::IntDiv), 0u);
+}
+
+TEST(PathLength, EndToEndWithMachine) {
+  Program program;
+  program.arch = Arch::Rv64;
+  program.codeBase = Program::kCodeBase;
+  program.entry = program.codeBase;
+  program.code = rv64::assemble(
+      "  li a1, 8\n"       // 1 instruction of setup
+      "loop:\n"
+      "  addi a1, a1, -1\n"
+      "  bnez a1, loop\n"
+      "  li a7, 93\n"
+      "  ecall\n",
+      program.codeBase);
+  // The loop body spans words 1..2 (addresses base+4 .. base+12).
+  program.kernels = {{"loop", program.codeBase + 4, 8}};
+
+  PathLengthCounter counter(program);
+  Machine machine(program);
+  machine.addObserver(counter);
+  const RunResult result = machine.run();
+
+  EXPECT_EQ(counter.total(), result.instructions);
+  EXPECT_EQ(counter.kernelCount("loop"), 16u);  // 8 iterations x 2
+  EXPECT_EQ(counter.unattributed(), 3u);        // li + li + ecall
+  EXPECT_EQ(counter.branchCount(), 8u);
+}
+
+}  // namespace
+}  // namespace riscmp

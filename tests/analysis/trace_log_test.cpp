@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/trace_log.hpp"
+#include "core/machine.hpp"
+#include "riscv/asm.hpp"
+
+namespace riscmp {
+namespace {
+
+TEST(TraceLog, FormatsRegisterAndMemoryOperands) {
+  std::ostringstream out;
+  TraceLogger logger(out);
+
+  RetiredInst inst;
+  inst.pc = 0x1000;
+  inst.group = InstGroup::Load;
+  inst.srcs.push_back(Reg::gp(5));
+  inst.dsts.push_back(Reg::fp(3));
+  inst.loads.push_back(MemAccess{0x2000, 8});
+  logger.onRetire(inst);
+
+  EXPECT_EQ(out.str(), "0,0x1000,LOAD,5,35,8192:8,,0,0\n");
+}
+
+TEST(TraceLog, BranchFlags) {
+  std::ostringstream out;
+  TraceLogger logger(out);
+  RetiredInst inst;
+  inst.pc = 4;
+  inst.group = InstGroup::Branch;
+  inst.isBranch = true;
+  inst.branchTaken = true;
+  logger.onRetire(inst);
+  EXPECT_NE(out.str().find(",1,1\n"), std::string::npos);
+}
+
+TEST(TraceLog, LimitCapsRowsButKeepsCounting) {
+  std::ostringstream out;
+  TraceLogger logger(out, 2);
+  RetiredInst inst;
+  for (int i = 0; i < 5; ++i) logger.onRetire(inst);
+  EXPECT_EQ(logger.logged(), 2u);
+  // Two newline-terminated rows only.
+  std::size_t rows = 0;
+  for (const char ch : out.str()) rows += ch == '\n';
+  EXPECT_EQ(rows, 2u);
+}
+
+TEST(TraceLog, EndToEndWithMachine) {
+  Program program;
+  program.arch = Arch::Rv64;
+  program.codeBase = Program::kCodeBase;
+  program.entry = program.codeBase;
+  program.code = rv64::assemble(
+      "  li a0, 0\n"
+      "  li a7, 93\n"
+      "  ecall\n",
+      program.codeBase);
+
+  std::ostringstream out;
+  TraceLogger::writeHeader(out);
+  TraceLogger logger(out);
+  Machine machine(program);
+  machine.addObserver(logger);
+  machine.run();
+
+  EXPECT_EQ(logger.logged(), 3u);
+  EXPECT_NE(out.str().find("index,pc,group"), std::string::npos);
+  EXPECT_NE(out.str().find("SYSTEM"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace riscmp

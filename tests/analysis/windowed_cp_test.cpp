@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "analysis/windowed_cp.hpp"
+
+namespace riscmp {
+namespace {
+
+RetiredInst alu(std::initializer_list<unsigned> srcs, unsigned dst) {
+  RetiredInst inst;
+  for (const unsigned src : srcs) inst.srcs.push_back(Reg::gp(src));
+  inst.dsts.push_back(Reg::gp(dst));
+  return inst;
+}
+
+TEST(WindowedCP, SerialChainSaturatesEveryWindow) {
+  WindowedCPAnalyzer analyzer({4});
+  for (int i = 0; i < 20; ++i) analyzer.onRetire(alu({1}, 1));
+  analyzer.onProgramEnd();
+  const auto results = analyzer.results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].windowSize, 4u);
+  // Windows start at 0, 2, 4, ..., 16: (20 - 4) / 2 + 1 = 9 windows.
+  EXPECT_EQ(results[0].windows, 9u);
+  EXPECT_DOUBLE_EQ(results[0].meanCp, 4.0);  // fully serial
+  EXPECT_DOUBLE_EQ(results[0].meanIlp, 1.0);
+}
+
+TEST(WindowedCP, IndependentStreamGivesIlpEqualToWindow) {
+  WindowedCPAnalyzer analyzer({4});
+  for (int i = 0; i < 12; ++i) analyzer.onRetire(alu({}, 1u + (i % 8)));
+  const auto results = analyzer.results();
+  EXPECT_DOUBLE_EQ(results[0].meanCp, 1.0);
+  EXPECT_DOUBLE_EQ(results[0].meanIlp, 4.0);
+}
+
+TEST(WindowedCP, WindowLocalityForgetsOldDependencies) {
+  // A serial chain followed by independent work: late windows must not see
+  // the early chain.
+  WindowedCPAnalyzer analyzer({4});
+  for (int i = 0; i < 8; ++i) analyzer.onRetire(alu({1}, 1));
+  for (int i = 0; i < 8; ++i) analyzer.onRetire(alu({}, 2u + (i % 4)));
+  const auto results = analyzer.results();
+  // Windows over the first half have CP 4, over the second half CP 1.
+  EXPECT_LT(results[0].meanCp, 4.0);
+  EXPECT_DOUBLE_EQ(results[0].minCp, 1.0);
+  EXPECT_DOUBLE_EQ(results[0].maxCp, 4.0);
+}
+
+TEST(WindowedCP, MultipleSizesEvaluateIndependently) {
+  WindowedCPAnalyzer analyzer({4, 16});
+  for (int i = 0; i < 64; ++i) analyzer.onRetire(alu({1}, 1));
+  const auto results = analyzer.results();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_DOUBLE_EQ(results[0].meanCp, 4.0);
+  EXPECT_DOUBLE_EQ(results[1].meanCp, 16.0);
+  EXPECT_EQ(results[1].windows, (64u - 16u) / 8u + 1u);
+}
+
+TEST(WindowedCP, ShortTraceYieldsNoWindows) {
+  WindowedCPAnalyzer analyzer({16});
+  for (int i = 0; i < 10; ++i) analyzer.onRetire(alu({1}, 1));
+  analyzer.onProgramEnd();
+  EXPECT_EQ(analyzer.results()[0].windows, 0u);
+  EXPECT_DOUBLE_EQ(analyzer.results()[0].meanIlp, 0.0);
+}
+
+TEST(WindowedCP, MemoryDependenciesCountInsideWindow) {
+  WindowedCPAnalyzer analyzer({4});
+  // store -> load -> use chain within each window.
+  for (int i = 0; i < 8; ++i) {
+    RetiredInst st;
+    st.srcs.push_back(Reg::gp(1));
+    st.stores.push_back(MemAccess{0x100, 8});
+    analyzer.onRetire(st);
+
+    RetiredInst ld;
+    ld.dsts.push_back(Reg::gp(1));
+    ld.loads.push_back(MemAccess{0x100, 8});
+    analyzer.onRetire(ld);
+  }
+  const auto results = analyzer.results();
+  EXPECT_DOUBLE_EQ(results[0].meanCp, 4.0);  // fully serial through memory
+}
+
+TEST(WindowedCP, PaperWindowSizes) {
+  const auto sizes = WindowedCPAnalyzer::paperWindowSizes();
+  ASSERT_EQ(sizes.size(), 7u);
+  EXPECT_EQ(sizes.front(), 4u);
+  EXPECT_EQ(sizes.back(), 2000u);
+}
+
+// Property: for any trace, every window CP lies in [1, W], so mean ILP lies
+// in [1, W].
+TEST(WindowedCP, IlpBounds) {
+  WindowedCPAnalyzer analyzer({8});
+  for (int i = 0; i < 200; ++i) {
+    // Pseudo-random dependency pattern.
+    const unsigned src = 1 + (i * 7) % 5;
+    const unsigned dst = 1 + (i * 13) % 5;
+    analyzer.onRetire(alu({src}, dst));
+  }
+  const auto result = analyzer.results()[0];
+  EXPECT_GE(result.minCp, 1.0);
+  EXPECT_LE(result.maxCp, 8.0);
+  EXPECT_GE(result.meanIlp, 1.0);
+  EXPECT_LE(result.meanIlp, 8.0);
+}
+
+}  // namespace
+}  // namespace riscmp

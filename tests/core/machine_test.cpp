@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aarch64/asm.hpp"
+#include "core/machine.hpp"
+#include "riscv/asm.hpp"
+
+namespace riscmp {
+namespace {
+
+Program rv64Program(const char* source) {
+  Program program;
+  program.arch = Arch::Rv64;
+  program.codeBase = Program::kCodeBase;
+  program.entry = program.codeBase;
+  program.code = rv64::assemble(source, program.codeBase);
+  return program;
+}
+
+Program a64Program(const char* source) {
+  Program program;
+  program.arch = Arch::AArch64;
+  program.codeBase = Program::kCodeBase;
+  program.entry = program.codeBase;
+  program.code = a64::assemble(source, program.codeBase);
+  return program;
+}
+
+TEST(Machine, RunsRv64ProgramToExit) {
+  Machine machine(rv64Program(
+      "  li a0, 0\n"
+      "  li a1, 10\n"
+      "loop:\n"
+      "  add a0, a0, a1\n"
+      "  addi a1, a1, -1\n"
+      "  bnez a1, loop\n"
+      "  li a7, 93\n"  // exit(a0)
+      "  ecall\n"));
+  const RunResult result = machine.run();
+  EXPECT_TRUE(result.exitedCleanly);
+  EXPECT_EQ(result.exitCode, 55);
+  EXPECT_EQ(result.instructions, 2u + 10 * 3 + 2);
+}
+
+TEST(Machine, RunsA64ProgramToExit) {
+  Machine machine(a64Program(
+      "  mov x0, #0\n"
+      "  mov x1, #10\n"
+      "loop:\n"
+      "  add x0, x0, x1\n"
+      "  subs x1, x1, #1\n"
+      "  b.ne loop\n"
+      "  mov x8, #93\n"
+      "  svc #0\n"));
+  const RunResult result = machine.run();
+  EXPECT_TRUE(result.exitedCleanly);
+  EXPECT_EQ(result.exitCode, 55);
+  EXPECT_EQ(result.instructions, 2u + 10 * 3 + 2);
+}
+
+TEST(Machine, WriteSyscallReachesStream) {
+  Program program = rv64Program(
+      "  li a0, 1\n"       // fd = stdout
+      "  li a1, 0x20000\n" // buffer
+      "  li a2, 5\n"       // length
+      "  li a7, 64\n"      // write
+      "  ecall\n"
+      "  li a7, 93\n"
+      "  li a0, 0\n"
+      "  ecall\n");
+  program.dataBase = 0x20000;
+  program.data = {'h', 'e', 'l', 'l', 'o'};
+
+  std::ostringstream captured;
+  MachineOptions options;
+  options.stdoutStream = &captured;
+  Machine machine(program, options);
+  const RunResult result = machine.run();
+  EXPECT_TRUE(result.exitedCleanly);
+  EXPECT_EQ(captured.str(), "hello");
+}
+
+TEST(Machine, DataAndBssLoaded) {
+  Program program = rv64Program(
+      "  li a1, 0x20000\n"
+      "  ld a0, 0(a1)\n"
+      "  li a7, 93\n"
+      "  ecall\n");
+  program.dataBase = 0x20000;
+  program.data.resize(8);
+  program.data[0] = 42;
+  program.bssBase = 0x21000;
+  program.bssSize = 64;
+
+  Machine machine(program);
+  const RunResult result = machine.run();
+  EXPECT_EQ(result.exitCode, 42);
+  // bss is zeroed
+  EXPECT_EQ(machine.memory().read<std::uint64_t>(0x21000), 0u);
+}
+
+TEST(Machine, InstructionBudgetAborts) {
+  Program program = rv64Program(
+      "loop:\n"
+      "  j loop\n");
+  MachineOptions options;
+  options.maxInstructions = 100;
+  Machine machine(program, options);
+  EXPECT_THROW(machine.run(), SimError);
+}
+
+TEST(Machine, UndecodableInstructionThrows) {
+  Program program = rv64Program("nop\n");
+  program.code.push_back(0);  // invalid word
+  Machine machine(program);
+  EXPECT_THROW(machine.run(), SimError);
+}
+
+TEST(Machine, UnsupportedSyscallThrows) {
+  Machine machine(rv64Program(
+      "  li a7, 222\n"
+      "  ecall\n"));
+  EXPECT_THROW(machine.run(), SimError);
+}
+
+class CountingObserver : public TraceObserver {
+ public:
+  void onRetire(const RetiredInst& inst) override {
+    ++count;
+    if (inst.isBranch) ++branches;
+    loads += inst.loads.size();
+    stores += inst.stores.size();
+  }
+  void onProgramEnd() override { ended = true; }
+
+  std::uint64_t count = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  bool ended = false;
+};
+
+TEST(Machine, ObserversSeeEveryRetirement) {
+  Program program = rv64Program(
+      "  li a1, 0x20000\n"
+      "  li a2, 4\n"
+      "loop:\n"
+      "  ld a0, 0(a1)\n"
+      "  sd a0, 8(a1)\n"
+      "  addi a2, a2, -1\n"
+      "  bnez a2, loop\n"
+      "  li a7, 93\n"
+      "  ecall\n");
+  program.bssBase = 0x20000;
+  program.bssSize = 64;
+  Machine machine(program);
+  CountingObserver observer;
+  machine.addObserver(observer);
+  const RunResult result = machine.run();
+  EXPECT_EQ(observer.count, result.instructions);
+  EXPECT_EQ(observer.branches, 4u);
+  EXPECT_EQ(observer.loads, 4u);
+  EXPECT_EQ(observer.stores, 4u);
+  EXPECT_TRUE(observer.ended);
+}
+
+TEST(Machine, MemoryGrowsToCoverProgram) {
+  Program program = rv64Program("  li a7, 93\n  ecall\n");
+  program.bssBase = 200ull << 20;  // beyond the default 64 MiB
+  program.bssSize = 4096;
+  MachineOptions options;
+  options.memorySize = 1 << 20;
+  Machine machine(program, options);
+  EXPECT_NO_THROW(machine.run());
+  EXPECT_GT(machine.memory().size(), 200ull << 20);
+}
+
+TEST(Program, KernelLookup) {
+  Program program;
+  program.kernels = {{"copy", 0x100, 0x40}, {"scale", 0x140, 0x40}};
+  ASSERT_NE(program.kernelAt(0x100), nullptr);
+  EXPECT_EQ(program.kernelAt(0x100)->name, "copy");
+  EXPECT_EQ(program.kernelAt(0x13c)->name, "copy");
+  EXPECT_EQ(program.kernelAt(0x140)->name, "scale");
+  EXPECT_EQ(program.kernelAt(0x180), nullptr);
+  EXPECT_EQ(program.kernelAt(0x50), nullptr);
+  ASSERT_NE(program.kernelNamed("scale"), nullptr);
+  EXPECT_EQ(program.kernelNamed("bogus"), nullptr);
+}
+
+}  // namespace
+}  // namespace riscmp

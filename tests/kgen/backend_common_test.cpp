@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "kgen/backend_common.hpp"
+
+namespace riscmp::kgen {
+namespace {
+
+TEST(GroupKey, SameTermsShareAGroup) {
+  const GroupKey a = groupKeyFor("arr", idx("i"));
+  const GroupKey b = groupKeyFor("arr", idx("i") + 3);
+  EXPECT_EQ(a, b);  // same bucket, offsets fold into displacements
+}
+
+TEST(GroupKey, TermOrderIsCanonical) {
+  AffineIdx ij;
+  ij.terms = {{"i", 1}, {"j", 8}};
+  AffineIdx ji;
+  ji.terms = {{"j", 8}, {"i", 1}};
+  EXPECT_EQ(groupKeyFor("a", ij), groupKeyFor("a", ji));
+}
+
+TEST(GroupKey, DifferentStridesSplitGroups) {
+  EXPECT_FALSE(groupKeyFor("a", idx("i")) == groupKeyFor("a", idx("i", 2)));
+}
+
+TEST(GroupKey, DifferentArraysSplitGroups) {
+  EXPECT_FALSE(groupKeyFor("a", idx("i")) == groupKeyFor("b", idx("i")));
+}
+
+TEST(GroupKey, FarOffsetsSplitIntoBuckets) {
+  const GroupKey near = groupKeyFor("a", idx("i"));
+  const GroupKey far = groupKeyFor("a", idx("i") + 1000);
+  EXPECT_FALSE(near == far);  // bucket 0 vs bucket 3
+  EXPECT_EQ(far.bucket, 1000 / 256);
+}
+
+TEST(GroupKey, NegativeOffsetsBucketWithFloorDivision) {
+  EXPECT_EQ(groupKeyFor("a", idx("i") + (-1)).bucket, -1);
+  EXPECT_EQ(groupKeyFor("a", idx("i") + (-256)).bucket, -1);
+  EXPECT_EQ(groupKeyFor("a", idx("i") + (-257)).bucket, -2);
+}
+
+TEST(StrideOf, FindsTermOrZero) {
+  const GroupKey key = groupKeyFor("a", idx2("y", 64, "x"));
+  EXPECT_EQ(strideOf(key, "y"), 64);
+  EXPECT_EQ(strideOf(key, "x"), 1);
+  EXPECT_EQ(strideOf(key, "z"), 0);
+}
+
+TEST(CollectGroups, DeduplicatesAndTracksMinOffset) {
+  Module module;
+  module.array("a", 64);
+  std::vector<Stmt> body;
+  body.push_back(storeArr("a", idx("i") + 5, load("a", idx("i") + 2)));
+  const auto groups = collectGroups(body, module);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].baseOffset, 2);
+}
+
+TEST(CollectGroups, SkipsNestedLoops) {
+  Module module;
+  module.array("a", 64);
+  std::vector<Stmt> body;
+  body.push_back(loop("j", 4, {storeArr("a", idx("j"), cnst(0.0))}));
+  EXPECT_TRUE(collectGroups(body, module).empty());
+}
+
+TEST(LoopVarUsed, SeesUsesAtAnyDepth) {
+  const Stmt nest = loop(
+      "y", 4, {loop("x", 4, {storeArr("g", idx2("y", 4, "x"), cnst(0.0))})});
+  EXPECT_TRUE(loopVarUsed(nest, "y"));
+  const Stmt unused = loop("r", 4, {loop("x", 4, {storeArr("g", idx("x"),
+                                                           cnst(0.0))})});
+  EXPECT_FALSE(loopVarUsed(unused, "r"));
+}
+
+TEST(NestedLoopsUseVar, OnlyCountsInnerLoops) {
+  // Direct use in the loop's own body does not require a scaled counter.
+  const Stmt direct = loop("i", 4, {storeArr("a", idx("i"), cnst(0.0))});
+  EXPECT_FALSE(nestedLoopsUseVar(direct, "i"));
+  const Stmt nested =
+      loop("y", 4, {loop("x", 4, {storeArr("a", idx("y", 4), cnst(0.0))})});
+  EXPECT_TRUE(nestedLoopsUseVar(nested, "y"));
+}
+
+TEST(RegPool, AllocatesReleasesAndExhausts) {
+  RegPool pool("test", {1, 2});
+  EXPECT_EQ(pool.available(), 2u);
+  const unsigned a = pool.alloc();
+  const unsigned b = pool.alloc();
+  EXPECT_NE(a, b);
+  EXPECT_THROW(pool.alloc(), CompileError);
+  pool.release(a);
+  EXPECT_EQ(pool.alloc(), a);
+}
+
+TEST(AnalyzeKernel, CollectsScalarsAndConstantsInFirstUseOrder) {
+  Module module;
+  module.array("a", 8);
+  module.scalarInit("s", 1.0);
+  module.scalarInit("acc", 0.0);
+  Kernel& kernel = module.kernel("k");
+  kernel.body.push_back(loop(
+      "i", 8,
+      {storeArr("a", idx("i"), add(scalar("s"), cnst(2.5))),
+       accumScalar("acc", cnst(2.5)),   // duplicate constant
+       accumScalar("acc", cnst(7.0))}));
+  const KernelInfo info = analyzeKernel(module, kernel);
+  ASSERT_EQ(info.scalars.size(), 2u);
+  EXPECT_EQ(info.scalars[0], "s");
+  EXPECT_EQ(info.scalars[1], "acc");
+  ASSERT_EQ(info.constants.size(), 2u);
+  EXPECT_EQ(info.constants[0], 2.5);
+  EXPECT_EQ(info.constants[1], 7.0);
+}
+
+TEST(ConstKey, DistinguishesSignedZero) {
+  EXPECT_NE(constKey(0.0), constKey(-0.0));
+  EXPECT_EQ(constKey(1.5), constKey(1.5));
+}
+
+}  // namespace
+}  // namespace riscmp::kgen

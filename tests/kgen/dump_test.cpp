@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "kgen/compile.hpp"
+#include "kgen/dump.hpp"
+#include "workloads/workloads.hpp"
+
+namespace riscmp::kgen {
+namespace {
+
+TEST(KgenDump, ExprRendering) {
+  EXPECT_EQ(dumpExpr(*cnst(1.5)), "1.5");
+  EXPECT_EQ(dumpExpr(*scalar("s")), "s");
+  EXPECT_EQ(dumpExpr(*load("a", idx("i") + 2)), "a[i + 2]");
+  EXPECT_EQ(dumpExpr(*load("g", idx2("y", 10, "x"))), "g[10*y + x]");
+  EXPECT_EQ(dumpExpr(*add(scalar("s"), cnst(1))), "(s + 1)");
+  EXPECT_EQ(dumpExpr(*fmin(scalar("a"), scalar("b"))), "min(a, b)");
+  EXPECT_EQ(dumpExpr(*fsqrt(scalar("a"))), "sqrt(a)");
+  EXPECT_EQ(dumpExpr(*neg(scalar("a"))), "-(a)");
+}
+
+TEST(KgenDump, ModuleListingContainsStructure) {
+  const Module module = workloads::makeStream({.n = 8, .reps = 1});
+  const std::string text = dumpModule(module);
+  EXPECT_NE(text.find("module STREAM"), std::string::npos);
+  EXPECT_NE(text.find("array a[8]"), std::string::npos);
+  EXPECT_NE(text.find("scalar scalar = 3"), std::string::npos);
+  EXPECT_NE(text.find("kernel triad:"), std::string::npos);
+  EXPECT_NE(text.find("for j in 0..8:"), std::string::npos);
+  EXPECT_NE(text.find("a[j] = (b[j] + (scalar * c[j]))"), std::string::npos);
+}
+
+TEST(KgenDump, ProgramListingHasKernelLabelsAndInstructions) {
+  const Module module = workloads::makeStream({.n = 8, .reps = 1});
+  for (const Arch arch : {Arch::Rv64, Arch::AArch64}) {
+    const Compiled compiled = compile(module, arch, CompilerEra::Gcc12);
+    const std::string text = dumpProgram(compiled.program);
+    EXPECT_NE(text.find("copy:"), std::string::npos) << archName(arch);
+    EXPECT_NE(text.find("triad:"), std::string::npos) << archName(arch);
+    // Paper-listing shaped instructions appear.
+    if (arch == Arch::Rv64) {
+      EXPECT_NE(text.find("fld "), std::string::npos);
+      EXPECT_NE(text.find("bne "), std::string::npos);
+    } else {
+      EXPECT_NE(text.find("lsl #3]"), std::string::npos);
+      EXPECT_NE(text.find("cmp "), std::string::npos);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace riscmp::kgen

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "kgen/interp.hpp"
+#include "kgen/ir.hpp"
+
+namespace riscmp::kgen {
+namespace {
+
+TEST(KgenIr, BuildersProduceExpectedShapes) {
+  const AffineIdx i = idx("i");
+  EXPECT_EQ(i.terms.size(), 1u);
+  EXPECT_EQ(i.terms[0].var, "i");
+  EXPECT_EQ(i.terms[0].stride, 1);
+
+  const AffineIdx ij = idx2("y", 100, "x") + 3;
+  EXPECT_EQ(ij.terms.size(), 2u);
+  EXPECT_EQ(ij.offset, 3);
+
+  const ExprPtr e = add(mul(scalar("s"), load("a", i)), cnst(1.0));
+  EXPECT_EQ(e->kind, Expr::Kind::Bin);
+  EXPECT_EQ(e->bin, BinOp::Add);
+  EXPECT_EQ(e->lhs->bin, BinOp::Mul);
+}
+
+Module validModule() {
+  Module module;
+  module.name = "m";
+  module.array("a", 8);
+  module.array("b", 8);
+  module.scalarInit("s", 2.0);
+  Kernel& kernel = module.kernel("k");
+  kernel.body.push_back(loop("i", 8, {storeArr("a", idx("i"),
+                                               mul(scalar("s"),
+                                                   load("b", idx("i")))) }));
+  return module;
+}
+
+TEST(KgenIr, ValidModulePasses) { EXPECT_NO_THROW(validModule().validate()); }
+
+TEST(KgenIr, UnknownArrayRejected) {
+  Module module = validModule();
+  module.kernels[0].body.push_back(
+      loop("j", 4, {storeArr("nope", idx("j"), cnst(0.0))}));
+  EXPECT_THROW(module.validate(), std::runtime_error);
+}
+
+TEST(KgenIr, UnknownScalarRejected) {
+  Module module = validModule();
+  module.kernels[0].body.push_back(loop("j", 4, {accumScalar("zz", cnst(1.0))}));
+  EXPECT_THROW(module.validate(), std::runtime_error);
+}
+
+TEST(KgenIr, UnboundIndexVariableRejected) {
+  Module module = validModule();
+  module.kernels[0].body.push_back(
+      loop("j", 4, {storeArr("a", idx("k"), cnst(0.0))}));
+  EXPECT_THROW(module.validate(), std::runtime_error);
+}
+
+TEST(KgenIr, ShadowedLoopVarRejected) {
+  Module module = validModule();
+  module.kernels[0].body.push_back(
+      loop("i", 4, {loop("i", 4, {storeArr("a", idx("i"), cnst(0.0))})}));
+  EXPECT_THROW(module.validate(), std::runtime_error);
+}
+
+TEST(KgenIr, NonPositiveExtentRejected) {
+  Module module = validModule();
+  module.kernels[0].body.push_back(loop("j", 0, {}));
+  EXPECT_THROW(module.validate(), std::runtime_error);
+}
+
+TEST(KgenIr, InitSizeMismatchRejected) {
+  Module module = validModule();
+  module.arrays[0].init = {1.0, 2.0};  // array has 8 elems
+  EXPECT_THROW(module.validate(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter semantics
+// ---------------------------------------------------------------------------
+
+TEST(KgenInterp, ScaleKernel) {
+  Module module = validModule();
+  module.arrays[1].init = {1, 2, 3, 4, 5, 6, 7, 8};  // b
+  Interpreter interp(module);
+  interp.run();
+  const auto& a = interp.array("a");
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(a[i], 2.0 * (i + 1));
+}
+
+TEST(KgenInterp, ReductionAccumulates) {
+  Module module;
+  module.array("x", 4).init = {1.5, 2.5, 3.0, 4.0};
+  module.scalarInit("sum", 0.0);
+  module.kernel("dot").body.push_back(
+      loop("i", 4, {accumScalar("sum", load("x", idx("i")))}));
+  Interpreter interp(module);
+  interp.run();
+  EXPECT_DOUBLE_EQ(interp.scalarValue("sum"), 11.0);
+}
+
+TEST(KgenInterp, NestedLoopsRowMajor) {
+  Module module;
+  module.array("g", 12);
+  module.kernel("fill").body.push_back(loop(
+      "y", 3,
+      {loop("x", 4, {storeArr("g", idx2("y", 4, "x"),
+                              add(mul(cnst(10.0), cnst(1.0)), cnst(0.0)))})}));
+  Interpreter interp(module);
+  interp.run();
+  for (double v : interp.array("g")) EXPECT_DOUBLE_EQ(v, 10.0);
+}
+
+TEST(KgenInterp, StencilOffsets) {
+  Module module;
+  module.array("in", 8).init = {0, 1, 2, 3, 4, 5, 6, 7};
+  module.array("out", 8);
+  // out[i] = in[i-1] + in[i+1], interior only via a 6-trip loop on i+1.
+  module.kernel("stencil").body.push_back(
+      loop("i", 6, {storeArr("out", idx("i") + 1,
+                             add(load("in", idx("i")),
+                                 load("in", idx("i") + 2)))}));
+  Interpreter interp(module);
+  interp.run();
+  const auto& out = interp.array("out");
+  for (int i = 1; i <= 6; ++i) EXPECT_DOUBLE_EQ(out[i], 2.0 * i);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(KgenInterp, OutOfBoundsThrows) {
+  Module module;
+  module.array("a", 4);
+  module.kernel("bad").body.push_back(
+      loop("i", 8, {storeArr("a", idx("i"), cnst(1.0))}));
+  Interpreter interp(module);
+  EXPECT_THROW(interp.run(), std::runtime_error);
+}
+
+TEST(KgenInterp, MinMaxSqrtAbsNeg) {
+  Module module;
+  module.array("a", 1).init = {9.0};
+  module.array("r", 4);
+  Kernel& kernel = module.kernel("k");
+  kernel.body.push_back(loop(
+      "i", 1,
+      {storeArr("r", idx("i"), fsqrt(load("a", idx("i")))),
+       storeArr("r", idx("i") + 1, neg(load("a", idx("i")))),
+       storeArr("r", idx("i") + 2, fmin(load("a", idx("i")), cnst(2.0))),
+       storeArr("r", idx("i") + 3,
+                fabs(sub(cnst(1.0), load("a", idx("i")))))}));
+  Interpreter interp(module);
+  interp.run();
+  const auto& r = interp.array("r");
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], -9.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+  EXPECT_DOUBLE_EQ(r[3], 8.0);
+}
+
+TEST(KgenInterp, RunSingleKernelByName) {
+  Module module;
+  module.array("a", 2);
+  module.kernel("first").body.push_back(
+      loop("i", 2, {storeArr("a", idx("i"), cnst(1.0))}));
+  module.kernel("second").body.push_back(
+      loop("i", 2, {storeArr("a", idx("i"), cnst(2.0))}));
+  Interpreter interp(module);
+  interp.runKernel("first");
+  EXPECT_DOUBLE_EQ(interp.array("a")[0], 1.0);
+  EXPECT_THROW(interp.runKernel("third"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace riscmp::kgen

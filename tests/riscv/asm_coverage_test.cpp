@@ -1,0 +1,173 @@
+// Additional RV64 assembler/disassembler/executor coverage: CSR accesses,
+// the A-extension forms, W-suffixed arithmetic, single-precision FP, and
+// conversion instructions — the corners the primary suites do not reach.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "riscv/asm.hpp"
+#include "riscv/decode.hpp"
+#include "riscv/disasm.hpp"
+#include "riscv/encode.hpp"
+
+namespace riscmp::rv64 {
+namespace {
+
+TEST(Rv64AsmCoverage, CsrInstructions) {
+  const auto words = assemble(
+      "csrrw t0, 0x003, t1\n"
+      "csrrs t2, 0x001, zero\n"
+      "csrrwi t3, 0x002, 5\n");
+  ASSERT_EQ(words.size(), 3u);
+  const auto csrrw = decode(words[0]);
+  ASSERT_TRUE(csrrw.has_value());
+  EXPECT_EQ(csrrw->op, Op::CSRRW);
+  EXPECT_EQ(csrrw->imm, 0x003);
+  EXPECT_EQ(csrrw->rd, 5);
+  EXPECT_EQ(csrrw->rs1, 6);
+  const auto csrrwi = decode(words[2]);
+  ASSERT_TRUE(csrrwi.has_value());
+  EXPECT_EQ(csrrwi->op, Op::CSRRWI);
+  EXPECT_EQ(csrrwi->rs1, 5);  // zimm field
+}
+
+TEST(Rv64AsmCoverage, AtomicForms) {
+  const auto words = assemble(
+      "lr.w t0, (a0)\n"
+      "sc.w t1, t2, (a0)\n"
+      "amoadd.d t3, t4, (a1)\n"
+      "amoswap.w t5, t6, (a2)\n");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(decode(words[0])->op, Op::LR_W);
+  EXPECT_EQ(decode(words[1])->op, Op::SC_W);
+  EXPECT_EQ(decode(words[2])->op, Op::AMOADD_D);
+  EXPECT_EQ(decode(words[3])->op, Op::AMOSWAP_W);
+  // Disassembly round-trips the operand order.
+  EXPECT_EQ(disassemble(words[2], 0), "amoadd.d t3, t4, (a1)");
+}
+
+TEST(Rv64AsmCoverage, WordArithmeticForms) {
+  const auto words = assemble(
+      "addw a0, a1, a2\n"
+      "subw a3, a4, a5\n"
+      "slliw t0, t1, 3\n"
+      "sraiw t2, t3, 7\n"
+      "mulw s0, s1, s2\n"
+      "remuw s3, s4, s5\n"
+      "sext.w a6, a7\n");
+  ASSERT_EQ(words.size(), 7u);
+  EXPECT_EQ(decode(words[0])->op, Op::ADDW);
+  EXPECT_EQ(decode(words[2])->op, Op::SLLIW);
+  EXPECT_EQ(decode(words[4])->op, Op::MULW);
+  EXPECT_EQ(decode(words[6])->op, Op::ADDIW);  // sext.w alias
+}
+
+TEST(Rv64AsmCoverage, SinglePrecisionFp) {
+  const auto words = assemble(
+      "flw fa0, 0(a0)\n"
+      "fadd.s fa1, fa2, fa3\n"
+      "fmadd.s fa4, fa5, fa0, fa1\n"
+      "fcvt.d.s ft0, fa4\n"
+      "fcvt.s.d ft1, ft0\n"
+      "fsw ft1, 8(a0)\n"
+      "feq.s t0, fa1, fa2\n");
+  ASSERT_EQ(words.size(), 7u);
+  EXPECT_EQ(decode(words[1])->op, Op::FADD_S);
+  EXPECT_EQ(decode(words[3])->op, Op::FCVT_D_S);
+  EXPECT_EQ(decode(words[6])->op, Op::FEQ_S);
+}
+
+TEST(Rv64AsmCoverage, ConversionFamily) {
+  const auto words = assemble(
+      "fcvt.d.l ft0, a0\n"
+      "fcvt.d.lu ft1, a1\n"
+      "fcvt.l.d a2, ft0\n"
+      "fcvt.w.d a3, ft1\n"
+      "fmv.x.d a4, ft0\n"
+      "fmv.d.x ft2, a5\n");
+  ASSERT_EQ(words.size(), 6u);
+  EXPECT_EQ(decode(words[0])->op, Op::FCVT_D_L);
+  EXPECT_EQ(decode(words[2])->op, Op::FCVT_L_D);
+  EXPECT_EQ(decode(words[4])->op, Op::FMV_X_D);
+  EXPECT_EQ(decode(words[5])->op, Op::FMV_D_X);
+}
+
+// End-to-end: a fixed-point square root via integer Newton iterations,
+// exercising word ops, multiplies, divides and branches together.
+TEST(Rv64AsmCoverage, IntegerNewtonSqrtProgram) {
+  Program program;
+  program.arch = Arch::Rv64;
+  program.codeBase = Program::kCodeBase;
+  program.entry = program.codeBase;
+  program.code = assemble(
+      "  li a0, 1764\n"   // value (42^2)
+      "  li a1, 1764\n"   // x = value
+      "loop:\n"
+      "  div a2, a0, a1\n"   // value / x
+      "  add a2, a2, a1\n"
+      "  srai a2, a2, 1\n"   // x' = (x + value/x) / 2
+      "  bge a2, a1, done\n" // monotone: stop when no longer decreasing
+      "  mv a1, a2\n"
+      "  j loop\n"
+      "done:\n"
+      "  mv a0, a1\n"
+      "  li a7, 93\n"
+      "  ecall\n",
+      program.codeBase);
+  Machine machine(program);
+  const RunResult result = machine.run();
+  EXPECT_TRUE(result.exitedCleanly);
+  EXPECT_EQ(result.exitCode, 42);
+}
+
+TEST(Rv64AsmCoverage, PseudoBranchFamily) {
+  const auto words = assemble(
+      "top:\n"
+      "  bltz a0, top\n"
+      "  bgez a1, top\n"
+      "  blez a2, top\n"
+      "  bgtz a3, top\n"
+      "  bgt a4, a5, top\n"
+      "  bleu a6, a7, top\n");
+  ASSERT_EQ(words.size(), 6u);
+  EXPECT_EQ(decode(words[0])->op, Op::BLT);   // bltz a0 -> blt a0, zero
+  EXPECT_EQ(decode(words[2])->op, Op::BGE);   // blez -> bge zero, rs
+  EXPECT_EQ(decode(words[2])->rs1, 0);
+  EXPECT_EQ(decode(words[4])->op, Op::BLT);   // bgt swaps operands
+  EXPECT_EQ(decode(words[4])->rs1, 15);       // a5
+  EXPECT_EQ(decode(words[5])->op, Op::BGEU);  // bleu swaps operands
+}
+
+TEST(Rv64AsmCoverage, FpPseudoOps) {
+  const auto words = assemble(
+      "fmv.d ft0, ft1\n"
+      "fneg.d ft2, ft3\n"
+      "fabs.s ft4, ft5\n"
+      "snez t0, t1\n"
+      "not t2, t3\n");
+  ASSERT_EQ(words.size(), 5u);
+  const auto fmv = decode(words[0]);
+  EXPECT_EQ(fmv->op, Op::FSGNJ_D);
+  EXPECT_EQ(fmv->rs1, fmv->rs2);
+  EXPECT_EQ(decode(words[1])->op, Op::FSGNJN_D);
+  EXPECT_EQ(decode(words[2])->op, Op::FSGNJX_S);
+  EXPECT_EQ(decode(words[3])->op, Op::SLTU);
+  EXPECT_EQ(decode(words[4])->op, Op::XORI);
+}
+
+TEST(Rv64AsmCoverage, DisassemblerRoundTripsCoverageForms) {
+  const char* source =
+      "csrrw t0, 0x3, t1\n"
+      "amoadd.d t3, t4, (a1)\n"
+      "addw a0, a1, a2\n"
+      "fadd.s fa1, fa2, fa3\n"
+      "fcvt.d.l ft0, a0\n";
+  const auto words = assemble(source);
+  std::string rebuilt;
+  for (const std::uint32_t word : words) {
+    rebuilt += disassemble(word, 0) + "\n";
+  }
+  EXPECT_EQ(assemble(rebuilt), words);
+}
+
+}  // namespace
+}  // namespace riscmp::rv64

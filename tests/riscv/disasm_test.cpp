@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "riscv/disasm.hpp"
+#include "riscv/encode.hpp"
+
+namespace riscmp::rv64 {
+namespace {
+
+TEST(Rv64Disasm, PaperListing2CopyKernel) {
+  // The rv64g STREAM copy kernel from the paper's Listing 2.
+  EXPECT_EQ(disassemble(makeI(Op::FLD, 15, 15, 0)), "fld fa5, 0(a5)");
+  EXPECT_EQ(disassemble(makeS(Op::FSD, 15, 14, 0)), "fsd fa5, 0(a4)");
+  EXPECT_EQ(disassemble(makeI(Op::ADDI, 15, 15, 8)), "addi a5, a5, 8");
+  EXPECT_EQ(disassemble(makeI(Op::ADDI, 14, 14, 8)), "addi a4, a4, 8");
+  EXPECT_EQ(disassemble(makeB(Op::BNE, 15, 8, -16), 0x10dfc),
+            "bne a5, s0, 0x10dec");
+}
+
+TEST(Rv64Disasm, RTypeOperands) {
+  EXPECT_EQ(disassemble(makeR(Op::ADD, 10, 11, 12)), "add a0, a1, a2");
+  EXPECT_EQ(disassemble(makeR(Op::FADD_D, 10, 11, 12)),
+            "fadd.d fa0, fa1, fa2");
+  EXPECT_EQ(disassemble(makeR4(Op::FMADD_D, 0, 1, 2, 3)),
+            "fmadd.d ft0, ft1, ft2, ft3");
+}
+
+TEST(Rv64Disasm, Immediates) {
+  EXPECT_EQ(disassemble(makeI(Op::ADDI, 5, 6, -42)), "addi t0, t1, -42");
+  EXPECT_EQ(disassemble(makeI(Op::SLLI, 5, 6, 3)), "slli t0, t1, 3");
+  EXPECT_EQ(disassemble(makeU(Op::LUI, 10, 0x12345000)), "lui a0, 0x12345");
+}
+
+TEST(Rv64Disasm, JumpsAndBranches) {
+  EXPECT_EQ(disassemble(makeJ(Op::JAL, 0, -8), 0x100), "jal 0xf8");
+  EXPECT_EQ(disassemble(makeJ(Op::JAL, 1, 16), 0x100), "jal ra, 0x110");
+  EXPECT_EQ(disassemble(makeI(Op::JALR, 0, 1, 0)), "jalr zero, 0(ra)");
+}
+
+TEST(Rv64Disasm, LoadsAndStores) {
+  EXPECT_EQ(disassemble(makeI(Op::LD, 10, 2, 16)), "ld a0, 16(sp)");
+  EXPECT_EQ(disassemble(makeS(Op::SW, 7, 8, -4)), "sw t2, -4(s0)");
+}
+
+TEST(Rv64Disasm, UndecodableWord) {
+  EXPECT_EQ(disassemble(std::uint32_t{0}, 0), ".word 0x0");
+}
+
+TEST(Rv64Disasm, RawWordOverload) {
+  EXPECT_EQ(disassemble(std::uint32_t{0x00c58533}, 0), "add a0, a1, a2");
+}
+
+}  // namespace
+}  // namespace riscmp::rv64

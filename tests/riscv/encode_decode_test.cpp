@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "riscv/decode.hpp"
+#include "riscv/encode.hpp"
+
+namespace riscmp::rv64 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Golden encodings, cross-checked against GNU binutils objdump output.
+// ---------------------------------------------------------------------------
+
+TEST(Rv64Encode, GoldenWords) {
+  EXPECT_EQ(encode(makeI(Op::ADDI, 0, 0, 0)), 0x00000013u);   // nop
+  EXPECT_EQ(encode(makeI(Op::ADDI, 10, 10, 1)), 0x00150513u); // addi a0,a0,1
+  EXPECT_EQ(encode(makeR(Op::ADD, 10, 11, 12)), 0x00c58533u); // add a0,a1,a2
+  EXPECT_EQ(encode(makeR(Op::MUL, 10, 11, 12)), 0x02c58533u); // mul a0,a1,a2
+  EXPECT_EQ(encode(makeI(Op::JALR, 0, 1, 0)), 0x00008067u);   // ret
+  EXPECT_EQ(encode(Inst{.op = Op::ECALL}), 0x00000073u);
+  EXPECT_EQ(encode(makeB(Op::BEQ, 10, 11, 16)), 0x00b50863u); // beq a0,a1,.+16
+  EXPECT_EQ(encode(makeI(Op::FLD, 15, 15, 0)), 0x0007b787u);  // fld fa5,0(a5)
+  EXPECT_EQ(encode(makeS(Op::FSD, 15, 14, 0)), 0x00f73027u);  // fsd fa5,0(a4)
+  EXPECT_EQ(encode(makeS(Op::SD, 15, 2, 8)), 0x00f13423u);    // sd a5,8(sp)
+  EXPECT_EQ(encode(makeU(Op::LUI, 10, 0x12345000)), 0x12345537u);
+  EXPECT_EQ(encode(makeJ(Op::JAL, 1, 8)), 0x008000efu);       // jal ra,.+8
+  // fadd.d fa0,fa1,fa2 with dynamic rounding
+  EXPECT_EQ(encode(makeR(Op::FADD_D, 10, 11, 12)), 0x02c5f553u);
+  // fmadd.d fa0,fa1,fa2,fa3 with dynamic rounding
+  EXPECT_EQ(encode(makeR4(Op::FMADD_D, 10, 11, 12, 13)), 0x6ac5f543u);
+}
+
+TEST(Rv64Encode, NegativeImmediates) {
+  EXPECT_EQ(encode(makeI(Op::ADDI, 5, 5, -1)), 0xfff28293u);  // addi t0,t0,-1
+  const std::uint32_t word = encode(makeB(Op::BNE, 15, 8, -20));
+  const auto inst = decode(word);
+  ASSERT_TRUE(inst.has_value());
+  EXPECT_EQ(inst->imm, -20);
+}
+
+TEST(Rv64Encode, RangeErrors) {
+  EXPECT_THROW(encode(makeI(Op::ADDI, 1, 1, 2048)), EncodeError);
+  EXPECT_THROW(encode(makeI(Op::ADDI, 1, 1, -2049)), EncodeError);
+  EXPECT_THROW(encode(makeB(Op::BEQ, 1, 2, 3)), EncodeError);     // odd
+  EXPECT_THROW(encode(makeB(Op::BEQ, 1, 2, 4096)), EncodeError);  // too far
+  EXPECT_THROW(encode(makeU(Op::LUI, 1, 0x1234)), EncodeError);   // low bits
+  EXPECT_THROW(encode(makeI(Op::SLLI, 1, 1, 64)), EncodeError);
+  EXPECT_THROW(encode(makeJ(Op::JAL, 1, 1 << 21)), EncodeError);
+}
+
+TEST(Rv64Decode, UnknownWordsRejected) {
+  EXPECT_FALSE(decode(0x00000000u).has_value());
+  EXPECT_FALSE(decode(0xffffffffu).has_value());
+  EXPECT_FALSE(decode(0x0000007fu).has_value());
+}
+
+TEST(Rv64Decode, KnownWords) {
+  const auto inst = decode(0x00c58533u);
+  ASSERT_TRUE(inst.has_value());
+  EXPECT_EQ(inst->op, Op::ADD);
+  EXPECT_EQ(inst->rd, 10);
+  EXPECT_EQ(inst->rs1, 11);
+  EXPECT_EQ(inst->rs2, 12);
+}
+
+// ---------------------------------------------------------------------------
+// Property: encode/decode round-trips for every opcode in the catalogue over
+// a sweep of operand values.
+// ---------------------------------------------------------------------------
+
+class Rv64RoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+std::int64_t pickImm(ImmKind kind, int variant) {
+  switch (kind) {
+    case ImmKind::None:
+      return 0;
+    case ImmKind::I:
+      return std::array<std::int64_t, 4>{0, 1, -1, 2047}[variant & 3];
+    case ImmKind::S:
+      return std::array<std::int64_t, 4>{0, 8, -8, -2048}[variant & 3];
+    case ImmKind::B:
+      return std::array<std::int64_t, 4>{0, 4, -4, 4094}[variant & 3];
+    case ImmKind::U:
+      return std::array<std::int64_t, 4>{0, 0x1000, -0x1000,
+                                         0x7ffff000}[variant & 3];
+    case ImmKind::J:
+      return std::array<std::int64_t, 4>{0, 2, -2, -1048576}[variant & 3];
+    case ImmKind::Shamt6:
+      return std::array<std::int64_t, 4>{0, 1, 31, 63}[variant & 3];
+    case ImmKind::Shamt5:
+      return std::array<std::int64_t, 4>{0, 1, 15, 31}[variant & 3];
+    case ImmKind::Csr:
+    case ImmKind::CsrImm:
+      return std::array<std::int64_t, 4>{0, 1, 0x300, 0xfff}[variant & 3];
+  }
+  return 0;
+}
+
+TEST_P(Rv64RoundTrip, EncodeDecodeIdentity) {
+  const OpInfo& info = detail::opTable()[GetParam()];
+  for (int variant = 0; variant < 4; ++variant) {
+    Inst inst;
+    inst.op = info.op;
+    if (info.hasRd) inst.rd = static_cast<std::uint8_t>((variant * 7 + 1) & 31);
+    if (info.readsRs1() || info.imm == ImmKind::CsrImm) {
+      inst.rs1 = static_cast<std::uint8_t>((variant * 5 + 2) & 31);
+    }
+    if (info.readsRs2()) inst.rs2 = static_cast<std::uint8_t>((variant * 3 + 3) & 31);
+    if (info.readsRs3()) inst.rs3 = static_cast<std::uint8_t>((variant * 11 + 4) & 31);
+    inst.imm = pickImm(info.imm, variant);
+
+    const std::uint32_t word = encode(inst);
+    const auto decoded = decode(word);
+    ASSERT_TRUE(decoded.has_value())
+        << info.mnemonic << " word 0x" << std::hex << word;
+    EXPECT_EQ(*decoded, inst) << info.mnemonic;
+    // Re-encoding the decoded instruction reproduces the word exactly.
+    EXPECT_EQ(encode(*decoded), word) << info.mnemonic;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, Rv64RoundTrip,
+                         ::testing::Range<std::size_t>(0, kOpCount),
+                         [](const auto& info) {
+                           std::string name(
+                               detail::opTable()[info.param].mnemonic);
+                           for (char& ch : name) {
+                             if (ch == '.') ch = '_';
+                           }
+                           return name;
+                         });
+
+// Decoding any 32-bit word never matches two table entries ambiguously:
+// every entry's match bits are covered by its own mask.
+TEST(Rv64Decode, TableIsSelfConsistent) {
+  for (const OpInfo& a : detail::opTable()) {
+    EXPECT_EQ(a.match & ~a.mask, 0u) << a.mnemonic << ": match outside mask";
+    for (const OpInfo& b : detail::opTable()) {
+      if (a.op == b.op) continue;
+      // If the masks agree on the overlapping bits, the matches must differ
+      // somewhere in the shared mask, otherwise decode would be ambiguous.
+      const std::uint32_t shared = a.mask & b.mask;
+      EXPECT_FALSE((a.match & shared) == (b.match & shared) &&
+                   (a.mask == b.mask))
+          << a.mnemonic << " vs " << b.mnemonic;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace riscmp::rv64

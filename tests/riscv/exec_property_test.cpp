@@ -1,0 +1,209 @@
+// Property suites for the RV64 executor: operand sweeps compared against
+// host-computed reference semantics (shifts, W-form wrapping, multiply
+// high-halves, division edge behaviour, branch predicates).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "riscv/encode.hpp"
+#include "riscv/exec.hpp"
+
+namespace riscmp::rv64 {
+namespace {
+
+class Rv64Property : public ::testing::Test {
+ protected:
+  Rv64Property() : memory(1 << 16) { state.pc = 0x1000; }
+
+  void step(const Inst& inst) {
+    RetiredInst retired;
+    execute(inst, state, memory, retired);
+  }
+
+  State state;
+  Memory memory;
+};
+
+TEST_F(Rv64Property, ShiftSweep) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t value = rng();
+    const unsigned amount = static_cast<unsigned>(rng() % 64);
+    state.setGpr(1, value);
+    state.setGpr(2, amount);
+
+    step(makeR(Op::SLL, 3, 1, 2));
+    EXPECT_EQ(state.gpr(3), value << amount);
+    step(makeR(Op::SRL, 3, 1, 2));
+    EXPECT_EQ(state.gpr(3), value >> amount);
+    step(makeR(Op::SRA, 3, 1, 2));
+    EXPECT_EQ(state.gpr(3), static_cast<std::uint64_t>(
+                                static_cast<std::int64_t>(value) >> amount));
+    // Register shift amounts use only the low 6 bits.
+    state.setGpr(2, amount + 64);
+    step(makeR(Op::SLL, 3, 1, 2));
+    EXPECT_EQ(state.gpr(3), value << amount);
+  }
+}
+
+TEST_F(Rv64Property, WordFormsWrapAndSignExtend) {
+  std::mt19937_64 rng(8);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t a = rng();
+    const std::uint64_t b = rng();
+    state.setGpr(1, a);
+    state.setGpr(2, b);
+
+    const auto expect32 = [](std::uint32_t v) {
+      return static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
+    };
+
+    step(makeR(Op::ADDW, 3, 1, 2));
+    EXPECT_EQ(state.gpr(3), expect32(static_cast<std::uint32_t>(a) +
+                                     static_cast<std::uint32_t>(b)));
+    step(makeR(Op::SUBW, 3, 1, 2));
+    EXPECT_EQ(state.gpr(3), expect32(static_cast<std::uint32_t>(a) -
+                                     static_cast<std::uint32_t>(b)));
+    step(makeR(Op::MULW, 3, 1, 2));
+    EXPECT_EQ(state.gpr(3), expect32(static_cast<std::uint32_t>(a) *
+                                     static_cast<std::uint32_t>(b)));
+    step(makeR(Op::SLLW, 3, 1, 2));
+    EXPECT_EQ(state.gpr(3),
+              expect32(static_cast<std::uint32_t>(a) << (b & 31)));
+  }
+}
+
+TEST_F(Rv64Property, MultiplyHighMatchesInt128) {
+  std::mt19937_64 rng(9);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t a = rng();
+    const std::uint64_t b = rng();
+    state.setGpr(1, a);
+    state.setGpr(2, b);
+
+    step(makeR(Op::MULHU, 3, 1, 2));
+    EXPECT_EQ(state.gpr(3),
+              static_cast<std::uint64_t>(
+                  (static_cast<unsigned __int128>(a) * b) >> 64));
+    step(makeR(Op::MULH, 3, 1, 2));
+    EXPECT_EQ(state.gpr(3),
+              static_cast<std::uint64_t>(
+                  (static_cast<__int128>(static_cast<std::int64_t>(a)) *
+                   static_cast<std::int64_t>(b)) >>
+                  64));
+    step(makeR(Op::MULHSU, 3, 1, 2));
+    EXPECT_EQ(state.gpr(3),
+              static_cast<std::uint64_t>(
+                  (static_cast<__int128>(static_cast<std::int64_t>(a)) *
+                   static_cast<unsigned __int128>(b)) >>
+                  64));
+    step(makeR(Op::MUL, 3, 1, 2));
+    EXPECT_EQ(state.gpr(3), a * b);
+  }
+}
+
+TEST_F(Rv64Property, DivisionAgainstReference) {
+  std::mt19937_64 rng(10);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t a = rng();
+    const std::uint64_t b = trial % 7 == 0 ? 0 : rng();  // mix in div-by-0
+    state.setGpr(1, a);
+    state.setGpr(2, b);
+
+    step(makeR(Op::DIVU, 3, 1, 2));
+    EXPECT_EQ(state.gpr(3), b == 0 ? ~0ull : a / b);
+    step(makeR(Op::REMU, 3, 1, 2));
+    EXPECT_EQ(state.gpr(3), b == 0 ? a : a % b);
+
+    const auto sa = static_cast<std::int64_t>(a);
+    const auto sb = static_cast<std::int64_t>(b);
+    step(makeR(Op::DIV, 3, 1, 2));
+    std::int64_t quotient;
+    if (sb == 0) {
+      quotient = -1;
+    } else if (sa == std::numeric_limits<std::int64_t>::min() && sb == -1) {
+      quotient = sa;
+    } else {
+      quotient = sa / sb;
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(state.gpr(3)), quotient);
+  }
+}
+
+TEST_F(Rv64Property, BranchPredicatesMatchComparisons) {
+  const std::uint64_t values[] = {0, 1, 2, 0x7fffffffffffffffull,
+                                  0x8000000000000000ull, ~0ull};
+  for (const std::uint64_t a : values) {
+    for (const std::uint64_t b : values) {
+      struct Case {
+        Op op;
+        bool expected;
+      };
+      const Case cases[] = {
+          {Op::BEQ, a == b},
+          {Op::BNE, a != b},
+          {Op::BLT, static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b)},
+          {Op::BGE,
+           static_cast<std::int64_t>(a) >= static_cast<std::int64_t>(b)},
+          {Op::BLTU, a < b},
+          {Op::BGEU, a >= b},
+      };
+      for (const Case& c : cases) {
+        state.pc = 0x1000;
+        state.setGpr(1, a);
+        state.setGpr(2, b);
+        step(makeB(c.op, 1, 2, 0x40));
+        EXPECT_EQ(state.pc == 0x1040u, c.expected)
+            << opInfo(c.op).mnemonic << " " << a << " " << b;
+      }
+    }
+  }
+}
+
+TEST_F(Rv64Property, SltFamilyMatchesComparisons) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng();
+    const std::uint64_t b = rng();
+    state.setGpr(1, a);
+    state.setGpr(2, b);
+    step(makeR(Op::SLT, 3, 1, 2));
+    EXPECT_EQ(state.gpr(3), static_cast<std::int64_t>(a) <
+                                    static_cast<std::int64_t>(b)
+                                ? 1u
+                                : 0u);
+    step(makeR(Op::SLTU, 3, 1, 2));
+    EXPECT_EQ(state.gpr(3), a < b ? 1u : 0u);
+  }
+}
+
+TEST_F(Rv64Property, FpArithmeticMatchesHostDoubles) {
+  std::mt19937_64 rng(12);
+  std::uniform_real_distribution<double> dist(-1e6, 1e6);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double a = dist(rng);
+    const double b = dist(rng);
+    const double c = dist(rng);
+    state.setFprD(1, a);
+    state.setFprD(2, b);
+    state.setFprD(3, c);
+
+    step(makeR(Op::FADD_D, 4, 1, 2));
+    EXPECT_EQ(state.fprD(4), a + b);
+    step(makeR(Op::FSUB_D, 4, 1, 2));
+    EXPECT_EQ(state.fprD(4), a - b);
+    step(makeR(Op::FMUL_D, 4, 1, 2));
+    EXPECT_EQ(state.fprD(4), a * b);
+    step(makeR(Op::FDIV_D, 4, 1, 2));
+    EXPECT_EQ(state.fprD(4), a / b);
+    step(makeR4(Op::FMADD_D, 4, 1, 2, 3));
+    EXPECT_EQ(state.fprD(4), std::fma(a, b, c));
+    step(makeR4(Op::FNMADD_D, 4, 1, 2, 3));
+    EXPECT_EQ(state.fprD(4), std::fma(-a, b, -c));
+  }
+}
+
+}  // namespace
+}  // namespace riscmp::rv64

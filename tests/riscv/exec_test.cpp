@@ -1,0 +1,365 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "riscv/asm.hpp"
+#include "riscv/decode.hpp"
+#include "riscv/encode.hpp"
+#include "riscv/exec.hpp"
+
+namespace riscmp::rv64 {
+namespace {
+
+class Rv64ExecTest : public ::testing::Test {
+ protected:
+  Rv64ExecTest() : memory(1 << 20) { state.pc = 0x1000; }
+
+  RetiredInst step(const Inst& inst, Trap expected = Trap::None) {
+    RetiredInst retired;
+    retired.pc = state.pc;
+    const Trap trap = execute(inst, state, memory, retired);
+    EXPECT_EQ(trap, expected);
+    return retired;
+  }
+
+  State state;
+  Memory memory;
+};
+
+TEST_F(Rv64ExecTest, AddiAndZeroRegister) {
+  step(makeI(Op::ADDI, 5, 0, 42));
+  EXPECT_EQ(state.gpr(5), 42u);
+  // Writes to x0 are discarded.
+  step(makeI(Op::ADDI, 0, 5, 1));
+  EXPECT_EQ(state.gpr(0), 0u);
+  EXPECT_EQ(state.pc, 0x1008u);
+}
+
+TEST_F(Rv64ExecTest, ZeroRegisterNotRecordedAsDependency) {
+  const RetiredInst r = step(makeI(Op::ADDI, 5, 0, 1));
+  EXPECT_TRUE(r.srcs.empty());
+  ASSERT_EQ(r.dsts.size(), 1u);
+  EXPECT_EQ(r.dsts[0], Reg::gp(5));
+
+  const RetiredInst r2 = step(makeI(Op::ADDI, 0, 0, 0));  // nop
+  EXPECT_TRUE(r2.srcs.empty());
+  EXPECT_TRUE(r2.dsts.empty());
+}
+
+TEST_F(Rv64ExecTest, LuiAuipc) {
+  step(makeU(Op::LUI, 5, 0x12345000));
+  EXPECT_EQ(state.gpr(5), 0x12345000u);
+  step(makeU(Op::AUIPC, 6, 0x1000));
+  EXPECT_EQ(state.gpr(6), 0x1004u + 0x1000u);
+}
+
+TEST_F(Rv64ExecTest, NegativeLuiSignExtends) {
+  step(makeU(Op::LUI, 5, static_cast<std::int64_t>(-4096)));
+  EXPECT_EQ(state.gpr(5), 0xfffffffffffff000ull);
+}
+
+TEST_F(Rv64ExecTest, BranchesTakenAndNot) {
+  state.setGpr(1, 5);
+  state.setGpr(2, 5);
+  const RetiredInst taken = step(makeB(Op::BEQ, 1, 2, 16));
+  EXPECT_TRUE(taken.isBranch);
+  EXPECT_TRUE(taken.branchTaken);
+  EXPECT_EQ(taken.branchTarget, 0x1010u);
+  EXPECT_EQ(state.pc, 0x1010u);
+
+  const RetiredInst notTaken = step(makeB(Op::BNE, 1, 2, 16));
+  EXPECT_TRUE(notTaken.isBranch);
+  EXPECT_FALSE(notTaken.branchTaken);
+  EXPECT_EQ(state.pc, 0x1014u);
+}
+
+TEST_F(Rv64ExecTest, SignedUnsignedBranches) {
+  state.setGpr(1, static_cast<std::uint64_t>(-1));
+  state.setGpr(2, 1);
+  step(makeB(Op::BLT, 1, 2, 8));
+  EXPECT_EQ(state.pc, 0x1008u);  // -1 < 1 signed: taken
+  step(makeB(Op::BLTU, 1, 2, 8));
+  EXPECT_EQ(state.pc, 0x100cu);  // 0xfff... < 1 unsigned: not taken
+}
+
+TEST_F(Rv64ExecTest, JalJalrLinkage) {
+  step(makeJ(Op::JAL, 1, 0x100));
+  EXPECT_EQ(state.gpr(1), 0x1004u);
+  EXPECT_EQ(state.pc, 0x1100u);
+  state.setGpr(5, 0x2001);  // low bit must be cleared by jalr
+  step(makeI(Op::JALR, 1, 5, 0));
+  EXPECT_EQ(state.gpr(1), 0x1104u);
+  EXPECT_EQ(state.pc, 0x2000u);
+}
+
+TEST_F(Rv64ExecTest, LoadStoreWidthsAndExtension) {
+  memory.write<std::uint64_t>(0x200, 0xdeadbeefcafef00dull);
+  state.setGpr(1, 0x200);
+
+  step(makeI(Op::LB, 2, 1, 0));
+  EXPECT_EQ(state.gpr(2), 0x0dull);
+  step(makeI(Op::LB, 2, 1, 1));
+  EXPECT_EQ(state.gpr(2), 0xfffffffffffffff0ull);  // sign-extended 0xf0
+  step(makeI(Op::LBU, 2, 1, 1));
+  EXPECT_EQ(state.gpr(2), 0xf0ull);
+  step(makeI(Op::LH, 2, 1, 0));
+  EXPECT_EQ(state.gpr(2), 0xfffffffffffff00dull);
+  step(makeI(Op::LHU, 2, 1, 0));
+  EXPECT_EQ(state.gpr(2), 0xf00dull);
+  step(makeI(Op::LW, 2, 1, 4));
+  EXPECT_EQ(state.gpr(2), 0xffffffffdeadbeefull);
+  step(makeI(Op::LWU, 2, 1, 4));
+  EXPECT_EQ(state.gpr(2), 0xdeadbeefull);
+  step(makeI(Op::LD, 2, 1, 0));
+  EXPECT_EQ(state.gpr(2), 0xdeadbeefcafef00dull);
+
+  state.setGpr(3, 0x1122334455667788ull);
+  step(makeS(Op::SB, 3, 1, 8));
+  EXPECT_EQ(memory.read<std::uint8_t>(0x208), 0x88);
+  step(makeS(Op::SH, 3, 1, 10));
+  EXPECT_EQ(memory.read<std::uint16_t>(0x20a), 0x7788);
+  step(makeS(Op::SW, 3, 1, 12));
+  EXPECT_EQ(memory.read<std::uint32_t>(0x20c), 0x55667788u);
+  step(makeS(Op::SD, 3, 1, 16));
+  EXPECT_EQ(memory.read<std::uint64_t>(0x210), 0x1122334455667788ull);
+}
+
+TEST_F(Rv64ExecTest, MemAccessesRecorded) {
+  state.setGpr(1, 0x300);
+  const RetiredInst load = step(makeI(Op::LD, 2, 1, 8));
+  ASSERT_EQ(load.loads.size(), 1u);
+  EXPECT_EQ(load.loads[0], (MemAccess{0x308, 8}));
+  EXPECT_TRUE(load.stores.empty());
+
+  const RetiredInst store = step(makeS(Op::SW, 2, 1, 4));
+  ASSERT_EQ(store.stores.size(), 1u);
+  EXPECT_EQ(store.stores[0], (MemAccess{0x304, 4}));
+}
+
+TEST_F(Rv64ExecTest, WordArithmeticSignExtends) {
+  state.setGpr(1, 0x7fffffff);
+  step(makeI(Op::ADDIW, 2, 1, 1));
+  EXPECT_EQ(state.gpr(2), 0xffffffff80000000ull);
+  state.setGpr(3, 1);
+  state.setGpr(4, 0xffffffffull);
+  step(makeR(Op::ADDW, 5, 3, 4));
+  EXPECT_EQ(state.gpr(5), 0u);
+}
+
+TEST_F(Rv64ExecTest, ShiftSemantics) {
+  state.setGpr(1, 0x8000000000000000ull);
+  step(makeI(Op::SRAI, 2, 1, 63));
+  EXPECT_EQ(state.gpr(2), ~0ull);
+  step(makeI(Op::SRLI, 2, 1, 63));
+  EXPECT_EQ(state.gpr(2), 1u);
+  state.setGpr(3, 0x80000000ull);
+  step(makeI(Op::SRAIW, 4, 3, 31));
+  EXPECT_EQ(state.gpr(4), ~0ull);
+}
+
+TEST_F(Rv64ExecTest, MultiplyHighVariants) {
+  state.setGpr(1, 0xffffffffffffffffull);  // -1
+  state.setGpr(2, 0xffffffffffffffffull);
+  step(makeR(Op::MULH, 3, 1, 2));
+  EXPECT_EQ(state.gpr(3), 0u);  // (-1)*(-1) high = 0
+  step(makeR(Op::MULHU, 3, 1, 2));
+  EXPECT_EQ(state.gpr(3), 0xfffffffffffffffeull);
+  step(makeR(Op::MULHSU, 3, 1, 2));
+  EXPECT_EQ(state.gpr(3), 0xffffffffffffffffull);
+  step(makeR(Op::MUL, 3, 1, 2));
+  EXPECT_EQ(state.gpr(3), 1u);
+}
+
+TEST_F(Rv64ExecTest, DivisionEdgeCases) {
+  state.setGpr(1, 42);
+  state.setGpr(2, 0);
+  step(makeR(Op::DIV, 3, 1, 2));
+  EXPECT_EQ(state.gpr(3), ~0ull);  // div by zero -> -1
+  step(makeR(Op::DIVU, 3, 1, 2));
+  EXPECT_EQ(state.gpr(3), ~0ull);
+  step(makeR(Op::REM, 3, 1, 2));
+  EXPECT_EQ(state.gpr(3), 42u);  // rem by zero -> dividend
+  step(makeR(Op::REMU, 3, 1, 2));
+  EXPECT_EQ(state.gpr(3), 42u);
+
+  state.setGpr(1, 0x8000000000000000ull);  // INT64_MIN
+  state.setGpr(2, ~0ull);                  // -1
+  step(makeR(Op::DIV, 3, 1, 2));
+  EXPECT_EQ(state.gpr(3), 0x8000000000000000ull);  // overflow -> dividend
+  step(makeR(Op::REM, 3, 1, 2));
+  EXPECT_EQ(state.gpr(3), 0u);
+}
+
+TEST_F(Rv64ExecTest, DoubleArithmetic) {
+  state.setFprD(1, 3.0);
+  state.setFprD(2, 4.0);
+  step(makeR(Op::FMUL_D, 3, 1, 2));
+  EXPECT_DOUBLE_EQ(state.fprD(3), 12.0);
+  step(makeR(Op::FDIV_D, 3, 1, 2));
+  EXPECT_DOUBLE_EQ(state.fprD(3), 0.75);
+  state.setFprD(4, 2.0);
+  step(makeR4(Op::FMADD_D, 5, 1, 2, 4));
+  EXPECT_DOUBLE_EQ(state.fprD(5), 14.0);
+  step(makeR4(Op::FNMSUB_D, 5, 1, 2, 4));
+  EXPECT_DOUBLE_EQ(state.fprD(5), -10.0);
+  step(makeR(Op::FSQRT_D, 6, 2, 0));
+  EXPECT_DOUBLE_EQ(state.fprD(6), 2.0);
+}
+
+TEST_F(Rv64ExecTest, FpMinMaxNanHandling) {
+  state.setFprD(1, std::numeric_limits<double>::quiet_NaN());
+  state.setFprD(2, 7.0);
+  step(makeR(Op::FMIN_D, 3, 1, 2));
+  EXPECT_DOUBLE_EQ(state.fprD(3), 7.0);  // number beats NaN
+  step(makeR(Op::FMAX_D, 3, 1, 2));
+  EXPECT_DOUBLE_EQ(state.fprD(3), 7.0);
+  state.setFprD(4, -0.0);
+  state.setFprD(5, +0.0);
+  step(makeR(Op::FMIN_D, 3, 4, 5));
+  EXPECT_TRUE(std::signbit(state.fprD(3)));
+  step(makeR(Op::FMAX_D, 3, 4, 5));
+  EXPECT_FALSE(std::signbit(state.fprD(3)));
+}
+
+TEST_F(Rv64ExecTest, FpCompares) {
+  state.setFprD(1, 1.0);
+  state.setFprD(2, 2.0);
+  step(makeR(Op::FLT_D, 3, 1, 2));
+  EXPECT_EQ(state.gpr(3), 1u);
+  step(makeR(Op::FLE_D, 3, 2, 1));
+  EXPECT_EQ(state.gpr(3), 0u);
+  state.setFprD(4, std::numeric_limits<double>::quiet_NaN());
+  step(makeR(Op::FEQ_D, 3, 4, 4));
+  EXPECT_EQ(state.gpr(3), 0u);  // NaN != NaN
+}
+
+TEST_F(Rv64ExecTest, FpConversionSaturation) {
+  state.setFprD(1, 1e30);
+  step(makeR(Op::FCVT_W_D, 2, 1, 0));
+  EXPECT_EQ(static_cast<std::int32_t>(state.gpr(2)),
+            std::numeric_limits<std::int32_t>::max());
+  state.setFprD(1, -1e30);
+  step(makeR(Op::FCVT_L_D, 2, 1, 0));
+  EXPECT_EQ(static_cast<std::int64_t>(state.gpr(2)),
+            std::numeric_limits<std::int64_t>::min());
+  state.setFprD(1, std::numeric_limits<double>::quiet_NaN());
+  step(makeR(Op::FCVT_W_D, 2, 1, 0));
+  EXPECT_EQ(static_cast<std::int32_t>(state.gpr(2)),
+            std::numeric_limits<std::int32_t>::max());
+  state.setFprD(1, -3.9);
+  step(makeR(Op::FCVT_W_D, 2, 1, 0));
+  EXPECT_EQ(static_cast<std::int32_t>(state.gpr(2)), -3);  // truncates
+}
+
+TEST_F(Rv64ExecTest, IntToFpConversions) {
+  state.setGpr(1, static_cast<std::uint64_t>(-7));
+  step(makeR(Op::FCVT_D_L, 2, 1, 0));
+  EXPECT_DOUBLE_EQ(state.fprD(2), -7.0);
+  step(makeR(Op::FCVT_D_LU, 2, 1, 0));
+  EXPECT_DOUBLE_EQ(state.fprD(2),
+                   static_cast<double>(0xfffffffffffffff9ull));
+}
+
+TEST_F(Rv64ExecTest, SinglePrecisionNanBoxing) {
+  state.setFprS(1, 1.5f);
+  EXPECT_EQ(state.f[1] >> 32, 0xffffffffu);  // NaN-boxed
+  EXPECT_FLOAT_EQ(state.fprS(1), 1.5f);
+  // Reading a non-boxed value as single yields NaN.
+  state.setFprD(2, 1.0);
+  EXPECT_TRUE(std::isnan(state.fprS(2)));
+}
+
+TEST_F(Rv64ExecTest, FsgnjFamily) {
+  state.setFprD(1, 3.0);
+  state.setFprD(2, -5.0);
+  step(makeR(Op::FSGNJ_D, 3, 1, 2));
+  EXPECT_DOUBLE_EQ(state.fprD(3), -3.0);
+  step(makeR(Op::FSGNJN_D, 3, 1, 2));
+  EXPECT_DOUBLE_EQ(state.fprD(3), 3.0);
+  step(makeR(Op::FSGNJX_D, 3, 2, 2));
+  EXPECT_DOUBLE_EQ(state.fprD(3), 5.0);  // fabs
+}
+
+TEST_F(Rv64ExecTest, FmvMovesRawBits) {
+  state.setGpr(1, 0x3ff0000000000000ull);  // bits of 1.0
+  step(makeR(Op::FMV_D_X, 2, 1, 0));
+  EXPECT_DOUBLE_EQ(state.fprD(2), 1.0);
+  step(makeR(Op::FMV_X_D, 3, 2, 0));
+  EXPECT_EQ(state.gpr(3), 0x3ff0000000000000ull);
+}
+
+TEST_F(Rv64ExecTest, EcallEbreakTrap) {
+  step(Inst{.op = Op::ECALL}, Trap::Ecall);
+  step(Inst{.op = Op::EBREAK}, Trap::Ebreak);
+}
+
+TEST_F(Rv64ExecTest, AmoAddSwap) {
+  memory.write<std::uint64_t>(0x400, 100);
+  state.setGpr(1, 0x400);
+  state.setGpr(2, 5);
+  const RetiredInst amo = step(makeR(Op::AMOADD_D, 3, 1, 2));
+  EXPECT_EQ(state.gpr(3), 100u);
+  EXPECT_EQ(memory.read<std::uint64_t>(0x400), 105u);
+  EXPECT_EQ(amo.loads.size(), 1u);
+  EXPECT_EQ(amo.stores.size(), 1u);
+
+  step(makeR(Op::AMOSWAP_D, 3, 1, 2));
+  EXPECT_EQ(state.gpr(3), 105u);
+  EXPECT_EQ(memory.read<std::uint64_t>(0x400), 5u);
+}
+
+TEST_F(Rv64ExecTest, LrScAlwaysSucceedSingleHart) {
+  memory.write<std::uint32_t>(0x500, 7);
+  state.setGpr(1, 0x500);
+  step(makeR(Op::LR_W, 2, 1, 0));
+  EXPECT_EQ(state.gpr(2), 7u);
+  state.setGpr(3, 9);
+  step(makeR(Op::SC_W, 4, 1, 3));
+  EXPECT_EQ(state.gpr(4), 0u);  // success
+  EXPECT_EQ(memory.read<std::uint32_t>(0x500), 9u);
+}
+
+TEST_F(Rv64ExecTest, CsrReadWrite) {
+  state.setGpr(1, 0x1f);
+  step(makeI(Op::CSRRW, 2, 1, 0x003));  // fcsr
+  EXPECT_EQ(state.fcsr, 0x1fu);
+  EXPECT_EQ(state.gpr(2), 0u);  // old value
+  step(makeI(Op::CSRRS, 3, 0, 0x003));
+  EXPECT_EQ(state.gpr(3), 0x1fu);
+}
+
+TEST_F(Rv64ExecTest, MemoryFaultOnOutOfRange) {
+  state.setGpr(1, memory.size() + 0x1000);
+  EXPECT_THROW(step(makeI(Op::LD, 2, 1, 0)), MemoryFault);
+}
+
+// Integration: run an assembled program computing 10+9+...+1 via a loop.
+TEST_F(Rv64ExecTest, AssembledLoopProgram) {
+  const auto words = assemble(
+      "  li a0, 0\n"
+      "  li a1, 10\n"
+      "loop:\n"
+      "  add a0, a0, a1\n"
+      "  addi a1, a1, -1\n"
+      "  bnez a1, loop\n"
+      "  ecall\n",
+      0x1000);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    memory.write<std::uint32_t>(0x1000 + i * 4, words[i]);
+  }
+  state.pc = 0x1000;
+  int executed = 0;
+  for (;;) {
+    ASSERT_LT(++executed, 1000) << "program did not terminate";
+    const std::uint32_t word = memory.read<std::uint32_t>(state.pc);
+    const auto inst = decode(word);
+    ASSERT_TRUE(inst.has_value());
+    RetiredInst retired;
+    if (execute(*inst, state, memory, retired) == Trap::Ecall) break;
+  }
+  EXPECT_EQ(state.gpr(10), 55u);
+}
+
+}  // namespace
+}  // namespace riscmp::rv64

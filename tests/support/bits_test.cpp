@@ -1,0 +1,68 @@
+#include "support/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace riscmp {
+namespace {
+
+TEST(Bits, ExtractRange) {
+  EXPECT_EQ(bits(0xdeadbeefu, 31u, 28u), 0xdu);
+  EXPECT_EQ(bits(0xdeadbeefu, 3u, 0u), 0xfu);
+  EXPECT_EQ(bits(0xdeadbeefu, 31u, 0u), 0xdeadbeefu);
+  EXPECT_EQ(bits(std::uint64_t{0xff00}, 15u, 8u), 0xffu);
+}
+
+TEST(Bits, SingleBit) {
+  EXPECT_EQ(bit(0b1000u, 3u), 1u);
+  EXPECT_EQ(bit(0b1000u, 2u), 0u);
+}
+
+TEST(Bits, InsertBits) {
+  EXPECT_EQ(insertBits(0, 11, 7, 0x1f), 0xf80u);
+  EXPECT_EQ(insertBits(0xffffffffu, 11, 7, 0), 0xfffff07fu);
+  // Values wider than the field are masked.
+  EXPECT_EQ(insertBits(0, 3, 0, 0xff), 0xfu);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(signExtend(0xfff, 12), -1);
+  EXPECT_EQ(signExtend(0x7ff, 12), 2047);
+  EXPECT_EQ(signExtend(0x800, 12), -2048);
+  EXPECT_EQ(signExtend(0x0, 12), 0);
+  EXPECT_EQ(signExtend(0xffffffff, 32), -1);
+}
+
+TEST(Bits, FitsSigned) {
+  EXPECT_TRUE(fitsSigned(2047, 12));
+  EXPECT_TRUE(fitsSigned(-2048, 12));
+  EXPECT_FALSE(fitsSigned(2048, 12));
+  EXPECT_FALSE(fitsSigned(-2049, 12));
+}
+
+TEST(Bits, FitsUnsigned) {
+  EXPECT_TRUE(fitsUnsigned(4095, 12));
+  EXPECT_FALSE(fitsUnsigned(4096, 12));
+  EXPECT_TRUE(fitsUnsigned(~0ull, 64));
+}
+
+TEST(Bits, Rotate) {
+  EXPECT_EQ(rotateRight64(0x1, 1), 0x8000000000000000ull);
+  EXPECT_EQ(rotateRight64(0xf0, 4), 0xf);
+  EXPECT_EQ(rotateRight(0b0110, 1, 4), 0b0011u);
+  EXPECT_EQ(rotateRight(0b0001, 1, 4), 0b1000u);
+}
+
+TEST(Bits, Replicate) {
+  EXPECT_EQ(replicate(0b01, 2), 0x5555555555555555ull);
+  EXPECT_EQ(replicate(0xff, 8), 0xffffffffffffffffull);
+}
+
+TEST(Bits, AlignUp) {
+  EXPECT_EQ(alignUp(0, 8), 0u);
+  EXPECT_EQ(alignUp(1, 8), 8u);
+  EXPECT_EQ(alignUp(8, 8), 8u);
+  EXPECT_EQ(alignUp(9, 16), 16u);
+}
+
+}  // namespace
+}  // namespace riscmp

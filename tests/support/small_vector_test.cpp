@@ -1,0 +1,56 @@
+#include "support/small_vector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace riscmp {
+namespace {
+
+TEST(SmallVector, StartsEmpty) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(SmallVector, PushAndIndex) {
+  SmallVector<int, 4> v;
+  v.push_back(1);
+  v.push_back(2);
+  v.push_back(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(SmallVector, InitializerList) {
+  SmallVector<int, 4> v = {5, 6};
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[1], 6);
+}
+
+TEST(SmallVector, RangeFor) {
+  SmallVector<int, 4> v = {1, 2, 3, 4};
+  int sum = 0;
+  for (const int x : v) sum += x;
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(SmallVector, ClearResets) {
+  SmallVector<int, 2> v = {1, 2};
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(9);
+  EXPECT_EQ(v[0], 9);
+}
+
+TEST(SmallVector, Equality) {
+  SmallVector<int, 4> a = {1, 2};
+  SmallVector<int, 4> b = {1, 2};
+  SmallVector<int, 4> c = {1, 3};
+  SmallVector<int, 4> d = {1};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+}  // namespace
+}  // namespace riscmp

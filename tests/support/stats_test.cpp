@@ -1,0 +1,49 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace riscmp {
+namespace {
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+}
+
+TEST(RunningStats, MeanMinMax) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 6.0}) s.add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(RunningStats, Variance) {
+  RunningStats s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  // Sample variance of 1..4 is 5/3.
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(RunningStats, StableOverManySamples) {
+  RunningStats s;
+  for (int i = 0; i < 1'000'000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25, 1e-3);
+}
+
+TEST(GeometricMean, Basics) {
+  EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geometricMean({4.0}), 4.0);
+  EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace riscmp

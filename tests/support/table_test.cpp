@@ -1,0 +1,67 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace riscmp {
+namespace {
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(withCommas(std::uint64_t{0}), "0");
+  EXPECT_EQ(withCommas(std::uint64_t{999}), "999");
+  EXPECT_EQ(withCommas(std::uint64_t{1000}), "1,000");
+  EXPECT_EQ(withCommas(std::uint64_t{3350107615}), "3,350,107,615");
+  EXPECT_EQ(withCommas(std::int64_t{-12345}), "-12,345");
+}
+
+TEST(Format, SigFigs) {
+  EXPECT_EQ(sigFigs(5.0, 3), "5.00");
+  EXPECT_EQ(sigFigs(0.023456, 3), "0.0235");  // rounds
+  EXPECT_EQ(sigFigs(335.2, 3), "335");
+  EXPECT_EQ(sigFigs(0.0, 3), "0");
+}
+
+TEST(Format, PercentDelta) {
+  EXPECT_EQ(percentDelta(110.0, 100.0), "+10.0%");
+  EXPECT_EQ(percentDelta(90.0, 100.0), "-10.0%");
+  EXPECT_EQ(percentDelta(1.0, 0.0), "n/a");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"k", "v"});
+  t.addRow({"with,comma", "with\"quote"});
+  const std::string csv = t.renderCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, SeparatorInsertsRule) {
+  Table t({"x"});
+  t.addRow({"a"});
+  t.addSeparator();
+  t.addRow({"b"});
+  const std::string out = t.render();
+  // header rule + top + between-rows + bottom = 4 rules
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+}  // namespace
+}  // namespace riscmp

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "uarch/core_model.hpp"
+
+namespace riscmp::uarch {
+namespace {
+
+TEST(CoreModel, LoadsShippedConfigs) {
+  for (const char* name : {"tx2", "riscv-tx2", "a64fx", "m1-firestorm"}) {
+    const CoreModel model = CoreModel::named(name);
+    EXPECT_FALSE(model.ports.empty()) << name;
+    EXPECT_GT(model.robSize, 0u) << name;
+    EXPECT_GT(model.clockGhz, 0.0) << name;
+    // Every group must be executable on at least one port.
+    for (std::size_t g = 0; g < kInstGroupCount; ++g) {
+      bool covered = false;
+      for (const Port& port : model.ports) {
+        covered |= port.accepts(static_cast<InstGroup>(g));
+      }
+      EXPECT_TRUE(covered) << name << " lacks a port for "
+                           << instGroupName(static_cast<InstGroup>(g));
+    }
+  }
+}
+
+TEST(CoreModel, PaperModelPairMatches) {
+  // §5.1: the RISC-V model is derived from the TX2 latencies.
+  const CoreModel tx2 = CoreModel::named("tx2");
+  const CoreModel riscv = CoreModel::named("riscv-tx2");
+  EXPECT_EQ(tx2.latencies, riscv.latencies);
+  EXPECT_EQ(tx2.robSize, riscv.robSize);
+}
+
+TEST(CoreModel, ParsesInlineYaml) {
+  const CoreModel model = CoreModel::fromYaml(yaml::parse(
+      "name: tiny\n"
+      "core:\n"
+      "  fetch_width: 2\n"
+      "  dispatch_width: 2\n"
+      "  commit_width: 1\n"
+      "  rob_size: 16\n"
+      "  clock_ghz: 1.5\n"
+      "  predictor: static\n"
+      "  mispredict_penalty: 7\n"
+      "ports:\n"
+      "  - name: p0\n"
+      "    groups: [INT_SIMPLE, BRANCH]\n"
+      "latencies:\n"
+      "  INT_MUL: 9\n"));
+  EXPECT_EQ(model.name, "tiny");
+  EXPECT_EQ(model.dispatchWidth, 2u);
+  EXPECT_EQ(model.commitWidth, 1u);
+  EXPECT_EQ(model.robSize, 16u);
+  EXPECT_EQ(model.predictor, BranchPredictor::Static);
+  EXPECT_EQ(model.mispredictPenalty, 7u);
+  ASSERT_EQ(model.ports.size(), 1u);
+  EXPECT_TRUE(model.ports[0].accepts(InstGroup::IntSimple));
+  EXPECT_FALSE(model.ports[0].accepts(InstGroup::FpAdd));
+  EXPECT_EQ(model.latencies[static_cast<std::size_t>(InstGroup::IntMul)], 9u);
+  // Unlisted groups default to 1.
+  EXPECT_EQ(model.latencies[static_cast<std::size_t>(InstGroup::FpAdd)], 1u);
+}
+
+TEST(CoreModel, RejectsUnknownGroupAndPredictor) {
+  EXPECT_THROW(CoreModel::fromYaml(yaml::parse("latencies:\n  BOGUS: 3\n")),
+               std::runtime_error);
+  EXPECT_THROW(CoreModel::fromYaml(yaml::parse(
+                   "ports:\n  - name: p\n    groups: [NOPE]\n")),
+               std::runtime_error);
+  EXPECT_THROW(CoreModel::fromYaml(
+                   yaml::parse("core:\n  predictor: oracle\n")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace riscmp::uarch

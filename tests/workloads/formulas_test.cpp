@@ -1,0 +1,132 @@
+// Closed-form path-length checks: for the regular workloads the dynamic
+// instruction count follows an exact linear formula in the problem size;
+// these tests pin the generated code's per-iteration budgets across sizes
+// (parameterised sweeps), so codegen regressions surface as off-by-N
+// failures rather than vague ratio drifts.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "kgen/compile.hpp"
+#include "workloads/workloads.hpp"
+
+namespace riscmp::workloads {
+namespace {
+
+using kgen::CompilerEra;
+
+std::uint64_t pathLength(const kgen::Module& module, Arch arch,
+                         CompilerEra era) {
+  const kgen::Compiled compiled = kgen::compile(module, arch, era);
+  Machine machine(compiled.program);
+  return machine.run().instructions;
+}
+
+class StreamFormula : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(StreamFormula, PerElementBudgetsExact) {
+  const std::int64_t n = GetParam();
+  const std::int64_t reps = 2;
+  const kgen::Module module = makeStream({.n = n, .reps = reps});
+
+  // Differential against a second size removes all fixed overhead.
+  const kgen::Module bigger = makeStream({.n = n + 64, .reps = reps});
+
+  struct Expect {
+    Arch arch;
+    CompilerEra era;
+    std::int64_t perElement;  // summed over the four kernels
+  };
+  // GCC 12.2: copy 5 + scale 6 + add 7 + triad 7 = 25 (AArch64)
+  //           copy 5 + scale 6 + add 8 + triad 8 = 27 (RISC-V: one pointer
+  //           bump per live array)
+  // GCC 9.2 adds exactly +1 per kernel on AArch64 only.
+  const Expect expectations[] = {
+      {Arch::AArch64, CompilerEra::Gcc12, 25},
+      {Arch::AArch64, CompilerEra::Gcc9, 29},
+      {Arch::Rv64, CompilerEra::Gcc12, 27},
+      {Arch::Rv64, CompilerEra::Gcc9, 27},
+  };
+  for (const Expect& expect : expectations) {
+    const std::uint64_t delta = pathLength(bigger, expect.arch, expect.era) -
+                                pathLength(module, expect.arch, expect.era);
+    EXPECT_EQ(delta, static_cast<std::uint64_t>(64 * reps *
+                                                expect.perElement))
+        << archName(expect.arch) << "/" << eraName(expect.era) << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StreamFormula,
+                         ::testing::Values(64, 100, 256, 1000));
+
+class BudeFormula : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BudeFormula, PathLengthLinearInPoses) {
+  const std::int64_t poses = GetParam();
+  const MiniBudeParams base{.poses = poses, .ligandAtoms = 4,
+                            .proteinAtoms = 8};
+  MiniBudeParams more = base;
+  more.poses = poses + 5;
+  for (const Arch arch : {Arch::AArch64, Arch::Rv64}) {
+    const std::uint64_t delta =
+        pathLength(makeMiniBude(more), arch, CompilerEra::Gcc12) -
+        pathLength(makeMiniBude(base), arch, CompilerEra::Gcc12);
+    // Per-pose cost is constant: delta must be divisible by the pose delta.
+    EXPECT_EQ(delta % 5, 0u) << archName(arch);
+    EXPECT_GT(delta / 5, 100u) << archName(arch);  // real per-pose work
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Poses, BudeFormula, ::testing::Values(2, 6, 12));
+
+TEST(LbmFormula, PathLengthLinearInIterations) {
+  const LbmParams one{.nx = 8, .ny = 6, .iters = 1};
+  const LbmParams two{.nx = 8, .ny = 6, .iters = 2};
+  const LbmParams three{.nx = 8, .ny = 6, .iters = 3};
+  for (const Arch arch : {Arch::AArch64, Arch::Rv64}) {
+    const std::uint64_t p1 = pathLength(makeLbm(one), arch, CompilerEra::Gcc12);
+    const std::uint64_t p2 = pathLength(makeLbm(two), arch, CompilerEra::Gcc12);
+    const std::uint64_t p3 =
+        pathLength(makeLbm(three), arch, CompilerEra::Gcc12);
+    // Each extra iteration costs the same.
+    EXPECT_EQ(p2 - p1, p3 - p2) << archName(arch);
+  }
+}
+
+TEST(SweepFormula, PathLengthLinearInAngles) {
+  // na enters the face-array strides, and pow2 vs non-pow2 strides compile
+  // to different preheader sequences (shift vs multiply) — so linearity is
+  // asserted within one codegen class (all non-pow2 angle counts).
+  const MinisweepParams base{.ncellX = 2, .ncellY = 3, .ncellZ = 3, .ne = 1,
+                             .na = 6};
+  MinisweepParams more = base;
+  more.na = 12;
+  MinisweepParams most = base;
+  most.na = 18;
+  for (const Arch arch : {Arch::AArch64, Arch::Rv64}) {
+    const std::uint64_t small =
+        pathLength(makeMinisweep(base), arch, CompilerEra::Gcc12);
+    const std::uint64_t medium =
+        pathLength(makeMinisweep(more), arch, CompilerEra::Gcc12);
+    const std::uint64_t large =
+        pathLength(makeMinisweep(most), arch, CompilerEra::Gcc12);
+    EXPECT_EQ(medium - small, large - medium) << archName(arch);
+  }
+}
+
+TEST(CloverFormula, StepsScaleLinearly) {
+  const CloverLeafParams one{.nx = 10, .ny = 10, .steps = 1};
+  const CloverLeafParams two{.nx = 10, .ny = 10, .steps = 2};
+  const CloverLeafParams three{.nx = 10, .ny = 10, .steps = 3};
+  for (const Arch arch : {Arch::AArch64, Arch::Rv64}) {
+    const std::uint64_t p1 =
+        pathLength(makeCloverLeaf(one), arch, CompilerEra::Gcc9);
+    const std::uint64_t p2 =
+        pathLength(makeCloverLeaf(two), arch, CompilerEra::Gcc9);
+    const std::uint64_t p3 =
+        pathLength(makeCloverLeaf(three), arch, CompilerEra::Gcc9);
+    EXPECT_EQ(p2 - p1, p3 - p2) << archName(arch);
+  }
+}
+
+}  // namespace
+}  // namespace riscmp::workloads
