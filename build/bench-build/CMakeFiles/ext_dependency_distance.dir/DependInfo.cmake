@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_dependency_distance.cpp" "bench-build/CMakeFiles/ext_dependency_distance.dir/ext_dependency_distance.cpp.o" "gcc" "bench-build/CMakeFiles/ext_dependency_distance.dir/ext_dependency_distance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/riscmp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/riscmp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/riscmp_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/riscmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/riscmp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/kgen/CMakeFiles/riscmp_kgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/riscmp_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/aarch64/CMakeFiles/riscmp_aarch64.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/riscmp_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_dependency_distance"
+  "../bench/ext_dependency_distance.pdb"
+  "CMakeFiles/ext_dependency_distance.dir/ext_dependency_distance.cpp.o"
+  "CMakeFiles/ext_dependency_distance.dir/ext_dependency_distance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dependency_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

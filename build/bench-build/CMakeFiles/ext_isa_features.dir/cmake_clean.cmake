@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_isa_features"
+  "../bench/ext_isa_features.pdb"
+  "CMakeFiles/ext_isa_features.dir/ext_isa_features.cpp.o"
+  "CMakeFiles/ext_isa_features.dir/ext_isa_features.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_isa_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

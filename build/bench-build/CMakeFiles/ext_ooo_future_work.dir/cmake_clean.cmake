@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_ooo_future_work"
+  "../bench/ext_ooo_future_work.pdb"
+  "CMakeFiles/ext_ooo_future_work.dir/ext_ooo_future_work.cpp.o"
+  "CMakeFiles/ext_ooo_future_work.dir/ext_ooo_future_work.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ooo_future_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

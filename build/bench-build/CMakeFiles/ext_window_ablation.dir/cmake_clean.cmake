@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_window_ablation"
+  "../bench/ext_window_ablation.pdb"
+  "CMakeFiles/ext_window_ablation.dir/ext_window_ablation.cpp.o"
+  "CMakeFiles/ext_window_ablation.dir/ext_window_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_window_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_path_lengths"
+  "../bench/fig1_path_lengths.pdb"
+  "CMakeFiles/fig1_path_lengths.dir/fig1_path_lengths.cpp.o"
+  "CMakeFiles/fig1_path_lengths.dir/fig1_path_lengths.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_path_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_windowed_ilp"
+  "../bench/fig2_windowed_ilp.pdb"
+  "CMakeFiles/fig2_windowed_ilp.dir/fig2_windowed_ilp.cpp.o"
+  "CMakeFiles/fig2_windowed_ilp.dir/fig2_windowed_ilp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_windowed_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab1_critical_paths"
+  "../bench/tab1_critical_paths.pdb"
+  "CMakeFiles/tab1_critical_paths.dir/tab1_critical_paths.cpp.o"
+  "CMakeFiles/tab1_critical_paths.dir/tab1_critical_paths.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_critical_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab2_scaled_critical_paths"
+  "../bench/tab2_scaled_critical_paths.pdb"
+  "CMakeFiles/tab2_scaled_critical_paths.dir/tab2_scaled_critical_paths.cpp.o"
+  "CMakeFiles/tab2_scaled_critical_paths.dir/tab2_scaled_critical_paths.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_scaled_critical_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aarch64/asm.cpp" "src/aarch64/CMakeFiles/riscmp_aarch64.dir/asm.cpp.o" "gcc" "src/aarch64/CMakeFiles/riscmp_aarch64.dir/asm.cpp.o.d"
+  "/root/repo/src/aarch64/bitmask.cpp" "src/aarch64/CMakeFiles/riscmp_aarch64.dir/bitmask.cpp.o" "gcc" "src/aarch64/CMakeFiles/riscmp_aarch64.dir/bitmask.cpp.o.d"
+  "/root/repo/src/aarch64/decode.cpp" "src/aarch64/CMakeFiles/riscmp_aarch64.dir/decode.cpp.o" "gcc" "src/aarch64/CMakeFiles/riscmp_aarch64.dir/decode.cpp.o.d"
+  "/root/repo/src/aarch64/disasm.cpp" "src/aarch64/CMakeFiles/riscmp_aarch64.dir/disasm.cpp.o" "gcc" "src/aarch64/CMakeFiles/riscmp_aarch64.dir/disasm.cpp.o.d"
+  "/root/repo/src/aarch64/encode.cpp" "src/aarch64/CMakeFiles/riscmp_aarch64.dir/encode.cpp.o" "gcc" "src/aarch64/CMakeFiles/riscmp_aarch64.dir/encode.cpp.o.d"
+  "/root/repo/src/aarch64/exec.cpp" "src/aarch64/CMakeFiles/riscmp_aarch64.dir/exec.cpp.o" "gcc" "src/aarch64/CMakeFiles/riscmp_aarch64.dir/exec.cpp.o.d"
+  "/root/repo/src/aarch64/opcodes.cpp" "src/aarch64/CMakeFiles/riscmp_aarch64.dir/opcodes.cpp.o" "gcc" "src/aarch64/CMakeFiles/riscmp_aarch64.dir/opcodes.cpp.o.d"
+  "/root/repo/src/aarch64/regs.cpp" "src/aarch64/CMakeFiles/riscmp_aarch64.dir/regs.cpp.o" "gcc" "src/aarch64/CMakeFiles/riscmp_aarch64.dir/regs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/riscmp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/riscmp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

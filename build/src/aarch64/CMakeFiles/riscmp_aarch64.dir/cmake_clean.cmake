@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscmp_aarch64.dir/asm.cpp.o"
+  "CMakeFiles/riscmp_aarch64.dir/asm.cpp.o.d"
+  "CMakeFiles/riscmp_aarch64.dir/bitmask.cpp.o"
+  "CMakeFiles/riscmp_aarch64.dir/bitmask.cpp.o.d"
+  "CMakeFiles/riscmp_aarch64.dir/decode.cpp.o"
+  "CMakeFiles/riscmp_aarch64.dir/decode.cpp.o.d"
+  "CMakeFiles/riscmp_aarch64.dir/disasm.cpp.o"
+  "CMakeFiles/riscmp_aarch64.dir/disasm.cpp.o.d"
+  "CMakeFiles/riscmp_aarch64.dir/encode.cpp.o"
+  "CMakeFiles/riscmp_aarch64.dir/encode.cpp.o.d"
+  "CMakeFiles/riscmp_aarch64.dir/exec.cpp.o"
+  "CMakeFiles/riscmp_aarch64.dir/exec.cpp.o.d"
+  "CMakeFiles/riscmp_aarch64.dir/opcodes.cpp.o"
+  "CMakeFiles/riscmp_aarch64.dir/opcodes.cpp.o.d"
+  "CMakeFiles/riscmp_aarch64.dir/regs.cpp.o"
+  "CMakeFiles/riscmp_aarch64.dir/regs.cpp.o.d"
+  "libriscmp_aarch64.a"
+  "libriscmp_aarch64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscmp_aarch64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/critical_path.cpp" "src/analysis/CMakeFiles/riscmp_analysis.dir/critical_path.cpp.o" "gcc" "src/analysis/CMakeFiles/riscmp_analysis.dir/critical_path.cpp.o.d"
+  "/root/repo/src/analysis/dep_distance.cpp" "src/analysis/CMakeFiles/riscmp_analysis.dir/dep_distance.cpp.o" "gcc" "src/analysis/CMakeFiles/riscmp_analysis.dir/dep_distance.cpp.o.d"
+  "/root/repo/src/analysis/path_length.cpp" "src/analysis/CMakeFiles/riscmp_analysis.dir/path_length.cpp.o" "gcc" "src/analysis/CMakeFiles/riscmp_analysis.dir/path_length.cpp.o.d"
+  "/root/repo/src/analysis/trace_log.cpp" "src/analysis/CMakeFiles/riscmp_analysis.dir/trace_log.cpp.o" "gcc" "src/analysis/CMakeFiles/riscmp_analysis.dir/trace_log.cpp.o.d"
+  "/root/repo/src/analysis/windowed_cp.cpp" "src/analysis/CMakeFiles/riscmp_analysis.dir/windowed_cp.cpp.o" "gcc" "src/analysis/CMakeFiles/riscmp_analysis.dir/windowed_cp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/riscmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/riscmp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/riscmp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/riscmp_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/aarch64/CMakeFiles/riscmp_aarch64.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscmp_analysis.dir/critical_path.cpp.o"
+  "CMakeFiles/riscmp_analysis.dir/critical_path.cpp.o.d"
+  "CMakeFiles/riscmp_analysis.dir/dep_distance.cpp.o"
+  "CMakeFiles/riscmp_analysis.dir/dep_distance.cpp.o.d"
+  "CMakeFiles/riscmp_analysis.dir/path_length.cpp.o"
+  "CMakeFiles/riscmp_analysis.dir/path_length.cpp.o.d"
+  "CMakeFiles/riscmp_analysis.dir/trace_log.cpp.o"
+  "CMakeFiles/riscmp_analysis.dir/trace_log.cpp.o.d"
+  "CMakeFiles/riscmp_analysis.dir/windowed_cp.cpp.o"
+  "CMakeFiles/riscmp_analysis.dir/windowed_cp.cpp.o.d"
+  "libriscmp_analysis.a"
+  "libriscmp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscmp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

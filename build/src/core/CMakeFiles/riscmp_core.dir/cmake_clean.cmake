@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscmp_core.dir/machine.cpp.o"
+  "CMakeFiles/riscmp_core.dir/machine.cpp.o.d"
+  "CMakeFiles/riscmp_core.dir/program.cpp.o"
+  "CMakeFiles/riscmp_core.dir/program.cpp.o.d"
+  "libriscmp_core.a"
+  "libriscmp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscmp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

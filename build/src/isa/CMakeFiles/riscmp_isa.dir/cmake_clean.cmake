@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscmp_isa.dir/groups.cpp.o"
+  "CMakeFiles/riscmp_isa.dir/groups.cpp.o.d"
+  "libriscmp_isa.a"
+  "libriscmp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscmp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kgen/aarch64_backend.cpp" "src/kgen/CMakeFiles/riscmp_kgen.dir/aarch64_backend.cpp.o" "gcc" "src/kgen/CMakeFiles/riscmp_kgen.dir/aarch64_backend.cpp.o.d"
+  "/root/repo/src/kgen/compile.cpp" "src/kgen/CMakeFiles/riscmp_kgen.dir/compile.cpp.o" "gcc" "src/kgen/CMakeFiles/riscmp_kgen.dir/compile.cpp.o.d"
+  "/root/repo/src/kgen/dump.cpp" "src/kgen/CMakeFiles/riscmp_kgen.dir/dump.cpp.o" "gcc" "src/kgen/CMakeFiles/riscmp_kgen.dir/dump.cpp.o.d"
+  "/root/repo/src/kgen/interp.cpp" "src/kgen/CMakeFiles/riscmp_kgen.dir/interp.cpp.o" "gcc" "src/kgen/CMakeFiles/riscmp_kgen.dir/interp.cpp.o.d"
+  "/root/repo/src/kgen/ir.cpp" "src/kgen/CMakeFiles/riscmp_kgen.dir/ir.cpp.o" "gcc" "src/kgen/CMakeFiles/riscmp_kgen.dir/ir.cpp.o.d"
+  "/root/repo/src/kgen/layout.cpp" "src/kgen/CMakeFiles/riscmp_kgen.dir/layout.cpp.o" "gcc" "src/kgen/CMakeFiles/riscmp_kgen.dir/layout.cpp.o.d"
+  "/root/repo/src/kgen/riscv_backend.cpp" "src/kgen/CMakeFiles/riscmp_kgen.dir/riscv_backend.cpp.o" "gcc" "src/kgen/CMakeFiles/riscmp_kgen.dir/riscv_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/riscmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/riscmp_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/aarch64/CMakeFiles/riscmp_aarch64.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/riscmp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/riscmp_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

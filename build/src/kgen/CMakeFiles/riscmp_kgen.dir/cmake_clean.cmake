@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscmp_kgen.dir/aarch64_backend.cpp.o"
+  "CMakeFiles/riscmp_kgen.dir/aarch64_backend.cpp.o.d"
+  "CMakeFiles/riscmp_kgen.dir/compile.cpp.o"
+  "CMakeFiles/riscmp_kgen.dir/compile.cpp.o.d"
+  "CMakeFiles/riscmp_kgen.dir/dump.cpp.o"
+  "CMakeFiles/riscmp_kgen.dir/dump.cpp.o.d"
+  "CMakeFiles/riscmp_kgen.dir/interp.cpp.o"
+  "CMakeFiles/riscmp_kgen.dir/interp.cpp.o.d"
+  "CMakeFiles/riscmp_kgen.dir/ir.cpp.o"
+  "CMakeFiles/riscmp_kgen.dir/ir.cpp.o.d"
+  "CMakeFiles/riscmp_kgen.dir/layout.cpp.o"
+  "CMakeFiles/riscmp_kgen.dir/layout.cpp.o.d"
+  "CMakeFiles/riscmp_kgen.dir/riscv_backend.cpp.o"
+  "CMakeFiles/riscmp_kgen.dir/riscv_backend.cpp.o.d"
+  "libriscmp_kgen.a"
+  "libriscmp_kgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscmp_kgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/riscv/asm.cpp" "src/riscv/CMakeFiles/riscmp_riscv.dir/asm.cpp.o" "gcc" "src/riscv/CMakeFiles/riscmp_riscv.dir/asm.cpp.o.d"
+  "/root/repo/src/riscv/decode.cpp" "src/riscv/CMakeFiles/riscmp_riscv.dir/decode.cpp.o" "gcc" "src/riscv/CMakeFiles/riscmp_riscv.dir/decode.cpp.o.d"
+  "/root/repo/src/riscv/disasm.cpp" "src/riscv/CMakeFiles/riscmp_riscv.dir/disasm.cpp.o" "gcc" "src/riscv/CMakeFiles/riscmp_riscv.dir/disasm.cpp.o.d"
+  "/root/repo/src/riscv/encode.cpp" "src/riscv/CMakeFiles/riscmp_riscv.dir/encode.cpp.o" "gcc" "src/riscv/CMakeFiles/riscmp_riscv.dir/encode.cpp.o.d"
+  "/root/repo/src/riscv/exec.cpp" "src/riscv/CMakeFiles/riscmp_riscv.dir/exec.cpp.o" "gcc" "src/riscv/CMakeFiles/riscmp_riscv.dir/exec.cpp.o.d"
+  "/root/repo/src/riscv/opcodes.cpp" "src/riscv/CMakeFiles/riscmp_riscv.dir/opcodes.cpp.o" "gcc" "src/riscv/CMakeFiles/riscmp_riscv.dir/opcodes.cpp.o.d"
+  "/root/repo/src/riscv/regs.cpp" "src/riscv/CMakeFiles/riscmp_riscv.dir/regs.cpp.o" "gcc" "src/riscv/CMakeFiles/riscmp_riscv.dir/regs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/riscmp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/riscmp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

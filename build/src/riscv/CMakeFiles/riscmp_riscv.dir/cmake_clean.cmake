@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscmp_riscv.dir/asm.cpp.o"
+  "CMakeFiles/riscmp_riscv.dir/asm.cpp.o.d"
+  "CMakeFiles/riscmp_riscv.dir/decode.cpp.o"
+  "CMakeFiles/riscmp_riscv.dir/decode.cpp.o.d"
+  "CMakeFiles/riscmp_riscv.dir/disasm.cpp.o"
+  "CMakeFiles/riscmp_riscv.dir/disasm.cpp.o.d"
+  "CMakeFiles/riscmp_riscv.dir/encode.cpp.o"
+  "CMakeFiles/riscmp_riscv.dir/encode.cpp.o.d"
+  "CMakeFiles/riscmp_riscv.dir/exec.cpp.o"
+  "CMakeFiles/riscmp_riscv.dir/exec.cpp.o.d"
+  "CMakeFiles/riscmp_riscv.dir/opcodes.cpp.o"
+  "CMakeFiles/riscmp_riscv.dir/opcodes.cpp.o.d"
+  "CMakeFiles/riscmp_riscv.dir/regs.cpp.o"
+  "CMakeFiles/riscmp_riscv.dir/regs.cpp.o.d"
+  "libriscmp_riscv.a"
+  "libriscmp_riscv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscmp_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

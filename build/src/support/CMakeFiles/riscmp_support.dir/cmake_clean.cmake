@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscmp_support.dir/table.cpp.o"
+  "CMakeFiles/riscmp_support.dir/table.cpp.o.d"
+  "CMakeFiles/riscmp_support.dir/yaml_lite.cpp.o"
+  "CMakeFiles/riscmp_support.dir/yaml_lite.cpp.o.d"
+  "libriscmp_support.a"
+  "libriscmp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscmp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

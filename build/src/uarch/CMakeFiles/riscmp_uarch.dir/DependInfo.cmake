@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/core_model.cpp" "src/uarch/CMakeFiles/riscmp_uarch.dir/core_model.cpp.o" "gcc" "src/uarch/CMakeFiles/riscmp_uarch.dir/core_model.cpp.o.d"
+  "/root/repo/src/uarch/ooo_core.cpp" "src/uarch/CMakeFiles/riscmp_uarch.dir/ooo_core.cpp.o" "gcc" "src/uarch/CMakeFiles/riscmp_uarch.dir/ooo_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/riscmp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/riscmp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/riscmp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/riscmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/riscmp_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/aarch64/CMakeFiles/riscmp_aarch64.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscmp_uarch.dir/core_model.cpp.o"
+  "CMakeFiles/riscmp_uarch.dir/core_model.cpp.o.d"
+  "CMakeFiles/riscmp_uarch.dir/ooo_core.cpp.o"
+  "CMakeFiles/riscmp_uarch.dir/ooo_core.cpp.o.d"
+  "libriscmp_uarch.a"
+  "libriscmp_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscmp_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

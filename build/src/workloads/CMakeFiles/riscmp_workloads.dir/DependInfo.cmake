@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cloverleaf.cpp" "src/workloads/CMakeFiles/riscmp_workloads.dir/cloverleaf.cpp.o" "gcc" "src/workloads/CMakeFiles/riscmp_workloads.dir/cloverleaf.cpp.o.d"
+  "/root/repo/src/workloads/lbm.cpp" "src/workloads/CMakeFiles/riscmp_workloads.dir/lbm.cpp.o" "gcc" "src/workloads/CMakeFiles/riscmp_workloads.dir/lbm.cpp.o.d"
+  "/root/repo/src/workloads/minibude.cpp" "src/workloads/CMakeFiles/riscmp_workloads.dir/minibude.cpp.o" "gcc" "src/workloads/CMakeFiles/riscmp_workloads.dir/minibude.cpp.o.d"
+  "/root/repo/src/workloads/minisweep.cpp" "src/workloads/CMakeFiles/riscmp_workloads.dir/minisweep.cpp.o" "gcc" "src/workloads/CMakeFiles/riscmp_workloads.dir/minisweep.cpp.o.d"
+  "/root/repo/src/workloads/stream.cpp" "src/workloads/CMakeFiles/riscmp_workloads.dir/stream.cpp.o" "gcc" "src/workloads/CMakeFiles/riscmp_workloads.dir/stream.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/workloads/CMakeFiles/riscmp_workloads.dir/suite.cpp.o" "gcc" "src/workloads/CMakeFiles/riscmp_workloads.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kgen/CMakeFiles/riscmp_kgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/riscmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/riscmp_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/aarch64/CMakeFiles/riscmp_aarch64.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/riscmp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/riscmp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscmp_workloads.dir/cloverleaf.cpp.o"
+  "CMakeFiles/riscmp_workloads.dir/cloverleaf.cpp.o.d"
+  "CMakeFiles/riscmp_workloads.dir/lbm.cpp.o"
+  "CMakeFiles/riscmp_workloads.dir/lbm.cpp.o.d"
+  "CMakeFiles/riscmp_workloads.dir/minibude.cpp.o"
+  "CMakeFiles/riscmp_workloads.dir/minibude.cpp.o.d"
+  "CMakeFiles/riscmp_workloads.dir/minisweep.cpp.o"
+  "CMakeFiles/riscmp_workloads.dir/minisweep.cpp.o.d"
+  "CMakeFiles/riscmp_workloads.dir/stream.cpp.o"
+  "CMakeFiles/riscmp_workloads.dir/stream.cpp.o.d"
+  "CMakeFiles/riscmp_workloads.dir/suite.cpp.o"
+  "CMakeFiles/riscmp_workloads.dir/suite.cpp.o.d"
+  "libriscmp_workloads.a"
+  "libriscmp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscmp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aarch64/asm_coverage_test.cpp" "tests/CMakeFiles/test_aarch64.dir/aarch64/asm_coverage_test.cpp.o" "gcc" "tests/CMakeFiles/test_aarch64.dir/aarch64/asm_coverage_test.cpp.o.d"
+  "/root/repo/tests/aarch64/asm_disasm_test.cpp" "tests/CMakeFiles/test_aarch64.dir/aarch64/asm_disasm_test.cpp.o" "gcc" "tests/CMakeFiles/test_aarch64.dir/aarch64/asm_disasm_test.cpp.o.d"
+  "/root/repo/tests/aarch64/bitmask_test.cpp" "tests/CMakeFiles/test_aarch64.dir/aarch64/bitmask_test.cpp.o" "gcc" "tests/CMakeFiles/test_aarch64.dir/aarch64/bitmask_test.cpp.o.d"
+  "/root/repo/tests/aarch64/encode_decode_test.cpp" "tests/CMakeFiles/test_aarch64.dir/aarch64/encode_decode_test.cpp.o" "gcc" "tests/CMakeFiles/test_aarch64.dir/aarch64/encode_decode_test.cpp.o.d"
+  "/root/repo/tests/aarch64/exec_property_test.cpp" "tests/CMakeFiles/test_aarch64.dir/aarch64/exec_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_aarch64.dir/aarch64/exec_property_test.cpp.o.d"
+  "/root/repo/tests/aarch64/exec_test.cpp" "tests/CMakeFiles/test_aarch64.dir/aarch64/exec_test.cpp.o" "gcc" "tests/CMakeFiles/test_aarch64.dir/aarch64/exec_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aarch64/CMakeFiles/riscmp_aarch64.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/riscmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/riscmp_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/riscmp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/riscmp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aarch64.dir/aarch64/asm_coverage_test.cpp.o"
+  "CMakeFiles/test_aarch64.dir/aarch64/asm_coverage_test.cpp.o.d"
+  "CMakeFiles/test_aarch64.dir/aarch64/asm_disasm_test.cpp.o"
+  "CMakeFiles/test_aarch64.dir/aarch64/asm_disasm_test.cpp.o.d"
+  "CMakeFiles/test_aarch64.dir/aarch64/bitmask_test.cpp.o"
+  "CMakeFiles/test_aarch64.dir/aarch64/bitmask_test.cpp.o.d"
+  "CMakeFiles/test_aarch64.dir/aarch64/encode_decode_test.cpp.o"
+  "CMakeFiles/test_aarch64.dir/aarch64/encode_decode_test.cpp.o.d"
+  "CMakeFiles/test_aarch64.dir/aarch64/exec_property_test.cpp.o"
+  "CMakeFiles/test_aarch64.dir/aarch64/exec_property_test.cpp.o.d"
+  "CMakeFiles/test_aarch64.dir/aarch64/exec_test.cpp.o"
+  "CMakeFiles/test_aarch64.dir/aarch64/exec_test.cpp.o.d"
+  "test_aarch64"
+  "test_aarch64.pdb"
+  "test_aarch64[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aarch64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/critical_path_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/critical_path_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/dep_distance_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/dep_distance_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/path_length_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/path_length_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/trace_log_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/trace_log_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/windowed_cp_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/windowed_cp_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/windowed_options_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/windowed_options_test.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

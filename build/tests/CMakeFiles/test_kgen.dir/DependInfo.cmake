@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kgen/backend_common_test.cpp" "tests/CMakeFiles/test_kgen.dir/kgen/backend_common_test.cpp.o" "gcc" "tests/CMakeFiles/test_kgen.dir/kgen/backend_common_test.cpp.o.d"
+  "/root/repo/tests/kgen/compile_test.cpp" "tests/CMakeFiles/test_kgen.dir/kgen/compile_test.cpp.o" "gcc" "tests/CMakeFiles/test_kgen.dir/kgen/compile_test.cpp.o.d"
+  "/root/repo/tests/kgen/dump_test.cpp" "tests/CMakeFiles/test_kgen.dir/kgen/dump_test.cpp.o" "gcc" "tests/CMakeFiles/test_kgen.dir/kgen/dump_test.cpp.o.d"
+  "/root/repo/tests/kgen/fuzz_test.cpp" "tests/CMakeFiles/test_kgen.dir/kgen/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_kgen.dir/kgen/fuzz_test.cpp.o.d"
+  "/root/repo/tests/kgen/ir_test.cpp" "tests/CMakeFiles/test_kgen.dir/kgen/ir_test.cpp.o" "gcc" "tests/CMakeFiles/test_kgen.dir/kgen/ir_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/riscmp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kgen/CMakeFiles/riscmp_kgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/riscmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/riscmp_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/aarch64/CMakeFiles/riscmp_aarch64.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/riscmp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/riscmp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kgen.dir/kgen/backend_common_test.cpp.o"
+  "CMakeFiles/test_kgen.dir/kgen/backend_common_test.cpp.o.d"
+  "CMakeFiles/test_kgen.dir/kgen/compile_test.cpp.o"
+  "CMakeFiles/test_kgen.dir/kgen/compile_test.cpp.o.d"
+  "CMakeFiles/test_kgen.dir/kgen/dump_test.cpp.o"
+  "CMakeFiles/test_kgen.dir/kgen/dump_test.cpp.o.d"
+  "CMakeFiles/test_kgen.dir/kgen/fuzz_test.cpp.o"
+  "CMakeFiles/test_kgen.dir/kgen/fuzz_test.cpp.o.d"
+  "CMakeFiles/test_kgen.dir/kgen/ir_test.cpp.o"
+  "CMakeFiles/test_kgen.dir/kgen/ir_test.cpp.o.d"
+  "test_kgen"
+  "test_kgen.pdb"
+  "test_kgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_riscv.dir/riscv/asm_coverage_test.cpp.o"
+  "CMakeFiles/test_riscv.dir/riscv/asm_coverage_test.cpp.o.d"
+  "CMakeFiles/test_riscv.dir/riscv/asm_test.cpp.o"
+  "CMakeFiles/test_riscv.dir/riscv/asm_test.cpp.o.d"
+  "CMakeFiles/test_riscv.dir/riscv/disasm_test.cpp.o"
+  "CMakeFiles/test_riscv.dir/riscv/disasm_test.cpp.o.d"
+  "CMakeFiles/test_riscv.dir/riscv/encode_decode_test.cpp.o"
+  "CMakeFiles/test_riscv.dir/riscv/encode_decode_test.cpp.o.d"
+  "CMakeFiles/test_riscv.dir/riscv/exec_property_test.cpp.o"
+  "CMakeFiles/test_riscv.dir/riscv/exec_property_test.cpp.o.d"
+  "CMakeFiles/test_riscv.dir/riscv/exec_test.cpp.o"
+  "CMakeFiles/test_riscv.dir/riscv/exec_test.cpp.o.d"
+  "test_riscv"
+  "test_riscv.pdb"
+  "test_riscv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

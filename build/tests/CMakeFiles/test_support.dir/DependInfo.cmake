@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/bits_test.cpp" "tests/CMakeFiles/test_support.dir/support/bits_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/bits_test.cpp.o.d"
+  "/root/repo/tests/support/small_vector_test.cpp" "tests/CMakeFiles/test_support.dir/support/small_vector_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/small_vector_test.cpp.o.d"
+  "/root/repo/tests/support/stats_test.cpp" "tests/CMakeFiles/test_support.dir/support/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/stats_test.cpp.o.d"
+  "/root/repo/tests/support/table_test.cpp" "tests/CMakeFiles/test_support.dir/support/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/table_test.cpp.o.d"
+  "/root/repo/tests/support/yaml_lite_test.cpp" "tests/CMakeFiles/test_support.dir/support/yaml_lite_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/yaml_lite_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/riscmp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

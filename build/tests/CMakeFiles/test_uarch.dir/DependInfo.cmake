@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/uarch/core_model_test.cpp" "tests/CMakeFiles/test_uarch.dir/uarch/core_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_uarch.dir/uarch/core_model_test.cpp.o.d"
+  "/root/repo/tests/uarch/gshare_test.cpp" "tests/CMakeFiles/test_uarch.dir/uarch/gshare_test.cpp.o" "gcc" "tests/CMakeFiles/test_uarch.dir/uarch/gshare_test.cpp.o.d"
+  "/root/repo/tests/uarch/ooo_core_test.cpp" "tests/CMakeFiles/test_uarch.dir/uarch/ooo_core_test.cpp.o" "gcc" "tests/CMakeFiles/test_uarch.dir/uarch/ooo_core_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uarch/CMakeFiles/riscmp_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/riscmp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/riscmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/riscmp_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/aarch64/CMakeFiles/riscmp_aarch64.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/riscmp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/riscmp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

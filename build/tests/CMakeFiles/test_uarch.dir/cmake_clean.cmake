@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch.dir/uarch/core_model_test.cpp.o"
+  "CMakeFiles/test_uarch.dir/uarch/core_model_test.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/uarch/gshare_test.cpp.o"
+  "CMakeFiles/test_uarch.dir/uarch/gshare_test.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/uarch/ooo_core_test.cpp.o"
+  "CMakeFiles/test_uarch.dir/uarch/ooo_core_test.cpp.o.d"
+  "test_uarch"
+  "test_uarch.pdb"
+  "test_uarch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
