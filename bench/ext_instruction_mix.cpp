@@ -14,10 +14,12 @@ using namespace riscmp::bench;
 
 int main(int argc, char** argv) {
   const double scale = parseScale(argc, argv);
+  const std::uint64_t budget = parseBudget(argc, argv);
   const auto suite = workloads::paperSuite(scale);
   const std::vector<Config> configs = {
       {Arch::AArch64, kgen::CompilerEra::Gcc12},
       {Arch::Rv64, kgen::CompilerEra::Gcc12}};
+  verify::FaultBoundary boundary(std::cout);
 
   const InstGroup shown[] = {InstGroup::IntSimple, InstGroup::Branch,
                              InstGroup::Load,      InstGroup::Store,
@@ -35,18 +37,22 @@ int main(int argc, char** argv) {
     }
     Table table(header);
     for (const Config& config : configs) {
-      const Experiment experiment(spec.module, config);
-      PathLengthCounter counter(experiment.program());
-      const std::uint64_t total = experiment.run({&counter});
-      std::vector<std::string> row = {configName(config), withCommas(total)};
-      for (const InstGroup group : shown) {
-        row.push_back(
-            sigFigs(100.0 * static_cast<double>(counter.groupCount(group)) /
-                        static_cast<double>(total),
-                    3) +
-            "%");
-      }
-      table.addRow(std::move(row));
+      boundary.run(spec.name + "/" + configName(config), [&] {
+        const Experiment experiment(spec.module, config);
+        PathLengthCounter counter(experiment.program());
+        const std::uint64_t total = experiment.run({&counter}, budget);
+        std::vector<std::string> row = {configName(config),
+                                        withCommas(total)};
+        for (const InstGroup group : shown) {
+          row.push_back(
+              sigFigs(100.0 *
+                          static_cast<double>(counter.groupCount(group)) /
+                          static_cast<double>(total),
+                      3) +
+              "%");
+        }
+        table.addRow(std::move(row));
+      });
     }
     std::cout << table << "\n";
   }
@@ -54,5 +60,5 @@ int main(int argc, char** argv) {
   std::cout << "Reading: the FP columns match between ISAs (identical "
                "arithmetic); the INT_SIMPLE and BRANCH columns differ by the "
                "loop-control and addressing idioms of §3.3.\n";
-  return 0;
+  return boundary.finish();
 }

@@ -59,12 +59,15 @@ Module stencilProbe(std::int64_t n) {
   return module;
 }
 
-double perIteration(Module (*probe)(std::int64_t), const Config& config) {
+double perIteration(Module (*probe)(std::int64_t), const Config& config,
+                    std::uint64_t budget) {
   const std::int64_t n1 = 256;
   const std::int64_t n2 = 512;
   const auto count = [&](std::int64_t n) {
     const Compiled compiled = compile(probe(n), config.arch, config.era);
-    Machine machine(compiled.program);
+    MachineOptions options;
+    options.maxInstructions = budget;
+    Machine machine(compiled.program, options);
     return machine.run().instructions;
   };
   return static_cast<double>(count(n2) - count(n1)) /
@@ -73,8 +76,10 @@ double perIteration(Module (*probe)(std::int64_t), const Config& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::uint64_t budget = parseBudget(argc, argv);
   const auto configs = paperConfigs();
+  verify::FaultBoundary boundary(std::cout);
 
   struct Probe {
     const char* name;
@@ -94,13 +99,20 @@ int main() {
   Table table({"probe", "GCC9 A64", "GCC9 RV", "GCC12 A64", "GCC12 RV",
                "era delta (A64)", "note"});
   for (const Probe& probe : probes) {
-    std::array<double, 4> budget{};
+    std::array<double, 4> perIter{};
+    std::array<bool, 4> ok{};
     for (std::size_t c = 0; c < configs.size(); ++c) {
-      budget[c] = perIteration(probe.make, configs[c]);
+      ok[c] = boundary.run(
+          std::string(probe.name) + "/" + configName(configs[c]),
+          [&] { perIter[c] = perIteration(probe.make, configs[c], budget); });
     }
-    table.addRow({probe.name, sigFigs(budget[0], 3), sigFigs(budget[1], 3),
-                  sigFigs(budget[2], 3), sigFigs(budget[3], 3),
-                  sigFigs(budget[0] - budget[2], 2), probe.note});
+    const auto cell = [&](std::size_t c) {
+      return ok[c] ? sigFigs(perIter[c], 3) : std::string("-");
+    };
+    table.addRow({probe.name, cell(0), cell(1), cell(2), cell(3),
+                  ok[0] && ok[2] ? sigFigs(perIter[0] - perIter[2], 2)
+                                 : std::string("-"),
+                  probe.note});
   }
   std::cout << table << "\n";
 
@@ -116,5 +128,5 @@ int main() {
       << "  * The paper's upper bound: conditional-branch compare overhead "
          "can cost AArch64 up to 15% extra instructions; register-offset "
          "addressing can save it one instruction per extra array.\n";
-  return 0;
+  return boundary.finish();
 }

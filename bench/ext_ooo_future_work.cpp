@@ -7,6 +7,7 @@
 // gestures at ("extrapolating to hypothetical microarchitectural designs
 // of the future").
 #include <iostream>
+#include <optional>
 
 #include "harness.hpp"
 #include "support/table.hpp"
@@ -17,21 +18,34 @@ using namespace riscmp::bench;
 
 int main(int argc, char** argv) {
   const double scale = parseScale(argc, argv);
+  const std::uint64_t budget = parseBudget(argc, argv);
   const auto suite = workloads::paperSuite(scale);
   const auto configs = paperConfigs();
+  verify::FaultBoundary boundary(std::cout);
 
   struct ModelPair {
     const char* label;
-    uarch::CoreModel aarch64;
-    uarch::CoreModel riscv;
+    const char* aarch64Name;
+    const char* riscvName;
+    std::optional<uarch::CoreModel> aarch64;
+    std::optional<uarch::CoreModel> riscv;
   };
-  const std::vector<ModelPair> models = {
-      {"TX2-like (4-wide, ROB 180)", uarch::CoreModel::named("tx2"),
-       uarch::CoreModel::named("riscv-tx2")},
-      {"Firestorm-like (8-wide, ROB 630)",
-       uarch::CoreModel::named("m1-firestorm"),
-       uarch::CoreModel::named("m1-firestorm")},
-  };
+  std::vector<ModelPair> models;
+  models.push_back({"TX2-like (4-wide, ROB 180)", "tx2", "riscv-tx2", {}, {}});
+  models.push_back({"Firestorm-like (8-wide, ROB 630)", "m1-firestorm",
+                    "m1-firestorm", {}, {}});
+  for (ModelPair& model : models) {
+    boundary.run(std::string("load-config/") + model.aarch64Name, [&] {
+      model.aarch64 = uarch::CoreModel::named(model.aarch64Name);
+    });
+    if (std::string(model.riscvName) == model.aarch64Name) {
+      model.riscv = model.aarch64;
+    } else {
+      boundary.run(std::string("load-config/") + model.riscvName, [&] {
+        model.riscv = uarch::CoreModel::named(model.riscvName);
+      });
+    }
+  }
 
   std::cout << "E6 (extension): finite-resource OoO core model (paper §8)\n\n";
 
@@ -42,17 +56,28 @@ int main(int argc, char** argv) {
       Table table({"config", "instructions", "cycles", "CPI", "IPC",
                    "runtime (ms)"});
       for (const auto& config : configs) {
-        const Experiment experiment(spec.module, config);
-        uarch::OoOCoreModel core(config.arch == Arch::Rv64 ? model.riscv
-                                                           : model.aarch64);
-        const std::uint64_t total = experiment.run({&core});
-        table.addRow({configName(config), withCommas(total),
-                      withCommas(core.cycles()), sigFigs(core.cpi(), 3),
-                      sigFigs(core.ipc(), 3),
-                      sigFigs(core.runtimeSeconds() * 1e3, 3)});
+        boundary.run(std::string(model.label) + "/" + spec.name + "/" +
+                         configName(config),
+                     [&] {
+          const auto& coreModel =
+              config.arch == Arch::Rv64 ? model.riscv : model.aarch64;
+          if (!coreModel) {
+            throw ConfigError("core model unavailable (failed to load)", {},
+                              0,
+                              config.arch == Arch::Rv64 ? model.riscvName
+                                                        : model.aarch64Name);
+          }
+          const Experiment experiment(spec.module, config);
+          uarch::OoOCoreModel core(*coreModel);
+          const std::uint64_t total = experiment.run({&core}, budget);
+          table.addRow({configName(config), withCommas(total),
+                        withCommas(core.cycles()), sigFigs(core.cpi(), 3),
+                        sigFigs(core.ipc(), 3),
+                        sigFigs(core.runtimeSeconds() * 1e3, 3)});
+        });
       }
       std::cout << table << "\n";
     }
   }
-  return 0;
+  return boundary.finish();
 }

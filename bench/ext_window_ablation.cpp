@@ -7,6 +7,7 @@
 //     model assumes perfect prediction; gshare shows the cost of dropping
 //     that assumption).
 #include <iostream>
+#include <optional>
 
 #include "analysis/windowed_cp.hpp"
 #include "harness.hpp"
@@ -19,12 +20,32 @@ using namespace riscmp::bench;
 
 int main(int argc, char** argv) {
   const double scale = parseScale(argc, argv);
+  const std::uint64_t budget = parseBudget(argc, argv);
   const kgen::Module stream =
       workloads::makeStream({.n = static_cast<std::int64_t>(10000 * scale),
                              .reps = 4});
   const std::vector<Config> configs = {
       {Arch::AArch64, kgen::CompilerEra::Gcc12},
       {Arch::Rv64, kgen::CompilerEra::Gcc12}};
+  verify::FaultBoundary boundary(std::cout);
+
+  // TX2 core models feed ablations 2 and 3; loading inside the boundary
+  // means a broken config fails only the cells that need it.
+  std::optional<uarch::CoreModel> tx2;
+  std::optional<uarch::CoreModel> riscvTx2;
+  boundary.run("load-config/tx2",
+               [&] { tx2 = uarch::CoreModel::named("tx2"); });
+  boundary.run("load-config/riscv-tx2",
+               [&] { riscvTx2 = uarch::CoreModel::named("riscv-tx2"); });
+  const auto modelFor = [&](const Config& config)
+      -> const uarch::CoreModel& {
+    const auto& model = config.arch == Arch::Rv64 ? riscvTx2 : tx2;
+    if (!model) {
+      throw ConfigError("core model unavailable (failed to load)", {}, 0,
+                        config.arch == Arch::Rv64 ? "riscv-tx2" : "tx2");
+    }
+    return *model;
+  };
 
   // ---- slide-fraction sweep at W = 64 -----------------------------------
   std::cout << "Ablation 1: window slide fraction (STREAM, W=64)\n";
@@ -32,16 +53,18 @@ int main(int argc, char** argv) {
     Table table({"config", "slide 1/8", "slide 1/4", "slide 1/2 (paper)",
                  "slide 1/1"});
     for (const Config& config : configs) {
-      const Experiment experiment(stream, config);
-      std::vector<std::string> row = {configName(config)};
-      for (const auto& [num, den] :
-           std::vector<std::pair<unsigned, unsigned>>{
-               {1, 8}, {1, 4}, {1, 2}, {1, 1}}) {
-        WindowedCPAnalyzer analyzer({64}, num, den);
-        experiment.run({&analyzer});
-        row.push_back(sigFigs(analyzer.results()[0].meanIlp, 3));
-      }
-      table.addRow(std::move(row));
+      boundary.run("slide-sweep/" + configName(config), [&] {
+        const Experiment experiment(stream, config);
+        std::vector<std::string> row = {configName(config)};
+        for (const auto& [num, den] :
+             std::vector<std::pair<unsigned, unsigned>>{
+                 {1, 8}, {1, 4}, {1, 2}, {1, 1}}) {
+          WindowedCPAnalyzer analyzer({64}, num, den);
+          experiment.run({&analyzer}, budget);
+          row.push_back(sigFigs(analyzer.results()[0].meanIlp, 3));
+        }
+        table.addRow(std::move(row));
+      });
     }
     std::cout << table
               << "-> mean window ILP is nearly slide-invariant: the paper's "
@@ -52,22 +75,21 @@ int main(int argc, char** argv) {
   std::cout << "Ablation 2: latency-scaled windowed CP (STREAM, TX2 "
                "latencies)\n";
   {
-    const uarch::CoreModel tx2 = uarch::CoreModel::named("tx2");
-    const uarch::CoreModel riscvTx2 = uarch::CoreModel::named("riscv-tx2");
     Table table({"config", "plain ILP @W=64", "scaled ILP @W=64",
                  "plain @W=500", "scaled @W=500"});
     for (const Config& config : configs) {
-      const Experiment experiment(stream, config);
-      const auto& latencies = config.arch == Arch::Rv64 ? riscvTx2.latencies
-                                                        : tx2.latencies;
-      WindowedCPAnalyzer plain({64, 500});
-      WindowedCPAnalyzer scaled({64, 500}, 1, 2, &latencies);
-      experiment.run({&plain, &scaled});
-      table.addRow({configName(config),
-                    sigFigs(plain.results()[0].meanIlp, 3),
-                    sigFigs(scaled.results()[0].meanIlp, 3),
-                    sigFigs(plain.results()[1].meanIlp, 3),
-                    sigFigs(scaled.results()[1].meanIlp, 3)});
+      boundary.run("latency-scaled/" + configName(config), [&] {
+        const Experiment experiment(stream, config);
+        const auto& latencies = modelFor(config).latencies;
+        WindowedCPAnalyzer plain({64, 500});
+        WindowedCPAnalyzer scaled({64, 500}, 1, 2, &latencies);
+        experiment.run({&plain, &scaled}, budget);
+        table.addRow({configName(config),
+                      sigFigs(plain.results()[0].meanIlp, 3),
+                      sigFigs(scaled.results()[0].meanIlp, 3),
+                      sigFigs(plain.results()[1].meanIlp, 3),
+                      sigFigs(scaled.results()[1].meanIlp, 3)});
+      });
     }
     std::cout << table
               << "-> scaling divides window ILP by roughly the mean "
@@ -78,29 +100,28 @@ int main(int argc, char** argv) {
   // ---- perfect vs gshare prediction on the OoO core ---------------------------
   std::cout << "Ablation 3: branch prediction on the OoO core (STREAM)\n";
   {
-    uarch::CoreModel tx2 = uarch::CoreModel::named("tx2");
-    uarch::CoreModel riscvTx2 = uarch::CoreModel::named("riscv-tx2");
     Table table({"config", "perfect cycles", "gshare cycles", "mispredicts",
                  "slowdown"});
     for (const Config& config : configs) {
-      const Experiment experiment(stream, config);
-      uarch::CoreModel model =
-          config.arch == Arch::Rv64 ? riscvTx2 : tx2;
-      model.predictor = uarch::BranchPredictor::Perfect;
-      uarch::OoOCoreModel perfect(model);
-      model.predictor = uarch::BranchPredictor::Gshare;
-      uarch::OoOCoreModel gshare(model);
-      experiment.run({&perfect, &gshare});
-      table.addRow(
-          {configName(config), withCommas(perfect.cycles()),
-           withCommas(gshare.cycles()), withCommas(gshare.mispredicts()),
-           sigFigs(static_cast<double>(gshare.cycles()) /
-                       static_cast<double>(perfect.cycles()),
-                   3)});
+      boundary.run("branch-prediction/" + configName(config), [&] {
+        const Experiment experiment(stream, config);
+        uarch::CoreModel model = modelFor(config);
+        model.predictor = uarch::BranchPredictor::Perfect;
+        uarch::OoOCoreModel perfect(model);
+        model.predictor = uarch::BranchPredictor::Gshare;
+        uarch::OoOCoreModel gshare(model);
+        experiment.run({&perfect, &gshare}, budget);
+        table.addRow(
+            {configName(config), withCommas(perfect.cycles()),
+             withCommas(gshare.cycles()), withCommas(gshare.mispredicts()),
+             sigFigs(static_cast<double>(gshare.cycles()) /
+                         static_cast<double>(perfect.cycles()),
+                     3)});
+      });
     }
     std::cout << table
               << "-> loop branches train quickly; the perfect-prediction "
                  "assumption costs little on these regular kernels.\n";
   }
-  return 0;
+  return boundary.finish();
 }

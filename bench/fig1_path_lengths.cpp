@@ -4,6 +4,10 @@
 // ISAs under both compiler-era models. Values are normalised to
 // GCC 9.2 / AArch64 exactly as the paper's Figure 1, and the cross-config
 // ratios are printed next to the ratios implied by the paper's Table 1.
+//
+// Each workload×config cell runs inside a fault boundary: a failing cell
+// prints its crash report, the rest of the run continues, and the exit
+// code is non-zero if any cell failed.
 #include <iostream>
 
 #include "analysis/path_length.hpp"
@@ -17,8 +21,10 @@ using namespace riscmp::bench;
 
 int main(int argc, char** argv) {
   const double scale = parseScale(argc, argv);
+  const std::uint64_t budget = parseBudget(argc, argv);
   const auto suite = workloads::paperSuite(scale);
   const auto configs = paperConfigs();
+  verify::FaultBoundary boundary(std::cout);
 
   std::cout << "E1: path lengths per kernel (paper Figure 1 / Table 1)\n"
             << "Workload sizes are laptop-scale; compare ratios, not\n"
@@ -34,39 +40,47 @@ int main(int argc, char** argv) {
                  "paper normalised"});
     double baseline = 0.0;
     std::array<double, 4> totals{};
+    bool allCells = true;
 
     for (std::size_t c = 0; c < configs.size(); ++c) {
-      const Experiment experiment(spec.module, configs[c]);
-      PathLengthCounter counter(experiment.program());
-      const std::uint64_t total = experiment.run({&counter});
-      totals[c] = static_cast<double>(total);
-      if (c == 0) baseline = static_cast<double>(total);
+      allCells &= boundary.run(spec.name + "/" + configName(configs[c]), [&] {
+        const Experiment experiment(spec.module, configs[c]);
+        PathLengthCounter counter(experiment.program());
+        const std::uint64_t total = experiment.run({&counter}, budget);
+        totals[c] = static_cast<double>(total);
+        if (c == 0) baseline = static_cast<double>(total);
 
-      std::string breakdown;
-      for (const auto& kernel : counter.kernels()) {
-        if (!breakdown.empty()) breakdown += ", ";
-        breakdown += kernel.name + "=" +
-                     sigFigs(static_cast<double>(kernel.count) /
-                                 static_cast<double>(total) * 100.0,
-                             3) +
-                     "%";
-      }
-      const double paperNorm =
-          static_cast<double>(kPaperRows[w].pathLength[c]) /
-          static_cast<double>(kPaperRows[w].pathLength[0]);
-      table.addRow({configName(configs[c]), withCommas(total),
-                    sigFigs(static_cast<double>(total) / baseline, 4),
-                    breakdown, sigFigs(paperNorm, 4)});
+        std::string breakdown;
+        for (const auto& kernel : counter.kernels()) {
+          if (!breakdown.empty()) breakdown += ", ";
+          breakdown += kernel.name + "=" +
+                       sigFigs(static_cast<double>(kernel.count) /
+                                   static_cast<double>(total) * 100.0,
+                               3) +
+                       "%";
+        }
+        const double paperNorm =
+            static_cast<double>(kPaperRows[w].pathLength[c]) /
+            static_cast<double>(kPaperRows[w].pathLength[0]);
+        table.addRow({configName(configs[c]), withCommas(total),
+                      baseline > 0.0
+                          ? sigFigs(static_cast<double>(total) / baseline, 4)
+                          : "-",
+                      breakdown, sigFigs(paperNorm, 4)});
+      });
     }
     std::cout << table << "\n";
 
-    riscvOverArm.push_back(totals[3] / totals[2]);  // GCC12 RISC-V / AArch64
+    // GCC12 RISC-V / AArch64; only meaningful when all four cells ran.
+    if (allCells) riscvOverArm.push_back(totals[3] / totals[2]);
   }
 
-  std::cout << "GCC 12.2 RISC-V vs AArch64 path-length ratio (geomean over "
-               "benchmarks): "
-            << sigFigs(geometricMean(riscvOverArm), 4)
-            << "  (paper: path lengths mostly within 10%, average +2.3% for "
-               "RISC-V)\n";
-  return 0;
+  if (!riscvOverArm.empty()) {
+    std::cout << "GCC 12.2 RISC-V vs AArch64 path-length ratio (geomean over "
+                 "benchmarks): "
+              << sigFigs(geometricMean(riscvOverArm), 4)
+              << "  (paper: path lengths mostly within 10%, average +2.3% for "
+                 "RISC-V)\n";
+  }
+  return boundary.finish();
 }

@@ -1,16 +1,30 @@
 // Shared experiment runner for the per-table/figure bench binaries.
+//
+// Hardened execution (ISSUE 1): every workload × era × ISA cell runs
+// inside a verify::FaultBoundary so one failing cell prints its
+// FaultReport and the run continues; every simulated program runs under a
+// default instruction budget (overridable with --budget=N) so a codegen
+// regression cannot hang CI.
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/machine.hpp"
 #include "isa/trace.hpp"
 #include "kgen/compile.hpp"
+#include "verify/boundary.hpp"
 #include "workloads/workloads.hpp"
 
 namespace riscmp::bench {
+
+/// Default per-cell instruction budget: ~2 orders of magnitude above the
+/// largest full-scale workload, small enough to stop a hang in seconds.
+inline constexpr std::uint64_t kDefaultInstructionBudget = 1'000'000'000;
 
 struct Config {
   Arch arch;
@@ -39,8 +53,12 @@ class Experiment {
 
   [[nodiscard]] const Program& program() const { return compiled_.program; }
 
-  std::uint64_t run(const std::vector<TraceObserver*>& observers) const {
-    Machine machine(compiled_.program);
+  std::uint64_t run(const std::vector<TraceObserver*>& observers,
+                    std::uint64_t maxInstructions =
+                        kDefaultInstructionBudget) const {
+    MachineOptions options;
+    options.maxInstructions = maxInstructions;
+    Machine machine(compiled_.program, options);
     for (TraceObserver* observer : observers) machine.addObserver(*observer);
     return machine.run().instructions;
   }
@@ -49,13 +67,63 @@ class Experiment {
   kgen::Compiled compiled_;
 };
 
+/// A malformed numeric flag is a usage error, not an engine fault: print a
+/// one-line diagnostic and exit(2) instead of letting std::stod/stoull
+/// terminate the process with an unclassified exception.
+template <typename Parse>
+auto parseFlagValue(const std::string& flag, const std::string& value,
+                    Parse parse) {
+  try {
+    std::size_t consumed = 0;
+    const auto parsed = parse(value, &consumed);
+    if (consumed != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    std::cerr << "error: invalid value for " << flag << ": '" << value
+              << "'\n";
+    std::exit(2);
+  }
+}
+
 /// Parse a "--scale=<x>" argument (defaults to 1.0).
 inline double parseScale(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--scale=", 0) == 0) return std::stod(arg.substr(8));
+    if (arg.rfind("--scale=", 0) == 0) {
+      return parseFlagValue("--scale", arg.substr(8),
+                            [](const std::string& s, std::size_t* consumed) {
+                              return std::stod(s, consumed);
+                            });
+    }
   }
   return 1.0;
+}
+
+/// Parse a "--budget=<n>" argument: per-cell instruction budget
+/// (0 = unlimited; defaults to kDefaultInstructionBudget).
+inline std::uint64_t parseBudget(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--budget=", 0) == 0) {
+      return parseFlagValue("--budget", arg.substr(9),
+                            [](const std::string& s, std::size_t* consumed) {
+                              return std::stoull(s, consumed);
+                            });
+    }
+  }
+  return kDefaultInstructionBudget;
+}
+
+/// Parse a "--config-dir=<path>" argument: directory core-model YAML files
+/// are loaded from (defaults to the repository configs/ directory). Lets a
+/// run point at alternate or deliberately broken models.
+inline std::string parseConfigDir(int argc, char** argv,
+                                  const std::string& fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--config-dir=", 0) == 0) return arg.substr(13);
+  }
+  return fallback;
 }
 
 }  // namespace riscmp::bench

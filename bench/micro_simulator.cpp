@@ -51,9 +51,13 @@ BENCHMARK(BM_DecodeA64);
 void runEmulation(benchmark::State& state, Arch arch,
                   std::vector<TraceObserver*> observers) {
   const auto compiled = compiledStream(arch);
+  // Budgeted like the bench targets: a codegen regression that loops
+  // forever turns into a BudgetExceeded fault instead of a hung run.
+  MachineOptions options;
+  options.maxInstructions = 1'000'000'000;
   std::uint64_t instructions = 0;
   for (auto _ : state) {
-    Machine machine(compiled.program);
+    Machine machine(compiled.program, options);
     for (TraceObserver* observer : observers) machine.addObserver(*observer);
     instructions += machine.run().instructions;
   }

@@ -15,8 +15,10 @@ using namespace riscmp::bench;
 
 int main(int argc, char** argv) {
   const double scale = parseScale(argc, argv);
+  const std::uint64_t budget = parseBudget(argc, argv);
   const auto suite = workloads::paperSuite(scale);
   const auto configs = paperConfigs();
+  verify::FaultBoundary boundary(std::cout);
 
   std::cout << "E2: critical paths and ILP (paper Table 1)\n"
             << "Absolute CPs differ from the paper (reduced problem sizes);\n"
@@ -28,17 +30,19 @@ int main(int argc, char** argv) {
     Table table({"config", "path length", "CP", "ILP", "2GHz runtime (ms)",
                  "paper ILP", "paper runtime (ms)"});
     for (std::size_t c = 0; c < configs.size(); ++c) {
-      const Experiment experiment(spec.module, configs[c]);
-      CriticalPathAnalyzer analyzer;
-      const std::uint64_t total = experiment.run({&analyzer});
-      table.addRow({configName(configs[c]), withCommas(total),
-                    withCommas(analyzer.criticalPath()),
-                    sigFigs(analyzer.ilp(), 3),
-                    sigFigs(analyzer.runtimeSeconds() * 1e3, 3),
-                    sigFigs(kPaperRows[w].ilp[c], 3),
-                    sigFigs(kPaperRows[w].runtimeMs[c], 3)});
+      boundary.run(spec.name + "/" + configName(configs[c]), [&] {
+        const Experiment experiment(spec.module, configs[c]);
+        CriticalPathAnalyzer analyzer;
+        const std::uint64_t total = experiment.run({&analyzer}, budget);
+        table.addRow({configName(configs[c]), withCommas(total),
+                      withCommas(analyzer.criticalPath()),
+                      sigFigs(analyzer.ilp(), 3),
+                      sigFigs(analyzer.runtimeSeconds() * 1e3, 3),
+                      sigFigs(kPaperRows[w].ilp[c], 3),
+                      sigFigs(kPaperRows[w].runtimeMs[c], 3)});
+      });
     }
     std::cout << table << "\n";
   }
-  return 0;
+  return boundary.finish();
 }

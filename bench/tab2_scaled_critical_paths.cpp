@@ -4,7 +4,12 @@
 // its ThunderX2-model execution latency instead of 1 (paper §5.1; loads and
 // stores stay at 1 under the store-forwarding assumption). AArch64 uses the
 // tx2 model, RISC-V the derived riscv-tx2 model, exactly as the paper.
+//
+// Core models load inside the fault boundary: a broken config fails only
+// the cells that need it, the rest of the run completes, and the exit code
+// is non-zero.
 #include <iostream>
+#include <optional>
 
 #include "analysis/critical_path.hpp"
 #include "harness.hpp"
@@ -17,14 +22,28 @@ using namespace riscmp::bench;
 
 int main(int argc, char** argv) {
   const double scale = parseScale(argc, argv);
+  const std::uint64_t budget = parseBudget(argc, argv);
+  const std::string configDir =
+      parseConfigDir(argc, argv, uarch::configDir());
   const auto suite = workloads::paperSuite(scale);
   const auto configs = paperConfigs();
+  verify::FaultBoundary boundary(std::cout);
 
-  const uarch::CoreModel tx2 = uarch::CoreModel::named("tx2");
-  const uarch::CoreModel riscvTx2 = uarch::CoreModel::named("riscv-tx2");
+  std::optional<uarch::CoreModel> tx2;
+  std::optional<uarch::CoreModel> riscvTx2;
+  boundary.run("load-config/tx2", [&] {
+    tx2 = uarch::CoreModel::fromFile(configDir + "/tx2.yaml");
+  });
+  boundary.run("load-config/riscv-tx2", [&] {
+    riscvTx2 = uarch::CoreModel::fromFile(configDir + "/riscv-tx2.yaml");
+  });
 
-  std::cout << "E3: scaled critical paths (paper Table 2)\n"
-            << "Latencies: " << tx2.name << " / " << riscvTx2.name << "\n\n";
+  std::cout << "E3: scaled critical paths (paper Table 2)\n";
+  if (tx2 && riscvTx2) {
+    std::cout << "Latencies: " << tx2->name << " / " << riscvTx2->name
+              << "\n";
+  }
+  std::cout << "\n";
 
   for (std::size_t w = 0; w < suite.size(); ++w) {
     const auto& spec = suite[w];
@@ -32,26 +51,34 @@ int main(int argc, char** argv) {
     Table table({"config", "scaled CP", "ILP", "2GHz runtime (ms)",
                  "scale vs basic CP", "paper ILP", "paper runtime (ms)"});
     for (std::size_t c = 0; c < configs.size(); ++c) {
-      const Experiment experiment(spec.module, configs[c]);
-      const auto& latencies =
-          configs[c].arch == Arch::Rv64 ? riscvTx2.latencies : tx2.latencies;
-      CriticalPathAnalyzer scaled{latencies};
-      CriticalPathAnalyzer basic;
-      experiment.run({&scaled, &basic});
-      table.addRow(
-          {configName(configs[c]), withCommas(scaled.criticalPath()),
-           sigFigs(scaled.ilp(), 3),
-           sigFigs(scaled.runtimeSeconds() * 1e3, 3),
-           sigFigs(static_cast<double>(scaled.criticalPath()) /
-                       static_cast<double>(basic.criticalPath()),
-                   3),
-           sigFigs(kPaperRows[w].scaledIlp[c], 3),
-           sigFigs(kPaperRows[w].scaledRuntimeMs[c], 3)});
+      boundary.run(spec.name + "/" + configName(configs[c]), [&] {
+        const auto& model =
+            configs[c].arch == Arch::Rv64 ? riscvTx2 : tx2;
+        if (!model) {
+          throw ConfigError("core model unavailable (failed to load)", {},
+                            0,
+                            configs[c].arch == Arch::Rv64 ? "riscv-tx2"
+                                                          : "tx2");
+        }
+        const Experiment experiment(spec.module, configs[c]);
+        CriticalPathAnalyzer scaled{model->latencies};
+        CriticalPathAnalyzer basic;
+        experiment.run({&scaled, &basic}, budget);
+        table.addRow(
+            {configName(configs[c]), withCommas(scaled.criticalPath()),
+             sigFigs(scaled.ilp(), 3),
+             sigFigs(scaled.runtimeSeconds() * 1e3, 3),
+             sigFigs(static_cast<double>(scaled.criticalPath()) /
+                         static_cast<double>(basic.criticalPath()),
+                     3),
+             sigFigs(kPaperRows[w].scaledIlp[c], 3),
+             sigFigs(kPaperRows[w].scaledRuntimeMs[c], 3)});
+      });
     }
     std::cout << table << "\n";
   }
   std::cout << "Paper scaling factors: miniBUDE ~3.5x, minisweep ~6x, "
                "STREAM ~6x (§5.2); ours depend on which chain dominates\n"
                "after scaling — see EXPERIMENTS.md for the comparison.\n";
-  return 0;
+  return boundary.finish();
 }

@@ -6,6 +6,7 @@
 // The kernel is a damped 1-D wave update — a stencil with a loop-carried
 // chain through the `prev` array, so every analysis has something to see.
 #include <iostream>
+#include <string>
 
 #include "analysis/critical_path.hpp"
 #include "analysis/path_length.hpp"
@@ -53,7 +54,21 @@ Module buildWaveModule() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Instruction budget per simulated run (--budget=N, 0 = unlimited).
+  std::uint64_t budget = 1'000'000'000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--budget=", 0) == 0) {
+      try {
+        budget = std::stoull(arg.substr(9));
+      } catch (const std::exception&) {
+        std::cerr << "error: invalid value for --budget\n";
+        return 2;
+      }
+    }
+  }
+
   const Module module = buildWaveModule();
 
   // Reference semantics from the interpreter.
@@ -70,7 +85,9 @@ int main() {
   for (const Arch arch : {Arch::AArch64, Arch::Rv64}) {
     for (const CompilerEra era : {CompilerEra::Gcc9, CompilerEra::Gcc12}) {
       const Compiled compiled = compile(module, arch, era);
-      Machine machine(compiled.program);
+      MachineOptions options;
+      options.maxInstructions = budget;
+      Machine machine(compiled.program, options);
 
       CriticalPathAnalyzer cp;
       CriticalPathAnalyzer scaled{arch == Arch::Rv64 ? riscvTx2.latencies

@@ -12,6 +12,8 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "aarch64/asm.hpp"
 #include "aarch64/disasm.hpp"
@@ -58,7 +60,7 @@ loop:
   svc #0
 )";
 
-int runListing(Arch arch, const std::string& source) {
+int runListing(Arch arch, const std::string& source, std::uint64_t budget) {
   Program program;
   program.arch = arch;
   program.codeBase = Program::kCodeBase;
@@ -82,7 +84,7 @@ int runListing(Arch arch, const std::string& source) {
   }
 
   MachineOptions options;
-  options.maxInstructions = 100'000'000;
+  options.maxInstructions = budget;
   options.stdoutStream = &std::cout;
   Machine machine(program, options);
   CriticalPathAnalyzer cp;
@@ -94,6 +96,9 @@ int runListing(Arch arch, const std::string& source) {
               << "  exit code    : " << result.exitCode << "\n"
               << "  critical path: " << cp.criticalPath() << "\n"
               << "  ILP          : " << cp.ilp() << "\n\n";
+  } catch (const Fault& fault) {
+    std::cerr << fault.report() << "\n";
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "execution failed: " << e.what() << "\n";
     return 1;
@@ -104,26 +109,42 @@ int runListing(Arch arch, const std::string& source) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 1) {
-    return runListing(Arch::Rv64, kDemoRv64) +
-           runListing(Arch::AArch64, kDemoA64);
+  std::uint64_t budget = 100'000'000;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--budget=", 0) == 0) {
+      try {
+        budget = std::stoull(arg.substr(9));
+      } catch (const std::exception&) {
+        std::cerr << "error: invalid value for --budget\n";
+        return 2;
+      }
+    } else {
+      positional.push_back(arg);
+    }
   }
-  if (argc != 3) {
-    std::cerr << "usage: " << argv[0] << " rv64|a64 <file.s>\n";
+  if (positional.empty()) {
+    return runListing(Arch::Rv64, kDemoRv64, budget) +
+           runListing(Arch::AArch64, kDemoA64, budget);
+  }
+  if (positional.size() != 2) {
+    std::cerr << "usage: " << argv[0]
+              << " [--budget=N] rv64|a64 <file.s>\n";
     return 2;
   }
-  const std::string archName = argv[1];
+  const std::string& archName = positional[0];
   if (archName != "rv64" && archName != "a64") {
     std::cerr << "unknown architecture '" << archName << "'\n";
     return 2;
   }
-  std::ifstream in(argv[2]);
+  std::ifstream in(positional[1]);
   if (!in) {
-    std::cerr << "cannot open '" << argv[2] << "'\n";
+    std::cerr << "cannot open '" << positional[1] << "'\n";
     return 2;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return runListing(archName == "rv64" ? Arch::Rv64 : Arch::AArch64,
-                    buffer.str());
+                    buffer.str(), budget);
 }

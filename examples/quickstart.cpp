@@ -7,6 +7,7 @@
 // (rv64::assemble / a64::assemble), the Machine emulation core, and the
 // TraceObserver analyses.
 #include <iostream>
+#include <string>
 
 #include "aarch64/asm.hpp"
 #include "analysis/critical_path.hpp"
@@ -26,8 +27,10 @@ Program makeProgram(Arch arch, std::vector<std::uint32_t> code) {
   return program;
 }
 
-void report(const char* title, Program program) {
-  Machine machine(program);
+void report(const char* title, Program program, std::uint64_t budget) {
+  MachineOptions options;
+  options.maxInstructions = budget;
+  Machine machine(program, options);
   CriticalPathAnalyzer cp;
   machine.addObserver(cp);
   const RunResult result = machine.run();
@@ -41,7 +44,22 @@ void report(const char* title, Program program) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // A stuck program raises BudgetExceeded instead of hanging; override
+  // with --budget=N (0 = unlimited).
+  std::uint64_t budget = 1'000'000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--budget=", 0) == 0) {
+      try {
+        budget = std::stoull(arg.substr(9));
+      } catch (const std::exception&) {
+        std::cerr << "error: invalid value for --budget\n";
+        return 2;
+      }
+    }
+  }
+
   // sum = 10 + 9 + ... + 1 on RV64 (exit code carries the result).
   report("RV64G: sum of 1..10",
          makeProgram(Arch::Rv64, rv64::assemble(R"(
@@ -54,7 +72,8 @@ int main() {
     li a7, 93
     ecall
   )",
-                                                Program::kCodeBase)));
+                                                Program::kCodeBase)),
+         budget);
 
   // The same loop on AArch64.
   report("AArch64: sum of 1..10",
@@ -68,7 +87,8 @@ int main() {
     mov x8, #93
     svc #0
   )",
-                                                  Program::kCodeBase)));
+                                                  Program::kCodeBase)),
+         budget);
 
   std::cout << "Note the critical paths: the RISC-V loop carries its exit\n"
                "condition through the counter register alone, while the\n"

@@ -5,6 +5,7 @@
 // discusses ("RISC-V performs 460,027,962 branches ... almost 15% of all
 // instructions executed").
 #include <iostream>
+#include <string>
 
 #include "aarch64/decode.hpp"
 #include "aarch64/disasm.hpp"
@@ -65,7 +66,21 @@ void printInnerLoop(const kgen::Compiled& compiled) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Instruction budget per simulated run (--budget=N, 0 = unlimited).
+  std::uint64_t budget = 1'000'000'000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--budget=", 0) == 0) {
+      try {
+        budget = std::stoull(arg.substr(9));
+      } catch (const std::exception&) {
+        std::cerr << "error: invalid value for --budget\n";
+        return 2;
+      }
+    }
+  }
+
   const workloads::StreamParams params{.n = 4096, .reps = 1};
   const kgen::Module module = workloads::makeStream(params);
 
@@ -93,7 +108,9 @@ int main() {
   for (const Arch arch : {Arch::Rv64, Arch::AArch64}) {
     const kgen::Compiled compiled =
         kgen::compile(module, arch, kgen::CompilerEra::Gcc12);
-    Machine machine(compiled.program);
+    MachineOptions options;
+    options.maxInstructions = budget;
+    Machine machine(compiled.program, options);
     PathLengthCounter counter(compiled.program);
     machine.addObserver(counter);
     machine.run();

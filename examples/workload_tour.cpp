@@ -41,8 +41,25 @@ kgen::Module pickWorkload(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string name = argc > 1 ? argv[1] : "stream";
+  // Instruction budget per simulated run (--budget=N, 0 = unlimited).
+  std::uint64_t budget = 1'000'000'000;
+  std::string name = "stream";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--budget=", 0) == 0) {
+      try {
+        budget = std::stoull(arg.substr(9));
+      } catch (const std::exception&) {
+        std::cerr << "error: invalid value for --budget\n";
+        return 2;
+      }
+    } else {
+      name = arg;
+    }
+  }
   const kgen::Module module = pickWorkload(name);
+  MachineOptions options;
+  options.maxInstructions = budget;
 
   std::cout << "===== IR =====\n" << kgen::dumpModule(module) << "\n";
 
@@ -62,7 +79,7 @@ int main(int argc, char** argv) {
       std::cout << line << "\n";
     }
 
-    Machine machine(compiled.program);
+    Machine machine(compiled.program, options);
     PathLengthCounter counter(compiled.program);
     machine.addObserver(counter);
     const RunResult result = machine.run();
@@ -82,7 +99,7 @@ int main(int argc, char** argv) {
   {
     const kgen::Compiled compiled =
         kgen::compile(module, Arch::Rv64, kgen::CompilerEra::Gcc12);
-    Machine machine(compiled.program);
+    Machine machine(compiled.program, options);
     std::ostringstream csv;
     TraceLogger::writeHeader(csv);
     TraceLogger logger(csv, 8);

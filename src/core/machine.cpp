@@ -1,13 +1,14 @@
 #include "core/machine.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <ostream>
 #include <string>
 
 #include "aarch64/decode.hpp"
+#include "aarch64/disasm.hpp"
 #include "aarch64/exec.hpp"
 #include "riscv/decode.hpp"
+#include "riscv/disasm.hpp"
 #include "riscv/exec.hpp"
 #include "support/bits.hpp"
 
@@ -16,13 +17,6 @@ namespace {
 
 constexpr std::uint64_t kSyscallExit = 93;
 constexpr std::uint64_t kSyscallWrite = 64;
-
-std::string hexString(std::uint64_t v) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof buffer, "0x%llx",
-                static_cast<unsigned long long>(v));
-  return buffer;
-}
 
 struct SyscallOutcome {
   bool exited = false;
@@ -33,7 +27,7 @@ struct SyscallOutcome {
 SyscallOutcome handleSyscall(std::uint64_t number, std::uint64_t arg0,
                              std::uint64_t arg1, std::uint64_t arg2,
                              std::uint64_t& returnValue, Memory& memory,
-                             std::ostream* out) {
+                             std::ostream* out, std::uint64_t pc) {
   switch (number) {
     case kSyscallExit:
       return {true, static_cast<int>(arg0)};
@@ -48,7 +42,7 @@ SyscallOutcome handleSyscall(std::uint64_t number, std::uint64_t arg0,
       return {};
     }
     default:
-      throw SimError("unsupported syscall " + std::to_string(number));
+      throw TrapFault("unsupported syscall " + std::to_string(number), pc);
   }
 }
 
@@ -60,6 +54,7 @@ struct Rv64Traits {
   using Trap = rv64::Trap;
   static constexpr Trap kNoTrap = rv64::Trap::None;
   static constexpr Trap kSyscallTrap = rv64::Trap::Ecall;
+  static constexpr std::string_view kArchName = "RISC-V";
 
   static std::optional<Inst> decode(std::uint32_t word) {
     return rv64::decode(word);
@@ -74,12 +69,31 @@ struct Rv64Traits {
     state.x[2] = sp;  // ABI stack pointer
   }
   static SyscallOutcome syscall(State& state, Memory& memory,
-                                std::ostream* out) {
+                                std::ostream* out, std::uint64_t pc) {
     std::uint64_t ret = state.x[10];
-    const SyscallOutcome outcome = handleSyscall(
-        state.x[17], state.x[10], state.x[11], state.x[12], ret, memory, out);
+    const SyscallOutcome outcome =
+        handleSyscall(state.x[17], state.x[10], state.x[11], state.x[12], ret,
+                      memory, out, pc);
     state.x[10] = ret;
     return outcome;
+  }
+  static std::string disasm(std::uint32_t word, std::uint64_t pc) {
+    return rv64::disassemble(word, pc);
+  }
+  static std::string_view trapName(Trap trap) {
+    switch (trap) {
+      case Trap::Ebreak:
+        return "ebreak";
+      case Trap::IllegalInstruction:
+        return "illegal instruction";
+      default:
+        return "trap";
+    }
+  }
+  static void snapshotRegs(const State& state, MachineContext& ctx) {
+    for (unsigned i = 0; i < 32; ++i) {
+      ctx.regs.emplace_back(rv64::gprName(i), state.gpr(i));
+    }
   }
 };
 
@@ -89,6 +103,7 @@ struct A64Traits {
   using Trap = a64::Trap;
   static constexpr Trap kNoTrap = a64::Trap::None;
   static constexpr Trap kSyscallTrap = a64::Trap::Svc;
+  static constexpr std::string_view kArchName = "AArch64";
 
   static std::optional<Inst> decode(std::uint32_t word) {
     return a64::decode(word);
@@ -103,12 +118,30 @@ struct A64Traits {
     state.sp = sp;
   }
   static SyscallOutcome syscall(State& state, Memory& memory,
-                                std::ostream* out) {
+                                std::ostream* out, std::uint64_t pc) {
     std::uint64_t ret = state.x[0];
     const SyscallOutcome outcome = handleSyscall(
-        state.x[8], state.x[0], state.x[1], state.x[2], ret, memory, out);
+        state.x[8], state.x[0], state.x[1], state.x[2], ret, memory, out, pc);
     state.x[0] = ret;
     return outcome;
+  }
+  static std::string disasm(std::uint32_t word, std::uint64_t pc) {
+    return a64::disassemble(word, pc);
+  }
+  static std::string_view trapName(Trap trap) {
+    switch (trap) {
+      case Trap::IllegalInstruction:
+        return "illegal instruction";
+      default:
+        return "trap";
+    }
+  }
+  static void snapshotRegs(const State& state, MachineContext& ctx) {
+    for (unsigned i = 0; i < 31; ++i) {
+      ctx.regs.emplace_back(std::string(a64::gprName(i, /*is64=*/true)),
+                            state.x[i]);
+    }
+    ctx.regs.emplace_back("sp", state.sp);
   }
 };
 
@@ -154,32 +187,38 @@ class CoreImpl final : public Machine::Impl {
     for (;;) {
       if (options_.maxInstructions != 0 &&
           result.instructions >= options_.maxInstructions) {
-        throw SimError("instruction budget exceeded (" +
-                       std::to_string(options_.maxInstructions) + ")");
+        BudgetExceeded fault(options_.maxInstructions);
+        fault.attachContext(makeContext(state, state.pc, result.instructions));
+        throw fault;
       }
       const std::uint64_t pc = state.pc;
-      const typename Traits::Inst* inst = fetch(pc, codeBase, codeEnd);
+      try {
+        const typename Traits::Inst* inst = fetch(pc, codeBase, codeEnd);
 
-      RetiredInst retired;
-      retired.pc = pc;
-      retired.encoding = lastEncoding_;
-      const auto trap = Traits::execute(*inst, state, memory_, retired);
-      retired.group = Traits::group(*inst);
-      ++result.instructions;
-      for (TraceObserver* observer : observers_) observer->onRetire(retired);
+        RetiredInst retired;
+        retired.pc = pc;
+        retired.encoding = lastEncoding_;
+        const auto trap = Traits::execute(*inst, state, memory_, retired);
+        retired.group = Traits::group(*inst);
+        ++result.instructions;
+        for (TraceObserver* observer : observers_) observer->onRetire(retired);
 
-      if (trap != Traits::kNoTrap) {
-        if (trap == Traits::kSyscallTrap) {
-          const SyscallOutcome outcome =
-              Traits::syscall(state, memory_, options_.stdoutStream);
-          if (outcome.exited) {
-            result.exitedCleanly = true;
-            result.exitCode = outcome.exitCode;
-            break;
+        if (trap != Traits::kNoTrap) {
+          if (trap == Traits::kSyscallTrap) {
+            const SyscallOutcome outcome =
+                Traits::syscall(state, memory_, options_.stdoutStream, pc);
+            if (outcome.exited) {
+              result.exitedCleanly = true;
+              result.exitCode = outcome.exitCode;
+              break;
+            }
+          } else {
+            throw TrapFault(std::string(Traits::trapName(trap)), pc);
           }
-        } else {
-          throw SimError("trap at pc " + hexString(pc));
         }
+      } catch (Fault& fault) {
+        fault.attachContext(makeContext(state, pc, result.instructions));
+        throw;
       }
     }
     for (TraceObserver* observer : observers_) observer->onProgramEnd();
@@ -192,6 +231,35 @@ class CoreImpl final : public Machine::Impl {
  private:
   static constexpr std::uint64_t kStackReserve = 1 << 20;
 
+  /// Machine snapshot for crash reports. `pc` is the faulting instruction
+  /// (which may differ from state.pc after a partial execute).
+  MachineContext makeContext(const typename Traits::State& state,
+                             std::uint64_t pc, std::uint64_t retired) const {
+    MachineContext ctx;
+    ctx.arch = std::string(Traits::kArchName);
+    ctx.pc = pc;
+    ctx.retired = retired;
+    ctx.word = wordAt(pc);
+    ctx.disasm = Traits::disasm(ctx.word, pc);
+    if (const Symbol* kernel = program_.kernelAt(pc)) {
+      ctx.kernel = kernel->name + "+" + fault_detail::hexAddr(pc - kernel->addr);
+    }
+    Traits::snapshotRegs(state, ctx);
+    return ctx;
+  }
+
+  /// Best-effort fetch of the raw word at `pc` (0 when unreadable).
+  std::uint32_t wordAt(std::uint64_t pc) const {
+    if (pc >= program_.codeBase && pc < program_.codeEnd() && (pc & 3) == 0) {
+      return program_.code[(pc - program_.codeBase) / 4];
+    }
+    try {
+      return memory_.read<std::uint32_t>(pc);
+    } catch (const MemoryFault&) {
+      return 0;
+    }
+  }
+
   const typename Traits::Inst* fetch(std::uint64_t pc, std::uint64_t codeBase,
                                      std::uint64_t codeEnd) {
     if (pc >= codeBase && pc < codeEnd && (pc & 3) == 0) {
@@ -199,10 +267,7 @@ class CoreImpl final : public Machine::Impl {
       if (!decoded_[index]) {
         const std::uint32_t word = program_.code[index];
         const auto inst = Traits::decode(word);
-        if (!inst) {
-          throw SimError("undecodable instruction " + hexString(word) +
-                         " at pc " + hexString(pc));
-        }
+        if (!inst) throw DecodeFault(word, pc);
         decodeCache_[index] = *inst;
         decoded_[index] = true;
       }
@@ -213,10 +278,7 @@ class CoreImpl final : public Machine::Impl {
     // tests): decode from memory without caching.
     const std::uint32_t word = memory_.read<std::uint32_t>(pc);
     const auto inst = Traits::decode(word);
-    if (!inst) {
-      throw SimError("undecodable instruction " + hexString(word) +
-                     " at pc " + hexString(pc));
-    }
+    if (!inst) throw DecodeFault(word, pc);
     scratch_ = *inst;
     lastEncoding_ = word;
     return &scratch_;

@@ -7,18 +7,14 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <stdexcept>
 #include <vector>
 
 #include "core/memory.hpp"
 #include "core/program.hpp"
 #include "isa/trace.hpp"
+#include "support/fault.hpp"
 
 namespace riscmp {
-
-class SimError : public std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
 
 struct MachineOptions {
   /// Simulated memory size. Grown automatically to cover the program image
@@ -52,8 +48,12 @@ class Machine {
   /// must outlive the Machine's run() calls.
   void addObserver(TraceObserver& observer);
 
-  /// Run from the program entry point until exit. Throws SimError on
-  /// undecodable instructions, and MemoryFault on wild accesses.
+  /// Run from the program entry point until exit. Every failure is thrown
+  /// as a `Fault` subclass (DecodeFault, MemoryFault, TrapFault,
+  /// BudgetExceeded) annotated with a MachineContext snapshot — pc,
+  /// retired-instruction count, faulting word and disassembly, enclosing
+  /// kernel, and a register snapshot — so callers can render a full crash
+  /// report via Fault::report().
   RunResult run();
 
   [[nodiscard]] Memory& memory();

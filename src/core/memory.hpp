@@ -10,32 +10,11 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
-#include <stdexcept>
-#include <string>
 #include <vector>
 
+#include "support/fault.hpp"  // MemoryFault
+
 namespace riscmp {
-
-class MemoryFault : public std::runtime_error {
- public:
-  MemoryFault(std::uint64_t addr, std::size_t size)
-      : std::runtime_error("memory fault: access of " + std::to_string(size) +
-                           " bytes at 0x" + toHex(addr)),
-        addr_(addr) {}
-  [[nodiscard]] std::uint64_t addr() const { return addr_; }
-
- private:
-  static std::string toHex(std::uint64_t v) {
-    static constexpr char digits[] = "0123456789abcdef";
-    std::string out;
-    do {
-      out.insert(out.begin(), digits[v & 0xf]);
-      v >>= 4;
-    } while (v != 0);
-    return out;
-  }
-  std::uint64_t addr_;
-};
 
 class Memory {
  public:

@@ -1,0 +1,140 @@
+#include "support/fault.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace riscmp {
+
+namespace fault_detail {
+
+std::string hexWord(std::uint32_t word) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof buffer, "0x%08x", word);
+  return buffer;
+}
+
+std::string hexAddr(std::uint64_t addr) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "0x%llx",
+                static_cast<unsigned long long>(addr));
+  return buffer;
+}
+
+}  // namespace fault_detail
+
+using fault_detail::hexAddr;
+using fault_detail::hexWord;
+
+std::string_view faultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Decode:
+      return "DecodeFault";
+    case FaultKind::Memory:
+      return "MemoryFault";
+    case FaultKind::Trap:
+      return "TrapFault";
+    case FaultKind::Budget:
+      return "BudgetExceeded";
+    case FaultKind::Config:
+      return "ConfigError";
+    case FaultKind::Validation:
+      return "ValidationFault";
+  }
+  return "Fault";
+}
+
+std::string Fault::report() const {
+  std::ostringstream out;
+  out << "=== FAULT REPORT: " << faultKindName(kind_) << " ===\n";
+  out << "  " << what() << "\n";
+  if (context_) {
+    const MachineContext& ctx = *context_;
+    if (!ctx.arch.empty()) out << "  arch:     " << ctx.arch << "\n";
+    out << "  pc:       " << hexAddr(ctx.pc) << "\n";
+    out << "  retired:  " << ctx.retired << " instructions\n";
+    out << "  word:     " << hexWord(ctx.word) << "\n";
+    if (!ctx.disasm.empty()) out << "  disasm:   " << ctx.disasm << "\n";
+    out << "  kernel:   "
+        << (ctx.kernel.empty() ? std::string("(outside any kernel region)")
+                               : ctx.kernel)
+        << "\n";
+    if (!ctx.regs.empty()) {
+      out << "  registers:\n";
+      std::size_t column = 0;
+      for (const auto& [name, value] : ctx.regs) {
+        if (column == 0) out << "   ";
+        char cell[40];
+        std::snprintf(cell, sizeof cell, " %4s=%016llx", name.c_str(),
+                      static_cast<unsigned long long>(value));
+        out << cell;
+        if (++column == 4) {
+          out << "\n";
+          column = 0;
+        }
+      }
+      if (column != 0) out << "\n";
+    }
+  }
+  out << "=== END FAULT REPORT ===";
+  return out.str();
+}
+
+DecodeFault::DecodeFault(std::uint32_t word, std::uint64_t pc)
+    : Fault(FaultKind::Decode, "undecodable instruction " + hexWord(word) +
+                                   " at pc " + hexAddr(pc)),
+      word_(word),
+      pc_(pc) {}
+
+MemoryFault::MemoryFault(std::uint64_t addr, std::size_t size)
+    : Fault(FaultKind::Memory,
+            "memory fault: access of " + std::to_string(size) + " bytes at " +
+                hexAddr(addr)),
+      addr_(addr),
+      size_(size) {}
+
+TrapFault::TrapFault(const std::string& trapName, std::uint64_t pc)
+    : Fault(FaultKind::Trap,
+            "unhandled trap (" + trapName + ") at pc " + hexAddr(pc)),
+      trap_(trapName),
+      pc_(pc) {}
+
+BudgetExceeded::BudgetExceeded(std::uint64_t limit)
+    : Fault(FaultKind::Budget,
+            "instruction budget exceeded (" + std::to_string(limit) + ")"),
+      limit_(limit) {}
+
+namespace {
+
+std::string configWhat(const std::string& message, const std::string& file,
+                       int line, const std::string& key) {
+  std::string out = "config error: ";
+  if (!file.empty()) out += file + ": ";
+  if (line > 0) out += "line " + std::to_string(line) + ": ";
+  if (!key.empty()) out += "key '" + key + "': ";
+  out += message;
+  return out;
+}
+
+}  // namespace
+
+ConfigError::ConfigError(const std::string& message, std::string file,
+                         int line, std::string key)
+    : Fault(FaultKind::Config, configWhat(message, file, line, key)),
+      message_(message),
+      file_(std::move(file)),
+      line_(line),
+      key_(std::move(key)) {}
+
+ConfigError ConfigError::withFile(const std::string& file) const {
+  ConfigError out(message_, file_.empty() ? file : file_, line_, key_);
+  if (hasContext()) out.attachContext(context());
+  return out;
+}
+
+ConfigError ConfigError::withKey(const std::string& key) const {
+  ConfigError out(message_, file_, line_, key_.empty() ? key : key_);
+  if (hasContext()) out.attachContext(context());
+  return out;
+}
+
+}  // namespace riscmp

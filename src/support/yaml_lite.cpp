@@ -76,6 +76,7 @@ std::vector<Line> splitLines(std::string_view text) {
 Node parseFlowSequence(const std::string& s, int lineNo) {
   Node node;
   node.setKind(Node::Kind::Sequence);
+  node.setLine(lineNo);
   std::string inner = trim(std::string_view(s).substr(1, s.size() - 2));
   if (inner.empty()) return node;
   std::size_t start = 0;
@@ -90,7 +91,7 @@ Node parseFlowSequence(const std::string& s, int lineNo) {
     }
     std::string item = trim(std::string_view(inner).substr(start, i - start));
     if (item.empty()) throw ParseError("empty flow-sequence element", lineNo);
-    node.append(Node(unquote(item)));
+    node.append(Node(unquote(item), lineNo));
     start = i + 1;
   }
   return node;
@@ -103,7 +104,7 @@ Node parseScalarOrFlow(const std::string& s, int lineNo) {
   if (!s.empty() && s.front() == '{') {
     throw ParseError("flow mappings are not supported", lineNo);
   }
-  return Node(unquote(s));
+  return Node(unquote(s), lineNo);
 }
 
 class Parser {
@@ -133,6 +134,7 @@ class Parser {
   Node parseMapping(int indent) {
     Node node;
     node.setKind(Node::Kind::Mapping);
+    node.setLine(lines_[pos_].number);
     while (pos_ < lines_.size() && lines_[pos_].indent == indent) {
       const Line line = lines_[pos_];
       if (line.content.rfind("- ", 0) == 0 || line.content == "-") {
@@ -147,7 +149,8 @@ class Parser {
       } else if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
         node.insert(std::move(key), parseBlock(lines_[pos_].indent));
       } else {
-        node.insert(std::move(key), Node(std::string{}));  // empty value
+        node.insert(std::move(key),
+                    Node(std::string{}, line.number));  // empty value
       }
       if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
         throw ParseError("unexpected indentation", lines_[pos_].number);
@@ -159,6 +162,7 @@ class Parser {
   Node parseSequence(int indent) {
     Node node;
     node.setKind(Node::Kind::Sequence);
+    node.setLine(lines_[pos_].number);
     while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
            (lines_[pos_].content.rfind("- ", 0) == 0 ||
             lines_[pos_].content == "-")) {
@@ -170,7 +174,7 @@ class Parser {
         if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
           node.append(parseBlock(lines_[pos_].indent));
         } else {
-          node.append(Node(std::string{}));
+          node.append(Node(std::string{}, line.number));
         }
         continue;
       }
@@ -220,7 +224,9 @@ class Parser {
 }  // namespace
 
 const std::string& Node::asString() const {
-  if (!isScalar()) throw std::runtime_error("yaml: node is not a scalar");
+  if (!isScalar()) {
+    throw ConfigError("expected a scalar value", /*file=*/{}, line_);
+  }
   return scalar_;
 }
 
@@ -235,35 +241,50 @@ std::int64_t Node::asInt() const {
     base = 16;
   }
   auto [ptr, ec] = std::from_chars(begin, end, value, base);
+  if (ec == std::errc::result_out_of_range) {
+    throw ConfigError("'" + s + "' overflows a 64-bit integer", {}, line_);
+  }
   if (ec != std::errc{} || ptr != end) {
-    throw std::runtime_error("yaml: '" + s + "' is not an integer");
+    throw ConfigError("'" + s + "' is not an integer", {}, line_);
   }
   return value;
 }
 
 std::uint64_t Node::asUint() const {
   const std::int64_t v = asInt();
-  if (v < 0) throw std::runtime_error("yaml: negative value for unsigned");
+  if (v < 0) {
+    throw ConfigError(
+        "'" + asString() + "' is negative where an unsigned value is required",
+        {}, line_);
+  }
   return static_cast<std::uint64_t>(v);
 }
 
 double Node::asDouble() const {
   const std::string& s = asString();
+  // Deliberately no catch-all here: every std::stod failure mode is mapped
+  // to a precise ConfigError naming the value and its source line.
+  std::size_t consumed = 0;
+  double v = 0.0;
   try {
-    std::size_t consumed = 0;
-    const double v = std::stod(s, &consumed);
-    if (consumed != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    throw std::runtime_error("yaml: '" + s + "' is not a number");
+    v = std::stod(s, &consumed);
+  } catch (const std::out_of_range&) {
+    throw ConfigError("'" + s + "' is out of range for a double", {}, line_);
+  } catch (const std::invalid_argument&) {
+    throw ConfigError("'" + s + "' is not a number", {}, line_);
   }
+  if (consumed != s.size()) {
+    throw ConfigError("'" + s + "' has trailing characters after the number",
+                      {}, line_);
+  }
+  return v;
 }
 
 bool Node::asBool() const {
   const std::string& s = asString();
   if (s == "true" || s == "True" || s == "yes" || s == "on") return true;
   if (s == "false" || s == "False" || s == "no" || s == "off") return false;
-  throw std::runtime_error("yaml: '" + s + "' is not a boolean");
+  throw ConfigError("'" + s + "' is not a boolean", {}, line_);
 }
 
 bool Node::has(std::string_view key) const {
@@ -277,7 +298,7 @@ const Node& Node::at(std::string_view key) const {
   for (const auto& [k, v] : map_) {
     if (k == key) return v;
   }
-  throw std::out_of_range("yaml: missing key '" + std::string(key) + "'");
+  throw ConfigError("missing required key", {}, line_, std::string(key));
 }
 
 std::int64_t Node::getInt(std::string_view key, std::int64_t fallback) const {
@@ -306,7 +327,9 @@ std::size_t Node::size() const {
 
 void Node::insert(std::string key, Node node) {
   for (auto& [k, v] : map_) {
-    if (k == key) throw std::runtime_error("yaml: duplicate key '" + key + "'");
+    if (k == key) {
+      throw ConfigError("duplicate key", {}, node.line(), key);
+    }
   }
   map_.emplace_back(std::move(key), std::move(node));
 }
@@ -318,10 +341,14 @@ Node parse(std::string_view text) {
 
 Node parseFile(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("yaml: cannot open '" + path + "'");
+  if (!in) throw ConfigError("cannot open file", path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse(buffer.str());
+  try {
+    return parse(buffer.str());
+  } catch (const ConfigError& e) {
+    throw e.withFile(path);
+  }
 }
 
 }  // namespace riscmp::yaml

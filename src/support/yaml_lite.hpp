@@ -21,18 +21,17 @@
 #include <string_view>
 #include <vector>
 
+#include "support/fault.hpp"
+
 namespace riscmp::yaml {
 
-class ParseError : public std::runtime_error {
+/// Structural YAML error. A ConfigError so it carries file/line provenance
+/// and participates in the Fault taxonomy; the historical (message, line)
+/// constructor is kept for the parser.
+class ParseError : public ConfigError {
  public:
   ParseError(const std::string& message, int line)
-      : std::runtime_error("yaml: line " + std::to_string(line) + ": " +
-                           message),
-        line_(line) {}
-  [[nodiscard]] int line() const { return line_; }
-
- private:
-  int line_;
+      : ConfigError(message, /*file=*/{}, line) {}
 };
 
 /// A parsed YAML node: scalar, sequence, or mapping. Mappings preserve key
@@ -42,15 +41,20 @@ class Node {
   enum class Kind { Scalar, Sequence, Mapping };
 
   Node() : kind_(Kind::Mapping) {}
-  explicit Node(std::string scalar)
-      : kind_(Kind::Scalar), scalar_(std::move(scalar)) {}
+  explicit Node(std::string scalar, int line = 0)
+      : kind_(Kind::Scalar), scalar_(std::move(scalar)), line_(line) {}
 
   [[nodiscard]] Kind kind() const { return kind_; }
+  /// Source line this node came from (0 for synthesized nodes). Carried so
+  /// scalar-conversion errors can name the offending line.
+  [[nodiscard]] int line() const { return line_; }
+  void setLine(int line) { line_ = line; }
   [[nodiscard]] bool isScalar() const { return kind_ == Kind::Scalar; }
   [[nodiscard]] bool isSequence() const { return kind_ == Kind::Sequence; }
   [[nodiscard]] bool isMapping() const { return kind_ == Kind::Mapping; }
 
-  // -- Scalar accessors. Conversion failures throw std::runtime_error.
+  // -- Scalar accessors. Conversion failures throw riscmp::ConfigError
+  //    carrying this node's source line.
   [[nodiscard]] const std::string& asString() const;
   [[nodiscard]] std::int64_t asInt() const;
   [[nodiscard]] std::uint64_t asUint() const;
@@ -59,7 +63,7 @@ class Node {
 
   // -- Mapping access.
   [[nodiscard]] bool has(std::string_view key) const;
-  /// Throws std::out_of_range when the key is missing.
+  /// Throws riscmp::ConfigError when the key is missing.
   [[nodiscard]] const Node& at(std::string_view key) const;
   /// Returns `fallback` when the key is missing.
   [[nodiscard]] std::int64_t getInt(std::string_view key,
@@ -83,6 +87,7 @@ class Node {
  private:
   Kind kind_;
   std::string scalar_;
+  int line_ = 0;
   std::vector<Node> seq_;
   std::vector<std::pair<std::string, Node>> map_;
 };
@@ -90,7 +95,8 @@ class Node {
 /// Parse a YAML document from text. Throws ParseError on malformed input.
 Node parse(std::string_view text);
 
-/// Parse the YAML file at `path`. Throws std::runtime_error if unreadable.
+/// Parse the YAML file at `path`. Throws riscmp::ConfigError (naming the
+/// file and line) if the file is unreadable or malformed.
 Node parseFile(const std::string& path);
 
 }  // namespace riscmp::yaml

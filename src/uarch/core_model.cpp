@@ -1,50 +1,117 @@
 #include "uarch/core_model.hpp"
 
-#include <stdexcept>
+#include <algorithm>
+#include <string_view>
+
+#include "support/fault.hpp"
 
 namespace riscmp::uarch {
+namespace {
+
+/// Reject keys outside `allowed` so config typos fail loudly instead of
+/// silently falling back to defaults.
+void rejectUnknownKeys(const yaml::Node& node, std::string_view section,
+                       std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : node.items()) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      throw ConfigError("unknown key in " + std::string(section) + " section",
+                        {}, value.line(), key);
+    }
+  }
+}
+
+unsigned positiveInt(const yaml::Node& section, std::string_view key,
+                     std::int64_t fallback) {
+  const std::int64_t v = section.getInt(key, fallback);
+  if (v < 1) {
+    throw ConfigError("must be a positive integer, got " + std::to_string(v),
+                      {}, section.has(key) ? section.at(key).line() : 0,
+                      std::string(key));
+  }
+  return static_cast<unsigned>(v);
+}
+
+}  // namespace
 
 std::string configDir() { return RISCMP_CONFIG_DIR; }
 
 CoreModel CoreModel::fromYaml(const yaml::Node& root) {
+  if (!root.isMapping()) {
+    throw ConfigError("core model document must be a mapping", {},
+                      root.line());
+  }
+  rejectUnknownKeys(root, "top-level",
+                    {"name", "description", "core", "ports", "latencies"});
+
   CoreModel model;
   model.name = root.getString("name", "unnamed");
   model.description = root.getString("description", "");
 
   if (root.has("core")) {
     const yaml::Node& core = root.at("core");
-    model.fetchWidth = static_cast<unsigned>(core.getInt("fetch_width", 4));
-    model.dispatchWidth =
-        static_cast<unsigned>(core.getInt("dispatch_width", 4));
-    model.commitWidth = static_cast<unsigned>(core.getInt("commit_width", 4));
-    model.robSize = static_cast<unsigned>(core.getInt("rob_size", 180));
+    rejectUnknownKeys(core, "core",
+                      {"fetch_width", "dispatch_width", "commit_width",
+                       "rob_size", "clock_ghz", "mispredict_penalty",
+                       "predictor", "gshare_bits"});
+    model.fetchWidth = positiveInt(core, "fetch_width", 4);
+    model.dispatchWidth = positiveInt(core, "dispatch_width", 4);
+    model.commitWidth = positiveInt(core, "commit_width", 4);
+    model.robSize = positiveInt(core, "rob_size", 180);
     model.clockGhz = core.getDouble("clock_ghz", 2.0);
-    model.mispredictPenalty =
-        static_cast<unsigned>(core.getInt("mispredict_penalty", 0));
+    if (!(model.clockGhz > 0.0)) {
+      throw ConfigError("must be a positive frequency, got " +
+                            std::to_string(model.clockGhz),
+                        {}, core.at("clock_ghz").line(), "clock_ghz");
+    }
+    const std::int64_t penalty = core.getInt("mispredict_penalty", 0);
+    if (penalty < 0) {
+      throw ConfigError("must be non-negative, got " + std::to_string(penalty),
+                        {}, core.at("mispredict_penalty").line(),
+                        "mispredict_penalty");
+    }
+    model.mispredictPenalty = static_cast<unsigned>(penalty);
     const std::string predictor = core.getString("predictor", "perfect");
     if (predictor == "static") {
       model.predictor = BranchPredictor::Static;
     } else if (predictor == "gshare") {
       model.predictor = BranchPredictor::Gshare;
     } else if (predictor != "perfect") {
-      throw std::runtime_error("core model: unknown predictor '" + predictor +
-                               "'");
+      throw ConfigError(
+          "unknown predictor '" + predictor +
+              "' (expected perfect, static, or gshare)",
+          {}, core.at("predictor").line(), "predictor");
     }
-    model.gshareBits =
-        static_cast<unsigned>(core.getInt("gshare_bits", 12));
+    model.gshareBits = positiveInt(core, "gshare_bits", 12);
+    if (model.gshareBits > 30) {
+      throw ConfigError("gshare_bits must be <= 30, got " +
+                            std::to_string(model.gshareBits),
+                        {}, core.at("gshare_bits").line(), "gshare_bits");
+    }
   }
 
   if (root.has("ports")) {
-    for (const yaml::Node& portNode : root.at("ports").elements()) {
+    const yaml::Node& ports = root.at("ports");
+    if (!ports.isSequence()) {
+      throw ConfigError("'ports' must be a sequence of port mappings", {},
+                        ports.line(), "ports");
+    }
+    for (const yaml::Node& portNode : ports.elements()) {
+      rejectUnknownKeys(portNode, "port", {"name", "groups"});
       Port port;
       port.name = portNode.getString("name", "port");
+      // `groups` is required: a port that accepts nothing is always a typo.
       for (const yaml::Node& groupNode : portNode.at("groups").elements()) {
         const auto group = instGroupFromName(groupNode.asString());
         if (!group) {
-          throw std::runtime_error("core model: unknown instruction group '" +
-                                   groupNode.asString() + "'");
+          throw ConfigError(
+              "unknown instruction group '" + groupNode.asString() + "'", {},
+              groupNode.line(), "groups");
         }
         port.groupMask |= 1u << static_cast<unsigned>(*group);
+      }
+      if (port.groupMask == 0) {
+        throw ConfigError("port '" + port.name + "' accepts no groups", {},
+                          portNode.line(), "groups");
       }
       model.ports.push_back(std::move(port));
     }
@@ -54,18 +121,30 @@ CoreModel CoreModel::fromYaml(const yaml::Node& root) {
     for (const auto& [key, value] : root.at("latencies").items()) {
       const auto group = instGroupFromName(key);
       if (!group) {
-        throw std::runtime_error("core model: unknown instruction group '" +
-                                 key + "'");
+        throw ConfigError("unknown instruction group '" + key + "'", {},
+                          value.line(), "latencies");
+      }
+      const std::uint64_t latency = value.asUint();
+      if (latency < 1 || latency > 4096) {
+        throw ConfigError("latency for " + key + " must be in [1, 4096], got " +
+                              std::to_string(latency),
+                          {}, value.line(), key);
       }
       model.latencies[static_cast<std::size_t>(*group)] =
-          static_cast<std::uint32_t>(value.asUint());
+          static_cast<std::uint32_t>(latency);
     }
   }
   return model;
 }
 
 CoreModel CoreModel::fromFile(const std::string& path) {
-  return fromYaml(yaml::parseFile(path));
+  try {
+    return fromYaml(yaml::parseFile(path));
+  } catch (const ConfigError& e) {
+    // Annotate with the config path so the report names the file even when
+    // the error came from a document-level check.
+    throw e.withFile(path);
+  }
 }
 
 CoreModel CoreModel::named(const std::string& name) {

@@ -45,9 +45,12 @@ struct CoreModel {
   std::vector<Port> ports;
   LatencyTable latencies = unitLatencies();
 
-  /// Parse from a YAML document. Throws std::runtime_error on unknown
-  /// instruction-group names or missing sections.
+  /// Parse and validate a YAML document. Unknown keys, unknown
+  /// instruction-group names, missing required keys, and non-numeric or
+  /// out-of-range values all throw riscmp::ConfigError with line (and,
+  /// via fromFile, file) provenance.
   static CoreModel fromYaml(const yaml::Node& root);
+  /// Load and validate; ConfigErrors are annotated with `path`.
   static CoreModel fromFile(const std::string& path);
   /// Load `<name>.yaml` from the repository's configs/ directory.
   static CoreModel named(const std::string& name);

@@ -1,0 +1,52 @@
+#include "verify/boundary.hpp"
+
+#include <ostream>
+
+#include "support/fault.hpp"
+#include "support/table.hpp"
+
+namespace riscmp::verify {
+
+FaultBoundary::FaultBoundary(std::ostream& out) : out_(out) {}
+
+bool FaultBoundary::run(const std::string& cell,
+                        const std::function<void()>& fn) {
+  CellResult result;
+  result.name = cell;
+  try {
+    fn();
+    results_.push_back(std::move(result));
+    return true;
+  } catch (const Fault& fault) {
+    result.ok = false;
+    result.kind = std::string(faultKindName(fault.kind()));
+    result.summary = fault.what();
+    out_ << "\n[cell '" << cell << "' failed]\n" << fault.report() << "\n\n";
+  } catch (const std::exception& e) {
+    // Anything that is not a Fault escaped the taxonomy — still contain
+    // it, but label it loudly so it reads as an engine bug.
+    result.ok = false;
+    result.kind = "unclassified";
+    result.summary = e.what();
+    out_ << "\n[cell '" << cell << "' failed: UNCLASSIFIED exception]\n  "
+         << e.what() << "\n\n";
+  }
+  ++failures_;
+  results_.push_back(std::move(result));
+  return false;
+}
+
+int FaultBoundary::finish() {
+  if (failures_ == 0) return 0;
+  Table table({"cell", "status", "fault"});
+  for (const CellResult& result : results_) {
+    table.addRow({result.name, result.ok ? "ok" : "FAILED",
+                  result.ok ? "" : result.kind + ": " + result.summary});
+  }
+  out_ << "\nFault-boundary summary: " << failures_ << "/" << results_.size()
+       << " cells failed\n"
+       << table << "\n";
+  return 1;
+}
+
+}  // namespace riscmp::verify

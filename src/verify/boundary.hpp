@@ -1,0 +1,47 @@
+// Fault boundary for bench/example cells (ISSUE 1 tentpole, part 3).
+//
+// Wraps each unit of work (one workload × era × ISA cell) so a failure
+// prints its full FaultReport and the run continues with the remaining
+// cells. finish() prints a summary table and returns a non-zero exit code
+// when any cell failed, so CI still flags the regression.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace riscmp::verify {
+
+struct CellResult {
+  std::string name;
+  bool ok = true;
+  std::string kind;     ///< fault-kind label ("DecodeFault", ...) when failed
+  std::string summary;  ///< one-line what() when failed
+};
+
+class FaultBoundary {
+ public:
+  /// Reports and the final summary are written to `out`.
+  explicit FaultBoundary(std::ostream& out);
+
+  /// Run one cell. Faults (and stray exceptions, labelled "unclassified")
+  /// are caught and reported; returns true when the cell completed.
+  bool run(const std::string& cell, const std::function<void()>& fn);
+
+  [[nodiscard]] bool allOk() const { return failures_ == 0; }
+  [[nodiscard]] const std::vector<CellResult>& results() const {
+    return results_;
+  }
+
+  /// Print the per-cell summary (when any cell failed) and return the
+  /// process exit code: 0 if everything passed, 1 otherwise.
+  int finish();
+
+ private:
+  std::ostream& out_;
+  std::vector<CellResult> results_;
+  std::size_t failures_ = 0;
+};
+
+}  // namespace riscmp::verify

@@ -1,0 +1,89 @@
+#include "verify/injector.hpp"
+
+#include <cctype>
+
+#include "support/fault.hpp"
+
+namespace riscmp::verify {
+
+std::uint32_t FaultInjector::corruptWord(std::uint32_t word, int maxBits) {
+  const int bits = 1 + static_cast<int>(rng_.below(
+                           static_cast<std::uint64_t>(maxBits)));
+  std::uint32_t flipped = word;
+  for (int i = 0; i < bits; ++i) {
+    std::uint32_t mask;
+    do {
+      mask = 1u << rng_.below(32);
+    } while ((flipped ^ word) & mask);  // distinct bits
+    flipped ^= mask;
+  }
+  return flipped;
+}
+
+std::size_t FaultInjector::corruptCodeWord(Program& program, int maxBits) {
+  if (program.code.empty()) {
+    throw ValidationFault("cannot corrupt an empty code image");
+  }
+  const std::size_t index = rng_.below(program.code.size());
+  program.code[index] = corruptWord(program.code[index], maxBits);
+  return index;
+}
+
+void FaultInjector::corruptData(Program& program, int flips) {
+  if (program.data.empty()) return;
+  for (int i = 0; i < flips; ++i) {
+    const std::size_t byte = rng_.below(program.data.size());
+    program.data[byte] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+  }
+}
+
+std::string FaultInjector::corruptYaml(const std::string& text) {
+  // Collect line extents so mutations can target a random line.
+  std::vector<std::pair<std::size_t, std::size_t>> lines;  // (begin, length)
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      if (i > begin) lines.emplace_back(begin, i - begin);
+      begin = i + 1;
+    }
+  }
+  if (lines.empty()) return text;
+
+  std::string out = text;
+  const auto [lineBegin, lineLen] = lines[rng_.below(lines.size())];
+  switch (rng_.below(5)) {
+    case 0: {  // garble a digit into a letter (non-numeric latency)
+      for (std::size_t i = lineBegin; i < lineBegin + lineLen; ++i) {
+        if (std::isdigit(static_cast<unsigned char>(out[i]))) {
+          out[i] = static_cast<char>('g' + rng_.below(8));
+          return out;
+        }
+      }
+      out.insert(lineBegin + lineLen, " !");
+      return out;
+    }
+    case 1: {  // rename the key (unknown group / unknown key)
+      out.insert(lineBegin, "zz");
+      return out;
+    }
+    case 2: {  // drop the first colon (structural error)
+      for (std::size_t i = lineBegin; i < lineBegin + lineLen; ++i) {
+        if (out[i] == ':') {
+          out.erase(i, 1);
+          return out;
+        }
+      }
+      return out;
+    }
+    case 3: {  // duplicate the line (duplicate-key error)
+      out.insert(lineBegin, text.substr(lineBegin, lineLen) + "\n");
+      return out;
+    }
+    default: {  // inject a tab indent (rejected by the parser)
+      out.insert(lineBegin, "\t");
+      return out;
+    }
+  }
+}
+
+}  // namespace riscmp::verify

@@ -1,0 +1,64 @@
+// Deterministic, seeded fault injector (ISSUE 1 tentpole, part 2).
+//
+// Corrupts the three input surfaces the simulator trusts:
+//   * code words      — single/multi bit-flips of valid encodings
+//   * data memory     — bit-flips of a program's initialised data image
+//   * latency configs — textual mutations of core-model YAML
+//
+// All randomness comes from a SplitMix64 stream owned by the injector, so a
+// campaign is exactly reproducible from its seed: same seed, same
+// corruptions, same outcome sequence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+
+namespace riscmp::verify {
+
+/// SplitMix64: tiny, fast, and statistically fine for fuzzing duty.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n) for n > 0.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// Flip 1..maxBits distinct random bits of `word`.
+  std::uint32_t corruptWord(std::uint32_t word, int maxBits = 2);
+
+  /// Corrupt one random code word in place; returns the corrupted index.
+  std::size_t corruptCodeWord(Program& program, int maxBits = 2);
+
+  /// Flip `flips` random bits across the program's initialised data image.
+  void corruptData(Program& program, int flips = 8);
+
+  /// Mutate core-model YAML text: garble a numeric value, rename a key,
+  /// drop a colon, duplicate a line, or inject a tab indent. The result is
+  /// valid-or-rejectable YAML; the loader must classify it either way.
+  std::string corruptYaml(const std::string& text);
+
+  SplitMix64& rng() { return rng_; }
+
+ private:
+  SplitMix64 rng_;
+};
+
+}  // namespace riscmp::verify

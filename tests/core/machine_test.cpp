@@ -107,21 +107,85 @@ TEST(Machine, InstructionBudgetAborts) {
   MachineOptions options;
   options.maxInstructions = 100;
   Machine machine(program, options);
-  EXPECT_THROW(machine.run(), SimError);
+  try {
+    machine.run();
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& fault) {
+    EXPECT_EQ(fault.kind(), FaultKind::Budget);
+    EXPECT_EQ(fault.limit(), 100u);
+    ASSERT_TRUE(fault.hasContext());
+    EXPECT_EQ(fault.context().retired, 100u);
+  }
 }
 
-TEST(Machine, UndecodableInstructionThrows) {
+TEST(Machine, UndecodableInstructionThrowsDecodeFault) {
   Program program = rv64Program("nop\n");
   program.code.push_back(0);  // invalid word
   Machine machine(program);
-  EXPECT_THROW(machine.run(), SimError);
+  try {
+    machine.run();
+    FAIL() << "expected DecodeFault";
+  } catch (const DecodeFault& fault) {
+    EXPECT_EQ(fault.kind(), FaultKind::Decode);
+    EXPECT_EQ(fault.word(), 0u);
+    EXPECT_EQ(fault.pc(), Program::kCodeBase + 4);
+    ASSERT_TRUE(fault.hasContext());
+    EXPECT_EQ(fault.context().arch, "RISC-V");
+    EXPECT_EQ(fault.context().pc, Program::kCodeBase + 4);
+    EXPECT_EQ(fault.context().retired, 1u);  // the nop retired first
+    EXPECT_EQ(fault.context().regs.size(), 32u);
+  }
 }
 
-TEST(Machine, UnsupportedSyscallThrows) {
+TEST(Machine, UnsupportedSyscallThrowsTrapFault) {
   Machine machine(rv64Program(
       "  li a7, 222\n"
       "  ecall\n"));
-  EXPECT_THROW(machine.run(), SimError);
+  try {
+    machine.run();
+    FAIL() << "expected TrapFault";
+  } catch (const TrapFault& fault) {
+    EXPECT_EQ(fault.kind(), FaultKind::Trap);
+    EXPECT_NE(std::string(fault.what()).find("222"), std::string::npos);
+    ASSERT_TRUE(fault.hasContext());
+  }
+}
+
+TEST(Machine, FaultReportNamesKernelAndDisassembly) {
+  Program program = rv64Program(
+      "  nop\n"
+      "  nop\n");
+  program.code.push_back(0);  // invalid word inside the "inner" kernel
+  program.kernels = {{"inner", Program::kCodeBase, 12}};
+  Machine machine(program);
+  try {
+    machine.run();
+    FAIL() << "expected DecodeFault";
+  } catch (const DecodeFault& fault) {
+    const std::string report = fault.report();
+    EXPECT_NE(report.find("DecodeFault"), std::string::npos);
+    EXPECT_NE(report.find("inner+0x8"), std::string::npos);
+    EXPECT_NE(report.find("registers:"), std::string::npos);
+    EXPECT_NE(report.find(".word"), std::string::npos);  // disasm of 0
+  }
+}
+
+TEST(Machine, WildMemoryAccessGetsContext) {
+  Machine machine(rv64Program(
+      "  li a1, 0x40000000\n"  // far outside the arena
+      "  ld a0, 0(a1)\n"
+      "  li a7, 93\n"
+      "  ecall\n"));
+  try {
+    machine.run();
+    FAIL() << "expected MemoryFault";
+  } catch (const MemoryFault& fault) {
+    EXPECT_EQ(fault.kind(), FaultKind::Memory);
+    EXPECT_EQ(fault.addr(), 0x40000000u);
+    ASSERT_TRUE(fault.hasContext());
+    // Context points at the faulting load, not the machine's state after.
+    EXPECT_NE(fault.context().disasm.find("ld"), std::string::npos);
+  }
 }
 
 class CountingObserver : public TraceObserver {

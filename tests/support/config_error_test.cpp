@@ -1,0 +1,105 @@
+// ConfigError provenance tests (ISSUE 1 satellite): malformed YAML must be
+// rejected with the offending file, line, and key — never silently
+// swallowed, never an unannotated std:: exception.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/fault.hpp"
+#include "support/yaml_lite.hpp"
+
+namespace riscmp {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(RISCMP_FIXTURE_DIR) + "/" + name;
+}
+
+TEST(ConfigErrorTest, WhatFormatsFileLineAndKey) {
+  const ConfigError e("bad value", "core.yaml", 7, "rob_size");
+  EXPECT_EQ(std::string(e.what()),
+            "config error: core.yaml: line 7: key 'rob_size': bad value");
+  EXPECT_EQ(e.file(), "core.yaml");
+  EXPECT_EQ(e.line(), 7);
+  EXPECT_EQ(e.key(), "rob_size");
+  EXPECT_EQ(e.message(), "bad value");
+}
+
+TEST(ConfigErrorTest, WithFileAnnotatesOnlyOnce) {
+  const ConfigError bare("oops", {}, 3);
+  const ConfigError annotated = bare.withFile("a.yaml");
+  EXPECT_EQ(annotated.file(), "a.yaml");
+  // A second annotation must not overwrite the original provenance.
+  EXPECT_EQ(annotated.withFile("b.yaml").file(), "a.yaml");
+}
+
+TEST(ConfigErrorTest, MissingFileNamesThePath) {
+  try {
+    yaml::parseFile(fixture("no_such_file.yaml"));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(e.file().find("no_such_file.yaml"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("cannot open file"),
+              std::string::npos);
+  }
+}
+
+TEST(ConfigErrorTest, TabIndentReportsFileAndLine) {
+  try {
+    yaml::parseFile(fixture("tab_indent.yaml"));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(e.file().find("tab_indent.yaml"), std::string::npos);
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("tab indentation"),
+              std::string::npos);
+  }
+}
+
+TEST(ConfigErrorTest, DuplicateKeyReportsLineAndKey) {
+  try {
+    yaml::parseFile(fixture("duplicate_key.yaml"));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.key(), "name");
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("duplicate key"), std::string::npos);
+  }
+}
+
+TEST(ConfigErrorTest, ScalarConversionCarriesLineNumber) {
+  const yaml::Node root = yaml::parse("a: 1\nb: not_a_number\n");
+  try {
+    (void)root.at("b").asDouble();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("not a number"), std::string::npos);
+  }
+}
+
+TEST(ConfigErrorTest, MissingKeyNamesTheKey) {
+  const yaml::Node root = yaml::parse("a: 1\n");
+  try {
+    (void)root.at("b");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.key(), "b");
+    EXPECT_NE(std::string(e.what()).find("missing required key"),
+              std::string::npos);
+  }
+}
+
+TEST(ConfigErrorTest, ConfigErrorIsAFault) {
+  // The taxonomy: ConfigError participates in the same catch hierarchy as
+  // every other Fault, so the bench boundary classifies it.
+  try {
+    throw ConfigError("boom", "x.yaml", 1, "k");
+  } catch (const Fault& fault) {
+    EXPECT_EQ(fault.kind(), FaultKind::Config);
+    EXPECT_NE(fault.report().find("FAULT REPORT"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace riscmp

@@ -103,10 +103,15 @@ TEST(YamlLite, DuplicateKeyRejected) {
 
 TEST(YamlLite, BadScalarConversions) {
   const Node root = parse("s: hello\n");
-  EXPECT_THROW(static_cast<void>(root.at("s").asInt()), std::runtime_error);
-  EXPECT_THROW(static_cast<void>(root.at("s").asDouble()), std::runtime_error);
-  EXPECT_THROW(static_cast<void>(root.at("s").asBool()), std::runtime_error);
-  EXPECT_THROW(static_cast<void>(root.at("missing")), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(root.at("s").asInt()), ConfigError);
+  EXPECT_THROW(static_cast<void>(root.at("s").asDouble()), ConfigError);
+  EXPECT_THROW(static_cast<void>(root.at("s").asBool()), ConfigError);
+  try {
+    static_cast<void>(root.at("missing"));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.key(), "missing");
+  }
 }
 
 TEST(YamlLite, KeyOrderPreserved) {

@@ -1,0 +1,75 @@
+// Load-time validation of core-model configs (ISSUE 1 satellite): every
+// malformed fixture must be rejected with a ConfigError naming the config
+// path, and where possible the offending line and key.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/fault.hpp"
+#include "uarch/core_model.hpp"
+
+namespace riscmp::uarch {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(RISCMP_FIXTURE_DIR) + "/" + name;
+}
+
+template <typename Check>
+void expectRejected(const std::string& name, Check check) {
+  const std::string path = fixture(name);
+  try {
+    CoreModel::fromFile(path);
+    FAIL() << name << " should have been rejected";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(e.file().find(name), std::string::npos)
+        << "error must name the config path: " << e.what();
+    check(e);
+  }
+}
+
+TEST(CoreModelValidation, NonNumericLatencyRejectedWithLine) {
+  expectRejected("latency_not_a_number.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("'fast'"), std::string::npos);
+  });
+}
+
+TEST(CoreModelValidation, MissingGroupsKeyRejected) {
+  expectRejected("missing_groups.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.key(), "groups");
+    EXPECT_NE(std::string(e.what()).find("missing required key"),
+              std::string::npos);
+  });
+}
+
+TEST(CoreModelValidation, UnknownInstructionGroupRejectedWithLine) {
+  expectRejected("unknown_group.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.line(), 4);
+    EXPECT_NE(std::string(e.what()).find("INT_BOGUS"), std::string::npos);
+  });
+}
+
+TEST(CoreModelValidation, UnknownTopLevelKeyRejected) {
+  expectRejected("unknown_top_key.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.key(), "latncies");
+    EXPECT_NE(std::string(e.what()).find("unknown key"), std::string::npos);
+  });
+}
+
+TEST(CoreModelValidation, OutOfRangeLatencyRejected) {
+  expectRejected("broken_tx2.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.key(), "LOAD");
+    EXPECT_NE(std::string(e.what()).find("[1, 4096]"), std::string::npos);
+  });
+}
+
+TEST(CoreModelValidation, ShippedConfigsAllLoad) {
+  // The validator must not reject the real models the benches depend on.
+  for (const char* name : {"tx2", "riscv-tx2", "m1-firestorm", "a64fx"}) {
+    EXPECT_NO_THROW(CoreModel::named(name)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace riscmp::uarch

@@ -1,0 +1,84 @@
+// FaultBoundary tests (ISSUE 1 tentpole, part 3): a failing cell prints
+// its crash report, the run continues, the summary names every cell, and
+// the exit code is non-zero iff anything failed.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "support/fault.hpp"
+#include "uarch/core_model.hpp"
+#include "verify/boundary.hpp"
+
+namespace riscmp::verify {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(RISCMP_FIXTURE_DIR) + "/" + name;
+}
+
+TEST(FaultBoundary, CatchesFaultPrintsReportAndContinues) {
+  std::ostringstream out;
+  FaultBoundary boundary(out);
+
+  EXPECT_FALSE(boundary.run("cell-a", [] {
+    throw DecodeFault(0xdeadbeef, 0x1000);
+  }));
+  EXPECT_TRUE(boundary.run("cell-b", [] {}));
+
+  EXPECT_FALSE(boundary.allOk());
+  EXPECT_NE(out.str().find("FAULT REPORT: DecodeFault"), std::string::npos);
+  EXPECT_NE(out.str().find("cell-a"), std::string::npos);
+  EXPECT_EQ(boundary.finish(), 1);
+  EXPECT_NE(out.str().find("1/2 cells failed"), std::string::npos);
+  EXPECT_NE(out.str().find("cell-b"), std::string::npos);  // summary table
+}
+
+TEST(FaultBoundary, AllCellsPassingReturnsZeroAndStaysQuiet) {
+  std::ostringstream out;
+  FaultBoundary boundary(out);
+  EXPECT_TRUE(boundary.run("ok-1", [] {}));
+  EXPECT_TRUE(boundary.run("ok-2", [] {}));
+  EXPECT_TRUE(boundary.allOk());
+  EXPECT_EQ(boundary.finish(), 0);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(FaultBoundary, NonFaultExceptionIsContainedAndLabelledUnclassified) {
+  std::ostringstream out;
+  FaultBoundary boundary(out);
+  EXPECT_FALSE(boundary.run("stray", [] {
+    throw std::runtime_error("raw exception");
+  }));
+  EXPECT_NE(out.str().find("UNCLASSIFIED"), std::string::npos);
+  EXPECT_NE(out.str().find("raw exception"), std::string::npos);
+  EXPECT_EQ(boundary.finish(), 1);
+}
+
+TEST(FaultBoundary, RecordsFaultKindPerCell) {
+  std::ostringstream out;
+  FaultBoundary boundary(out);
+  boundary.run("budget-cell", [] { throw BudgetExceeded(100); });
+  boundary.run("memory-cell", [] { throw MemoryFault(0x40000000, 8); });
+  ASSERT_EQ(boundary.results().size(), 2u);
+  EXPECT_EQ(boundary.results()[0].kind, "BudgetExceeded");
+  EXPECT_EQ(boundary.results()[1].kind, "MemoryFault");
+}
+
+TEST(FaultBoundary, BrokenCoreModelYamlClassifiedAsConfigError) {
+  std::ostringstream out;
+  FaultBoundary boundary(out);
+  EXPECT_FALSE(boundary.run("load-config/tx2", [] {
+    uarch::CoreModel::fromFile(fixture("broken_tx2.yaml"));
+  }));
+  ASSERT_EQ(boundary.results().size(), 1u);
+  EXPECT_EQ(boundary.results()[0].kind, "ConfigError");
+  // The report names the offending file and the out-of-range latency.
+  EXPECT_NE(out.str().find("broken_tx2.yaml"), std::string::npos);
+  EXPECT_NE(out.str().find("LOAD"), std::string::npos);
+  EXPECT_EQ(boundary.finish(), 1);
+}
+
+}  // namespace
+}  // namespace riscmp::verify
