@@ -6,10 +6,10 @@
 // prints the mean producer->consumer distance and the fraction of
 // dependencies that fit within small instruction windows. A *smaller*
 // fraction of short-range dependencies for RISC-V is the mechanism behind
-// its small-window ILP advantage in Figure 2.
+// its small-window ILP advantage in Figure 2. Simulation runs once per
+// cell on the experiment engine.
 #include <iostream>
 
-#include "analysis/dep_distance.hpp"
 #include "harness.hpp"
 #include "support/table.hpp"
 
@@ -18,39 +18,43 @@ using namespace riscmp::bench;
 
 int main(int argc, char** argv) {
   const double scale = parseScale(argc, argv);
-  const std::uint64_t budget = parseBudget(argc, argv);
   const auto suite = workloads::paperSuite(scale);
   const std::vector<Config> configs = {
       {Arch::AArch64, kgen::CompilerEra::Gcc12},
       {Arch::Rv64, kgen::CompilerEra::Gcc12}};
+
+  engine::EngineOptions options = engineOptions(argc, argv);
+  options.analyses = engine::kDepDistance;
+  engine::ExperimentEngine eng(options);
+  const engine::GridResult grid = eng.runGrid(suite, configs);
+
   verify::FaultBoundary boundary(std::cout);
+  engine::mergeIntoBoundary(grid, boundary, std::cout);
 
   std::cout << "Extension: producer->consumer dependency distances "
                "(GCC 12.2 binaries)\n\n";
 
-  for (const auto& spec : suite) {
-    std::cout << "== " << spec.name << " ==\n";
+  for (std::size_t w = 0; w < suite.size(); ++w) {
+    std::cout << "== " << suite[w].name << " ==\n";
     Table table({"config", "deps", "mean distance", "within 4", "within 16",
                  "within 64"});
-    std::array<double, 2> within4{};
     bool allCells = true;
     for (std::size_t c = 0; c < configs.size(); ++c) {
-      allCells &= boundary.run(spec.name + "/" + configName(configs[c]), [&] {
-        const Experiment experiment(spec.module, configs[c]);
-        DependencyDistanceAnalyzer analyzer;
-        experiment.run({&analyzer}, budget);
-        within4[c] = analyzer.fractionWithin(4);
-        table.addRow({configName(configs[c]),
-                      withCommas(analyzer.dependencies()),
-                      sigFigs(analyzer.meanDistance(), 4),
-                      sigFigs(analyzer.fractionWithin(4) * 100.0, 3) + "%",
-                      sigFigs(analyzer.fractionWithin(16) * 100.0, 3) + "%",
-                      sigFigs(analyzer.fractionWithin(64) * 100.0, 3) + "%"});
-      });
+      const engine::CellResult& cell = grid.at(w, c);
+      if (!cell.cell.ok) {
+        allCells = false;
+        continue;
+      }
+      table.addRow({configName(configs[c]),
+                    withCommas(cell.deps.dependencies),
+                    sigFigs(cell.deps.meanDistance, 4),
+                    sigFigs(cell.deps.within4 * 100.0, 3) + "%",
+                    sigFigs(cell.deps.within16 * 100.0, 3) + "%",
+                    sigFigs(cell.deps.within64 * 100.0, 3) + "%"});
     }
     std::cout << table;
     if (allCells) {
-      std::cout << (within4[1] < within4[0]
+      std::cout << (grid.at(w, 1).deps.within4 < grid.at(w, 0).deps.within4
                         ? "-> RISC-V has fewer short-range dependencies "
                           "(consistent with its Figure 2 small-window ILP "
                           "edge)\n\n"
@@ -60,5 +64,6 @@ int main(int argc, char** argv) {
       std::cout << "\n";
     }
   }
+  std::cout << engine::describe(eng.stats()) << "\n";
   return boundary.finish();
 }

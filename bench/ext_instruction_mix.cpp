@@ -2,10 +2,10 @@
 // form of the paper's §3.3 branch-fraction analysis). Differences in the
 // mixes explain the path-length gaps: RISC-V trades AArch64's compare
 // instructions for extra integer adds (pointer bumps), and both ISAs
-// execute identical FP work.
+// execute identical FP work. Simulation runs once per cell on the
+// experiment engine.
 #include <iostream>
 
-#include "analysis/path_length.hpp"
 #include "harness.hpp"
 #include "support/table.hpp"
 
@@ -14,12 +14,10 @@ using namespace riscmp::bench;
 
 int main(int argc, char** argv) {
   const double scale = parseScale(argc, argv);
-  const std::uint64_t budget = parseBudget(argc, argv);
   const auto suite = workloads::paperSuite(scale);
   const std::vector<Config> configs = {
       {Arch::AArch64, kgen::CompilerEra::Gcc12},
       {Arch::Rv64, kgen::CompilerEra::Gcc12}};
-  verify::FaultBoundary boundary(std::cout);
 
   const InstGroup shown[] = {InstGroup::IntSimple, InstGroup::Branch,
                              InstGroup::Load,      InstGroup::Store,
@@ -27,32 +25,38 @@ int main(int argc, char** argv) {
                              InstGroup::FpFma,     InstGroup::FpDiv,
                              InstGroup::FpSqrt,    InstGroup::FpSimple};
 
+  engine::EngineOptions options = engineOptions(argc, argv);
+  options.analyses = engine::kPathLength;
+  engine::ExperimentEngine eng(options);
+  const engine::GridResult grid = eng.runGrid(suite, configs);
+
+  verify::FaultBoundary boundary(std::cout);
+  engine::mergeIntoBoundary(grid, boundary, std::cout);
+
   std::cout << "Extension: instruction-group mix (GCC 12.2 binaries)\n\n";
 
-  for (const auto& spec : suite) {
-    std::cout << "== " << spec.name << " ==\n";
+  for (std::size_t w = 0; w < suite.size(); ++w) {
+    std::cout << "== " << suite[w].name << " ==\n";
     std::vector<std::string> header = {"config", "total"};
     for (const InstGroup group : shown) {
       header.emplace_back(instGroupName(group));
     }
     Table table(header);
-    for (const Config& config : configs) {
-      boundary.run(spec.name + "/" + configName(config), [&] {
-        const Experiment experiment(spec.module, config);
-        PathLengthCounter counter(experiment.program());
-        const std::uint64_t total = experiment.run({&counter}, budget);
-        std::vector<std::string> row = {configName(config),
-                                        withCommas(total)};
-        for (const InstGroup group : shown) {
-          row.push_back(
-              sigFigs(100.0 *
-                          static_cast<double>(counter.groupCount(group)) /
-                          static_cast<double>(total),
-                      3) +
-              "%");
-        }
-        table.addRow(std::move(row));
-      });
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const engine::CellResult& cell = grid.at(w, c);
+      if (!cell.cell.ok) continue;
+      std::vector<std::string> row = {configName(configs[c]),
+                                      withCommas(cell.instructions)};
+      for (const InstGroup group : shown) {
+        row.push_back(
+            sigFigs(100.0 *
+                        static_cast<double>(
+                            cell.groups[static_cast<std::size_t>(group)]) /
+                        static_cast<double>(cell.instructions),
+                    3) +
+            "%");
+      }
+      table.addRow(std::move(row));
     }
     std::cout << table << "\n";
   }
@@ -60,5 +64,6 @@ int main(int argc, char** argv) {
   std::cout << "Reading: the FP columns match between ISAs (identical "
                "arithmetic); the INT_SIMPLE and BRANCH columns differ by the "
                "loop-control and addressing idioms of §3.3.\n";
+  std::cout << engine::describe(eng.stats()) << "\n";
   return boundary.finish();
 }

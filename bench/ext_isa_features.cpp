@@ -9,10 +9,10 @@
 //   stencil o[i] = in[i-1]+in[i+1] — offset reuse within one pointer group
 //
 // For each probe the per-iteration instruction budget is derived from two
-// run lengths, separating loop-body cost from prologue cost.
+// run lengths, separating loop-body cost from prologue cost. Probe cells
+// run in parallel on the engine's worker pool through its compile cache.
 #include <iostream>
 
-#include "core/machine.hpp"
 #include "harness.hpp"
 #include "kgen/compile.hpp"
 #include "support/table.hpp"
@@ -59,25 +59,9 @@ Module stencilProbe(std::int64_t n) {
   return module;
 }
 
-double perIteration(Module (*probe)(std::int64_t), const Config& config,
-                    std::uint64_t budget) {
-  const std::int64_t n1 = 256;
-  const std::int64_t n2 = 512;
-  const auto count = [&](std::int64_t n) {
-    const Compiled compiled = compile(probe(n), config.arch, config.era);
-    MachineOptions options;
-    options.maxInstructions = budget;
-    Machine machine(compiled.program, options);
-    return machine.run().instructions;
-  };
-  return static_cast<double>(count(n2) - count(n1)) /
-         static_cast<double>(n2 - n1);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t budget = parseBudget(argc, argv);
   const auto configs = paperConfigs();
   verify::FaultBoundary boundary(std::cout);
 
@@ -92,27 +76,57 @@ int main(int argc, char** argv) {
       {"stencil", stencilProbe,
        "offsets share a pointer group on both ISAs"},
   };
+  constexpr std::size_t kProbeCount = std::size(probes);
+
+  engine::ExperimentEngine eng(engineOptions(argc, argv));
+
+  // One cell per probe×config; the per-iteration cost comes from two run
+  // lengths, both compiled through the engine's cache and simulated on the
+  // cell's worker.
+  std::vector<double> perIter(kProbeCount * configs.size());
+  std::vector<engine::ExperimentEngine::RawJob> jobs;
+  for (std::size_t p = 0; p < kProbeCount; ++p) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const std::size_t slot = p * configs.size() + c;
+      jobs.push_back(
+          {std::string(probes[p].name) + "/" + configName(configs[c]),
+           nullptr, configs[c],
+           [&, p, c, slot](engine::ExperimentEngine::CellContext& ctx) {
+             const std::int64_t n1 = 256;
+             const std::int64_t n2 = 512;
+             const auto count = [&](std::int64_t n) {
+               const auto compiled =
+                   ctx.engine.compile(probes[p].make(n), configs[c]);
+               return ctx.engine.simulate(*compiled, {});
+             };
+             perIter[slot] = static_cast<double>(count(n2) - count(n1)) /
+                             static_cast<double>(n2 - n1);
+           }});
+    }
+  }
+  const auto outcomes = eng.runJobs(jobs);
+  engine::mergeIntoBoundary(outcomes, boundary, std::cout);
 
   std::cout << "Extension: per-iteration instruction budgets for probe "
                "kernels (the §3.3 mechanisms in isolation)\n\n";
 
   Table table({"probe", "GCC9 A64", "GCC9 RV", "GCC12 A64", "GCC12 RV",
                "era delta (A64)", "note"});
-  for (const Probe& probe : probes) {
-    std::array<double, 4> perIter{};
-    std::array<bool, 4> ok{};
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-      ok[c] = boundary.run(
-          std::string(probe.name) + "/" + configName(configs[c]),
-          [&] { perIter[c] = perIteration(probe.make, configs[c], budget); });
-    }
-    const auto cell = [&](std::size_t c) {
-      return ok[c] ? sigFigs(perIter[c], 3) : std::string("-");
+  for (std::size_t p = 0; p < kProbeCount; ++p) {
+    const auto ok = [&](std::size_t c) {
+      return outcomes[p * configs.size() + c].cell.ok;
     };
-    table.addRow({probe.name, cell(0), cell(1), cell(2), cell(3),
-                  ok[0] && ok[2] ? sigFigs(perIter[0] - perIter[2], 2)
-                                 : std::string("-"),
-                  probe.note});
+    const auto cell = [&](std::size_t c) {
+      return ok(c) ? sigFigs(perIter[p * configs.size() + c], 3)
+                   : std::string("-");
+    };
+    table.addRow({probes[p].name, cell(0), cell(1), cell(2), cell(3),
+                  ok(0) && ok(2)
+                      ? sigFigs(perIter[p * configs.size()] -
+                                    perIter[p * configs.size() + 2],
+                                2)
+                      : std::string("-"),
+                  probes[p].note});
   }
   std::cout << table << "\n";
 
@@ -128,5 +142,6 @@ int main(int argc, char** argv) {
       << "  * The paper's upper bound: conditional-branch compare overhead "
          "can cost AArch64 up to 15% extra instructions; register-offset "
          "addressing can save it one instruction per extra array.\n";
+  std::cout << engine::describe(eng.stats()) << "\n";
   return boundary.finish();
 }

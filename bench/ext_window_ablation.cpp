@@ -6,10 +6,15 @@
 //   * Perfect vs gshare branch prediction on the OoO core (the windowed
 //     model assumes perfect prediction; gshare shows the cost of dropping
 //     that assumption).
+//
+// All three ablations are observers on ONE engine simulation pass per
+// config (the STREAM trace is identical for every knob setting, so eight
+// analyzers share it instead of re-simulating eight times). Window columns
+// render "-" when a window never filled on a tiny trace.
+#include <array>
 #include <iostream>
 #include <optional>
 
-#include "analysis/windowed_cp.hpp"
 #include "harness.hpp"
 #include "support/table.hpp"
 #include "uarch/core_model.hpp"
@@ -18,9 +23,24 @@
 using namespace riscmp;
 using namespace riscmp::bench;
 
+namespace {
+
+/// Everything one config's single pass produces for the three ablations.
+struct AblationCell {
+  std::array<std::vector<WindowedCPAnalyzer::WindowResult>, 4> slides;
+  std::vector<WindowedCPAnalyzer::WindowResult> plain;   // {64, 500}
+  std::vector<WindowedCPAnalyzer::WindowResult> scaled;  // {64, 500}
+  bool hasScaled = false;
+  std::uint64_t perfectCycles = 0;
+  std::uint64_t gshareCycles = 0;
+  std::uint64_t mispredicts = 0;
+  bool hasCores = false;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const double scale = parseScale(argc, argv);
-  const std::uint64_t budget = parseBudget(argc, argv);
   const kgen::Module stream =
       workloads::makeStream({.n = static_cast<std::int64_t>(10000 * scale),
                              .reps = 4});
@@ -30,66 +50,103 @@ int main(int argc, char** argv) {
   verify::FaultBoundary boundary(std::cout);
 
   // TX2 core models feed ablations 2 and 3; loading inside the boundary
-  // means a broken config fails only the cells that need it.
+  // means a broken config degrades only the sections that need it.
   std::optional<uarch::CoreModel> tx2;
   std::optional<uarch::CoreModel> riscvTx2;
   boundary.run("load-config/tx2",
                [&] { tx2 = uarch::CoreModel::named("tx2"); });
   boundary.run("load-config/riscv-tx2",
                [&] { riscvTx2 = uarch::CoreModel::named("riscv-tx2"); });
-  const auto modelFor = [&](const Config& config)
-      -> const uarch::CoreModel& {
-    const auto& model = config.arch == Arch::Rv64 ? riscvTx2 : tx2;
-    if (!model) {
-      throw ConfigError("core model unavailable (failed to load)", {}, 0,
-                        config.arch == Arch::Rv64 ? "riscv-tx2" : "tx2");
-    }
-    return *model;
-  };
+
+  const std::array<std::pair<unsigned, unsigned>, 4> slideFractions = {
+      {{1, 8}, {1, 4}, {1, 2}, {1, 1}}};
+
+  engine::ExperimentEngine eng(engineOptions(argc, argv));
+
+  std::vector<AblationCell> cells(configs.size());
+  std::vector<engine::ExperimentEngine::RawJob> jobs;
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    jobs.push_back(
+        {"ablations/" + configName(configs[c]), &stream, configs[c],
+         [&, c](engine::ExperimentEngine::CellContext& ctx) {
+           AblationCell& cell = cells[c];
+           const auto& model = configs[c].arch == Arch::Rv64 ? riscvTx2 : tx2;
+
+           std::vector<TraceObserver*> observers;
+           std::array<std::optional<WindowedCPAnalyzer>, 4> slides;
+           for (std::size_t s = 0; s < slideFractions.size(); ++s) {
+             observers.push_back(&slides[s].emplace(
+                 std::vector<std::uint32_t>{64}, slideFractions[s].first,
+                 slideFractions[s].second));
+           }
+           WindowedCPAnalyzer plain({64, 500});
+           observers.push_back(&plain);
+           std::optional<WindowedCPAnalyzer> scaled;
+           std::optional<uarch::OoOCoreModel> perfect;
+           std::optional<uarch::OoOCoreModel> gshare;
+           if (model) {
+             observers.push_back(&scaled.emplace(
+                 std::vector<std::uint32_t>{64, 500}, 1u, 2u,
+                 &model->latencies));
+             uarch::CoreModel variant = *model;
+             variant.predictor = uarch::BranchPredictor::Perfect;
+             observers.push_back(&perfect.emplace(variant));
+             variant.predictor = uarch::BranchPredictor::Gshare;
+             observers.push_back(&gshare.emplace(variant));
+           }
+
+           ctx.engine.simulate(*ctx.compiled, observers);
+
+           for (std::size_t s = 0; s < slideFractions.size(); ++s) {
+             cell.slides[s] = slides[s]->results();
+           }
+           cell.plain = plain.results();
+           if (scaled) {
+             cell.hasScaled = true;
+             cell.scaled = scaled->results();
+           }
+           if (perfect && gshare) {
+             cell.hasCores = true;
+             cell.perfectCycles = perfect->cycles();
+             cell.gshareCycles = gshare->cycles();
+             cell.mispredicts = gshare->mispredicts();
+           }
+         }});
+  }
+  const auto outcomes = eng.runJobs(jobs);
+  engine::mergeIntoBoundary(outcomes, boundary, std::cout);
 
   // ---- slide-fraction sweep at W = 64 -----------------------------------
   std::cout << "Ablation 1: window slide fraction (STREAM, W=64)\n";
   {
     Table table({"config", "slide 1/8", "slide 1/4", "slide 1/2 (paper)",
                  "slide 1/1"});
-    for (const Config& config : configs) {
-      boundary.run("slide-sweep/" + configName(config), [&] {
-        const Experiment experiment(stream, config);
-        std::vector<std::string> row = {configName(config)};
-        for (const auto& [num, den] :
-             std::vector<std::pair<unsigned, unsigned>>{
-                 {1, 8}, {1, 4}, {1, 2}, {1, 1}}) {
-          WindowedCPAnalyzer analyzer({64}, num, den);
-          experiment.run({&analyzer}, budget);
-          row.push_back(sigFigs(analyzer.results()[0].meanIlp, 3));
-        }
-        table.addRow(std::move(row));
-      });
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      if (!outcomes[c].cell.ok) continue;
+      std::vector<std::string> row = {configName(configs[c])};
+      for (const auto& results : cells[c].slides) {
+        row.push_back(engine::windowIlpCell(results[0]));
+      }
+      table.addRow(std::move(row));
     }
     std::cout << table
               << "-> mean window ILP is nearly slide-invariant: the paper's "
                  "untested knob would not have changed Figure 2.\n\n";
   }
 
-  // ---- latency-scaled windowed CP ------------------------------------------
+  // ---- latency-scaled windowed CP ---------------------------------------
   std::cout << "Ablation 2: latency-scaled windowed CP (STREAM, TX2 "
                "latencies)\n";
   {
     Table table({"config", "plain ILP @W=64", "scaled ILP @W=64",
                  "plain @W=500", "scaled @W=500"});
-    for (const Config& config : configs) {
-      boundary.run("latency-scaled/" + configName(config), [&] {
-        const Experiment experiment(stream, config);
-        const auto& latencies = modelFor(config).latencies;
-        WindowedCPAnalyzer plain({64, 500});
-        WindowedCPAnalyzer scaled({64, 500}, 1, 2, &latencies);
-        experiment.run({&plain, &scaled}, budget);
-        table.addRow({configName(config),
-                      sigFigs(plain.results()[0].meanIlp, 3),
-                      sigFigs(scaled.results()[0].meanIlp, 3),
-                      sigFigs(plain.results()[1].meanIlp, 3),
-                      sigFigs(scaled.results()[1].meanIlp, 3)});
-      });
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      if (!outcomes[c].cell.ok || !cells[c].hasScaled) continue;
+      table.addRow({configName(configs[c]),
+                    engine::windowIlpCell(cells[c].plain[0]),
+                    engine::windowIlpCell(cells[c].scaled[0]),
+                    engine::windowIlpCell(cells[c].plain[1]),
+                    engine::windowIlpCell(cells[c].scaled[1])});
     }
     std::cout << table
               << "-> scaling divides window ILP by roughly the mean "
@@ -97,31 +154,24 @@ int main(int argc, char** argv) {
                  "unchanged.\n\n";
   }
 
-  // ---- perfect vs gshare prediction on the OoO core ---------------------------
+  // ---- perfect vs gshare prediction on the OoO core ---------------------
   std::cout << "Ablation 3: branch prediction on the OoO core (STREAM)\n";
   {
     Table table({"config", "perfect cycles", "gshare cycles", "mispredicts",
                  "slowdown"});
-    for (const Config& config : configs) {
-      boundary.run("branch-prediction/" + configName(config), [&] {
-        const Experiment experiment(stream, config);
-        uarch::CoreModel model = modelFor(config);
-        model.predictor = uarch::BranchPredictor::Perfect;
-        uarch::OoOCoreModel perfect(model);
-        model.predictor = uarch::BranchPredictor::Gshare;
-        uarch::OoOCoreModel gshare(model);
-        experiment.run({&perfect, &gshare}, budget);
-        table.addRow(
-            {configName(config), withCommas(perfect.cycles()),
-             withCommas(gshare.cycles()), withCommas(gshare.mispredicts()),
-             sigFigs(static_cast<double>(gshare.cycles()) /
-                         static_cast<double>(perfect.cycles()),
-                     3)});
-      });
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      if (!outcomes[c].cell.ok || !cells[c].hasCores) continue;
+      table.addRow(
+          {configName(configs[c]), withCommas(cells[c].perfectCycles),
+           withCommas(cells[c].gshareCycles), withCommas(cells[c].mispredicts),
+           sigFigs(static_cast<double>(cells[c].gshareCycles) /
+                       static_cast<double>(cells[c].perfectCycles),
+                   3)});
     }
     std::cout << table
               << "-> loop branches train quickly; the perfect-prediction "
                  "assumption costs little on these regular kernels.\n";
   }
+  std::cout << engine::describe(eng.stats()) << "\n";
   return boundary.finish();
 }

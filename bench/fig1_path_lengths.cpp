@@ -5,12 +5,12 @@
 // GCC 9.2 / AArch64 exactly as the paper's Figure 1, and the cross-config
 // ratios are printed next to the ratios implied by the paper's Table 1.
 //
-// Each workload×config cell runs inside a fault boundary: a failing cell
-// prints its crash report, the rest of the run continues, and the exit
-// code is non-zero if any cell failed.
+// Simulation runs on the parallel experiment engine: each workload×config
+// cell is simulated exactly once (inside a fault boundary, so a failing
+// cell prints its crash report and the rest of the run continues) and this
+// binary only renders the resulting CellResults.
 #include <iostream>
 
-#include "analysis/path_length.hpp"
 #include "harness.hpp"
 #include "paper_data.hpp"
 #include "support/stats.hpp"
@@ -21,10 +21,16 @@ using namespace riscmp::bench;
 
 int main(int argc, char** argv) {
   const double scale = parseScale(argc, argv);
-  const std::uint64_t budget = parseBudget(argc, argv);
   const auto suite = workloads::paperSuite(scale);
   const auto configs = paperConfigs();
+
+  engine::EngineOptions options = engineOptions(argc, argv);
+  options.analyses = engine::kPathLength;
+  engine::ExperimentEngine eng(options);
+  const engine::GridResult grid = eng.runGrid(suite, configs);
+
   verify::FaultBoundary boundary(std::cout);
+  engine::mergeIntoBoundary(grid, boundary, std::cout);
 
   std::cout << "E1: path lengths per kernel (paper Figure 1 / Table 1)\n"
             << "Workload sizes are laptop-scale; compare ratios, not\n"
@@ -33,54 +39,62 @@ int main(int argc, char** argv) {
   std::vector<double> riscvOverArm;
 
   for (std::size_t w = 0; w < suite.size(); ++w) {
-    const auto& spec = suite[w];
-    std::cout << "== " << spec.name << " ==\n";
+    std::cout << "== " << suite[w].name << " ==\n";
 
     Table table({"config", "total", "normalised", "per-kernel breakdown",
                  "paper normalised"});
     double baseline = 0.0;
-    std::array<double, 4> totals{};
     bool allCells = true;
 
     for (std::size_t c = 0; c < configs.size(); ++c) {
-      allCells &= boundary.run(spec.name + "/" + configName(configs[c]), [&] {
-        const Experiment experiment(spec.module, configs[c]);
-        PathLengthCounter counter(experiment.program());
-        const std::uint64_t total = experiment.run({&counter}, budget);
-        totals[c] = static_cast<double>(total);
-        if (c == 0) baseline = static_cast<double>(total);
+      const engine::CellResult& cell = grid.at(w, c);
+      if (!cell.cell.ok) {
+        allCells = false;
+        continue;
+      }
+      const double total = static_cast<double>(cell.instructions);
+      if (c == 0) baseline = total;
 
-        std::string breakdown;
-        for (const auto& kernel : counter.kernels()) {
-          if (!breakdown.empty()) breakdown += ", ";
-          breakdown += kernel.name + "=" +
-                       sigFigs(static_cast<double>(kernel.count) /
-                                   static_cast<double>(total) * 100.0,
-                               3) +
-                       "%";
-        }
-        const double paperNorm =
-            static_cast<double>(kPaperRows[w].pathLength[c]) /
-            static_cast<double>(kPaperRows[w].pathLength[0]);
-        table.addRow({configName(configs[c]), withCommas(total),
-                      baseline > 0.0
-                          ? sigFigs(static_cast<double>(total) / baseline, 4)
-                          : "-",
-                      breakdown, sigFigs(paperNorm, 4)});
-      });
+      std::string breakdown;
+      for (const auto& kernel : cell.kernels) {
+        if (!breakdown.empty()) breakdown += ", ";
+        breakdown += kernel.name + "=" +
+                     sigFigs(static_cast<double>(kernel.count) / total * 100.0,
+                             3) +
+                     "%";
+      }
+      const double paperNorm =
+          static_cast<double>(kPaperRows[w].pathLength[c]) /
+          static_cast<double>(kPaperRows[w].pathLength[0]);
+      table.addRow({configName(configs[c]), withCommas(cell.instructions),
+                    baseline > 0.0 ? sigFigs(total / baseline, 4) : "-",
+                    breakdown, sigFigs(paperNorm, 4)});
     }
     std::cout << table << "\n";
 
     // GCC12 RISC-V / AArch64; only meaningful when all four cells ran.
-    if (allCells) riscvOverArm.push_back(totals[3] / totals[2]);
+    if (allCells) {
+      riscvOverArm.push_back(
+          static_cast<double>(grid.at(w, 3).instructions) /
+          static_cast<double>(grid.at(w, 2).instructions));
+    }
   }
 
   if (!riscvOverArm.empty()) {
-    std::cout << "GCC 12.2 RISC-V vs AArch64 path-length ratio (geomean over "
-                 "benchmarks): "
-              << sigFigs(geometricMean(riscvOverArm), 4)
-              << "  (paper: path lengths mostly within 10%, average +2.3% for "
-                 "RISC-V)\n";
+    std::size_t aggregated = 0;
+    const double geomean = geometricMean(riscvOverArm, &aggregated);
+    if (aggregated < riscvOverArm.size()) {
+      std::cout << "warning: skipped " << riscvOverArm.size() - aggregated
+                << " non-positive path-length ratio(s) in the geomean\n";
+    }
+    if (aggregated > 0) {
+      std::cout << "GCC 12.2 RISC-V vs AArch64 path-length ratio (geomean "
+                   "over "
+                << aggregated << " benchmarks): " << sigFigs(geomean, 4)
+                << "  (paper: path lengths mostly within 10%, average +2.3% "
+                   "for RISC-V)\n";
+    }
   }
+  std::cout << "\n" << engine::describe(eng.stats()) << "\n";
   return boundary.finish();
 }

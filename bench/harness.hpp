@@ -1,12 +1,16 @@
-// Shared experiment runner for the per-table/figure bench binaries.
+// Shared flag parsing for the per-table/figure bench binaries.
 //
-// Hardened execution (ISSUE 1): every workload × era × ISA cell runs
-// inside a verify::FaultBoundary so one failing cell prints its
-// FaultReport and the run continues; every simulated program runs under a
-// default instruction budget (overridable with --budget=N) so a codegen
-// regression cannot hang CI.
+// Simulation itself lives in the parallel experiment engine (src/engine,
+// ISSUE 2): every workload × era × ISA cell is compiled at most once,
+// simulated exactly once on a worker pool (--jobs=N), and all enabled
+// analyses observe that single pass. The benches here are pure report
+// generators over engine::CellResults; each cell still runs inside a
+// verify::FaultBoundary so one failing cell prints its FaultReport and the
+// run continues, and every simulated program runs under an instruction
+// budget (--budget=N) so a codegen regression cannot hang CI.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -14,58 +18,16 @@
 #include <string>
 #include <vector>
 
-#include "core/machine.hpp"
-#include "isa/trace.hpp"
-#include "kgen/compile.hpp"
+#include "engine/engine.hpp"
 #include "verify/boundary.hpp"
 #include "workloads/workloads.hpp"
 
 namespace riscmp::bench {
 
-/// Default per-cell instruction budget: ~2 orders of magnitude above the
-/// largest full-scale workload, small enough to stop a hang in seconds.
-inline constexpr std::uint64_t kDefaultInstructionBudget = 1'000'000'000;
-
-struct Config {
-  Arch arch;
-  kgen::CompilerEra era;
-};
-
-/// The paper's four configurations, in its tables' column order.
-inline std::vector<Config> paperConfigs() {
-  using kgen::CompilerEra;
-  return {{Arch::AArch64, CompilerEra::Gcc9},
-          {Arch::Rv64, CompilerEra::Gcc9},
-          {Arch::AArch64, CompilerEra::Gcc12},
-          {Arch::Rv64, CompilerEra::Gcc12}};
-}
-
-inline std::string configName(const Config& config) {
-  return std::string(kgen::eraName(config.era)) + " " +
-         std::string(archName(config.arch));
-}
-
-/// One compiled workload/config pair; observers attach per run.
-class Experiment {
- public:
-  Experiment(const kgen::Module& module, const Config& config)
-      : compiled_(kgen::compile(module, config.arch, config.era)) {}
-
-  [[nodiscard]] const Program& program() const { return compiled_.program; }
-
-  std::uint64_t run(const std::vector<TraceObserver*>& observers,
-                    std::uint64_t maxInstructions =
-                        kDefaultInstructionBudget) const {
-    MachineOptions options;
-    options.maxInstructions = maxInstructions;
-    Machine machine(compiled_.program, options);
-    for (TraceObserver* observer : observers) machine.addObserver(*observer);
-    return machine.run().instructions;
-  }
-
- private:
-  kgen::Compiled compiled_;
-};
+using engine::Config;
+using engine::configName;
+using engine::kDefaultInstructionBudget;
+using engine::paperConfigs;
 
 /// A malformed numeric flag is a usage error, not an engine fault: print a
 /// one-line diagnostic and exit(2) instead of letting std::stod/stoull
@@ -85,18 +47,50 @@ auto parseFlagValue(const std::string& flag, const std::string& value,
   }
 }
 
-/// Parse a "--scale=<x>" argument (defaults to 1.0).
+/// Parse a "--scale=<x>" argument (defaults to 1.0). Zero, negative, and
+/// non-finite scales produce degenerate or empty workloads whose ratios are
+/// nonsense, so they take the same exit-2 usage-error path as a malformed
+/// number.
 inline double parseScale(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--scale=", 0) == 0) {
-      return parseFlagValue("--scale", arg.substr(8),
-                            [](const std::string& s, std::size_t* consumed) {
-                              return std::stod(s, consumed);
-                            });
+      const double scale =
+          parseFlagValue("--scale", arg.substr(8),
+                         [](const std::string& s, std::size_t* consumed) {
+                           return std::stod(s, consumed);
+                         });
+      if (!std::isfinite(scale) || scale <= 0.0) {
+        std::cerr << "error: --scale must be a positive number, got '"
+                  << arg.substr(8) << "'\n";
+        std::exit(2);
+      }
+      return scale;
     }
   }
   return 1.0;
+}
+
+/// Parse a "--jobs=<n>" argument: engine worker threads. Defaults to 0,
+/// which the engine resolves to hardware_concurrency; an explicit 0 is a
+/// usage error (a pool of zero workers can run nothing).
+inline unsigned parseJobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) {
+      const unsigned long jobs =
+          parseFlagValue("--jobs", arg.substr(7),
+                         [](const std::string& s, std::size_t* consumed) {
+                           return std::stoul(s, consumed);
+                         });
+      if (jobs == 0) {
+        std::cerr << "error: --jobs must be a positive worker count\n";
+        std::exit(2);
+      }
+      return static_cast<unsigned>(jobs);
+    }
+  }
+  return 0;
 }
 
 /// Parse a "--budget=<n>" argument: per-cell instruction budget
@@ -124,6 +118,15 @@ inline std::string parseConfigDir(int argc, char** argv,
     if (arg.rfind("--config-dir=", 0) == 0) return arg.substr(13);
   }
   return fallback;
+}
+
+/// Baseline EngineOptions shared by the benches: jobs and budget from the
+/// command line, everything else per-bench.
+inline engine::EngineOptions engineOptions(int argc, char** argv) {
+  engine::EngineOptions options;
+  options.jobs = parseJobs(argc, argv);
+  options.budget = parseBudget(argc, argv);
+  return options;
 }
 
 }  // namespace riscmp::bench

@@ -2,10 +2,11 @@
 //
 // The critical path is the longest chain of RAW dependencies through
 // registers and memory (paper §4.1); ILP = path length / CP; the runtime
-// assumes an ideal processor retiring the whole chain at 2 GHz.
+// assumes an ideal processor retiring the whole chain at 2 GHz. Simulation
+// runs once per cell on the parallel experiment engine; this binary only
+// renders the CellResults.
 #include <iostream>
 
-#include "analysis/critical_path.hpp"
 #include "harness.hpp"
 #include "paper_data.hpp"
 #include "support/table.hpp"
@@ -15,34 +16,38 @@ using namespace riscmp::bench;
 
 int main(int argc, char** argv) {
   const double scale = parseScale(argc, argv);
-  const std::uint64_t budget = parseBudget(argc, argv);
   const auto suite = workloads::paperSuite(scale);
   const auto configs = paperConfigs();
+
+  engine::EngineOptions options = engineOptions(argc, argv);
+  options.analyses = engine::kCriticalPath;
+  engine::ExperimentEngine eng(options);
+  const engine::GridResult grid = eng.runGrid(suite, configs);
+
   verify::FaultBoundary boundary(std::cout);
+  engine::mergeIntoBoundary(grid, boundary, std::cout);
 
   std::cout << "E2: critical paths and ILP (paper Table 1)\n"
             << "Absolute CPs differ from the paper (reduced problem sizes);\n"
             << "compare ILP magnitudes and the AArch64-vs-RISC-V shape.\n\n";
 
   for (std::size_t w = 0; w < suite.size(); ++w) {
-    const auto& spec = suite[w];
-    std::cout << "== " << spec.name << " ==\n";
+    std::cout << "== " << suite[w].name << " ==\n";
     Table table({"config", "path length", "CP", "ILP", "2GHz runtime (ms)",
                  "paper ILP", "paper runtime (ms)"});
     for (std::size_t c = 0; c < configs.size(); ++c) {
-      boundary.run(spec.name + "/" + configName(configs[c]), [&] {
-        const Experiment experiment(spec.module, configs[c]);
-        CriticalPathAnalyzer analyzer;
-        const std::uint64_t total = experiment.run({&analyzer}, budget);
-        table.addRow({configName(configs[c]), withCommas(total),
-                      withCommas(analyzer.criticalPath()),
-                      sigFigs(analyzer.ilp(), 3),
-                      sigFigs(analyzer.runtimeSeconds() * 1e3, 3),
-                      sigFigs(kPaperRows[w].ilp[c], 3),
-                      sigFigs(kPaperRows[w].runtimeMs[c], 3)});
-      });
+      const engine::CellResult& cell = grid.at(w, c);
+      if (!cell.cell.ok) continue;
+      table.addRow(
+          {configName(configs[c]), withCommas(cell.instructions),
+           withCommas(cell.criticalPath), sigFigs(cell.ilp(), 3),
+           sigFigs(engine::CellResult::runtimeSeconds(cell.criticalPath) * 1e3,
+                   3),
+           sigFigs(kPaperRows[w].ilp[c], 3),
+           sigFigs(kPaperRows[w].runtimeMs[c], 3)});
     }
     std::cout << table << "\n";
   }
+  std::cout << engine::describe(eng.stats()) << "\n";
   return boundary.finish();
 }

@@ -4,14 +4,16 @@
 // its ThunderX2-model execution latency instead of 1 (paper §5.1; loads and
 // stores stay at 1 under the store-forwarding assumption). AArch64 uses the
 // tx2 model, RISC-V the derived riscv-tx2 model, exactly as the paper.
+// The scaled and basic chains are both observers on the engine's single
+// simulation pass per cell.
 //
-// Core models load inside the fault boundary: a broken config fails only
+// Core models load inside the fault boundary; when a model is broken the
+// engine's per-cell setup hook turns that into a ConfigError for exactly
 // the cells that need it, the rest of the run completes, and the exit code
 // is non-zero.
 #include <iostream>
 #include <optional>
 
-#include "analysis/critical_path.hpp"
 #include "harness.hpp"
 #include "paper_data.hpp"
 #include "support/table.hpp"
@@ -22,7 +24,6 @@ using namespace riscmp::bench;
 
 int main(int argc, char** argv) {
   const double scale = parseScale(argc, argv);
-  const std::uint64_t budget = parseBudget(argc, argv);
   const std::string configDir =
       parseConfigDir(argc, argv, uarch::configDir());
   const auto suite = workloads::paperSuite(scale);
@@ -38,6 +39,25 @@ int main(int argc, char** argv) {
     riscvTx2 = uarch::CoreModel::fromFile(configDir + "/riscv-tx2.yaml");
   });
 
+  engine::EngineOptions options = engineOptions(argc, argv);
+  options.analyses = engine::kCriticalPath | engine::kScaledCP;
+  options.latenciesFor = [&](Arch arch) -> const LatencyTable* {
+    const auto& model = arch == Arch::Rv64 ? riscvTx2 : tx2;
+    return model ? &model->latencies : nullptr;
+  };
+  // A cell whose core model failed to load must fail like before, not
+  // silently drop its scaled chain.
+  options.cellSetup = [&](const engine::CellKey& key) {
+    const bool riscv = key.config.arch == Arch::Rv64;
+    if (!(riscv ? riscvTx2 : tx2)) {
+      throw ConfigError("core model unavailable (failed to load)", {}, 0,
+                        riscv ? "riscv-tx2" : "tx2");
+    }
+  };
+  engine::ExperimentEngine eng(options);
+  const engine::GridResult grid = eng.runGrid(suite, configs);
+  engine::mergeIntoBoundary(grid, boundary, std::cout);
+
   std::cout << "E3: scaled critical paths (paper Table 2)\n";
   if (tx2 && riscvTx2) {
     std::cout << "Latencies: " << tx2->name << " / " << riscvTx2->name
@@ -46,39 +66,30 @@ int main(int argc, char** argv) {
   std::cout << "\n";
 
   for (std::size_t w = 0; w < suite.size(); ++w) {
-    const auto& spec = suite[w];
-    std::cout << "== " << spec.name << " ==\n";
+    std::cout << "== " << suite[w].name << " ==\n";
     Table table({"config", "scaled CP", "ILP", "2GHz runtime (ms)",
                  "scale vs basic CP", "paper ILP", "paper runtime (ms)"});
     for (std::size_t c = 0; c < configs.size(); ++c) {
-      boundary.run(spec.name + "/" + configName(configs[c]), [&] {
-        const auto& model =
-            configs[c].arch == Arch::Rv64 ? riscvTx2 : tx2;
-        if (!model) {
-          throw ConfigError("core model unavailable (failed to load)", {},
-                            0,
-                            configs[c].arch == Arch::Rv64 ? "riscv-tx2"
-                                                          : "tx2");
-        }
-        const Experiment experiment(spec.module, configs[c]);
-        CriticalPathAnalyzer scaled{model->latencies};
-        CriticalPathAnalyzer basic;
-        experiment.run({&scaled, &basic}, budget);
-        table.addRow(
-            {configName(configs[c]), withCommas(scaled.criticalPath()),
-             sigFigs(scaled.ilp(), 3),
-             sigFigs(scaled.runtimeSeconds() * 1e3, 3),
-             sigFigs(static_cast<double>(scaled.criticalPath()) /
-                         static_cast<double>(basic.criticalPath()),
-                     3),
-             sigFigs(kPaperRows[w].scaledIlp[c], 3),
-             sigFigs(kPaperRows[w].scaledRuntimeMs[c], 3)});
-      });
+      const engine::CellResult& cell = grid.at(w, c);
+      if (!cell.cell.ok || !cell.hasScaledCp) continue;
+      table.addRow(
+          {configName(configs[c]), withCommas(cell.scaledCriticalPath),
+           sigFigs(cell.scaledIlp(), 3),
+           sigFigs(
+               engine::CellResult::runtimeSeconds(cell.scaledCriticalPath) *
+                   1e3,
+               3),
+           sigFigs(static_cast<double>(cell.scaledCriticalPath) /
+                       static_cast<double>(cell.criticalPath),
+                   3),
+           sigFigs(kPaperRows[w].scaledIlp[c], 3),
+           sigFigs(kPaperRows[w].scaledRuntimeMs[c], 3)});
     }
     std::cout << table << "\n";
   }
   std::cout << "Paper scaling factors: miniBUDE ~3.5x, minisweep ~6x, "
                "STREAM ~6x (§5.2); ours depend on which chain dominates\n"
                "after scaling — see EXPERIMENTS.md for the comparison.\n";
+  std::cout << engine::describe(eng.stats()) << "\n";
   return boundary.finish();
 }

@@ -15,6 +15,13 @@ inline std::pair<std::uint64_t, std::uint64_t> chunkRange(
 
 }  // namespace
 
+void CriticalPathAnalyzer::reset() {
+  regDepth_.fill(0);
+  memDepth_.clear();
+  maxDepth_ = 0;
+  instructions_ = 0;
+}
+
 void CriticalPathAnalyzer::onRetire(const RetiredInst& inst) {
   ++instructions_;
 

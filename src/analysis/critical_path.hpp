@@ -39,6 +39,10 @@ class CriticalPathAnalyzer final : public TraceObserver {
 
   void onRetire(const RetiredInst& inst) override;
 
+  /// Clear all chain state so the analyzer can observe a fresh trace; the
+  /// latency table (and scaled/unscaled mode) is retained.
+  void reset();
+
   /// Length of the longest RAW dependency chain seen so far.
   [[nodiscard]] std::uint64_t criticalPath() const { return maxDepth_; }
   [[nodiscard]] std::uint64_t instructions() const { return instructions_; }

@@ -6,6 +6,15 @@ namespace riscmp {
 
 DependencyDistanceAnalyzer::DependencyDistanceAnalyzer() = default;
 
+void DependencyDistanceAnalyzer::reset() {
+  regWriter_.fill(0);
+  regWritten_.fill(false);
+  memWriter_.clear();
+  histogram_.fill(0);
+  stats_.reset();
+  retired_ = 0;
+}
+
 void DependencyDistanceAnalyzer::record(std::uint64_t producerIndex) {
   const std::uint64_t distance = retired_ - producerIndex;
   if (distance == 0) return;

@@ -24,6 +24,9 @@ class DependencyDistanceAnalyzer final : public TraceObserver {
 
   void onRetire(const RetiredInst& inst) override;
 
+  /// Forget every producer and distance sample; reusable for a new trace.
+  void reset();
+
   /// Mean producer->consumer distance over all observed dependencies.
   [[nodiscard]] double meanDistance() const { return stats_.mean(); }
   [[nodiscard]] std::uint64_t dependencies() const { return stats_.count(); }

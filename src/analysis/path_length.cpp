@@ -24,6 +24,14 @@ PathLengthCounter::PathLengthCounter(const Program& program) {
             [](const Region& a, const Region& b) { return a.begin < b.begin; });
 }
 
+void PathLengthCounter::reset() {
+  for (KernelCount& kernel : kernels_) kernel.count = 0;
+  groups_.fill(0);
+  total_ = 0;
+  unattributed_ = 0;
+  lastRegion_ = SIZE_MAX;
+}
+
 void PathLengthCounter::onRetire(const RetiredInst& inst) {
   ++total_;
   ++groups_[static_cast<std::size_t>(inst.group)];

@@ -25,6 +25,16 @@ WindowedCPAnalyzer::WindowedCPAnalyzer(std::vector<std::uint32_t> windowSizes,
   }
 }
 
+void WindowedCPAnalyzer::reset() {
+  buffer_.clear();
+  bufferBase_ = 0;
+  retired_ = 0;
+  for (PerSize& perSize : sizes_) {
+    perSize.nextStart = 0;
+    perSize.cpStats.reset();
+  }
+}
+
 void WindowedCPAnalyzer::onRetire(const RetiredInst& inst) {
   Footprint footprint;
   if (scaled_) {

@@ -38,6 +38,10 @@ class WindowedCPAnalyzer final : public TraceObserver {
   void onRetire(const RetiredInst& inst) override;
   void onProgramEnd() override;
 
+  /// Drop all buffered footprints and per-size statistics; the window
+  /// sizes, slide fraction, and latency table are retained.
+  void reset();
+
   struct WindowResult {
     std::uint32_t windowSize = 0;
     std::uint64_t windows = 0;   ///< number of full windows evaluated

@@ -1,6 +1,7 @@
 #include "core/machine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <ostream>
 #include <string>
 
@@ -176,6 +177,18 @@ class CoreImpl final : public Machine::Impl {
   }
 
   RunResult run() override {
+    // Threading-contract guard (machine.hpp): one run() at a time, on one
+    // thread. Catches both recursion from an observer callback and two
+    // engine workers sharing a Machine.
+    if (running_.exchange(true, std::memory_order_acq_rel)) {
+      throw ValidationFault(
+          "Machine::run is not reentrant: one Machine per cell per thread");
+    }
+    struct RunningGuard {
+      std::atomic<bool>& flag;
+      ~RunningGuard() { flag.store(false, std::memory_order_release); }
+    } guard{running_};
+
     typename Traits::State state{};
     const std::uint64_t stackTop = memory_.end() & ~15ull;
     Traits::setup(state, program_, stackTop);
@@ -292,6 +305,7 @@ class CoreImpl final : public Machine::Impl {
   typename Traits::Inst scratch_{};
   std::uint32_t lastEncoding_ = 0;
   std::vector<TraceObserver*> observers_;
+  std::atomic<bool> running_{false};
 };
 
 }  // namespace

@@ -36,6 +36,16 @@ struct RunResult {
 /// One simulated machine: program + memory + the architectural core for the
 /// program's ISA. Both ISAs use the Linux generic syscall numbers
 /// (exit=93, write=64) via ECALL / SVC #0.
+///
+/// Threading contract (enforced for the experiment engine, src/engine):
+/// a Machine is strictly single-threaded — construct it, attach observers,
+/// and call run() from one thread. Concurrency lives a layer above: the
+/// engine gives every workload × era × ISA cell its own Machine and its own
+/// observers on one worker thread, and merges results deterministically.
+/// run() is not reentrant and detects concurrent or recursive invocation
+/// (ValidationFault) rather than corrupting observer state. The Program
+/// passed to the constructor is copied, so a cached compilation may be
+/// shared read-only across Machines on different threads.
 class Machine {
  public:
   explicit Machine(const Program& program, MachineOptions options = {});

@@ -1,0 +1,64 @@
+#include "engine/compile_cache.hpp"
+
+#include <cstring>
+
+#include "kgen/dump.hpp"
+
+namespace riscmp::engine {
+
+std::string CompileCache::fingerprint(const kgen::Module& module, Arch arch,
+                                      kgen::CompilerEra era) {
+  // dumpModule renders the full structure (arrays with extents, scalars
+  // with initial values, every kernel's loop nest) but abbreviates array
+  // initialiser contents to "(initialised)", so append those bytes raw.
+  std::string key = kgen::dumpModule(module);
+  key += '\x1f';
+  key += archName(arch);
+  key += '\x1f';
+  key += kgen::eraName(era);
+  for (const kgen::ArrayDecl& array : module.arrays) {
+    key += '\x1f';
+    key += array.name;
+    const std::size_t bytes = array.init.size() * sizeof(double);
+    const std::size_t offset = key.size();
+    key.resize(offset + bytes);
+    if (bytes != 0) std::memcpy(key.data() + offset, array.init.data(), bytes);
+  }
+  return key;
+}
+
+std::shared_ptr<const kgen::Compiled> CompileCache::get(
+    const kgen::Module& module, Arch arch, kgen::CompilerEra era) {
+  const std::string key = fingerprint(module, arch, era);
+
+  std::promise<std::shared_ptr<const kgen::Compiled>> promise;
+  Entry entry;
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      entry = it->second;
+    } else {
+      // First requester becomes the owner: it compiles outside the lock
+      // while later requesters of the same key block on the shared future.
+      entry = promise.get_future().share();
+      entries_.emplace(key, entry);
+      owner = true;
+    }
+  }
+
+  if (owner) {
+    compiles_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      promise.set_value(std::make_shared<const kgen::Compiled>(
+          kgen::compile(module, arch, era)));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return entry.get();
+}
+
+}  // namespace riscmp::engine

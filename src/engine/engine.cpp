@@ -1,0 +1,204 @@
+#include "engine/engine.hpp"
+
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "analysis/dep_distance.hpp"
+#include "core/machine.hpp"
+#include "support/table.hpp"
+
+namespace riscmp::engine {
+
+std::vector<Config> paperConfigs() {
+  using kgen::CompilerEra;
+  return {{Arch::AArch64, CompilerEra::Gcc9},
+          {Arch::Rv64, CompilerEra::Gcc9},
+          {Arch::AArch64, CompilerEra::Gcc12},
+          {Arch::Rv64, CompilerEra::Gcc12}};
+}
+
+std::string configName(const Config& config) {
+  return std::string(kgen::eraName(config.era)) + " " +
+         std::string(archName(config.arch));
+}
+
+std::string describe(const EngineStats& stats) {
+  std::ostringstream out;
+  out << "engine: " << stats.compiles << " compiles (+" << stats.cacheHits
+      << " cached), " << stats.simulations << " simulations, jobs="
+      << stats.jobs;
+  return out.str();
+}
+
+std::string windowIlpCell(const WindowedCPAnalyzer::WindowResult& result) {
+  if (result.windows == 0) return "-";
+  return sigFigs(result.meanIlp, 3);
+}
+
+ExperimentEngine::ExperimentEngine(EngineOptions options)
+    : options_(std::move(options)), scheduler_(options_.jobs) {}
+
+std::shared_ptr<const kgen::Compiled> ExperimentEngine::compile(
+    const kgen::Module& module, const Config& config) {
+  return cache_.get(module, config.arch, config.era);
+}
+
+std::uint64_t ExperimentEngine::simulate(
+    const kgen::Compiled& compiled,
+    const std::vector<TraceObserver*>& observers) {
+  MachineOptions machineOptions;
+  machineOptions.maxInstructions = options_.budget;
+  Machine machine(compiled.program, machineOptions);
+  for (TraceObserver* observer : observers) machine.addObserver(*observer);
+  simulations_.fetch_add(1, std::memory_order_relaxed);
+  return machine.run().instructions;
+}
+
+void ExperimentEngine::runCell(
+    const std::vector<workloads::WorkloadSpec>& suite,
+    const std::vector<Config>& configs, std::size_t index, CellResult& out) {
+  const std::size_t w = index / configs.size();
+  const std::size_t c = index % configs.size();
+  const workloads::WorkloadSpec& spec = suite[w];
+
+  out.key = CellKey{spec.name, w, configs[c], c};
+  const unsigned analyses = options_.analysesFor
+                                ? options_.analysesFor(out.key)
+                                : options_.analyses;
+
+  std::ostringstream capture;
+  verify::FaultBoundary local(capture);
+  local.run(spec.name + "/" + configName(configs[c]), [&] {
+    if (options_.cellSetup) options_.cellSetup(out.key);
+
+    const auto compiled = compile(spec.module, configs[c]);
+
+    // The MultiAnalysis set: one observer instance per enabled analysis,
+    // all fed by the single simulation pass below.
+    std::optional<PathLengthCounter> pathLength;
+    std::optional<CriticalPathAnalyzer> criticalPath;
+    std::optional<CriticalPathAnalyzer> scaledCp;
+    std::optional<WindowedCPAnalyzer> windowed;
+    std::optional<DependencyDistanceAnalyzer> depDistance;
+    std::vector<TraceObserver*> observers;
+
+    if (analyses & kPathLength) {
+      observers.push_back(&pathLength.emplace(compiled->program));
+    }
+    if (analyses & kCriticalPath) {
+      observers.push_back(&criticalPath.emplace());
+    }
+    if ((analyses & kScaledCP) && options_.latenciesFor) {
+      if (const LatencyTable* table =
+              options_.latenciesFor(configs[c].arch)) {
+        observers.push_back(&scaledCp.emplace(*table));
+      }
+    }
+    if (analyses & kWindowedCP) {
+      observers.push_back(&windowed.emplace(
+          options_.windowSizes.empty() ? WindowedCPAnalyzer::paperWindowSizes()
+                                       : options_.windowSizes));
+    }
+    if (analyses & kDepDistance) {
+      observers.push_back(&depDistance.emplace());
+    }
+
+    out.instructions = simulate(*compiled, observers);
+
+    if (pathLength) {
+      out.kernels = pathLength->kernels();
+      for (std::size_t g = 0; g < kInstGroupCount; ++g) {
+        out.groups[g] = pathLength->groupCount(static_cast<InstGroup>(g));
+      }
+      out.unattributed = pathLength->unattributed();
+    }
+    if (criticalPath) out.criticalPath = criticalPath->criticalPath();
+    if (scaledCp) {
+      out.hasScaledCp = true;
+      out.scaledCriticalPath = scaledCp->criticalPath();
+    }
+    if (windowed) out.windows = windowed->results();
+    if (depDistance) {
+      out.deps.dependencies = depDistance->dependencies();
+      out.deps.meanDistance = depDistance->meanDistance();
+      out.deps.within4 = depDistance->fractionWithin(4);
+      out.deps.within16 = depDistance->fractionWithin(16);
+      out.deps.within64 = depDistance->fractionWithin(64);
+    }
+  });
+  out.cell = local.results().front();
+  out.faultText = capture.str();
+}
+
+GridResult ExperimentEngine::runGrid(
+    const std::vector<workloads::WorkloadSpec>& suite,
+    const std::vector<Config>& configs) {
+  GridResult grid;
+  grid.workloadCount = suite.size();
+  grid.configCount = configs.size();
+  grid.cells.resize(suite.size() * configs.size());
+
+  scheduler_.run(grid.cells.size(), [&](std::size_t index) {
+    runCell(suite, configs, index, grid.cells[index]);
+  });
+  return grid;
+}
+
+std::vector<ExperimentEngine::RawOutcome> ExperimentEngine::runJobs(
+    const std::vector<RawJob>& jobs) {
+  std::vector<RawOutcome> outcomes(jobs.size());
+
+  scheduler_.run(jobs.size(), [&](std::size_t index) {
+    const RawJob& job = jobs[index];
+    RawOutcome& out = outcomes[index];
+
+    std::ostringstream capture;
+    verify::FaultBoundary local(capture);
+    local.run(job.name, [&] {
+      CellContext context{
+          job.module != nullptr ? compile(*job.module, job.config) : nullptr,
+          *this};
+      job.run(context);
+    });
+    out.cell = local.results().front();
+    out.faultText = capture.str();
+  });
+  return outcomes;
+}
+
+EngineStats ExperimentEngine::stats() const {
+  EngineStats stats;
+  stats.compiles = cache_.compiles();
+  stats.cacheHits = cache_.hits();
+  stats.simulations = simulations_.load(std::memory_order_relaxed);
+  stats.jobs = scheduler_.jobs();
+  return stats;
+}
+
+namespace {
+
+void replay(const verify::CellResult& cell, const std::string& faultText,
+            verify::FaultBoundary& boundary, std::ostream& out) {
+  if (!faultText.empty()) out << faultText;
+  boundary.record(cell);
+}
+
+}  // namespace
+
+void mergeIntoBoundary(const GridResult& grid, verify::FaultBoundary& boundary,
+                       std::ostream& out) {
+  for (const CellResult& result : grid.cells) {
+    replay(result.cell, result.faultText, boundary, out);
+  }
+}
+
+void mergeIntoBoundary(const std::vector<ExperimentEngine::RawOutcome>& jobs,
+                       verify::FaultBoundary& boundary, std::ostream& out) {
+  for (const ExperimentEngine::RawOutcome& outcome : jobs) {
+    replay(outcome.cell, outcome.faultText, boundary, out);
+  }
+}
+
+}  // namespace riscmp::engine

@@ -1,0 +1,238 @@
+// Parallel single-pass experiment engine (ISSUE 2 tentpole).
+//
+// The paper computes all four of its metrics — path length, critical path,
+// scaled critical path, windowed critical path — from the *same* dynamic
+// trace; OSACA and Celio et al.'s fusion study use the same shape (one
+// trace pass feeding many concurrent analyses). This engine makes that the
+// repo's substrate: each workload × era × ISA cell is compiled at most once
+// (CompileCache), simulated exactly once on a worker-thread pool
+// (CellScheduler), and the retired-instruction stream fans out to every
+// registered TraceObserver analysis in that one pass (the MultiAnalysis
+// set). Benches become pure report generators over the returned
+// CellResults.
+//
+// Threading contract (see core/machine.hpp and isa/trace.hpp): one Machine
+// and one fresh observer set per cell, driven by one worker thread; the
+// only shared mutable state is the compile cache (internally locked) and
+// the engine's counters (atomics). Every cell runs inside its own
+// verify::FaultBoundary capturing to a private buffer, so one faulting
+// cell cannot take down its worker or interleave crash reports; outcomes
+// are merged into the caller's boundary in deterministic cell order.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/critical_path.hpp"
+#include "analysis/path_length.hpp"
+#include "analysis/windowed_cp.hpp"
+#include "engine/compile_cache.hpp"
+#include "engine/scheduler.hpp"
+#include "isa/arch.hpp"
+#include "kgen/compile.hpp"
+#include "verify/boundary.hpp"
+#include "workloads/workloads.hpp"
+
+namespace riscmp::engine {
+
+/// Default per-cell instruction budget: ~2 orders of magnitude above the
+/// largest full-scale workload, small enough to stop a hang in seconds.
+inline constexpr std::uint64_t kDefaultInstructionBudget = 1'000'000'000;
+
+/// One ISA/compiler-era configuration (a table column in the paper).
+struct Config {
+  Arch arch;
+  kgen::CompilerEra era;
+};
+
+/// The paper's four configurations, in its tables' column order.
+std::vector<Config> paperConfigs();
+
+std::string configName(const Config& config);
+
+/// Analyses the engine can attach to a cell's single simulation pass.
+enum AnalysisFlags : unsigned {
+  kPathLength = 1u << 0,    ///< per-kernel and per-group dynamic counts
+  kCriticalPath = 1u << 1,  ///< unscaled RAW-chain critical path (§4)
+  kScaledCP = 1u << 2,      ///< latency-scaled critical path (§5)
+  kWindowedCP = 1u << 3,    ///< sliding-window critical path (§6)
+  kDepDistance = 1u << 4,   ///< producer->consumer distances (§6.2)
+  kAllAnalyses = (1u << 5) - 1,
+};
+
+/// Identity of one experiment cell in a grid run.
+struct CellKey {
+  std::string workload;
+  std::size_t workloadIndex = 0;
+  Config config{};
+  std::size_t configIndex = 0;
+};
+
+/// Dependency-distance summary (ext_dependency_distance's table columns).
+struct DepSummary {
+  std::uint64_t dependencies = 0;
+  double meanDistance = 0.0;
+  double within4 = 0.0;
+  double within16 = 0.0;
+  double within64 = 0.0;
+};
+
+/// Everything one simulation pass produced for one cell. Fields belonging
+/// to analyses that were not enabled (or not runnable, e.g. scaled CP with
+/// no latency table) stay at their defaults.
+struct CellResult {
+  CellKey key;
+  verify::CellResult cell;  ///< ok flag + fault kind/summary
+  std::string faultText;    ///< captured crash report ("" when ok)
+
+  std::uint64_t instructions = 0;
+  std::vector<PathLengthCounter::KernelCount> kernels;
+  std::array<std::uint64_t, kInstGroupCount> groups{};
+  std::uint64_t unattributed = 0;
+
+  std::uint64_t criticalPath = 0;
+  bool hasScaledCp = false;
+  std::uint64_t scaledCriticalPath = 0;
+
+  std::vector<WindowedCPAnalyzer::WindowResult> windows;
+  DepSummary deps;
+
+  [[nodiscard]] double ilp() const {
+    return criticalPath == 0 ? 0.0
+                             : static_cast<double>(instructions) /
+                                   static_cast<double>(criticalPath);
+  }
+  [[nodiscard]] double scaledIlp() const {
+    return scaledCriticalPath == 0
+               ? 0.0
+               : static_cast<double>(instructions) /
+                     static_cast<double>(scaledCriticalPath);
+  }
+  /// Ideal runtime of `cp` cycles at the paper's 2 GHz clock.
+  [[nodiscard]] static double runtimeSeconds(std::uint64_t cp,
+                                             double clockHz = 2e9) {
+    return static_cast<double>(cp) / clockHz;
+  }
+};
+
+/// A grid run's results: workload-major, config-minor, dense.
+struct GridResult {
+  std::size_t workloadCount = 0;
+  std::size_t configCount = 0;
+  std::vector<CellResult> cells;
+
+  [[nodiscard]] const CellResult& at(std::size_t workload,
+                                     std::size_t config) const {
+    return cells[workload * configCount + config];
+  }
+};
+
+struct EngineOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned jobs = 0;
+  /// Per-cell instruction budget (0 = unlimited).
+  std::uint64_t budget = kDefaultInstructionBudget;
+  /// Analyses attached to every cell (AnalysisFlags mask).
+  unsigned analyses = kAllAnalyses;
+  /// Optional per-cell override of `analyses` (e.g. windowed CP only for
+  /// the GCC 12.2 columns, as in the paper's Figure 2).
+  std::function<unsigned(const CellKey&)> analysesFor;
+  /// Window sizes for kWindowedCP; empty = the paper's 4...2000 set.
+  std::vector<std::uint32_t> windowSizes;
+  /// Latency table per arch for kScaledCP; null function or null return
+  /// skips the scaled analysis for that cell (hasScaledCp stays false).
+  std::function<const LatencyTable*(Arch)> latenciesFor;
+  /// Runs inside the cell's fault boundary before compilation; throwing
+  /// fails the cell exactly like a simulation fault (used by tab2 to turn
+  /// a missing core model into a per-cell ConfigError).
+  std::function<void(const CellKey&)> cellSetup;
+};
+
+struct EngineStats {
+  std::uint64_t compiles = 0;     ///< kgen::compile invocations
+  std::uint64_t cacheHits = 0;    ///< compilations served from the cache
+  std::uint64_t simulations = 0;  ///< Machine::run invocations
+  unsigned jobs = 0;              ///< resolved worker-thread count
+};
+
+/// One line for bench footers, e.g.
+/// "engine: 20 compiles (+0 cached), 20 simulations, jobs=4".
+std::string describe(const EngineStats& stats);
+
+class ExperimentEngine {
+ public:
+  explicit ExperimentEngine(EngineOptions options = {});
+
+  /// Simulate every workload × config cell exactly once, in parallel, with
+  /// all enabled analyses attached to the one pass. Cell order in the
+  /// result (and therefore every downstream report) is workload-major and
+  /// independent of the thread count.
+  GridResult runGrid(const std::vector<workloads::WorkloadSpec>& suite,
+                     const std::vector<Config>& configs);
+
+  /// Escape hatch for benches with custom observers (OoO cores, ablation
+  /// sweeps): a RawJob runs on a worker inside its own fault boundary with
+  /// this engine's compile cache, budget, and counters available through
+  /// the context. Jobs must confine writes to their own result slot.
+  struct CellContext {
+    /// Compilation of RawJob::module (null when the job has no module and
+    /// compiles its own via engine.compile()).
+    std::shared_ptr<const kgen::Compiled> compiled;
+    ExperimentEngine& engine;
+  };
+  struct RawJob {
+    std::string name;  ///< fault-boundary cell name
+    const kgen::Module* module = nullptr;
+    Config config{};
+    std::function<void(CellContext&)> run;
+  };
+  struct RawOutcome {
+    verify::CellResult cell;
+    std::string faultText;
+  };
+  std::vector<RawOutcome> runJobs(const std::vector<RawJob>& jobs);
+
+  /// Thread-safe memoized compile (counts toward stats().compiles).
+  std::shared_ptr<const kgen::Compiled> compile(const kgen::Module& module,
+                                                const Config& config);
+
+  /// Run one Machine over `compiled` with `observers` attached, under this
+  /// engine's instruction budget; returns the dynamic instruction count and
+  /// counts toward stats().simulations.
+  std::uint64_t simulate(const kgen::Compiled& compiled,
+                         const std::vector<TraceObserver*>& observers);
+
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+  [[nodiscard]] unsigned jobs() const { return scheduler_.jobs(); }
+
+ private:
+  void runCell(const std::vector<workloads::WorkloadSpec>& suite,
+               const std::vector<Config>& configs, std::size_t index,
+               CellResult& out);
+
+  EngineOptions options_;
+  CellScheduler scheduler_;
+  CompileCache cache_;
+  std::atomic<std::uint64_t> simulations_{0};
+};
+
+/// Replay captured fault reports to `out` in cell order and merge every
+/// outcome into `boundary` (whose finish() then yields the exit code).
+void mergeIntoBoundary(const GridResult& grid, verify::FaultBoundary& boundary,
+                       std::ostream& out);
+void mergeIntoBoundary(const std::vector<ExperimentEngine::RawOutcome>& jobs,
+                       verify::FaultBoundary& boundary, std::ostream& out);
+
+/// Table cell for one windowed result: mean ILP to 3 significant figures,
+/// or "-" when no window of that size ever filled (tiny traces would
+/// otherwise print the NaN that RunningStats::min/max return when empty).
+std::string windowIlpCell(const WindowedCPAnalyzer::WindowResult& result);
+
+}  // namespace riscmp::engine

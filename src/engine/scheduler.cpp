@@ -1,0 +1,54 @@
+#include "engine/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace riscmp::engine {
+
+CellScheduler::CellScheduler(unsigned jobs) : jobs_(jobs) {
+  if (jobs_ == 0) jobs_ = std::max(1u, std::thread::hardware_concurrency());
+}
+
+void CellScheduler::run(std::size_t count,
+                        const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs_, count));
+  if (workers <= 1) {
+    // In-line fast path: identical semantics, no thread overhead, and the
+    // reference ordering for the determinism guarantee.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& thread : pool) thread.join();
+
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace riscmp::engine

@@ -1,0 +1,36 @@
+// Deterministic worker pool for experiment cells (ISSUE 2 tentpole).
+//
+// `run(count, fn)` executes fn(0) ... fn(count-1) across a fixed pool of
+// worker threads. Determinism comes from the job -> result mapping, not the
+// execution order: workers claim indices from one shared atomic counter (no
+// work stealing, no per-thread queues, no randomness) and each job writes
+// only its own index-addressed result slot, so the merged output is
+// byte-identical for any thread count. The synchronisation surface is
+// deliberately tiny — one atomic fetch_add per job plus thread join — which
+// keeps the scheduler clean under thread sanitizers.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace riscmp::engine {
+
+class CellScheduler {
+ public:
+  /// `jobs` = 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit CellScheduler(unsigned jobs = 0);
+
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  /// Run fn(i) for every i in [0, count). Blocks until all jobs finish.
+  /// fn is expected to contain its own failures (the engine wraps each cell
+  /// in a verify::FaultBoundary); if one escapes anyway, the first such
+  /// exception is rethrown here after every worker has joined.
+  void run(std::size_t count,
+           const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace riscmp::engine

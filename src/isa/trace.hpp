@@ -41,6 +41,13 @@ struct RetiredInst {
   std::uint64_t branchTarget = 0;
 };
 
+/// Threading contract: an observer instance belongs to exactly one Machine
+/// (one experiment cell) at a time and is only called from the thread
+/// driving that Machine's run(); implementations therefore need no locking.
+/// Never attach one observer instance to Machines running on different
+/// threads — the experiment engine (src/engine) constructs a fresh observer
+/// set per cell instead. Observers that implement reset() may be reused
+/// sequentially across runs on the same thread.
 class TraceObserver {
  public:
   virtual ~TraceObserver() = default;

@@ -36,6 +36,9 @@ class RunningStats {
     return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
   }
 
+  /// Forget every sample; the instance is reusable as if freshly built.
+  void reset() { *this = RunningStats(); }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
@@ -45,13 +48,24 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Geometric mean over a set of strictly positive values; used when averaging
-/// cross-benchmark ratios (the paper's "weighting each benchmark equally").
-inline double geometricMean(const std::vector<double>& values) {
-  if (values.empty()) return 0.0;
+/// Geometric mean over the strictly positive, finite entries of `values`;
+/// used when averaging cross-benchmark ratios (the paper's "weighting each
+/// benchmark equally"). Zero, negative, NaN, and infinite entries — possible
+/// when a faulted cell leaves a totals[] slot at 0 — are skipped instead of
+/// being fed to std::log, which would silently turn the headline geomean
+/// into -inf/NaN. When `aggregated` is non-null it receives the number of
+/// values actually averaged, so callers can warn about skipped entries.
+inline double geometricMean(const std::vector<double>& values,
+                            std::size_t* aggregated = nullptr) {
   double logSum = 0.0;
-  for (const double v : values) logSum += std::log(v);
-  return std::exp(logSum / static_cast<double>(values.size()));
+  std::size_t used = 0;
+  for (const double v : values) {
+    if (!std::isfinite(v) || v <= 0.0) continue;
+    logSum += std::log(v);
+    ++used;
+  }
+  if (aggregated != nullptr) *aggregated = used;
+  return used == 0 ? 0.0 : std::exp(logSum / static_cast<double>(used));
 }
 
 }  // namespace riscmp

@@ -36,6 +36,11 @@ bool FaultBoundary::run(const std::string& cell,
   return false;
 }
 
+void FaultBoundary::record(CellResult result) {
+  if (!result.ok) ++failures_;
+  results_.push_back(std::move(result));
+}
+
 int FaultBoundary::finish() {
   if (failures_ == 0) return 0;
   Table table({"cell", "status", "fault"});

@@ -29,6 +29,12 @@ class FaultBoundary {
   /// are caught and reported; returns true when the cell completed.
   bool run(const std::string& cell, const std::function<void()>& fn);
 
+  /// Merge a cell outcome captured elsewhere — e.g. by a worker-local
+  /// boundary inside the parallel experiment engine — into this boundary's
+  /// summary and exit code. Prints nothing; callers replay any captured
+  /// report text themselves, in deterministic cell order.
+  void record(CellResult result);
+
   [[nodiscard]] bool allOk() const { return failures_ == 0; }
   [[nodiscard]] const std::vector<CellResult>& results() const {
     return results_;

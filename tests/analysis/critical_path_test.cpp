@@ -153,5 +153,26 @@ TEST(CriticalPath, RuntimeAtTwoGigahertz) {
   EXPECT_DOUBLE_EQ(analyzer.runtimeSeconds(2e9), 1e-6);
 }
 
+TEST(CriticalPath, ResetReplaysIdentically) {
+  // The engine reuses analyzer objects across cells; a reset analyzer must
+  // reproduce a fresh one's numbers exactly (including memory state).
+  const auto feed = [](CriticalPathAnalyzer& analyzer) {
+    for (int i = 0; i < 6; ++i) analyzer.onRetire(alu({1}, 1));
+    analyzer.onRetire(store(2, 1, 0x100));
+    analyzer.onRetire(load(2, 0x100, 3));
+    analyzer.onRetire(alu({3}, 4));
+  };
+  CriticalPathAnalyzer analyzer;
+  feed(analyzer);
+  const std::uint64_t firstCp = analyzer.criticalPath();
+  const std::uint64_t firstInsts = analyzer.instructions();
+  analyzer.reset();
+  EXPECT_EQ(analyzer.criticalPath(), 0u);
+  EXPECT_EQ(analyzer.instructions(), 0u);
+  feed(analyzer);
+  EXPECT_EQ(analyzer.criticalPath(), firstCp);
+  EXPECT_EQ(analyzer.instructions(), firstInsts);
+}
+
 }  // namespace
 }  // namespace riscmp

@@ -1,0 +1,234 @@
+// Engine acceptance tests (ISSUE 2): determinism across thread counts,
+// exactly-once compilation, per-cell fault isolation, and the NaN-safe
+// window rendering the report layer relies on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "support/fault.hpp"
+
+namespace riscmp::engine {
+namespace {
+
+/// A two-workload suite small enough for every test, with distinct traces.
+std::vector<workloads::WorkloadSpec> tinySuite() {
+  std::vector<workloads::WorkloadSpec> suite;
+  suite.push_back({"stream-xs", workloads::makeStream({.n = 64, .reps = 1})});
+  suite.push_back({"stream-s", workloads::makeStream({.n = 200, .reps = 2})});
+  return suite;
+}
+
+std::vector<Config> gcc12Pair() {
+  return {{Arch::AArch64, kgen::CompilerEra::Gcc12},
+          {Arch::Rv64, kgen::CompilerEra::Gcc12}};
+}
+
+void expectCellsEqual(const CellResult& a, const CellResult& b) {
+  EXPECT_EQ(a.key.workload, b.key.workload);
+  EXPECT_EQ(a.cell.ok, b.cell.ok);
+  EXPECT_EQ(a.faultText, b.faultText);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.criticalPath, b.criticalPath);
+  EXPECT_EQ(a.hasScaledCp, b.hasScaledCp);
+  EXPECT_EQ(a.scaledCriticalPath, b.scaledCriticalPath);
+  EXPECT_EQ(a.unattributed, b.unattributed);
+  EXPECT_EQ(a.groups, b.groups);
+  ASSERT_EQ(a.kernels.size(), b.kernels.size());
+  for (std::size_t k = 0; k < a.kernels.size(); ++k) {
+    EXPECT_EQ(a.kernels[k].name, b.kernels[k].name);
+    EXPECT_EQ(a.kernels[k].count, b.kernels[k].count);
+  }
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t w = 0; w < a.windows.size(); ++w) {
+    EXPECT_EQ(a.windows[w].windows, b.windows[w].windows);
+    EXPECT_DOUBLE_EQ(a.windows[w].meanCp, b.windows[w].meanCp);
+    EXPECT_DOUBLE_EQ(a.windows[w].minCp, b.windows[w].minCp);
+    EXPECT_DOUBLE_EQ(a.windows[w].maxCp, b.windows[w].maxCp);
+  }
+  EXPECT_EQ(a.deps.dependencies, b.deps.dependencies);
+  EXPECT_DOUBLE_EQ(a.deps.meanDistance, b.deps.meanDistance);
+  EXPECT_DOUBLE_EQ(a.deps.within16, b.deps.within16);
+}
+
+TEST(CellScheduler, ResolvesAutoJobsToAtLeastOne) {
+  EXPECT_GE(CellScheduler(0).jobs(), 1u);
+  EXPECT_EQ(CellScheduler(3).jobs(), 3u);
+}
+
+TEST(CellScheduler, RunsEveryIndexExactlyOnce) {
+  const std::size_t count = 100;
+  std::vector<std::atomic<int>> hits(count);
+  CellScheduler scheduler(4);
+  scheduler.run(count, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(CellScheduler, RethrowsAnEscapedExceptionAfterJoining) {
+  std::atomic<int> completed{0};
+  CellScheduler scheduler(4);
+  EXPECT_THROW(scheduler.run(16,
+                             [&](std::size_t i) {
+                               if (i == 3) throw std::runtime_error("boom");
+                               ++completed;
+                             }),
+               std::runtime_error);
+  EXPECT_EQ(completed.load(), 15);
+}
+
+TEST(CompileCache, CompilesOnceAndSharesTheArtefact) {
+  const kgen::Module module = workloads::makeStream({.n = 32, .reps = 1});
+  CompileCache cache;
+  const auto first = cache.get(module, Arch::Rv64, kgen::CompilerEra::Gcc12);
+  const auto second = cache.get(module, Arch::Rv64, kgen::CompilerEra::Gcc12);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.compiles(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  // A different era is a different key.
+  cache.get(module, Arch::Rv64, kgen::CompilerEra::Gcc9);
+  EXPECT_EQ(cache.compiles(), 2u);
+}
+
+TEST(CompileCache, FingerprintSeesArrayInitContents) {
+  kgen::Module a = workloads::makeStream({.n = 32, .reps = 1});
+  kgen::Module b = a;
+  ASSERT_FALSE(b.arrays.empty());
+  ASSERT_FALSE(b.arrays.front().init.empty());
+  b.arrays.front().init.front() += 1.0;
+  EXPECT_NE(
+      CompileCache::fingerprint(a, Arch::Rv64, kgen::CompilerEra::Gcc12),
+      CompileCache::fingerprint(b, Arch::Rv64, kgen::CompilerEra::Gcc12));
+}
+
+TEST(ExperimentEngine, GridIsDeterministicAcrossJobCounts) {
+  const auto suite = tinySuite();
+  const auto configs = gcc12Pair();
+  EngineOptions serial;
+  serial.jobs = 1;
+  serial.windowSizes = {16, 64};
+  EngineOptions wide = serial;
+  wide.jobs = 8;
+
+  ExperimentEngine one(serial);
+  ExperimentEngine eight(wide);
+  const GridResult a = one.runGrid(suite, configs);
+  const GridResult b = eight.runGrid(suite, configs);
+
+  ASSERT_EQ(a.cells.size(), suite.size() * configs.size());
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    expectCellsEqual(a.cells[i], b.cells[i]);
+  }
+  EXPECT_EQ(one.stats().simulations, a.cells.size());
+  EXPECT_EQ(eight.stats().simulations, b.cells.size());
+}
+
+TEST(ExperimentEngine, DuplicateWorkloadsHitTheCompileCache) {
+  std::vector<workloads::WorkloadSpec> suite;
+  suite.push_back({"stream-a", workloads::makeStream({.n = 48, .reps = 1})});
+  suite.push_back({"stream-b", workloads::makeStream({.n = 48, .reps = 1})});
+  EngineOptions options;
+  options.jobs = 2;
+  options.analyses = kPathLength;
+  ExperimentEngine eng(options);
+  const GridResult grid = eng.runGrid(suite, gcc12Pair());
+
+  // Identical module content: 4 cells, but only one compile per config.
+  EXPECT_EQ(eng.stats().compiles, 2u);
+  EXPECT_EQ(eng.stats().cacheHits, 2u);
+  EXPECT_EQ(eng.stats().simulations, 4u);
+  EXPECT_EQ(grid.at(0, 0).instructions, grid.at(1, 0).instructions);
+}
+
+TEST(ExperimentEngine, BudgetFaultInOneCellLeavesOthersIntact) {
+  // The budget sits between the two workloads' dynamic lengths, so every
+  // stream-s cell must fail with BudgetExceeded while every stream-xs cell
+  // still completes — on the same worker pool.
+  const auto suite = tinySuite();
+  const auto configs = gcc12Pair();
+  EngineOptions probe;
+  probe.jobs = 1;
+  probe.analyses = kPathLength;
+  ExperimentEngine sizer(probe);
+  const GridResult sized = sizer.runGrid(suite, configs);
+  const std::uint64_t small = sized.at(0, 0).instructions;
+  const std::uint64_t large = sized.at(1, 0).instructions;
+  ASSERT_LT(small, large);
+
+  EngineOptions options;
+  options.jobs = 4;
+  options.analyses = kPathLength | kCriticalPath;
+  options.budget = (small + large) / 2;
+  ExperimentEngine eng(options);
+  const GridResult grid = eng.runGrid(suite, configs);
+
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const CellResult& ok = grid.at(0, c);
+    EXPECT_TRUE(ok.cell.ok) << ok.cell.summary;
+    EXPECT_EQ(ok.instructions, sized.at(0, c).instructions);
+    EXPECT_GT(ok.criticalPath, 0u);
+
+    const CellResult& failed = grid.at(1, c);
+    EXPECT_FALSE(failed.cell.ok);
+    EXPECT_EQ(failed.cell.kind, "BudgetExceeded");
+    EXPECT_NE(failed.faultText.find("FAULT REPORT"), std::string::npos);
+  }
+}
+
+TEST(ExperimentEngine, CellSetupFaultFailsOnlyThatCell) {
+  const auto suite = tinySuite();
+  EngineOptions options;
+  options.jobs = 2;
+  options.analyses = kPathLength;
+  options.cellSetup = [](const CellKey& key) {
+    if (key.workloadIndex == 1) {
+      throw ConfigError("model unavailable", {}, 0, "tx2");
+    }
+  };
+  ExperimentEngine eng(options);
+  const GridResult grid = eng.runGrid(suite, gcc12Pair());
+  EXPECT_TRUE(grid.at(0, 0).cell.ok);
+  EXPECT_FALSE(grid.at(1, 0).cell.ok);
+  EXPECT_EQ(grid.at(1, 0).cell.kind, "ConfigError");
+  // The failing cells never reached compilation or simulation.
+  EXPECT_EQ(eng.stats().compiles, 2u);
+  EXPECT_EQ(eng.stats().simulations, 2u);
+}
+
+TEST(WindowIlpCell, RendersDashWhenNoWindowEverFilled) {
+  WindowedCPAnalyzer::WindowResult empty;
+  empty.windowSize = 2000;
+  empty.windows = 0;
+  empty.meanIlp = 0.0;
+  EXPECT_EQ(windowIlpCell(empty), "-");
+
+  WindowedCPAnalyzer::WindowResult filled;
+  filled.windowSize = 4;
+  filled.windows = 3;
+  filled.meanIlp = 2.0;
+  EXPECT_EQ(windowIlpCell(filled), "2.00");
+}
+
+TEST(MergeIntoBoundary, ReplaysFaultTextInCellOrderAndSetsExitCode) {
+  GridResult grid;
+  grid.workloadCount = 1;
+  grid.configCount = 2;
+  grid.cells.resize(2);
+  grid.cells[0].cell = {"w/a", true, "", ""};
+  grid.cells[1].cell = {"w/b", false, "TrapFault", "boom"};
+  grid.cells[1].faultText = "=== FAULT REPORT: TrapFault ===\n";
+
+  std::ostringstream sink;
+  verify::FaultBoundary boundary(sink);
+  mergeIntoBoundary(grid, boundary, sink);
+  EXPECT_FALSE(boundary.allOk());
+  EXPECT_NE(sink.str().find("FAULT REPORT: TrapFault"), std::string::npos);
+  EXPECT_NE(boundary.finish(), 0);
+  EXPECT_NE(sink.str().find("Fault-boundary summary"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace riscmp::engine

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace riscmp {
 namespace {
 
@@ -38,11 +41,46 @@ TEST(RunningStats, StableOverManySamples) {
   EXPECT_NEAR(s.variance(), 0.25, 1e-3);
 }
 
+TEST(RunningStats, ResetReturnsToEmpty) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0}) s.add(x);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.0);
+}
+
 TEST(GeometricMean, Basics) {
   EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
   EXPECT_DOUBLE_EQ(geometricMean({4.0}), 4.0);
   EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
   EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, SkipsNonPositiveAndNonFiniteInputs) {
+  // A zero/negative/NaN ratio must not poison the aggregate (the report
+  // layer warns and aggregates the rest).
+  std::size_t aggregated = 0;
+  EXPECT_NEAR(geometricMean({2.0, 0.0, 8.0}, &aggregated), 4.0, 1e-12);
+  EXPECT_EQ(aggregated, 2u);
+  EXPECT_NEAR(geometricMean({-1.0, 9.0}, &aggregated), 9.0, 1e-12);
+  EXPECT_EQ(aggregated, 1u);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(geometricMean({nan, inf, 5.0}, &aggregated), 5.0, 1e-12);
+  EXPECT_EQ(aggregated, 1u);
+}
+
+TEST(GeometricMean, AllInputsInvalidYieldsZeroAndZeroCount) {
+  std::size_t aggregated = 42;
+  EXPECT_DOUBLE_EQ(geometricMean({0.0, -3.0}, &aggregated), 0.0);
+  EXPECT_EQ(aggregated, 0u);
+  EXPECT_DOUBLE_EQ(geometricMean({}, &aggregated), 0.0);
+  EXPECT_EQ(aggregated, 0u);
 }
 
 }  // namespace
