@@ -1,0 +1,133 @@
+// Differential conformance campaign driver (ISSUE 3 tentpole CLI).
+//
+// Generates seeded random kernels, runs each through the reference
+// interpreter and both ISA backends under both compiler eras, and reports
+// any divergence (minimized to the smallest failing module) or trace
+// invariant violation:
+//
+//   $ ./build/bench/sim_conformance --seed=2026 --count=200 --jobs=8
+//
+// Flags: --seed=N         base seed; kernel i replays as --seed=N+i --count=1
+//        --count=N        kernels to generate (default 200; 0 is an error)
+//        --jobs=N         worker threads (default: hardware concurrency)
+//        --budget=N       instruction budget per run
+//        --digest-file=P  write the per-run digest lines to P (golden format)
+//        --no-shrink      skip divergence minimization
+//
+// Exit: 0 clean, 1 findings, 2 usage error.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "harness.hpp"
+#include "verify/conformance/campaign.hpp"
+
+using namespace riscmp;
+using namespace riscmp::bench;
+using verify::conformance::CampaignOptions;
+using verify::conformance::CampaignResult;
+using verify::conformance::KernelOutcome;
+
+namespace {
+
+std::uint64_t flagValue(int argc, char** argv, const std::string& name,
+                        std::uint64_t fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return parseFlagValue("--" + name, arg.substr(prefix.size()),
+                            [](const std::string& s, std::size_t* consumed) {
+                              return std::stoull(s, consumed);
+                            });
+    }
+  }
+  return fallback;
+}
+
+bool hasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+std::string stringFlag(int argc, char** argv, const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return {};
+}
+
+void rejectUnknownFlags(int argc, char** argv) {
+  const std::string known[] = {"--seed=",   "--count=",       "--jobs=",
+                               "--budget=", "--digest-file=", "--no-shrink"};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    bool matched = false;
+    for (const std::string& prefix : known) {
+      if (arg == "--no-shrink" ? arg == prefix : arg.rfind(prefix, 0) == 0) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
+      std::exit(2);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rejectUnknownFlags(argc, argv);
+
+  CampaignOptions options;
+  options.seed = flagValue(argc, argv, "seed", options.seed);
+  const std::uint64_t count =
+      flagValue(argc, argv, "count", static_cast<std::uint64_t>(options.count));
+  if (count == 0) {
+    std::cerr << "error: --count must be a positive kernel count\n";
+    return 2;
+  }
+  options.count = static_cast<int>(count);
+  options.jobs = parseJobs(argc, argv);
+  options.budget = parseBudget(argc, argv);
+  options.shrink = !hasFlag(argc, argv, "--no-shrink");
+  const std::string digestFile = stringFlag(argc, argv, "digest-file");
+
+  std::cout << "Conformance campaign: " << options.count
+            << " kernels from seed " << options.seed
+            << " (interpreter vs both ISAs x both eras)\n\n";
+
+  const CampaignResult result = verify::conformance::runCampaign(options);
+
+  for (const KernelOutcome& outcome : result.outcomes) {
+    if (outcome.report.ok()) continue;
+    std::cout << "kernel seed=" << outcome.seed << " FAILED:\n"
+              << outcome.report.summary();
+    if (!outcome.minimized.empty()) {
+      std::cout << "minimized repro (" << outcome.minimizedOps << " ops):\n"
+                << outcome.minimized;
+    }
+    std::cout << "replay: sim_conformance --seed=" << outcome.seed
+              << " --count=1\n\n";
+  }
+
+  if (!digestFile.empty()) {
+    std::ofstream out(digestFile);
+    if (!out) {
+      std::cerr << "error: cannot write " << digestFile << "\n";
+      return 2;
+    }
+    out << result.digestText();
+    std::cout << "wrote digests to " << digestFile << "\n";
+  }
+
+  std::cout << result.summary() << "\n"
+            << engine::describe(result.engineStats) << "\n";
+  return result.clean() ? 0 : 1;
+}

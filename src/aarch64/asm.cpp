@@ -302,7 +302,9 @@ class SecondPass {
     // Literal form: rt, label
     if (ops.size() == 2 && ops[1].front() != '[') {
       Op litOp;
-      if (rt.isFp) {
+      if (op == Op::LDRSW) {
+        litOp = Op::LDR_LIT_SW;
+      } else if (rt.isFp) {
         litOp = rt.single ? Op::LDR_LIT_S : Op::LDR_LIT_D;
       } else {
         litOp = rt.is64 ? Op::LDR_LIT_X : Op::LDR_LIT_W;
@@ -395,14 +397,29 @@ class SecondPass {
     fail(line, "unknown mnemonic '" + m + "'");
   }
 
+  /// True when a trailing operand names an extend kind ("sxth #2"), which
+  /// selects the extended-register add/sub class rather than shifted.
+  static bool isExtendOperand(const std::string& text) {
+    static const char* kKinds[] = {"uxtb", "uxth", "uxtw", "uxtx",
+                                   "sxtb", "sxth", "sxtw", "sxtx"};
+    const std::string lower = toLower(text);
+    for (const char* kind : kKinds) {
+      if (lower.rfind(kind, 0) == 0) return true;
+    }
+    return false;
+  }
+
   /// Shift suffix operand like "lsl #3" on register-register forms.
   void applyShiftOperand(const SourceLine& line, Inst& inst,
                          const std::string& text) {
     const std::string lower = toLower(text);
     const std::size_t hash = lower.find('#');
-    expect(line, hash != std::string::npos, "bad shift operand");
-    const std::string kind = trim(lower.substr(0, hash));
-    const auto amount = imm(line, trim(lower.substr(hash)));
+    // A bare extend kind ("sxth") is legal: the amount defaults to zero and
+    // the disassembler omits "#0".
+    const std::string kind =
+        trim(hash == std::string::npos ? lower : lower.substr(0, hash));
+    const std::int64_t amount =
+        hash == std::string::npos ? 0 : imm(line, trim(lower.substr(hash)));
     if (kind == "lsl") inst.shift = Shift::LSL;
     else if (kind == "lsr") inst.shift = Shift::LSR;
     else if (kind == "asr") inst.shift = Shift::ASR;
@@ -478,12 +495,17 @@ bool SecondPass::assembleMain(const SourceLine& line) {
       return true;
     }
     const RegOperand rm = r(2);
-    // Mixed W offset register => extended form (e.g. add x0, x1, w2, sxtw #3)
-    if (rd.is64 && !rm.is64) {
+    // Extended form: either a mixed W offset register (add x0, x1, w2,
+    // sxtw #3) or an explicit extend operand on same-width registers
+    // (subs w0, w1, w2, sxth #2).
+    const bool isAddSub =
+        m == "add" || m == "adds" || m == "sub" || m == "subs";
+    if (isAddSub && ((rd.is64 && !rm.is64) ||
+                     (ops.size() == 4 && isExtendOperand(ops[3])))) {
       Inst ext;
       ext.op = m == "add" ? Op::ADDx : m == "adds" ? Op::ADDSx
                : m == "sub" ? Op::SUBx : Op::SUBSx;
-      ext.is64 = true;
+      ext.is64 = rd.is64;
       ext.rd = static_cast<std::uint8_t>(rd.index);
       ext.rn = static_cast<std::uint8_t>(rn.index);
       ext.rm = static_cast<std::uint8_t>(rm.index);
@@ -509,6 +531,19 @@ bool SecondPass::assembleMain(const SourceLine& line) {
                          rn.is64));
     } else {
       const RegOperand rm = r(1);
+      if ((rn.is64 && !rm.is64) ||
+          (ops.size() == 3 && isExtendOperand(ops[2]))) {
+        Inst ext;
+        ext.op = m == "cmp" ? Op::SUBSx : Op::ADDSx;
+        ext.is64 = rn.is64;
+        ext.rd = 31;
+        ext.rn = static_cast<std::uint8_t>(rn.index);
+        ext.rm = static_cast<std::uint8_t>(rm.index);
+        ext.extend = Extend::UXTW;
+        if (ops.size() == 3) applyShiftOperand(line, ext, ops[2]);
+        emit(ext);
+        return true;
+      }
       Inst inst = makeAddSubReg(m == "cmp" ? Op::SUBSr : Op::ADDSr, 31,
                                 rn.index, rm.index, Shift::LSL, 0, rn.is64);
       if (ops.size() == 3) applyShiftOperand(line, inst, ops[2]);
@@ -517,12 +552,20 @@ bool SecondPass::assembleMain(const SourceLine& line) {
     return true;
   }
   if (m == "tst") {
-    needOps(2);
+    expect(line, ops.size() == 2 || ops.size() == 3,
+           "operand count mismatch");
     const RegOperand rn = r(0);
     if (isImmediate(ops[1])) {
+      needOps(2);
       emit(makeLogicImm(Op::ANDSi, 31, rn.index,
                         static_cast<std::uint64_t>(imm(line, ops[1])),
                         rn.is64));
+    } else if (ops.size() == 3) {
+      Inst inst =
+          makeLogicReg(Op::ANDSr, 31, rn.index, r(1).index, Shift::LSL, 0,
+                       rn.is64);
+      applyShiftOperand(line, inst, ops[2]);
+      emit(inst);
     } else {
       emit(makeLogicReg(Op::ANDSr, 31, rn.index, r(1).index, Shift::LSL, 0,
                         rn.is64));
@@ -574,10 +617,13 @@ bool SecondPass::assembleMain(const SourceLine& line) {
     return true;
   }
   if (m == "neg") {
-    needOps(2);
+    expect(line, ops.size() == 2 || ops.size() == 3,
+           "operand count mismatch");
     const RegOperand rd = r(0);
-    emit(makeAddSubReg(Op::SUBr, rd.index, 31, r(1).index, Shift::LSL, 0,
-                       rd.is64));
+    Inst inst = makeAddSubReg(Op::SUBr, rd.index, 31, r(1).index, Shift::LSL,
+                              0, rd.is64);
+    if (ops.size() == 3) applyShiftOperand(line, inst, ops[2]);
+    emit(inst);
     return true;
   }
   if (m == "mul" || m == "mneg") {
@@ -594,9 +640,16 @@ bool SecondPass::assembleMain(const SourceLine& line) {
                  r(2).index, r(3).index, rd.is64));
     return true;
   }
-  if (m == "smull") {
+  if (m == "smull" || m == "umull") {
     needOps(3);
-    emit(makeDp3(Op::SMADDL, r(0).index, r(1).index, r(2).index, 31, true));
+    emit(makeDp3(m == "smull" ? Op::SMADDL : Op::UMADDL, r(0).index,
+                 r(1).index, r(2).index, 31, true));
+    return true;
+  }
+  if (m == "smaddl" || m == "umaddl") {
+    needOps(4);
+    emit(makeDp3(m == "smaddl" ? Op::SMADDL : Op::UMADDL, r(0).index,
+                 r(1).index, r(2).index, r(3).index, true));
     return true;
   }
   if (m == "smulh" || m == "umulh") {
@@ -645,6 +698,30 @@ bool SecondPass::assembleMain(const SourceLine& line) {
     }
     return true;
   }
+  if (m == "bfm" || m == "sbfm" || m == "ubfm") {
+    // Raw bitfield form: the disassembler falls back to it when no alias
+    // (lsl/lsr/asr/ubfx/sbfx/bfi/...) covers the immr/imms pair.
+    needOps(4);
+    const RegOperand rd = r(0);
+    const Op op = m == "bfm" ? Op::BFM : m == "sbfm" ? Op::SBFM : Op::UBFM;
+    emit(makeBitfield(op, rd.index, r(1).index,
+                      static_cast<unsigned>(imm(line, ops[2])),
+                      static_cast<unsigned>(imm(line, ops[3])), rd.is64));
+    return true;
+  }
+  if (m == "extr") {
+    needOps(4);
+    const RegOperand rd = r(0);
+    Inst inst;
+    inst.op = Op::EXTR;
+    inst.is64 = rd.is64;
+    inst.rd = static_cast<std::uint8_t>(rd.index);
+    inst.rn = static_cast<std::uint8_t>(r(1).index);
+    inst.rm = static_cast<std::uint8_t>(r(2).index);
+    inst.imms = static_cast<std::uint8_t>(imm(line, ops[3]));
+    emit(inst);
+    return true;
+  }
   if (m == "ubfx" || m == "sbfx") {
     needOps(4);
     const RegOperand rd = r(0);
@@ -672,6 +749,26 @@ bool SecondPass::assembleMain(const SourceLine& line) {
     emit(makeCondSel(Op::CSINC, rd.index, 31, 31, invertCond(*cond), rd.is64));
     return true;
   }
+  if (m == "ccmn" || m == "ccmp") {
+    needOps(4);
+    const RegOperand rn = r(0);
+    const auto cond = condFromName(toLower(ops[3]));
+    expect(line, cond.has_value(), "bad condition");
+    Inst inst;
+    inst.is64 = rn.is64;
+    inst.rn = static_cast<std::uint8_t>(rn.index);
+    inst.imms = static_cast<std::uint8_t>(imm(line, ops[2]));  // nzcv
+    inst.cond = *cond;
+    if (isImmediate(ops[1])) {
+      inst.op = m == "ccmn" ? Op::CCMNi : Op::CCMPi;
+      inst.imm = imm(line, ops[1]);
+    } else {
+      inst.op = m == "ccmn" ? Op::CCMNr : Op::CCMPr;
+      inst.rm = static_cast<std::uint8_t>(r(1).index);
+    }
+    emit(inst);
+    return true;
+  }
   if (m == "csel" || m == "csinc" || m == "csinv" || m == "csneg") {
     needOps(4);
     const RegOperand rd = r(0);
@@ -694,12 +791,17 @@ bool SecondPass::assembleMain(const SourceLine& line) {
     emit(inst);
     return true;
   }
-  if (m == "bic" || m == "orn" || m == "eon") {
-    needOps(3);
+  if (m == "bic" || m == "bics" || m == "orn" || m == "eon") {
+    expect(line, ops.size() == 3 || ops.size() == 4, "operand count mismatch");
     const RegOperand rd = r(0);
-    const Op op = m == "bic" ? Op::BICr : m == "orn" ? Op::ORNr : Op::EONr;
-    emit(makeLogicReg(op, rd.index, r(1).index, r(2).index, Shift::LSL, 0,
-                      rd.is64));
+    const Op op = m == "bic"    ? Op::BICr
+                  : m == "bics" ? Op::BICSr
+                  : m == "orn"  ? Op::ORNr
+                                : Op::EONr;
+    Inst inst = makeLogicReg(op, rd.index, r(1).index, r(2).index, Shift::LSL,
+                             0, rd.is64);
+    if (ops.size() == 4) applyShiftOperand(line, inst, ops[3]);
+    emit(inst);
     return true;
   }
   if (m == "adr" || m == "adrp") {

@@ -163,6 +163,9 @@ std::optional<Inst> decodeLoadStoreFamily(std::uint32_t word) {
     inst.mode = AddrMode::RegOffset;
     inst.rm = rmField(word);
     inst.extend = static_cast<Extend>(bits(word, 15u, 13u));
+    // Only the word/doubleword extend options exist for register offsets:
+    // option<1> clear (uxtb/uxth/sxtb/sxth) is unallocated.
+    if ((bits(word, 15u, 13u) & 0b010u) == 0) return std::nullopt;
     inst.extAmount =
         bit(word, 12u)
             ? static_cast<std::uint8_t>(
@@ -236,6 +239,11 @@ std::optional<Inst> decode(std::uint32_t word) {
         inst.rn = rnField(word);
         inst.immr = static_cast<std::uint8_t>(bits(word, 21u, 16u));
         inst.imms = static_cast<std::uint8_t>(bits(word, 15u, 10u));
+        // 32-bit bitfield positions live in [0, 32): the high immr/imms bit
+        // set with sf==0 is unallocated.
+        if (!inst.is64 && (inst.immr >= 32 || inst.imms >= 32)) {
+          return std::nullopt;
+        }
         return inst;
 
       case Cls::Extract:
@@ -244,6 +252,7 @@ std::optional<Inst> decode(std::uint32_t word) {
         inst.rn = rnField(word);
         inst.rm = rmField(word);
         inst.imms = static_cast<std::uint8_t>(bits(word, 15u, 10u));
+        if (!inst.is64 && inst.imms >= 32) return std::nullopt;
         return inst;
 
       case Cls::AddSubShifted:
@@ -256,6 +265,9 @@ std::optional<Inst> decode(std::uint32_t word) {
         if (info.cls == Cls::AddSubShifted && inst.shift == Shift::ROR) {
           return std::nullopt;
         }
+        // imm6<5> set with sf==0 is unallocated: a 32-bit operand cannot be
+        // shifted by 32 or more.
+        if (!inst.is64 && inst.shiftAmount >= 32) return std::nullopt;
         return inst;
 
       case Cls::AddSubExt:

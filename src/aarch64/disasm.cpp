@@ -135,8 +135,9 @@ class Printer {
         gpr(inst_.rm);
         return true;
       case Op::SMADDL:
+      case Op::UMADDL:
         if (inst_.ra != 31) return false;
-        mnemonic("smull");
+        mnemonic(inst_.op == Op::SMADDL ? "smull" : "umull");
         gpr(inst_.rd);
         out_ += ", ";
         out_ += gprName(inst_.rn, false);
@@ -355,6 +356,13 @@ class Printer {
         break;
       case Cls::DP3:
         gpr(inst_.rd);
+        if (inst_.op == Op::SMADDL || inst_.op == Op::UMADDL) {
+          // Widening multiply-add: 32-bit sources, 64-bit accumulator.
+          add(gprName(inst_.rn, false));
+          add(gprName(inst_.rm, false));
+          gpr(inst_.ra);
+          break;
+        }
         gpr(inst_.rn);
         gpr(inst_.rm);
         if (inst_.op == Op::MADD || inst_.op == Op::MSUB) gpr(inst_.ra);

@@ -154,6 +154,8 @@ struct Machine::Impl {
   virtual void addObserver(TraceObserver& observer) = 0;
   virtual Memory& memory() = 0;
   virtual const Program& program() const = 0;
+  virtual std::vector<std::pair<std::string, std::uint64_t>> registers()
+      const = 0;
 };
 
 namespace {
@@ -189,7 +191,8 @@ class CoreImpl final : public Machine::Impl {
       ~RunningGuard() { flag.store(false, std::memory_order_release); }
     } guard{running_};
 
-    typename Traits::State state{};
+    state_ = typename Traits::State{};
+    typename Traits::State& state = state_;
     const std::uint64_t stackTop = memory_.end() & ~15ull;
     Traits::setup(state, program_, stackTop);
 
@@ -240,6 +243,13 @@ class CoreImpl final : public Machine::Impl {
 
   Memory& memory() override { return memory_; }
   const Program& program() const override { return program_; }
+
+  std::vector<std::pair<std::string, std::uint64_t>> registers()
+      const override {
+    MachineContext ctx;
+    Traits::snapshotRegs(state_, ctx);
+    return std::move(ctx.regs);
+  }
 
  private:
   static constexpr std::uint64_t kStackReserve = 1 << 20;
@@ -300,6 +310,7 @@ class CoreImpl final : public Machine::Impl {
   Program program_;
   MachineOptions options_;
   Memory memory_;
+  typename Traits::State state_{};
   std::vector<typename Traits::Inst> decodeCache_;
   std::vector<bool> decoded_;
   typename Traits::Inst scratch_{};
@@ -327,6 +338,10 @@ void Machine::addObserver(TraceObserver& observer) {
 RunResult Machine::run() { return impl_->run(); }
 
 Memory& Machine::memory() { return impl_->memory(); }
+
+std::vector<std::pair<std::string, std::uint64_t>> Machine::registers() const {
+  return impl_->registers();
+}
 
 const Program& Machine::program() const { return impl_->program(); }
 

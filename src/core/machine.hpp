@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/memory.hpp"
@@ -68,6 +70,13 @@ class Machine {
 
   [[nodiscard]] Memory& memory();
   [[nodiscard]] const Program& program() const;
+
+  /// Architectural register file after the most recent run() — (name,
+  /// value) pairs in the same display order the crash reports use; empty
+  /// before the first run. The conformance oracle folds this final register
+  /// image into its per-config trace digests and divergence reports.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> registers()
+      const;
 
   /// Implementation interface (public so the per-ISA cores can derive from
   /// it inside the translation unit).

@@ -224,15 +224,31 @@ class SecondPass {
     const auto& ops = line.operands;
 
     switch (info.imm) {
-      case ImmKind::U:
+      case ImmKind::U: {
         expectOperands(line, 2);
         inst.rd = static_cast<std::uint8_t>(gpr(line, ops[0]));
-        inst.imm = imm(line, ops[1]) << 12;
+        // The operand is the raw 20-bit field (what the disassembler
+        // prints); sign-extend it so fields >= 0x80000 round-trip to the
+        // decoder's sign-extended view instead of overflowing the encoder.
+        const std::int64_t field = imm(line, ops[1]);
+        if (field < -0x80000 || field > 0xfffff) {
+          fail(line, line.mnemonic + ": immediate out of range");
+        }
+        inst.imm = signExtend(static_cast<std::uint64_t>(field) & 0xfffff, 20)
+                   << 12;
         break;
+      }
       case ImmKind::J:
-        expectOperands(line, 2);
-        inst.rd = static_cast<std::uint8_t>(gpr(line, ops[0]));
-        inst.imm = immOrLabelOffset(line, ops[1]);
+        // Disassembly omits a zero rd ("jal offset"); accept that one-operand
+        // spelling back with rd = x0.
+        if (ops.size() == 1) {
+          inst.rd = 0;
+          inst.imm = immOrLabelOffset(line, ops[0]);
+        } else {
+          expectOperands(line, 2);
+          inst.rd = static_cast<std::uint8_t>(gpr(line, ops[0]));
+          inst.imm = immOrLabelOffset(line, ops[1]);
+        }
         break;
       case ImmKind::B:
         expectOperands(line, 3);

@@ -1,0 +1,122 @@
+#include "verify/conformance/campaign.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "kgen/dump.hpp"
+#include "verify/conformance/shrink.hpp"
+
+namespace riscmp::verify::conformance {
+
+namespace {
+
+std::string hex16(std::uint64_t value) {
+  std::ostringstream out;
+  out << std::hex << std::setw(16) << std::setfill('0') << value;
+  return out.str();
+}
+
+/// Replays a candidate module through a plain (cache-free) oracle run and
+/// reports whether it still fails. Used as the shrink predicate; compile
+/// errors on shrunk modules surface as Fault findings, which do not count.
+bool oracleStillFails(const kgen::Module& module, std::uint64_t budget) {
+  OracleOptions options;
+  options.budget = budget;
+  const OracleReport report = runOracle(module, options);
+  return report.hasDivergence() || report.hasViolation();
+}
+
+}  // namespace
+
+std::string CampaignResult::digestText() const {
+  std::ostringstream out;
+  for (const KernelOutcome& outcome : outcomes) {
+    for (const RunDigest& run : outcome.report.runs) {
+      out << "seed=" << outcome.seed << " config=" << run.config
+          << " retired=" << run.retired << " trace=" << hex16(run.traceDigest)
+          << " stores=" << hex16(run.storeDigest)
+          << " mem=" << hex16(run.memoryDigest)
+          << " regs=" << hex16(run.registerDigest) << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string CampaignResult::summary() const {
+  std::ostringstream out;
+  out << "conformance: " << outcomes.size() << " kernels, " << divergences
+      << " divergences, " << violations << " violations, " << faults
+      << " faults";
+  return out.str();
+}
+
+CampaignResult runCampaign(const CampaignOptions& options) {
+  // Module generation is sequential and seed-addressed so the module set —
+  // and therefore every digest — is independent of the worker count.
+  std::vector<kgen::Module> modules;
+  modules.reserve(static_cast<std::size_t>(options.count));
+  for (int i = 0; i < options.count; ++i) {
+    KernelFuzzer fuzzer(options.seed + static_cast<std::uint64_t>(i),
+                        options.fuzzer);
+    modules.push_back(fuzzer.generate());
+  }
+
+  engine::EngineOptions engineOptions;
+  engineOptions.jobs = options.jobs;
+  engineOptions.budget = options.budget;
+  engine::ExperimentEngine engine(engineOptions);
+
+  CampaignResult result;
+  result.outcomes.resize(modules.size());
+
+  std::vector<engine::ExperimentEngine::RawJob> jobs;
+  jobs.reserve(modules.size());
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    engine::ExperimentEngine::RawJob job;
+    job.name = "conformance/seed=" +
+               std::to_string(options.seed + static_cast<std::uint64_t>(i));
+    job.run = [&, i](engine::ExperimentEngine::CellContext& context) {
+      KernelOutcome& outcome = result.outcomes[i];
+      outcome.seed = options.seed + static_cast<std::uint64_t>(i);
+
+      OracleOptions oracleOptions;
+      oracleOptions.budget = options.budget;
+      oracleOptions.compileFn = [&context](const kgen::Module& module,
+                                           const OracleConfig& config) {
+        return context.engine.compile(module,
+                                      engine::Config{config.arch, config.era});
+      };
+      outcome.report = runOracle(modules[i], oracleOptions);
+
+      if (options.shrink &&
+          (outcome.report.hasDivergence() || outcome.report.hasViolation())) {
+        const kgen::Module minimized = shrinkModule(
+            modules[i],
+            [&](const kgen::Module& candidate) {
+              return oracleStillFails(candidate, options.budget);
+            });
+        outcome.minimized = kgen::dumpModule(minimized);
+        outcome.minimizedOps = opCount(minimized);
+      }
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  engine.runJobs(jobs);
+  result.engineStats = engine.stats();
+
+  for (const KernelOutcome& outcome : result.outcomes) {
+    if (outcome.report.hasDivergence()) ++result.divergences;
+    if (outcome.report.hasViolation()) ++result.violations;
+    for (const Finding& finding : outcome.report.findings) {
+      if (finding.kind == Finding::Kind::Fault) {
+        ++result.faults;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace riscmp::verify::conformance

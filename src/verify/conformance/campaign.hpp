@@ -1,0 +1,68 @@
+// Conformance campaign driver (ISSUE 3 tentpole, assembly).
+//
+// Generates `count` random modules from a base seed (module i replays as
+// `--seed base+i --count 1`), runs every module through the differential
+// oracle on a worker pool (one engine::runJobs cell per module, compiling
+// through the engine's CompileCache), and aggregates findings. A module
+// whose oracle run diverges is minimized with the delta-debugging shrinker
+// so the report shows the smallest failing IR, not a 100-op haystack.
+//
+// The per-module digest lines (digestText) are the golden-snapshot format:
+// deterministic in the base seed alone — independent of --jobs, thread
+// scheduling, and platform — because module generation is SplitMix64-driven
+// and every digest is computed inside the module's own cell.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "verify/conformance/kernel_fuzzer.hpp"
+#include "verify/conformance/oracle.hpp"
+
+namespace riscmp::verify::conformance {
+
+struct CampaignOptions {
+  std::uint64_t seed = 2026;  ///< base seed; module i uses seed + i
+  int count = 200;            ///< modules to generate
+  unsigned jobs = 0;          ///< worker threads (0 = hardware concurrency)
+  std::uint64_t budget = 200'000'000;  ///< per-run instruction budget
+  bool shrink = true;  ///< minimize diverging modules for the report
+  KernelFuzzer::Options fuzzer;
+};
+
+/// Everything one module's oracle run produced.
+struct KernelOutcome {
+  std::uint64_t seed = 0;  ///< replay seed for this module
+  OracleReport report;
+  /// kgen::dumpModule of the minimized failing module ("" unless the run
+  /// diverged and shrinking is enabled).
+  std::string minimized;
+  int minimizedOps = 0;
+};
+
+struct CampaignResult {
+  std::vector<KernelOutcome> outcomes;  ///< one per module, seed order
+  engine::EngineStats engineStats;
+  int divergences = 0;  ///< modules with at least one Divergence finding
+  int violations = 0;   ///< modules with at least one InvariantViolation
+  int faults = 0;       ///< modules with at least one Fault finding
+
+  [[nodiscard]] bool clean() const {
+    return divergences == 0 && violations == 0 && faults == 0;
+  }
+
+  /// Golden-snapshot text: one line per successful run,
+  ///   seed=N config=rv64/gcc12 retired=N trace=... stores=... mem=... regs=...
+  /// with 16-hex-digit digests; byte-identical for any --jobs value.
+  [[nodiscard]] std::string digestText() const;
+
+  /// One line for bench footers, e.g.
+  /// "conformance: 200 kernels, 0 divergences, 0 violations, 0 faults".
+  [[nodiscard]] std::string summary() const;
+};
+
+CampaignResult runCampaign(const CampaignOptions& options = {});
+
+}  // namespace riscmp::verify::conformance

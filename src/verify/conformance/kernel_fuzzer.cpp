@@ -1,0 +1,189 @@
+#include "verify/conformance/kernel_fuzzer.hpp"
+
+#include <utility>
+
+namespace riscmp::verify::conformance {
+
+using namespace riscmp::kgen;
+
+namespace {
+
+/// Every array is 64 elements: large enough for the deepest loop shape the
+/// fuzzer emits (extent 40 + offset 7, or a 6x6 tile + offset 7), small
+/// enough that a full campaign's memory images stay cheap to hash.
+constexpr std::int64_t kArrayElems = 64;
+constexpr int kMaxOffset = 7;
+
+}  // namespace
+
+KernelFuzzer::KernelFuzzer(std::uint64_t seed) : KernelFuzzer(seed, Options{}) {}
+
+KernelFuzzer::KernelFuzzer(std::uint64_t seed, Options options)
+    : rng_(seed), options_(options) {}
+
+int KernelFuzzer::pick(int lo, int hi) {
+  return lo + static_cast<int>(rng_.below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+bool KernelFuzzer::chance(int percent) { return pick(1, 100) <= percent; }
+
+double KernelFuzzer::value() {
+  // Exactly-representable multiples of 1/4 (offset by 1/8 so no value is
+  // zero): real arithmetic without accumulation blow-ups, and bit-stable
+  // across every platform.
+  return pick(-16, 16) * 0.25 + 0.125;
+}
+
+const std::string& KernelFuzzer::anyArray() {
+  return arrays_[static_cast<std::size_t>(pick(0, static_cast<int>(arrays_.size()) - 1))];
+}
+
+const std::string& KernelFuzzer::anyScalar() {
+  return scalars_[static_cast<std::size_t>(pick(0, static_cast<int>(scalars_.size()) - 1))];
+}
+
+Module KernelFuzzer::generate() {
+  arrays_.clear();
+  scalars_.clear();
+
+  Module module;
+  module.name = "conformance";
+
+  const int arrayCount = pick(2, options_.maxArrays);
+  for (int i = 0; i < arrayCount; ++i) {
+    ArrayDecl& array = module.array("a" + std::to_string(i), kArrayElems);
+    // Most arrays carry data; some stay zero-initialised to exercise the
+    // bss-like path (loads of 0.0, stores into fresh memory).
+    if (chance(75)) {
+      array.init.resize(kArrayElems);
+      for (double& v : array.init) v = value();
+    }
+    arrays_.push_back(array.name);
+  }
+
+  const int scalarCount = pick(1, options_.maxScalars);
+  for (int i = 0; i < scalarCount; ++i) {
+    module.scalarInit("s" + std::to_string(i), value());
+    scalars_.push_back("s" + std::to_string(i));
+  }
+
+  const int kernelCount = pick(1, options_.maxKernels);
+  for (int k = 0; k < kernelCount; ++k) {
+    Kernel& kernel = module.kernel("k" + std::to_string(k));
+    const int loops = pick(1, options_.maxLoops);
+    for (int l = 0; l < loops; ++l) {
+      kernel.body.push_back(makeLoopNest(l));
+    }
+  }
+  return module;
+}
+
+Stmt KernelFuzzer::makeLoopNest(int ordinal) {
+  const std::string suffix = std::to_string(ordinal);
+  switch (pick(0, 3)) {
+    case 0: {
+      // Row-major 2-D tile: y*cols + x addressing (the stencil shape).
+      const std::int64_t rows = pick(4, 6);
+      const std::int64_t cols = pick(5, 6);
+      std::vector<Stmt> inner;
+      const int stmts = pick(1, 2);
+      for (int s = 0; s < stmts; ++s) {
+        inner.push_back(
+            makeStmt(idx2("y" + suffix, cols, "x" + suffix), kMaxOffset));
+      }
+      return loop("y" + suffix, rows,
+                  {loop("x" + suffix, cols, std::move(inner))});
+    }
+    case 1: {
+      // Strided flat loop: i*2 addressing (every second element).
+      std::vector<Stmt> body;
+      const int stmts = pick(1, options_.maxStmts);
+      for (int s = 0; s < stmts; ++s) {
+        body.push_back(makeStmt(idx("i" + suffix, 2), kMaxOffset));
+      }
+      return loop("i" + suffix, 20, std::move(body));
+    }
+    case 2: {
+      // Degenerate extents (1 and tiny): the loop-exit idioms' edge cases.
+      std::vector<Stmt> body;
+      const int stmts = pick(1, options_.maxStmts);
+      for (int s = 0; s < stmts; ++s) {
+        body.push_back(makeStmt(idx("i" + suffix), kMaxOffset));
+      }
+      return loop("i" + suffix, pick(0, 1) == 0 ? 1 : 5, std::move(body));
+    }
+    default: {
+      // The common unit-stride streaming loop.
+      std::vector<Stmt> body;
+      const int stmts = pick(1, options_.maxStmts);
+      for (int s = 0; s < stmts; ++s) {
+        body.push_back(makeStmt(idx("i" + suffix), kMaxOffset));
+      }
+      return loop("i" + suffix, pick(0, 1) == 0 ? 17 : 40, std::move(body));
+    }
+  }
+}
+
+Stmt KernelFuzzer::makeStmt(const AffineIdx& index, int maxOffset) {
+  switch (pick(0, 3)) {
+    case 0:
+      return storeArr(anyArray(), index,
+                      makeExpr(index, options_.exprDepth, maxOffset));
+    case 1:
+      // Serial reduction chain (the paper's dot/sum kernels).
+      return accumScalar(anyScalar(),
+                         makeExpr(index, options_.exprDepth - 1, maxOffset));
+    case 2:
+      return setScalar(anyScalar(),
+                       makeExpr(index, options_.exprDepth - 1, maxOffset));
+    default:
+      // Offset store: exercises the displacement side of both ISAs'
+      // addressing modes.
+      return storeArr(anyArray(), index + pick(0, maxOffset),
+                      makeExpr(index, options_.exprDepth, maxOffset));
+  }
+}
+
+ExprPtr KernelFuzzer::makeExpr(const AffineIdx& index, int depth,
+                               int maxOffset) {
+  if (depth <= 0 || chance(25)) {
+    switch (pick(0, 2)) {
+      case 0:
+        return cnst(value());
+      case 1:
+        return scalar(anyScalar());
+      default:
+        return load(anyArray(), index + pick(0, maxOffset));
+    }
+  }
+  const auto sub = [&] { return makeExpr(index, depth - 1, maxOffset); };
+  switch (pick(0, 9)) {
+    case 0:
+      return add(sub(), sub());
+    case 1:
+      return kgen::sub(sub(), sub());
+    case 2:
+      return mul(sub(), sub());
+    case 3:
+      // Guarded divide: |x| + 1.5 keeps the denominator away from zero.
+      return divide(sub(), add(fabs(sub()), cnst(1.5)));
+    case 4:
+      return fmin(sub(), sub());
+    case 5:
+      return fmax(sub(), sub());
+    case 6:
+      return neg(sub());
+    case 7:
+      // Guarded sqrt: |x| + 0.25 keeps the operand positive.
+      return fsqrt(add(fabs(sub()), cnst(0.25)));
+    case 8:
+      // FMA-contractible a*b + c: both backends fuse this shape, and the
+      // interpreter must apply the identical contraction.
+      return add(mul(sub(), sub()), sub());
+    default:
+      // FMA-contractible a*b - c.
+      return kgen::sub(mul(sub(), sub()), sub());
+  }
+}
+
+}  // namespace riscmp::verify::conformance

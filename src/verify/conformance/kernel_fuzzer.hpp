@@ -1,0 +1,64 @@
+// Seeded random IR kernel generator (ISSUE 3 tentpole, part 1).
+//
+// Emits well-formed kgen modules that exercise the whole IR surface the
+// paper's workloads touch: every binary op (including the FMA-contractible
+// a*b±c shapes both backends fuse), every unary op, array loads/stores with
+// constant offsets and non-unit strides, row-major 2-D addressing, scalar
+// set/accumulate reduction chains, flat and nested counted loops (extents
+// down to 1), and zero- as well as value-initialised arrays. Every module
+// passes Module::validate() and compiles under both ISAs and both compiler
+// eras, so the differential oracle can compare all four configurations
+// against the reference interpreter.
+//
+// Determinism contract: all randomness comes from a SplitMix64 stream — the
+// same seed always produces the byte-identical module, on every platform
+// (no std::uniform_int_distribution, whose mapping is implementation-
+// defined). The conformance golden digests depend on this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kgen/ir.hpp"
+#include "verify/injector.hpp"  // SplitMix64
+
+namespace riscmp::verify::conformance {
+
+class KernelFuzzer {
+ public:
+  struct Options {
+    int maxKernels = 3;  ///< kernels per module (at least 1)
+    int maxArrays = 4;   ///< arrays per module (at least 2)
+    int maxScalars = 3;  ///< scalars per module (at least 1)
+    int maxLoops = 2;    ///< top-level loop nests per kernel
+    int maxStmts = 3;    ///< statements per loop body
+    int exprDepth = 3;   ///< maximum expression-tree depth
+  };
+
+  explicit KernelFuzzer(std::uint64_t seed);
+  KernelFuzzer(std::uint64_t seed, Options options);
+
+  /// Generate one module. Repeated calls continue the stream (distinct
+  /// modules); construct a fresh fuzzer to replay a seed.
+  kgen::Module generate();
+
+ private:
+  int pick(int lo, int hi);  ///< uniform in [lo, hi]
+  bool chance(int percent);
+  double value();
+  const std::string& anyArray();
+  const std::string& anyScalar();
+
+  kgen::Stmt makeLoopNest(int ordinal);
+  kgen::Stmt makeStmt(const kgen::AffineIdx& index, int maxOffset);
+  kgen::ExprPtr makeExpr(const kgen::AffineIdx& index, int depth,
+                         int maxOffset);
+
+  SplitMix64 rng_;
+  Options options_;
+  std::vector<std::string> arrays_;
+  std::vector<std::string> scalars_;
+};
+
+}  // namespace riscmp::verify::conformance

@@ -1,0 +1,109 @@
+// Differential conformance oracle (ISSUE 3 tentpole, part 2).
+//
+// Runs one kgen module through the reference interpreter (which defines the
+// IR's semantics) and through Machine::run on every ISA × compiler-era
+// configuration, then cross-checks:
+//
+//   * final arrays and scalars — every simulated double equals the
+//     interpreter's bit-for-bit (== , except NaN==NaN passes), read back
+//     from simulated memory at the compiled layout addresses;
+//   * store streams — the flattened per-kernel (addr, size) store sequence
+//     must be identical across all four configurations: ModuleLayout
+//     addresses are module-derived only, both backends spill written
+//     scalars in first-write order, and array stores follow IR statement
+//     order, so any difference is a codegen or executor bug (flattening
+//     keeps the comparison valid if a backend ever merges store pairs);
+//   * trace invariants — every run streams through a TraceInvariantChecker
+//     and a retired-count consistency check against the path-length
+//     analysis.
+//
+// Each successful run also yields four FNV-1a digests (trace records, store
+// stream, final data segment, final register file). Register files are
+// never compared across configurations — allocation differs by design —
+// but the digests pin each configuration's end state for the golden
+// snapshots and the --jobs invariance check.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/arch.hpp"
+#include "kgen/compile.hpp"
+#include "kgen/ir.hpp"
+
+namespace riscmp::verify::conformance {
+
+/// One ISA × compiler-era configuration under test.
+struct OracleConfig {
+  Arch arch = Arch::Rv64;
+  kgen::CompilerEra era = kgen::CompilerEra::Gcc12;
+};
+
+/// All four configurations, in the paper's column order.
+std::vector<OracleConfig> allConfigs();
+
+/// Stable short label, e.g. "rv64/gcc12" — used in findings, digest lines,
+/// and the golden snapshot format.
+std::string configLabel(const OracleConfig& config);
+
+/// Compilation hook so the campaign can route through the engine's
+/// CompileCache (and tests can inject corrupted compilations). The default
+/// wraps kgen::compile.
+using CompileFn = std::function<std::shared_ptr<const kgen::Compiled>(
+    const kgen::Module&, const OracleConfig&)>;
+
+struct Finding {
+  enum class Kind {
+    Divergence,          ///< simulated state disagrees with the oracle
+    InvariantViolation,  ///< a trace invariant or counter check failed
+    Fault,               ///< the run faulted (decode, memory, budget, ...)
+  };
+  Kind kind = Kind::Divergence;
+  std::string config;  ///< configLabel of the offending run
+  std::string detail;  ///< one-line description
+};
+
+/// Digest record for one successful run.
+struct RunDigest {
+  std::string config;
+  std::uint64_t retired = 0;
+  std::uint64_t traceDigest = 0;     ///< every RetiredInst field, in order
+  std::uint64_t storeDigest = 0;     ///< flattened (kernel, addr, size) stream
+  std::uint64_t memoryDigest = 0;    ///< final data+bss segment bytes
+  std::uint64_t registerDigest = 0;  ///< final (name, value) register image
+};
+
+struct OracleReport {
+  std::vector<Finding> findings;
+  std::vector<RunDigest> runs;  ///< successful runs only, config order
+
+  [[nodiscard]] bool ok() const { return findings.empty(); }
+  [[nodiscard]] bool hasDivergence() const;
+  [[nodiscard]] bool hasViolation() const;
+
+  /// Multi-line rendering of every finding ("" when ok()).
+  [[nodiscard]] std::string summary() const;
+};
+
+struct OracleOptions {
+  /// Per-run instruction budget (0 = unlimited). Generated modules retire
+  /// well under 10^5 instructions; the default only guards hangs.
+  std::uint64_t budget = 200'000'000;
+  /// Attach the TraceInvariantChecker + retired-count consistency check.
+  bool checkInvariants = true;
+  /// Configurations to run; empty = allConfigs().
+  std::vector<OracleConfig> configs;
+  /// Compilation hook; null = kgen::compile.
+  CompileFn compileFn;
+};
+
+/// Run the full differential comparison for one module. Never throws for
+/// simulated-program failures — they become findings; only a broken module
+/// (failing Module::validate) or an out-of-memory propagates.
+OracleReport runOracle(const kgen::Module& module,
+                       const OracleOptions& options = {});
+
+}  // namespace riscmp::verify::conformance

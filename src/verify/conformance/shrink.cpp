@@ -1,0 +1,281 @@
+#include "verify/conformance/shrink.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace riscmp::verify::conformance {
+
+using kgen::Expr;
+using kgen::ExprPtr;
+using kgen::Kernel;
+using kgen::Module;
+using kgen::Stmt;
+
+namespace {
+
+int countExprOps(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::Bin:
+      return 1 + countExprOps(*expr.lhs) + countExprOps(*expr.rhs);
+    case Expr::Kind::Unary:
+      return 1 + countExprOps(*expr.lhs);
+    default:
+      return 0;
+  }
+}
+
+int countStmtOps(const Stmt& stmt) {
+  int ops = 1;
+  if (stmt.value) ops += countExprOps(*stmt.value);
+  for (const Stmt& inner : stmt.body) ops += countStmtOps(inner);
+  return ops;
+}
+
+bool exprUsesVar(const Expr& expr, const std::string& var) {
+  if (expr.kind == Expr::Kind::LoadArr) {
+    for (const auto& term : expr.index.terms) {
+      if (term.var == var) return true;
+    }
+    return false;
+  }
+  if (expr.lhs && exprUsesVar(*expr.lhs, var)) return true;
+  if (expr.rhs && exprUsesVar(*expr.rhs, var)) return true;
+  return false;
+}
+
+bool stmtUsesVar(const Stmt& stmt, const std::string& var) {
+  for (const auto& term : stmt.index.terms) {
+    if (term.var == var) return true;
+  }
+  if (stmt.value && exprUsesVar(*stmt.value, var)) return true;
+  for (const Stmt& inner : stmt.body) {
+    if (stmtUsesVar(inner, var)) return true;
+  }
+  return false;
+}
+
+/// Clone `expr` with every affine-index term over `var` removed (the
+/// substitution var := 0). Unchanged subtrees are shared, not copied.
+ExprPtr exprWithoutVar(const ExprPtr& expr, const std::string& var) {
+  if (!expr || !exprUsesVar(*expr, var)) return expr;
+  auto clone = std::make_shared<Expr>(*expr);
+  std::erase_if(clone->index.terms,
+                [&](const kgen::AffineIdx::Term& t) { return t.var == var; });
+  clone->lhs = exprWithoutVar(expr->lhs, var);
+  clone->rhs = exprWithoutVar(expr->rhs, var);
+  return clone;
+}
+
+Stmt stmtWithoutVar(const Stmt& stmt, const std::string& var) {
+  Stmt out = stmt;
+  std::erase_if(out.index.terms,
+                [&](const kgen::AffineIdx::Term& t) { return t.var == var; });
+  out.value = exprWithoutVar(stmt.value, var);
+  out.body.clear();
+  for (const Stmt& inner : stmt.body) {
+    out.body.push_back(stmtWithoutVar(inner, var));
+  }
+  return out;
+}
+
+/// Emit every single-step simplification of `expr` (replace a binary or
+/// unary node by one of its children), rebuilding the path to the root.
+void exprEdits(const ExprPtr& expr,
+               const std::function<void(ExprPtr)>& emit) {
+  if (!expr) return;
+  if (expr->kind == Expr::Kind::Bin) {
+    emit(expr->lhs);
+    emit(expr->rhs);
+    exprEdits(expr->lhs, [&](ExprPtr lhs) {
+      emit(kgen::binary(expr->bin, std::move(lhs), expr->rhs));
+    });
+    exprEdits(expr->rhs, [&](ExprPtr rhs) {
+      emit(kgen::binary(expr->bin, expr->lhs, std::move(rhs)));
+    });
+  } else if (expr->kind == Expr::Kind::Unary) {
+    emit(expr->lhs);
+    exprEdits(expr->lhs, [&](ExprPtr operand) {
+      emit(kgen::unary(expr->un, std::move(operand)));
+    });
+  }
+}
+
+/// Emit every single-step edit of a statement list: drop a statement,
+/// shrink a loop extent to 1, unwrap a loop whose body ignores its
+/// variable, simplify an expression, or recurse into a nested loop body.
+void stmtEdits(const std::vector<Stmt>& body,
+               const std::function<void(std::vector<Stmt>)>& emit) {
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const Stmt& stmt = body[i];
+
+    {  // Drop statement i.
+      std::vector<Stmt> edited = body;
+      edited.erase(edited.begin() + static_cast<std::ptrdiff_t>(i));
+      emit(std::move(edited));
+    }
+
+    if (stmt.kind == Stmt::Kind::Loop) {
+      if (stmt.extent > 1) {
+        std::vector<Stmt> edited = body;
+        edited[i].extent = 1;
+        emit(std::move(edited));
+      }
+      bool bodyUsesVar = false;
+      for (const Stmt& inner : stmt.body) {
+        if (stmtUsesVar(inner, stmt.loopVar)) bodyUsesVar = true;
+      }
+      if (!bodyUsesVar) {  // Unwrap: splice the body in place of the loop.
+        std::vector<Stmt> edited(body.begin(),
+                                 body.begin() + static_cast<std::ptrdiff_t>(i));
+        edited.insert(edited.end(), stmt.body.begin(), stmt.body.end());
+        edited.insert(edited.end(),
+                      body.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                      body.end());
+        emit(std::move(edited));
+      } else if (stmt.extent == 1) {
+        // A one-trip loop's variable is always zero: substitute it away
+        // (drop its affine-index terms) and splice the body in place.
+        std::vector<Stmt> edited(body.begin(),
+                                 body.begin() + static_cast<std::ptrdiff_t>(i));
+        for (const Stmt& inner : stmt.body) {
+          edited.push_back(stmtWithoutVar(inner, stmt.loopVar));
+        }
+        edited.insert(edited.end(),
+                      body.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                      body.end());
+        emit(std::move(edited));
+      }
+      stmtEdits(stmt.body, [&](std::vector<Stmt> inner) {
+        std::vector<Stmt> edited = body;
+        edited[i].body = std::move(inner);
+        emit(std::move(edited));
+      });
+    } else if (stmt.value) {
+      exprEdits(stmt.value, [&](ExprPtr value) {
+        std::vector<Stmt> edited = body;
+        edited[i].value = std::move(value);
+        emit(std::move(edited));
+      });
+    }
+  }
+}
+
+bool moduleUsesArray(const Module& module, const std::string& name) {
+  bool used = false;
+  const std::function<void(const Expr&)> scanExpr = [&](const Expr& expr) {
+    if (expr.kind == Expr::Kind::LoadArr && expr.name == name) used = true;
+    if (expr.lhs) scanExpr(*expr.lhs);
+    if (expr.rhs) scanExpr(*expr.rhs);
+  };
+  const std::function<void(const Stmt&)> scanStmt = [&](const Stmt& stmt) {
+    if (stmt.kind == Stmt::Kind::StoreArr && stmt.target == name) used = true;
+    if (stmt.value) scanExpr(*stmt.value);
+    for (const Stmt& inner : stmt.body) scanStmt(inner);
+  };
+  for (const Kernel& kernel : module.kernels) {
+    for (const Stmt& stmt : kernel.body) scanStmt(stmt);
+  }
+  return used;
+}
+
+bool moduleUsesScalar(const Module& module, const std::string& name) {
+  bool used = false;
+  const std::function<void(const Expr&)> scanExpr = [&](const Expr& expr) {
+    if (expr.kind == Expr::Kind::LoadScalar && expr.name == name) used = true;
+    if (expr.lhs) scanExpr(*expr.lhs);
+    if (expr.rhs) scanExpr(*expr.rhs);
+  };
+  const std::function<void(const Stmt&)> scanStmt = [&](const Stmt& stmt) {
+    if ((stmt.kind == Stmt::Kind::SetScalar ||
+         stmt.kind == Stmt::Kind::AccumScalar) &&
+        stmt.target == name) {
+      used = true;
+    }
+    if (stmt.value) scanExpr(*stmt.value);
+    for (const Stmt& inner : stmt.body) scanStmt(inner);
+  };
+  for (const Kernel& kernel : module.kernels) {
+    for (const Stmt& stmt : kernel.body) scanStmt(stmt);
+  }
+  return used;
+}
+
+/// All single-step edits of `module`, biggest cuts first (kernels, then
+/// statements/loops/expressions, then unused declarations).
+std::vector<Module> candidates(const Module& module) {
+  std::vector<Module> out;
+
+  if (module.kernels.size() > 1) {
+    for (std::size_t k = 0; k < module.kernels.size(); ++k) {
+      Module edited = module;
+      edited.kernels.erase(edited.kernels.begin() +
+                           static_cast<std::ptrdiff_t>(k));
+      out.push_back(std::move(edited));
+    }
+  }
+
+  for (std::size_t k = 0; k < module.kernels.size(); ++k) {
+    stmtEdits(module.kernels[k].body, [&](std::vector<Stmt> body) {
+      Module edited = module;
+      edited.kernels[k].body = std::move(body);
+      out.push_back(std::move(edited));
+    });
+  }
+
+  for (std::size_t a = 0; a < module.arrays.size(); ++a) {
+    if (moduleUsesArray(module, module.arrays[a].name)) continue;
+    Module edited = module;
+    edited.arrays.erase(edited.arrays.begin() +
+                        static_cast<std::ptrdiff_t>(a));
+    out.push_back(std::move(edited));
+  }
+  for (std::size_t s = 0; s < module.scalars.size(); ++s) {
+    if (moduleUsesScalar(module, module.scalars[s].name)) continue;
+    Module edited = module;
+    edited.scalars.erase(edited.scalars.begin() +
+                         static_cast<std::ptrdiff_t>(s));
+    out.push_back(std::move(edited));
+  }
+  return out;
+}
+
+}  // namespace
+
+int opCount(const Module& module) {
+  int ops = 0;
+  for (const Kernel& kernel : module.kernels) {
+    for (const Stmt& stmt : kernel.body) ops += countStmtOps(stmt);
+  }
+  return ops;
+}
+
+Module shrinkModule(Module module, const ShrinkPredicate& stillFails,
+                    int maxAttempts) {
+  int attempts = 0;
+  bool progress = true;
+  while (progress && attempts < maxAttempts) {
+    progress = false;
+    for (Module& candidate : candidates(module)) {
+      if (++attempts > maxAttempts) break;
+      try {
+        candidate.validate();
+      } catch (const std::exception&) {
+        continue;  // ill-formed edit; try the next one
+      }
+      bool fails = false;
+      try {
+        fails = stillFails(candidate);
+      } catch (const std::exception&) {
+        fails = false;  // a predicate error never counts as a repro
+      }
+      if (fails) {
+        module = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return module;
+}
+
+}  // namespace riscmp::verify::conformance

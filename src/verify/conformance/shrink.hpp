@@ -1,0 +1,39 @@
+// Divergence minimizer (ISSUE 3 tentpole, part 2 support).
+//
+// Classic delta debugging over kgen IR: given a module and a predicate
+// ("does this module still fail?"), repeatedly apply the smallest-step
+// structural edits — drop a kernel, drop a statement, shrink a loop extent
+// to 1, unwrap a loop whose body ignores its variable, replace an
+// expression node by one of its children, drop unused declarations — and
+// keep any edit after which the module still validates and the predicate
+// still holds. The result is a local minimum: no single remaining edit
+// preserves the failure.
+//
+// The predicate is a plain std::function so tests can minimize against
+// synthetic failures ("contains a divide") and the oracle can minimize
+// against real ones ("the backends still disagree with the interpreter").
+#pragma once
+
+#include <functional>
+
+#include "kgen/ir.hpp"
+
+namespace riscmp::verify::conformance {
+
+/// True when the candidate module still exhibits the failure being
+/// minimized. Candidates always pass Module::validate() before the
+/// predicate runs; the predicate must treat its own exceptions (e.g. a
+/// CompileError on a shrunk module) as "does not fail" by returning false.
+using ShrinkPredicate = std::function<bool(const kgen::Module&)>;
+
+/// IR operation count used to judge minimization: statements of every kind
+/// (stores, scalar sets/accumulates, loops) plus binary/unary expression
+/// nodes. Leaves (constants, loads, scalar reads) are free.
+int opCount(const kgen::Module& module);
+
+/// Minimize `module` under `stillFails` (which must hold for the input).
+/// `maxAttempts` bounds the total number of predicate evaluations.
+kgen::Module shrinkModule(kgen::Module module, const ShrinkPredicate& stillFails,
+                          int maxAttempts = 2000);
+
+}  // namespace riscmp::verify::conformance

@@ -1,0 +1,140 @@
+// Encode→decode→disasm→re-assemble round-trip fuzzing, AArch64 (ISSUE 3).
+//
+// Every 32-bit word either rejects cleanly at decode or survives the full
+// round trip: decode → disassemble → assemble → re-decode must reproduce
+// the word (or an alias that disassembles identically). Divergence means a
+// printer/parser mismatch; Unclassified means an exception escaped the
+// taxonomy. Two corpora: 10k seeded random words (mostly invalid — probes
+// the decoder's reject paths), and every word of compiled kernels under
+// both eras (all valid — probes the full printer/parser surface).
+#include <gtest/gtest.h>
+
+#include "kgen/compile.hpp"
+#include "verify/differential.hpp"
+#include "verify/injector.hpp"  // SplitMix64
+#include "workloads/workloads.hpp"
+
+namespace riscmp {
+namespace {
+
+constexpr Arch kArch = Arch::AArch64;
+constexpr std::uint64_t kRandomWords = 10000;
+
+bool roundTripsClean(const verify::Outcome& outcome) {
+  return outcome.kind == verify::OutcomeKind::ValidDecode ||
+         outcome.kind == verify::OutcomeKind::DecodeFault;
+}
+
+TEST(A64RoundTripFuzz, RandomWordsNeverDiverge) {
+  verify::SplitMix64 rng(0x5eed0002);
+  std::uint64_t decoded = 0;
+  for (std::uint64_t i = 0; i < kRandomWords; ++i) {
+    const auto word = static_cast<std::uint32_t>(rng.next());
+    const verify::Outcome outcome = verify::classifyWord(kArch, word);
+    ASSERT_TRUE(roundTripsClean(outcome))
+        << "word " << std::hex << word << ": " << outcome.detail;
+    if (outcome.kind == verify::OutcomeKind::ValidDecode) ++decoded;
+  }
+  EXPECT_GT(decoded, 0u) << "corpus never hit a valid encoding";
+}
+
+// Regression: the disassembler prints shifted-register forms of bic/orn/eon
+// ("orn x14, x19, x9, lsl #61") but the assembler used to require exactly
+// three operands — it now accepts the optional shift like and/orr/eor.
+TEST(A64RoundTripFuzz, ShiftedOrnRoundTrips) {
+  const verify::Outcome outcome = verify::classifyWord(kArch, 0xaa29f66eu);
+  EXPECT_EQ(outcome.kind, verify::OutcomeKind::ValidDecode) << outcome.detail;
+}
+
+// Regression: a 32-bit shifted-register ALU word with imm6 >= 32
+// (unallocated: sf==0 with imm6<5> set) used to decode and then fail
+// re-assembly ("ands w6, w23, w21, lsr #63") — the decoder now rejects it.
+TEST(A64RoundTripFuzz, Reserved32BitShiftAmountRejectsAtDecode) {
+  const verify::Outcome outcome = verify::classifyWord(kArch, 0x6a55fee6u);
+  EXPECT_EQ(outcome.kind, verify::OutcomeKind::DecodeFault) << outcome.detail;
+}
+
+// Regression: umaddl/smaddl with a live accumulator used to disassemble
+// without the ra operand (and with 64-bit source registers), and the
+// assembler knew neither mnemonic nor the umull alias.
+TEST(A64RoundTripFuzz, WideningMultiplyAddRoundTrips) {
+  const verify::Outcome outcome = verify::classifyWord(kArch, 0x9bb11b97u);
+  EXPECT_EQ(outcome.kind, verify::OutcomeKind::ValidDecode) << outcome.detail;
+}
+
+// Regression: "ldrsw xt, #lit" used to re-assemble as a plain ldr literal
+// (opc 01 instead of 10) because the literal path picked the op from the
+// register width alone, ignoring the mnemonic.
+TEST(A64RoundTripFuzz, LdrswLiteralRoundTrips) {
+  const verify::Outcome outcome = verify::classifyWord(kArch, 0x983cccbfu);
+  EXPECT_EQ(outcome.kind, verify::OutcomeKind::ValidDecode) << outcome.detail;
+}
+
+// Regression: a 32-bit bitfield word with immr >= 32 (unallocated with
+// sf==0) used to decode as "sbfx w12, w30, #44, #14" and then fail
+// re-assembly — the decoder now rejects out-of-range 32-bit positions.
+TEST(A64RoundTripFuzz, Reserved32BitBitfieldRejectsAtDecode) {
+  const verify::Outcome outcome = verify::classifyWord(kArch, 0x132ce7ccu);
+  EXPECT_EQ(outcome.kind, verify::OutcomeKind::DecodeFault) << outcome.detail;
+}
+
+// Regression: the disassembler falls back to the raw "bfm rd, rn, #immr,
+// #imms" spelling when no alias fits, but the assembler only knew the
+// aliases — bfm/sbfm/ubfm are now accepted directly.
+TEST(A64RoundTripFuzz, RawBfmRoundTrips) {
+  const verify::Outcome outcome = verify::classifyWord(kArch, 0xb34e4ae7u);
+  EXPECT_EQ(outcome.kind, verify::OutcomeKind::ValidDecode) << outcome.detail;
+}
+
+// Regression: bics decoded and disassembled but the assembler did not know
+// the mnemonic at all (bic/orn/eon were parsed, their flag-setting sibling
+// was not).
+TEST(A64RoundTripFuzz, BicsRoundTrips) {
+  const verify::Outcome outcome = verify::classifyWord(kArch, 0x6aa74001u);
+  EXPECT_EQ(outcome.kind, verify::OutcomeKind::ValidDecode) << outcome.detail;
+}
+
+// Regression: an explicit extend operand on same-width registers
+// ("subs w23, w4, w6, sxth #2") used to silently assemble as the plain
+// shifted-register form, dropping the extension.
+TEST(A64RoundTripFuzz, SameWidthExtendedRegisterRoundTrips) {
+  const verify::Outcome outcome = verify::classifyWord(kArch, 0x6b26a897u);
+  EXPECT_EQ(outcome.kind, verify::OutcomeKind::ValidDecode) << outcome.detail;
+}
+
+// Regression: extr decoded and disassembled (it backs the ror-immediate
+// alias) but could not be assembled under its own name when rn != rm.
+TEST(A64RoundTripFuzz, ExtrRoundTrips) {
+  const verify::Outcome outcome = verify::classifyWord(kArch, 0x93d6f60du);
+  EXPECT_EQ(outcome.kind, verify::OutcomeKind::ValidDecode) << outcome.detail;
+}
+
+// Regression: a register-offset load with extend option 001 (uxth) used to
+// decode as "ldrb w26, [x11, x6, uxth]" — option<1> clear is unallocated
+// for memory offsets and now rejects at decode.
+TEST(A64RoundTripFuzz, ReservedMemOffsetExtendRejectsAtDecode) {
+  const verify::Outcome outcome = verify::classifyWord(kArch, 0x3866397au);
+  EXPECT_EQ(outcome.kind, verify::OutcomeKind::DecodeFault) << outcome.detail;
+}
+
+// Regression: ccmn/ccmp decoded and disassembled but had no assembler
+// support in either the immediate or register form.
+TEST(A64RoundTripFuzz, CondCompareRoundTrips) {
+  const verify::Outcome outcome = verify::classifyWord(kArch, 0xba4209c0u);
+  EXPECT_EQ(outcome.kind, verify::OutcomeKind::ValidDecode) << outcome.detail;
+}
+
+TEST(A64RoundTripFuzz, CompiledCorpusRoundTripsExactly) {
+  const kgen::Module stream = workloads::makeStream({.n = 64, .reps = 1});
+  for (const auto era : {kgen::CompilerEra::Gcc9, kgen::CompilerEra::Gcc12}) {
+    const kgen::Compiled compiled = kgen::compile(stream, kArch, era);
+    for (const std::uint32_t word : compiled.program.code) {
+      const verify::Outcome outcome = verify::classifyWord(kArch, word);
+      ASSERT_EQ(outcome.kind, verify::OutcomeKind::ValidDecode)
+          << "word " << std::hex << word << ": " << outcome.detail;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace riscmp

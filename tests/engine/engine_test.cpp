@@ -103,6 +103,72 @@ TEST(CompileCache, FingerprintSeesArrayInitContents) {
       CompileCache::fingerprint(b, Arch::Rv64, kgen::CompilerEra::Gcc12));
 }
 
+// Fingerprint-collision coverage (ISSUE 3): structurally identical modules
+// that differ only in ways kgen::dumpModule elides must still key distinct
+// cache entries, or the cache would serve one module's machine code for
+// another's data.
+
+TEST(CompileCache, FingerprintSeparatesArchAndEra) {
+  const kgen::Module module = workloads::makeStream({.n = 32, .reps = 1});
+  const auto fp = [&](Arch arch, kgen::CompilerEra era) {
+    return CompileCache::fingerprint(module, arch, era);
+  };
+  EXPECT_EQ(fp(Arch::Rv64, kgen::CompilerEra::Gcc12),
+            fp(Arch::Rv64, kgen::CompilerEra::Gcc12));
+  EXPECT_NE(fp(Arch::Rv64, kgen::CompilerEra::Gcc12),
+            fp(Arch::AArch64, kgen::CompilerEra::Gcc12));
+  EXPECT_NE(fp(Arch::Rv64, kgen::CompilerEra::Gcc12),
+            fp(Arch::Rv64, kgen::CompilerEra::Gcc9));
+}
+
+TEST(CompileCache, FingerprintSeparatesExplicitZeroInitFromZeroFill) {
+  // dumpModule prints both as array decls, but an explicit all-zero init
+  // and an elided (bss) init are different initialiser byte streams.
+  kgen::Module zeroFill;
+  zeroFill.array("a", 8);
+  zeroFill.kernel("k").body.push_back(
+      kgen::loop("i", 8, {kgen::storeArr("a", kgen::idx("i"),
+                                         kgen::cnst(1.0))}));
+  kgen::Module explicitZero = zeroFill;
+  explicitZero.arrays.front().init.assign(8, 0.0);
+
+  EXPECT_NE(CompileCache::fingerprint(zeroFill, Arch::Rv64,
+                                      kgen::CompilerEra::Gcc12),
+            CompileCache::fingerprint(explicitZero, Arch::Rv64,
+                                      kgen::CompilerEra::Gcc12));
+}
+
+TEST(CompileCache, FingerprintSeparatesSignedZeroInitialisers) {
+  // +0.0 and -0.0 print identically almost everywhere but are different
+  // bit patterns — the raw-bytes fingerprint must see the difference.
+  kgen::Module pos;
+  pos.array("a", 4).init.assign(4, 0.0);
+  pos.kernel("k").body.push_back(kgen::loop(
+      "i", 4,
+      {kgen::storeArr("a", kgen::idx("i"), kgen::load("a", kgen::idx("i")))}));
+  kgen::Module neg = pos;
+  neg.arrays.front().init.assign(4, -0.0);
+
+  EXPECT_NE(
+      CompileCache::fingerprint(pos, Arch::Rv64, kgen::CompilerEra::Gcc12),
+      CompileCache::fingerprint(neg, Arch::Rv64, kgen::CompilerEra::Gcc12));
+}
+
+TEST(CompileCache, DistinctInitModulesGetDistinctArtefacts) {
+  kgen::Module a = workloads::makeStream({.n = 32, .reps = 1});
+  kgen::Module b = a;
+  ASSERT_FALSE(b.arrays.front().init.empty());
+  b.arrays.front().init.front() += 1.0;
+
+  CompileCache cache;
+  const auto ca = cache.get(a, Arch::Rv64, kgen::CompilerEra::Gcc12);
+  const auto cb = cache.get(b, Arch::Rv64, kgen::CompilerEra::Gcc12);
+  EXPECT_EQ(cache.compiles(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_NE(ca.get(), cb.get());
+  EXPECT_NE(ca->program.data, cb->program.data);
+}
+
 TEST(ExperimentEngine, GridIsDeterministicAcrossJobCounts) {
   const auto suite = tinySuite();
   const auto configs = gcc12Pair();
