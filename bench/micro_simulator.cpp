@@ -1,10 +1,22 @@
 // Experiment E7 — engineering microbenchmarks (google-benchmark): simulator
 // front-end throughput and per-analysis overhead, per ISA. These guard the
 // simulation engine's performance, which bounds feasible workload sizes.
+//
+// BM_RunStream{Rv64,A64} are the end-to-end MIPS benchmarks the perf-smoke
+// CI step tracks: one full simulation pass with the complete paper analyzer
+// stack attached (path length, CP, scaled CP, windowed CP, dep distance),
+// i.e. exactly what one engine cell costs. `--json` writes the results to
+// BENCH_throughput.json so the trajectory is comparable across PRs.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "aarch64/decode.hpp"
 #include "analysis/critical_path.hpp"
+#include "analysis/dep_distance.hpp"
+#include "analysis/path_length.hpp"
 #include "analysis/windowed_cp.hpp"
 #include "core/machine.hpp"
 #include "kgen/compile.hpp"
@@ -92,6 +104,45 @@ void BM_EmulateWithOoOCore(benchmark::State& state) {
 }
 BENCHMARK(BM_EmulateWithOoOCore);
 
+/// End-to-end engine-cell shape: a fresh Machine and a fresh full analyzer
+/// stack per iteration, one simulation pass feeding all five analyses. The
+/// items/sec counter is simulated instructions per second (MIPS ÷ 1e6).
+void runStreamEndToEnd(benchmark::State& state, Arch arch) {
+  const auto compiled = compiledStream(arch);
+  const LatencyTable latencies =
+      uarch::CoreModel::named(arch == Arch::Rv64 ? "riscv-tx2" : "tx2")
+          .latencies;
+  MachineOptions options;
+  options.maxInstructions = 1'000'000'000;
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    PathLengthCounter pathLength(compiled.program);
+    CriticalPathAnalyzer criticalPath;
+    CriticalPathAnalyzer scaledCp(latencies);
+    WindowedCPAnalyzer windowed(WindowedCPAnalyzer::paperWindowSizes());
+    DependencyDistanceAnalyzer depDistance;
+
+    Machine machine(compiled.program, options);
+    machine.addObserver(pathLength);
+    machine.addObserver(criticalPath);
+    machine.addObserver(scaledCp);
+    machine.addObserver(windowed);
+    machine.addObserver(depDistance);
+    instructions += machine.run().instructions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+
+void BM_RunStreamRv64(benchmark::State& state) {
+  runStreamEndToEnd(state, Arch::Rv64);
+}
+BENCHMARK(BM_RunStreamRv64);
+
+void BM_RunStreamA64(benchmark::State& state) {
+  runStreamEndToEnd(state, Arch::AArch64);
+}
+BENCHMARK(BM_RunStreamA64);
+
 void BM_CompileStreamRv64(benchmark::State& state) {
   for (auto _ : state) {
     const auto compiled =
@@ -112,4 +163,30 @@ BENCHMARK(BM_CompileStreamA64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+/// `--json` expands to the google-benchmark flags that write
+/// BENCH_throughput.json next to the working directory, so CI (and PR
+/// descriptions) can archive the throughput trajectory without remembering
+/// the full --benchmark_out spelling.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == "--json") {
+      *it = "--benchmark_out=BENCH_throughput.json";
+      args.insert(it + 1, "--benchmark_out_format=json");
+      break;
+    }
+  }
+  std::vector<char*> argvRewritten;
+  argvRewritten.reserve(args.size());
+  for (std::string& arg : args) argvRewritten.push_back(arg.data());
+  int argcRewritten = static_cast<int>(argvRewritten.size());
+
+  benchmark::Initialize(&argcRewritten, argvRewritten.data());
+  if (benchmark::ReportUnrecognizedArguments(argcRewritten,
+                                             argvRewritten.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

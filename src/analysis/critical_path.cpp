@@ -23,6 +23,14 @@ void CriticalPathAnalyzer::reset() {
 }
 
 void CriticalPathAnalyzer::onRetire(const RetiredInst& inst) {
+  retireOne(inst);
+}
+
+void CriticalPathAnalyzer::onRetireBlock(std::span<const RetiredInst> block) {
+  for (const RetiredInst& inst : block) retireOne(inst);
+}
+
+void CriticalPathAnalyzer::retireOne(const RetiredInst& inst) {
   ++instructions_;
 
   std::uint64_t depth = 0;
@@ -32,8 +40,9 @@ void CriticalPathAnalyzer::onRetire(const RetiredInst& inst) {
   for (const MemAccess& access : inst.loads) {
     const auto [first, last] = chunkRange(access);
     for (std::uint64_t chunk = first; chunk <= last; ++chunk) {
-      const auto it = memDepth_.find(chunk);
-      if (it != memDepth_.end()) depth = std::max(depth, it->second);
+      if (const std::uint64_t* found = memDepth_.find(chunk)) {
+        depth = std::max(depth, *found);
+      }
     }
   }
 
@@ -51,7 +60,7 @@ void CriticalPathAnalyzer::onRetire(const RetiredInst& inst) {
   for (const MemAccess& access : inst.stores) {
     const auto [first, last] = chunkRange(access);
     for (std::uint64_t chunk = first; chunk <= last; ++chunk) {
-      memDepth_[chunk] = depth;
+      memDepth_.assign(chunk, depth);
     }
   }
   maxDepth_ = std::max(maxDepth_, depth);

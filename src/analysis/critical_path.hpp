@@ -13,9 +13,10 @@
 #include <array>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <span>
 
 #include "isa/trace.hpp"
+#include "support/flat_hash.hpp"
 
 namespace riscmp {
 
@@ -38,6 +39,7 @@ class CriticalPathAnalyzer final : public TraceObserver {
       : latencies_(latencies), scaled_(true) {}
 
   void onRetire(const RetiredInst& inst) override;
+  void onRetireBlock(std::span<const RetiredInst> block) override;
 
   /// Clear all chain state so the analyzer can observe a fresh trace; the
   /// latency table (and scaled/unscaled mode) is retained.
@@ -58,8 +60,10 @@ class CriticalPathAnalyzer final : public TraceObserver {
   }
 
  private:
+  void retireOne(const RetiredInst& inst);
+
   std::array<std::uint64_t, Reg::kDenseCount> regDepth_{};
-  std::unordered_map<std::uint64_t, std::uint64_t> memDepth_;
+  FlatHashMap64<std::uint64_t> memDepth_;
   LatencyTable latencies_;
   bool scaled_;
   std::uint64_t maxDepth_ = 0;

@@ -25,6 +25,15 @@ void DependencyDistanceAnalyzer::record(std::uint64_t producerIndex) {
 }
 
 void DependencyDistanceAnalyzer::onRetire(const RetiredInst& inst) {
+  retireOne(inst);
+}
+
+void DependencyDistanceAnalyzer::onRetireBlock(
+    std::span<const RetiredInst> block) {
+  for (const RetiredInst& inst : block) retireOne(inst);
+}
+
+void DependencyDistanceAnalyzer::retireOne(const RetiredInst& inst) {
   for (const Reg& reg : inst.srcs) {
     const unsigned dense = reg.dense();
     if (regWritten_[dense]) record(regWriter_[dense]);
@@ -33,8 +42,9 @@ void DependencyDistanceAnalyzer::onRetire(const RetiredInst& inst) {
     const std::uint64_t first = access.addr >> 3;
     const std::uint64_t last = (access.addr + access.size - 1) >> 3;
     for (std::uint64_t chunk = first; chunk <= last; ++chunk) {
-      const auto it = memWriter_.find(chunk);
-      if (it != memWriter_.end()) record(it->second);
+      if (const std::uint64_t* writer = memWriter_.find(chunk)) {
+        record(*writer);
+      }
     }
   }
 
@@ -47,7 +57,7 @@ void DependencyDistanceAnalyzer::onRetire(const RetiredInst& inst) {
     const std::uint64_t first = access.addr >> 3;
     const std::uint64_t last = (access.addr + access.size - 1) >> 3;
     for (std::uint64_t chunk = first; chunk <= last; ++chunk) {
-      memWriter_[chunk] = retired_;
+      memWriter_.assign(chunk, retired_);
     }
   }
   ++retired_;

@@ -10,10 +10,11 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "isa/trace.hpp"
+#include "support/flat_hash.hpp"
 #include "support/stats.hpp"
 
 namespace riscmp {
@@ -23,6 +24,7 @@ class DependencyDistanceAnalyzer final : public TraceObserver {
   DependencyDistanceAnalyzer();
 
   void onRetire(const RetiredInst& inst) override;
+  void onRetireBlock(std::span<const RetiredInst> block) override;
 
   /// Forget every producer and distance sample; reusable for a new trace.
   void reset();
@@ -44,11 +46,12 @@ class DependencyDistanceAnalyzer final : public TraceObserver {
   }
 
  private:
+  void retireOne(const RetiredInst& inst);
   void record(std::uint64_t producerIndex);
 
   std::array<std::uint64_t, Reg::kDenseCount> regWriter_{};
   std::array<bool, Reg::kDenseCount> regWritten_{};
-  std::unordered_map<std::uint64_t, std::uint64_t> memWriter_;
+  FlatHashMap64<std::uint64_t> memWriter_;
   std::array<std::uint64_t, kBuckets> histogram_{};
   RunningStats stats_;
   std::uint64_t retired_ = 0;

@@ -5,7 +5,12 @@
 namespace riscmp {
 
 PathLengthCounter::PathLengthCounter(const Program& program) {
-  for (const Symbol& symbol : program.kernels) {
+  // Validates kernel-region non-overlap (ValidationFault on violation).
+  const std::vector<std::int32_t> symbolOfWord = program.kernelWordIndex();
+
+  std::vector<std::size_t> symbolToKernel(program.kernels.size());
+  for (std::size_t s = 0; s < program.kernels.size(); ++s) {
+    const Symbol& symbol = program.kernels[s];
     // Multiple regions may share a kernel name (time-step-unrolled
     // workloads); their counts aggregate.
     std::size_t kernelIndex = kernels_.size();
@@ -18,10 +23,20 @@ PathLengthCounter::PathLengthCounter(const Program& program) {
     if (kernelIndex == kernels_.size()) {
       kernels_.push_back({symbol.name, 0});
     }
+    symbolToKernel[s] = kernelIndex;
     regions_.push_back({symbol.addr, symbol.addr + symbol.size, kernelIndex});
   }
   std::sort(regions_.begin(), regions_.end(),
             [](const Region& a, const Region& b) { return a.begin < b.begin; });
+
+  wordKernel_.resize(symbolOfWord.size());
+  for (std::size_t w = 0; w < symbolOfWord.size(); ++w) {
+    wordKernel_[w] =
+        symbolOfWord[w] < 0
+            ? -1
+            : static_cast<std::int32_t>(
+                  symbolToKernel[static_cast<std::size_t>(symbolOfWord[w])]);
+  }
 }
 
 void PathLengthCounter::reset() {
@@ -32,11 +47,25 @@ void PathLengthCounter::reset() {
   lastRegion_ = SIZE_MAX;
 }
 
-void PathLengthCounter::onRetire(const RetiredInst& inst) {
+void PathLengthCounter::attribute(const RetiredInst& inst) {
   ++total_;
   ++groups_[static_cast<std::size_t>(inst.group)];
 
-  // Loops stay inside one region for a long time; check the last hit first.
+  // Hot path: the core stamped the static-instruction index, so kernel
+  // attribution is one table load instead of a pc range search.
+  if (inst.staticIndex < wordKernel_.size()) {
+    const std::int32_t kernel = wordKernel_[inst.staticIndex];
+    if (kernel >= 0) {
+      ++kernels_[static_cast<std::size_t>(kernel)].count;
+    } else {
+      ++unattributed_;
+    }
+    return;
+  }
+
+  // Fallback for records without static metadata (hand-built traces,
+  // execution outside the code image). Loops stay inside one region for a
+  // long time; check the last hit first.
   if (lastRegion_ != SIZE_MAX) {
     const Region& region = regions_[lastRegion_];
     if (inst.pc >= region.begin && inst.pc < region.end) {
@@ -56,6 +85,12 @@ void PathLengthCounter::onRetire(const RetiredInst& inst) {
     }
   }
   ++unattributed_;
+}
+
+void PathLengthCounter::onRetire(const RetiredInst& inst) { attribute(inst); }
+
+void PathLengthCounter::onRetireBlock(std::span<const RetiredInst> block) {
+  for (const RetiredInst& inst : block) attribute(inst);
 }
 
 std::uint64_t PathLengthCounter::kernelCount(std::string_view name) const {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -13,10 +14,13 @@ namespace riscmp {
 
 class PathLengthCounter final : public TraceObserver {
  public:
-  /// Kernel regions are taken from the program's symbol table.
+  /// Kernel regions are taken from the program's symbol table. Throws
+  /// ValidationFault (naming both symbols) if any two kernel regions
+  /// overlap — overlap would make per-kernel attribution ambiguous.
   explicit PathLengthCounter(const Program& program);
 
   void onRetire(const RetiredInst& inst) override;
+  void onRetireBlock(std::span<const RetiredInst> block) override;
 
   /// Zero every count (total, per-kernel, per-group, unattributed) while
   /// keeping the kernel regions, so the counter can observe a fresh run of
@@ -49,6 +53,14 @@ class PathLengthCounter final : public TraceObserver {
     std::uint64_t end;
     std::size_t kernelIndex;
   };
+
+  void attribute(const RetiredInst& inst);
+
+  /// Static attribution table (tentpole): per code word, the kernels_ slot
+  /// to credit (-1 = unattributed), indexed by RetiredInst::staticIndex.
+  /// Records without a staticIndex (hand-built tests, code executed
+  /// outside the static image) fall back to the pc range search below.
+  std::vector<std::int32_t> wordKernel_;
 
   std::vector<Region> regions_;
   std::vector<KernelCount> kernels_;

@@ -41,6 +41,10 @@ void TraceLogger::writeHeader(std::ostream& out) {
   out << "index,pc,group,srcs,dsts,loads,stores,branch,taken\n";
 }
 
+void TraceLogger::onRetireBlock(std::span<const RetiredInst> block) {
+  for (const RetiredInst& inst : block) onRetire(inst);
+}
+
 void TraceLogger::onRetire(const RetiredInst& inst) {
   const std::uint64_t index = index_++;
   if (limit_ != 0 && logged_ >= limit_) return;

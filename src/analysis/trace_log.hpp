@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 
 #include "isa/trace.hpp"
 
@@ -22,6 +23,7 @@ class TraceLogger final : public TraceObserver {
   explicit TraceLogger(std::ostream& out, std::uint64_t limit = 0);
 
   void onRetire(const RetiredInst& inst) override;
+  void onRetireBlock(std::span<const RetiredInst> block) override;
 
   [[nodiscard]] std::uint64_t logged() const { return logged_; }
 

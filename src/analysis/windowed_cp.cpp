@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <array>
-#include <unordered_map>
 
 namespace riscmp {
 
@@ -27,6 +26,11 @@ WindowedCPAnalyzer::WindowedCPAnalyzer(std::vector<std::uint32_t> windowSizes,
 
 void WindowedCPAnalyzer::reset() {
   buffer_.clear();
+  chunkIds_.clear();
+  scratchMemDepth_.clear();
+  scratchMemStamp_.clear();
+  scratchRegStamp_.fill(0);
+  epoch_ = 0;
   bufferBase_ = 0;
   retired_ = 0;
   for (PerSize& perSize : sizes_) {
@@ -35,7 +39,31 @@ void WindowedCPAnalyzer::reset() {
   }
 }
 
+std::uint32_t WindowedCPAnalyzer::denseChunk(std::uint64_t chunk) {
+  const std::uint32_t next = static_cast<std::uint32_t>(chunkIds_.size());
+  const std::uint32_t id = chunkIds_.findOrInsert(chunk, next);
+  if (id == next && next >= scratchMemDepth_.size()) {
+    // Grow the scratch tables in steps so buffering stays O(1) amortised.
+    scratchMemDepth_.resize(scratchMemDepth_.size() * 2 + 64);
+    scratchMemStamp_.resize(scratchMemDepth_.size(), 0);
+  }
+  return id;
+}
+
 void WindowedCPAnalyzer::onRetire(const RetiredInst& inst) {
+  buffer(inst);
+  evaluateReadyWindows();
+}
+
+void WindowedCPAnalyzer::onRetireBlock(std::span<const RetiredInst> block) {
+  // Buffering the whole block before evaluating produces bit-identical
+  // per-window statistics (nextStart progression only depends on the
+  // retired count) while amortising the per-size scan and the trim.
+  for (const RetiredInst& inst : block) buffer(inst);
+  evaluateReadyWindows();
+}
+
+void WindowedCPAnalyzer::buffer(const RetiredInst& inst) {
   Footprint footprint;
   if (scaled_) {
     const bool isMem = !inst.loads.empty() || !inst.stores.empty();
@@ -55,7 +83,7 @@ void WindowedCPAnalyzer::onRetire(const RetiredInst& inst) {
          chunk <= last && footprint.loadChunks.size() <
                               footprint.loadChunks.capacity();
          ++chunk) {
-      footprint.loadChunks.push_back(chunk);
+      footprint.loadChunks.push_back(denseChunk(chunk));
     }
   }
   for (const MemAccess& access : inst.stores) {
@@ -65,12 +93,11 @@ void WindowedCPAnalyzer::onRetire(const RetiredInst& inst) {
          chunk <= last &&
          footprint.stChunks.size() < footprint.stChunks.capacity();
          ++chunk) {
-      footprint.stChunks.push_back(chunk);
+      footprint.stChunks.push_back(denseChunk(chunk));
     }
   }
   buffer_.push_back(std::move(footprint));
   ++retired_;
-  evaluateReadyWindows();
 }
 
 void WindowedCPAnalyzer::evaluateReadyWindows() {
@@ -87,28 +114,34 @@ void WindowedCPAnalyzer::evaluateReadyWindows() {
 
 std::uint64_t WindowedCPAnalyzer::windowCp(std::uint64_t start,
                                            std::uint32_t size) {
-  // Scratch state is reused across calls; small windows are evaluated every
-  // W/2 retirements so per-call allocation would dominate.
-  auto& regDepth = scratchRegDepth_;
-  regDepth.fill(0);
-  auto& memDepth = scratchMemDepth_;
-  memDepth.clear();
+  // Scratch depth tables are epoch-stamped: bumping epoch_ invalidates
+  // every entry from the previous window in O(1). Small windows are
+  // evaluated every W/2 retirements, so clearing (or worse, rehashing) per
+  // call would dominate the whole simulation pass.
+  const std::uint64_t epoch = ++epoch_;
   std::uint64_t maxDepth = 0;
   const std::size_t offset = static_cast<std::size_t>(start - bufferBase_);
   for (std::size_t i = 0; i < size; ++i) {
     const Footprint& footprint = buffer_[offset + i];
     std::uint64_t depth = 0;
     for (const std::uint8_t reg : footprint.srcRegs) {
-      depth = std::max(depth, regDepth[reg]);
+      if (scratchRegStamp_[reg] == epoch) {
+        depth = std::max(depth, scratchRegDepth_[reg]);
+      }
     }
-    for (const std::uint64_t chunk : footprint.loadChunks) {
-      const auto it = memDepth.find(chunk);
-      if (it != memDepth.end()) depth = std::max(depth, it->second);
+    for (const std::uint32_t chunk : footprint.loadChunks) {
+      if (scratchMemStamp_[chunk] == epoch) {
+        depth = std::max(depth, scratchMemDepth_[chunk]);
+      }
     }
     depth += footprint.cost;
-    for (const std::uint8_t reg : footprint.dstRegs) regDepth[reg] = depth;
-    for (const std::uint64_t chunk : footprint.stChunks) {
-      memDepth[chunk] = depth;
+    for (const std::uint8_t reg : footprint.dstRegs) {
+      scratchRegStamp_[reg] = epoch;
+      scratchRegDepth_[reg] = depth;
+    }
+    for (const std::uint32_t chunk : footprint.stChunks) {
+      scratchMemStamp_[chunk] = epoch;
+      scratchMemDepth_[chunk] = depth;
     }
     maxDepth = std::max(maxDepth, depth);
   }

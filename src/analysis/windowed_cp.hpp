@@ -11,11 +11,12 @@
 #include <array>
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "analysis/critical_path.hpp"
 #include "isa/trace.hpp"
+#include "support/flat_hash.hpp"
 #include "support/small_vector.hpp"
 #include "support/stats.hpp"
 
@@ -36,6 +37,7 @@ class WindowedCPAnalyzer final : public TraceObserver {
                               const LatencyTable* latencies = nullptr);
 
   void onRetire(const RetiredInst& inst) override;
+  void onRetireBlock(std::span<const RetiredInst> block) override;
   void onProgramEnd() override;
 
   /// Drop all buffered footprints and per-size statistics; the window
@@ -53,13 +55,16 @@ class WindowedCPAnalyzer final : public TraceObserver {
   [[nodiscard]] std::vector<WindowResult> results() const;
 
  private:
-  /// Dependency footprint of one instruction: dense register ids and 8-byte
-  /// memory chunk ids.
+  /// Dependency footprint of one instruction: dense register ids and
+  /// *dense* memory-chunk ids. The 8-byte chunk address is translated to a
+  /// small dense id exactly once, when the instruction is buffered, so the
+  /// ~2-evaluations-per-instruction-per-size window sweep below indexes
+  /// flat arrays instead of hashing.
   struct Footprint {
     SmallVector<std::uint8_t, 5> srcRegs;
     SmallVector<std::uint8_t, 3> dstRegs;
-    SmallVector<std::uint64_t, 4> loadChunks;
-    SmallVector<std::uint64_t, 4> stChunks;
+    SmallVector<std::uint32_t, 4> loadChunks;
+    SmallVector<std::uint32_t, 4> stChunks;
     std::uint32_t cost = 1;
   };
 
@@ -69,14 +74,27 @@ class WindowedCPAnalyzer final : public TraceObserver {
     RunningStats cpStats;
   };
 
+  void buffer(const RetiredInst& inst);
+  [[nodiscard]] std::uint32_t denseChunk(std::uint64_t chunk);
   void evaluateReadyWindows();
   [[nodiscard]] std::uint64_t windowCp(std::uint64_t start,
                                        std::uint32_t size);
   void trim();
 
   std::deque<Footprint> buffer_;
+
+  /// 8-byte chunk address -> dense id, stable for the analyzer's lifetime.
+  FlatHashMap64<std::uint32_t> chunkIds_;
+
+  /// Per-window-evaluation scratch state, epoch-stamped: an entry is live
+  /// in the current evaluation iff its stamp equals epoch_, so starting a
+  /// fresh window is one increment instead of clearing depth tables.
   std::array<std::uint64_t, Reg::kDenseCount> scratchRegDepth_{};
-  std::unordered_map<std::uint64_t, std::uint64_t> scratchMemDepth_;
+  std::array<std::uint64_t, Reg::kDenseCount> scratchRegStamp_{};
+  std::vector<std::uint64_t> scratchMemDepth_;  ///< indexed by dense chunk id
+  std::vector<std::uint64_t> scratchMemStamp_;
+  std::uint64_t epoch_ = 0;
+
   std::uint64_t bufferBase_ = 0;  ///< absolute index of buffer_.front()
   std::uint64_t retired_ = 0;
   std::vector<PerSize> sizes_;

@@ -172,6 +172,7 @@ class CoreImpl final : public Machine::Impl {
     program_.loadInto(memory_);
     decodeCache_.resize(program_.code.size());
     decoded_.resize(program_.code.size());
+    staticGroup_.resize(program_.code.size(), InstGroup::IntSimple);
   }
 
   void addObserver(TraceObserver& observer) override {
@@ -199,10 +200,12 @@ class CoreImpl final : public Machine::Impl {
     RunResult result;
     const std::uint64_t codeBase = program_.codeBase;
     const std::uint64_t codeEnd = program_.codeEnd();
+    block_.reset();
 
     for (;;) {
       if (options_.maxInstructions != 0 &&
           result.instructions >= options_.maxInstructions) {
+        flushForFault(state, state.pc, result.instructions);
         BudgetExceeded fault(options_.maxInstructions);
         fault.attachContext(makeContext(state, state.pc, result.instructions));
         throw fault;
@@ -211,15 +214,23 @@ class CoreImpl final : public Machine::Impl {
       try {
         const typename Traits::Inst* inst = fetch(pc, codeBase, codeEnd);
 
-        RetiredInst retired;
+        // The block slot is only committed after execute() returns: a
+        // fault mid-execute leaves the partial record invisible, so a
+        // flushed block never contains a non-retired instruction.
+        RetiredInst& retired = block_.next();
         retired.pc = pc;
         retired.encoding = lastEncoding_;
+        retired.staticIndex = lastStaticIndex_;
+        retired.group = lastGroup_;
         const auto trap = Traits::execute(*inst, state, memory_, retired);
-        retired.group = Traits::group(*inst);
         ++result.instructions;
-        for (TraceObserver* observer : observers_) observer->onRetire(retired);
+        block_.commit();
+        if (block_.full()) flushBlock();
 
         if (trap != Traits::kNoTrap) {
+          // Flush before acting on the trap so observers have seen the
+          // complete stream ahead of any syscall side effect or TrapFault.
+          flushBlock();
           if (trap == Traits::kSyscallTrap) {
             const SyscallOutcome outcome =
                 Traits::syscall(state, memory_, options_.stdoutStream, pc);
@@ -233,10 +244,16 @@ class CoreImpl final : public Machine::Impl {
           }
         }
       } catch (Fault& fault) {
+        // Deliver the retired prefix before the fault escapes, then attach
+        // the crash-report context for the exact faulting instruction. An
+        // observer fault raised by this flush wins instead — it concerns an
+        // earlier point in the retire stream.
+        flushForFault(state, pc, result.instructions);
         fault.attachContext(makeContext(state, pc, result.instructions));
         throw;
       }
     }
+    flushBlock();
     for (TraceObserver* observer : observers_) observer->onProgramEnd();
     return result;
   }
@@ -283,18 +300,46 @@ class CoreImpl final : public Machine::Impl {
     }
   }
 
+  /// Deliver the committed block to every observer. The block is consumed
+  /// as soon as delivery starts: an observer fault never causes redelivery
+  /// to observers that already saw it.
+  void flushBlock() {
+    if (block_.empty()) return;
+    const std::span<const RetiredInst> records = block_.view();
+    block_.reset();
+    for (TraceObserver* observer : observers_) observer->onRetireBlock(records);
+  }
+
+  /// Fault-path flush (flush-before-throw): a Fault an observer raises
+  /// while draining the pending block is annotated with the same crash
+  /// context and propagates in place of the fault being handled.
+  void flushForFault(const typename Traits::State& state, std::uint64_t pc,
+                     std::uint64_t retiredCount) {
+    try {
+      flushBlock();
+    } catch (Fault& nested) {
+      nested.attachContext(makeContext(state, pc, retiredCount));
+      throw;
+    }
+  }
+
   const typename Traits::Inst* fetch(std::uint64_t pc, std::uint64_t codeBase,
                                      std::uint64_t codeEnd) {
     if (pc >= codeBase && pc < codeEnd && (pc & 3) == 0) {
       const std::size_t index = (pc - codeBase) / 4;
       if (!decoded_[index]) {
+        // First decode of this static instruction: fill the decode cache
+        // and its static-metadata table entry (group).
         const std::uint32_t word = program_.code[index];
         const auto inst = Traits::decode(word);
         if (!inst) throw DecodeFault(word, pc);
         decodeCache_[index] = *inst;
+        staticGroup_[index] = Traits::group(*inst);
         decoded_[index] = true;
       }
-      lastEncoding_ = program_.code[(pc - codeBase) / 4];
+      lastEncoding_ = program_.code[index];
+      lastStaticIndex_ = static_cast<std::uint32_t>(index);
+      lastGroup_ = staticGroup_[index];
       return &decodeCache_[index];
     }
     // Execution outside the static code image (e.g. hand-placed code in
@@ -304,6 +349,8 @@ class CoreImpl final : public Machine::Impl {
     if (!inst) throw DecodeFault(word, pc);
     scratch_ = *inst;
     lastEncoding_ = word;
+    lastStaticIndex_ = RetiredInst::kNoStaticIndex;
+    lastGroup_ = Traits::group(*inst);
     return &scratch_;
   }
 
@@ -313,8 +360,12 @@ class CoreImpl final : public Machine::Impl {
   typename Traits::State state_{};
   std::vector<typename Traits::Inst> decodeCache_;
   std::vector<bool> decoded_;
+  std::vector<InstGroup> staticGroup_;  ///< per-static-instruction metadata
   typename Traits::Inst scratch_{};
   std::uint32_t lastEncoding_ = 0;
+  std::uint32_t lastStaticIndex_ = RetiredInst::kNoStaticIndex;
+  InstGroup lastGroup_ = InstGroup::IntSimple;
+  TraceBlock block_;
   std::vector<TraceObserver*> observers_;
   std::atomic<bool> running_{false};
 };

@@ -56,8 +56,14 @@ class Machine {
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
-  /// Register an observer; it receives every retired instruction. Observers
-  /// must outlive the Machine's run() calls.
+  /// Register an observer; it receives every retired instruction, delivered
+  /// in blocks of up to kTraceBlockCapacity records (TraceObserver's
+  /// onRetireBlock — the default forwards to onRetire record by record).
+  /// The core flushes the pending block on block-full, before every
+  /// trap/syscall, before any fault propagates out of run(), and at program
+  /// end, so observers always see the complete retired prefix before any
+  /// side effect or crash report. Observers must outlive the Machine's
+  /// run() calls.
   void addObserver(TraceObserver& observer);
 
   /// Run from the program entry point until exit. Every failure is thrown

@@ -41,7 +41,13 @@ void OoOCoreModel::trainPredictor(const RetiredInst& inst) {
   globalHistory_ = ((globalHistory_ << 1) | (inst.branchTaken ? 1 : 0)) & mask;
 }
 
-void OoOCoreModel::onRetire(const RetiredInst& inst) {
+void OoOCoreModel::onRetire(const RetiredInst& inst) { retireOne(inst); }
+
+void OoOCoreModel::onRetireBlock(std::span<const RetiredInst> block) {
+  for (const RetiredInst& inst : block) retireOne(inst);
+}
+
+void OoOCoreModel::retireOne(const RetiredInst& inst) {
   ++instructions_;
 
   // ---- dispatch: in order, `dispatchWidth` per cycle, ROB space needed.
@@ -72,8 +78,9 @@ void OoOCoreModel::onRetire(const RetiredInst& inst) {
     const std::uint64_t first = access.addr >> 3;
     const std::uint64_t last = (access.addr + access.size - 1) >> 3;
     for (std::uint64_t chunk = first; chunk <= last; ++chunk) {
-      const auto it = memReady_.find(chunk);
-      if (it != memReady_.end()) ready = std::max(ready, it->second);
+      if (const std::uint64_t* found = memReady_.find(chunk)) {
+        ready = std::max(ready, *found);
+      }
     }
   }
 
@@ -108,7 +115,7 @@ void OoOCoreModel::onRetire(const RetiredInst& inst) {
     const std::uint64_t first = access.addr >> 3;
     const std::uint64_t last = (access.addr + access.size - 1) >> 3;
     for (std::uint64_t chunk = first; chunk <= last; ++chunk) {
-      memReady_[chunk] = complete;
+      memReady_.assign(chunk, complete);
     }
   }
 

@@ -19,10 +19,11 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "isa/trace.hpp"
+#include "support/flat_hash.hpp"
 #include "uarch/core_model.hpp"
 
 namespace riscmp::uarch {
@@ -32,6 +33,7 @@ class OoOCoreModel final : public TraceObserver {
   explicit OoOCoreModel(CoreModel model);
 
   void onRetire(const RetiredInst& inst) override;
+  void onRetireBlock(std::span<const RetiredInst> block) override;
 
   [[nodiscard]] std::uint64_t cycles() const { return lastCommitCycle_; }
   [[nodiscard]] std::uint64_t instructions() const { return instructions_; }
@@ -69,7 +71,7 @@ class OoOCoreModel final : public TraceObserver {
 
   // Operand readiness.
   std::array<std::uint64_t, Reg::kDenseCount> regReady_{};
-  std::unordered_map<std::uint64_t, std::uint64_t> memReady_;
+  FlatHashMap64<std::uint64_t> memReady_;
 
   // Execution ports: next cycle each can accept an instruction.
   std::vector<std::uint64_t> portFree_;
@@ -82,6 +84,7 @@ class OoOCoreModel final : public TraceObserver {
   std::vector<std::uint8_t> gshareTable_;
   std::uint64_t globalHistory_ = 0;
 
+  void retireOne(const RetiredInst& inst);
   [[nodiscard]] bool predictTaken(const RetiredInst& inst);
   void trainPredictor(const RetiredInst& inst);
 };

@@ -55,6 +55,15 @@ void TraceInvariantChecker::violate(const RetiredInst& inst,
 }
 
 void TraceInvariantChecker::onRetire(const RetiredInst& inst) {
+  retireOne(inst);
+}
+
+void TraceInvariantChecker::onRetireBlock(
+    std::span<const RetiredInst> block) {
+  for (const RetiredInst& inst : block) retireOne(inst);
+}
+
+void TraceInvariantChecker::retireOne(const RetiredInst& inst) {
   if (options_.checkOperandsDefined) {
     // Sources are checked before destinations take effect, so an
     // instruction reading its own output (accumulators, movk) still

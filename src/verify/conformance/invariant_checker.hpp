@@ -30,6 +30,7 @@
 
 #include <bitset>
 #include <cstdint>
+#include <span>
 
 #include "core/program.hpp"
 #include "isa/trace.hpp"
@@ -64,13 +65,18 @@ class TraceInvariantChecker final : public TraceObserver {
   /// preconditions differ from kgen's.
   void defineRegister(Reg reg);
 
-  /// Throws ValidationFault on the first violated invariant.
+  /// Throws ValidationFault on the first violated invariant. Under block
+  /// delivery the violation message still names the exact violating pc and
+  /// retired index; the throw surfaces when the core flushes the block the
+  /// record belongs to (block-full, trap/syscall, fault, or program end).
   void onRetire(const RetiredInst& inst) override;
+  void onRetireBlock(std::span<const RetiredInst> block) override;
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::uint64_t retired() const { return stats_.retired; }
 
  private:
+  void retireOne(const RetiredInst& inst);
   [[noreturn]] void violate(const RetiredInst& inst,
                             const std::string& what) const;
 

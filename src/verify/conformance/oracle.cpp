@@ -49,6 +49,10 @@ class TraceRecorder final : public TraceObserver {
  public:
   explicit TraceRecorder(const Program& program) : program_(program) {}
 
+  void onRetireBlock(std::span<const RetiredInst> block) override {
+    for (const RetiredInst& inst : block) onRetire(inst);
+  }
+
   void onRetire(const RetiredInst& inst) override {
     digest_.u64(inst.pc);
     digest_.u64(inst.encoding);

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "analysis/path_length.hpp"
 #include "core/machine.hpp"
 #include "riscv/asm.hpp"
+#include "support/fault.hpp"
 
 namespace riscmp {
 namespace {
@@ -27,6 +30,26 @@ TEST(PathLength, AttributesPerKernelRegion) {
   EXPECT_EQ(counter.kernelCount("scale"), 1u);
   EXPECT_EQ(counter.kernelCount("bogus"), 0u);
   EXPECT_EQ(counter.unattributed(), 1u);
+}
+
+TEST(PathLength, OverlappingKernelRegionsRejectedAtConstruction) {
+  Program program;
+  program.kernels = {{"copy", 0x1000, 0x20}, {"scale", 0x1010, 0x20}};
+  try {
+    PathLengthCounter counter(program);
+    FAIL() << "expected ValidationFault for overlapping kernel regions";
+  } catch (const ValidationFault& fault) {
+    const std::string what = fault.what();
+    EXPECT_NE(what.find("copy"), std::string::npos) << what;
+    EXPECT_NE(what.find("scale"), std::string::npos) << what;
+    EXPECT_NE(what.find("overlap"), std::string::npos) << what;
+  }
+}
+
+TEST(PathLength, AdjacentKernelRegionsAccepted) {
+  Program program;
+  program.kernels = {{"copy", 0x1000, 0x10}, {"scale", 0x1010, 0x10}};
+  EXPECT_NO_THROW(PathLengthCounter{program});
 }
 
 TEST(PathLength, GroupMixCounted) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <span>
 #include <sstream>
+#include <vector>
 
 #include "aarch64/asm.hpp"
 #include "core/machine.hpp"
@@ -227,6 +229,75 @@ TEST(Machine, ObserversSeeEveryRetirement) {
   EXPECT_EQ(observer.loads, 4u);
   EXPECT_EQ(observer.stores, 4u);
   EXPECT_TRUE(observer.ended);
+}
+
+class LegacyRecordingObserver : public TraceObserver {
+ public:
+  void onRetire(const RetiredInst& inst) override { stream.push_back(inst); }
+  std::vector<RetiredInst> stream;
+};
+
+class BlockRecordingObserver : public TraceObserver {
+ public:
+  void onRetire(const RetiredInst&) override {
+    ADD_FAILURE() << "block-overriding observer got a per-record call";
+  }
+  void onRetireBlock(std::span<const RetiredInst> block) override {
+    ++blocks;
+    stream.insert(stream.end(), block.begin(), block.end());
+  }
+  std::vector<RetiredInst> stream;
+  std::uint64_t blocks = 0;
+};
+
+// A per-instruction observer (default onRetireBlock loops onRetire) and a
+// block-overriding observer attached to the same run must see the exact
+// same record stream — batching is a delivery detail, not a semantic one.
+TEST(Machine, LegacyAndBlockObserversSeeIdenticalStreams) {
+  Program program = rv64Program(
+      "  li a1, 0x20000\n"
+      "  li a2, 200\n"
+      "loop:\n"
+      "  ld a0, 0(a1)\n"
+      "  sd a0, 8(a1)\n"
+      "  addi a2, a2, -1\n"
+      "  bnez a2, loop\n"
+      "  li a7, 93\n"
+      "  ecall\n");
+  program.bssBase = 0x20000;
+  program.bssSize = 64;
+  Machine machine(program);
+  LegacyRecordingObserver legacy;
+  BlockRecordingObserver block;
+  machine.addObserver(legacy);
+  machine.addObserver(block);
+  const RunResult result = machine.run();
+  ASSERT_EQ(legacy.stream.size(), result.instructions);
+  ASSERT_EQ(block.stream.size(), result.instructions);
+  EXPECT_GE(block.blocks, 1u);
+  for (std::size_t i = 0; i < legacy.stream.size(); ++i) {
+    EXPECT_EQ(legacy.stream[i], block.stream[i]) << "record " << i;
+  }
+}
+
+// Every in-image retirement carries the static-instruction index of its
+// code word so observers can use decode-once metadata tables.
+TEST(Machine, RetiredRecordsCarryStaticIndex) {
+  Program program = rv64Program(
+      "  li a0, 3\n"
+      "loop:\n"
+      "  addi a0, a0, -1\n"
+      "  bnez a0, loop\n"
+      "  li a7, 93\n"
+      "  ecall\n");
+  Machine machine(program);
+  LegacyRecordingObserver legacy;
+  machine.addObserver(legacy);
+  machine.run();
+  for (const RetiredInst& inst : legacy.stream) {
+    ASSERT_NE(inst.staticIndex, RetiredInst::kNoStaticIndex);
+    EXPECT_EQ(inst.pc, program.codeBase + 4ull * inst.staticIndex);
+  }
 }
 
 TEST(Machine, MemoryGrowsToCoverProgram) {

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "support/flat_hash.hpp"
+
+namespace riscmp {
+namespace {
+
+TEST(FlatHashMap64, FindOnEmptyReturnsNull) {
+  FlatHashMap64<std::uint64_t> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(0), nullptr);
+  EXPECT_EQ(map.find(42), nullptr);
+}
+
+TEST(FlatHashMap64, AssignInsertsAndOverwrites) {
+  FlatHashMap64<std::uint64_t> map;
+  map.assign(7, 100);
+  ASSERT_NE(map.find(7), nullptr);
+  EXPECT_EQ(*map.find(7), 100u);
+  map.assign(7, 200);
+  EXPECT_EQ(*map.find(7), 200u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMap64, FindOrInsertReturnsExistingOrFallback) {
+  FlatHashMap64<std::uint32_t> map;
+  EXPECT_EQ(map.findOrInsert(5, 11), 11u);
+  EXPECT_EQ(map.findOrInsert(5, 99), 11u);  // existing wins
+  map.findOrInsert(5, 0) = 42;              // reference is writable
+  EXPECT_EQ(*map.find(5), 42u);
+}
+
+TEST(FlatHashMap64, ZeroKeyIsAValidKey) {
+  // Slot emptiness is a flag, not a sentinel key, so key 0 must work.
+  FlatHashMap64<std::uint64_t> map;
+  EXPECT_EQ(map.find(0), nullptr);
+  map.assign(0, 123);
+  ASSERT_NE(map.find(0), nullptr);
+  EXPECT_EQ(*map.find(0), 123u);
+}
+
+TEST(FlatHashMap64, GrowsPastInitialCapacityAndKeepsAllEntries) {
+  FlatHashMap64<std::uint64_t> map;
+  constexpr std::uint64_t kCount = 10000;
+  for (std::uint64_t key = 0; key < kCount; ++key) {
+    map.assign(key * 8, key);  // sequential chunk-style keys
+  }
+  EXPECT_EQ(map.size(), kCount);
+  for (std::uint64_t key = 0; key < kCount; ++key) {
+    const std::uint64_t* found = map.find(key * 8);
+    ASSERT_NE(found, nullptr) << "key " << key * 8;
+    EXPECT_EQ(*found, key);
+  }
+  EXPECT_EQ(map.find(kCount * 8), nullptr);
+}
+
+TEST(FlatHashMap64, FindOrInsertSurvivesRehash) {
+  FlatHashMap64<std::uint32_t> map;
+  // Drive growth through findOrInsert only (the windowed-CP usage pattern:
+  // value is a dense id equal to the insertion-order count).
+  constexpr std::uint32_t kCount = 5000;
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    const std::uint32_t id =
+        map.findOrInsert(0x20000 + 8ull * i, static_cast<std::uint32_t>(map.size()));
+    EXPECT_EQ(id, i);
+  }
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(map.findOrInsert(0x20000 + 8ull * i, 0xffffffffu), i);
+  }
+}
+
+TEST(FlatHashMap64, ClearRemovesEverythingButKeepsWorking) {
+  FlatHashMap64<std::uint64_t> map;
+  for (std::uint64_t key = 0; key < 100; ++key) map.assign(key, key);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(50), nullptr);
+  map.assign(50, 7);
+  EXPECT_EQ(*map.find(50), 7u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMap64, MatchesUnorderedMapUnderMixedOperations) {
+  // Pseudo-random mixed workload cross-checked against std::unordered_map.
+  FlatHashMap64<std::uint64_t> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> reference;
+  std::uint64_t state = 0x123456789abcdefull;
+  for (int i = 0; i < 20000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t key = (state >> 33) % 4096;  // force collisions
+    if ((state & 1) != 0) {
+      map.assign(key, state);
+      reference[key] = state;
+    } else {
+      const std::uint64_t* found = map.find(key);
+      const auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), reference.size());
+}
+
+}  // namespace
+}  // namespace riscmp
