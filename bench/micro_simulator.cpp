@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "core/machine.hpp"
 #include "kgen/compile.hpp"
 #include "riscv/decode.hpp"
+#include "uarch/mem/cache_model.hpp"
 #include "uarch/ooo_core.hpp"
 #include "workloads/workloads.hpp"
 
@@ -142,6 +144,31 @@ void BM_RunStreamA64(benchmark::State& state) {
   runStreamEndToEnd(state, Arch::AArch64);
 }
 BENCHMARK(BM_RunStreamA64);
+
+/// Cache-model overhead on the STREAM trace (ISSUE 5): Arg(0) runs the
+/// bare emulation, Arg(1) attaches the L1/L2 MPKI observer with the
+/// shipped riscv-tx2 geometry, so BM_CacheModel/1 ÷ BM_CacheModel/0 is the
+/// per-instruction cost of the memory hierarchy.
+void BM_CacheModel(benchmark::State& state) {
+  const auto compiled = compiledStream(Arch::Rv64);
+  const uarch::mem::CacheConfig caches =
+      *uarch::CoreModel::named("riscv-tx2").caches;
+  MachineOptions options;
+  options.maxInstructions = 1'000'000'000;
+  const bool attached = state.range(0) != 0;
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    std::optional<uarch::mem::CacheModelAnalyzer> analyzer;
+    Machine machine(compiled.program, options);
+    if (attached) {
+      analyzer.emplace(caches, compiled.program);
+      machine.addObserver(*analyzer);
+    }
+    instructions += machine.run().instructions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_CacheModel)->Arg(0)->Arg(1);
 
 void BM_CompileStreamRv64(benchmark::State& state) {
   for (auto _ : state) {

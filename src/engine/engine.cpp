@@ -8,6 +8,7 @@
 #include "analysis/dep_distance.hpp"
 #include "core/machine.hpp"
 #include "support/table.hpp"
+#include "uarch/mem/cache_aware_cp.hpp"
 
 namespace riscmp::engine {
 
@@ -82,6 +83,8 @@ void ExperimentEngine::runCell(
     std::optional<CriticalPathAnalyzer> scaledCp;
     std::optional<WindowedCPAnalyzer> windowed;
     std::optional<DependencyDistanceAnalyzer> depDistance;
+    std::optional<uarch::mem::CacheModelAnalyzer> cacheModel;
+    std::optional<uarch::mem::CacheAwareCpAnalyzer> cacheAwareCp;
     std::vector<TraceObserver*> observers;
 
     if (analyses & kPathLength) {
@@ -103,6 +106,24 @@ void ExperimentEngine::runCell(
     }
     if (analyses & kDepDistance) {
       observers.push_back(&depDistance.emplace());
+    }
+    // Both cache analyses own a private MemoryHierarchy: observers are
+    // independent by contract, and the same trace + geometry gives each
+    // replica identical behaviour.
+    const uarch::mem::CacheConfig* cacheConfig =
+        (analyses & (kCacheModel | kCacheAwareCP)) && options_.cacheConfigFor
+            ? options_.cacheConfigFor(configs[c].arch)
+            : nullptr;
+    if ((analyses & kCacheModel) && cacheConfig != nullptr) {
+      observers.push_back(
+          &cacheModel.emplace(*cacheConfig, compiled->program));
+    }
+    if ((analyses & kCacheAwareCP) && cacheConfig != nullptr &&
+        options_.latenciesFor) {
+      if (const LatencyTable* table =
+              options_.latenciesFor(configs[c].arch)) {
+        observers.push_back(&cacheAwareCp.emplace(*table, *cacheConfig));
+      }
     }
 
     out.instructions = simulate(*compiled, observers);
@@ -126,6 +147,17 @@ void ExperimentEngine::runCell(
       out.deps.within4 = depDistance->fractionWithin(4);
       out.deps.within16 = depDistance->fractionWithin(16);
       out.deps.within64 = depDistance->fractionWithin(64);
+    }
+    if (cacheModel) {
+      out.hasCache = true;
+      out.cache = cacheModel->totals();
+      out.cacheFootprintLines = cacheModel->footprintLines();
+      out.cacheLineSetDigest = cacheModel->lineSetDigest();
+      out.cacheKernels = cacheModel->kernels();
+    }
+    if (cacheAwareCp) {
+      out.hasCacheAwareCp = true;
+      out.cacheAwareCriticalPath = cacheAwareCp->criticalPath();
     }
   });
   out.cell = local.results().front();

@@ -36,6 +36,7 @@
 #include "engine/scheduler.hpp"
 #include "isa/arch.hpp"
 #include "kgen/compile.hpp"
+#include "uarch/mem/cache_model.hpp"
 #include "verify/boundary.hpp"
 #include "workloads/workloads.hpp"
 
@@ -63,7 +64,9 @@ enum AnalysisFlags : unsigned {
   kScaledCP = 1u << 2,      ///< latency-scaled critical path (§5)
   kWindowedCP = 1u << 3,    ///< sliding-window critical path (§6)
   kDepDistance = 1u << 4,   ///< producer->consumer distances (§6.2)
-  kAllAnalyses = (1u << 5) - 1,
+  kCacheModel = 1u << 5,    ///< L1/L2 hierarchy + per-kernel MPKI (ISSUE 5)
+  kCacheAwareCP = 1u << 6,  ///< scaled CP with dynamic load latencies
+  kAllAnalyses = (1u << 7) - 1,
 };
 
 /// Identity of one experiment cell in a grid run.
@@ -102,6 +105,14 @@ struct CellResult {
 
   std::vector<WindowedCPAnalyzer::WindowResult> windows;
   DepSummary deps;
+
+  bool hasCache = false;
+  uarch::mem::HierarchyStats cache;
+  std::uint64_t cacheFootprintLines = 0;
+  std::uint64_t cacheLineSetDigest = 0;
+  std::vector<uarch::mem::CacheModelAnalyzer::KernelStats> cacheKernels;
+  bool hasCacheAwareCp = false;
+  std::uint64_t cacheAwareCriticalPath = 0;
 
   [[nodiscard]] double ilp() const {
     return criticalPath == 0 ? 0.0
@@ -148,6 +159,11 @@ struct EngineOptions {
   /// Latency table per arch for kScaledCP; null function or null return
   /// skips the scaled analysis for that cell (hasScaledCp stays false).
   std::function<const LatencyTable*(Arch)> latenciesFor;
+  /// Cache geometry per arch for kCacheModel / kCacheAwareCP; null function
+  /// or null return skips both cache analyses for that cell (hasCache and
+  /// hasCacheAwareCp stay false). kCacheAwareCP additionally needs a
+  /// latency table from `latenciesFor` for the non-load groups.
+  std::function<const uarch::mem::CacheConfig*(Arch)> cacheConfigFor;
   /// Runs inside the cell's fault boundary before compilation; throwing
   /// fails the cell exactly like a simulation fault (used by tab2 to turn
   /// a missing core model into a per-cell ConfigError).

@@ -31,6 +31,91 @@ unsigned positiveInt(const yaml::Node& section, std::string_view key,
   return static_cast<unsigned>(v);
 }
 
+constexpr bool isPowerOfTwo(std::uint64_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// Best-effort line for an error about `key` inside `section`.
+int lineFor(const yaml::Node& section, std::string_view key) {
+  return section.has(key) ? section.at(key).line() : section.line();
+}
+
+/// Parse one cache level (`l1d:` / `l2:`) with geometry validation: the
+/// size must divide into a power-of-two number of whole sets.
+mem::LevelConfig parseCacheLevel(const yaml::Node& caches,
+                                 const std::string& name,
+                                 std::uint32_t lineBytes,
+                                 const mem::LevelConfig& fallback) {
+  if (!caches.has(name)) return fallback;
+  const yaml::Node& node = caches.at(name);
+  rejectUnknownKeys(node, name, {"size_kib", "ways", "latency"});
+
+  mem::LevelConfig level;
+  level.sizeBytes =
+      std::uint64_t{positiveInt(node, "size_kib", static_cast<std::int64_t>(
+                                                      fallback.sizeBytes /
+                                                      1024))} *
+      1024;
+  level.ways = positiveInt(node, "ways", fallback.ways);
+  level.latency = positiveInt(node, "latency", fallback.latency);
+
+  const std::uint64_t waySize = std::uint64_t{lineBytes} * level.ways;
+  const int line = lineFor(node, "size_kib");
+  if (level.sizeBytes % waySize != 0) {
+    throw ConfigError(name + " size is not divisible into whole sets of " +
+                          std::to_string(level.ways) + " x " +
+                          std::to_string(lineBytes) + " B lines",
+                      {}, line, name + ".size_kib");
+  }
+  const std::uint64_t sets = level.sizeBytes / waySize;
+  if (!isPowerOfTwo(sets)) {
+    throw ConfigError(name + " set count " + std::to_string(sets) +
+                          " must be a power of two",
+                      {}, line, name + ".size_kib");
+  }
+  return level;
+}
+
+/// Parse and validate the `caches:` section (ISSUE 5). Every reject names
+/// the offending key and its source line; fromFile adds the path.
+mem::CacheConfig parseCaches(const yaml::Node& caches) {
+  rejectUnknownKeys(
+      caches, "caches",
+      {"line_bytes", "l1d", "l2", "memory_latency", "prefetcher"});
+
+  mem::CacheConfig config;
+  config.lineBytes = positiveInt(caches, "line_bytes", 64);
+  if (!isPowerOfTwo(config.lineBytes) || config.lineBytes < 8 ||
+      config.lineBytes > 4096) {
+    throw ConfigError("line size must be a power of two in [8, 4096], got " +
+                          std::to_string(config.lineBytes),
+                      {}, lineFor(caches, "line_bytes"), "line_bytes");
+  }
+  config.l1d = parseCacheLevel(caches, "l1d", config.lineBytes, config.l1d);
+  config.l2 = parseCacheLevel(caches, "l2", config.lineBytes, config.l2);
+  if (config.l2.sizeBytes < config.l1d.sizeBytes) {
+    throw ConfigError(
+        "L2 (" + std::to_string(config.l2.sizeBytes / 1024) +
+            " KiB) must be at least as large as L1D (" +
+            std::to_string(config.l1d.sizeBytes / 1024) + " KiB)",
+        {}, caches.has("l2") ? lineFor(caches.at("l2"), "size_kib") : caches.line(),
+        "l2.size_kib");
+  }
+  config.memoryLatency = positiveInt(caches, "memory_latency", 80);
+
+  const std::string prefetcher = caches.getString("prefetcher", "none");
+  if (prefetcher == "next_line") {
+    config.prefetch = mem::PrefetchKind::NextLine;
+  } else if (prefetcher == "stride") {
+    config.prefetch = mem::PrefetchKind::Stride;
+  } else if (prefetcher != "none") {
+    throw ConfigError("unknown prefetcher '" + prefetcher +
+                          "' (expected none, next_line, or stride)",
+                      {}, lineFor(caches, "prefetcher"), "prefetcher");
+  }
+  return config;
+}
+
 }  // namespace
 
 std::string configDir() { return RISCMP_CONFIG_DIR; }
@@ -40,8 +125,9 @@ CoreModel CoreModel::fromYaml(const yaml::Node& root) {
     throw ConfigError("core model document must be a mapping", {},
                       root.line());
   }
-  rejectUnknownKeys(root, "top-level",
-                    {"name", "description", "core", "ports", "latencies"});
+  rejectUnknownKeys(
+      root, "top-level",
+      {"name", "description", "core", "ports", "latencies", "caches"});
 
   CoreModel model;
   model.name = root.getString("name", "unnamed");
@@ -133,6 +219,10 @@ CoreModel CoreModel::fromYaml(const yaml::Node& root) {
       model.latencies[static_cast<std::size_t>(*group)] =
           static_cast<std::uint32_t>(latency);
     }
+  }
+
+  if (root.has("caches")) {
+    model.caches = parseCaches(root.at("caches"));
   }
   return model;
 }

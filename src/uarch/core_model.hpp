@@ -4,12 +4,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/critical_path.hpp"  // LatencyTable
 #include "isa/groups.hpp"
 #include "support/yaml_lite.hpp"
+#include "uarch/mem/hierarchy.hpp"
 
 namespace riscmp::uarch {
 
@@ -44,6 +46,12 @@ struct CoreModel {
 
   std::vector<Port> ports;
   LatencyTable latencies = unitLatencies();
+
+  /// Memory hierarchy from the optional `caches:` section (ISSUE 5). Absent
+  /// when the config has no such section: the timing models then keep the
+  /// paper's flat memory system (fixed LOAD latency), which stays the
+  /// default everywhere.
+  std::optional<mem::CacheConfig> caches;
 
   /// Parse and validate a YAML document. Unknown keys, unknown
   /// instruction-group names, missing required keys, and non-numeric or

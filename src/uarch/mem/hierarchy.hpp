@@ -1,0 +1,138 @@
+// Config-driven L1D + unified L2 memory hierarchy (ISSUE 5 tentpole).
+//
+// The paper's scaled critical-path and OoO models use one flat LOAD latency
+// from the core-model YAML (§5.1) and explicitly leave real memory
+// behaviour out of scope (§6.1). This hierarchy is the next analysis layer:
+// a set-associative, write-back/write-allocate L1D backed by a unified L2,
+// with an optional address-stream prefetcher, driven by the addresses the
+// retire pipeline already carries in RetiredInst::loads/stores.
+//
+// Geometry, latencies, and the prefetcher come from the `caches:` section
+// of the core-model YAML (parsed and validated in core_model.cpp). The
+// class itself is a pure timing/tag model: every access returns the level
+// it hit and the resulting load-to-use latency, and accumulates the global
+// hit/miss/write-back/prefetch counters the E11 report aggregates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "uarch/mem/cache.hpp"
+#include "uarch/mem/prefetcher.hpp"
+
+namespace riscmp::uarch::mem {
+
+/// Geometry and hit latency of one cache level. Sizes are bytes so tests
+/// can build tiny (sub-KiB) caches; the YAML loader converts `size_kib`.
+struct LevelConfig {
+  std::uint64_t sizeBytes = 0;
+  std::uint32_t ways = 0;
+  std::uint32_t latency = 0;  ///< load-to-use cycles on a hit at this level
+
+  bool operator==(const LevelConfig&) const = default;
+};
+
+/// The `caches:` section of a core-model YAML. Defaults mirror the
+/// TX2-like geometry the configs ship (32 KiB/8-way L1D, 256 KiB/8-way
+/// unified L2, 64 B lines).
+struct CacheConfig {
+  std::uint32_t lineBytes = 64;
+  LevelConfig l1d{32 * 1024, 8, 4};
+  LevelConfig l2{256 * 1024, 8, 12};
+  std::uint32_t memoryLatency = 80;
+  PrefetchKind prefetch = PrefetchKind::None;
+
+  bool operator==(const CacheConfig&) const = default;
+
+  [[nodiscard]] std::uint32_t l1Sets() const {
+    return static_cast<std::uint32_t>(l1d.sizeBytes / (std::uint64_t{lineBytes} * l1d.ways));
+  }
+  [[nodiscard]] std::uint32_t l2Sets() const {
+    return static_cast<std::uint32_t>(l2.sizeBytes / (std::uint64_t{lineBytes} * l2.ways));
+  }
+};
+
+/// Validate geometry the way core_model.cpp does for YAML documents, but
+/// for programmatically-built configs: throws riscmp::ConfigError (no
+/// file/line provenance) on zero ways, non-power-of-two line size or set
+/// counts, sizes not divisible into whole sets, or an L2 smaller than L1.
+void validateCacheConfig(const CacheConfig& config);
+
+/// Where a demand access was satisfied.
+enum class HitLevel : std::uint8_t { L1, L2, Memory };
+
+/// Outcome of one demand load/store: the worst level any touched line had
+/// to reach (an access straddling a line boundary probes every line it
+/// covers), the resulting latency, and how many lines missed at each level
+/// so per-kernel MPKI attribution stays exact for straddling accesses.
+struct AccessOutcome {
+  HitLevel level = HitLevel::L1;
+  std::uint32_t latency = 0;
+  std::uint32_t l1LineMisses = 0;
+  std::uint32_t l2LineMisses = 0;
+};
+
+/// Whole-hierarchy counters (demand traffic only; prefetch fills are
+/// tracked separately and never count as demand hits or misses).
+struct HierarchyStats {
+  std::uint64_t loads = 0;   ///< demand load accesses (per MemAccess record)
+  std::uint64_t stores = 0;  ///< demand store accesses
+  std::uint64_t l1Hits = 0;
+  std::uint64_t l1Misses = 0;
+  std::uint64_t l2Hits = 0;
+  std::uint64_t l2Misses = 0;  ///< lines fetched from memory
+  std::uint64_t writebacksToL2 = 0;   ///< dirty L1 victims
+  std::uint64_t writebacksToMem = 0;  ///< dirty L2 victims
+  std::uint64_t prefetchesIssued = 0;
+  std::uint64_t prefetchesUseful = 0;  ///< prefetched lines later demanded
+
+  bool operator==(const HierarchyStats&) const = default;
+
+  [[nodiscard]] double prefetchAccuracy() const {
+    return prefetchesIssued == 0
+               ? 0.0
+               : static_cast<double>(prefetchesUseful) /
+                     static_cast<double>(prefetchesIssued);
+  }
+};
+
+class MemoryHierarchy {
+ public:
+  /// Throws riscmp::ConfigError when the geometry is invalid (same checks
+  /// as validateCacheConfig).
+  explicit MemoryHierarchy(const CacheConfig& config);
+
+  /// Simulate a demand load/store of `size` bytes at `addr`. Both are
+  /// write-allocate: a store miss fetches the line before dirtying it.
+  AccessOutcome load(std::uint64_t addr, std::uint32_t size);
+  AccessOutcome store(std::uint64_t addr, std::uint32_t size);
+
+  [[nodiscard]] const HierarchyStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+  /// First line number a byte access touches (for footprint tracking).
+  [[nodiscard]] std::uint64_t lineOf(std::uint64_t addr) const {
+    return addr >> lineShift_;
+  }
+
+  /// Invalidate both levels and zero all counters.
+  void reset();
+
+ private:
+  AccessOutcome accessLines(std::uint64_t addr, std::uint32_t size,
+                            bool write);
+  /// One demand line access, including L2 fill and write-back accounting.
+  HitLevel accessLine(std::uint64_t line, bool write);
+  /// Install `line` into L1, pushing any dirty victim into L2.
+  void fillL1(std::uint64_t line, bool dirty, bool prefetched);
+  void prefetchLine(std::uint64_t line);
+
+  CacheConfig config_;
+  std::uint32_t lineShift_;
+  Cache l1_;
+  Cache l2_;
+  std::optional<Prefetcher> prefetcher_;
+  HierarchyStats stats_;
+};
+
+}  // namespace riscmp::uarch::mem

@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "support/fault.hpp"
+
 namespace riscmp::uarch {
 
-OoOCoreModel::OoOCoreModel(CoreModel model) : model_(std::move(model)) {
+OoOCoreModel::OoOCoreModel(CoreModel model, bool memoryAware)
+    : model_(std::move(model)) {
+  if (memoryAware) {
+    if (!model_.caches) {
+      throw ConfigError(
+          "memory-aware OoO model requires a caches: section in core model '" +
+              model_.name + "'",
+          {}, 0, "caches");
+    }
+    hierarchy_.emplace(*model_.caches);
+  }
   robCommitCycles_.resize(std::max(1u, model_.robSize), 0);
   portFree_.resize(model_.ports.size(), 0);
   if (model_.predictor == BranchPredictor::Gshare) {
@@ -103,9 +115,24 @@ void OoOCoreModel::retireOne(const RetiredInst& inst) {
     }
   }
 
-  // ---- execute.
-  const std::uint32_t latency =
+  // ---- execute. With a cache model attached, a load's latency is its
+  // dynamic load-to-use latency instead of the flat LOAD table entry;
+  // stores keep the table latency (write-buffered) but update cache state.
+  std::uint32_t latency =
       model_.latencies[static_cast<std::size_t>(inst.group)];
+  if (hierarchy_) {
+    if (!inst.loads.empty()) {
+      std::uint32_t dynamic = 0;
+      for (const MemAccess& access : inst.loads) {
+        dynamic = std::max(
+            dynamic, hierarchy_->load(access.addr, access.size).latency);
+      }
+      latency = dynamic;
+    }
+    for (const MemAccess& access : inst.stores) {
+      hierarchy_->store(access.addr, access.size);
+    }
+  }
   const std::uint64_t complete = issue + latency;
 
   for (const Reg& reg : inst.dsts) {

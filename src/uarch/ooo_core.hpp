@@ -19,18 +19,26 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "isa/trace.hpp"
 #include "support/flat_hash.hpp"
 #include "uarch/core_model.hpp"
+#include "uarch/mem/hierarchy.hpp"
 
 namespace riscmp::uarch {
 
 class OoOCoreModel final : public TraceObserver {
  public:
-  explicit OoOCoreModel(CoreModel model);
+  /// `memoryAware` attaches the cache model from the core model's
+  /// `caches:` section (ISSUE 5): each load's execution latency becomes
+  /// its dynamic load-to-use latency (L1 / L2 / memory) instead of the
+  /// flat LOAD table entry, and stores update cache state. Throws
+  /// ConfigError when the model has no `caches:` section. The default
+  /// stays the paper's flat memory system.
+  explicit OoOCoreModel(CoreModel model, bool memoryAware = false);
 
   void onRetire(const RetiredInst& inst) override;
   void onRetireBlock(std::span<const RetiredInst> block) override;
@@ -52,9 +60,14 @@ class OoOCoreModel final : public TraceObserver {
   }
   [[nodiscard]] std::uint64_t mispredicts() const { return mispredicts_; }
   [[nodiscard]] const CoreModel& model() const { return model_; }
+  /// Cache counters when constructed memory-aware, nullptr otherwise.
+  [[nodiscard]] const mem::HierarchyStats* cacheStats() const {
+    return hierarchy_ ? &hierarchy_->stats() : nullptr;
+  }
 
  private:
   CoreModel model_;
+  std::optional<mem::MemoryHierarchy> hierarchy_;
 
   std::uint64_t instructions_ = 0;
   std::uint64_t mispredicts_ = 0;

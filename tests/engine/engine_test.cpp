@@ -52,6 +52,20 @@ void expectCellsEqual(const CellResult& a, const CellResult& b) {
   EXPECT_EQ(a.deps.dependencies, b.deps.dependencies);
   EXPECT_DOUBLE_EQ(a.deps.meanDistance, b.deps.meanDistance);
   EXPECT_DOUBLE_EQ(a.deps.within16, b.deps.within16);
+  EXPECT_EQ(a.hasCache, b.hasCache);
+  EXPECT_TRUE(a.cache == b.cache);
+  EXPECT_EQ(a.cacheFootprintLines, b.cacheFootprintLines);
+  EXPECT_EQ(a.cacheLineSetDigest, b.cacheLineSetDigest);
+  ASSERT_EQ(a.cacheKernels.size(), b.cacheKernels.size());
+  for (std::size_t k = 0; k < a.cacheKernels.size(); ++k) {
+    EXPECT_EQ(a.cacheKernels[k].name, b.cacheKernels[k].name);
+    EXPECT_EQ(a.cacheKernels[k].instructions, b.cacheKernels[k].instructions);
+    EXPECT_EQ(a.cacheKernels[k].l1Misses, b.cacheKernels[k].l1Misses);
+    EXPECT_EQ(a.cacheKernels[k].l2Misses, b.cacheKernels[k].l2Misses);
+    EXPECT_EQ(a.cacheKernels[k].lineSetDigest, b.cacheKernels[k].lineSetDigest);
+  }
+  EXPECT_EQ(a.hasCacheAwareCp, b.hasCacheAwareCp);
+  EXPECT_EQ(a.cacheAwareCriticalPath, b.cacheAwareCriticalPath);
 }
 
 TEST(CellScheduler, ResolvesAutoJobsToAtLeastOne) {
@@ -190,6 +204,66 @@ TEST(ExperimentEngine, GridIsDeterministicAcrossJobCounts) {
   }
   EXPECT_EQ(one.stats().simulations, a.cells.size());
   EXPECT_EQ(eight.stats().simulations, b.cells.size());
+}
+
+TEST(ExperimentEngine, CacheAnalysesDeterministicAndIsaInvariant) {
+  // ISSUE 5 acceptance: cache counters must be byte-identical across job
+  // counts, and — same geometry, same algorithm — identical between the
+  // two ISA columns of each workload row.
+  const auto suite = tinySuite();
+  const auto configs = gcc12Pair();
+  const LatencyTable table = unitLatencies();
+  uarch::mem::CacheConfig caches;
+  caches.l1d = {1024, 2, 4};  // small enough that stream-s spills to L2
+  caches.l2 = {8192, 4, 12};
+  caches.prefetch = uarch::mem::PrefetchKind::Stride;
+
+  EngineOptions serial;
+  serial.jobs = 1;
+  serial.analyses = kPathLength | kCacheModel | kCacheAwareCP;
+  serial.latenciesFor = [&](Arch) { return &table; };
+  serial.cacheConfigFor = [&](Arch) { return &caches; };
+  EngineOptions wide = serial;
+  wide.jobs = 8;
+
+  ExperimentEngine one(serial);
+  ExperimentEngine eight(wide);
+  const GridResult a = one.runGrid(suite, configs);
+  const GridResult b = eight.runGrid(suite, configs);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    ASSERT_TRUE(a.cells[i].cell.ok) << a.cells[i].cell.summary;
+    EXPECT_TRUE(a.cells[i].hasCache);
+    EXPECT_TRUE(a.cells[i].hasCacheAwareCp);
+    EXPECT_GT(a.cells[i].cache.l1Misses, 0u);
+    expectCellsEqual(a.cells[i], b.cells[i]);
+  }
+
+  // Cross-ISA: the AArch64 and RISC-V columns of each workload must agree
+  // on every cache counter and line set (the E11 invariant).
+  for (std::size_t w = 0; w < suite.size(); ++w) {
+    const CellResult& a64 = a.at(w, 0);
+    const CellResult& rv64 = a.at(w, 1);
+    EXPECT_TRUE(a64.cache == rv64.cache) << suite[w].name;
+    EXPECT_EQ(a64.cacheFootprintLines, rv64.cacheFootprintLines);
+    EXPECT_EQ(a64.cacheLineSetDigest, rv64.cacheLineSetDigest);
+  }
+}
+
+TEST(ExperimentEngine, CacheAnalysesSkippedWithoutConfig) {
+  // No cacheConfigFor hook: the flags are enabled but the cells must
+  // complete flat, exactly as before ISSUE 5.
+  EngineOptions options;
+  options.jobs = 2;
+  options.analyses = kAllAnalyses;
+  ExperimentEngine eng(options);
+  const GridResult grid = eng.runGrid(tinySuite(), gcc12Pair());
+  for (const CellResult& cell : grid.cells) {
+    ASSERT_TRUE(cell.cell.ok) << cell.cell.summary;
+    EXPECT_FALSE(cell.hasCache);
+    EXPECT_FALSE(cell.hasCacheAwareCp);
+    EXPECT_GT(cell.instructions, 0u);
+  }
 }
 
 TEST(ExperimentEngine, DuplicateWorkloadsHitTheCompileCache) {

@@ -64,11 +64,68 @@ TEST(CoreModelValidation, OutOfRangeLatencyRejected) {
   });
 }
 
+TEST(CoreModelValidation, CacheZeroWaysRejectedWithLine) {
+  expectRejected("cache_zero_ways.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.key(), "ways");
+    EXPECT_EQ(e.line(), 5);
+    EXPECT_NE(std::string(e.what()).find("positive integer"),
+              std::string::npos);
+  });
+}
+
+TEST(CoreModelValidation, CacheNonPowerOfTwoLineSizeRejected) {
+  expectRejected("cache_bad_line_bytes.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.key(), "line_bytes");
+    EXPECT_EQ(e.line(), 4);
+    EXPECT_NE(std::string(e.what()).find("power of two"), std::string::npos);
+  });
+}
+
+TEST(CoreModelValidation, CacheNonPowerOfTwoSetCountRejected) {
+  expectRejected("cache_bad_sets.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.key(), "l1d.size_kib");
+    EXPECT_EQ(e.line(), 5);
+    EXPECT_NE(std::string(e.what()).find("power of two"), std::string::npos);
+  });
+}
+
+TEST(CoreModelValidation, CacheIndivisibleSizeRejected) {
+  expectRejected("cache_indivisible.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.key(), "l1d.size_kib");
+    EXPECT_EQ(e.line(), 6);
+    EXPECT_NE(std::string(e.what()).find("whole sets"), std::string::npos);
+  });
+}
+
+TEST(CoreModelValidation, CacheL2SmallerThanL1Rejected) {
+  expectRejected("cache_l2_smaller.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.key(), "l2.size_kib");
+    EXPECT_EQ(e.line(), 7);
+    EXPECT_NE(std::string(e.what()).find("at least as large"),
+              std::string::npos);
+  });
+}
+
 TEST(CoreModelValidation, ShippedConfigsAllLoad) {
   // The validator must not reject the real models the benches depend on.
   for (const char* name : {"tx2", "riscv-tx2", "m1-firestorm", "a64fx"}) {
     EXPECT_NO_THROW(CoreModel::named(name)) << name;
   }
+}
+
+TEST(CoreModelValidation, ShippedConfigsCarryCaches) {
+  // Every shipped model gains a caches: section in ISSUE 5, and the two
+  // TX2-class models must agree exactly — the E11 cross-ISA comparison is
+  // only meaningful over identical geometry.
+  for (const char* name : {"tx2", "riscv-tx2", "m1-firestorm", "a64fx"}) {
+    EXPECT_TRUE(CoreModel::named(name).caches.has_value()) << name;
+  }
+  const CoreModel tx2 = CoreModel::named("tx2");
+  const CoreModel riscvTx2 = CoreModel::named("riscv-tx2");
+  EXPECT_TRUE(*tx2.caches == *riscvTx2.caches);
+  EXPECT_EQ(tx2.caches->l1Sets(), 64u);    // 32 KiB / (8 x 64 B)
+  EXPECT_EQ(tx2.caches->l2Sets(), 512u);   // 256 KiB / (8 x 64 B)
+  EXPECT_EQ(tx2.caches->prefetch, mem::PrefetchKind::Stride);
 }
 
 }  // namespace
