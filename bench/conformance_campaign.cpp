@@ -15,11 +15,11 @@
 //        --no-shrink      skip divergence minimization
 //
 // Exit: 0 clean, 1 findings, 2 usage error.
-#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "harness.hpp"
+#include "support/atomic_file.hpp"
 #include "verify/conformance/campaign.hpp"
 
 using namespace riscmp;
@@ -118,12 +118,15 @@ int main(int argc, char** argv) {
   }
 
   if (!digestFile.empty()) {
-    std::ofstream out(digestFile);
-    if (!out) {
-      std::cerr << "error: cannot write " << digestFile << "\n";
+    // Stage-and-rename so a killed campaign never leaves a truncated
+    // digest file for the next differential run to trust.
+    std::string writeError;
+    if (!support::writeFileAtomic(digestFile, result.digestText(),
+                                  &writeError)) {
+      std::cerr << "error: cannot write " << digestFile << ": " << writeError
+                << "\n";
       return 2;
     }
-    out << result.digestText();
     std::cout << "wrote digests to " << digestFile << "\n";
   }
 

@@ -22,13 +22,13 @@
 // or timing fields, so reports from different --jobs values are
 // byte-identical (tests/uarch/cache determinism check + CI artifact).
 #include <algorithm>
-#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
 
 #include "harness.hpp"
+#include "support/atomic_file.hpp"
 #include "support/table.hpp"
 #include "uarch/core_model.hpp"
 #include "uarch/mem/cache_model.hpp"
@@ -347,11 +347,7 @@ int main(int argc, char** argv) {
                "show up here as lower MPKI for the same miss traffic.\n";
 
   if (jsonPath) {
-    std::ofstream json(*jsonPath);
-    if (!json) {
-      std::cerr << "error: cannot write " << *jsonPath << "\n";
-      return 2;
-    }
+    std::ostringstream json;
     json << "{\n  \"experiment\": \"E11\",\n  \"scale\": "
          << sigFigs(scale, 6) << ",\n  \"workloads\": [\n";
     for (std::size_t w = 0; w < suite.size(); ++w) {
@@ -369,6 +365,13 @@ int main(int argc, char** argv) {
            << (v + 1 < verdicts.size() ? ",\n" : "\n");
     }
     json << "  ]\n}\n";
+    // Stage-and-rename so a killed run never leaves a truncated artifact.
+    std::string writeError;
+    if (!support::writeFileAtomic(*jsonPath, json.str(), &writeError)) {
+      std::cerr << "error: cannot write " << *jsonPath << ": " << writeError
+                << "\n";
+      return 2;
+    }
     std::cout << "JSON written to " << *jsonPath << "\n";
   }
 

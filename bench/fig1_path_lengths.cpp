@@ -50,6 +50,8 @@ int main(int argc, char** argv) {
       const engine::CellResult& cell = grid.at(w, c);
       if (!cell.cell.ok) {
         allCells = false;
+        table.addRow({configName(configs[c]), failedCellMark(cell), "-", "-",
+                      "-"});
         continue;
       }
       const double total = static_cast<double>(cell.instructions);
@@ -95,6 +97,8 @@ int main(int argc, char** argv) {
                    "for RISC-V)\n";
     }
   }
-  std::cout << "\n" << engine::describe(eng.stats()) << "\n";
+  std::cout << "\n";
+  printFailureFooter(grid, std::cout);
+  std::cout << engine::describe(eng.stats()) << "\n";
   return boundary.finish();
 }

@@ -50,6 +50,10 @@ int main(int argc, char** argv) {
       const engine::CellResult& cell = grid.at(w, c);
       if (!cell.cell.ok) {
         allCells = false;
+        std::vector<std::string> failedRow = {configName(configs[c]),
+                                              failedCellMark(cell)};
+        while (failedRow.size() < header.size()) failedRow.push_back("-");
+        table.addRow(std::move(failedRow));
         continue;
       }
       std::vector<std::string> row = {configName(configs[c])};
@@ -78,6 +82,7 @@ int main(int argc, char** argv) {
                "with AArch64 overtaking at larger windows; the largest gap\n"
                "is CloverLeaf at W=2000 (RISC-V -12%), and STREAM is the "
                "one case where RISC-V stays ahead (+5.8%).\n";
+  printFailureFooter(grid, std::cout);
   std::cout << engine::describe(eng.stats()) << "\n";
   return boundary.finish();
 }

@@ -10,12 +10,15 @@
 // budget (--budget=N) so a codegen regression cannot hang CI.
 #pragma once
 
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -120,12 +123,206 @@ inline std::string parseConfigDir(int argc, char** argv,
   return fallback;
 }
 
-/// Baseline EngineOptions shared by the benches: jobs and budget from the
-/// command line, everything else per-bench.
+/// Parse "--deadline=<seconds>": per-cell wall-clock deadline (fractional
+/// seconds allowed; 0/absent = none). Negative or non-finite deadlines are
+/// usage errors.
+inline double parseDeadline(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--deadline=", 0) == 0) {
+      const double seconds =
+          parseFlagValue("--deadline", arg.substr(11),
+                         [](const std::string& s, std::size_t* consumed) {
+                           return std::stod(s, consumed);
+                         });
+      if (!std::isfinite(seconds) || seconds < 0.0) {
+        std::cerr << "error: --deadline must be a non-negative number of "
+                     "seconds, got '"
+                  << arg.substr(11) << "'\n";
+        std::exit(2);
+      }
+      return seconds;
+    }
+  }
+  return 0.0;
+}
+
+/// Parse "--retries=<n>": extra attempts for transient cell failures
+/// (timeouts; worker crashes under --isolate=process). Defaults to 0.
+inline unsigned parseRetries(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--retries=", 0) == 0) {
+      const unsigned long retries =
+          parseFlagValue("--retries", arg.substr(10),
+                         [](const std::string& s, std::size_t* consumed) {
+                           return std::stoul(s, consumed);
+                         });
+      return static_cast<unsigned>(retries);
+    }
+  }
+  return 0;
+}
+
+/// Parse "--retry-backoff-ms=<n>": retry backoff base (doubles per
+/// attempt, plus seeded jitter). Defaults to 100; 0 disables the wait,
+/// which the crash-recovery tests use to keep retries fast.
+inline unsigned parseRetryBackoffMs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--retry-backoff-ms=", 0) == 0) {
+      const unsigned long ms =
+          parseFlagValue("--retry-backoff-ms", arg.substr(19),
+                         [](const std::string& s, std::size_t* consumed) {
+                           return std::stoul(s, consumed);
+                         });
+      return static_cast<unsigned>(ms);
+    }
+  }
+  return 100;
+}
+
+/// Parse "--isolate=<thread|process>": where cells execute. Thread is the
+/// default; process forks one worker subprocess per cell so crashes and
+/// hangs are contained as CrashFault/TimeoutFault records.
+inline engine::IsolationMode parseIsolate(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--isolate=", 0) == 0) {
+      const std::string mode = arg.substr(10);
+      if (mode == "thread") return engine::IsolationMode::Thread;
+      if (mode == "process") return engine::IsolationMode::Process;
+      std::cerr << "error: --isolate must be 'thread' or 'process', got '"
+                << mode << "'\n";
+      std::exit(2);
+    }
+  }
+  return engine::IsolationMode::Thread;
+}
+
+/// Parse "--journal=<path>" / "--resume=<path>" (empty when absent). An
+/// empty path after '=' is a usage error — it would silently disable the
+/// durability the caller asked for.
+inline std::string parsePathFlag(int argc, char** argv,
+                                 const std::string& flag) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      const std::string path = arg.substr(prefix.size());
+      if (path.empty()) {
+        std::cerr << "error: " << flag << " needs a file path\n";
+        std::exit(2);
+      }
+      return path;
+    }
+  }
+  return {};
+}
+
+/// Parse the bare "--fail-fast" switch. "--fail-fast=<x>" is a usage
+/// error — it takes no value.
+inline bool parseFailFast(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fail-fast") return true;
+    if (arg.rfind("--fail-fast=", 0) == 0) {
+      std::cerr << "error: --fail-fast takes no value\n";
+      std::exit(2);
+    }
+  }
+  return false;
+}
+
+/// Test/CI hook: "--inject-fault=<substr>:<segv|abort|hang|kill>" makes
+/// every cell whose name contains <substr> misbehave before compilation —
+/// inside the cell's fault boundary, and (because EngineOptions::cellSetup
+/// is inherited across fork) inside process-isolated workers too. This is
+/// how the crash-recovery tests produce a real SIGSEGV/SIGKILL/hang in an
+/// otherwise stock bench binary.
+inline void applyFaultInjection(int argc, char** argv,
+                                engine::EngineOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--inject-fault=", 0) != 0) continue;
+    const std::string spec = arg.substr(15);
+    const std::size_t colon = spec.rfind(':');
+    const std::string substr =
+        colon == std::string::npos ? "" : spec.substr(0, colon);
+    const std::string mode =
+        colon == std::string::npos ? "" : spec.substr(colon + 1);
+    if (substr.empty() || (mode != "segv" && mode != "abort" &&
+                           mode != "hang" && mode != "kill")) {
+      std::cerr << "error: --inject-fault needs "
+                   "<substr>:<segv|abort|hang|kill>, got '"
+                << spec << "'\n";
+      std::exit(2);
+    }
+    options.cellSetup = [substr, mode](const engine::CellKey& key) {
+      const std::string name =
+          key.workload + "/" + engine::configName(key.config);
+      if (name.find(substr) == std::string::npos) return;
+      if (mode == "segv") {
+        volatile int* p = nullptr;
+        *p = 1;  // NOLINT: deliberate SIGSEGV under test
+      } else if (mode == "abort") {
+        std::abort();
+      } else if (mode == "kill") {
+        std::raise(SIGKILL);
+      } else {  // hang: wedge outside the simulator loop, where only the
+                // process-isolation deadline can reach it
+        for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+      }
+    };
+    return;
+  }
+}
+
+/// Table mark for a failed grid cell: "✗(CrashFault)", "✗(skipped)", ...
+/// The kind in parentheses is the fault taxonomy's stable string form.
+inline std::string failedCellMark(const engine::CellResult& cell) {
+  return "✗(" + (cell.cell.kind.empty() ? std::string("failed")
+                                        : cell.cell.kind) +
+         ")";
+}
+
+/// Footer for partial reports: one line per failed cell, after the tables
+/// so a reader sees immediately which numbers are missing and why. Prints
+/// nothing when every cell completed.
+inline void printFailureFooter(const engine::GridResult& grid,
+                               std::ostream& out) {
+  if (!grid.anyFailed()) return;
+  std::size_t failed = 0;
+  for (const engine::CellResult& cell : grid.cells) {
+    if (!cell.cell.ok) ++failed;
+  }
+  out << "PARTIAL REPORT: " << failed << "/" << grid.cells.size()
+      << " cells failed; their rows are marked ✗(<fault>).\n";
+  for (const engine::CellResult& cell : grid.cells) {
+    if (cell.cell.ok) continue;
+    out << "  ✗ " << cell.key.workload << "/" << configName(cell.key.config)
+        << " — " << (cell.cell.kind.empty() ? "failed" : cell.cell.kind)
+        << ": " << cell.cell.summary << "\n";
+  }
+  out << "\n";
+}
+
+/// Baseline EngineOptions shared by the benches: jobs, budget, and the
+/// resilience flags (--deadline / --retries / --retry-backoff-ms /
+/// --isolate / --journal / --resume / --fail-fast / --inject-fault) from
+/// the command line, everything else per-bench.
 inline engine::EngineOptions engineOptions(int argc, char** argv) {
   engine::EngineOptions options;
   options.jobs = parseJobs(argc, argv);
   options.budget = parseBudget(argc, argv);
+  options.deadlineSeconds = parseDeadline(argc, argv);
+  options.retries = parseRetries(argc, argv);
+  options.retryBackoffMs = parseRetryBackoffMs(argc, argv);
+  options.isolate = parseIsolate(argc, argv);
+  options.failFast = parseFailFast(argc, argv);
+  options.journalPath = parsePathFlag(argc, argv, "--journal");
+  options.resumeFrom = parsePathFlag(argc, argv, "--resume");
+  applyFaultInjection(argc, argv, options);
   return options;
 }
 

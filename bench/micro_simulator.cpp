@@ -8,8 +8,12 @@
 // i.e. exactly what one engine cell costs. `--json` writes the results to
 // BENCH_throughput.json so the trajectory is comparable across PRs.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -193,12 +197,22 @@ BENCHMARK(BM_CompileStreamA64);
 /// `--json` expands to the google-benchmark flags that write
 /// BENCH_throughput.json next to the working directory, so CI (and PR
 /// descriptions) can archive the throughput trajectory without remembering
-/// the full --benchmark_out spelling.
+/// the full --benchmark_out spelling. google-benchmark streams into its
+/// output file while running, so we point it at a staging path and
+/// atomically rename into place afterwards — an interrupted run can never
+/// leave a truncated BENCH_throughput.json behind (support/atomic_file
+/// convention).
 int main(int argc, char** argv) {
+  const std::string jsonPath = "BENCH_throughput.json";
+  const std::string stagingPath =
+      jsonPath + ".tmp." + std::to_string(::getpid());
+  bool wantsJson = false;
+
   std::vector<std::string> args(argv, argv + argc);
   for (auto it = args.begin(); it != args.end(); ++it) {
     if (*it == "--json") {
-      *it = "--benchmark_out=BENCH_throughput.json";
+      wantsJson = true;
+      *it = "--benchmark_out=" + stagingPath;
       args.insert(it + 1, "--benchmark_out_format=json");
       break;
     }
@@ -215,5 +229,11 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  if (wantsJson && std::rename(stagingPath.c_str(), jsonPath.c_str()) != 0) {
+    std::cerr << "error: cannot publish " << jsonPath << ": "
+              << std::strerror(errno) << "\n";
+    return 1;
+  }
   return 0;
 }

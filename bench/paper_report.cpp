@@ -79,6 +79,8 @@ int main(int argc, char** argv) {
       const engine::CellResult& cell = grid.at(w, c);
       if (!cell.cell.ok) {
         allCells = false;
+        table.addRow({configName(configs[c]), failedCellMark(cell), "-", "-",
+                      "-"});
         continue;
       }
       const double total = static_cast<double>(cell.instructions);
@@ -128,7 +130,11 @@ int main(int argc, char** argv) {
                  "paper ILP", "paper runtime (ms)"});
     for (std::size_t c = 0; c < configs.size(); ++c) {
       const engine::CellResult& cell = grid.at(w, c);
-      if (!cell.cell.ok) continue;
+      if (!cell.cell.ok) {
+        table.addRow({configName(configs[c]), failedCellMark(cell), "-", "-",
+                      "-", "-", "-"});
+        continue;
+      }
       table.addRow(
           {configName(configs[c]), withCommas(cell.instructions),
            withCommas(cell.criticalPath), sigFigs(cell.ilp(), 3),
@@ -153,7 +159,12 @@ int main(int argc, char** argv) {
                  "scale vs basic CP", "paper ILP", "paper runtime (ms)"});
     for (std::size_t c = 0; c < configs.size(); ++c) {
       const engine::CellResult& cell = grid.at(w, c);
-      if (!cell.cell.ok || !cell.hasScaledCp) continue;
+      if (!cell.cell.ok) {
+        table.addRow({configName(configs[c]), failedCellMark(cell), "-", "-",
+                      "-", "-", "-"});
+        continue;
+      }
+      if (!cell.hasScaledCp) continue;
       table.addRow(
           {configName(configs[c]), withCommas(cell.scaledCriticalPath),
            sigFigs(cell.scaledIlp(), 3),
@@ -184,8 +195,13 @@ int main(int argc, char** argv) {
     const engine::CellResult& arm = grid.at(w, 2);
     const engine::CellResult& riscv = grid.at(w, 3);
     for (const engine::CellResult* cell : {&arm, &riscv}) {
-      if (!cell->cell.ok) continue;
       std::vector<std::string> row = {configName(cell->key.config)};
+      if (!cell->cell.ok) {
+        row.push_back(failedCellMark(*cell));
+        while (row.size() < header.size()) row.push_back("-");
+        table.addRow(std::move(row));
+        continue;
+      }
       for (const auto& result : cell->windows) {
         row.push_back(engine::windowIlpCell(result));
       }
@@ -204,6 +220,7 @@ int main(int argc, char** argv) {
     std::cout << table << "\n";
   }
 
+  printFailureFooter(grid, std::cout);
   std::cout << engine::describe(eng.stats()) << "\n";
   return boundary.finish();
 }

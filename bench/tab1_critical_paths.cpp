@@ -37,7 +37,11 @@ int main(int argc, char** argv) {
                  "paper ILP", "paper runtime (ms)"});
     for (std::size_t c = 0; c < configs.size(); ++c) {
       const engine::CellResult& cell = grid.at(w, c);
-      if (!cell.cell.ok) continue;
+      if (!cell.cell.ok) {
+        table.addRow({configName(configs[c]), failedCellMark(cell), "-", "-",
+                      "-", "-", "-"});
+        continue;
+      }
       table.addRow(
           {configName(configs[c]), withCommas(cell.instructions),
            withCommas(cell.criticalPath), sigFigs(cell.ilp(), 3),
@@ -48,6 +52,7 @@ int main(int argc, char** argv) {
     }
     std::cout << table << "\n";
   }
+  printFailureFooter(grid, std::cout);
   std::cout << engine::describe(eng.stats()) << "\n";
   return boundary.finish();
 }

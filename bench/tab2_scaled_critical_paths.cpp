@@ -71,7 +71,12 @@ int main(int argc, char** argv) {
                  "scale vs basic CP", "paper ILP", "paper runtime (ms)"});
     for (std::size_t c = 0; c < configs.size(); ++c) {
       const engine::CellResult& cell = grid.at(w, c);
-      if (!cell.cell.ok || !cell.hasScaledCp) continue;
+      if (!cell.cell.ok) {
+        table.addRow({configName(configs[c]), failedCellMark(cell), "-", "-",
+                      "-", "-", "-"});
+        continue;
+      }
+      if (!cell.hasScaledCp) continue;
       table.addRow(
           {configName(configs[c]), withCommas(cell.scaledCriticalPath),
            sigFigs(cell.scaledIlp(), 3),
@@ -90,6 +95,7 @@ int main(int argc, char** argv) {
   std::cout << "Paper scaling factors: miniBUDE ~3.5x, minisweep ~6x, "
                "STREAM ~6x (§5.2); ours depend on which chain dominates\n"
                "after scaling — see EXPERIMENTS.md for the comparison.\n";
+  printFailureFooter(grid, std::cout);
   std::cout << engine::describe(eng.stats()) << "\n";
   return boundary.finish();
 }

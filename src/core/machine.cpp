@@ -210,6 +210,20 @@ class CoreImpl final : public Machine::Impl {
         fault.attachContext(makeContext(state, state.pc, result.instructions));
         throw fault;
       }
+      // Watchdog check every 4096 instructions: one relaxed atomic load per
+      // block keeps the deadline invisible to the retire-pipeline hot path.
+      if (options_.deadlineExpiredMs != nullptr &&
+          (result.instructions & 0xFFFu) == 0) {
+        if (const std::uint32_t deadlineMs =
+                options_.deadlineExpiredMs->load(std::memory_order_relaxed);
+            deadlineMs != 0) {
+          flushForFault(state, state.pc, result.instructions);
+          TimeoutFault fault(deadlineMs);
+          fault.attachContext(
+              makeContext(state, state.pc, result.instructions));
+          throw fault;
+        }
+      }
       const std::uint64_t pc = state.pc;
       try {
         const typename Traits::Inst* inst = fetch(pc, codeBase, codeEnd);

@@ -4,6 +4,7 @@
 // model the paper uses for all four experiments.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -27,6 +28,12 @@ struct MachineOptions {
   std::uint64_t maxInstructions = 0;
   /// Destination for the simulated program's write(1, ...) syscalls.
   std::ostream* stdoutStream = nullptr;
+  /// Cooperative wall-clock deadline: when non-null and the pointee becomes
+  /// non-zero (the engine watchdog stores the deadline in milliseconds),
+  /// run() raises a TimeoutFault — with full machine context, like every
+  /// other core fault — at the next check, every 4096 retired
+  /// instructions. The pointee must outlive run().
+  const std::atomic<std::uint32_t>* deadlineExpiredMs = nullptr;
 };
 
 struct RunResult {

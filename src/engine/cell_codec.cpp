@@ -1,0 +1,256 @@
+#include "engine/cell_codec.hpp"
+
+#include <bit>
+#include <cstdio>
+
+#include "support/fault.hpp"
+
+namespace riscmp::engine {
+
+using support::JsonValue;
+
+namespace {
+
+JsonValue bits(double value) {
+  return JsonValue(std::bit_cast<std::uint64_t>(value));
+}
+
+double unbits(const JsonValue& value) {
+  return std::bit_cast<double>(value.asUint());
+}
+
+JsonValue encodeConfig(const Config& config) {
+  JsonValue out = JsonValue::object();
+  out.set("arch", JsonValue(static_cast<std::uint64_t>(config.arch)));
+  out.set("era", JsonValue(static_cast<std::uint64_t>(config.era)));
+  return out;
+}
+
+Config decodeConfig(const JsonValue& value) {
+  Config config;
+  config.arch = static_cast<Arch>(value.at("arch").asUint());
+  config.era = static_cast<kgen::CompilerEra>(value.at("era").asUint());
+  return config;
+}
+
+}  // namespace
+
+JsonValue encodeCell(const CellResult& result) {
+  JsonValue out = JsonValue::object();
+  out.set("v", JsonValue(kCodecV));
+
+  JsonValue key = JsonValue::object();
+  key.set("workload", JsonValue(result.key.workload));
+  key.set("w", JsonValue(static_cast<std::uint64_t>(result.key.workloadIndex)));
+  key.set("config", encodeConfig(result.key.config));
+  key.set("c", JsonValue(static_cast<std::uint64_t>(result.key.configIndex)));
+  out.set("key", std::move(key));
+
+  JsonValue status = JsonValue::object();
+  status.set("name", JsonValue(result.cell.name));
+  status.set("ok", JsonValue(result.cell.ok));
+  if (!result.cell.ok) {
+    status.set("kind", JsonValue(result.cell.kind));
+    status.set("summary", JsonValue(result.cell.summary));
+  }
+  out.set("cell", std::move(status));
+  if (!result.faultText.empty()) {
+    out.set("faultText", JsonValue(result.faultText));
+  }
+
+  out.set("instructions", JsonValue(result.instructions));
+
+  JsonValue kernels = JsonValue::array();
+  for (const auto& kernel : result.kernels) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", JsonValue(kernel.name));
+    entry.set("count", JsonValue(kernel.count));
+    kernels.push(std::move(entry));
+  }
+  out.set("kernels", std::move(kernels));
+
+  JsonValue groups = JsonValue::array();
+  for (const std::uint64_t count : result.groups) groups.push(JsonValue(count));
+  out.set("groups", std::move(groups));
+  out.set("unattributed", JsonValue(result.unattributed));
+
+  out.set("criticalPath", JsonValue(result.criticalPath));
+  out.set("hasScaledCp", JsonValue(result.hasScaledCp));
+  out.set("scaledCriticalPath", JsonValue(result.scaledCriticalPath));
+
+  JsonValue windows = JsonValue::array();
+  for (const auto& window : result.windows) {
+    JsonValue entry = JsonValue::object();
+    entry.set("size", JsonValue(static_cast<std::uint64_t>(window.windowSize)));
+    entry.set("windows", JsonValue(window.windows));
+    entry.set("meanCp", bits(window.meanCp));
+    entry.set("meanIlp", bits(window.meanIlp));
+    entry.set("minCp", bits(window.minCp));
+    entry.set("maxCp", bits(window.maxCp));
+    windows.push(std::move(entry));
+  }
+  out.set("windows", std::move(windows));
+
+  JsonValue deps = JsonValue::object();
+  deps.set("dependencies", JsonValue(result.deps.dependencies));
+  deps.set("meanDistance", bits(result.deps.meanDistance));
+  deps.set("within4", bits(result.deps.within4));
+  deps.set("within16", bits(result.deps.within16));
+  deps.set("within64", bits(result.deps.within64));
+  out.set("deps", std::move(deps));
+
+  out.set("hasCache", JsonValue(result.hasCache));
+  if (result.hasCache) {
+    JsonValue cache = JsonValue::object();
+    cache.set("loads", JsonValue(result.cache.loads));
+    cache.set("stores", JsonValue(result.cache.stores));
+    cache.set("l1Hits", JsonValue(result.cache.l1Hits));
+    cache.set("l1Misses", JsonValue(result.cache.l1Misses));
+    cache.set("l2Hits", JsonValue(result.cache.l2Hits));
+    cache.set("l2Misses", JsonValue(result.cache.l2Misses));
+    cache.set("writebacksToL2", JsonValue(result.cache.writebacksToL2));
+    cache.set("writebacksToMem", JsonValue(result.cache.writebacksToMem));
+    cache.set("prefetchesIssued", JsonValue(result.cache.prefetchesIssued));
+    cache.set("prefetchesUseful", JsonValue(result.cache.prefetchesUseful));
+    out.set("cache", std::move(cache));
+    out.set("cacheFootprintLines", JsonValue(result.cacheFootprintLines));
+    out.set("cacheLineSetDigest", JsonValue(result.cacheLineSetDigest));
+
+    JsonValue cacheKernels = JsonValue::array();
+    for (const auto& kernel : result.cacheKernels) {
+      JsonValue entry = JsonValue::object();
+      entry.set("name", JsonValue(kernel.name));
+      entry.set("instructions", JsonValue(kernel.instructions));
+      entry.set("loads", JsonValue(kernel.loads));
+      entry.set("stores", JsonValue(kernel.stores));
+      entry.set("l1Misses", JsonValue(kernel.l1Misses));
+      entry.set("l2Misses", JsonValue(kernel.l2Misses));
+      entry.set("footprintLines", JsonValue(kernel.footprintLines));
+      entry.set("lineSetDigest", JsonValue(kernel.lineSetDigest));
+      cacheKernels.push(std::move(entry));
+    }
+    out.set("cacheKernels", std::move(cacheKernels));
+  }
+  out.set("hasCacheAwareCp", JsonValue(result.hasCacheAwareCp));
+  out.set("cacheAwareCriticalPath", JsonValue(result.cacheAwareCriticalPath));
+
+  return out;
+}
+
+CellResult decodeCell(const JsonValue& value) {
+  if (value.at("v").asUint() != kCodecV) {
+    throw ConfigError("cell codec: unsupported version " +
+                      std::to_string(value.at("v").asUint()));
+  }
+  CellResult result;
+
+  const JsonValue& key = value.at("key");
+  result.key.workload = key.at("workload").asString();
+  result.key.workloadIndex = key.at("w").asUint();
+  result.key.config = decodeConfig(key.at("config"));
+  result.key.configIndex = key.at("c").asUint();
+
+  const JsonValue& status = value.at("cell");
+  result.cell.name = status.at("name").asString();
+  result.cell.ok = status.at("ok").asBool();
+  if (!result.cell.ok) {
+    result.cell.kind = status.at("kind").asString();
+    result.cell.summary = status.at("summary").asString();
+  }
+  if (value.has("faultText")) {
+    result.faultText = value.at("faultText").asString();
+  }
+
+  result.instructions = value.at("instructions").asUint();
+
+  for (const JsonValue& entry : value.at("kernels").items()) {
+    result.kernels.push_back(
+        {entry.at("name").asString(), entry.at("count").asUint()});
+  }
+
+  const auto& groups = value.at("groups").items();
+  if (groups.size() != result.groups.size()) {
+    throw ConfigError("cell codec: group-count mismatch");
+  }
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    result.groups[g] = groups[g].asUint();
+  }
+  result.unattributed = value.at("unattributed").asUint();
+
+  result.criticalPath = value.at("criticalPath").asUint();
+  result.hasScaledCp = value.at("hasScaledCp").asBool();
+  result.scaledCriticalPath = value.at("scaledCriticalPath").asUint();
+
+  for (const JsonValue& entry : value.at("windows").items()) {
+    WindowedCPAnalyzer::WindowResult window;
+    window.windowSize = static_cast<std::uint32_t>(entry.at("size").asUint());
+    window.windows = entry.at("windows").asUint();
+    window.meanCp = unbits(entry.at("meanCp"));
+    window.meanIlp = unbits(entry.at("meanIlp"));
+    window.minCp = unbits(entry.at("minCp"));
+    window.maxCp = unbits(entry.at("maxCp"));
+    result.windows.push_back(window);
+  }
+
+  const JsonValue& deps = value.at("deps");
+  result.deps.dependencies = deps.at("dependencies").asUint();
+  result.deps.meanDistance = unbits(deps.at("meanDistance"));
+  result.deps.within4 = unbits(deps.at("within4"));
+  result.deps.within16 = unbits(deps.at("within16"));
+  result.deps.within64 = unbits(deps.at("within64"));
+
+  result.hasCache = value.at("hasCache").asBool();
+  if (result.hasCache) {
+    const JsonValue& cache = value.at("cache");
+    result.cache.loads = cache.at("loads").asUint();
+    result.cache.stores = cache.at("stores").asUint();
+    result.cache.l1Hits = cache.at("l1Hits").asUint();
+    result.cache.l1Misses = cache.at("l1Misses").asUint();
+    result.cache.l2Hits = cache.at("l2Hits").asUint();
+    result.cache.l2Misses = cache.at("l2Misses").asUint();
+    result.cache.writebacksToL2 = cache.at("writebacksToL2").asUint();
+    result.cache.writebacksToMem = cache.at("writebacksToMem").asUint();
+    result.cache.prefetchesIssued = cache.at("prefetchesIssued").asUint();
+    result.cache.prefetchesUseful = cache.at("prefetchesUseful").asUint();
+    result.cacheFootprintLines = value.at("cacheFootprintLines").asUint();
+    result.cacheLineSetDigest = value.at("cacheLineSetDigest").asUint();
+    for (const JsonValue& entry : value.at("cacheKernels").items()) {
+      uarch::mem::CacheModelAnalyzer::KernelStats kernel;
+      kernel.name = entry.at("name").asString();
+      kernel.instructions = entry.at("instructions").asUint();
+      kernel.loads = entry.at("loads").asUint();
+      kernel.stores = entry.at("stores").asUint();
+      kernel.l1Misses = entry.at("l1Misses").asUint();
+      kernel.l2Misses = entry.at("l2Misses").asUint();
+      kernel.footprintLines = entry.at("footprintLines").asUint();
+      kernel.lineSetDigest = entry.at("lineSetDigest").asUint();
+      result.cacheKernels.push_back(std::move(kernel));
+    }
+  }
+  result.hasCacheAwareCp = value.at("hasCacheAwareCp").asBool();
+  result.cacheAwareCriticalPath = value.at("cacheAwareCriticalPath").asUint();
+
+  return result;
+}
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::uint64_t cellDigest(const CellResult& result) {
+  return fnv1a64(encodeCell(result).dump());
+}
+
+std::string digestHex(std::uint64_t digest) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buffer;
+}
+
+}  // namespace riscmp::engine

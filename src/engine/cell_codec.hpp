@@ -1,0 +1,44 @@
+// Exact CellResult (de)serialization (ISSUE 6 tentpole).
+//
+// Two transports share this codec: run-journal entries (so --resume can
+// reuse a completed cell and still render a byte-identical report) and the
+// process-isolation pipe protocol (so a forked worker can hand its whole
+// result back to the parent). Exactness is the contract: every numeric
+// field round-trips bit-for-bit — doubles are carried as their IEEE-754
+// bit patterns, not decimal renderings — and decode(encode(x)) must
+// reproduce x down to the fault text. The schema is versioned (kCodecV);
+// decoders reject other versions so a stale journal re-runs its cells
+// instead of mispopulating a report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "engine/engine.hpp"
+#include "support/json_lite.hpp"
+
+namespace riscmp::engine {
+
+inline constexpr std::uint64_t kCodecV = 1;
+
+/// Encode everything `result` carries, including the verify cell status
+/// and captured fault text. The `key.workloadIndex`/`configIndex` fields
+/// are encoded too — decode restores a fully positioned grid cell.
+support::JsonValue encodeCell(const CellResult& result);
+
+/// Inverse of encodeCell. Throws ConfigError on version or shape mismatch
+/// (journal loaders treat that as "re-run this cell").
+CellResult decodeCell(const support::JsonValue& value);
+
+/// FNV-1a 64 over raw bytes (shared by cellDigest and the journal's
+/// compact compile-fingerprint digests).
+std::uint64_t fnv1a64(const std::string& bytes);
+
+/// FNV-1a over the canonical encoding — the journal's per-entry result
+/// digest. Any bit of drift in the stored result invalidates the entry.
+std::uint64_t cellDigest(const CellResult& result);
+
+/// Hex spelling used for digests in journal entries ("%016llx").
+std::string digestHex(std::uint64_t digest);
+
+}  // namespace riscmp::engine

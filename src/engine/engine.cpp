@@ -1,12 +1,20 @@
 #include "engine/engine.hpp"
 
+#include <chrono>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "analysis/dep_distance.hpp"
 #include "core/machine.hpp"
+#include "engine/cell_codec.hpp"
+#include "engine/journal.hpp"
+#include "engine/process_worker.hpp"
+#include "support/fault.hpp"
+#include "support/json_lite.hpp"
 #include "support/table.hpp"
 #include "uarch/mem/cache_aware_cp.hpp"
 
@@ -30,6 +38,7 @@ std::string describe(const EngineStats& stats) {
   out << "engine: " << stats.compiles << " compiles (+" << stats.cacheHits
       << " cached), " << stats.simulations << " simulations, jobs="
       << stats.jobs;
+  if (stats.resumed != 0) out << ", resumed=" << stats.resumed;
   return out.str();
 }
 
@@ -48,18 +57,21 @@ std::shared_ptr<const kgen::Compiled> ExperimentEngine::compile(
 
 std::uint64_t ExperimentEngine::simulate(
     const kgen::Compiled& compiled,
-    const std::vector<TraceObserver*>& observers) {
+    const std::vector<TraceObserver*>& observers,
+    const std::atomic<std::uint32_t>* deadlineFlag) {
   MachineOptions machineOptions;
   machineOptions.maxInstructions = options_.budget;
+  machineOptions.deadlineExpiredMs = deadlineFlag;
   Machine machine(compiled.program, machineOptions);
   for (TraceObserver* observer : observers) machine.addObserver(*observer);
   simulations_.fetch_add(1, std::memory_order_relaxed);
   return machine.run().instructions;
 }
 
-void ExperimentEngine::runCell(
+void ExperimentEngine::runCellAttempt(
     const std::vector<workloads::WorkloadSpec>& suite,
-    const std::vector<Config>& configs, std::size_t index, CellResult& out) {
+    const std::vector<Config>& configs, std::size_t index, CellResult& out,
+    const std::atomic<std::uint32_t>* deadlineFlag) {
   const std::size_t w = index / configs.size();
   const std::size_t c = index % configs.size();
   const workloads::WorkloadSpec& spec = suite[w];
@@ -126,7 +138,7 @@ void ExperimentEngine::runCell(
       }
     }
 
-    out.instructions = simulate(*compiled, observers);
+    out.instructions = simulate(*compiled, observers, deadlineFlag);
 
     if (pathLength) {
       out.kernels = pathLength->kernels();
@@ -164,6 +176,68 @@ void ExperimentEngine::runCell(
   out.faultText = capture.str();
 }
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint32_t deadlineMillis(double seconds) {
+  if (seconds <= 0.0) return 0;
+  double ms = seconds * 1000.0;
+  if (ms < 1.0) ms = 1.0;
+  const double cap = 4294967295.0;
+  if (ms > cap) ms = cap;
+  return static_cast<std::uint32_t>(ms);
+}
+
+std::uint64_t elapsedMicros(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+CellKey keyForIndex(const std::vector<workloads::WorkloadSpec>& suite,
+                    const std::vector<Config>& configs, std::size_t index) {
+  const std::size_t w = index / configs.size();
+  const std::size_t c = index % configs.size();
+  return CellKey{suite[w].name, w, configs[c], c};
+}
+
+/// Record a cell that --fail-fast prevented from ever starting. Not a
+/// fault (nothing ran), so no crash report — just a failed status the
+/// boundary summary and the ✗(skipped) report cell surface.
+void markSkipped(CellResult& out,
+                 const std::vector<workloads::WorkloadSpec>& suite,
+                 const std::vector<Config>& configs, std::size_t index,
+                 const std::string& name) {
+  out = CellResult{};
+  out.key = keyForIndex(suite, configs, index);
+  out.cell.name = name;
+  out.cell.ok = false;
+  out.cell.kind = "skipped";
+  out.cell.summary = "not run: --fail-fast stopped the grid after an "
+                     "earlier cell failed";
+}
+
+JournalHeader gridHeader(const std::vector<workloads::WorkloadSpec>& suite,
+                         const std::vector<Config>& configs,
+                         const EngineOptions& options) {
+  JournalHeader header;
+  header.workloads.reserve(suite.size());
+  for (const workloads::WorkloadSpec& spec : suite) {
+    header.workloads.push_back(spec.name);
+  }
+  header.configs.reserve(configs.size());
+  for (const Config& config : configs) {
+    header.configs.push_back(configName(config));
+  }
+  header.budget = options.budget;
+  header.analyses = options.analyses;
+  return header;
+}
+
+}  // namespace
+
 GridResult ExperimentEngine::runGrid(
     const std::vector<workloads::WorkloadSpec>& suite,
     const std::vector<Config>& configs) {
@@ -171,11 +245,230 @@ GridResult ExperimentEngine::runGrid(
   grid.workloadCount = suite.size();
   grid.configCount = configs.size();
   grid.cells.resize(suite.size() * configs.size());
+  const std::size_t count = grid.cells.size();
+
+  std::vector<std::string> names(count);
+  std::vector<std::string> fingerprints(count);
+  for (std::size_t index = 0; index < count; ++index) {
+    const std::size_t w = index / configs.size();
+    const std::size_t c = index % configs.size();
+    names[index] = suite[w].name + "/" + configName(configs[c]);
+    // The cache key is the full module dump; journal entries store its
+    // FNV digest instead so a 20-cell journal stays kilobytes, not MBs.
+    fingerprints[index] = digestHex(fnv1a64(CompileCache::fingerprint(
+        suite[w].module, configs[c].arch, configs[c].era)));
+  }
+
+  const JournalHeader header = gridHeader(suite, configs, options_);
+
+  // Resume: reuse every journal cell whose grid identity, compile
+  // fingerprint, and result digest all check out. ok=false entries are
+  // deliberately not reused — a resumed run re-executes failed cells.
+  std::vector<char> done(count, 0);
+  if (!options_.resumeFrom.empty()) {
+    const RunJournal::Loaded loaded = RunJournal::load(options_.resumeFrom);
+    if (loaded.hasHeader && !(loaded.header == header)) {
+      throw ConfigError("--resume: journal was written for a different grid "
+                        "(workloads, configs, budget, or analyses differ)",
+                        options_.resumeFrom);
+    }
+    for (std::size_t index = 0; index < count; ++index) {
+      const auto it = loaded.entries.find(names[index]);
+      if (it == loaded.entries.end()) continue;
+      if (!it->second.result.cell.ok) continue;
+      if (it->second.fingerprint != fingerprints[index]) continue;
+      grid.cells[index] = it->second.result;
+      done[index] = 1;
+      resumed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  const std::string journalPath =
+      options_.journalPath.empty() ? options_.resumeFrom
+                                   : options_.journalPath;
+  std::unique_ptr<RunJournal> journal;
+  if (!journalPath.empty()) {
+    journal = std::make_unique<RunJournal>(journalPath, header);
+  }
+
+  const std::uint32_t deadlineMs = deadlineMillis(options_.deadlineSeconds);
+  if (options_.isolate == IsolationMode::Process) {
+    runGridProcess(grid, suite, configs, names, fingerprints, done,
+                   deadlineMs, journal.get());
+  } else {
+    runGridThread(grid, suite, configs, names, fingerprints, done,
+                  deadlineMs, journal.get());
+  }
+
+  if (journal) {
+    std::vector<JournalEntry> entries;
+    entries.reserve(count);
+    for (std::size_t index = 0; index < count; ++index) {
+      entries.push_back(
+          JournalEntry{names[index], fingerprints[index], grid.cells[index]});
+    }
+    journal->finalize(entries);
+  }
+  return grid;
+}
+
+void ExperimentEngine::runGridThread(
+    GridResult& grid, const std::vector<workloads::WorkloadSpec>& suite,
+    const std::vector<Config>& configs, const std::vector<std::string>& names,
+    const std::vector<std::string>& fingerprints,
+    const std::vector<char>& done, std::uint32_t deadlineMs,
+    RunJournal* journal) {
+  std::atomic<bool> anyFailed{false};
 
   scheduler_.run(grid.cells.size(), [&](std::size_t index) {
-    runCell(suite, configs, index, grid.cells[index]);
+    if (done[index] != 0) return;
+    CellResult& out = grid.cells[index];
+    if (options_.failFast && anyFailed.load(std::memory_order_acquire)) {
+      markSkipped(out, suite, configs, index, names[index]);
+      return;
+    }
+
+    const auto start = Clock::now();
+    unsigned attempt = 0;
+    for (;;) {
+      out = CellResult{};
+      {
+        // Token scope = attempt scope: disarmed before any backoff sleep.
+        const Watchdog::Token token = watchdog_.arm(deadlineMs);
+        runCellAttempt(suite, configs, index, out, token.flag());
+      }
+      if (out.cell.ok) break;
+      // Only timeouts are transient under thread isolation: every
+      // in-taxonomy fault is a deterministic property of the cell, and a
+      // real crash would have taken this whole process down.
+      const bool transient = out.cell.kind == "TimeoutFault";
+      if (!transient || attempt >= options_.retries) break;
+      ++attempt;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(retryBackoffDelayMs(
+              options_.retryBackoffMs, options_.retrySeed, index, attempt)));
+    }
+
+    if (!out.cell.ok) anyFailed.store(true, std::memory_order_release);
+    if (journal != nullptr) {
+      journal->append(
+          JournalEntry{names[index], fingerprints[index], out},
+          elapsedMicros(start), attempt);
+    }
   });
-  return grid;
+}
+
+void ExperimentEngine::runGridProcess(
+    GridResult& grid, const std::vector<workloads::WorkloadSpec>& suite,
+    const std::vector<Config>& configs, const std::vector<std::string>& names,
+    const std::vector<std::string>& fingerprints,
+    const std::vector<char>& done, std::uint32_t deadlineMs,
+    RunJournal* journal) {
+  std::vector<std::size_t> pending;
+  for (std::size_t index = 0; index < grid.cells.size(); ++index) {
+    if (done[index] == 0) pending.push_back(index);
+  }
+
+  ProcessPoolOptions pool;
+  pool.jobs = scheduler_.jobs();
+  pool.deadlineMs = deadlineMs;
+  pool.retries = options_.retries;
+  pool.backoffBaseMs = options_.retryBackoffMs;
+  pool.retrySeed = options_.retrySeed;
+  pool.failFast = options_.failFast;
+
+  // Runs in the forked child: execute the cell with the inherited engine
+  // machinery and ship the full result — plus this worker's stats deltas,
+  // so the parent's footer counts stay isolation-mode independent — as one
+  // JSON document over the pipe.
+  const auto childRun = [&](std::size_t task) -> std::string {
+    const std::size_t index = pending[task];
+    const std::uint64_t compilesBefore = cache_.compiles();
+    const std::uint64_t hitsBefore = cache_.hits();
+    const std::uint64_t simsBefore =
+        simulations_.load(std::memory_order_relaxed);
+
+    CellResult out;
+    runCellAttempt(suite, configs, index, out, nullptr);
+
+    support::JsonValue payload = support::JsonValue::object();
+    payload.set("v", support::JsonValue(kCodecV));
+    payload.set("result", encodeCell(out));
+    payload.set("compiles",
+                support::JsonValue(cache_.compiles() - compilesBefore));
+    payload.set("hits", support::JsonValue(cache_.hits() - hitsBefore));
+    payload.set("sims",
+                support::JsonValue(
+                    simulations_.load(std::memory_order_relaxed) -
+                    simsBefore));
+    return payload.dump() + "\n";
+  };
+
+  // Runs in the parent as each cell reaches its final outcome. Crash and
+  // timeout outcomes are synthesized through a local FaultBoundary so their
+  // captured reports format exactly like in-process failures.
+  const auto onOutcome = [&](std::size_t task,
+                             const WorkerOutcome& outcome) -> bool {
+    const std::size_t index = pending[task];
+    CellResult& out = grid.cells[index];
+
+    bool decoded = false;
+    if (outcome.status == WorkerOutcome::Status::Payload) {
+      if (const std::optional<support::JsonValue> doc =
+              support::JsonValue::tryParse(outcome.payload)) {
+        try {
+          if (doc->at("v").asUint() == kCodecV) {
+            out = decodeCell(doc->at("result"));
+            childCompiles_.fetch_add(doc->at("compiles").asUint(),
+                                     std::memory_order_relaxed);
+            childHits_.fetch_add(doc->at("hits").asUint(),
+                                 std::memory_order_relaxed);
+            simulations_.fetch_add(doc->at("sims").asUint(),
+                                   std::memory_order_relaxed);
+            decoded = true;
+          }
+        } catch (const Fault&) {
+          decoded = false;  // torn payload: fall through to CrashFault
+        }
+      }
+    }
+
+    if (!decoded) {
+      out = CellResult{};
+      out.key = keyForIndex(suite, configs, index);
+      std::ostringstream capture;
+      verify::FaultBoundary local(capture);
+      local.run(names[index], [&]() {
+        if (outcome.status == WorkerOutcome::Status::TimedOut) {
+          throw TimeoutFault(deadlineMs);
+        }
+        if (outcome.signo != 0) {
+          throw CrashFault(outcome.signo, names[index]);
+        }
+        throw CrashFault::exited(outcome.exitCode, names[index]);
+      });
+      out.cell = local.results().front();
+      out.faultText = capture.str();
+    }
+
+    if (journal != nullptr) {
+      journal->append(JournalEntry{names[index], fingerprints[index], out},
+                      outcome.elapsedUs, outcome.attempt);
+    }
+    return out.cell.ok;
+  };
+
+  const std::vector<std::size_t> skipped =
+      runForkedCells(pending.size(), pool, childRun, onOutcome);
+  for (const std::size_t task : skipped) {
+    const std::size_t index = pending[task];
+    markSkipped(grid.cells[index], suite, configs, index, names[index]);
+    if (journal != nullptr) {
+      journal->append(
+          JournalEntry{names[index], fingerprints[index], grid.cells[index]},
+          0, 0);
+    }
+  }
 }
 
 std::vector<ExperimentEngine::RawOutcome> ExperimentEngine::runJobs(
@@ -202,9 +495,12 @@ std::vector<ExperimentEngine::RawOutcome> ExperimentEngine::runJobs(
 
 EngineStats ExperimentEngine::stats() const {
   EngineStats stats;
-  stats.compiles = cache_.compiles();
-  stats.cacheHits = cache_.hits();
+  stats.compiles =
+      cache_.compiles() + childCompiles_.load(std::memory_order_relaxed);
+  stats.cacheHits =
+      cache_.hits() + childHits_.load(std::memory_order_relaxed);
   stats.simulations = simulations_.load(std::memory_order_relaxed);
+  stats.resumed = resumed_.load(std::memory_order_relaxed);
   stats.jobs = scheduler_.jobs();
   return stats;
 }

@@ -18,6 +18,23 @@
 // verify::FaultBoundary capturing to a private buffer, so one faulting
 // cell cannot take down its worker or interleave crash reports; outcomes
 // are merged into the caller's boundary in deterministic cell order.
+//
+// Resilient execution layer (ISSUE 6): runGrid additionally supports
+//  - per-cell wall-clock deadlines (a watchdog converts overruns into
+//    typed TimeoutFaults — cooperative under thread isolation, preemptive
+//    SIGKILL under process isolation),
+//  - bounded seeded retry with exponential backoff for transient faults
+//    (timeouts and worker crashes; in-taxonomy simulation faults are
+//    deterministic and never retried),
+//  - process-sandboxed workers (--isolate=process): each cell runs in a
+//    forked subprocess speaking the cell_codec pipe protocol, so a
+//    SIGSEGV/SIGKILL/OOM inside one cell becomes a CrashFault record while
+//    the rest of the grid completes (process_worker.hpp),
+//  - a crash-durable run journal with --resume (journal.hpp): completed
+//    cells are skipped on resume and their stored results reproduce a
+//    byte-identical report.
+// These apply to runGrid only; runJobs RawJob closures cannot be
+// serialized across a process boundary or journaled generically.
 #pragma once
 
 #include <array>
@@ -34,6 +51,7 @@
 #include "analysis/windowed_cp.hpp"
 #include "engine/compile_cache.hpp"
 #include "engine/scheduler.hpp"
+#include "engine/watchdog.hpp"
 #include "isa/arch.hpp"
 #include "kgen/compile.hpp"
 #include "uarch/mem/cache_model.hpp"
@@ -142,6 +160,21 @@ struct GridResult {
                                      std::size_t config) const {
     return cells[workload * configCount + config];
   }
+
+  /// True when any cell failed (fault, crash, timeout, or skipped by
+  /// fail-fast) — the bench exit-code-3 signal.
+  [[nodiscard]] bool anyFailed() const {
+    for (const CellResult& cell : cells) {
+      if (!cell.cell.ok) return true;
+    }
+    return false;
+  }
+};
+
+/// Where cells execute (EngineOptions::isolate).
+enum class IsolationMode : std::uint8_t {
+  Thread,   ///< worker threads in this process (fast; crashes are fatal)
+  Process,  ///< forked worker subprocesses (crash/OOM/hang containment)
 };
 
 struct EngineOptions {
@@ -168,17 +201,45 @@ struct EngineOptions {
   /// fails the cell exactly like a simulation fault (used by tab2 to turn
   /// a missing core model into a per-cell ConfigError).
   std::function<void(const CellKey&)> cellSetup;
+
+  // ---- Resilient execution (ISSUE 6); runGrid only ----------------------
+  /// Per-cell wall-clock deadline in seconds (0 = none). Thread isolation
+  /// enforces it cooperatively inside the simulator loop; process
+  /// isolation SIGKILLs the worker.
+  double deadlineSeconds = 0.0;
+  /// Extra attempts for cells whose failure is classified transient
+  /// (TimeoutFault always; CrashFault under process isolation).
+  unsigned retries = 0;
+  /// Retry backoff base in ms; the delay doubles per attempt, plus
+  /// deterministic jitter derived from `retrySeed` and the cell index.
+  unsigned retryBackoffMs = 100;
+  std::uint64_t retrySeed = 0;
+  /// Where cells execute; Process dispatches each cell to a forked worker.
+  IsolationMode isolate = IsolationMode::Thread;
+  /// Stop scheduling new cells after the first failed cell; cells never
+  /// started are recorded as skipped (ok=false, kind "skipped").
+  bool failFast = false;
+  /// Append completed cells to this JSONL run journal (journal.hpp);
+  /// atomically rewritten in canonical order when the run finishes.
+  std::string journalPath;
+  /// Load this journal first and skip cells it already completed
+  /// successfully (digest- and fingerprint-verified); implies journaling
+  /// to the same file unless journalPath names another.
+  std::string resumeFrom;
 };
 
 struct EngineStats {
   std::uint64_t compiles = 0;     ///< kgen::compile invocations
   std::uint64_t cacheHits = 0;    ///< compilations served from the cache
   std::uint64_t simulations = 0;  ///< Machine::run invocations
+  std::uint64_t resumed = 0;      ///< cells reused from a --resume journal
   unsigned jobs = 0;              ///< resolved worker-thread count
 };
 
 /// One line for bench footers, e.g.
-/// "engine: 20 compiles (+0 cached), 20 simulations, jobs=4".
+/// "engine: 20 compiles (+0 cached), 20 simulations, jobs=4"
+/// (", resumed=N" appended only when a resume reused cells, so existing
+/// footer expectations are unchanged for fresh runs).
 std::string describe(const EngineStats& stats);
 
 class ExperimentEngine {
@@ -220,23 +281,47 @@ class ExperimentEngine {
 
   /// Run one Machine over `compiled` with `observers` attached, under this
   /// engine's instruction budget; returns the dynamic instruction count and
-  /// counts toward stats().simulations.
+  /// counts toward stats().simulations. `deadlineFlag`, when non-null, is
+  /// the watchdog's cancellation channel (MachineOptions::deadlineExpiredMs).
   std::uint64_t simulate(const kgen::Compiled& compiled,
-                         const std::vector<TraceObserver*>& observers);
+                         const std::vector<TraceObserver*>& observers,
+                         const std::atomic<std::uint32_t>* deadlineFlag =
+                             nullptr);
 
   [[nodiscard]] EngineStats stats() const;
   [[nodiscard]] const EngineOptions& options() const { return options_; }
   [[nodiscard]] unsigned jobs() const { return scheduler_.jobs(); }
 
  private:
-  void runCell(const std::vector<workloads::WorkloadSpec>& suite,
-               const std::vector<Config>& configs, std::size_t index,
-               CellResult& out);
+  void runCellAttempt(const std::vector<workloads::WorkloadSpec>& suite,
+                      const std::vector<Config>& configs, std::size_t index,
+                      CellResult& out,
+                      const std::atomic<std::uint32_t>* deadlineFlag);
+  void runGridThread(GridResult& grid,
+                     const std::vector<workloads::WorkloadSpec>& suite,
+                     const std::vector<Config>& configs,
+                     const std::vector<std::string>& names,
+                     const std::vector<std::string>& fingerprints,
+                     const std::vector<char>& done, std::uint32_t deadlineMs,
+                     class RunJournal* journal);
+  void runGridProcess(GridResult& grid,
+                      const std::vector<workloads::WorkloadSpec>& suite,
+                      const std::vector<Config>& configs,
+                      const std::vector<std::string>& names,
+                      const std::vector<std::string>& fingerprints,
+                      const std::vector<char>& done, std::uint32_t deadlineMs,
+                      class RunJournal* journal);
 
   EngineOptions options_;
   CellScheduler scheduler_;
   CompileCache cache_;
+  Watchdog watchdog_;
   std::atomic<std::uint64_t> simulations_{0};
+  /// Worker-subprocess stats deltas, merged from pipe payloads so the
+  /// "engine: N compiles..." footer is isolation-mode independent.
+  std::atomic<std::uint64_t> childCompiles_{0};
+  std::atomic<std::uint64_t> childHits_{0};
+  std::atomic<std::uint64_t> resumed_{0};
 };
 
 /// Replay captured fault reports to `out` in cell order and merge every

@@ -1,0 +1,185 @@
+#include "engine/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "engine/cell_codec.hpp"
+#include "support/atomic_file.hpp"
+#include "support/fault.hpp"
+
+namespace riscmp::engine {
+
+using support::JsonValue;
+
+namespace {
+
+JsonValue headerJson(const JournalHeader& header) {
+  JsonValue out = JsonValue::object();
+  out.set("type", JsonValue("header"));
+  out.set("v", JsonValue(kJournalV));
+  JsonValue workloads = JsonValue::array();
+  for (const std::string& name : header.workloads) {
+    workloads.push(JsonValue(name));
+  }
+  out.set("workloads", std::move(workloads));
+  JsonValue configs = JsonValue::array();
+  for (const std::string& name : header.configs) {
+    configs.push(JsonValue(name));
+  }
+  out.set("configs", std::move(configs));
+  out.set("budget", JsonValue(header.budget));
+  out.set("analyses", JsonValue(header.analyses));
+  return out;
+}
+
+JournalHeader decodeHeader(const JsonValue& value) {
+  JournalHeader header;
+  for (const JsonValue& name : value.at("workloads").items()) {
+    header.workloads.push_back(name.asString());
+  }
+  for (const JsonValue& name : value.at("configs").items()) {
+    header.configs.push_back(name.asString());
+  }
+  header.budget = value.at("budget").asUint();
+  header.analyses = value.at("analyses").asUint();
+  return header;
+}
+
+JsonValue cellJson(const JournalEntry& entry) {
+  JsonValue out = JsonValue::object();
+  out.set("type", JsonValue("cell"));
+  out.set("v", JsonValue(kJournalV));
+  out.set("name", JsonValue(entry.name));
+  out.set("fp", JsonValue(entry.fingerprint));
+  out.set("ok", JsonValue(entry.result.cell.ok));
+  out.set("digest", JsonValue(digestHex(cellDigest(entry.result))));
+  out.set("result", encodeCell(entry.result));
+  return out;
+}
+
+void appendLine(int fd, const std::string& line) {
+  std::string payload = line;
+  payload.push_back('\n');
+  std::size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n = ::write(fd, payload.data() + written,
+                              payload.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ConfigError("journal: append failed: " +
+                        std::string(std::strerror(errno)));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string RunJournal::cellLine(const JournalEntry& entry) {
+  return cellJson(entry).dump();
+}
+
+RunJournal::RunJournal(std::string path, const JournalHeader& header)
+    : path_(std::move(path)), header_(header) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw ConfigError("journal: cannot open " + path_ + ": " +
+                      std::string(std::strerror(errno)));
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) == 0 && st.st_size == 0) {
+    appendLine(fd_, headerJson(header_).dump());
+  }
+}
+
+RunJournal::~RunJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void RunJournal::append(const JournalEntry& entry, std::uint64_t elapsedUs,
+                        unsigned attempt) {
+  // Volatile operational fields ride on the durable record but are dropped
+  // from the canonical rewrite, keeping final journals deterministic.
+  JsonValue record = cellJson(entry);
+  record.set("us", JsonValue(elapsedUs));
+  record.set("attempt", JsonValue(static_cast<std::uint64_t>(attempt)));
+  appendLine(fd_, record.dump());
+}
+
+void RunJournal::finalize(const std::vector<JournalEntry>& entries) {
+  std::ostringstream out;
+  out << headerJson(header_).dump() << "\n";
+  std::size_t failed = 0;
+  for (const JournalEntry& entry : entries) {
+    if (!entry.result.cell.ok) ++failed;
+    out << cellJson(entry).dump() << "\n";
+  }
+  JsonValue end = JsonValue::object();
+  end.set("type", JsonValue("end"));
+  end.set("cells", JsonValue(static_cast<std::uint64_t>(entries.size())));
+  end.set("failed", JsonValue(static_cast<std::uint64_t>(failed)));
+  out << end.dump() << "\n";
+
+  std::string error;
+  if (!support::writeFileAtomic(path_, out.str(), &error)) {
+    throw ConfigError("journal: " + error);
+  }
+  // Reopen the append fd: the rename replaced the inode we held.
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+}
+
+RunJournal::Loaded RunJournal::load(const std::string& path) {
+  Loaded loaded;
+  std::ifstream in(path);
+  if (!in) return loaded;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto parsed = JsonValue::tryParse(line);
+    if (!parsed) {
+      // Torn trailing line after a crash, or stray corruption: the cell
+      // it described simply re-runs.
+      ++loaded.skippedLines;
+      continue;
+    }
+    try {
+      const std::string& type = parsed->at("type").asString();
+      if (type == "header") {
+        loaded.header = decodeHeader(*parsed);
+        loaded.hasHeader = true;
+      } else if (type == "cell") {
+        if (parsed->at("v").asUint() != kJournalV) {
+          ++loaded.skippedLines;
+          continue;
+        }
+        JournalEntry entry;
+        entry.name = parsed->at("name").asString();
+        entry.fingerprint = parsed->at("fp").asString();
+        entry.result = decodeCell(parsed->at("result"));
+        // The embedded digest must match a re-encoding of the decoded
+        // result — any drift means the record cannot reproduce the
+        // original cell byte-for-byte, so it is not reusable.
+        if (parsed->at("digest").asString() !=
+            digestHex(cellDigest(entry.result))) {
+          ++loaded.skippedLines;
+          continue;
+        }
+        loaded.entries[entry.name] = std::move(entry);  // last record wins
+      }
+      // "end" lines carry no per-cell state; nothing to do.
+    } catch (const ConfigError&) {
+      ++loaded.skippedLines;
+    }
+  }
+  return loaded;
+}
+
+}  // namespace riscmp::engine

@@ -1,0 +1,101 @@
+// Append-only run journal with atomic canonical rewrite (ISSUE 6).
+//
+// One JSONL file records a grid run cell by cell so a crashed or killed
+// harness never loses completed work:
+//
+//   {"type":"header","v":1,"workloads":[...],"configs":[...],"budget":N,
+//    "analyses":N}
+//   {"type":"cell","v":1,"name":"stream/GCC 9.2 AArch64","fp":"<compile
+//    fingerprint>","ok":true,"digest":"<fnv64 of result>","us":1234,
+//    "attempt":0,"result":{...cell_codec...}}
+//   ...
+//   {"type":"end","cells":20,"failed":0}
+//
+// During the run, entries append in *completion* order — each one a single
+// O_APPEND write of one line, immediately durable — and carry wall-clock
+// timing and the retry attempt that produced them. When the run finishes,
+// the whole file is atomically rewritten (support/atomic_file) in
+// canonical *cell* order with the volatile "us"/"attempt" fields dropped,
+// so fault-free journals are byte-identical whatever --jobs produced them.
+//
+// --resume reads either form: the loader takes the last record per cell,
+// verifies the embedded result digest and the compile fingerprint, and
+// hands back only trustworthy completed cells; torn trailing lines (the
+// crash case) and corrupt records are skipped, which simply re-runs those
+// cells. A header mismatch (different workloads/configs/budget) rejects
+// the resume outright rather than splicing incompatible grids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace riscmp::engine {
+
+inline constexpr std::uint64_t kJournalV = 1;
+
+/// Grid identity pinned in the journal's first line. Resume refuses to
+/// splice results across different grids.
+struct JournalHeader {
+  std::vector<std::string> workloads;  ///< suite names, in grid order
+  std::vector<std::string> configs;    ///< configName()s, in grid order
+  std::uint64_t budget = 0;
+  std::uint64_t analyses = 0;  ///< EngineOptions::analyses mask
+
+  bool operator==(const JournalHeader&) const = default;
+};
+
+/// One completed (or failed) cell as recorded in the journal.
+struct JournalEntry {
+  std::string name;         ///< "workload/config" cell key
+  std::string fingerprint;  ///< CompileCache fingerprint of the cell input
+  CellResult result;
+};
+
+class RunJournal {
+ public:
+  /// Open `path` for appending (creating it with the header line when new
+  /// or empty). Throws ConfigError when the path cannot be opened.
+  RunJournal(std::string path, const JournalHeader& header);
+  ~RunJournal();
+
+  RunJournal(const RunJournal&) = delete;
+  RunJournal& operator=(const RunJournal&) = delete;
+
+  /// Durably append one cell record: a single O_APPEND write of one
+  /// newline-terminated line, safe against concurrent worker appends and
+  /// never leaving a half-old/half-new record on crash.
+  void append(const JournalEntry& entry, std::uint64_t elapsedUs,
+              unsigned attempt);
+
+  /// Atomically replace the file with the canonical form: header, every
+  /// entry in grid cell order without volatile timing fields, end line.
+  void finalize(const std::vector<JournalEntry>& entries);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  struct Loaded {
+    bool hasHeader = false;
+    JournalHeader header;
+    /// Last trustworthy record per cell name (digest and codec verified).
+    std::unordered_map<std::string, JournalEntry> entries;
+    std::size_t skippedLines = 0;  ///< torn/corrupt lines ignored
+  };
+  /// Read a journal for resume. A missing file yields an empty Loaded;
+  /// malformed lines are counted, not fatal.
+  static Loaded load(const std::string& path);
+
+  /// The canonical one-line spelling of a cell record (exposed so tests
+  /// can pin the wire format).
+  static std::string cellLine(const JournalEntry& entry);
+
+ private:
+  std::string path_;
+  JournalHeader header_;
+  int fd_ = -1;
+};
+
+}  // namespace riscmp::engine

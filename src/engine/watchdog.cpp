@@ -1,0 +1,72 @@
+#include "engine/watchdog.hpp"
+
+#include <algorithm>
+
+namespace riscmp::engine {
+
+Watchdog::Token& Watchdog::Token::operator=(Token&& other) noexcept {
+  if (this != &other) {
+    if (entry_) entry_->active.store(false, std::memory_order_release);
+    entry_ = std::move(other.entry_);
+  }
+  return *this;
+}
+
+Watchdog::Token::~Token() {
+  // Disarm: the watchdog garbage-collects inactive entries on its next
+  // scan. The entry is shared, so a scan racing this destructor only ever
+  // touches live memory.
+  if (entry_) entry_->active.store(false, std::memory_order_release);
+}
+
+const std::atomic<std::uint32_t>* Watchdog::Token::flag() const {
+  return entry_ ? &entry_->expired : nullptr;
+}
+
+Watchdog::~Watchdog() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+Watchdog::Token Watchdog::arm(std::uint32_t deadlineMs) {
+  if (deadlineMs == 0) return Token{};
+
+  auto entry = std::make_shared<Token::Entry>();
+  entry->deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(deadlineMs);
+  entry->deadlineMs = deadlineMs;
+  entry->active.store(true, std::memory_order_release);
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back(entry);
+    if (!thread_.joinable()) thread_ = std::thread([this] { supervise(); });
+  }
+  return Token{std::move(entry)};
+}
+
+void Watchdog::supervise() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto& entry : entries_) {
+      if (entry->active.load(std::memory_order_acquire) &&
+          now >= entry->deadline) {
+        entry->expired.store(entry->deadlineMs, std::memory_order_relaxed);
+      }
+    }
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [](const auto& entry) {
+                                    return !entry->active.load(
+                                        std::memory_order_acquire);
+                                  }),
+                   entries_.end());
+    cv_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+}
+
+}  // namespace riscmp::engine

@@ -1,0 +1,75 @@
+// Per-cell wall-clock deadline watchdog (ISSUE 6 tentpole).
+//
+// One background thread supervises every armed cell. A worker arms a
+// Token before running its cell; the watchdog scans ~every 5 ms and, when
+// a cell's deadline passes, stores the deadline (in ms) into the token's
+// atomic flag. The emulation core polls that flag every 4096 retired
+// instructions (MachineOptions::deadlineExpiredMs) and raises a
+// TimeoutFault with full machine context — cooperative cancellation, so
+// the worker thread unwinds through its own fault boundary instead of
+// being killed mid-state. Preemptive enforcement (hangs outside the
+// simulator loop, e.g. a wedged compile) is the process-isolation mode's
+// job (process_worker.hpp), where the parent can SIGKILL the worker.
+//
+// The supervising thread starts lazily on the first arm() and joins in the
+// destructor, so engines that never set a deadline pay nothing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace riscmp::engine {
+
+class Watchdog {
+ public:
+  Watchdog() = default;
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// An armed deadline. Movable; disarms on destruction. flag() is the
+  /// cell's cancellation channel: zero until the deadline passes, then the
+  /// deadline in milliseconds (what TimeoutFault reports).
+  class Token {
+   public:
+    Token() = default;
+    Token(Token&& other) noexcept = default;
+    Token& operator=(Token&& other) noexcept;
+    ~Token();
+
+    [[nodiscard]] const std::atomic<std::uint32_t>* flag() const;
+
+   private:
+    friend class Watchdog;
+    struct Entry {
+      std::atomic<std::uint32_t> expired{0};
+      std::chrono::steady_clock::time_point deadline;
+      std::uint32_t deadlineMs = 0;
+      std::atomic<bool> active{false};
+    };
+    explicit Token(std::shared_ptr<Entry> entry) : entry_(std::move(entry)) {}
+    std::shared_ptr<Entry> entry_;
+  };
+
+  /// Arm a deadline `deadlineMs` milliseconds from now. deadlineMs == 0
+  /// returns an unarmed token (flag() == nullptr).
+  Token arm(std::uint32_t deadlineMs);
+
+ private:
+  void supervise();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::shared_ptr<Token::Entry>> entries_;
+  std::thread thread_;
+  bool stopping_ = false;
+};
+
+}  // namespace riscmp::engine

@@ -1,0 +1,43 @@
+#include "support/atomic_file.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace riscmp::support {
+
+bool writeFileAtomic(const std::string& path, const std::string& content,
+                     std::string* error) {
+  // The temporary must live in the destination directory: rename(2) is
+  // only atomic within one filesystem. The pid suffix keeps concurrent
+  // writers (e.g. two bench runs in one build tree) from clobbering each
+  // other's staging file.
+  const std::string temp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) *error = "cannot open " + temp + " for writing";
+      return false;
+    }
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      if (error != nullptr) *error = "short write to " + temp;
+      std::remove(temp.c_str());
+      return false;
+    }
+  }
+
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = "cannot rename " + temp + " to " + path;
+    std::remove(temp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace riscmp::support

@@ -39,6 +39,10 @@ std::string_view faultKindName(FaultKind kind) {
       return "ConfigError";
     case FaultKind::Validation:
       return "ValidationFault";
+    case FaultKind::Timeout:
+      return "TimeoutFault";
+    case FaultKind::Crash:
+      return "CrashFault";
   }
   return "Fault";
 }
@@ -135,6 +139,58 @@ ConfigError ConfigError::withKey(const std::string& key) const {
   ConfigError out(message_, file_, line_, key_.empty() ? key : key_);
   if (hasContext()) out.attachContext(context());
   return out;
+}
+
+TimeoutFault::TimeoutFault(std::uint64_t deadlineMs)
+    : Fault(FaultKind::Timeout, "wall-clock deadline exceeded (" +
+                                    std::to_string(deadlineMs) + " ms)"),
+      deadlineMs_(deadlineMs) {}
+
+std::string signalName(int signo) {
+  switch (signo) {
+    case 1:
+      return "SIGHUP";
+    case 2:
+      return "SIGINT";
+    case 4:
+      return "SIGILL";
+    case 6:
+      return "SIGABRT";
+    case 7:
+      return "SIGBUS";
+    case 8:
+      return "SIGFPE";
+    case 9:
+      return "SIGKILL";
+    case 11:
+      return "SIGSEGV";
+    case 13:
+      return "SIGPIPE";
+    case 15:
+      return "SIGTERM";
+    default:
+      return "signal " + std::to_string(signo);
+  }
+}
+
+CrashFault::CrashFault(const std::string& summary, int signo, int exitCode,
+                       std::string cell)
+    : Fault(FaultKind::Crash, summary),
+      signo_(signo),
+      exitCode_(exitCode),
+      cell_(std::move(cell)) {}
+
+CrashFault::CrashFault(int signo, const std::string& cell)
+    : CrashFault("worker for cell '" + cell + "' killed by " +
+                     signalName(signo) + " (signal " + std::to_string(signo) +
+                     ")",
+                 signo, 0, cell) {}
+
+CrashFault CrashFault::exited(int code, const std::string& cell) {
+  return CrashFault("worker for cell '" + cell +
+                        "' exited without a result (code " +
+                        std::to_string(code) + ")",
+                    0, code, cell);
 }
 
 }  // namespace riscmp

@@ -8,7 +8,7 @@
 // `Fault::report()` renders everything as a multi-line crash report so no
 // failure ever surfaces as a bare what() string.
 //
-// The taxonomy (ISSUE 1):
+// The taxonomy (ISSUE 1, extended by ISSUE 6):
 //   DecodeFault     — a word no decoder accepts, or decode out of bounds
 //   MemoryFault     — simulated access outside the memory arena
 //   TrapFault       — an architectural trap the core does not service
@@ -17,6 +17,15 @@
 //   ConfigError     — malformed or semantically invalid configuration,
 //                     with file / line / key provenance
 //   ValidationFault — an internal invariant or differential check failed
+//   TimeoutFault    — a cell overran its wall-clock deadline (watchdog)
+//   CrashFault      — an isolated worker process died (signal / bad exit)
+//                     instead of delivering a result
+//
+// The string forms of faultKindName() and every constructor's what()
+// summary are load-bearing: run-journal entries (src/engine/journal) and
+// crash-report artifacts embed them, and tests/verify/fault_golden_test.cpp
+// pins them. Extend the taxonomy freely, but treat existing spellings as a
+// stable wire format.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +45,8 @@ enum class FaultKind : std::uint8_t {
   Budget,
   Config,
   Validation,
+  Timeout,
+  Crash,
 };
 
 std::string_view faultKindName(FaultKind kind);
@@ -154,6 +165,49 @@ class ValidationFault : public Fault {
  public:
   explicit ValidationFault(const std::string& message)
       : Fault(FaultKind::Validation, "validation fault: " + message) {}
+};
+
+/// A cell overran its wall-clock deadline. Raised cooperatively by the
+/// emulation core when the engine watchdog flags the deadline expired
+/// (thread isolation, full machine context attached), or synthesized by
+/// the parent after SIGKILLing an overrunning worker (process isolation,
+/// no context — the worker is gone).
+class TimeoutFault : public Fault {
+ public:
+  explicit TimeoutFault(std::uint64_t deadlineMs);
+  [[nodiscard]] std::uint64_t deadlineMs() const { return deadlineMs_; }
+
+ private:
+  std::uint64_t deadlineMs_;
+};
+
+/// Printable name for the signals worker processes die from ("SIGSEGV",
+/// or "signal 42" for anything without a stable name). strsignal(3) is
+/// locale/platform dependent, so crash records use this fixed table.
+std::string signalName(int signo);
+
+/// An isolated worker process died without delivering a result: killed by
+/// a signal (SIGSEGV/SIGKILL/OOM...) or exited uncleanly mid-protocol.
+/// Synthesized by the parent from waitpid status, so it never carries
+/// machine context — the crashing cell's machine died with the worker.
+class CrashFault : public Fault {
+ public:
+  /// Worker terminated by signal `signo` while running `cell`.
+  CrashFault(int signo, const std::string& cell);
+  /// Worker exited with `code` without completing the result protocol.
+  static CrashFault exited(int code, const std::string& cell);
+
+  [[nodiscard]] int signo() const { return signo_; }  ///< 0 for exits
+  [[nodiscard]] int exitCode() const { return exitCode_; }
+  [[nodiscard]] const std::string& cell() const { return cell_; }
+
+ private:
+  CrashFault(const std::string& summary, int signo, int exitCode,
+             std::string cell);
+
+  int signo_;
+  int exitCode_;
+  std::string cell_;
 };
 
 namespace fault_detail {

@@ -1,0 +1,323 @@
+#include "support/json_lite.hpp"
+
+#include <cstdio>
+
+#include "support/fault.hpp"
+
+namespace riscmp::support {
+
+namespace {
+
+[[noreturn]] void badAccess(const char* want, JsonValue::Kind got) {
+  throw ConfigError(std::string("json: expected ") + want +
+                    ", found kind #" +
+                    std::to_string(static_cast<unsigned>(got)));
+}
+
+}  // namespace
+
+bool JsonValue::asBool() const {
+  if (kind_ != Kind::Bool) badAccess("bool", kind_);
+  return boolean_;
+}
+
+std::uint64_t JsonValue::asUint() const {
+  if (kind_ != Kind::Uint) badAccess("number", kind_);
+  return uint_;
+}
+
+const std::string& JsonValue::asString() const {
+  if (kind_ != Kind::String) badAccess("string", kind_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::Array) badAccess("array", kind_);
+  return array_;
+}
+
+void JsonValue::push(JsonValue value) {
+  if (kind_ != Kind::Array) badAccess("array", kind_);
+  array_.push_back(std::move(value));
+}
+
+void JsonValue::set(const std::string& key, JsonValue value) {
+  if (kind_ != Kind::Object) badAccess("object", kind_);
+  for (auto& [name, existing] : members_) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  if (kind_ != Kind::Object) badAccess("object", kind_);
+  for (const auto& [name, value] : members_) {
+    if (name == key) return value;
+  }
+  static const JsonValue kNull;
+  return kNull;
+}
+
+bool JsonValue::has(const std::string& key) const {
+  return !at(key).isNull();
+}
+
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonValue::dump() const {
+  switch (kind_) {
+    case Kind::Null:
+      return "null";
+    case Kind::Bool:
+      return boolean_ ? "true" : "false";
+    case Kind::Uint:
+      return std::to_string(uint_);
+    case Kind::String:
+      return "\"" + jsonEscape(string_) + "\"";
+    case Kind::Array: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out += ",";
+        out += array_[i].dump();
+      }
+      return out + "]";
+    }
+    case Kind::Object: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i != 0) out += ",";
+        out += "\"" + jsonEscape(members_[i].first) +
+               "\":" + members_[i].second.dump();
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parseDocument() {
+    JsonValue value = parseValue();
+    skipSpace();
+    if (pos_ != text_.size()) fail("trailing bytes after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ConfigError("json: " + why + " at byte " + std::to_string(pos_));
+  }
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(const char* literal) {
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parseValue() {
+    skipSpace();
+    const char c = peek();
+    if (c == '{') return parseObject();
+    if (c == '[') return parseArray();
+    if (c == '"') return JsonValue(parseString());
+    if (c >= '0' && c <= '9') return parseNumber();
+    if (consume("true")) return JsonValue(true);
+    if (consume("false")) return JsonValue(false);
+    if (consume("null")) return JsonValue();
+    fail("unsupported value (only objects, arrays, strings, booleans, null, "
+         "and non-negative integers)");
+  }
+
+  JsonValue parseNumber() {
+    std::uint64_t value = 0;
+    bool any = false;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      const std::uint64_t digit =
+          static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (value > (UINT64_MAX - digit) / 10) fail("integer overflow");
+      value = value * 10 + digit;
+      ++pos_;
+      any = true;
+    }
+    if (!any) fail("malformed number");
+    return JsonValue(value);
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          // The emitter only produces \u00xx control escapes; reject the
+          // rest rather than hand back mojibake.
+          if (code > 0xFF) fail("\\u escape outside the emitted subset");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          fail("unsupported escape");
+      }
+    }
+  }
+
+  JsonValue parseArray() {
+    expect('[');
+    JsonValue out = JsonValue::array();
+    skipSpace();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      out.push(parseValue());
+      skipSpace();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return out;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  JsonValue parseObject() {
+    expect('{');
+    JsonValue out = JsonValue::object();
+    skipSpace();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      skipSpace();
+      std::string key = parseString();
+      skipSpace();
+      expect(':');
+      out.set(key, parseValue());
+      skipSpace();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return out;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return Parser(text).parseDocument();
+}
+
+std::optional<JsonValue> JsonValue::tryParse(const std::string& text) {
+  try {
+    return parse(text);
+  } catch (const ConfigError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace riscmp::support

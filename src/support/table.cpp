@@ -55,12 +55,28 @@ void Table::addRow(std::vector<std::string> cells) {
 
 void Table::addSeparator() { separators_.push_back(rows_.size()); }
 
+namespace {
+
+/// Terminal column count of a UTF-8 cell: continuation bytes are free.
+/// Keeps multi-byte glyphs like the ✗ failure marker from skewing padding.
+std::size_t displayWidth(const std::string& cell) {
+  std::size_t width = 0;
+  for (const char c : cell) {
+    if ((static_cast<unsigned char>(c) & 0xC0u) != 0x80u) ++width;
+  }
+  return width;
+}
+
+}  // namespace
+
 std::string Table::render() const {
   std::vector<std::size_t> widths(header_.size());
-  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = displayWidth(header_[c]);
+  }
   for (const auto& row : rows_) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      widths[c] = std::max(widths[c], row[c].size());
+      widths[c] = std::max(widths[c], displayWidth(row[c]));
     }
   }
 
@@ -78,7 +94,7 @@ std::string Table::render() const {
     for (std::size_t c = 0; c < row.size(); ++c) {
       line += ' ';
       line += row[c];
-      line += std::string(widths[c] - row[c].size(), ' ');
+      line += std::string(widths[c] - displayWidth(row[c]), ' ');
       line += " |";
     }
     line += '\n';

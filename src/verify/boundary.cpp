@@ -51,7 +51,7 @@ int FaultBoundary::finish() {
   out_ << "\nFault-boundary summary: " << failures_ << "/" << results_.size()
        << " cells failed\n"
        << table << "\n";
-  return 1;
+  return 3;
 }
 
 }  // namespace riscmp::verify

@@ -41,7 +41,9 @@ class FaultBoundary {
   }
 
   /// Print the per-cell summary (when any cell failed) and return the
-  /// process exit code: 0 if everything passed, 1 otherwise.
+  /// process exit code: 0 if everything passed, 3 when any cell failed.
+  /// (The bench exit contract: 0 ok, 1 internal error, 2 usage error,
+  /// 3 one or more cells failed but the report still rendered.)
   int finish();
 
  private:

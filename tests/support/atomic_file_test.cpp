@@ -1,0 +1,85 @@
+// writeFileAtomic: stage-and-rename artifact publication (ISSUE 6).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "support/atomic_file.hpp"
+
+namespace riscmp::support {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string readAll(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("riscmp-atomic-" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(AtomicFileTest, CreatesNewFile) {
+  const fs::path target = dir_ / "report.json";
+  std::string error;
+  ASSERT_TRUE(writeFileAtomic(target.string(), "{\"ok\":true}\n", &error))
+      << error;
+  EXPECT_EQ(readAll(target), "{\"ok\":true}\n");
+}
+
+TEST_F(AtomicFileTest, ReplacesExistingContentCompletely) {
+  const fs::path target = dir_ / "digest.txt";
+  ASSERT_TRUE(writeFileAtomic(target.string(),
+                              std::string(4096, 'x') + "old-long-content"));
+  ASSERT_TRUE(writeFileAtomic(target.string(), "new"));
+  EXPECT_EQ(readAll(target), "new");
+}
+
+TEST_F(AtomicFileTest, LeavesNoStagingFileBehind) {
+  const fs::path target = dir_ / "artifact.json";
+  ASSERT_TRUE(writeFileAtomic(target.string(), "payload"));
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);  // only the published file, no .tmp.* leftovers
+}
+
+TEST_F(AtomicFileTest, ReportsErrorInsteadOfThrowing) {
+  const fs::path target = dir_ / "missing-subdir" / "artifact.json";
+  std::string error;
+  EXPECT_FALSE(writeFileAtomic(target.string(), "payload", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(fs::exists(target));
+}
+
+TEST_F(AtomicFileTest, FailureDoesNotClobberExistingFile) {
+  // A failed write (target exists but staging dir is made unwritable via a
+  // bogus path) must leave the previous artifact intact.
+  const fs::path target = dir_ / "keep.json";
+  ASSERT_TRUE(writeFileAtomic(target.string(), "original"));
+  std::string error;
+  EXPECT_FALSE(
+      writeFileAtomic((dir_ / "no-such-dir" / "keep.json").string(), "x",
+                      &error));
+  EXPECT_EQ(readAll(target), "original");
+}
+
+}  // namespace
+}  // namespace riscmp::support

@@ -1,0 +1,78 @@
+// JsonValue: the journal/pipe document model (ISSUE 6).
+#include <gtest/gtest.h>
+
+#include "support/fault.hpp"
+#include "support/json_lite.hpp"
+
+namespace riscmp::support {
+namespace {
+
+TEST(JsonLite, RoundTripsNestedDocument) {
+  JsonValue cell = JsonValue::object();
+  cell.set("name", JsonValue("STREAM/GCC 9.2 AArch64"));
+  cell.set("ok", JsonValue(true));
+  cell.set("instructions", JsonValue(std::uint64_t{123456789}));
+  JsonValue groups = JsonValue::array();
+  groups.push(JsonValue(std::uint64_t{1}));
+  groups.push(JsonValue(std::uint64_t{0}));
+  cell.set("groups", groups);
+  cell.set("fault", JsonValue());  // null
+
+  const std::string bytes = cell.dump();
+  EXPECT_EQ(bytes,
+            "{\"name\":\"STREAM/GCC 9.2 AArch64\",\"ok\":true,"
+            "\"instructions\":123456789,\"groups\":[1,0],\"fault\":null}");
+
+  const JsonValue parsed = JsonValue::parse(bytes);
+  EXPECT_EQ(parsed.dump(), bytes);  // byte-exact re-serialization
+  EXPECT_EQ(parsed.at("instructions").asUint(), 123456789u);
+  EXPECT_TRUE(parsed.at("ok").asBool());
+  EXPECT_TRUE(parsed.at("fault").isNull());
+  EXPECT_FALSE(parsed.has("missing"));
+  EXPECT_TRUE(parsed.at("missing").isNull());
+}
+
+TEST(JsonLite, ObjectsEmitInInsertionOrder) {
+  JsonValue a = JsonValue::object();
+  a.set("z", JsonValue(std::uint64_t{1}));
+  a.set("a", JsonValue(std::uint64_t{2}));
+  EXPECT_EQ(a.dump(), "{\"z\":1,\"a\":2}");
+}
+
+TEST(JsonLite, EscapesControlAndQuoteBytes) {
+  EXPECT_EQ(jsonEscape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  const JsonValue v = JsonValue::parse("\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+  EXPECT_EQ(v.asString(), std::string("a\"b\\c\nd\te\x01"));
+}
+
+TEST(JsonLite, MaxUint64RoundTrips) {
+  JsonValue v(std::uint64_t{18446744073709551615ull});
+  EXPECT_EQ(v.dump(), "18446744073709551615");
+  EXPECT_EQ(JsonValue::parse(v.dump()).asUint(), 18446744073709551615ull);
+}
+
+TEST(JsonLite, ParseRejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::parse(""), ConfigError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1"), ConfigError);   // unterminated
+  EXPECT_THROW(JsonValue::parse("{\"a\":1} x"), ConfigError);  // trailing
+  EXPECT_THROW(JsonValue::parse("-1"), ConfigError);  // negative numbers
+  EXPECT_THROW(JsonValue::parse("1.5"), ConfigError);  // no decimals
+  EXPECT_THROW(JsonValue::parse("{'a':1}"), ConfigError);
+}
+
+TEST(JsonLite, TryParseProbesTornLinesWithoutThrowing) {
+  EXPECT_FALSE(JsonValue::tryParse("{\"type\":\"cell\",\"na").has_value());
+  const auto whole = JsonValue::tryParse("{\"type\":\"end\",\"cells\":20}");
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(whole->at("cells").asUint(), 20u);
+}
+
+TEST(JsonLite, WrongKindAccessThrowsConfigError) {
+  const JsonValue v = JsonValue::parse("{\"n\":7}");
+  EXPECT_THROW((void)v.at("n").asString(), ConfigError);
+  EXPECT_THROW((void)v.at("n").asBool(), ConfigError);
+  EXPECT_THROW((void)v.items(), ConfigError);
+}
+
+}  // namespace
+}  // namespace riscmp::support

@@ -30,7 +30,7 @@ TEST(FaultBoundary, CatchesFaultPrintsReportAndContinues) {
   EXPECT_FALSE(boundary.allOk());
   EXPECT_NE(out.str().find("FAULT REPORT: DecodeFault"), std::string::npos);
   EXPECT_NE(out.str().find("cell-a"), std::string::npos);
-  EXPECT_EQ(boundary.finish(), 1);
+  EXPECT_EQ(boundary.finish(), 3);
   EXPECT_NE(out.str().find("1/2 cells failed"), std::string::npos);
   EXPECT_NE(out.str().find("cell-b"), std::string::npos);  // summary table
 }
@@ -53,7 +53,7 @@ TEST(FaultBoundary, NonFaultExceptionIsContainedAndLabelledUnclassified) {
   }));
   EXPECT_NE(out.str().find("UNCLASSIFIED"), std::string::npos);
   EXPECT_NE(out.str().find("raw exception"), std::string::npos);
-  EXPECT_EQ(boundary.finish(), 1);
+  EXPECT_EQ(boundary.finish(), 3);
 }
 
 TEST(FaultBoundary, RecordsFaultKindPerCell) {
@@ -77,7 +77,7 @@ TEST(FaultBoundary, BrokenCoreModelYamlClassifiedAsConfigError) {
   // The report names the offending file and the out-of-range latency.
   EXPECT_NE(out.str().find("broken_tx2.yaml"), std::string::npos);
   EXPECT_NE(out.str().find("LOAD"), std::string::npos);
-  EXPECT_EQ(boundary.finish(), 1);
+  EXPECT_EQ(boundary.finish(), 3);
 }
 
 }  // namespace
