@@ -33,6 +33,38 @@ Config decodeConfig(const JsonValue& value) {
   return config;
 }
 
+JsonValue encodeKernelBound(
+    const ThroughputBoundAnalyzer::KernelBound& bound) {
+  JsonValue out = JsonValue::object();
+  out.set("name", JsonValue(bound.name));
+  out.set("instructions", JsonValue(bound.instructions));
+  JsonValue ports = JsonValue::array();
+  for (const std::uint64_t cycles : bound.portCycles) {
+    ports.push(JsonValue(cycles));
+  }
+  out.set("portCycles", std::move(ports));
+  out.set("portBound", JsonValue(bound.portBound));
+  out.set("bindingPort", JsonValue(bound.bindingPort));
+  out.set("issueBound", JsonValue(bound.issueBound));
+  out.set("cpBound", JsonValue(bound.cpBound));
+  return out;
+}
+
+ThroughputBoundAnalyzer::KernelBound decodeKernelBound(
+    const JsonValue& value) {
+  ThroughputBoundAnalyzer::KernelBound bound;
+  bound.name = value.at("name").asString();
+  bound.instructions = value.at("instructions").asUint();
+  for (const JsonValue& cycles : value.at("portCycles").items()) {
+    bound.portCycles.push_back(cycles.asUint());
+  }
+  bound.portBound = value.at("portBound").asUint();
+  bound.bindingPort = value.at("bindingPort").asString();
+  bound.issueBound = value.at("issueBound").asUint();
+  bound.cpBound = value.at("cpBound").asUint();
+  return bound;
+}
+
 }  // namespace
 
 JsonValue encodeCell(const CellResult& result) {
@@ -134,6 +166,16 @@ JsonValue encodeCell(const CellResult& result) {
   out.set("hasCacheAwareCp", JsonValue(result.hasCacheAwareCp));
   out.set("cacheAwareCriticalPath", JsonValue(result.cacheAwareCriticalPath));
 
+  out.set("hasThroughput", JsonValue(result.hasThroughput));
+  if (result.hasThroughput) {
+    out.set("throughputProgram", encodeKernelBound(result.throughputProgram));
+    JsonValue kernelsOut = JsonValue::array();
+    for (const auto& kernel : result.throughputKernels) {
+      kernelsOut.push(encodeKernelBound(kernel));
+    }
+    out.set("throughputKernels", std::move(kernelsOut));
+  }
+
   return out;
 }
 
@@ -229,6 +271,15 @@ CellResult decodeCell(const JsonValue& value) {
   }
   result.hasCacheAwareCp = value.at("hasCacheAwareCp").asBool();
   result.cacheAwareCriticalPath = value.at("cacheAwareCriticalPath").asUint();
+
+  result.hasThroughput = value.at("hasThroughput").asBool();
+  if (result.hasThroughput) {
+    result.throughputProgram =
+        decodeKernelBound(value.at("throughputProgram"));
+    for (const JsonValue& entry : value.at("throughputKernels").items()) {
+      result.throughputKernels.push_back(decodeKernelBound(entry));
+    }
+  }
 
   return result;
 }

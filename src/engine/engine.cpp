@@ -97,6 +97,7 @@ void ExperimentEngine::runCellAttempt(
     std::optional<DependencyDistanceAnalyzer> depDistance;
     std::optional<uarch::mem::CacheModelAnalyzer> cacheModel;
     std::optional<uarch::mem::CacheAwareCpAnalyzer> cacheAwareCp;
+    std::optional<ThroughputBoundAnalyzer> throughputBound;
     std::vector<TraceObserver*> observers;
 
     if (analyses & kPathLength) {
@@ -137,6 +138,13 @@ void ExperimentEngine::runCellAttempt(
         observers.push_back(&cacheAwareCp.emplace(*table, *cacheConfig));
       }
     }
+    if ((analyses & kThroughputBound) && options_.throughputModelFor) {
+      if (const ThroughputModel* model =
+              options_.throughputModelFor(configs[c].arch)) {
+        observers.push_back(
+            &throughputBound.emplace(*model, compiled->program));
+      }
+    }
 
     out.instructions = simulate(*compiled, observers, deadlineFlag);
 
@@ -170,6 +178,11 @@ void ExperimentEngine::runCellAttempt(
     if (cacheAwareCp) {
       out.hasCacheAwareCp = true;
       out.cacheAwareCriticalPath = cacheAwareCp->criticalPath();
+    }
+    if (throughputBound) {
+      out.hasThroughput = true;
+      out.throughputProgram = throughputBound->program();
+      out.throughputKernels = throughputBound->kernels();
     }
   });
   out.cell = local.results().front();

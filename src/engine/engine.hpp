@@ -48,6 +48,7 @@
 
 #include "analysis/critical_path.hpp"
 #include "analysis/path_length.hpp"
+#include "analysis/throughput_bound.hpp"
 #include "analysis/windowed_cp.hpp"
 #include "engine/compile_cache.hpp"
 #include "engine/scheduler.hpp"
@@ -84,7 +85,8 @@ enum AnalysisFlags : unsigned {
   kDepDistance = 1u << 4,   ///< producer->consumer distances (§6.2)
   kCacheModel = 1u << 5,    ///< L1/L2 hierarchy + per-kernel MPKI (ISSUE 5)
   kCacheAwareCP = 1u << 6,  ///< scaled CP with dynamic load latencies
-  kAllAnalyses = (1u << 7) - 1,
+  kThroughputBound = 1u << 7,  ///< per-kernel port/issue/CP bounds (ISSUE 7)
+  kAllAnalyses = (1u << 8) - 1,
 };
 
 /// Identity of one experiment cell in a grid run.
@@ -131,6 +133,10 @@ struct CellResult {
   std::vector<uarch::mem::CacheModelAnalyzer::KernelStats> cacheKernels;
   bool hasCacheAwareCp = false;
   std::uint64_t cacheAwareCriticalPath = 0;
+
+  bool hasThroughput = false;
+  ThroughputBoundAnalyzer::KernelBound throughputProgram;
+  std::vector<ThroughputBoundAnalyzer::KernelBound> throughputKernels;
 
   [[nodiscard]] double ilp() const {
     return criticalPath == 0 ? 0.0
@@ -197,6 +203,10 @@ struct EngineOptions {
   /// hasCacheAwareCp stay false). kCacheAwareCP additionally needs a
   /// latency table from `latenciesFor` for the non-load groups.
   std::function<const uarch::mem::CacheConfig*(Arch)> cacheConfigFor;
+  /// Throughput model (ports + issue width + latencies) per arch for
+  /// kThroughputBound; null function or null return skips the analysis for
+  /// that cell (hasThroughput stays false).
+  std::function<const ThroughputModel*(Arch)> throughputModelFor;
   /// Runs inside the cell's fault boundary before compilation; throwing
   /// fails the cell exactly like a simulation fault (used by tab2 to turn
   /// a missing core model into a per-cell ConfigError).

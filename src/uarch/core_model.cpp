@@ -218,12 +218,40 @@ CoreModel CoreModel::fromYaml(const yaml::Node& root) {
       }
       model.latencies[static_cast<std::size_t>(*group)] =
           static_cast<std::uint32_t>(latency);
+      // Port coverage (ISSUE 7): a group the config gives a latency is one
+      // it expects to execute, so some port must accept it — otherwise the
+      // OoO model's issue stage has no structural constraint for it (it
+      // now throws ValidationFault at retire, but a config hole should
+      // fail at load time, with provenance).
+      if (!model.ports.empty()) {
+        const bool covered =
+            std::any_of(model.ports.begin(), model.ports.end(),
+                        [&](const Port& port) { return port.accepts(*group); });
+        if (!covered) {
+          throw ConfigError("group " + key +
+                                " has a configured latency but no port "
+                                "accepts it; add it to a port's groups: list",
+                            {}, value.line(), key);
+        }
+      }
     }
   }
 
   if (root.has("caches")) {
     model.caches = parseCaches(root.at("caches"));
   }
+  return model;
+}
+
+ThroughputModel CoreModel::throughputModel() const {
+  ThroughputModel model;
+  model.name = name;
+  model.issueWidth = dispatchWidth;
+  model.ports.reserve(ports.size());
+  for (const Port& port : ports) {
+    model.ports.push_back({port.name, port.groupMask});
+  }
+  model.latencies = latencies;
   return model;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/critical_path.hpp"  // LatencyTable
+#include "analysis/throughput_bound.hpp"
 #include "isa/groups.hpp"
 #include "support/yaml_lite.hpp"
 #include "uarch/mem/hierarchy.hpp"
@@ -53,10 +54,17 @@ struct CoreModel {
   /// default everywhere.
   std::optional<mem::CacheConfig> caches;
 
+  /// This model's throughput description (ISSUE 7): the ports, the
+  /// dispatch width as issue width, and the latency table, in the
+  /// analysis-layer struct ThroughputBoundAnalyzer consumes (riscmp_uarch
+  /// links riscmp_analysis, so the analyzer cannot take a CoreModel).
+  [[nodiscard]] ThroughputModel throughputModel() const;
+
   /// Parse and validate a YAML document. Unknown keys, unknown
-  /// instruction-group names, missing required keys, and non-numeric or
-  /// out-of-range values all throw riscmp::ConfigError with line (and,
-  /// via fromFile, file) provenance.
+  /// instruction-group names, missing required keys, non-numeric or
+  /// out-of-range values, and a `latencies:` entry for a group no port
+  /// accepts all throw riscmp::ConfigError with line (and, via fromFile,
+  /// file) provenance.
   static CoreModel fromYaml(const yaml::Node& root);
   /// Load and validate; ConfigErrors are annotated with `path`.
   static CoreModel fromFile(const std::string& path);

@@ -30,7 +30,13 @@ bool OoOCoreModel::predictTaken(const RetiredInst& inst) {
     case BranchPredictor::Perfect:
       return inst.branchTaken;
     case BranchPredictor::Static:
-      return inst.branchTarget <= inst.pc;  // backward-taken heuristic
+      // Backward-taken / forward-not-taken, *strictly* backward: a
+      // self-target branch (target == pc) is not a backward loop edge, and
+      // target 0 means the target is unknown (an indirect branch through a
+      // cleared register, or a hand-built record) and carries no
+      // direction. Both fall to not-taken; the old `target <= pc` form
+      // predicted them taken.
+      return inst.branchTarget != 0 && inst.branchTarget < inst.pc;
     case BranchPredictor::Gshare: {
       const std::uint64_t mask = gshareTable_.size() - 1;
       const std::uint64_t index = ((inst.pc >> 2) ^ globalHistory_) & mask;
@@ -51,6 +57,25 @@ void OoOCoreModel::trainPredictor(const RetiredInst& inst) {
     --counter;
   }
   globalHistory_ = ((globalHistory_ << 1) | (inst.branchTaken ? 1 : 0)) & mask;
+}
+
+void OoOCoreModel::reset() {
+  if (hierarchy_) hierarchy_->reset();
+  instructions_ = 0;
+  mispredicts_ = 0;
+  dispatchCycle_ = 1;
+  dispatchedThisCycle_ = 0;
+  frontEndStallUntil_ = 0;
+  std::fill(robCommitCycles_.begin(), robCommitCycles_.end(), 0);
+  robHead_ = 0;
+  robCount_ = 0;
+  regReady_.fill(0);
+  memReady_.clear();
+  std::fill(portFree_.begin(), portFree_.end(), 0);
+  lastCommitCycle_ = 0;
+  committedThisCycle_ = 0;
+  std::fill(gshareTable_.begin(), gshareTable_.end(), 2);
+  globalHistory_ = 0;
 }
 
 void OoOCoreModel::onRetire(const RetiredInst& inst) { retireOne(inst); }
@@ -109,10 +134,19 @@ void OoOCoreModel::retireOne(const RetiredInst& inst) {
         best = p;
       }
     }
-    if (best != portFree_.size()) {
-      issue = bestCycle;
-      portFree_[best] = issue + 1;
+    if (best == portFree_.size()) {
+      // No eligible port: this used to fall through silently, issuing the
+      // instruction with no structural hazard at all. Model holes must be
+      // loud — CoreModel::fromYaml rejects uncovered groups that have a
+      // configured latency, and this catches the rest (defaulted
+      // latencies, hand-built models).
+      throw ValidationFault(
+          "core model '" + model_.name + "': no execution port accepts " +
+          std::string(instGroupName(inst.group)) +
+          " — add it to a port's groups: list");
     }
+    issue = bestCycle;
+    portFree_[best] = issue + 1;
   }
 
   // ---- execute. With a cache model attached, a load's latency is its

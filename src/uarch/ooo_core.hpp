@@ -43,6 +43,13 @@ class OoOCoreModel final : public TraceObserver {
   void onRetire(const RetiredInst& inst) override;
   void onRetireBlock(std::span<const RetiredInst> block) override;
 
+  /// Restore construction state — pipeline occupancy, operand readiness,
+  /// port reservations, predictor tables, and the cache hierarchy (when
+  /// memory-aware) — so the model can observe a fresh run, per the
+  /// TraceObserver reuse contract (isa/trace.hpp). Previously missing:
+  /// reused models silently carried ROB/port/predictor state across runs.
+  void reset();
+
   [[nodiscard]] std::uint64_t cycles() const { return lastCommitCycle_; }
   [[nodiscard]] std::uint64_t instructions() const { return instructions_; }
   [[nodiscard]] double cpi() const {

@@ -65,6 +65,13 @@ CellResult sampleCell() {
   cell.cacheKernels = {{"copy", 1, 2, 3, 4, 5, 6, 7}};
   cell.hasCacheAwareCp = true;
   cell.cacheAwareCriticalPath = 111213;
+
+  cell.hasThroughput = true;
+  cell.throughputProgram =
+      {"<program>", 4000, {151, 149, 50, 50, 0, 0}, 151, "ls0", 1000, 88};
+  cell.throughputKernels = {
+      {"copy", 1000, {100, 100, 0, 0, 0, 0}, 100, "ls0", 250, 8},
+      {"triad", 3000, {51, 49, 50, 50, 0, 0}, 51, "ls0", 750, 80}};
   return cell;
 }
 

@@ -44,7 +44,7 @@ TEST(CoreModel, ParsesInlineYaml) {
       "  mispredict_penalty: 7\n"
       "ports:\n"
       "  - name: p0\n"
-      "    groups: [INT_SIMPLE, BRANCH]\n"
+      "    groups: [INT_SIMPLE, INT_MUL, BRANCH]\n"
       "latencies:\n"
       "  INT_MUL: 9\n"));
   EXPECT_EQ(model.name, "tiny");

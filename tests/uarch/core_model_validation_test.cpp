@@ -106,6 +106,32 @@ TEST(CoreModelValidation, CacheL2SmallerThanL1Rejected) {
   });
 }
 
+TEST(CoreModelValidation, LatencyForUncoveredGroupRejected) {
+  // ISSUE 7: a group the config gives a latency but no port accepts would
+  // bypass the OoO issue stage's structural hazards entirely; reject it at
+  // load time with the latency entry's provenance.
+  expectRejected("port_uncovered_group.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.key(), "FP_DIV");
+    EXPECT_EQ(e.line(), 9);
+    EXPECT_NE(std::string(e.what()).find("no port accepts"),
+              std::string::npos);
+  });
+}
+
+TEST(CoreModelValidation, ShippedConfigsCoverEveryGroupWithPorts) {
+  // Every group in every shipped model's latency table must be accepted by
+  // at least one port, so the throughput analyzer and the OoO model can
+  // issue any retired instruction.
+  for (const char* name : {"tx2", "riscv-tx2", "m1-firestorm", "a64fx"}) {
+    const ThroughputModel model = CoreModel::named(name).throughputModel();
+    for (std::size_t g = 0; g < kInstGroupCount; ++g) {
+      EXPECT_GE(model.portMultiplicity(static_cast<InstGroup>(g)), 1u)
+          << name << " leaves " << instGroupName(static_cast<InstGroup>(g))
+          << " uncovered";
+    }
+  }
+}
+
 TEST(CoreModelValidation, ShippedConfigsAllLoad) {
   // The validator must not reject the real models the benches depend on.
   for (const char* name : {"tx2", "riscv-tx2", "m1-firestorm", "a64fx"}) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "support/fault.hpp"
 #include "uarch/ooo_core.hpp"
 
 namespace riscmp::uarch {
@@ -155,6 +158,100 @@ TEST(OoOCore, BackwardTakenBranchesPredictedByStatic) {
   loopBranch.branchTarget = 0x1000;  // backward taken: predicted correctly
   for (int i = 0; i < 50; ++i) core.onRetire(loopBranch);
   EXPECT_EQ(core.mispredicts(), 0u);
+}
+
+TEST(OoOCore, SelfTargetAndZeroTargetBranchesPredictedNotTaken) {
+  // ISSUE 7 satellite: the old `branchTarget <= pc` heuristic predicted a
+  // self-target branch (target == pc) and an unknown-target indirect
+  // branch (target 0) taken. Strictly-backward semantics send both to the
+  // not-taken side, so when they ARE taken they must count as mispredicts.
+  CoreModel model = makeModel(4, 128);
+  model.predictor = BranchPredictor::Static;
+  model.mispredictPenalty = 10;
+  OoOCoreModel core(model);
+
+  RetiredInst selfTarget;
+  selfTarget.group = InstGroup::Branch;
+  selfTarget.pc = 0x2000;
+  selfTarget.isBranch = true;
+  selfTarget.branchTaken = true;
+  selfTarget.branchTarget = 0x2000;  // target == pc: not a backward edge
+  for (int i = 0; i < 10; ++i) core.onRetire(selfTarget);
+  EXPECT_EQ(core.mispredicts(), 10u);
+
+  RetiredInst indirect = selfTarget;
+  indirect.branchTarget = 0;  // unknown target: no direction to predict
+  for (int i = 0; i < 10; ++i) core.onRetire(indirect);
+  EXPECT_EQ(core.mispredicts(), 20u);
+
+  // Not-taken self-target / zero-target branches are predicted correctly.
+  RetiredInst notTaken = selfTarget;
+  notTaken.branchTaken = false;
+  core.onRetire(notTaken);
+  notTaken.branchTarget = 0;
+  core.onRetire(notTaken);
+  EXPECT_EQ(core.mispredicts(), 20u);
+}
+
+TEST(OoOCore, NoEligiblePortThrows) {
+  // ISSUE 7 satellite: an instruction group no port accepts used to skip
+  // the issue stage's structural hazard silently; it must be loud.
+  CoreModel model = makeModel(4, 128);
+  Port intOnly;
+  intOnly.name = "alu";
+  intOnly.groupMask = 1u << static_cast<unsigned>(InstGroup::IntSimple);
+  model.ports = {intOnly};
+  OoOCoreModel core(model);
+  core.onRetire(alu({}, 1));  // IntSimple: accepted
+  EXPECT_THROW(core.onRetire(alu({}, 2, InstGroup::FpAdd)), ValidationFault);
+}
+
+TEST(OoOCore, ResetEqualsFresh) {
+  // ISSUE 7 satellite: reused models must match a fresh one (the
+  // TraceObserver reuse contract). The trace exercises every piece of
+  // state reset() clears: ROB pressure, port contention, memory readiness,
+  // the gshare tables, and the mispredict counter.
+  CoreModel model = makeModel(2, 8);
+  model.predictor = BranchPredictor::Gshare;
+  model.mispredictPenalty = 8;
+  model.latencies[static_cast<std::size_t>(InstGroup::FpDiv)] = 20;
+
+  const auto trace = [] {
+    std::vector<RetiredInst> out;
+    for (int i = 0; i < 200; ++i) {
+      out.push_back(alu({1}, 1 + (i % 4)));
+      if (i % 3 == 0) out.push_back(alu({}, 9, InstGroup::FpDiv));
+      RetiredInst st;
+      st.group = InstGroup::Store;
+      st.srcs.push_back(Reg::gp(1));
+      st.stores.push_back(MemAccess{0x100 + 8 * (i % 16), 8});
+      out.push_back(st);
+      RetiredInst branch;
+      branch.group = InstGroup::Branch;
+      branch.pc = 0x1000 + 4 * (i % 7);
+      branch.isBranch = true;
+      branch.branchTaken = i % 2 == 0;
+      branch.branchTarget = branch.branchTaken ? 0x900 : 0x2000;
+      out.push_back(branch);
+    }
+    return out;
+  }();
+
+  OoOCoreModel reused(model);
+  for (const RetiredInst& inst : trace) reused.onRetire(inst);
+  const std::uint64_t firstCycles = reused.cycles();
+  reused.reset();
+  EXPECT_EQ(reused.cycles(), 0u);
+  EXPECT_EQ(reused.instructions(), 0u);
+  EXPECT_EQ(reused.mispredicts(), 0u);
+  for (const RetiredInst& inst : trace) reused.onRetire(inst);
+
+  OoOCoreModel fresh(model);
+  for (const RetiredInst& inst : trace) fresh.onRetire(inst);
+  EXPECT_EQ(reused.cycles(), fresh.cycles());
+  EXPECT_EQ(reused.cycles(), firstCycles);
+  EXPECT_EQ(reused.instructions(), fresh.instructions());
+  EXPECT_EQ(reused.mispredicts(), fresh.mispredicts());
 }
 
 TEST(OoOCore, CpiNeverBelowWidthBound) {

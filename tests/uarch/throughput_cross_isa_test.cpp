@@ -1,0 +1,84 @@
+// Cross-ISA throughput-bound identity (ISSUE 7 satellite): tx2 and
+// riscv-tx2 are identical by construction apart from the name, so their
+// ThroughputModels must agree structurally, and the analyzer must produce
+// identical bounds for the same trace on either — the E12 cross-ISA
+// comparison reads per-kernel ratios as pure ISA effects on that basis.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/throughput_bound.hpp"
+#include "uarch/core_model.hpp"
+
+namespace riscmp::uarch {
+namespace {
+
+std::vector<RetiredInst> mixedTrace() {
+  std::vector<RetiredInst> trace;
+  for (int i = 0; i < 64; ++i) {
+    RetiredInst load;
+    load.pc = 0x1000;
+    load.group = InstGroup::Load;
+    load.dsts.push_back(Reg::gp(1));
+    load.loads.push_back(
+        MemAccess{0x10000 + 8 * static_cast<std::uint64_t>(i), 8});
+    trace.push_back(load);
+    RetiredInst add;
+    add.pc = 0x1004;
+    add.group = InstGroup::IntSimple;
+    add.srcs.push_back(Reg::gp(1));
+    add.dsts.push_back(Reg::gp(2));
+    trace.push_back(add);
+    RetiredInst mul;
+    mul.pc = 0x1008;
+    mul.group = InstGroup::FpMul;
+    mul.dsts.push_back(Reg::fp(1));
+    trace.push_back(mul);
+  }
+  return trace;
+}
+
+TEST(ThroughputCrossIsa, Tx2AndRiscvTx2ModelsStructurallyIdentical) {
+  const ThroughputModel a64 = CoreModel::named("tx2").throughputModel();
+  const ThroughputModel rv64 =
+      CoreModel::named("riscv-tx2").throughputModel();
+  EXPECT_EQ(a64.issueWidth, rv64.issueWidth);
+  ASSERT_EQ(a64.ports.size(), rv64.ports.size());
+  for (std::size_t p = 0; p < a64.ports.size(); ++p) {
+    EXPECT_EQ(a64.ports[p].name, rv64.ports[p].name);
+    EXPECT_EQ(a64.ports[p].groupMask, rv64.ports[p].groupMask);
+  }
+  EXPECT_EQ(a64.latencies, rv64.latencies);
+  for (std::size_t g = 0; g < kInstGroupCount; ++g) {
+    const InstGroup group = static_cast<InstGroup>(g);
+    EXPECT_EQ(a64.portMultiplicity(group), rv64.portMultiplicity(group));
+    EXPECT_DOUBLE_EQ(a64.reciprocalThroughput(group),
+                     rv64.reciprocalThroughput(group));
+  }
+}
+
+TEST(ThroughputCrossIsa, SameTraceSameBoundsOnEitherModel) {
+  Program program;
+  program.kernels = {{"kernel", 0x1000, 0x100}};
+  ThroughputBoundAnalyzer a64(CoreModel::named("tx2").throughputModel(),
+                              program);
+  ThroughputBoundAnalyzer rv64(
+      CoreModel::named("riscv-tx2").throughputModel(), program);
+  for (const RetiredInst& inst : mixedTrace()) {
+    a64.onRetire(inst);
+    rv64.onRetire(inst);
+  }
+  const auto boundsA = a64.kernels();
+  const auto boundsR = rv64.kernels();
+  ASSERT_EQ(boundsA.size(), 1u);
+  ASSERT_EQ(boundsR.size(), 1u);
+  EXPECT_EQ(boundsA[0].portCycles, boundsR[0].portCycles);
+  EXPECT_EQ(boundsA[0].portBound, boundsR[0].portBound);
+  EXPECT_EQ(boundsA[0].bindingPort, boundsR[0].bindingPort);
+  EXPECT_EQ(boundsA[0].issueBound, boundsR[0].issueBound);
+  EXPECT_EQ(boundsA[0].cpBound, boundsR[0].cpBound);
+  EXPECT_EQ(boundsA[0].bindingResource(), boundsR[0].bindingResource());
+}
+
+}  // namespace
+}  // namespace riscmp::uarch
