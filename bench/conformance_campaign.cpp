@@ -13,6 +13,9 @@
 //        --budget=N       instruction budget per run
 //        --digest-file=P  write the per-run digest lines to P (golden format)
 //        --no-shrink      skip divergence minimization
+//        --fusion         replay every run with the macro-op FusionPass and
+//                         assert identical architectural state (ISSUE 8);
+//                         digest lines gain fused=/pairs= fields
 //
 // Exit: 0 clean, 1 findings, 2 usage error.
 #include <iostream>
@@ -62,13 +65,16 @@ std::string stringFlag(int argc, char** argv, const std::string& name) {
 }
 
 void rejectUnknownFlags(int argc, char** argv) {
-  const std::string known[] = {"--seed=",   "--count=",       "--jobs=",
-                               "--budget=", "--digest-file=", "--no-shrink"};
+  const std::string known[] = {"--seed=",        "--count=",
+                               "--jobs=",        "--budget=",
+                               "--digest-file=", "--no-shrink",
+                               "--fusion"};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     bool matched = false;
     for (const std::string& prefix : known) {
-      if (arg == "--no-shrink" ? arg == prefix : arg.rfind(prefix, 0) == 0) {
+      const bool bare = prefix == "--no-shrink" || prefix == "--fusion";
+      if (bare ? arg == prefix : arg.rfind(prefix, 0) == 0) {
         matched = true;
         break;
       }
@@ -97,11 +103,13 @@ int main(int argc, char** argv) {
   options.jobs = parseJobs(argc, argv);
   options.budget = parseBudget(argc, argv);
   options.shrink = !hasFlag(argc, argv, "--no-shrink");
+  options.fusion = hasFlag(argc, argv, "--fusion");
   const std::string digestFile = stringFlag(argc, argv, "digest-file");
 
   std::cout << "Conformance campaign: " << options.count
             << " kernels from seed " << options.seed
-            << " (interpreter vs both ISAs x both eras)\n\n";
+            << " (interpreter vs both ISAs x both eras"
+            << (options.fusion ? ", fusion replay on" : "") << ")\n\n";
 
   const CampaignResult result = verify::conformance::runCampaign(options);
 

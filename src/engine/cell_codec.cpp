@@ -176,6 +176,44 @@ JsonValue encodeCell(const CellResult& result) {
     out.set("throughputKernels", std::move(kernelsOut));
   }
 
+  out.set("hasFusion", JsonValue(result.hasFusion));
+  if (result.hasFusion) {
+    out.set("fusedInstructions", JsonValue(result.fusedInstructions));
+    out.set("fusionPairs", JsonValue(result.fusionPairs));
+    JsonValue byRule = JsonValue::array();
+    for (const std::uint64_t count : result.fusionPairsByRule) {
+      byRule.push(JsonValue(count));
+    }
+    out.set("fusionPairsByRule", std::move(byRule));
+    out.set("fusionUnattributedPairs",
+            JsonValue(result.fusionUnattributedPairs));
+    JsonValue fusionKernels = JsonValue::array();
+    for (const auto& kernel : result.fusionKernels) {
+      JsonValue entry = JsonValue::object();
+      entry.set("name", JsonValue(kernel.name));
+      entry.set("pairs", JsonValue(kernel.pairs));
+      JsonValue kernelByRule = JsonValue::array();
+      for (const std::uint64_t count : kernel.byRule) {
+        kernelByRule.push(JsonValue(count));
+      }
+      entry.set("byRule", std::move(kernelByRule));
+      fusionKernels.push(std::move(entry));
+    }
+    out.set("fusionKernels", std::move(fusionKernels));
+    JsonValue fusedKernels = JsonValue::array();
+    for (const auto& kernel : result.fusedKernels) {
+      JsonValue entry = JsonValue::object();
+      entry.set("name", JsonValue(kernel.name));
+      entry.set("count", JsonValue(kernel.count));
+      fusedKernels.push(std::move(entry));
+    }
+    out.set("fusedKernels", std::move(fusedKernels));
+    out.set("fusedCriticalPath", JsonValue(result.fusedCriticalPath));
+    out.set("hasFusedScaledCp", JsonValue(result.hasFusedScaledCp));
+    out.set("fusedScaledCriticalPath",
+            JsonValue(result.fusedScaledCriticalPath));
+  }
+
   return out;
 }
 
@@ -279,6 +317,42 @@ CellResult decodeCell(const JsonValue& value) {
     for (const JsonValue& entry : value.at("throughputKernels").items()) {
       result.throughputKernels.push_back(decodeKernelBound(entry));
     }
+  }
+
+  result.hasFusion = value.at("hasFusion").asBool();
+  if (result.hasFusion) {
+    result.fusedInstructions = value.at("fusedInstructions").asUint();
+    result.fusionPairs = value.at("fusionPairs").asUint();
+    const auto& byRule = value.at("fusionPairsByRule").items();
+    if (byRule.size() != result.fusionPairsByRule.size()) {
+      throw ConfigError("cell codec: fusion rule-count mismatch");
+    }
+    for (std::size_t r = 0; r < byRule.size(); ++r) {
+      result.fusionPairsByRule[r] = byRule[r].asUint();
+    }
+    result.fusionUnattributedPairs =
+        value.at("fusionUnattributedPairs").asUint();
+    for (const JsonValue& entry : value.at("fusionKernels").items()) {
+      uarch::FusionPass::KernelFusion kernel;
+      kernel.name = entry.at("name").asString();
+      kernel.pairs = entry.at("pairs").asUint();
+      const auto& kernelByRule = entry.at("byRule").items();
+      if (kernelByRule.size() != kernel.byRule.size()) {
+        throw ConfigError("cell codec: fusion rule-count mismatch");
+      }
+      for (std::size_t r = 0; r < kernelByRule.size(); ++r) {
+        kernel.byRule[r] = kernelByRule[r].asUint();
+      }
+      result.fusionKernels.push_back(std::move(kernel));
+    }
+    for (const JsonValue& entry : value.at("fusedKernels").items()) {
+      result.fusedKernels.push_back(
+          {entry.at("name").asString(), entry.at("count").asUint()});
+    }
+    result.fusedCriticalPath = value.at("fusedCriticalPath").asUint();
+    result.hasFusedScaledCp = value.at("hasFusedScaledCp").asBool();
+    result.fusedScaledCriticalPath =
+        value.at("fusedScaledCriticalPath").asUint();
   }
 
   return result;

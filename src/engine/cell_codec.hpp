@@ -19,7 +19,7 @@
 
 namespace riscmp::engine {
 
-inline constexpr std::uint64_t kCodecV = 2;  // v2: throughput-bound fields
+inline constexpr std::uint64_t kCodecV = 3;  // v3: macro-op fusion fields
 
 /// Encode everything `result` carries, including the verify cell status
 /// and captured fault text. The `key.workloadIndex`/`configIndex` fields

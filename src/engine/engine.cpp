@@ -98,6 +98,10 @@ void ExperimentEngine::runCellAttempt(
     std::optional<uarch::mem::CacheModelAnalyzer> cacheModel;
     std::optional<uarch::mem::CacheAwareCpAnalyzer> cacheAwareCp;
     std::optional<ThroughputBoundAnalyzer> throughputBound;
+    std::optional<PathLengthCounter> fusedPathLength;
+    std::optional<CriticalPathAnalyzer> fusedCp;
+    std::optional<CriticalPathAnalyzer> fusedScaledCp;
+    std::optional<uarch::FusionPass> fusionPass;
     std::vector<TraceObserver*> observers;
 
     if (analyses & kPathLength) {
@@ -146,6 +150,26 @@ void ExperimentEngine::runCellAttempt(
       }
     }
 
+    // The fusion pass (ISSUE 8) is itself an observer of the one pass; its
+    // downstream analyzers see the macro-op stream, so the cell produces
+    // fusion-off (plain analyzers above) and fusion-on numbers together.
+    if ((analyses & kFusion) && options_.fusionFor) {
+      if (const uarch::FusionConfig* fusion =
+              options_.fusionFor(configs[c].arch)) {
+        std::vector<TraceObserver*> fused;
+        fused.push_back(&fusedPathLength.emplace(compiled->program));
+        fused.push_back(&fusedCp.emplace());
+        if (options_.latenciesFor) {
+          if (const LatencyTable* table =
+                  options_.latenciesFor(configs[c].arch)) {
+            fused.push_back(&fusedScaledCp.emplace(*table));
+          }
+        }
+        observers.push_back(&fusionPass.emplace(*fusion, compiled->program,
+                                                std::move(fused)));
+      }
+    }
+
     out.instructions = simulate(*compiled, observers, deadlineFlag);
 
     if (pathLength) {
@@ -183,6 +207,20 @@ void ExperimentEngine::runCellAttempt(
       out.hasThroughput = true;
       out.throughputProgram = throughputBound->program();
       out.throughputKernels = throughputBound->kernels();
+    }
+    if (fusionPass) {
+      out.hasFusion = true;
+      out.fusedInstructions = fusionPass->outputInstructions();
+      out.fusionPairs = fusionPass->pairs();
+      out.fusionPairsByRule = fusionPass->pairsByRule();
+      out.fusionUnattributedPairs = fusionPass->unattributedPairs();
+      out.fusionKernels = fusionPass->kernels();
+      if (fusedPathLength) out.fusedKernels = fusedPathLength->kernels();
+      if (fusedCp) out.fusedCriticalPath = fusedCp->criticalPath();
+      if (fusedScaledCp) {
+        out.hasFusedScaledCp = true;
+        out.fusedScaledCriticalPath = fusedScaledCp->criticalPath();
+      }
     }
   });
   out.cell = local.results().front();

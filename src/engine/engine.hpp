@@ -55,6 +55,7 @@
 #include "engine/watchdog.hpp"
 #include "isa/arch.hpp"
 #include "kgen/compile.hpp"
+#include "uarch/fusion/fusion.hpp"
 #include "uarch/mem/cache_model.hpp"
 #include "verify/boundary.hpp"
 #include "workloads/workloads.hpp"
@@ -86,7 +87,8 @@ enum AnalysisFlags : unsigned {
   kCacheModel = 1u << 5,    ///< L1/L2 hierarchy + per-kernel MPKI (ISSUE 5)
   kCacheAwareCP = 1u << 6,  ///< scaled CP with dynamic load latencies
   kThroughputBound = 1u << 7,  ///< per-kernel port/issue/CP bounds (ISSUE 7)
-  kAllAnalyses = (1u << 8) - 1,
+  kFusion = 1u << 8,  ///< macro-op fusion pass + fused-stream PL/CP (ISSUE 8)
+  kAllAnalyses = (1u << 9) - 1,
 };
 
 /// Identity of one experiment cell in a grid run.
@@ -137,6 +139,22 @@ struct CellResult {
   bool hasThroughput = false;
   ThroughputBoundAnalyzer::KernelBound throughputProgram;
   std::vector<ThroughputBoundAnalyzer::KernelBound> throughputKernels;
+
+  // ---- Macro-op fusion (ISSUE 8): the same pass's retired stream run
+  // through a FusionPass into a second PathLengthCounter / CP pair, so the
+  // fusion-on and fusion-off numbers come from one simulation. ------------
+  bool hasFusion = false;
+  std::uint64_t fusedInstructions = 0;  ///< macro-op dynamic count
+  std::uint64_t fusionPairs = 0;        ///< pairs fused across all rules
+  std::array<std::uint64_t, uarch::kFusionRuleCount> fusionPairsByRule{};
+  std::uint64_t fusionUnattributedPairs = 0;
+  /// Per-kernel fused-pair counts (program kernel order).
+  std::vector<uarch::FusionPass::KernelFusion> fusionKernels;
+  /// Fusion-adjusted per-kernel path lengths (macro-op stream).
+  std::vector<PathLengthCounter::KernelCount> fusedKernels;
+  std::uint64_t fusedCriticalPath = 0;  ///< unscaled CP over macro-ops
+  bool hasFusedScaledCp = false;
+  std::uint64_t fusedScaledCriticalPath = 0;
 
   [[nodiscard]] double ilp() const {
     return criticalPath == 0 ? 0.0
@@ -207,6 +225,13 @@ struct EngineOptions {
   /// kThroughputBound; null function or null return skips the analysis for
   /// that cell (hasThroughput stays false).
   std::function<const ThroughputModel*(Arch)> throughputModelFor;
+  /// Fusion rule set per arch for kFusion; null function or null return
+  /// skips the fusion pass for that cell (hasFusion stays false). When it
+  /// runs, the cell's single simulation additionally feeds a
+  /// FusionPass-wrapped PathLengthCounter + critical-path pair (plus a
+  /// scaled CP when `latenciesFor` provides a table), yielding the
+  /// fusion-adjusted numbers alongside the unfused ones.
+  std::function<const uarch::FusionConfig*(Arch)> fusionFor;
   /// Runs inside the cell's fault boundary before compilation; throwing
   /// fails the cell exactly like a simulation fault (used by tab2 to turn
   /// a missing core model into a per-cell ConfigError).

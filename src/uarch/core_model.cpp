@@ -116,6 +116,62 @@ mem::CacheConfig parseCaches(const yaml::Node& caches) {
   return config;
 }
 
+/// Parse and validate the `fusion:` section (ISSUE 8). The `isa:` key is
+/// required — fusion rules are ISA-specific, and the declared ISA lets the
+/// loader reject rules that are illegal for it (load_pair on A64, cmp_bcc
+/// on RV64) at load time with file/line/key provenance.
+FusionConfig parseFusion(const yaml::Node& fusion) {
+  rejectUnknownKeys(fusion, "fusion", {"isa", "rules"});
+
+  FusionConfig config;
+  if (!fusion.has("isa")) {
+    throw ConfigError("fusion section missing required key", {}, fusion.line(),
+                      "isa");
+  }
+  const std::string isa = fusion.getString("isa", "");
+  if (isa == "rv64") {
+    config.arch = Arch::Rv64;
+  } else if (isa == "a64") {
+    config.arch = Arch::AArch64;
+  } else {
+    throw ConfigError("unknown fusion isa '" + isa +
+                          "' (expected rv64 or a64)",
+                      {}, lineFor(fusion, "isa"), "isa");
+  }
+
+  if (!fusion.has("rules")) {
+    throw ConfigError("fusion section missing required key", {}, fusion.line(),
+                      "rules");
+  }
+  const yaml::Node& rules = fusion.at("rules");
+  if (!rules.isSequence()) {
+    throw ConfigError("'rules' must be a sequence of fusion rule names", {},
+                      rules.line(), "rules");
+  }
+  for (const yaml::Node& ruleNode : rules.elements()) {
+    const auto rule = fusionRuleFromName(ruleNode.asString());
+    if (!rule) {
+      throw ConfigError("unknown fusion rule '" + ruleNode.asString() + "'",
+                        {}, ruleNode.line(), "rules");
+    }
+    if (!fusionRuleLegalFor(*rule, config.arch)) {
+      throw ConfigError("fusion rule '" + ruleNode.asString() +
+                            "' is illegal for isa " + isa,
+                        {}, ruleNode.line(), "rules");
+    }
+    if (config.enabled(*rule)) {
+      throw ConfigError("duplicate fusion rule '" + ruleNode.asString() + "'",
+                        {}, ruleNode.line(), "rules");
+    }
+    config.enable(*rule);
+  }
+  if (config.ruleMask == 0) {
+    throw ConfigError("fusion rules: list must enable at least one rule", {},
+                      rules.line(), "rules");
+  }
+  return config;
+}
+
 }  // namespace
 
 std::string configDir() { return RISCMP_CONFIG_DIR; }
@@ -127,7 +183,8 @@ CoreModel CoreModel::fromYaml(const yaml::Node& root) {
   }
   rejectUnknownKeys(
       root, "top-level",
-      {"name", "description", "core", "ports", "latencies", "caches"});
+      {"name", "description", "core", "ports", "latencies", "caches",
+       "fusion"});
 
   CoreModel model;
   model.name = root.getString("name", "unnamed");
@@ -239,6 +296,9 @@ CoreModel CoreModel::fromYaml(const yaml::Node& root) {
 
   if (root.has("caches")) {
     model.caches = parseCaches(root.at("caches"));
+  }
+  if (root.has("fusion")) {
+    model.fusion = parseFusion(root.at("fusion"));
   }
   return model;
 }

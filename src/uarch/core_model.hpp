@@ -12,6 +12,7 @@
 #include "analysis/throughput_bound.hpp"
 #include "isa/groups.hpp"
 #include "support/yaml_lite.hpp"
+#include "uarch/fusion/fusion.hpp"
 #include "uarch/mem/hierarchy.hpp"
 
 namespace riscmp::uarch {
@@ -53,6 +54,11 @@ struct CoreModel {
   /// paper's flat memory system (fixed LOAD latency), which stays the
   /// default everywhere.
   std::optional<mem::CacheConfig> caches;
+
+  /// Macro-op fusion rules from the optional `fusion:` section (ISSUE 8).
+  /// Absent when the config has no such section: the engine then runs no
+  /// fused analyzers for cells using this model.
+  std::optional<FusionConfig> fusion;
 
   /// This model's throughput description (ISSUE 7): the ports, the
   /// dispatch width as issue width, and the latency table, in the

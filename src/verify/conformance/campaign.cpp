@@ -20,9 +20,11 @@ std::string hex16(std::uint64_t value) {
 /// Replays a candidate module through a plain (cache-free) oracle run and
 /// reports whether it still fails. Used as the shrink predicate; compile
 /// errors on shrunk modules surface as Fault findings, which do not count.
-bool oracleStillFails(const kgen::Module& module, std::uint64_t budget) {
+bool oracleStillFails(const kgen::Module& module, std::uint64_t budget,
+                      bool fusion) {
   OracleOptions options;
   options.budget = budget;
+  options.fusion = fusion;
   const OracleReport report = runOracle(module, options);
   return report.hasDivergence() || report.hasViolation();
 }
@@ -37,7 +39,11 @@ std::string CampaignResult::digestText() const {
           << " retired=" << run.retired << " trace=" << hex16(run.traceDigest)
           << " stores=" << hex16(run.storeDigest)
           << " mem=" << hex16(run.memoryDigest)
-          << " regs=" << hex16(run.registerDigest) << "\n";
+          << " regs=" << hex16(run.registerDigest);
+      if (run.fused) {
+        out << " fused=" << run.fusedRetired << " pairs=" << run.fusionPairs;
+      }
+      out << "\n";
     }
   }
   return out.str();
@@ -82,6 +88,7 @@ CampaignResult runCampaign(const CampaignOptions& options) {
 
       OracleOptions oracleOptions;
       oracleOptions.budget = options.budget;
+      oracleOptions.fusion = options.fusion;
       oracleOptions.compileFn = [&context](const kgen::Module& module,
                                            const OracleConfig& config) {
         return context.engine.compile(module,
@@ -94,7 +101,8 @@ CampaignResult runCampaign(const CampaignOptions& options) {
         const kgen::Module minimized = shrinkModule(
             modules[i],
             [&](const kgen::Module& candidate) {
-              return oracleStillFails(candidate, options.budget);
+              return oracleStillFails(candidate, options.budget,
+                                      options.fusion);
             });
         outcome.minimized = kgen::dumpModule(minimized);
         outcome.minimizedOps = opCount(minimized);

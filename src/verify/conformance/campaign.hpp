@@ -29,6 +29,11 @@ struct CampaignOptions {
   unsigned jobs = 0;          ///< worker threads (0 = hardware concurrency)
   std::uint64_t budget = 200'000'000;  ///< per-run instruction budget
   bool shrink = true;  ///< minimize diverging modules for the report
+  /// Replay every run with the macro-op FusionPass and assert identical
+  /// architectural state (OracleOptions::fusion, ISSUE 8). Digest lines
+  /// gain " fused=N pairs=M" fields, so fusion campaigns pin their own
+  /// golden file.
+  bool fusion = false;
   KernelFuzzer::Options fuzzer;
 };
 

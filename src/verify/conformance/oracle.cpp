@@ -9,6 +9,7 @@
 #include "core/machine.hpp"
 #include "kgen/interp.hpp"
 #include "support/fault.hpp"
+#include "uarch/fusion/fusion.hpp"
 #include "verify/conformance/invariant_checker.hpp"
 
 namespace riscmp::verify::conformance {
@@ -344,6 +345,97 @@ OracleReport runOracle(const kgen::Module& module,
     digest.storeDigest = recorder.storeDigest();
     digest.memoryDigest = memoryImageDigest(compiled->program, machine);
     digest.registerDigest = registerImageDigest(machine);
+
+    // Fusion semantics cross-check (ISSUE 8): replay the same compiled
+    // program with the macro-op FusionPass attached. The pass is a pure
+    // observer, so everything architectural must be bit-identical to the
+    // fusion-off run — any difference is a fusion (or machine) bug.
+    if (options.fusion) {
+      Machine fusedMachine(compiled->program, machineOptions);
+      TraceRecorder upstream(compiled->program);
+      PathLengthCounter fusedPathLength(compiled->program);
+      uarch::FusionPass fusionPass(
+          uarch::FusionConfig::allRulesFor(config.arch), compiled->program,
+          {&fusedPathLength});
+      fusedMachine.addObserver(upstream);
+      fusedMachine.addObserver(fusionPass);
+
+      bool fusedOk = false;
+      RunResult fusedResult;
+      try {
+        fusedResult = fusedMachine.run();
+        fusedOk = fusedResult.exitedCleanly;
+        if (!fusedOk) {
+          fail(Finding::Kind::Divergence,
+               "fusion-enabled run ended without reaching the exit syscall "
+               "but the fusion-off run exited cleanly");
+        }
+      } catch (const Fault& fault) {
+        fail(Finding::Kind::Divergence,
+             std::string("fusion-enabled run faulted but the fusion-off run "
+                         "was clean: ") +
+                 fault.report());
+      }
+
+      if (fusedOk) {
+        if (fusedResult.instructions != result.instructions) {
+          fail(Finding::Kind::Divergence,
+               "fusion-enabled run retired " +
+                   std::to_string(fusedResult.instructions) +
+                   " instructions, fusion-off retired " +
+                   std::to_string(result.instructions));
+          fusedOk = false;
+        }
+        if (upstream.traceDigest() != recorder.traceDigest()) {
+          fail(Finding::Kind::Divergence,
+               "unfused retired stream differs under fusion (trace digest "
+               "mismatch)");
+          fusedOk = false;
+        }
+        if (upstream.storeDigest() != recorder.storeDigest()) {
+          fail(Finding::Kind::Divergence,
+               "store stream differs under fusion");
+          fusedOk = false;
+        }
+        if (memoryImageDigest(compiled->program, fusedMachine) !=
+            digest.memoryDigest) {
+          fail(Finding::Kind::Divergence,
+               "final memory image differs under fusion");
+          fusedOk = false;
+        }
+        if (registerImageDigest(fusedMachine) != digest.registerDigest) {
+          fail(Finding::Kind::Divergence,
+               "final register file differs under fusion");
+          fusedOk = false;
+        }
+        // Pair accounting: every retired record is forwarded exactly once,
+        // either alone or as half of one macro-op.
+        if (fusionPass.outputInstructions() + fusionPass.pairs() !=
+            fusedResult.instructions) {
+          fail(Finding::Kind::InvariantViolation,
+               "fusion pair accounting: forwarded " +
+                   std::to_string(fusionPass.outputInstructions()) +
+                   " + pairs " + std::to_string(fusionPass.pairs()) +
+                   " != retired " +
+                   std::to_string(fusedResult.instructions));
+          fusedOk = false;
+        }
+        if (fusedPathLength.total() != fusionPass.outputInstructions()) {
+          fail(Finding::Kind::InvariantViolation,
+               "downstream analyzer saw " +
+                   std::to_string(fusedPathLength.total()) +
+                   " macro-ops but the pass forwarded " +
+                   std::to_string(fusionPass.outputInstructions()));
+          fusedOk = false;
+        }
+      }
+      if (fusedOk) {
+        digest.fused = true;
+        digest.fusedRetired = fusionPass.outputInstructions();
+        digest.fusionPairs = fusionPass.pairs();
+      }
+    }
+
     report.runs.push_back(std::move(digest));
   }
   return report;

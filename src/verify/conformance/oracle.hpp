@@ -74,6 +74,12 @@ struct RunDigest {
   std::uint64_t storeDigest = 0;     ///< flattened (kernel, addr, size) stream
   std::uint64_t memoryDigest = 0;    ///< final data+bss segment bytes
   std::uint64_t registerDigest = 0;  ///< final (name, value) register image
+  /// Fusion cross-check results (OracleOptions::fusion). `fused` flags that
+  /// the fusion-enabled replay ran clean; its macro-op count and pair count
+  /// extend the golden digest line (ISSUE 8).
+  bool fused = false;
+  std::uint64_t fusedRetired = 0;  ///< macro-op stream length
+  std::uint64_t fusionPairs = 0;   ///< pairs fused across all rules
 };
 
 struct OracleReport {
@@ -94,6 +100,14 @@ struct OracleOptions {
   std::uint64_t budget = 200'000'000;
   /// Attach the TraceInvariantChecker + retired-count consistency check.
   bool checkInvariants = true;
+  /// Replay each successful run with the ISSUE 8 macro-op FusionPass
+  /// attached (all rules legal for the config's ISA) and assert that
+  /// architectural state — retired count, unfused trace, store stream,
+  /// final memory, final registers — is identical to the fusion-off run:
+  /// fusion is an analysis-layer transform and must never change
+  /// semantics. Divergences become findings; clean replays stamp the
+  /// fused/pairs fields of the run's digest.
+  bool fusion = false;
   /// Configurations to run; empty = allConfigs().
   std::vector<OracleConfig> configs;
   /// Compilation hook; null = kgen::compile.

@@ -1,0 +1,39 @@
+# E13 determinism acceptance (ISSUE 8): the macro-op fusion bench must
+# produce byte-identical reports and BENCH_fusion.json whatever the worker
+# count. Runs the bench on 1 and 8 engine workers and diffs both outputs;
+# only the engine footer (which prints jobs=N) and the JSON-path echo line
+# may differ.
+#
+# Usage: cmake -DBENCH=<path-to-ext_fusion> -DOUT=<scratch-dir>
+#              -P compare_fusion_determinism.cmake
+file(MAKE_DIRECTORY ${OUT})
+
+foreach(jobs 1 8)
+  execute_process(
+    COMMAND ${BENCH} --scale=0.05 --jobs=${jobs} --json=${OUT}/j${jobs}.json
+    OUTPUT_FILE ${OUT}/j${jobs}.txt
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "ext_fusion --jobs=${jobs} exited ${status}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT}/j1.json ${OUT}/j8.json
+  RESULT_VARIABLE json_differs)
+if(NOT json_differs EQUAL 0)
+  message(FATAL_ERROR "BENCH_fusion JSON differs between --jobs=1 and "
+                      "--jobs=8: the report is not deterministic")
+endif()
+
+foreach(jobs 1 8)
+  file(READ ${OUT}/j${jobs}.txt report)
+  string(REGEX REPLACE "engine: [^\n]*\n" "" report "${report}")
+  string(REGEX REPLACE "JSON written to [^\n]*\n" "" report "${report}")
+  set(report_j${jobs} "${report}")
+endforeach()
+if(NOT report_j1 STREQUAL report_j8)
+  message(FATAL_ERROR "ext_fusion stdout differs between --jobs=1 and "
+                      "--jobs=8 (beyond the engine footer)")
+endif()
+message(STATUS "E13 report and JSON byte-identical across worker counts")

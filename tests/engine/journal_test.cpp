@@ -72,6 +72,20 @@ CellResult sampleCell() {
   cell.throughputKernels = {
       {"copy", 1000, {100, 100, 0, 0, 0, 0}, 100, "ls0", 250, 8},
       {"triad", 3000, {51, 49, 50, 50, 0, 0}, 51, "ls0", 750, 80}};
+
+  cell.hasFusion = true;
+  cell.fusedInstructions = 123450000;
+  cell.fusionPairs = 6789;
+  for (std::size_t r = 0; r < uarch::kFusionRuleCount; ++r) {
+    cell.fusionPairsByRule[r] = r * 11 + 3;
+  }
+  cell.fusionUnattributedPairs = 5;
+  cell.fusionKernels = {{"copy", 1234, {1, 2, 3, 4, 5, 6, 7}},
+                        {"triad", 5555, {0, 0, 0, 0, 5555, 0, 0}}};
+  cell.fusedKernels = {{"copy", 900}, {"triad", 1800}};
+  cell.fusedCriticalPath = 44321;
+  cell.hasFusedScaledCp = true;
+  cell.fusedScaledCriticalPath = 88765;
   return cell;
 }
 
@@ -105,6 +119,58 @@ TEST(CellCodec, RoundTripsFailedCellWithFaultText) {
   expectIdentical(failed, decoded);
   EXPECT_EQ(decoded.cell.kind, "CrashFault");
   EXPECT_EQ(decoded.faultText, failed.faultText);
+}
+
+// v3 codec (ISSUE 8): the fusion block must survive the round-trip exactly
+// — including per-rule arrays — for both successful and failed cells, so a
+// --resume of a fusion grid reproduces BENCH_fusion.json byte-for-byte.
+TEST(CellCodec, RoundTripsFusionFields) {
+  const CellResult original = sampleCell();
+  const CellResult decoded = decodeCell(encodeCell(original));
+  expectIdentical(original, decoded);
+  EXPECT_TRUE(decoded.hasFusion);
+  EXPECT_EQ(decoded.fusedInstructions, 123450000u);
+  EXPECT_EQ(decoded.fusionPairs, 6789u);
+  EXPECT_EQ(decoded.fusionPairsByRule, original.fusionPairsByRule);
+  EXPECT_EQ(decoded.fusionUnattributedPairs, 5u);
+  ASSERT_EQ(decoded.fusionKernels.size(), 2u);
+  EXPECT_EQ(decoded.fusionKernels[1].name, "triad");
+  EXPECT_EQ(decoded.fusionKernels[1].pairs, 5555u);
+  EXPECT_EQ(decoded.fusionKernels[1].byRule,
+            original.fusionKernels[1].byRule);
+  ASSERT_EQ(decoded.fusedKernels.size(), 2u);
+  EXPECT_EQ(decoded.fusedKernels[0].count, 900u);
+  EXPECT_EQ(decoded.fusedCriticalPath, 44321u);
+  EXPECT_TRUE(decoded.hasFusedScaledCp);
+  EXPECT_EQ(decoded.fusedScaledCriticalPath, 88765u);
+}
+
+TEST(CellCodec, RoundTripsFailedFusedCell) {
+  // A fusion cell that faulted mid-grid: ok=false with fault text, fusion
+  // block still attached (the cell may have been harvested pre-fault on a
+  // resume path). Both the flag and the payload must round-trip.
+  CellResult failed = sampleCell();
+  failed.cell.ok = false;
+  failed.cell.kind = "TimeoutFault";
+  failed.cell.summary = "worker for cell 'STREAM/GCC 12.2 RISC-V' timed out";
+  failed.faultText = "=== FAULT REPORT: TimeoutFault ===\n...\n";
+  const CellResult decoded = decodeCell(encodeCell(failed));
+  expectIdentical(failed, decoded);
+  EXPECT_FALSE(decoded.cell.ok);
+  EXPECT_TRUE(decoded.hasFusion);
+  EXPECT_EQ(decoded.fusionPairs, 6789u);
+  EXPECT_EQ(decoded.faultText, failed.faultText);
+}
+
+TEST(CellCodec, FusionlessCellOmitsFusionBlock) {
+  CellResult cell = sampleCell();
+  cell.hasFusion = false;
+  const CellResult decoded = decodeCell(encodeCell(cell));
+  EXPECT_FALSE(decoded.hasFusion);
+  EXPECT_EQ(decoded.fusionPairs, 0u);
+  EXPECT_TRUE(decoded.fusionKernels.empty());
+  // And the digest separates fused from fusionless cells.
+  EXPECT_NE(cellDigest(cell), cellDigest(sampleCell()));
 }
 
 TEST(CellCodec, RoundTripsNaN) {

@@ -139,6 +139,65 @@ TEST(CoreModelValidation, ShippedConfigsAllLoad) {
   }
 }
 
+TEST(CoreModelValidation, FusionUnknownRuleRejectedWithLine) {
+  expectRejected("fusion_unknown_rule.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.key(), "rules");
+    EXPECT_EQ(e.line(), 6);
+    EXPECT_NE(std::string(e.what()).find("'load_pear'"), std::string::npos);
+  });
+}
+
+TEST(CoreModelValidation, FusionIsaIllegalRuleRejectedWithLine) {
+  // cmp_bcc under isa rv64: RISC-V branches are natively fused
+  // compare-and-branch, so the rule is meaningless there and must be
+  // rejected at load time rather than silently firing zero times.
+  expectRejected("fusion_wrong_isa_rule.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.key(), "rules");
+    EXPECT_EQ(e.line(), 8);
+    EXPECT_NE(std::string(e.what()).find("illegal for isa rv64"),
+              std::string::npos);
+  });
+}
+
+TEST(CoreModelValidation, FusionMissingIsaRejected) {
+  expectRejected("fusion_missing_isa.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.key(), "isa");
+    EXPECT_NE(std::string(e.what()).find("missing required key"),
+              std::string::npos);
+  });
+}
+
+TEST(CoreModelValidation, FusionUnknownIsaRejectedWithLine) {
+  expectRejected("fusion_bad_isa.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.key(), "isa");
+    EXPECT_EQ(e.line(), 4);
+    EXPECT_NE(std::string(e.what()).find("'arm64'"), std::string::npos);
+  });
+}
+
+TEST(CoreModelValidation, FusionDuplicateRuleRejectedWithLine) {
+  expectRejected("fusion_duplicate_rule.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.key(), "rules");
+    EXPECT_EQ(e.line(), 7);
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  });
+}
+
+TEST(CoreModelValidation, ShippedConfigsCarryFusion) {
+  // ISSUE 8: every shipped model declares its fusion rules. riscv-tx2 gets
+  // the five Celio RV64 idioms; the A64 models get cmp_bcc plus the
+  // zero-fire adrp_add control.
+  for (const char* name : {"tx2", "riscv-tx2", "m1-firestorm", "a64fx"}) {
+    EXPECT_TRUE(CoreModel::named(name).fusion.has_value()) << name;
+  }
+  const FusionConfig rv = *CoreModel::named("riscv-tx2").fusion;
+  EXPECT_EQ(rv.arch, Arch::Rv64);
+  EXPECT_EQ(rv.ruleMask, FusionConfig::allRulesFor(Arch::Rv64).ruleMask);
+  const FusionConfig a64 = *CoreModel::named("tx2").fusion;
+  EXPECT_EQ(a64.arch, Arch::AArch64);
+  EXPECT_EQ(a64.ruleMask, FusionConfig::allRulesFor(Arch::AArch64).ruleMask);
+}
+
 TEST(CoreModelValidation, ShippedConfigsCarryCaches) {
   // Every shipped model gains a caches: section in ISSUE 5, and the two
   // TX2-class models must agree exactly — the E11 cross-ISA comparison is

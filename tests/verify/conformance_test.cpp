@@ -365,6 +365,71 @@ TEST(Campaign, DigestsIndependentOfJobCount) {
   EXPECT_TRUE(parallel.clean()) << parallel.summary();
 }
 
+// -- Fusion conformance (ISSUE 8) -------------------------------------------
+
+TEST(Oracle, FusionReplayIsCleanAndStampsDigests) {
+  KernelFuzzer fuzzer(11);
+  for (int i = 0; i < 5; ++i) {
+    const kgen::Module module = fuzzer.generate();
+    OracleOptions options;
+    options.fusion = true;
+    const OracleReport report = runOracle(module, options);
+    EXPECT_TRUE(report.ok()) << "module " << i << ":\n" << report.summary();
+    ASSERT_EQ(report.runs.size(), 4u);
+    for (const RunDigest& run : report.runs) {
+      EXPECT_TRUE(run.fused) << run.config;
+      // fused + pairs == retired, so fused <= retired always.
+      EXPECT_EQ(run.fusedRetired + run.fusionPairs, run.retired)
+          << run.config;
+    }
+  }
+}
+
+std::string fusionGoldenPath() {
+  return std::string(RISCMP_CONFORMANCE_GOLDEN_DIR) +
+         "/fusion_conformance_digests.txt";
+}
+
+CampaignOptions fusionGoldenOptions(unsigned jobs) {
+  CampaignOptions options;
+  options.seed = 3026;
+  options.count = 100;
+  options.jobs = jobs;
+  options.fusion = true;
+  return options;
+}
+
+// The ISSUE 8 acceptance campaign: 100 fixed-seed kernels replayed with
+// fusion enabled on all four configurations, architectural results
+// identical to fusion-off (any difference is a Divergence finding), digests
+// — including the fused=/pairs= fields — byte-identical to the golden.
+TEST(Campaign, FixedSeedFusionCampaignIsCleanAndMatchesGolden) {
+  const CampaignResult result = runCampaign(fusionGoldenOptions(1));
+  EXPECT_TRUE(result.clean()) << result.summary();
+  EXPECT_EQ(result.outcomes.size(), 100u);
+  for (const KernelOutcome& outcome : result.outcomes) {
+    for (const RunDigest& run : outcome.report.runs) {
+      EXPECT_TRUE(run.fused) << "seed=" << outcome.seed << " " << run.config;
+    }
+  }
+
+  std::ifstream in(fusionGoldenPath());
+  ASSERT_TRUE(in) << "missing golden snapshot " << fusionGoldenPath();
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(result.digestText(), golden.str())
+      << "digest drift: regenerate with sim_conformance --seed=3026 "
+         "--count=100 --fusion --digest-file=tests/verify/golden/"
+         "fusion_conformance_digests.txt after auditing the change";
+}
+
+TEST(Campaign, FusionDigestsIndependentOfJobCount) {
+  const CampaignResult serial = runCampaign(fusionGoldenOptions(1));
+  const CampaignResult parallel = runCampaign(fusionGoldenOptions(8));
+  EXPECT_EQ(serial.digestText(), parallel.digestText());
+  EXPECT_TRUE(parallel.clean()) << parallel.summary();
+}
+
 TEST(Campaign, ShrinksInjectedDivergenceToSmallRepro) {
   // No campaign-level compile hook exists (the cache must stay honest), so
   // exercise the shrink path by minimizing against a synthetic oracle
