@@ -64,32 +64,12 @@ std::string stringFlag(int argc, char** argv, const std::string& name) {
   return {};
 }
 
-void rejectUnknownFlags(int argc, char** argv) {
-  const std::string known[] = {"--seed=",        "--count=",
-                               "--jobs=",        "--budget=",
-                               "--digest-file=", "--no-shrink",
-                               "--fusion"};
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    bool matched = false;
-    for (const std::string& prefix : known) {
-      const bool bare = prefix == "--no-shrink" || prefix == "--fusion";
-      if (bare ? arg == prefix : arg.rfind(prefix, 0) == 0) {
-        matched = true;
-        break;
-      }
-    }
-    if (!matched) {
-      std::cerr << "error: unknown flag '" << arg << "'\n";
-      std::exit(2);
-    }
-  }
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  rejectUnknownFlags(argc, argv);
+  requireKnownFlagsExact(argc, argv,
+                         {"--seed=", "--count=", "--jobs=", "--budget=",
+                          "--digest-file=", "--no-shrink", "--fusion"});
 
   CampaignOptions options;
   options.seed = flagValue(argc, argv, "seed", options.seed);

@@ -38,16 +38,6 @@ using namespace riscmp::bench;
 
 namespace {
 
-/// "--json" or "--json=PATH"; empty optional when absent.
-std::optional<std::string> parseJsonPath(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json") return std::string("BENCH_cache.json");
-    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
-  }
-  return std::nullopt;
-}
-
 std::string hexDigest(std::uint64_t digest) {
   std::ostringstream out;
   out << "0x" << std::hex << digest;
@@ -194,21 +184,28 @@ void writeCellJson(std::ostream& out, const engine::CellResult& cell) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = parseScale(argc, argv);
-  const std::string configDir =
-      parseConfigDir(argc, argv, uarch::configDir());
-  const std::optional<std::string> jsonPath = parseJsonPath(argc, argv);
-  const auto suite = workloads::paperSuite(scale);
-  const auto configs = paperConfigs();
+  engine::GridSpec spec;
+  spec.scale = parseScale(argc, argv);
+  spec.configDir = parseConfigDir(argc, argv, uarch::configDir());
+  spec.analyses =
+      engine::kScaledCP | engine::kCacheModel | engine::kCacheAwareCP;
+  spec.modelA64 = "tx2";
+  spec.modelRv64 = "riscv-tx2";
+  spec.requireModels = true;  // no model / no caches: section fails the cell
+  const std::optional<std::string> jsonPath =
+      parseJsonPath(argc, argv, "BENCH_cache.json");
+  const double scale = spec.scale;
   verify::FaultBoundary boundary(std::cout);
 
+  // Render-side loads (cache-geometry header + identity check); execution
+  // loads its own copies from the spec, wherever the cells actually run.
   std::optional<uarch::CoreModel> tx2;
   std::optional<uarch::CoreModel> riscvTx2;
   boundary.run("load-config/tx2", [&] {
-    tx2 = uarch::CoreModel::fromFile(configDir + "/tx2.yaml");
+    tx2 = uarch::CoreModel::fromFile(spec.configDir + "/tx2.yaml");
   });
   boundary.run("load-config/riscv-tx2", [&] {
-    riscvTx2 = uarch::CoreModel::fromFile(configDir + "/riscv-tx2.yaml");
+    riscvTx2 = uarch::CoreModel::fromFile(spec.configDir + "/riscv-tx2.yaml");
   });
   // The cross-ISA invariant only holds when both ISAs simulate the same
   // hierarchy; diverging geometry is a config bug, not a finding.
@@ -228,32 +225,12 @@ int main(int argc, char** argv) {
     }
   });
 
-  engine::EngineOptions options = engineOptions(argc, argv);
-  options.analyses =
-      engine::kScaledCP | engine::kCacheModel | engine::kCacheAwareCP;
-  options.latenciesFor = [&](Arch arch) -> const LatencyTable* {
-    const auto& model = arch == Arch::Rv64 ? riscvTx2 : tx2;
-    return model ? &model->latencies : nullptr;
-  };
-  options.cacheConfigFor = [&](Arch arch) -> const uarch::mem::CacheConfig* {
-    const auto& model = arch == Arch::Rv64 ? riscvTx2 : tx2;
-    return model && model->caches ? &*model->caches : nullptr;
-  };
-  options.cellSetup = [&](const engine::CellKey& key) {
-    const bool riscv = key.config.arch == Arch::Rv64;
-    const auto& model = riscv ? riscvTx2 : tx2;
-    if (!model) {
-      throw ConfigError("core model unavailable (failed to load)", {}, 0,
-                        riscv ? "riscv-tx2" : "tx2");
-    }
-    if (!model->caches) {
-      throw ConfigError(
-          "core model '" + model->name + "' has no caches: section", {}, 0,
-          "caches");
-    }
-  };
-  engine::ExperimentEngine eng(options);
-  const engine::GridResult grid = eng.runGrid(suite, configs);
+  const GridRun run = runGridSpec(
+      spec, argc, argv, {"--scale=", "--config-dir=", "--json", "--json="});
+  const engine::GridResult& grid = run.grid;
+  const engine::GridShape shape = engine::resolveGridShape(spec);
+  const auto& suite = shape.suite;
+  const auto& configs = shape.configs;
   engine::mergeIntoBoundary(grid, boundary, std::cout);
 
   std::cout << "E11: memory-hierarchy cache model (per-kernel MPKI + "
@@ -365,16 +342,9 @@ int main(int argc, char** argv) {
            << (v + 1 < verdicts.size() ? ",\n" : "\n");
     }
     json << "  ]\n}\n";
-    // Stage-and-rename so a killed run never leaves a truncated artifact.
-    std::string writeError;
-    if (!support::writeFileAtomic(*jsonPath, json.str(), &writeError)) {
-      std::cerr << "error: cannot write " << *jsonPath << ": " << writeError
-                << "\n";
-      return 2;
-    }
-    std::cout << "JSON written to " << *jsonPath << "\n";
+    if (!writeJsonArtifact(*jsonPath, json.str())) return 2;
   }
 
-  std::cout << engine::describe(eng.stats()) << "\n";
+  std::cout << run.footer << "\n";
   return boundary.finish();
 }

@@ -17,16 +17,16 @@ using namespace riscmp;
 using namespace riscmp::bench;
 
 int main(int argc, char** argv) {
-  const double scale = parseScale(argc, argv);
-  const auto suite = workloads::paperSuite(scale);
-  const std::vector<Config> configs = {
-      {Arch::AArch64, kgen::CompilerEra::Gcc12},
-      {Arch::Rv64, kgen::CompilerEra::Gcc12}};
-
-  engine::EngineOptions options = engineOptions(argc, argv);
-  options.analyses = engine::kDepDistance;
-  engine::ExperimentEngine eng(options);
-  const engine::GridResult grid = eng.runGrid(suite, configs);
+  engine::GridSpec spec;
+  spec.scale = parseScale(argc, argv);
+  spec.configs = {{Arch::AArch64, kgen::CompilerEra::Gcc12},
+                  {Arch::Rv64, kgen::CompilerEra::Gcc12}};
+  spec.analyses = engine::kDepDistance;
+  const GridRun run = runGridSpec(spec, argc, argv, {"--scale="});
+  const engine::GridResult& grid = run.grid;
+  const engine::GridShape shape = engine::resolveGridShape(spec);
+  const auto& suite = shape.suite;
+  const auto& configs = shape.configs;
 
   verify::FaultBoundary boundary(std::cout);
   engine::mergeIntoBoundary(grid, boundary, std::cout);
@@ -64,6 +64,6 @@ int main(int argc, char** argv) {
       std::cout << "\n";
     }
   }
-  std::cout << engine::describe(eng.stats()) << "\n";
+  std::cout << run.footer << "\n";
   return boundary.finish();
 }

@@ -37,16 +37,6 @@ using namespace riscmp::bench;
 
 namespace {
 
-/// "--json" or "--json=PATH"; empty optional when absent.
-std::optional<std::string> parseJsonPath(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json") return std::string("BENCH_fusion.json");
-    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
-  }
-  return std::nullopt;
-}
-
 const engine::CellResult* findCell(const engine::GridResult& grid,
                                    std::size_t workload, Arch arch,
                                    kgen::CompilerEra era) {
@@ -115,51 +105,44 @@ void writeCellJson(std::ostream& out, const engine::CellResult& cell) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = parseScale(argc, argv);
-  const std::string configDir =
-      parseConfigDir(argc, argv, uarch::configDir());
-  const std::optional<std::string> jsonPath = parseJsonPath(argc, argv);
-  const auto suite = workloads::paperSuite(scale);
-  const auto configs = paperConfigs();
+  engine::GridSpec spec;
+  spec.scale = parseScale(argc, argv);
+  spec.configDir = parseConfigDir(argc, argv, uarch::configDir());
+  spec.analyses = engine::kPathLength | engine::kCriticalPath |
+                  engine::kScaledCP | engine::kFusion;
+  spec.modelA64 = "tx2";
+  spec.modelRv64 = "riscv-tx2";
+  spec.requireModels = true;  // no model / no fusion: section fails the cell
+  const std::optional<std::string> jsonPath =
+      parseJsonPath(argc, argv, "BENCH_fusion.json");
+  const double scale = spec.scale;
   verify::FaultBoundary boundary(std::cout);
 
   // tx2/riscv-tx2 carry the grid's fusion rule sets and latency tables.
+  // These are render-side loads (the rule-set header); execution loads its
+  // own copies from the spec, wherever the cells actually run.
   std::optional<uarch::CoreModel> a64Model;
   std::optional<uarch::CoreModel> rvModel;
   boundary.run("load-config/tx2", [&] {
-    a64Model = uarch::CoreModel::fromFile(configDir + "/tx2.yaml");
+    a64Model = uarch::CoreModel::fromFile(spec.configDir + "/tx2.yaml");
     if (!a64Model->fusion) {
       throw ConfigError("tx2.yaml has no fusion: section", {}, 0, "fusion");
     }
   });
   boundary.run("load-config/riscv-tx2", [&] {
-    rvModel = uarch::CoreModel::fromFile(configDir + "/riscv-tx2.yaml");
+    rvModel = uarch::CoreModel::fromFile(spec.configDir + "/riscv-tx2.yaml");
     if (!rvModel->fusion) {
       throw ConfigError("riscv-tx2.yaml has no fusion: section", {}, 0,
                         "fusion");
     }
   });
 
-  engine::EngineOptions options = engineOptions(argc, argv);
-  options.analyses = engine::kPathLength | engine::kCriticalPath |
-                     engine::kScaledCP | engine::kFusion;
-  options.latenciesFor = [&](Arch arch) -> const LatencyTable* {
-    const auto& model = arch == Arch::Rv64 ? rvModel : a64Model;
-    return model ? &model->latencies : nullptr;
-  };
-  options.fusionFor = [&](Arch arch) -> const uarch::FusionConfig* {
-    const auto& model = arch == Arch::Rv64 ? rvModel : a64Model;
-    return model && model->fusion ? &*model->fusion : nullptr;
-  };
-  options.cellSetup = [&](const engine::CellKey& key) {
-    const bool riscv = key.config.arch == Arch::Rv64;
-    if (!(riscv ? rvModel : a64Model)) {
-      throw ConfigError("core model unavailable (failed to load)", {}, 0,
-                        riscv ? "riscv-tx2" : "tx2");
-    }
-  };
-  engine::ExperimentEngine eng(options);
-  const engine::GridResult grid = eng.runGrid(suite, configs);
+  const GridRun run = runGridSpec(
+      spec, argc, argv, {"--scale=", "--config-dir=", "--json", "--json="});
+  const engine::GridResult& grid = run.grid;
+  const engine::GridShape shape = engine::resolveGridShape(spec);
+  const auto& suite = shape.suite;
+  const auto& configs = shape.configs;
   engine::mergeIntoBoundary(grid, boundary, std::cout);
 
   std::cout << "E13: macro-op fusion off/on (Celio et al. rules over the "
@@ -287,16 +270,9 @@ int main(int argc, char** argv) {
       json << "    ]}" << (w + 1 < suite.size() ? ",\n" : "\n");
     }
     json << "  ]\n}\n";
-    // Stage-and-rename so a killed run never leaves a truncated artifact.
-    std::string writeError;
-    if (!support::writeFileAtomic(*jsonPath, json.str(), &writeError)) {
-      std::cerr << "error: cannot write " << *jsonPath << ": " << writeError
-                << "\n";
-      return 2;
-    }
-    std::cout << "JSON written to " << *jsonPath << "\n";
+    if (!writeJsonArtifact(*jsonPath, json.str())) return 2;
   }
 
-  std::cout << engine::describe(eng.stats()) << "\n";
+  std::cout << run.footer << "\n";
   return boundary.finish();
 }

@@ -13,11 +13,11 @@ using namespace riscmp;
 using namespace riscmp::bench;
 
 int main(int argc, char** argv) {
-  const double scale = parseScale(argc, argv);
-  const auto suite = workloads::paperSuite(scale);
-  const std::vector<Config> configs = {
-      {Arch::AArch64, kgen::CompilerEra::Gcc12},
-      {Arch::Rv64, kgen::CompilerEra::Gcc12}};
+  engine::GridSpec spec;
+  spec.scale = parseScale(argc, argv);
+  spec.configs = {{Arch::AArch64, kgen::CompilerEra::Gcc12},
+                  {Arch::Rv64, kgen::CompilerEra::Gcc12}};
+  spec.analyses = engine::kPathLength;
 
   const InstGroup shown[] = {InstGroup::IntSimple, InstGroup::Branch,
                              InstGroup::Load,      InstGroup::Store,
@@ -25,10 +25,11 @@ int main(int argc, char** argv) {
                              InstGroup::FpFma,     InstGroup::FpDiv,
                              InstGroup::FpSqrt,    InstGroup::FpSimple};
 
-  engine::EngineOptions options = engineOptions(argc, argv);
-  options.analyses = engine::kPathLength;
-  engine::ExperimentEngine eng(options);
-  const engine::GridResult grid = eng.runGrid(suite, configs);
+  const GridRun run = runGridSpec(spec, argc, argv, {"--scale="});
+  const engine::GridResult& grid = run.grid;
+  const engine::GridShape shape = engine::resolveGridShape(spec);
+  const auto& suite = shape.suite;
+  const auto& configs = shape.configs;
 
   verify::FaultBoundary boundary(std::cout);
   engine::mergeIntoBoundary(grid, boundary, std::cout);
@@ -64,6 +65,6 @@ int main(int argc, char** argv) {
   std::cout << "Reading: the FP columns match between ISAs (identical "
                "arithmetic); the INT_SIMPLE and BRANCH columns differ by the "
                "loop-control and addressing idioms of §3.3.\n";
-  std::cout << engine::describe(eng.stats()) << "\n";
+  std::cout << run.footer << "\n";
   return boundary.finish();
 }

@@ -62,6 +62,7 @@ Module stencilProbe(std::int64_t n) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  requireKnownFlags(argc, argv, {});
   const auto configs = paperConfigs();
   verify::FaultBoundary boundary(std::cout);
 

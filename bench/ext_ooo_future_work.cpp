@@ -50,6 +50,7 @@ struct OooCell {
 }  // namespace
 
 int main(int argc, char** argv) {
+  requireKnownFlags(argc, argv, {"--scale="});
   const double scale = parseScale(argc, argv);
   const auto suite = workloads::paperSuite(scale);
   const auto configs = paperConfigs();

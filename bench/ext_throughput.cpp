@@ -40,16 +40,6 @@ using namespace riscmp::bench;
 
 namespace {
 
-/// "--json" or "--json=PATH"; empty optional when absent.
-std::optional<std::string> parseJsonPath(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json") return std::string("BENCH_throughput_bound.json");
-    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
-  }
-  return std::nullopt;
-}
-
 std::string rcpCell(const ThroughputModel& model, InstGroup group) {
   const unsigned multiplicity = model.portMultiplicity(group);
   if (multiplicity == 0) return "-";
@@ -102,22 +92,28 @@ void writeCellJson(std::ostream& out, const engine::CellResult& cell) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = parseScale(argc, argv);
-  const std::string configDir =
-      parseConfigDir(argc, argv, uarch::configDir());
-  const std::optional<std::string> jsonPath = parseJsonPath(argc, argv);
-  const auto suite = workloads::paperSuite(scale);
-  const auto configs = paperConfigs();
+  engine::GridSpec spec;
+  spec.scale = parseScale(argc, argv);
+  spec.configDir = parseConfigDir(argc, argv, uarch::configDir());
+  spec.analyses = engine::kScaledCP | engine::kThroughputBound;
+  spec.modelA64 = "tx2";
+  spec.modelRv64 = "riscv-tx2";
+  spec.requireModels = true;  // a broken model fails its cells, loudly
+  const std::optional<std::string> jsonPath =
+      parseJsonPath(argc, argv, "BENCH_throughput_bound.json");
+  const double scale = spec.scale;
   verify::FaultBoundary boundary(std::cout);
 
   // tx2/riscv-tx2 drive the grid; a64fx and m1-firestorm appear in the
   // reciprocal-throughput table so all four models' port maps are audited.
+  // These are render-side loads; execution loads its own copies from the
+  // spec, wherever the cells actually run.
   const char* const modelNames[] = {"tx2", "riscv-tx2", "a64fx",
                                     "m1-firestorm"};
   std::optional<ThroughputModel> models[4];
   for (std::size_t m = 0; m < 4; ++m) {
     boundary.run(std::string("load-config/") + modelNames[m], [&] {
-      models[m] = uarch::CoreModel::fromFile(configDir + "/" +
+      models[m] = uarch::CoreModel::fromFile(spec.configDir + "/" +
                                              std::string(modelNames[m]) +
                                              ".yaml")
                       .throughputModel();
@@ -149,25 +145,12 @@ int main(int argc, char** argv) {
     }
   });
 
-  engine::EngineOptions options = engineOptions(argc, argv);
-  options.analyses = engine::kScaledCP | engine::kThroughputBound;
-  options.latenciesFor = [&](Arch arch) -> const LatencyTable* {
-    const auto& model = arch == Arch::Rv64 ? riscvTx2 : tx2;
-    return model ? &model->latencies : nullptr;
-  };
-  options.throughputModelFor = [&](Arch arch) -> const ThroughputModel* {
-    const auto& model = arch == Arch::Rv64 ? riscvTx2 : tx2;
-    return model ? &*model : nullptr;
-  };
-  options.cellSetup = [&](const engine::CellKey& key) {
-    const bool riscv = key.config.arch == Arch::Rv64;
-    if (!(riscv ? riscvTx2 : tx2)) {
-      throw ConfigError("core model unavailable (failed to load)", {}, 0,
-                        riscv ? "riscv-tx2" : "tx2");
-    }
-  };
-  engine::ExperimentEngine eng(options);
-  const engine::GridResult grid = eng.runGrid(suite, configs);
+  const GridRun run = runGridSpec(
+      spec, argc, argv, {"--scale=", "--config-dir=", "--json", "--json="});
+  const engine::GridResult& grid = run.grid;
+  const engine::GridShape shape = engine::resolveGridShape(spec);
+  const auto& suite = shape.suite;
+  const auto& configs = shape.configs;
   engine::mergeIntoBoundary(grid, boundary, std::cout);
 
   std::cout << "E12: per-kernel throughput bounds (port pressure x issue "
@@ -294,16 +277,9 @@ int main(int argc, char** argv) {
       json << "    ]}" << (w + 1 < suite.size() ? ",\n" : "\n");
     }
     json << "  ]\n}\n";
-    // Stage-and-rename so a killed run never leaves a truncated artifact.
-    std::string writeError;
-    if (!support::writeFileAtomic(*jsonPath, json.str(), &writeError)) {
-      std::cerr << "error: cannot write " << *jsonPath << ": " << writeError
-                << "\n";
-      return 2;
-    }
-    std::cout << "JSON written to " << *jsonPath << "\n";
+    if (!writeJsonArtifact(*jsonPath, json.str())) return 2;
   }
 
-  std::cout << engine::describe(eng.stats()) << "\n";
+  std::cout << run.footer << "\n";
   return boundary.finish();
 }

@@ -40,6 +40,7 @@ struct AblationCell {
 }  // namespace
 
 int main(int argc, char** argv) {
+  requireKnownFlags(argc, argv, {"--scale="});
   const double scale = parseScale(argc, argv);
   const kgen::Module stream =
       workloads::makeStream({.n = static_cast<std::int64_t>(10000 * scale),

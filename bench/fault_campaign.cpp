@@ -63,6 +63,9 @@ std::vector<std::uint32_t> corpusFor(Arch arch) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  requireKnownFlagsExact(argc, argv,
+                         {"--seed=", "--rounds=", "--exec-rounds=",
+                          "--config-rounds=", "--budget="});
   const std::uint64_t seed = flagValue(argc, argv, "seed", 42);
   const std::uint64_t rounds = flagValue(argc, argv, "rounds", 10000);
   const std::uint64_t execRounds = flagValue(argc, argv, "exec-rounds", 25);

@@ -17,19 +17,18 @@ using namespace riscmp;
 using namespace riscmp::bench;
 
 int main(int argc, char** argv) {
-  const double scale = parseScale(argc, argv);
-  const auto suite = workloads::paperSuite(scale);
-  const std::vector<Config> configs = {
-      {Arch::AArch64, kgen::CompilerEra::Gcc12},
-      {Arch::Rv64, kgen::CompilerEra::Gcc12}};
-
-  const auto windowSizes = WindowedCPAnalyzer::paperWindowSizes();
-
-  engine::EngineOptions options = engineOptions(argc, argv);
-  options.analyses = engine::kWindowedCP;
-  options.windowSizes = windowSizes;
-  engine::ExperimentEngine eng(options);
-  const engine::GridResult grid = eng.runGrid(suite, configs);
+  engine::GridSpec spec;
+  spec.scale = parseScale(argc, argv);
+  spec.configs = {{Arch::AArch64, kgen::CompilerEra::Gcc12},
+                  {Arch::Rv64, kgen::CompilerEra::Gcc12}};
+  spec.analyses = engine::kWindowedCP;
+  spec.windowSizes = WindowedCPAnalyzer::paperWindowSizes();
+  const auto& windowSizes = spec.windowSizes;
+  const GridRun run = runGridSpec(spec, argc, argv, {"--scale="});
+  const engine::GridResult& grid = run.grid;
+  const engine::GridShape shape = engine::resolveGridShape(spec);
+  const auto& suite = shape.suite;
+  const auto& configs = shape.configs;
 
   verify::FaultBoundary boundary(std::cout);
   engine::mergeIntoBoundary(grid, boundary, std::cout);
@@ -83,6 +82,6 @@ int main(int argc, char** argv) {
                "is CloverLeaf at W=2000 (RISC-V -12%), and STREAM is the "
                "one case where RISC-V stays ahead (+5.8%).\n";
   printFailureFooter(grid, std::cout);
-  std::cout << engine::describe(eng.stats()) << "\n";
+  std::cout << run.footer << "\n";
   return boundary.finish();
 }

@@ -16,12 +16,22 @@
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "engine/cell_codec.hpp"
 #include "engine/engine.hpp"
+#include "engine/grid_spec.hpp"
+#include "engine/result_store.hpp"
+#include "engine/service.hpp"
+#include "support/atomic_file.hpp"
+#include "support/json_lite.hpp"
 #include "verify/boundary.hpp"
 #include "workloads/workloads.hpp"
 
@@ -324,6 +334,188 @@ inline engine::EngineOptions engineOptions(int argc, char** argv) {
   options.resumeFrom = parsePathFlag(argc, argv, "--resume");
   applyFaultInjection(argc, argv, options);
   return options;
+}
+
+/// Parse "--via=local|socket:<path>": where grid cells execute. Empty
+/// string = local (the default); otherwise the simd daemon's socket path.
+inline std::string parseVia(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--via=", 0) == 0) {
+      const std::string value = arg.substr(6);
+      if (value == "local") return {};
+      if (value.rfind("socket:", 0) == 0 && value.size() > 7) {
+        return value.substr(7);
+      }
+      std::cerr << "error: --via must be 'local' or 'socket:<path>', got '"
+                << value << "'\n";
+      std::exit(2);
+    }
+  }
+  return {};
+}
+
+/// Shared "--json[=PATH]" parser (previously copied into every artifact
+/// bench): bare --json selects the bench's conventional default path.
+inline std::optional<std::string> parseJsonPath(int argc, char** argv,
+                                                const std::string&
+                                                    defaultPath) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") return defaultPath;
+    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
+  }
+  return std::nullopt;
+}
+
+/// Shared artifact writer: stage-and-rename so a killed run never leaves a
+/// truncated file, with the benches' established error/echo lines. Returns
+/// false after printing the error (callers exit 2).
+inline bool writeJsonArtifact(const std::string& path,
+                              const std::string& content) {
+  std::string writeError;
+  if (!support::writeFileAtomic(path, content, &writeError)) {
+    std::cerr << "error: cannot write " << path << ": " << writeError
+              << "\n";
+    return false;
+  }
+  std::cout << "JSON written to " << path << "\n";
+  return true;
+}
+
+/// Reject any "--*" argument outside `known` with an exit-2 usage error (a
+/// typo'd flag must not silently run the default experiment). Entries
+/// ending in '=' are value-flag prefixes, others match exactly. Call this
+/// AFTER the specific parsers so their more precise diagnostics (e.g.
+/// "--fail-fast takes no value") win.
+inline void requireKnownFlagsExact(int argc, char** argv,
+                                   const std::vector<std::string>& known) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    bool matched = false;
+    for (const std::string& flag : known) {
+      if (!flag.empty() && flag.back() == '='
+              ? arg.rfind(flag, 0) == 0
+              : arg == flag) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
+      std::exit(2);
+    }
+  }
+}
+
+/// requireKnownFlagsExact with the engine-common flags every grid/job
+/// bench accepts (the engineOptions set) appended to `known`.
+inline void requireKnownFlags(int argc, char** argv,
+                              std::vector<std::string> known) {
+  for (const char* flag :
+       {"--jobs=", "--budget=", "--deadline=", "--retries=",
+        "--retry-backoff-ms=", "--isolate=", "--journal=", "--resume=",
+        "--fail-fast", "--inject-fault="}) {
+    known.emplace_back(flag);
+  }
+  requireKnownFlagsExact(argc, argv, known);
+}
+
+/// One executed grid, however it was executed: the cells plus the footer
+/// line the bench prints last ("engine: ..." locally, "service: ..." when
+/// a daemon ran the cells). Everything between header and footer renders
+/// from the cells alone, which is what makes the two modes byte-identical
+/// up to that final line.
+struct GridRun {
+  engine::GridResult grid;
+  std::string footer;
+  bool viaSocket = false;
+};
+
+/// Execute `spec` per the command line: locally (default, honoring every
+/// engine execution flag plus an optional --store=DIR read/write-through
+/// result store) or via a simd daemon ("--via=socket:<path>", which owns
+/// execution policy and store). `benchFlags` lists the bench's own extra
+/// flags for the unknown-flag audit; --via/--store and the engine-common
+/// set are included automatically.
+inline GridRun runGridSpec(engine::GridSpec spec, int argc, char** argv,
+                           std::vector<std::string> benchFlags = {}) {
+  engine::EngineOptions base = engineOptions(argc, argv);
+  // --budget is part of every cell's identity (it caps the simulated
+  // stream), so it must travel inside the spec the daemon fingerprints,
+  // not just in the local EngineOptions.
+  spec.budget = parseBudget(argc, argv);
+  const std::string socketPath = parseVia(argc, argv);
+  const std::string storeRoot = parsePathFlag(argc, argv, "--store");
+  benchFlags.emplace_back("--via=");
+  benchFlags.emplace_back("--store=");
+  requireKnownFlags(argc, argv, std::move(benchFlags));
+
+  GridRun run;
+  if (socketPath.empty()) {
+    engine::ResolvedGrid resolved = engine::resolveGridSpec(spec, base);
+    if (!storeRoot.empty()) {
+      resolved.options.resultStore =
+          std::make_shared<engine::ResultStore>(storeRoot);
+    }
+    engine::ExperimentEngine eng(resolved.options);
+    run.grid = eng.runGrid(resolved.suite, resolved.configs);
+    run.footer = engine::describe(eng.stats());
+    return run;
+  }
+
+  run.viaSocket = true;
+  support::JsonValue request = support::JsonValue::object();
+  request.set("type", support::JsonValue("grid"));
+  request.set("spec", engine::gridSpecToJson(spec));
+  std::string reply;
+  try {
+    reply = engine::requestOverSocket(socketPath, request.dump());
+  } catch (const Fault& fault) {
+    std::cerr << "error: " << fault.what() << "\n";
+    std::exit(2);
+  }
+  const std::optional<support::JsonValue> doc =
+      support::JsonValue::tryParse(reply);
+  if (!doc) {
+    std::cerr << "error: malformed simd reply\n";
+    std::exit(2);
+  }
+  try {
+    const std::string type = doc->at("type").asString();
+    if (type == "error") {
+      std::cerr << "error: simd: " << doc->at("message").asString() << "\n";
+      std::exit(2);
+    }
+    if (type != "grid" || doc->at("v").asUint() != engine::kGridSpecV) {
+      std::cerr << "error: unexpected simd reply type '" << type << "'\n";
+      std::exit(2);
+    }
+    run.grid.workloadCount = doc->at("workloads").asUint();
+    run.grid.configCount = doc->at("configs").asUint();
+    const auto& cells = doc->at("cells").items();
+    if (cells.size() != run.grid.workloadCount * run.grid.configCount) {
+      std::cerr << "error: simd reply cell count mismatch\n";
+      std::exit(2);
+    }
+    run.grid.cells.reserve(cells.size());
+    for (const support::JsonValue& cell : cells) {
+      run.grid.cells.push_back(engine::decodeCell(cell));
+    }
+    const support::JsonValue& stats = doc->at("stats");
+    std::ostringstream footer;
+    footer << "service: " << stats.at("cells").asUint() << " cells ("
+           << stats.at("store_hits").asUint() << " store hits), "
+           << stats.at("compiles").asUint() << " compiles (+"
+           << stats.at("compile_hits").asUint() << " cached), "
+           << stats.at("simulations").asUint() << " simulations";
+    run.footer = footer.str();
+  } catch (const Fault& fault) {
+    std::cerr << "error: malformed simd reply: " << fault.what() << "\n";
+    std::exit(2);
+  }
+  return run;
 }
 
 }  // namespace riscmp::bench

@@ -22,41 +22,37 @@ using namespace riscmp;
 using namespace riscmp::bench;
 
 int main(int argc, char** argv) {
-  const double scale = parseScale(argc, argv);
-  const std::string configDir =
-      parseConfigDir(argc, argv, uarch::configDir());
-  const auto suite = workloads::paperSuite(scale);
-  const auto configs = paperConfigs();
-  const auto windowSizes = WindowedCPAnalyzer::paperWindowSizes();
+  engine::GridSpec spec;
+  spec.scale = parseScale(argc, argv);
+  spec.configDir = parseConfigDir(argc, argv, uarch::configDir());
+  // The paper's Figure 2 and §6.2 analyses cover only the GCC 12.2
+  // binaries; skip the expensive windowed/dep observers elsewhere.
+  spec.analyses =
+      engine::kPathLength | engine::kCriticalPath | engine::kScaledCP;
+  spec.gcc12Analyses = engine::kWindowedCP | engine::kDepDistance;
+  spec.windowSizes = WindowedCPAnalyzer::paperWindowSizes();
+  spec.modelA64 = "tx2";
+  spec.modelRv64 = "riscv-tx2";
+  const auto& windowSizes = spec.windowSizes;
   verify::FaultBoundary boundary(std::cout);
 
+  // Render-side loads (the "Latencies:" header); execution loads its own
+  // copies from the spec, wherever the cells actually run.
   std::optional<uarch::CoreModel> tx2;
   std::optional<uarch::CoreModel> riscvTx2;
   boundary.run("load-config/tx2", [&] {
-    tx2 = uarch::CoreModel::fromFile(configDir + "/tx2.yaml");
+    tx2 = uarch::CoreModel::fromFile(spec.configDir + "/tx2.yaml");
   });
   boundary.run("load-config/riscv-tx2", [&] {
-    riscvTx2 = uarch::CoreModel::fromFile(configDir + "/riscv-tx2.yaml");
+    riscvTx2 = uarch::CoreModel::fromFile(spec.configDir + "/riscv-tx2.yaml");
   });
 
-  engine::EngineOptions options = engineOptions(argc, argv);
-  options.windowSizes = windowSizes;
-  options.latenciesFor = [&](Arch arch) -> const LatencyTable* {
-    const auto& model = arch == Arch::Rv64 ? riscvTx2 : tx2;
-    return model ? &model->latencies : nullptr;
-  };
-  // The paper's Figure 2 and §6.2 analyses cover only the GCC 12.2
-  // binaries; skip the expensive windowed/dep observers elsewhere.
-  options.analysesFor = [](const engine::CellKey& key) {
-    unsigned analyses =
-        engine::kPathLength | engine::kCriticalPath | engine::kScaledCP;
-    if (key.config.era == kgen::CompilerEra::Gcc12) {
-      analyses |= engine::kWindowedCP | engine::kDepDistance;
-    }
-    return analyses;
-  };
-  engine::ExperimentEngine eng(options);
-  const engine::GridResult grid = eng.runGrid(suite, configs);
+  const GridRun run =
+      runGridSpec(spec, argc, argv, {"--scale=", "--config-dir="});
+  const engine::GridResult& grid = run.grid;
+  const engine::GridShape shape = engine::resolveGridShape(spec);
+  const auto& suite = shape.suite;
+  const auto& configs = shape.configs;
   engine::mergeIntoBoundary(grid, boundary, std::cout);
 
   std::cout << "Paper reproduction: all four experiments from one "
@@ -221,6 +217,6 @@ int main(int argc, char** argv) {
   }
 
   printFailureFooter(grid, std::cout);
-  std::cout << engine::describe(eng.stats()) << "\n";
+  std::cout << run.footer << "\n";
   return boundary.finish();
 }

@@ -1,0 +1,104 @@
+// sim_client — command-line client for the simd daemon (ISSUE 9, layer 4).
+//
+// Speaks the line-JSON protocol over the daemon's Unix-domain socket:
+//   sim_client --socket=<path> --ping              liveness probe
+//   sim_client --socket=<path> --stats             lifetime totals
+//   sim_client --socket=<path> --shutdown          graceful drain + exit
+//   sim_client --socket=<path> --grid=<spec.json>  run/fetch a whole grid
+// The response line is printed verbatim to stdout (it is already
+// deterministic JSON). Exit codes: 0 on success, 2 on usage/transport
+// errors, 3 when the daemon answered with an error response.
+//
+// Report benches do not need this tool to use the daemon — they take
+// --via=socket:<path> directly — but scripts use it to probe, drive, and
+// stop daemons, and --grid lets a saved GridSpec run without any bench.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "engine/grid_spec.hpp"
+#include "engine/service.hpp"
+#include "harness.hpp"
+
+using namespace riscmp;
+using namespace riscmp::bench;
+
+namespace {
+
+bool haveFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string socketPath = parsePathFlag(argc, argv, "--socket");
+  const std::string gridPath = parsePathFlag(argc, argv, "--grid");
+  const bool ping = haveFlag(argc, argv, "--ping");
+  const bool stats = haveFlag(argc, argv, "--stats");
+  const bool shutdown = haveFlag(argc, argv, "--shutdown");
+  requireKnownFlagsExact(
+      argc, argv, {"--socket=", "--grid=", "--ping", "--stats", "--shutdown"});
+
+  const int actions = (ping ? 1 : 0) + (stats ? 1 : 0) + (shutdown ? 1 : 0) +
+                      (gridPath.empty() ? 0 : 1);
+  if (socketPath.empty() || actions != 1) {
+    std::cerr << "usage: sim_client --socket=<path> "
+                 "(--ping | --stats | --shutdown | --grid=<spec.json>)\n";
+    return 2;
+  }
+
+  support::JsonValue request = support::JsonValue::object();
+  if (ping) {
+    request.set("type", support::JsonValue("ping"));
+  } else if (stats) {
+    request.set("type", support::JsonValue("stats"));
+  } else if (shutdown) {
+    request.set("type", support::JsonValue("shutdown"));
+  } else {
+    std::ifstream in(gridPath, std::ios::binary);
+    if (!in) {
+      std::cerr << "error: cannot read " << gridPath << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      // Parse through GridSpec so a malformed spec fails here, with a
+      // provenance message, instead of as an opaque daemon error.
+      const engine::GridSpec spec =
+          engine::gridSpecFromJson(support::JsonValue::parse(buffer.str()));
+      request.set("type", support::JsonValue("grid"));
+      request.set("spec", engine::gridSpecToJson(spec));
+    } catch (const Fault& fault) {
+      std::cerr << "error: " << gridPath << ": " << fault.what() << "\n";
+      return 2;
+    }
+  }
+
+  std::string reply;
+  try {
+    reply = engine::requestOverSocket(socketPath, request.dump());
+  } catch (const Fault& fault) {
+    std::cerr << "error: " << fault.what() << "\n";
+    return 2;
+  }
+  std::cout << reply << "\n";
+
+  const std::optional<support::JsonValue> doc =
+      support::JsonValue::tryParse(reply);
+  if (!doc || !doc->has("type")) {
+    std::cerr << "error: malformed simd reply\n";
+    return 2;
+  }
+  try {
+    if (doc->at("type").asString() == "error") return 3;
+  } catch (const Fault&) {
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// simd — the simulation-as-a-service daemon (ISSUE 9, layer 3).
+//
+// Serves experiment grids over a Unix-domain socket: clients (sim_client,
+// or any bench run with --via=socket:<path>) send a declarative GridSpec
+// and receive every CellResult via the exact cell_codec encoding, so their
+// rendered reports are byte-identical to local execution. One process
+// holds the shared CompileCache for its lifetime, and --store=DIR adds the
+// persistent cross-process ResultStore — a warm daemon answers a repeated
+// grid with zero simulations. Concurrent requests for the same grid are
+// batched into a single runGrid. SIGTERM/SIGINT drain gracefully: buffered
+// requests are answered, the socket is unlinked, and the exit code is 0.
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "engine/service.hpp"
+#include "harness.hpp"
+
+using namespace riscmp;
+using namespace riscmp::bench;
+
+namespace {
+
+volatile std::sig_atomic_t gStop = 0;
+
+void onSignal(int) { gStop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string socketPath = parsePathFlag(argc, argv, "--socket");
+  engine::ServiceOptions options;
+  options.jobs = parseJobs(argc, argv);
+  options.storeRoot = parsePathFlag(argc, argv, "--store");
+  requireKnownFlagsExact(argc, argv, {"--socket=", "--store=", "--jobs="});
+  if (socketPath.empty()) {
+    std::cerr << "usage: simd --socket=<path> [--store=<dir>] [--jobs=<n>]\n";
+    return 2;
+  }
+
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+
+  engine::SimService service(options);
+  const int code =
+      engine::serveUnixSocket(service, socketPath, &gStop, std::cout);
+
+  const engine::ServiceTotals& totals = service.totals();
+  std::cout << "simd: served " << totals.requests << " requests ("
+            << totals.grids << " grids, " << totals.batched << " batched), "
+            << totals.cells << " cells (" << totals.storeHits
+            << " store hits), " << totals.compiles << " compiles (+"
+            << totals.compileHits << " cached), " << totals.simulations
+            << " simulations\n";
+  return code;
+}

@@ -15,14 +15,14 @@ using namespace riscmp;
 using namespace riscmp::bench;
 
 int main(int argc, char** argv) {
-  const double scale = parseScale(argc, argv);
-  const auto suite = workloads::paperSuite(scale);
-  const auto configs = paperConfigs();
-
-  engine::EngineOptions options = engineOptions(argc, argv);
-  options.analyses = engine::kCriticalPath;
-  engine::ExperimentEngine eng(options);
-  const engine::GridResult grid = eng.runGrid(suite, configs);
+  engine::GridSpec spec;
+  spec.scale = parseScale(argc, argv);
+  spec.analyses = engine::kCriticalPath;
+  const GridRun run = runGridSpec(spec, argc, argv, {"--scale="});
+  const engine::GridResult& grid = run.grid;
+  const engine::GridShape shape = engine::resolveGridShape(spec);
+  const auto& suite = shape.suite;
+  const auto& configs = shape.configs;
 
   verify::FaultBoundary boundary(std::cout);
   engine::mergeIntoBoundary(grid, boundary, std::cout);
@@ -53,6 +53,6 @@ int main(int argc, char** argv) {
     std::cout << table << "\n";
   }
   printFailureFooter(grid, std::cout);
-  std::cout << engine::describe(eng.stats()) << "\n";
+  std::cout << run.footer << "\n";
   return boundary.finish();
 }

@@ -23,39 +23,32 @@ using namespace riscmp;
 using namespace riscmp::bench;
 
 int main(int argc, char** argv) {
-  const double scale = parseScale(argc, argv);
-  const std::string configDir =
-      parseConfigDir(argc, argv, uarch::configDir());
-  const auto suite = workloads::paperSuite(scale);
-  const auto configs = paperConfigs();
+  engine::GridSpec spec;
+  spec.scale = parseScale(argc, argv);
+  spec.configDir = parseConfigDir(argc, argv, uarch::configDir());
+  spec.analyses = engine::kCriticalPath | engine::kScaledCP;
+  spec.modelA64 = "tx2";
+  spec.modelRv64 = "riscv-tx2";
+  spec.requireModels = true;  // a broken model fails its cells, loudly
   verify::FaultBoundary boundary(std::cout);
 
+  // Render-side loads (the "Latencies:" header); execution loads its own
+  // copies from the spec, wherever the cells actually run.
   std::optional<uarch::CoreModel> tx2;
   std::optional<uarch::CoreModel> riscvTx2;
   boundary.run("load-config/tx2", [&] {
-    tx2 = uarch::CoreModel::fromFile(configDir + "/tx2.yaml");
+    tx2 = uarch::CoreModel::fromFile(spec.configDir + "/tx2.yaml");
   });
   boundary.run("load-config/riscv-tx2", [&] {
-    riscvTx2 = uarch::CoreModel::fromFile(configDir + "/riscv-tx2.yaml");
+    riscvTx2 = uarch::CoreModel::fromFile(spec.configDir + "/riscv-tx2.yaml");
   });
 
-  engine::EngineOptions options = engineOptions(argc, argv);
-  options.analyses = engine::kCriticalPath | engine::kScaledCP;
-  options.latenciesFor = [&](Arch arch) -> const LatencyTable* {
-    const auto& model = arch == Arch::Rv64 ? riscvTx2 : tx2;
-    return model ? &model->latencies : nullptr;
-  };
-  // A cell whose core model failed to load must fail like before, not
-  // silently drop its scaled chain.
-  options.cellSetup = [&](const engine::CellKey& key) {
-    const bool riscv = key.config.arch == Arch::Rv64;
-    if (!(riscv ? riscvTx2 : tx2)) {
-      throw ConfigError("core model unavailable (failed to load)", {}, 0,
-                        riscv ? "riscv-tx2" : "tx2");
-    }
-  };
-  engine::ExperimentEngine eng(options);
-  const engine::GridResult grid = eng.runGrid(suite, configs);
+  const GridRun run =
+      runGridSpec(spec, argc, argv, {"--scale=", "--config-dir="});
+  const engine::GridResult& grid = run.grid;
+  const engine::GridShape shape = engine::resolveGridShape(spec);
+  const auto& suite = shape.suite;
+  const auto& configs = shape.configs;
   engine::mergeIntoBoundary(grid, boundary, std::cout);
 
   std::cout << "E3: scaled critical paths (paper Table 2)\n";
@@ -96,6 +89,6 @@ int main(int argc, char** argv) {
                "STREAM ~6x (§5.2); ours depend on which chain dominates\n"
                "after scaling — see EXPERIMENTS.md for the comparison.\n";
   printFailureFooter(grid, std::cout);
-  std::cout << engine::describe(eng.stats()) << "\n";
+  std::cout << run.footer << "\n";
   return boundary.finish();
 }

@@ -13,6 +13,7 @@
 #include "engine/cell_codec.hpp"
 #include "engine/journal.hpp"
 #include "engine/process_worker.hpp"
+#include "engine/result_store.hpp"
 #include "support/fault.hpp"
 #include "support/json_lite.hpp"
 #include "support/table.hpp"
@@ -39,6 +40,7 @@ std::string describe(const EngineStats& stats) {
       << " cached), " << stats.simulations << " simulations, jobs="
       << stats.jobs;
   if (stats.resumed != 0) out << ", resumed=" << stats.resumed;
+  if (stats.storeHits != 0) out << ", store-hits=" << stats.storeHits;
   return out.str();
 }
 
@@ -47,12 +49,15 @@ std::string windowIlpCell(const WindowedCPAnalyzer::WindowResult& result) {
   return sigFigs(result.meanIlp, 3);
 }
 
-ExperimentEngine::ExperimentEngine(EngineOptions options)
-    : options_(std::move(options)), scheduler_(options_.jobs) {}
+ExperimentEngine::ExperimentEngine(EngineOptions options,
+                                   CompileCache* sharedCache)
+    : options_(std::move(options)),
+      scheduler_(options_.jobs),
+      cache_(sharedCache != nullptr ? sharedCache : &ownCache_) {}
 
 std::shared_ptr<const kgen::Compiled> ExperimentEngine::compile(
     const kgen::Module& module, const Config& config) {
-  return cache_.get(module, config.arch, config.era);
+  return cache_->get(module, config.arch, config.era);
 }
 
 std::uint64_t ExperimentEngine::simulate(
@@ -334,6 +339,26 @@ GridResult ExperimentEngine::runGrid(
     }
   }
 
+  // Result-store read-through (ISSUE 9): any remaining cell whose content
+  // key is already stored is served without compiling or simulating. The
+  // stored record came from some grid whose cell position may differ, so
+  // its grid-relative identity (key indices, boundary name) is rebound to
+  // this grid; everything the simulation produced is position-independent.
+  if (options_.resultStore && options_.storeKeyFor) {
+    for (std::size_t index = 0; index < count; ++index) {
+      if (done[index] != 0) continue;
+      const CellKey key = keyForIndex(suite, configs, index);
+      std::optional<CellResult> stored =
+          options_.resultStore->load(options_.storeKeyFor(key));
+      if (!stored) continue;
+      grid.cells[index] = std::move(*stored);
+      grid.cells[index].key = key;
+      grid.cells[index].cell.name = names[index];
+      done[index] = 1;
+      storeHits_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   const std::string journalPath =
       options_.journalPath.empty() ? options_.resumeFrom
                                    : options_.journalPath;
@@ -401,6 +426,11 @@ void ExperimentEngine::runGridThread(
     }
 
     if (!out.cell.ok) anyFailed.store(true, std::memory_order_release);
+    // Write-through: only ok cells persist — failures are re-attempted by
+    // whoever asks for the cell next, like the journal's resume contract.
+    if (out.cell.ok && options_.resultStore && options_.storeKeyFor) {
+      options_.resultStore->store(options_.storeKeyFor(out.key), out);
+    }
     if (journal != nullptr) {
       journal->append(
           JournalEntry{names[index], fingerprints[index], out},
@@ -434,8 +464,8 @@ void ExperimentEngine::runGridProcess(
   // JSON document over the pipe.
   const auto childRun = [&](std::size_t task) -> std::string {
     const std::size_t index = pending[task];
-    const std::uint64_t compilesBefore = cache_.compiles();
-    const std::uint64_t hitsBefore = cache_.hits();
+    const std::uint64_t compilesBefore = cache_->compiles();
+    const std::uint64_t hitsBefore = cache_->hits();
     const std::uint64_t simsBefore =
         simulations_.load(std::memory_order_relaxed);
 
@@ -446,8 +476,8 @@ void ExperimentEngine::runGridProcess(
     payload.set("v", support::JsonValue(kCodecV));
     payload.set("result", encodeCell(out));
     payload.set("compiles",
-                support::JsonValue(cache_.compiles() - compilesBefore));
-    payload.set("hits", support::JsonValue(cache_.hits() - hitsBefore));
+                support::JsonValue(cache_->compiles() - compilesBefore));
+    payload.set("hits", support::JsonValue(cache_->hits() - hitsBefore));
     payload.set("sims",
                 support::JsonValue(
                     simulations_.load(std::memory_order_relaxed) -
@@ -502,6 +532,9 @@ void ExperimentEngine::runGridProcess(
       out.faultText = capture.str();
     }
 
+    if (out.cell.ok && options_.resultStore && options_.storeKeyFor) {
+      options_.resultStore->store(options_.storeKeyFor(out.key), out);
+    }
     if (journal != nullptr) {
       journal->append(JournalEntry{names[index], fingerprints[index], out},
                       outcome.elapsedUs, outcome.attempt);
@@ -547,11 +580,12 @@ std::vector<ExperimentEngine::RawOutcome> ExperimentEngine::runJobs(
 EngineStats ExperimentEngine::stats() const {
   EngineStats stats;
   stats.compiles =
-      cache_.compiles() + childCompiles_.load(std::memory_order_relaxed);
+      cache_->compiles() + childCompiles_.load(std::memory_order_relaxed);
   stats.cacheHits =
-      cache_.hits() + childHits_.load(std::memory_order_relaxed);
+      cache_->hits() + childHits_.load(std::memory_order_relaxed);
   stats.simulations = simulations_.load(std::memory_order_relaxed);
   stats.resumed = resumed_.load(std::memory_order_relaxed);
+  stats.storeHits = storeHits_.load(std::memory_order_relaxed);
   stats.jobs = scheduler_.jobs();
   return stats;
 }

@@ -62,6 +62,8 @@
 
 namespace riscmp::engine {
 
+class ResultStore;
+
 /// Default per-cell instruction budget: ~2 orders of magnitude above the
 /// largest full-scale workload, small enough to stop a hang in seconds.
 inline constexpr std::uint64_t kDefaultInstructionBudget = 1'000'000'000;
@@ -261,6 +263,16 @@ struct EngineOptions {
   /// successfully (digest- and fingerprint-verified); implies journaling
   /// to the same file unless journalPath names another.
   std::string resumeFrom;
+
+  // ---- Persistent result store (ISSUE 9); runGrid only ------------------
+  /// Content-addressed cross-process cell cache (result_store.hpp). Cells
+  /// whose content key is already stored are served without compiling or
+  /// simulating; every cell computed this run is written back. Requires
+  /// `storeKeyFor` — both are wired by resolveGridSpec (grid_spec.hpp),
+  /// whose keys fingerprint everything a result depends on.
+  std::shared_ptr<ResultStore> resultStore;
+  /// Content key per cell; null disables the store even when set above.
+  std::function<std::string(const CellKey&)> storeKeyFor;
 };
 
 struct EngineStats {
@@ -268,18 +280,24 @@ struct EngineStats {
   std::uint64_t cacheHits = 0;    ///< compilations served from the cache
   std::uint64_t simulations = 0;  ///< Machine::run invocations
   std::uint64_t resumed = 0;      ///< cells reused from a --resume journal
+  std::uint64_t storeHits = 0;    ///< cells served from the result store
   unsigned jobs = 0;              ///< resolved worker-thread count
 };
 
 /// One line for bench footers, e.g.
 /// "engine: 20 compiles (+0 cached), 20 simulations, jobs=4"
-/// (", resumed=N" appended only when a resume reused cells, so existing
-/// footer expectations are unchanged for fresh runs).
+/// (", resumed=N" / ", store-hits=N" appended only when nonzero, so
+/// existing footer expectations are unchanged for fresh runs).
 std::string describe(const EngineStats& stats);
 
 class ExperimentEngine {
  public:
-  explicit ExperimentEngine(EngineOptions options = {});
+  /// `sharedCache`, when non-null, replaces the engine's private compile
+  /// cache — the daemon threads one cache through every grid it serves so
+  /// repeated requests stop paying compile costs. The caller keeps
+  /// ownership and must outlive the engine.
+  explicit ExperimentEngine(EngineOptions options = {},
+                            CompileCache* sharedCache = nullptr);
 
   /// Simulate every workload × config cell exactly once, in parallel, with
   /// all enabled analyses attached to the one pass. Cell order in the
@@ -349,7 +367,8 @@ class ExperimentEngine {
 
   EngineOptions options_;
   CellScheduler scheduler_;
-  CompileCache cache_;
+  CompileCache ownCache_;
+  CompileCache* cache_;  ///< &ownCache_ or the constructor's shared cache
   Watchdog watchdog_;
   std::atomic<std::uint64_t> simulations_{0};
   /// Worker-subprocess stats deltas, merged from pipe payloads so the
@@ -357,6 +376,7 @@ class ExperimentEngine {
   std::atomic<std::uint64_t> childCompiles_{0};
   std::atomic<std::uint64_t> childHits_{0};
   std::atomic<std::uint64_t> resumed_{0};
+  std::atomic<std::uint64_t> storeHits_{0};
 };
 
 /// Replay captured fault reports to `out` in cell order and merge every

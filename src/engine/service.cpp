@@ -1,0 +1,485 @@
+#include "engine/service.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <ostream>
+#include <utility>
+
+#include "engine/cell_codec.hpp"
+#include "engine/grid_spec.hpp"
+#include "engine/result_store.hpp"
+#include "support/fault.hpp"
+#include "support/json_lite.hpp"
+
+namespace riscmp::engine {
+
+namespace {
+
+std::string errorResponse(const std::string& message) {
+  support::JsonValue doc = support::JsonValue::object();
+  doc.set("type", support::JsonValue("error"));
+  doc.set("message", support::JsonValue(message));
+  return doc.dump();
+}
+
+}  // namespace
+
+SimService::SimService(ServiceOptions options) : options_(std::move(options)) {
+  if (!options_.storeRoot.empty()) {
+    store_ = std::make_shared<ResultStore>(options_.storeRoot);
+  }
+}
+
+SimService::~SimService() = default;
+
+std::string SimService::handleLine(const std::string& request) {
+  return handleBatch({request}).front();
+}
+
+std::vector<std::string> SimService::handleBatch(
+    const std::vector<std::string>& requests) {
+  std::vector<std::string> responses(requests.size());
+  std::vector<std::size_t> gridLines;
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    totals_.requests += 1;
+    const std::optional<support::JsonValue> doc =
+        support::JsonValue::tryParse(requests[i]);
+    if (!doc || doc->kind() != support::JsonValue::Kind::Object ||
+        !doc->has("type")) {
+      totals_.errors += 1;
+      responses[i] = errorResponse("malformed request (want a JSON object "
+                                   "with a \"type\" field)");
+      continue;
+    }
+    std::string type;
+    try {
+      type = doc->at("type").asString();
+    } catch (const Fault&) {
+      totals_.errors += 1;
+      responses[i] = errorResponse("malformed request: \"type\" must be a "
+                                   "string");
+      continue;
+    }
+    if (type == "ping") {
+      support::JsonValue pong = support::JsonValue::object();
+      pong.set("type", support::JsonValue("pong"));
+      pong.set("v", support::JsonValue(kGridSpecV));
+      responses[i] = pong.dump();
+    } else if (type == "stats") {
+      support::JsonValue stats = support::JsonValue::object();
+      stats.set("type", support::JsonValue("stats"));
+      stats.set("requests", support::JsonValue(totals_.requests));
+      stats.set("errors", support::JsonValue(totals_.errors));
+      stats.set("grids", support::JsonValue(totals_.grids));
+      stats.set("batched", support::JsonValue(totals_.batched));
+      stats.set("cells", support::JsonValue(totals_.cells));
+      stats.set("store_hits", support::JsonValue(totals_.storeHits));
+      stats.set("compiles", support::JsonValue(totals_.compiles));
+      stats.set("compile_hits", support::JsonValue(totals_.compileHits));
+      stats.set("simulations", support::JsonValue(totals_.simulations));
+      responses[i] = stats.dump();
+    } else if (type == "shutdown") {
+      shutdown_ = true;
+      support::JsonValue ack = support::JsonValue::object();
+      ack.set("type", support::JsonValue("shutdown"));
+      ack.set("ok", support::JsonValue(true));
+      responses[i] = ack.dump();
+    } else if (type == "grid") {
+      gridLines.push_back(i);
+    } else {
+      totals_.errors += 1;
+      responses[i] = errorResponse("unknown request type '" + type + "'");
+    }
+  }
+
+  if (!gridLines.empty()) handleGrids(requests, responses, gridLines);
+  return responses;
+}
+
+void SimService::handleGrids(const std::vector<std::string>& batch,
+                             std::vector<std::string>& responses,
+                             const std::vector<std::size_t>& gridLines) {
+  // Resolve every grid request first so identical specs can share a run.
+  struct Parsed {
+    std::size_t line = 0;
+    GridSpec spec;
+    ResolvedGrid resolved;
+  };
+  std::vector<Parsed> parsed;
+  for (const std::size_t line : gridLines) {
+    // The line already parsed once in handleBatch; tryParse cannot fail.
+    const support::JsonValue doc = *support::JsonValue::tryParse(batch[line]);
+    try {
+      Parsed entry;
+      entry.line = line;
+      entry.spec = gridSpecFromJson(doc.at("spec"));
+      EngineOptions base;
+      base.jobs = options_.jobs;
+      base.resultStore = store_;
+      entry.resolved = resolveGridSpec(entry.spec, base);
+      parsed.push_back(std::move(entry));
+    } catch (const Fault& fault) {
+      totals_.errors += 1;
+      responses[line] = errorResponse(fault.what());
+    }
+  }
+
+  // FIFO by first appearance: each unique fingerprint runs once and every
+  // requester in the group receives the exact same response bytes.
+  std::vector<std::size_t> order;  // indices into `parsed` of group leaders
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t p = 0; p < parsed.size(); ++p) {
+    bool grouped = false;
+    for (std::size_t g = 0; g < order.size(); ++g) {
+      if (parsed[order[g]].resolved.fingerprint ==
+          parsed[p].resolved.fingerprint) {
+        groups[g].push_back(p);
+        grouped = true;
+        break;
+      }
+    }
+    if (!grouped) {
+      order.push_back(p);
+      groups.push_back({p});
+    }
+  }
+
+  for (std::size_t g = 0; g < order.size(); ++g) {
+    Parsed& leader = parsed[order[g]];
+    const std::uint64_t compilesBefore = cache_.compiles();
+    const std::uint64_t hitsBefore = cache_.hits();
+
+    std::string response;
+    try {
+      ExperimentEngine engine(leader.resolved.options, &cache_);
+      const GridResult grid =
+          engine.runGrid(leader.resolved.suite, leader.resolved.configs);
+      const EngineStats stats = engine.stats();
+      const std::uint64_t compiles = cache_.compiles() - compilesBefore;
+      const std::uint64_t compileHits = cache_.hits() - hitsBefore;
+
+      support::JsonValue cells = support::JsonValue::array();
+      for (const CellResult& cell : grid.cells) cells.push(encodeCell(cell));
+
+      support::JsonValue delta = support::JsonValue::object();
+      delta.set("cells",
+                support::JsonValue(
+                    static_cast<std::uint64_t>(grid.cells.size())));
+      delta.set("store_hits", support::JsonValue(stats.storeHits));
+      delta.set("compiles", support::JsonValue(compiles));
+      delta.set("compile_hits", support::JsonValue(compileHits));
+      delta.set("simulations", support::JsonValue(stats.simulations));
+      delta.set("batched",
+                support::JsonValue(
+                    static_cast<std::uint64_t>(groups[g].size() - 1)));
+
+      support::JsonValue doc = support::JsonValue::object();
+      doc.set("type", support::JsonValue("grid"));
+      doc.set("v", support::JsonValue(kGridSpecV));
+      doc.set("ok", support::JsonValue(!grid.anyFailed()));
+      doc.set("fingerprint",
+              support::JsonValue(leader.resolved.fingerprint));
+      doc.set("workloads",
+              support::JsonValue(
+                  static_cast<std::uint64_t>(grid.workloadCount)));
+      doc.set("configs", support::JsonValue(
+                             static_cast<std::uint64_t>(grid.configCount)));
+      doc.set("cells", std::move(cells));
+      doc.set("stats", std::move(delta));
+      response = doc.dump();
+
+      totals_.grids += 1;
+      totals_.batched += groups[g].size() - 1;
+      totals_.cells += grid.cells.size() * groups[g].size();
+      totals_.storeHits += stats.storeHits;
+      totals_.compiles += compiles;
+      totals_.compileHits += compileHits;
+      totals_.simulations += stats.simulations;
+    } catch (const Fault& fault) {
+      totals_.errors += groups[g].size();
+      response = errorResponse(fault.what());
+    }
+    for (const std::size_t p : groups[g]) {
+      responses[parsed[p].line] = response;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Unix-domain socket transport.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Conn {
+  int fd = -1;
+  std::string in;
+  bool complete = false;  ///< `in` holds one full request line
+  std::string out;
+  std::size_t sent = 0;
+  bool answered = false;
+};
+
+bool readSome(Conn& conn) {
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      conn.in.append(buffer, static_cast<std::size_t>(n));
+      const std::size_t newline = conn.in.find('\n');
+      if (newline != std::string::npos) {
+        conn.in.resize(newline);
+        conn.complete = true;
+        return true;
+      }
+      continue;
+    }
+    if (n == 0) return conn.complete;  // EOF: dead unless already complete
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+/// Flush as much of conn.out as the socket accepts; false on hard error.
+bool writeSome(Conn& conn) {
+  while (conn.sent < conn.out.size()) {
+    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.sent,
+                              conn.out.size() - conn.sent);
+    if (n > 0) {
+      conn.sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Answer every complete-but-unanswered request in one service batch.
+void dispatch(SimService& service, std::vector<Conn>& conns) {
+  std::vector<std::size_t> ready;
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    if (conns[i].complete && !conns[i].answered) {
+      ready.push_back(i);
+      lines.push_back(conns[i].in);
+    }
+  }
+  if (ready.empty()) return;
+  const std::vector<std::string> responses = service.handleBatch(lines);
+  for (std::size_t r = 0; r < ready.size(); ++r) {
+    Conn& conn = conns[ready[r]];
+    conn.out = responses[r] + "\n";
+    conn.sent = 0;
+    conn.answered = true;
+  }
+}
+
+}  // namespace
+
+int serveUnixSocket(SimService& service, const std::string& socketPath,
+                    const volatile std::sig_atomic_t* stopFlag,
+                    std::ostream& log) {
+  sockaddr_un addr{};
+  if (socketPath.size() >= sizeof(addr.sun_path)) {
+    log << "simd: socket path too long (" << socketPath.size() << " > "
+        << sizeof(addr.sun_path) - 1 << " bytes): " << socketPath << "\n";
+    return 2;
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    log << "simd: socket(): " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+  ::unlink(socketPath.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 64) != 0) {
+    log << "simd: cannot listen on " << socketPath << ": "
+        << std::strerror(errno) << "\n";
+    ::close(listener);
+    return 1;
+  }
+  setNonBlocking(listener);
+  log << "simd: listening on " << socketPath << std::endl;
+
+  std::vector<Conn> conns;
+  bool draining = false;
+  for (;;) {
+    if (!draining && ((stopFlag != nullptr && *stopFlag != 0) ||
+                      service.shutdownRequested())) {
+      draining = true;  // stop accepting; answer what is already buffered
+    }
+
+    bool pendingRequests = false;
+    bool pendingWrites = false;
+    std::vector<pollfd> fds;
+    if (!draining) {
+      fds.push_back(pollfd{listener, POLLIN, 0});
+    }
+    for (const Conn& conn : conns) {
+      short events = 0;
+      if (!conn.complete) events |= POLLIN;
+      if (conn.answered && conn.sent < conn.out.size()) {
+        events |= POLLOUT;
+        pendingWrites = true;
+      }
+      if (conn.complete && !conn.answered) pendingRequests = true;
+      fds.push_back(pollfd{conn.fd, events, 0});
+    }
+
+    if (draining && !pendingRequests && !pendingWrites) break;
+
+    // Short grace when requests are waiting: one more quiet poll cycle
+    // lets concurrent clients land in the same batch.
+    const int timeoutMs = draining ? 0 : (pendingRequests ? 20 : 200);
+    const int ready = ::poll(fds.data(), fds.size(), timeoutMs);
+    if (ready < 0 && errno != EINTR) {
+      log << "simd: poll(): " << std::strerror(errno) << "\n";
+      break;
+    }
+
+    std::size_t cursor = 0;
+    if (!draining) {
+      if ((fds[cursor].revents & POLLIN) != 0) {
+        for (;;) {
+          const int fd = ::accept(listener, nullptr, nullptr);
+          if (fd < 0) break;
+          setNonBlocking(fd);
+          Conn conn;
+          conn.fd = fd;
+          conns.push_back(std::move(conn));
+        }
+      }
+      cursor = 1;
+    }
+    for (std::size_t i = 0; i + cursor < fds.size() && i < conns.size();
+         ++i) {
+      Conn& conn = conns[i];
+      const short revents = fds[i + cursor].revents;
+      bool alive = true;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0 && !conn.complete) {
+        alive = readSome(conn);
+      }
+      if (alive && (revents & POLLOUT) != 0) alive = writeSome(conn);
+      if (!alive) {
+        ::close(conn.fd);
+        conn.fd = -1;
+      }
+    }
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const Conn& c) { return c.fd < 0; }),
+                conns.end());
+
+    // Dispatch when the wire went quiet (or we are draining): every
+    // complete request buffered by now becomes one handleBatch call.
+    if (ready == 0 || draining) {
+      dispatch(service, conns);
+      for (Conn& conn : conns) {
+        if (conn.answered && !writeSome(conn)) {
+          ::close(conn.fd);
+          conn.fd = -1;
+        }
+      }
+      conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                 [](const Conn& c) { return c.fd < 0; }),
+                  conns.end());
+    }
+
+    // Fully answered connections are done (one request per connection).
+    for (Conn& conn : conns) {
+      if (conn.answered && conn.sent == conn.out.size()) {
+        ::close(conn.fd);
+        conn.fd = -1;
+      }
+    }
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const Conn& c) { return c.fd < 0; }),
+                conns.end());
+  }
+
+  for (const Conn& conn : conns) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  ::close(listener);
+  ::unlink(socketPath.c_str());
+  log << "simd: drained, shutting down" << std::endl;
+  return 0;
+}
+
+std::string requestOverSocket(const std::string& socketPath,
+                              const std::string& requestLine) {
+  sockaddr_un addr{};
+  if (socketPath.size() >= sizeof(addr.sun_path)) {
+    throw ConfigError("socket path too long: " + socketPath);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw ConfigError(std::string("socket(): ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    throw ConfigError("cannot connect to " + socketPath + ": " + detail);
+  }
+
+  const std::string payload = requestLine + "\n";
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n = ::write(fd, payload.data() + sent,
+                              payload.size() - sent);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      throw ConfigError("write to " + socketPath + " failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string reply;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      ::close(fd);
+      throw ConfigError("read from " + socketPath + " failed");
+    }
+    if (n == 0) break;
+    reply.append(buffer, static_cast<std::size_t>(n));
+    const std::size_t newline = reply.find('\n');
+    if (newline != std::string::npos) {
+      reply.resize(newline);
+      ::close(fd);
+      return reply;
+    }
+  }
+  ::close(fd);
+  if (reply.empty()) {
+    throw ConfigError("no response from " + socketPath +
+                      " (daemon gone?)");
+  }
+  return reply;
+}
+
+}  // namespace riscmp::engine

@@ -1,0 +1,155 @@
+// ResultStore tests (ISSUE 9): bit-exact round-trip through the on-disk
+// cell_codec encoding, the verification trust model (corrupt/stale files
+// are counted misses, never results), and the engine's read/write-through
+// integration including the store-hits stats suffix.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/grid_spec.hpp"
+#include "engine/result_store.hpp"
+#include "support/fault.hpp"
+
+namespace riscmp::engine {
+namespace {
+
+/// Unique temp root per test; removed on destruction.
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("riscmp-store-" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+GridSpec streamSpec() {
+  GridSpec spec;
+  spec.scale = 0.02;
+  spec.workloads = {"STREAM"};
+  spec.configs = {{Arch::Rv64, kgen::CompilerEra::Gcc12}};
+  spec.analyses = kPathLength | kCriticalPath;
+  return spec;
+}
+
+GridResult runWithStore(const std::shared_ptr<ResultStore>& store) {
+  const ResolvedGrid resolved = resolveGridSpec(streamSpec(), {});
+  EngineOptions options = resolved.options;
+  options.jobs = 1;
+  options.resultStore = store;
+  ExperimentEngine engine(options);
+  return engine.runGrid(resolved.suite, resolved.configs);
+}
+
+TEST(ResultStore, MissThenRoundTrip) {
+  TempDir dir;
+  ResultStore store(dir.path.string());
+  EXPECT_FALSE(store.load("0123456789abcdef").has_value());
+  EXPECT_EQ(store.misses(), 1u);
+
+  const ResolvedGrid resolved = resolveGridSpec(streamSpec(), {});
+  ExperimentEngine engine(resolved.options);
+  const GridResult grid = engine.runGrid(resolved.suite, resolved.configs);
+  ASSERT_EQ(grid.cells.size(), 1u);
+  ASSERT_TRUE(grid.cells[0].cell.ok);
+
+  ASSERT_TRUE(store.store(resolved.cellKeys[0], grid.cells[0]));
+  const auto back = store.load(resolved.cellKeys[0]);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->instructions, grid.cells[0].instructions);
+  EXPECT_EQ(back->criticalPath, grid.cells[0].criticalPath);
+  EXPECT_EQ(back->key.workload, grid.cells[0].key.workload);
+  EXPECT_EQ(store.hits(), 1u);
+  EXPECT_EQ(store.writes(), 1u);
+}
+
+TEST(ResultStore, CorruptAndMismatchedFilesAreMisses) {
+  TempDir dir;
+  ResultStore store(dir.path.string());
+  const ResolvedGrid resolved = resolveGridSpec(streamSpec(), {});
+  ExperimentEngine engine(resolved.options);
+  const GridResult grid = engine.runGrid(resolved.suite, resolved.configs);
+  ASSERT_TRUE(store.store(resolved.cellKeys[0], grid.cells[0]));
+
+  // Truncated file: parse fails -> counted corrupt miss.
+  const std::string path = store.cellPath(resolved.cellKeys[0]);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "{\"v\":3,\"key\":";
+  }
+  EXPECT_FALSE(store.load(resolved.cellKeys[0]).has_value());
+  EXPECT_EQ(store.corrupt(), 1u);
+
+  // A valid record stored under the wrong key must not be served: the
+  // embedded key check catches renamed/aliased files.
+  ASSERT_TRUE(store.store(resolved.cellKeys[0], grid.cells[0]));
+  const std::string alias = "feedfacefeedface";
+  std::filesystem::create_directories(
+      std::filesystem::path(store.cellPath(alias)).parent_path());
+  std::filesystem::copy_file(store.cellPath(resolved.cellKeys[0]),
+                             store.cellPath(alias));
+  EXPECT_FALSE(store.load(alias).has_value());
+  EXPECT_GE(store.corrupt(), 2u);
+}
+
+TEST(ResultStore, EngineReadThroughSkipsSimulation) {
+  TempDir dir;
+  auto store = std::make_shared<ResultStore>(dir.path.string());
+
+  const GridResult cold = runWithStore(store);
+  ASSERT_EQ(cold.cells.size(), 1u);
+  ASSERT_TRUE(cold.cells[0].cell.ok);
+  EXPECT_EQ(store.get()->writes(), 1u);
+
+  auto warmStore = std::make_shared<ResultStore>(dir.path.string());
+  const ResolvedGrid resolved = resolveGridSpec(streamSpec(), {});
+  EngineOptions options = resolved.options;
+  options.jobs = 1;
+  options.resultStore = warmStore;
+  ExperimentEngine engine(options);
+  const GridResult warm = engine.runGrid(resolved.suite, resolved.configs);
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.simulations, 0u);
+  EXPECT_EQ(stats.compiles, 0u);
+  EXPECT_EQ(stats.storeHits, 1u);
+  EXPECT_EQ(warm.cells[0].instructions, cold.cells[0].instructions);
+  EXPECT_EQ(warm.cells[0].criticalPath, cold.cells[0].criticalPath);
+  EXPECT_EQ(warm.cells[0].key.workload, "STREAM");
+
+  // The footer advertises store hits only when there are any.
+  std::ostringstream footer;
+  footer << describe(stats);
+  EXPECT_NE(footer.str().find("store-hits=1"), std::string::npos);
+}
+
+TEST(ResultStore, FailedCellsAreNotStored) {
+  TempDir dir;
+  auto store = std::make_shared<ResultStore>(dir.path.string());
+  const ResolvedGrid resolved = resolveGridSpec(streamSpec(), {});
+  EngineOptions options = resolved.options;
+  options.jobs = 1;
+  options.resultStore = store;
+  options.cellSetup = [](const CellKey&) {
+    throw ConfigError("deliberately broken cell", {}, 0, "test");
+  };
+  ExperimentEngine engine(options);
+  const GridResult grid = engine.runGrid(resolved.suite, resolved.configs);
+  ASSERT_FALSE(grid.cells[0].cell.ok);
+  EXPECT_EQ(store->writes(), 0u);
+}
+
+}  // namespace
+}  // namespace riscmp::engine

@@ -1,0 +1,147 @@
+# Simulation-as-a-service acceptance (ISSUE 9): for a fixed grid, the
+# report rendered locally, rendered from a cold daemon, and rendered from a
+# warm daemon must be byte-identical (modulo the engine/service footer
+# line), and the warm run must perform zero simulations. The script also
+# drives the daemon through sim_client: the same saved GridSpec twice (the
+# second answered wholly from the result store), then a graceful shutdown
+# that drains and unlinks the socket.
+#
+# Usage: cmake -DBENCH=<paper_report> -DSIMD=<simd> -DCLIENT=<sim_client>
+#              -DOUT=<scratch-dir> -P service_smoke.cmake
+file(REMOVE_RECURSE ${OUT})
+file(MAKE_DIRECTORY ${OUT})
+set(SOCK ${OUT}/d.sock)
+set(STORE ${OUT}/store)
+
+# Strip the execution-stats footer ("engine: ..." locally, "service: ..."
+# over the socket) — it is the one line allowed to differ between paths.
+function(strip_footer text out)
+  string(REGEX REPLACE "engine: [^\n]*\n" "" text "${text}")
+  string(REGEX REPLACE "service: [^\n]*\n" "" text "${text}")
+  set(${out} "${text}" PARENT_SCOPE)
+endfunction()
+
+# 1. Local baseline: the bytes every daemon-rendered report must match.
+execute_process(
+  COMMAND ${BENCH} --scale=0.05 --jobs=2 --via=local
+  OUTPUT_FILE ${OUT}/local.txt
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "--via=local run exited ${status}")
+endif()
+file(READ ${OUT}/local.txt LOCAL)
+strip_footer("${LOCAL}" LOCAL)
+
+# 2. Start the daemon with a persistent store, wait for the socket.
+execute_process(
+  COMMAND sh -c "exec ${SIMD} --socket=${SOCK} --store=${STORE} --jobs=2 \
+                 > ${OUT}/simd.log 2>&1 &"
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "failed to launch simd (${status})")
+endif()
+foreach(attempt RANGE 100)
+  if(EXISTS ${SOCK})
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+execute_process(
+  COMMAND ${CLIENT} --socket=${SOCK} --ping
+  OUTPUT_VARIABLE pong
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0 OR NOT pong MATCHES "\"type\":\"pong\"")
+  message(FATAL_ERROR "daemon did not answer ping (exit ${status}): ${pong}")
+endif()
+
+# 3. Cold daemon render: everything is simulated on the daemon side.
+execute_process(
+  COMMAND ${BENCH} --scale=0.05 --jobs=2 --via=socket:${SOCK}
+  OUTPUT_FILE ${OUT}/cold.txt
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "cold --via=socket run exited ${status}")
+endif()
+file(READ ${OUT}/cold.txt COLD_RAW)
+if(NOT COLD_RAW MATCHES "service: 20 cells")
+  message(FATAL_ERROR "cold run footer missing the service line")
+endif()
+
+# 4. Warm daemon render: the result store answers every cell.
+execute_process(
+  COMMAND ${BENCH} --scale=0.05 --jobs=2 --via=socket:${SOCK}
+  OUTPUT_FILE ${OUT}/warm.txt
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "warm --via=socket run exited ${status}")
+endif()
+file(READ ${OUT}/warm.txt WARM_RAW)
+if(NOT WARM_RAW MATCHES "service: 20 cells \\(20 store hits\\), 0 compiles \\(\\+0 cached\\), 0 simulations")
+  message(FATAL_ERROR "warm run was not answered entirely from the store:\n${WARM_RAW}")
+endif()
+
+# 5. Byte-identity across all three paths (footer excepted).
+strip_footer("${COLD_RAW}" COLD)
+strip_footer("${WARM_RAW}" WARM)
+if(NOT COLD STREQUAL LOCAL)
+  message(FATAL_ERROR "cold daemon report differs from --via=local")
+endif()
+if(NOT WARM STREQUAL COLD)
+  message(FATAL_ERROR "warm daemon report differs from the cold one")
+endif()
+message(STATUS "local / cold daemon / warm daemon reports byte-identical")
+
+# 6. sim_client --grid: a saved GridSpec (STREAM across the default paper
+# configs at scale 0.0625 — a grid the daemon has NOT seen) runs once,
+# then is answered wholly from the store on the repeat.
+file(WRITE ${OUT}/grid.json
+  "{\"v\":1,\"scale_bits\":4589168020290535424,\"workloads\":[\"STREAM\"],"
+  "\"configs\":[],\"analyses\":3,\"gcc12_analyses\":0,\"windows\":[],"
+  "\"budget\":1000000000,\"config_dir\":\"\",\"model_a64\":\"\","
+  "\"model_rv64\":\"\",\"require_models\":false}")
+execute_process(
+  COMMAND ${CLIENT} --socket=${SOCK} --grid=${OUT}/grid.json
+  OUTPUT_VARIABLE first
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0 OR NOT first MATCHES "\"type\":\"grid\"")
+  message(FATAL_ERROR "first --grid request failed (exit ${status}): ${first}")
+endif()
+if(NOT first MATCHES "\"store_hits\":0")
+  message(FATAL_ERROR "first --grid request unexpectedly hit the store")
+endif()
+execute_process(
+  COMMAND ${CLIENT} --socket=${SOCK} --grid=${OUT}/grid.json
+  OUTPUT_VARIABLE second
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0 OR NOT second MATCHES "\"simulations\":0")
+  message(FATAL_ERROR "repeated --grid request re-simulated: ${second}")
+endif()
+string(REGEX REPLACE "\"stats\":[^}]*}" "" first_payload "${first}")
+string(REGEX REPLACE "\"stats\":[^}]*}" "" second_payload "${second}")
+if(NOT first_payload STREQUAL second_payload)
+  message(FATAL_ERROR "--grid payloads differ between cold and warm replies")
+endif()
+message(STATUS "sim_client grid repeated: second reply from store, 0 sims")
+
+# 7. Graceful shutdown: drain, unlink the socket, log the drain line.
+execute_process(
+  COMMAND ${CLIENT} --socket=${SOCK} --shutdown
+  OUTPUT_VARIABLE ack
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0 OR NOT ack MATCHES "\"type\":\"shutdown\"")
+  message(FATAL_ERROR "shutdown was not acknowledged (exit ${status}): ${ack}")
+endif()
+foreach(attempt RANGE 100)
+  if(NOT EXISTS ${SOCK})
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(EXISTS ${SOCK})
+  message(FATAL_ERROR "socket still present after shutdown")
+endif()
+file(READ ${OUT}/simd.log DAEMON_LOG)
+if(NOT DAEMON_LOG MATCHES "simd: drained, shutting down")
+  message(FATAL_ERROR "daemon log missing the drain line:\n${DAEMON_LOG}")
+endif()
+message(STATUS "service smoke: daemon drained and shut down cleanly")

@@ -45,6 +45,45 @@ TEST(JsonLite, EscapesControlAndQuoteBytes) {
   EXPECT_EQ(v.asString(), std::string("a\"b\\c\nd\te\x01"));
 }
 
+// The simd protocol ships arbitrary fault text (file paths, YAML excerpts,
+// compiler diagnostics) inside JSON strings; every byte below must survive
+// dump -> parse unchanged or daemon-rendered reports would diverge from
+// local ones.
+TEST(JsonLite, EscapingRoundTripsHostileStrings) {
+  const std::string cases[] = {
+      std::string("quote\" backslash\\ slash/ both\\\""),
+      std::string("tab\t newline\n return\r"),
+      std::string("backspace\b formfeed\f"),
+      std::string("nul\0byte", 8),
+      std::string("\x01\x02\x03\x1e\x1f control run"),
+      std::string("C:\\temp\\store\\v3\\ab\\cd.json"),
+      std::string("line1\nline2\n  indented \"quoted\"\n"),
+      std::string("caf\xc3\xa9 \xe6\xbc\xa2\xe5\xad\x97 \xf0\x9f\x94\xa5"),
+      std::string(),  // empty string
+  };
+  for (const std::string& text : cases) {
+    const JsonValue v(text);
+    const std::string bytes = v.dump();
+    EXPECT_EQ(JsonValue::parse(bytes).asString(), text)
+        << "round-trip failed for dump: " << bytes;
+    // Re-serialization is also a fixed point (store/digest stability).
+    EXPECT_EQ(JsonValue::parse(bytes).dump(), bytes);
+  }
+}
+
+TEST(JsonLite, EscapedStringsNestInsideDocuments) {
+  JsonValue doc = JsonValue::object();
+  doc.set("summary", JsonValue("fault: \"STREAM\"\n\tat line\\col 3"));
+  JsonValue list = JsonValue::array();
+  list.push(JsonValue(std::string("\x1b[31mred\x1b[0m")));
+  doc.set("notes", list);
+  const JsonValue back = JsonValue::parse(doc.dump());
+  EXPECT_EQ(back.at("summary").asString(),
+            "fault: \"STREAM\"\n\tat line\\col 3");
+  EXPECT_EQ(back.at("notes").items()[0].asString(),
+            std::string("\x1b[31mred\x1b[0m"));
+}
+
 TEST(JsonLite, MaxUint64RoundTrips) {
   JsonValue v(std::uint64_t{18446744073709551615ull});
   EXPECT_EQ(v.dump(), "18446744073709551615");
