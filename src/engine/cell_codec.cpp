@@ -144,6 +144,8 @@ JsonValue encodeCell(const CellResult& result) {
     cache.set("writebacksToMem", JsonValue(result.cache.writebacksToMem));
     cache.set("prefetchesIssued", JsonValue(result.cache.prefetchesIssued));
     cache.set("prefetchesUseful", JsonValue(result.cache.prefetchesUseful));
+    cache.set("prefetchFillsFromMem",
+              JsonValue(result.cache.prefetchFillsFromMem));
     out.set("cache", std::move(cache));
     out.set("cacheFootprintLines", JsonValue(result.cacheFootprintLines));
     out.set("cacheLineSetDigest", JsonValue(result.cacheLineSetDigest));
@@ -212,6 +214,71 @@ JsonValue encodeCell(const CellResult& result) {
     out.set("hasFusedScaledCp", JsonValue(result.hasFusedScaledCp));
     out.set("fusedScaledCriticalPath",
             JsonValue(result.fusedScaledCriticalPath));
+  }
+
+  out.set("hasMemSystem", JsonValue(result.hasMemSystem));
+  if (result.hasMemSystem) {
+    JsonValue mem = JsonValue::object();
+    JsonValue tlb = JsonValue::object();
+    tlb.set("accesses", JsonValue(result.memSystem.tlb.accesses));
+    tlb.set("l1Hits", JsonValue(result.memSystem.tlb.l1Hits));
+    tlb.set("l1Misses", JsonValue(result.memSystem.tlb.l1Misses));
+    tlb.set("l2Hits", JsonValue(result.memSystem.tlb.l2Hits));
+    tlb.set("walks", JsonValue(result.memSystem.tlb.walks));
+    tlb.set("walkCycles", JsonValue(result.memSystem.tlb.walkCycles));
+    mem.set("tlb", std::move(tlb));
+    mem.set("footprintPages", JsonValue(result.memSystem.footprintPages));
+    mem.set("pageSetDigest", JsonValue(result.memSystem.pageSetDigest));
+    mem.set("demandFillBytes", JsonValue(result.memSystem.demandFillBytes));
+    mem.set("prefetchFillBytes",
+            JsonValue(result.memSystem.prefetchFillBytes));
+    mem.set("writebackBytes", JsonValue(result.memSystem.writebackBytes));
+    mem.set("missCycles", JsonValue(result.memSystem.missCycles));
+    mem.set("mshrBoundCycles", JsonValue(result.memSystem.mshrBoundCycles));
+    mem.set("bandwidthBoundCycles",
+            JsonValue(result.memSystem.bandwidthBoundCycles));
+    out.set("memSystem", std::move(mem));
+
+    JsonValue memKernels = JsonValue::array();
+    for (const auto& kernel : result.memKernels) {
+      JsonValue entry = JsonValue::object();
+      entry.set("name", JsonValue(kernel.name));
+      entry.set("instructions", JsonValue(kernel.instructions));
+      entry.set("tlbAccesses", JsonValue(kernel.tlbAccesses));
+      entry.set("tlbWalks", JsonValue(kernel.tlbWalks));
+      entry.set("footprintPages", JsonValue(kernel.footprintPages));
+      entry.set("pageSetDigest", JsonValue(kernel.pageSetDigest));
+      memKernels.push(std::move(entry));
+    }
+    out.set("memKernels", std::move(memKernels));
+
+    JsonValue scaling = JsonValue::array();
+    for (const auto& point : result.memScaling) {
+      JsonValue entry = JsonValue::object();
+      entry.set("cores", JsonValue(static_cast<std::uint64_t>(point.cores)));
+      JsonValue perCore = JsonValue::array();
+      for (const auto& share : point.perCore) {
+        JsonValue coreEntry = JsonValue::object();
+        coreEntry.set("accesses", JsonValue(share.accesses));
+        coreEntry.set("l1Misses", JsonValue(share.l1Misses));
+        coreEntry.set("l2Hits", JsonValue(share.l2Hits));
+        coreEntry.set("l2Misses", JsonValue(share.l2Misses));
+        coreEntry.set("latencyCycles", JsonValue(share.latencyCycles));
+        perCore.push(std::move(coreEntry));
+      }
+      entry.set("perCore", std::move(perCore));
+      entry.set("sharedL2Accesses", JsonValue(point.sharedL2Accesses));
+      entry.set("sharedL2Hits", JsonValue(point.sharedL2Hits));
+      entry.set("sharedL2Misses", JsonValue(point.sharedL2Misses));
+      entry.set("sharedWritebacksToMem",
+                JsonValue(point.sharedWritebacksToMem));
+      entry.set("bytesFromMem", JsonValue(point.bytesFromMem));
+      entry.set("bandwidthBoundCycles",
+                JsonValue(point.bandwidthBoundCycles));
+      entry.set("mshrBoundCycles", JsonValue(point.mshrBoundCycles));
+      scaling.push(std::move(entry));
+    }
+    out.set("memScaling", std::move(scaling));
   }
 
   return out;
@@ -292,6 +359,8 @@ CellResult decodeCell(const JsonValue& value) {
     result.cache.writebacksToMem = cache.at("writebacksToMem").asUint();
     result.cache.prefetchesIssued = cache.at("prefetchesIssued").asUint();
     result.cache.prefetchesUseful = cache.at("prefetchesUseful").asUint();
+    result.cache.prefetchFillsFromMem =
+        cache.at("prefetchFillsFromMem").asUint();
     result.cacheFootprintLines = value.at("cacheFootprintLines").asUint();
     result.cacheLineSetDigest = value.at("cacheLineSetDigest").asUint();
     for (const JsonValue& entry : value.at("cacheKernels").items()) {
@@ -353,6 +422,59 @@ CellResult decodeCell(const JsonValue& value) {
     result.hasFusedScaledCp = value.at("hasFusedScaledCp").asBool();
     result.fusedScaledCriticalPath =
         value.at("fusedScaledCriticalPath").asUint();
+  }
+
+  result.hasMemSystem = value.at("hasMemSystem").asBool();
+  if (result.hasMemSystem) {
+    const JsonValue& mem = value.at("memSystem");
+    const JsonValue& tlb = mem.at("tlb");
+    result.memSystem.tlb.accesses = tlb.at("accesses").asUint();
+    result.memSystem.tlb.l1Hits = tlb.at("l1Hits").asUint();
+    result.memSystem.tlb.l1Misses = tlb.at("l1Misses").asUint();
+    result.memSystem.tlb.l2Hits = tlb.at("l2Hits").asUint();
+    result.memSystem.tlb.walks = tlb.at("walks").asUint();
+    result.memSystem.tlb.walkCycles = tlb.at("walkCycles").asUint();
+    result.memSystem.footprintPages = mem.at("footprintPages").asUint();
+    result.memSystem.pageSetDigest = mem.at("pageSetDigest").asUint();
+    result.memSystem.demandFillBytes = mem.at("demandFillBytes").asUint();
+    result.memSystem.prefetchFillBytes = mem.at("prefetchFillBytes").asUint();
+    result.memSystem.writebackBytes = mem.at("writebackBytes").asUint();
+    result.memSystem.missCycles = mem.at("missCycles").asUint();
+    result.memSystem.mshrBoundCycles = mem.at("mshrBoundCycles").asUint();
+    result.memSystem.bandwidthBoundCycles =
+        mem.at("bandwidthBoundCycles").asUint();
+    for (const JsonValue& entry : value.at("memKernels").items()) {
+      uarch::mem::MemKernelStats kernel;
+      kernel.name = entry.at("name").asString();
+      kernel.instructions = entry.at("instructions").asUint();
+      kernel.tlbAccesses = entry.at("tlbAccesses").asUint();
+      kernel.tlbWalks = entry.at("tlbWalks").asUint();
+      kernel.footprintPages = entry.at("footprintPages").asUint();
+      kernel.pageSetDigest = entry.at("pageSetDigest").asUint();
+      result.memKernels.push_back(std::move(kernel));
+    }
+    for (const JsonValue& entry : value.at("memScaling").items()) {
+      uarch::mem::ScalingPoint point;
+      point.cores = static_cast<std::uint32_t>(entry.at("cores").asUint());
+      for (const JsonValue& coreEntry : entry.at("perCore").items()) {
+        uarch::mem::CoreShare share;
+        share.accesses = coreEntry.at("accesses").asUint();
+        share.l1Misses = coreEntry.at("l1Misses").asUint();
+        share.l2Hits = coreEntry.at("l2Hits").asUint();
+        share.l2Misses = coreEntry.at("l2Misses").asUint();
+        share.latencyCycles = coreEntry.at("latencyCycles").asUint();
+        point.perCore.push_back(share);
+      }
+      point.sharedL2Accesses = entry.at("sharedL2Accesses").asUint();
+      point.sharedL2Hits = entry.at("sharedL2Hits").asUint();
+      point.sharedL2Misses = entry.at("sharedL2Misses").asUint();
+      point.sharedWritebacksToMem =
+          entry.at("sharedWritebacksToMem").asUint();
+      point.bytesFromMem = entry.at("bytesFromMem").asUint();
+      point.bandwidthBoundCycles = entry.at("bandwidthBoundCycles").asUint();
+      point.mshrBoundCycles = entry.at("mshrBoundCycles").asUint();
+      result.memScaling.push_back(std::move(point));
+    }
   }
 
   return result;

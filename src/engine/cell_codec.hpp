@@ -19,7 +19,7 @@
 
 namespace riscmp::engine {
 
-inline constexpr std::uint64_t kCodecV = 3;  // v3: macro-op fusion fields
+inline constexpr std::uint64_t kCodecV = 4;  // v4: memory-system fields
 
 /// Encode everything `result` carries, including the verify cell status
 /// and captured fault text. The `key.workloadIndex`/`configIndex` fields

@@ -102,6 +102,7 @@ void ExperimentEngine::runCellAttempt(
     std::optional<DependencyDistanceAnalyzer> depDistance;
     std::optional<uarch::mem::CacheModelAnalyzer> cacheModel;
     std::optional<uarch::mem::CacheAwareCpAnalyzer> cacheAwareCp;
+    std::optional<uarch::mem::MemSystemAnalyzer> memSystem;
     std::optional<ThroughputBoundAnalyzer> throughputBound;
     std::optional<PathLengthCounter> fusedPathLength;
     std::optional<CriticalPathAnalyzer> fusedCp;
@@ -133,12 +134,17 @@ void ExperimentEngine::runCellAttempt(
     // independent by contract, and the same trace + geometry gives each
     // replica identical behaviour.
     const uarch::mem::CacheConfig* cacheConfig =
-        (analyses & (kCacheModel | kCacheAwareCP)) && options_.cacheConfigFor
+        (analyses & (kCacheModel | kCacheAwareCP | kMemSystem)) &&
+                options_.cacheConfigFor
             ? options_.cacheConfigFor(configs[c].arch)
             : nullptr;
     if ((analyses & kCacheModel) && cacheConfig != nullptr) {
       observers.push_back(
           &cacheModel.emplace(*cacheConfig, compiled->program));
+    }
+    if ((analyses & kMemSystem) && cacheConfig != nullptr) {
+      observers.push_back(&memSystem.emplace(*cacheConfig, compiled->program,
+                                             options_.memCores));
     }
     if ((analyses & kCacheAwareCP) && cacheConfig != nullptr &&
         options_.latenciesFor) {
@@ -207,6 +213,12 @@ void ExperimentEngine::runCellAttempt(
     if (cacheAwareCp) {
       out.hasCacheAwareCp = true;
       out.cacheAwareCriticalPath = cacheAwareCp->criticalPath();
+    }
+    if (memSystem) {
+      out.hasMemSystem = true;
+      out.memSystem = memSystem->summary();
+      out.memKernels = memSystem->kernels();
+      out.memScaling = memSystem->scaling();
     }
     if (throughputBound) {
       out.hasThroughput = true;

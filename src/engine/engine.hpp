@@ -57,6 +57,7 @@
 #include "kgen/compile.hpp"
 #include "uarch/fusion/fusion.hpp"
 #include "uarch/mem/cache_model.hpp"
+#include "uarch/mem/mem_system.hpp"
 #include "verify/boundary.hpp"
 #include "workloads/workloads.hpp"
 
@@ -90,7 +91,8 @@ enum AnalysisFlags : unsigned {
   kCacheAwareCP = 1u << 6,  ///< scaled CP with dynamic load latencies
   kThroughputBound = 1u << 7,  ///< per-kernel port/issue/CP bounds (ISSUE 7)
   kFusion = 1u << 8,  ///< macro-op fusion pass + fused-stream PL/CP (ISSUE 8)
-  kAllAnalyses = (1u << 9) - 1,
+  kMemSystem = 1u << 9,  ///< TLB/MSHR/bandwidth + shared-L2 (ISSUE 10)
+  kAllAnalyses = (1u << 10) - 1,
 };
 
 /// Identity of one experiment cell in a grid run.
@@ -158,6 +160,14 @@ struct CellResult {
   bool hasFusedScaledCp = false;
   std::uint64_t fusedScaledCriticalPath = 0;
 
+  // ---- Memory system (ISSUE 10): TLB + page sets, MSHR/bandwidth
+  // occupancy bounds, and shared-L2 multi-core scaling points, all from
+  // the same single simulation pass. ------------------------------------
+  bool hasMemSystem = false;
+  uarch::mem::MemSummary memSystem;
+  std::vector<uarch::mem::MemKernelStats> memKernels;
+  std::vector<uarch::mem::ScalingPoint> memScaling;
+
   [[nodiscard]] double ilp() const {
     return criticalPath == 0 ? 0.0
                              : static_cast<double>(instructions) /
@@ -223,6 +233,9 @@ struct EngineOptions {
   /// hasCacheAwareCp stay false). kCacheAwareCP additionally needs a
   /// latency table from `latenciesFor` for the non-load groups.
   std::function<const uarch::mem::CacheConfig*(Arch)> cacheConfigFor;
+  /// Shared-L2 scaling points for kMemSystem (which also needs a cache
+  /// config from `cacheConfigFor`); part of every store/grid fingerprint.
+  std::vector<unsigned> memCores = {1, 2, 4};
   /// Throughput model (ports + issue width + latencies) per arch for
   /// kThroughputBound; null function or null return skips the analysis for
   /// that cell (hasThroughput stays false).

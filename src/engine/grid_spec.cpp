@@ -79,6 +79,7 @@ support::JsonValue gridSpecToJson(const GridSpec& spec) {
   doc.set("config_dir", support::JsonValue(spec.configDir));
   doc.set("model_a64", support::JsonValue(spec.modelA64));
   doc.set("model_rv64", support::JsonValue(spec.modelRv64));
+  doc.set("mem_cores", uintArray(spec.memCores));
   doc.set("require_models", support::JsonValue(spec.requireModels));
   return doc;
 }
@@ -119,6 +120,14 @@ GridSpec gridSpecFromJson(const support::JsonValue& value) {
   spec.configDir = value.at("config_dir").asString();
   spec.modelA64 = value.at("model_a64").asString();
   spec.modelRv64 = value.at("model_rv64").asString();
+  spec.memCores.clear();
+  for (const support::JsonValue& cores : value.at("mem_cores").items()) {
+    if (cores.asUint() == 0) {
+      throw ConfigError("grid spec: mem_cores entries must be positive", {},
+                        0, "mem_cores");
+    }
+    spec.memCores.push_back(static_cast<unsigned>(cores.asUint()));
+  }
   spec.requireModels = value.at("require_models").asBool();
   return spec;
 }
@@ -203,6 +212,11 @@ std::string cellKeyFor(const GridSpec& spec, const GridModels& models,
     for (const std::uint32_t size : sizes) canon << " " << size;
     canon << "\n";
   }
+  if (analyses & kMemSystem) {
+    canon << "mem-cores";
+    for (const unsigned cores : spec.memCores) canon << " " << cores;
+    canon << "\n";
+  }
   const bool riscv = config.arch == Arch::Rv64;
   const std::string& modelName = riscv ? spec.modelRv64 : spec.modelA64;
   if (!modelName.empty()) {
@@ -234,6 +248,7 @@ ResolvedGrid resolveGridSpec(const GridSpec& spec, const EngineOptions& base) {
   options.analyses = spec.analyses;
   options.budget = spec.budget;
   options.windowSizes = spec.windowSizes;
+  options.memCores = spec.memCores;
   if (spec.gcc12Analyses != 0) {
     const GridSpec specCopy{spec};
     options.analysesFor = [specCopy](const CellKey& key) {
@@ -289,7 +304,8 @@ ResolvedGrid resolveGridSpec(const GridSpec& spec, const EngineOptions& base) {
                           name);
       }
       const unsigned analyses = effectiveAnalyses(specCopy, key.config);
-      if ((analyses & (kCacheModel | kCacheAwareCP)) && !model->caches) {
+      if ((analyses & (kCacheModel | kCacheAwareCP | kMemSystem)) &&
+          !model->caches) {
         throw ConfigError("core model '" + model->name +
                               "' has no caches: section",
                           {}, 0, "caches");

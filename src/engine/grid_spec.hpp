@@ -32,7 +32,7 @@
 
 namespace riscmp::engine {
 
-inline constexpr std::uint64_t kGridSpecV = 1;
+inline constexpr std::uint64_t kGridSpecV = 2;  // v2: mem_cores axis
 
 /// A complete, serializable description of one experiment grid. Execution
 /// details that do not change any cell's numbers (worker count, isolation
@@ -63,6 +63,9 @@ struct GridSpec {
   /// cells of that arch.
   std::string modelA64;
   std::string modelRv64;
+  /// Shared-L2 scaling points for kMemSystem cells (EngineOptions::
+  /// memCores); part of the spec fingerprint when the analysis is on.
+  std::vector<unsigned> memCores = {1, 2, 4};
   /// When set, a cell whose arch names a model that failed to load — or
   /// that lacks a section an enabled analysis needs (caches: for the cache
   /// analyses, fusion: for kFusion) — fails with a per-cell ConfigError

@@ -71,6 +71,7 @@ std::optional<CellResult> ResultStore::load(const std::string& key) {
       return reject();
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
+    bytesRead_.fetch_add(text.size(), std::memory_order_relaxed);
     return result;
   } catch (const Fault&) {
     return reject();
@@ -87,8 +88,10 @@ bool ResultStore::store(const std::string& key, const CellResult& result) {
   doc.set("key", support::JsonValue(key));
   doc.set("digest", support::JsonValue(digestHex(cellDigest(result))));
   doc.set("result", encodeCell(result));
-  if (!support::writeFileAtomic(path, doc.dump() + "\n")) return false;
+  const std::string payload = doc.dump() + "\n";
+  if (!support::writeFileAtomic(path, payload)) return false;
   writes_.fetch_add(1, std::memory_order_relaxed);
+  bytesWritten_.fetch_add(payload.size(), std::memory_order_relaxed);
   return true;
 }
 

@@ -69,6 +69,15 @@ class ResultStore {
   [[nodiscard]] std::uint64_t corrupt() const {
     return corrupt_.load(std::memory_order_relaxed);
   }
+  /// Bytes of verified cell files served by load() (hits only), and bytes
+  /// successfully persisted by store() — the sim_client --stats view of
+  /// how much result traffic the store absorbed.
+  [[nodiscard]] std::uint64_t bytesRead() const {
+    return bytesRead_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytesWritten() const {
+    return bytesWritten_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::string root_;
@@ -76,6 +85,8 @@ class ResultStore {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> writes_{0};
   std::atomic<std::uint64_t> corrupt_{0};
+  std::atomic<std::uint64_t> bytesRead_{0};
+  std::atomic<std::uint64_t> bytesWritten_{0};
 };
 
 }  // namespace riscmp::engine

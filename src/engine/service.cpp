@@ -85,6 +85,20 @@ std::vector<std::string> SimService::handleBatch(
       stats.set("compiles", support::JsonValue(totals_.compiles));
       stats.set("compile_hits", support::JsonValue(totals_.compileHits));
       stats.set("simulations", support::JsonValue(totals_.simulations));
+      // ResultStore effectiveness (ISSUE 10 satellite): lifetime counters
+      // from the daemon's store, so sim_client --stats shows hit/miss/byte
+      // traffic alongside the engine compile/sim counts. All zeros when
+      // the daemon runs without --store.
+      stats.set("store_misses",
+                support::JsonValue(store_ ? store_->misses() : 0));
+      stats.set("store_writes",
+                support::JsonValue(store_ ? store_->writes() : 0));
+      stats.set("store_corrupt",
+                support::JsonValue(store_ ? store_->corrupt() : 0));
+      stats.set("store_bytes_read",
+                support::JsonValue(store_ ? store_->bytesRead() : 0));
+      stats.set("store_bytes_written",
+                support::JsonValue(store_ ? store_->bytesWritten() : 0));
       responses[i] = stats.dump();
     } else if (type == "shutdown") {
       shutdown_ = true;

@@ -48,7 +48,7 @@ mem::LevelConfig parseCacheLevel(const yaml::Node& caches,
                                  const mem::LevelConfig& fallback) {
   if (!caches.has(name)) return fallback;
   const yaml::Node& node = caches.at(name);
-  rejectUnknownKeys(node, name, {"size_kib", "ways", "latency"});
+  rejectUnknownKeys(node, name, {"size_kib", "ways", "latency", "line_bytes"});
 
   mem::LevelConfig level;
   level.sizeBytes =
@@ -76,12 +76,77 @@ mem::LevelConfig parseCacheLevel(const yaml::Node& caches,
   return level;
 }
 
+/// Reject a per-level `line_bytes:` that differs from the hierarchy's
+/// shared line size (ISSUE 10 satellite). A single line geometry is what
+/// makes the straddle loop and the L1<->L2 write-back exchange exact; a
+/// mismatched L2 would silently mis-model every straddling access.
+void checkLevelLineBytes(const yaml::Node& caches, const std::string& name,
+                         std::uint32_t lineBytes, const std::string& against) {
+  if (!caches.has(name)) return;
+  const yaml::Node& node = caches.at(name);
+  if (!node.has("line_bytes")) return;
+  const std::uint64_t levelLine = node.at("line_bytes").asUint();
+  if (levelLine != lineBytes) {
+    throw ConfigError(
+        name + " line size " + std::to_string(levelLine) +
+            " B differs from " + against + " (" + std::to_string(lineBytes) +
+            " B); the hierarchy models one line geometry, so straddling "
+            "accesses would be mis-counted",
+        {}, node.at("line_bytes").line(), name + ".line_bytes");
+  }
+}
+
+/// Parse and validate the `tlb:` subsection (ISSUE 10): page geometry and
+/// the two translation levels, with the same divisible-into-power-of-two-
+/// sets rule as the caches.
+mem::TlbConfig parseTlb(const yaml::Node& tlb, std::uint32_t lineBytes) {
+  rejectUnknownKeys(tlb, "tlb",
+                    {"page_bytes", "l1_entries", "l1_ways", "l2_entries",
+                     "l2_ways", "l2_latency", "walk_latency"});
+
+  mem::TlbConfig config;
+  config.pageBytes = positiveInt(tlb, "page_bytes", 4096);
+  if (!isPowerOfTwo(config.pageBytes) || config.pageBytes < lineBytes) {
+    throw ConfigError(
+        "page size must be a power of two no smaller than the line size (" +
+            std::to_string(lineBytes) + " B), got " +
+            std::to_string(config.pageBytes),
+        {}, lineFor(tlb, "page_bytes"), "page_bytes");
+  }
+  config.l1Entries = positiveInt(tlb, "l1_entries", 48);
+  config.l1Ways = positiveInt(tlb, "l1_ways", config.l1Entries);
+  config.l2Entries = positiveInt(tlb, "l2_entries", 1024);
+  config.l2Ways = positiveInt(tlb, "l2_ways", 8);
+  config.l2Latency = positiveInt(tlb, "l2_latency", 5);
+  config.walkLatency = positiveInt(tlb, "walk_latency", 30);
+
+  const auto checkLevel = [&tlb](std::uint32_t entries, std::uint32_t ways,
+                                 const std::string& prefix) {
+    if (entries % ways != 0) {
+      throw ConfigError(std::to_string(entries) +
+                            " entries are not divisible into sets of " +
+                            std::to_string(ways) + " ways",
+                        {}, lineFor(tlb, prefix + "_entries"),
+                        prefix + "_entries");
+    }
+    if (!isPowerOfTwo(entries / ways)) {
+      throw ConfigError("set count " + std::to_string(entries / ways) +
+                            " must be a power of two",
+                        {}, lineFor(tlb, prefix + "_entries"),
+                        prefix + "_entries");
+    }
+  };
+  checkLevel(config.l1Entries, config.l1Ways, "l1");
+  checkLevel(config.l2Entries, config.l2Ways, "l2");
+  return config;
+}
+
 /// Parse and validate the `caches:` section (ISSUE 5). Every reject names
 /// the offending key and its source line; fromFile adds the path.
 mem::CacheConfig parseCaches(const yaml::Node& caches) {
-  rejectUnknownKeys(
-      caches, "caches",
-      {"line_bytes", "l1d", "l2", "memory_latency", "prefetcher"});
+  rejectUnknownKeys(caches, "caches",
+                    {"line_bytes", "l1d", "l2", "memory_latency", "prefetcher",
+                     "mshrs", "mem_bytes_per_cycle", "tlb"});
 
   mem::CacheConfig config;
   config.lineBytes = positiveInt(caches, "line_bytes", 64);
@@ -91,6 +156,9 @@ mem::CacheConfig parseCaches(const yaml::Node& caches) {
                           std::to_string(config.lineBytes),
                       {}, lineFor(caches, "line_bytes"), "line_bytes");
   }
+  checkLevelLineBytes(caches, "l1d", config.lineBytes,
+                      "the shared line_bytes");
+  checkLevelLineBytes(caches, "l2", config.lineBytes, "L1's line size");
   config.l1d = parseCacheLevel(caches, "l1d", config.lineBytes, config.l1d);
   config.l2 = parseCacheLevel(caches, "l2", config.lineBytes, config.l2);
   if (config.l2.sizeBytes < config.l1d.sizeBytes) {
@@ -102,6 +170,11 @@ mem::CacheConfig parseCaches(const yaml::Node& caches) {
         "l2.size_kib");
   }
   config.memoryLatency = positiveInt(caches, "memory_latency", 80);
+  config.mshrs = positiveInt(caches, "mshrs", 8);
+  config.memBytesPerCycle = positiveInt(caches, "mem_bytes_per_cycle", 16);
+  if (caches.has("tlb")) {
+    config.tlb = parseTlb(caches.at("tlb"), config.lineBytes);
+  }
 
   const std::string prefetcher = caches.getString("prefetcher", "none");
   if (prefetcher == "next_line") {

@@ -41,6 +41,23 @@ void checkLevel(const LevelConfig& level, const CacheConfig& config,
   }
 }
 
+void checkTlbLevel(std::uint32_t entries, std::uint32_t ways,
+                   const std::string& name) {
+  requirePositive(entries, (name + "_entries").c_str());
+  requirePositive(ways, (name + "_ways").c_str());
+  if (entries % ways != 0) {
+    throw ConfigError(std::to_string(entries) +
+                          " entries are not divisible into sets of " +
+                          std::to_string(ways) + " ways",
+                      {}, 0, name + "_entries");
+  }
+  if (!isPowerOfTwo(entries / ways)) {
+    throw ConfigError("set count " + std::to_string(entries / ways) +
+                          " must be a power of two",
+                      {}, 0, name + "_entries");
+  }
+}
+
 std::uint32_t shiftFor(std::uint32_t lineBytes) {
   std::uint32_t shift = 0;
   while ((1u << shift) < lineBytes) ++shift;
@@ -59,6 +76,22 @@ void validateCacheConfig(const CacheConfig& config) {
   checkLevel(config.l1d, config, "l1d");
   checkLevel(config.l2, config, "l2");
   requirePositive(config.memoryLatency, "memory_latency");
+  requirePositive(config.mshrs, "mshrs");
+  requirePositive(config.memBytesPerCycle, "mem_bytes_per_cycle");
+  if (config.tlb) {
+    const TlbConfig& tlb = *config.tlb;
+    if (!isPowerOfTwo(tlb.pageBytes) || tlb.pageBytes < config.lineBytes) {
+      throw ConfigError(
+          "page size must be a power of two no smaller than the line size (" +
+              std::to_string(config.lineBytes) + " B), got " +
+              std::to_string(tlb.pageBytes),
+          {}, 0, "tlb.page_bytes");
+    }
+    checkTlbLevel(tlb.l1Entries, tlb.l1Ways, "tlb.l1");
+    checkTlbLevel(tlb.l2Entries, tlb.l2Ways, "tlb.l2");
+    requirePositive(tlb.l2Latency, "tlb.l2_latency");
+    requirePositive(tlb.walkLatency, "tlb.walk_latency");
+  }
   if (config.l2.sizeBytes < config.l1d.sizeBytes) {
     throw ConfigError("L2 (" + std::to_string(config.l2.sizeBytes) +
                           " B) must be at least as large as L1D (" +
@@ -163,6 +196,7 @@ void MemoryHierarchy::prefetchLine(std::uint64_t line) {
   if (l1_.contains(line)) return;  // filtered before issue, not counted
   ++stats_.prefetchesIssued;
   if (!l2_.access(line, /*write=*/false).hit) {
+    ++stats_.prefetchFillsFromMem;
     const Cache::Eviction victim =
         l2_.fill(line, /*dirty=*/false, /*prefetched=*/false);
     if (victim.valid && victim.dirty) ++stats_.writebacksToMem;

@@ -32,6 +32,25 @@ struct LevelConfig {
   bool operator==(const LevelConfig&) const = default;
 };
 
+/// The `tlb:` subsection of a `caches:` section: a two-level data TLB
+/// keyed on virtual page numbers. Entry counts are total entries; the set
+/// count (entries / ways) must be a power of two, so a fully-associative
+/// level is written entries == ways.
+struct TlbConfig {
+  std::uint32_t pageBytes = 4096;
+  std::uint32_t l1Entries = 48;
+  std::uint32_t l1Ways = 48;  ///< == l1Entries -> fully associative
+  std::uint32_t l2Entries = 1024;
+  std::uint32_t l2Ways = 8;
+  std::uint32_t l2Latency = 5;    ///< added cycles on an L1-TLB miss
+  std::uint32_t walkLatency = 30; ///< added cycles on a full page walk
+
+  bool operator==(const TlbConfig&) const = default;
+
+  [[nodiscard]] std::uint32_t l1Sets() const { return l1Entries / l1Ways; }
+  [[nodiscard]] std::uint32_t l2Sets() const { return l2Entries / l2Ways; }
+};
+
 /// The `caches:` section of a core-model YAML. Defaults mirror the
 /// TX2-like geometry the configs ship (32 KiB/8-way L1D, 256 KiB/8-way
 /// unified L2, 64 B lines).
@@ -41,6 +60,12 @@ struct CacheConfig {
   LevelConfig l2{256 * 1024, 8, 12};
   std::uint32_t memoryLatency = 80;
   PrefetchKind prefetch = PrefetchKind::None;
+  /// Miss-level parallelism and memory bandwidth for the occupancy bounds
+  /// (ISSUE 10): how many outstanding misses overlap, and how many bytes
+  /// per cycle the memory interface sustains at peak.
+  std::uint32_t mshrs = 8;
+  std::uint32_t memBytesPerCycle = 16;
+  std::optional<TlbConfig> tlb;
 
   bool operator==(const CacheConfig&) const = default;
 
@@ -85,6 +110,10 @@ struct HierarchyStats {
   std::uint64_t writebacksToMem = 0;  ///< dirty L2 victims
   std::uint64_t prefetchesIssued = 0;
   std::uint64_t prefetchesUseful = 0;  ///< prefetched lines later demanded
+  /// Prefetched lines that missed L2 and were fetched from memory; demand
+  /// misses alone undercount memory traffic, so the bandwidth-bound model
+  /// (ISSUE 10) adds these fills to the bytes-moved total.
+  std::uint64_t prefetchFillsFromMem = 0;
 
   bool operator==(const HierarchyStats&) const = default;
 

@@ -1,0 +1,87 @@
+# E14 determinism acceptance (ISSUE 10): BENCH_mem.json and the memory-
+# system report must be byte-identical whatever the worker count AND
+# whether the cells ran locally or on a simd daemon. Runs the bench on 1
+# and 8 engine workers, diffs both outputs (only the engine footer and the
+# JSON-path echo line may differ), then repeats the run through a daemon
+# and diffs its JSON against the local one.
+#
+# Usage: cmake -DBENCH=<path-to-ext_mem_system> -DSIMD=<simd>
+#              -DCLIENT=<sim_client> -DOUT=<scratch-dir>
+#              -P compare_mem_determinism.cmake
+file(REMOVE_RECURSE ${OUT})
+file(MAKE_DIRECTORY ${OUT})
+
+foreach(jobs 1 8)
+  execute_process(
+    COMMAND ${BENCH} --scale=0.05 --jobs=${jobs} --json=${OUT}/j${jobs}.json
+    OUTPUT_FILE ${OUT}/j${jobs}.txt
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "ext_mem_system --jobs=${jobs} exited ${status}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT}/j1.json ${OUT}/j8.json
+  RESULT_VARIABLE json_differs)
+if(NOT json_differs EQUAL 0)
+  message(FATAL_ERROR "BENCH_mem JSON differs between --jobs=1 and "
+                      "--jobs=8: the report is not deterministic")
+endif()
+
+foreach(jobs 1 8)
+  file(READ ${OUT}/j${jobs}.txt report)
+  string(REGEX REPLACE "engine: [^\n]*\n" "" report "${report}")
+  string(REGEX REPLACE "JSON written to [^\n]*\n" "" report "${report}")
+  set(report_j${jobs} "${report}")
+endforeach()
+if(NOT report_j1 STREQUAL report_j8)
+  message(FATAL_ERROR "ext_mem_system stdout differs between --jobs=1 and "
+                      "--jobs=8 (beyond the engine footer)")
+endif()
+message(STATUS "E14 report and JSON byte-identical across worker counts")
+
+# Local vs daemon: the same grid through a simd socket must decode to the
+# same cells and therefore the same artifact bytes.
+set(SOCK ${OUT}/d.sock)
+execute_process(
+  COMMAND sh -c "exec ${SIMD} --socket=${SOCK} --jobs=2 \
+                 > ${OUT}/simd.log 2>&1 &"
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "failed to launch simd (${status})")
+endif()
+foreach(attempt RANGE 100)
+  if(EXISTS ${SOCK})
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+
+execute_process(
+  COMMAND ${BENCH} --scale=0.05 --jobs=2 --via=socket:${SOCK}
+          --json=${OUT}/daemon.json
+  OUTPUT_FILE ${OUT}/daemon.txt
+  RESULT_VARIABLE status)
+execute_process(COMMAND ${CLIENT} --socket=${SOCK} --shutdown
+                OUTPUT_QUIET ERROR_QUIET)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "ext_mem_system --via=socket exited ${status}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT}/j1.json ${OUT}/daemon.json
+  RESULT_VARIABLE json_differs)
+if(NOT json_differs EQUAL 0)
+  message(FATAL_ERROR "BENCH_mem JSON differs between local and daemon "
+                      "execution")
+endif()
+
+file(READ ${OUT}/daemon.txt report)
+string(REGEX REPLACE "service: [^\n]*\n" "" report "${report}")
+string(REGEX REPLACE "JSON written to [^\n]*\n" "" report "${report}")
+if(NOT report STREQUAL report_j1)
+  message(FATAL_ERROR "ext_mem_system stdout differs between local and "
+                      "daemon execution (beyond the footer)")
+endif()
+message(STATUS "E14 report and JSON byte-identical local vs daemon")

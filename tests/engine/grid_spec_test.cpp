@@ -32,6 +32,7 @@ TEST(GridSpecJson, RoundTripsExactly) {
   spec.modelA64 = "tx2";
   spec.modelRv64 = "riscv-tx2";
   spec.requireModels = true;
+  spec.memCores = {1, 2, 4};
 
   const GridSpec back = gridSpecFromJson(gridSpecToJson(spec));
   EXPECT_EQ(back.scale, spec.scale);  // bit-exact via scale_bits
@@ -49,6 +50,7 @@ TEST(GridSpecJson, RoundTripsExactly) {
   EXPECT_EQ(back.modelA64, spec.modelA64);
   EXPECT_EQ(back.modelRv64, spec.modelRv64);
   EXPECT_EQ(back.requireModels, spec.requireModels);
+  EXPECT_EQ(back.memCores, spec.memCores);
 
   // The dump itself must be stable: spec -> json -> spec -> json is a
   // fixed point (the daemon fingerprints canonical re-encodings).
@@ -64,6 +66,14 @@ TEST(GridSpecJson, RejectsWrongVersionAndBadMask) {
   doc2.set("analyses",
            support::JsonValue(static_cast<std::uint64_t>(kAllAnalyses + 1)));
   EXPECT_THROW(gridSpecFromJson(doc2), ConfigError);
+}
+
+TEST(GridSpecJson, RejectsZeroMemCores) {
+  // A zero-core scaling point is meaningless (ISSUE 10); reject it at
+  // parse time rather than letting the analyzer silently drop it.
+  GridSpec spec = smallSpec();
+  spec.memCores = {2, 0};
+  EXPECT_THROW(gridSpecFromJson(gridSpecToJson(spec)), ConfigError);
 }
 
 TEST(GridShape, FiltersSuiteAndDefaultsConfigs) {

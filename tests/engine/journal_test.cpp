@@ -86,6 +86,42 @@ CellResult sampleCell() {
   cell.fusedCriticalPath = 44321;
   cell.hasFusedScaledCp = true;
   cell.fusedScaledCriticalPath = 88765;
+
+  cell.cache.prefetchFillsFromMem = 9;
+
+  cell.hasMemSystem = true;
+  cell.memSystem.tlb = {1000, 900, 100, 60, 40, 1200};
+  cell.memSystem.footprintPages = 31;
+  cell.memSystem.pageSetDigest = 0xFEEDFACE12345678ull;
+  cell.memSystem.demandFillBytes = 2048;
+  cell.memSystem.prefetchFillBytes = 576;
+  cell.memSystem.writebackBytes = 128;
+  cell.memSystem.missCycles = 4100;
+  cell.memSystem.mshrBoundCycles = 513;
+  cell.memSystem.bandwidthBoundCycles = 172;
+  cell.memKernels = {{"copy", 1000, 500, 3, 7, 0x1111111111111111ull},
+                     {"triad", 2000, 750, 0, 8, 0x2222222222222222ull}};
+  uarch::mem::ScalingPoint one;
+  one.cores = 1;
+  one.perCore = {{500, 40, 24, 16, 5000}};
+  one.sharedL2Accesses = 40;
+  one.sharedL2Hits = 24;
+  one.sharedL2Misses = 16;
+  one.sharedWritebacksToMem = 2;
+  one.bytesFromMem = 1152;
+  one.bandwidthBoundCycles = 72;
+  one.mshrBoundCycles = 98;
+  uarch::mem::ScalingPoint two;
+  two.cores = 2;
+  two.perCore = {{500, 44, 20, 24, 5600}, {500, 45, 19, 26, 5800}};
+  two.sharedL2Accesses = 89;
+  two.sharedL2Hits = 39;
+  two.sharedL2Misses = 50;
+  two.sharedWritebacksToMem = 5;
+  two.bytesFromMem = 3520;
+  two.bandwidthBoundCycles = 220;
+  two.mshrBoundCycles = 150;
+  cell.memScaling = {one, two};
   return cell;
 }
 
@@ -143,6 +179,42 @@ TEST(CellCodec, RoundTripsFusionFields) {
   EXPECT_EQ(decoded.fusedCriticalPath, 44321u);
   EXPECT_TRUE(decoded.hasFusedScaledCp);
   EXPECT_EQ(decoded.fusedScaledCriticalPath, 88765u);
+}
+
+// v4 codec (ISSUE 10): the memory-system block — TLB totals, page-set
+// digests, occupancy bounds, per-kernel translation stats, and the full
+// shared-L2 scaling curve with per-core shares — must survive the
+// round-trip exactly so a --resume reproduces BENCH_mem.json
+// byte-for-byte.
+TEST(CellCodec, RoundTripsMemSystemFields) {
+  const CellResult original = sampleCell();
+  const CellResult decoded = decodeCell(encodeCell(original));
+  expectIdentical(original, decoded);
+  EXPECT_TRUE(decoded.hasMemSystem);
+  EXPECT_EQ(decoded.memSystem, original.memSystem);
+  EXPECT_EQ(decoded.memSystem.tlb.walkCycles, 1200u);
+  EXPECT_EQ(decoded.memSystem.pageSetDigest, 0xFEEDFACE12345678ull);
+  EXPECT_EQ(decoded.memSystem.totalBytes(), 2048u + 576u + 128u);
+  EXPECT_EQ(decoded.cache.prefetchFillsFromMem, 9u);
+  ASSERT_EQ(decoded.memKernels.size(), 2u);
+  EXPECT_EQ(decoded.memKernels[1].name, "triad");
+  EXPECT_EQ(decoded.memKernels[1].pageSetDigest, 0x2222222222222222ull);
+  ASSERT_EQ(decoded.memScaling.size(), 2u);
+  EXPECT_EQ(decoded.memScaling[0], original.memScaling[0]);
+  EXPECT_EQ(decoded.memScaling[1], original.memScaling[1]);
+  ASSERT_EQ(decoded.memScaling[1].perCore.size(), 2u);
+  EXPECT_EQ(decoded.memScaling[1].perCore[1].latencyCycles, 5800u);
+}
+
+TEST(CellCodec, MemSystemlessCellOmitsBlock) {
+  CellResult cell = sampleCell();
+  cell.hasMemSystem = false;
+  const CellResult decoded = decodeCell(encodeCell(cell));
+  EXPECT_FALSE(decoded.hasMemSystem);
+  EXPECT_EQ(decoded.memSystem, uarch::mem::MemSummary{});
+  EXPECT_TRUE(decoded.memKernels.empty());
+  EXPECT_TRUE(decoded.memScaling.empty());
+  EXPECT_NE(cellDigest(cell), cellDigest(sampleCell()));
 }
 
 TEST(CellCodec, RoundTripsFailedFusedCell) {

@@ -73,6 +73,9 @@ TEST(ResultStore, MissThenRoundTrip) {
   EXPECT_EQ(back->key.workload, grid.cells[0].key.workload);
   EXPECT_EQ(store.hits(), 1u);
   EXPECT_EQ(store.writes(), 1u);
+  // The hit read back exactly the bytes the write persisted.
+  EXPECT_GT(store.bytesWritten(), 0u);
+  EXPECT_EQ(store.bytesRead(), store.bytesWritten());
 }
 
 TEST(ResultStore, CorruptAndMismatchedFilesAreMisses) {

@@ -65,6 +65,12 @@ TEST(SimService, PingStatsAndErrors) {
   EXPECT_EQ(stats.at("type").asString(), "stats");
   EXPECT_EQ(stats.at("requests").asUint(), 4u);
   EXPECT_EQ(stats.at("errors").asUint(), 2u);
+  // Storeless daemon: the ResultStore counters exist and read zero.
+  EXPECT_EQ(stats.at("store_misses").asUint(), 0u);
+  EXPECT_EQ(stats.at("store_writes").asUint(), 0u);
+  EXPECT_EQ(stats.at("store_corrupt").asUint(), 0u);
+  EXPECT_EQ(stats.at("store_bytes_read").asUint(), 0u);
+  EXPECT_EQ(stats.at("store_bytes_written").asUint(), 0u);
 }
 
 TEST(SimService, GridRunsAndWarmRepliesComeFromStore) {
@@ -95,6 +101,18 @@ TEST(SimService, GridRunsAndWarmRepliesComeFromStore) {
   EXPECT_EQ(service.totals().grids, 2u);
   EXPECT_EQ(service.totals().simulations, 1u);
   EXPECT_EQ(service.totals().storeHits, 1u);
+
+  // The stats reply surfaces the store's own lifetime counters (ISSUE 10
+  // satellite): the cold run missed once and wrote its cell, the warm run
+  // read those bytes back.
+  const support::JsonValue stats =
+      support::JsonValue::parse(service.handleLine("{\"type\":\"stats\"}"));
+  EXPECT_EQ(stats.at("store_misses").asUint(), 1u);
+  EXPECT_EQ(stats.at("store_writes").asUint(), 1u);
+  EXPECT_EQ(stats.at("store_corrupt").asUint(), 0u);
+  EXPECT_GT(stats.at("store_bytes_written").asUint(), 0u);
+  EXPECT_GT(stats.at("store_bytes_read").asUint(), 0u);
+  EXPECT_EQ(stats.at("store_hits").asUint(), 1u);
 }
 
 TEST(SimService, IdenticalRequestsInOneBatchRunOnce) {

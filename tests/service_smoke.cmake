@@ -95,10 +95,10 @@ message(STATUS "local / cold daemon / warm daemon reports byte-identical")
 # configs at scale 0.0625 — a grid the daemon has NOT seen) runs once,
 # then is answered wholly from the store on the repeat.
 file(WRITE ${OUT}/grid.json
-  "{\"v\":1,\"scale_bits\":4589168020290535424,\"workloads\":[\"STREAM\"],"
+  "{\"v\":2,\"scale_bits\":4589168020290535424,\"workloads\":[\"STREAM\"],"
   "\"configs\":[],\"analyses\":3,\"gcc12_analyses\":0,\"windows\":[],"
   "\"budget\":1000000000,\"config_dir\":\"\",\"model_a64\":\"\","
-  "\"model_rv64\":\"\",\"require_models\":false}")
+  "\"model_rv64\":\"\",\"mem_cores\":[1,2,4],\"require_models\":false}")
 execute_process(
   COMMAND ${CLIENT} --socket=${SOCK} --grid=${OUT}/grid.json
   OUTPUT_VARIABLE first

@@ -106,6 +106,34 @@ TEST(CoreModelValidation, CacheL2SmallerThanL1Rejected) {
   });
 }
 
+TEST(CoreModelValidation, CacheL2LineMismatchRejectedWithLine) {
+  // ISSUE 10 satellite: the hierarchy models ONE line geometry; an L2
+  // declaring a different line size would silently mis-count straddles.
+  expectRejected("cache_l2_line_mismatch.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.key(), "l2.line_bytes");
+    EXPECT_EQ(e.line(), 14);
+    EXPECT_NE(std::string(e.what()).find("differs from L1's line size"),
+              std::string::npos);
+  });
+}
+
+TEST(CoreModelValidation, TlbBadPageBytesRejectedWithLine) {
+  expectRejected("tlb_bad_page_bytes.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.key(), "page_bytes");
+    EXPECT_EQ(e.line(), 5);
+    EXPECT_NE(std::string(e.what()).find("power of two"), std::string::npos);
+  });
+}
+
+TEST(CoreModelValidation, TlbIndivisibleEntriesRejectedWithLine) {
+  expectRejected("tlb_bad_entries.yaml", [](const ConfigError& e) {
+    EXPECT_EQ(e.key(), "l2_entries");
+    EXPECT_EQ(e.line(), 5);
+    EXPECT_NE(std::string(e.what()).find("not divisible into sets"),
+              std::string::npos);
+  });
+}
+
 TEST(CoreModelValidation, LatencyForUncoveredGroupRejected) {
   // ISSUE 7: a group the config gives a latency but no port accepts would
   // bypass the OoO issue stage's structural hazards entirely; reject it at
@@ -211,6 +239,23 @@ TEST(CoreModelValidation, ShippedConfigsCarryCaches) {
   EXPECT_EQ(tx2.caches->l1Sets(), 64u);    // 32 KiB / (8 x 64 B)
   EXPECT_EQ(tx2.caches->l2Sets(), 512u);   // 256 KiB / (8 x 64 B)
   EXPECT_EQ(tx2.caches->prefetch, mem::PrefetchKind::Stride);
+}
+
+TEST(CoreModelValidation, ShippedConfigsCarryMemSystem) {
+  // ISSUE 10: every shipped model declares MSHRs, peak bandwidth, and a
+  // TLB, so E14 can bound any config it is pointed at.
+  for (const char* name : {"tx2", "riscv-tx2", "m1-firestorm", "a64fx"}) {
+    const CoreModel model = CoreModel::named(name);
+    ASSERT_TRUE(model.caches.has_value()) << name;
+    EXPECT_GT(model.caches->mshrs, 0u) << name;
+    EXPECT_GT(model.caches->memBytesPerCycle, 0u) << name;
+    EXPECT_TRUE(model.caches->tlb.has_value()) << name;
+  }
+  const CoreModel tx2 = CoreModel::named("tx2");
+  EXPECT_EQ(tx2.caches->mshrs, 16u);
+  EXPECT_EQ(tx2.caches->memBytesPerCycle, 8u);
+  EXPECT_EQ(tx2.caches->tlb->pageBytes, 4096u);
+  EXPECT_EQ(tx2.caches->tlb->l1Sets(), 1u);  // fully associative
 }
 
 }  // namespace
